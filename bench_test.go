@@ -1,0 +1,417 @@
+// Benchmarks regenerating the experiments of DESIGN.md §6 / EXPERIMENTS.md
+// under `go test -bench`. Each experiment also has a table-printing
+// driver in cmd/cxbench; the benchmarks here are the stable,
+// statistically-sound form (use -benchmem and -count for confidence).
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/corpus"
+	"repro/internal/document"
+	"repro/internal/drivers"
+	"repro/internal/dtd"
+	"repro/internal/goddag"
+	"repro/internal/sacx"
+	"repro/internal/store"
+	"repro/internal/validate"
+	"repro/internal/xpath"
+)
+
+// ---- E3: SACX parsing -------------------------------------------------
+
+func BenchmarkSACXParse(b *testing.B) {
+	for _, words := range []int{1000, 8000} {
+		for _, h := range []int{1, 2, 4, 8} {
+			cfg := corpus.DefaultConfig(words)
+			cfg.Hierarchies = h
+			srcs, err := corpus.GenerateSources(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total := 0
+			for _, s := range srcs {
+				total += len(s.Data)
+			}
+			b.Run(fmt.Sprintf("words=%d/h=%d", words, h), func(b *testing.B) {
+				b.SetBytes(int64(total))
+				for i := 0; i < b.N; i++ {
+					if _, err := sacx.Build(srcs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSACXParseDensity(b *testing.B) {
+	for _, d := range []float64{0.1, 0.5, 0.9} {
+		cfg := corpus.DefaultConfig(4000)
+		cfg.OverlapDensity = d
+		srcs, err := corpus.GenerateSources(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("density=%.1f", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sacx.Build(srcs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E4: overlap queries, GODDAG vs baselines -------------------------
+
+func e4Fixtures(b *testing.B, words int, density float64) (*goddag.Document, *baseline.Node, *baseline.Node) {
+	b.Helper()
+	cfg := corpus.DefaultConfig(words)
+	cfg.OverlapDensity = density
+	doc, err := corpus.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frag, err := drivers.EncodeFragmentation(doc, drivers.EncodeOptions{Dominant: "physical"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms, err := drivers.EncodeMilestones(doc, drivers.EncodeOptions{Dominant: "physical"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fragDOM, err := baseline.ParseDOM(frag)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msDOM, err := baseline.ParseDOM(ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return doc, fragDOM, msDOM
+}
+
+func BenchmarkOverlapQuery_GODDAG(b *testing.B) {
+	for _, words := range []int{1000, 8000} {
+		doc, _, _ := e4Fixtures(b, words, 0.5)
+		q := xpath.MustCompile("//dmg/overlapping::w")
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOverlapQuery_FragmentJoin(b *testing.B) {
+	for _, words := range []int{1000, 8000} {
+		_, fragDOM, _ := e4Fixtures(b, words, 0.5)
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baseline.OverlappingFragmentJoin(fragDOM, "dmg", "w")
+			}
+		})
+	}
+}
+
+func BenchmarkOverlapQuery_MilestonePair(b *testing.B) {
+	for _, words := range []int{1000, 8000} {
+		_, _, msDOM := e4Fixtures(b, words, 0.5)
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baseline.OverlappingMilestonePair(msDOM, "dmg", "w")
+			}
+		})
+	}
+}
+
+// ---- E5: axis micro-benchmarks ----------------------------------------
+
+func BenchmarkAxis(b *testing.B) {
+	doc, err := corpus.Generate(corpus.DefaultConfig(4000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := map[string]string{
+		"child":       "count(/line)",
+		"descendant":  "count(//w)",
+		"covering":    "count(//w[17]/covering::*)",
+		"overlapping": "count(//dmg/overlapping::w)",
+		"following":   "count(//res/following::w)",
+		"predicate":   "count(//w[@n='100'])",
+	}
+	for name, qs := range queries {
+		q := xpath.MustCompile(qs)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Eval(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOverlappingAxisOnly isolates one overlapping-axis evaluation
+// (context fixed), the unit the D3 design decision optimizes.
+func BenchmarkOverlappingAxisOnly(b *testing.B) {
+	doc, err := corpus.Generate(corpus.DefaultConfig(8000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dmg := doc.Hierarchy("damage").Elements()[0]
+	q := xpath.MustCompile("overlapping::w")
+	b.Run("interval-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.EvalFromWithOptions(doc, dmg, xpath.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("graph-walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.EvalFromWithOptions(doc, dmg, xpath.Options{OverlapByWalk: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- E6: prevalidation -------------------------------------------------
+
+func BenchmarkPrevalidate(b *testing.B) {
+	wordsDTD := dtd.MustParse("words", `
+<!ELEMENT r (#PCDATA|s|w)*>
+<!ELEMENT s (#PCDATA|w)*>
+<!ELEMENT w (#PCDATA)>
+`)
+	for _, words := range []int{1000, 8000} {
+		doc, err := corpus.Generate(corpus.DefaultConfig(words))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := doc.Hierarchy("words")
+		rng := rand.New(rand.NewSource(7))
+		n := doc.Content().Len()
+		spans := make([]document.Span, 512)
+		for i := range spans {
+			lo := rng.Intn(n - 21)
+			spans[i] = document.NewSpan(lo, lo+1+rng.Intn(20))
+		}
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = validate.CheckInsertion(doc, h, wordsDTD, "w", spans[i%len(spans)])
+			}
+		})
+	}
+}
+
+func BenchmarkValidateFull(b *testing.B) {
+	doc, err := corpus.Generate(corpus.DefaultConfig(4000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := dtd.MustParse("words", `
+<!ELEMENT r (#PCDATA|s|w)*>
+<!ELEMENT s (#PCDATA|w)*>
+<!ELEMENT w (#PCDATA)>
+<!ATTLIST w n CDATA #IMPLIED>
+`)
+	h := doc.Hierarchy("words")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		validate.Hierarchy(h, d, validate.Full)
+	}
+}
+
+// ---- E7: representation conversion -------------------------------------
+
+func BenchmarkConvert(b *testing.B) {
+	doc, err := corpus.Generate(corpus.DefaultConfig(4000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms, _ := drivers.EncodeMilestones(doc, drivers.EncodeOptions{})
+	fr, _ := drivers.EncodeFragmentation(doc, drivers.EncodeOptions{})
+	so, _ := drivers.EncodeStandoff(doc, drivers.EncodeOptions{})
+	b.Run("encode/milestones", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := drivers.EncodeMilestones(doc, drivers.EncodeOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode/fragmentation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := drivers.EncodeFragmentation(doc, drivers.EncodeOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode/standoff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := drivers.EncodeStandoff(doc, drivers.EncodeOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode/milestones", func(b *testing.B) {
+		b.SetBytes(int64(len(ms)))
+		for i := 0; i < b.N; i++ {
+			if _, err := drivers.DecodeMilestones(ms); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode/fragmentation", func(b *testing.B) {
+		b.SetBytes(int64(len(fr)))
+		for i := 0; i < b.N; i++ {
+			if _, err := drivers.DecodeFragmentation(fr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode/standoff", func(b *testing.B) {
+		b.SetBytes(int64(len(so)))
+		for i := 0; i < b.N; i++ {
+			if _, err := drivers.DecodeStandoff(so); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- A1: SACX merge strategies ------------------------------------------
+
+func BenchmarkMergeHeap(b *testing.B)   { benchMerge(b, sacx.MergeHeap) }
+func BenchmarkMergeRescan(b *testing.B) { benchMerge(b, sacx.MergeRescan) }
+
+func benchMerge(b *testing.B, strategy sacx.MergeStrategy) {
+	for _, h := range []int{2, 8, 16} {
+		cfg := corpus.DefaultConfig(2000)
+		cfg.Hierarchies = h
+		srcs, err := corpus.GenerateSources(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := sacx.NewStream(srcs, sacx.Options{Strategy: strategy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.Events(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- A2: overlap evaluation strategies ----------------------------------
+
+func BenchmarkOverlapInterval(b *testing.B) { benchOverlap(b, xpath.Options{}) }
+func BenchmarkOverlapWalk(b *testing.B) {
+	benchOverlap(b, xpath.Options{OverlapByWalk: true})
+}
+
+func benchOverlap(b *testing.B, opts xpath.Options) {
+	for _, density := range []float64{0.1, 0.9} {
+		cfg := corpus.DefaultConfig(2000)
+		cfg.OverlapDensity = density
+		doc, err := corpus.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dmgs := doc.Hierarchy("damage").Elements()
+		q := xpath.MustCompile("overlapping::w")
+		b.Run(fmt.Sprintf("density=%.1f", density), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, dmg := range dmgs {
+					if _, err := q.EvalFromWithOptions(doc, dmg, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// ---- editing throughput (supporting E8) ---------------------------------
+
+func BenchmarkInsertElement(b *testing.B) {
+	cfg := corpus.DefaultConfig(2000)
+	cfg.Hierarchies = 2
+	base, err := corpus.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := base.Content().Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		doc := base.Clone()
+		h := doc.AddHierarchy("bench")
+		rng := rand.New(rand.NewSource(int64(i)))
+		b.StartTimer()
+		lastEnd := 0
+		for k := 0; k < 100; k++ {
+			lo := lastEnd + rng.Intn(20)
+			hi := lo + 1 + rng.Intn(10)
+			if hi >= n {
+				break
+			}
+			if _, err := doc.InsertElement(h, "ann", nil, document.NewSpan(lo, hi)); err != nil {
+				b.Fatal(err)
+			}
+			lastEnd = hi
+		}
+	}
+}
+
+// ---- persistent storage (S15) --------------------------------------------
+
+func BenchmarkStoreSave(b *testing.B) {
+	doc, err := corpus.Generate(corpus.DefaultConfig(4000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Encode(&buf, doc); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := store.Encode(&buf, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreLoad(b *testing.B) {
+	doc, err := corpus.Generate(corpus.DefaultConfig(4000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Encode(&buf, doc); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Decode(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Command cxbench regenerates the quantitative experiments of the
+// reproduction (see DESIGN.md §6 and EXPERIMENTS.md): it generates
+// synthetic multihierarchical manuscripts, runs each experiment's
+// workload, and prints one table per experiment.
+//
+// Usage:
+//
+//	cxbench                 # run all experiments at quick sizes
+//	cxbench -exp E4         # one experiment
+//	cxbench -full           # larger sweeps (slower)
+//
+// Experiments:
+//
+//	E3  SACX parsing throughput vs size, hierarchy count, overlap density
+//	E4  overlap queries: Extended XPath on GODDAG vs fragment-join and
+//	    milestone-pairing over single-document encodings
+//	E5  axis micro-benchmarks (child/descendant/ancestor/overlapping)
+//	E6  prevalidation (potential validity) cost and veto behaviour
+//	E7  representation conversion cost and size overhead
+//	A1  ablation: SACX k-way heap merge vs linear rescan
+//	A2  ablation: overlapping axis via interval arithmetic vs graph walk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/corpus"
+	"repro/internal/document"
+	"repro/internal/drivers"
+	"repro/internal/dtd"
+	"repro/internal/goddag"
+	"repro/internal/sacx"
+	"repro/internal/validate"
+	"repro/internal/xpath"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id: E3,E4,E5,E6,E7,A1,A2 or all")
+		full = flag.Bool("full", false, "run the larger sweeps")
+	)
+	flag.Parse()
+
+	b := &bench{full: *full}
+	run := map[string]func(){
+		"E3": b.e3, "E4": b.e4, "E5": b.e5, "E6": b.e6, "E7": b.e7,
+		"A1": b.a1, "A2": b.a2,
+	}
+	if *exp == "all" {
+		for _, id := range []string{"E3", "E4", "E5", "E6", "E7", "A1", "A2"} {
+			run[id]()
+		}
+		return
+	}
+	f, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cxbench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+	f()
+}
+
+type bench struct {
+	full bool
+}
+
+// measure runs f repeatedly until enough wall time accumulates and
+// returns the per-iteration duration.
+func measure(f func()) time.Duration {
+	f() // warm up
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		if elapsed > 100*time.Millisecond || n >= 1<<20 {
+			return elapsed / time.Duration(n)
+		}
+		n *= 2
+	}
+}
+
+func header(id, title string) {
+	fmt.Printf("\n== %s: %s ==\n", id, title)
+}
+
+func (b *bench) sizes() []int {
+	if b.full {
+		return []int{1000, 10000, 50000}
+	}
+	return []int{500, 2000, 8000}
+}
+
+// e3 — SACX parsing throughput (Figure 3 / §3 claim: one-pass parsing of
+// distributed documents).
+func (b *bench) e3() {
+	header("E3", "SACX parse of distributed documents into GODDAG")
+	fmt.Printf("%8s %4s %8s %10s %10s %10s %9s\n", "words", "h", "density", "input_KB", "ms/parse", "MB/s", "elements")
+	for _, words := range b.sizes() {
+		for _, h := range []int{1, 2, 4, 8} {
+			for _, d := range []float64{0.1, 0.5, 0.9} {
+				cfg := corpus.DefaultConfig(words)
+				cfg.Hierarchies = h
+				cfg.OverlapDensity = d
+				srcs, err := corpus.GenerateSources(cfg)
+				if err != nil {
+					fatal(err)
+				}
+				total := 0
+				for _, s := range srcs {
+					total += len(s.Data)
+				}
+				var doc *goddag.Document
+				per := measure(func() {
+					doc, err = sacx.Build(srcs)
+					if err != nil {
+						fatal(err)
+					}
+				})
+				mbps := float64(total) / per.Seconds() / (1 << 20)
+				fmt.Printf("%8d %4d %8.1f %10.1f %10.3f %10.1f %9d\n",
+					words, h, d, float64(total)/1024, float64(per.Microseconds())/1000, mbps, doc.Stats().Elements)
+			}
+		}
+	}
+}
+
+// e4 — overlap queries: GODDAG Extended XPath vs the query plans forced
+// by single-document encodings (§4 claim: XPath/XQuery are inefficient
+// for overlap queries; Extended XPath expresses them directly).
+func (b *bench) e4() {
+	header("E4", "overlap query: //dmg/overlapping::w — GODDAG vs baselines")
+	fmt.Printf("%8s %8s %10s %14s %14s %9s %9s\n",
+		"words", "density", "goddag_us", "fragjoin_us", "milestone_us", "answers", "speedup")
+	q := xpath.MustCompile("//dmg/overlapping::w")
+	for _, words := range b.sizes() {
+		for _, d := range []float64{0.1, 0.5, 0.9} {
+			cfg := corpus.DefaultConfig(words)
+			cfg.OverlapDensity = d
+			doc, err := corpus.Generate(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			frag, err := drivers.EncodeFragmentation(doc, drivers.EncodeOptions{Dominant: "physical"})
+			if err != nil {
+				fatal(err)
+			}
+			ms, err := drivers.EncodeMilestones(doc, drivers.EncodeOptions{Dominant: "physical"})
+			if err != nil {
+				fatal(err)
+			}
+			fragDOM, err := baseline.ParseDOM(frag)
+			if err != nil {
+				fatal(err)
+			}
+			msDOM, err := baseline.ParseDOM(ms)
+			if err != nil {
+				fatal(err)
+			}
+
+			var answers int
+			tg := measure(func() {
+				v, err := q.Eval(doc)
+				if err != nil {
+					fatal(err)
+				}
+				answers = len(v.Nodes())
+			})
+			tf := measure(func() {
+				baseline.OverlappingFragmentJoin(fragDOM, "dmg", "w")
+			})
+			tm := measure(func() {
+				baseline.OverlappingMilestonePair(msDOM, "dmg", "w")
+			})
+			speedup := float64(tf) / float64(tg)
+			fmt.Printf("%8d %8.1f %10.1f %14.1f %14.1f %9d %8.1fx\n",
+				words, d,
+				float64(tg.Nanoseconds())/1000,
+				float64(tf.Nanoseconds())/1000,
+				float64(tm.Nanoseconds())/1000,
+				answers, speedup)
+		}
+	}
+	fmt.Println("note: baseline times exclude DOM parsing; they re-derive offsets per query.")
+}
+
+// e5 — axis micro-benchmarks (§4 claim: efficient implementation of the
+// Extended XPath).
+func (b *bench) e5() {
+	header("E5", "Extended XPath axis micro-benchmarks")
+	fmt.Printf("%8s %22s %12s %9s\n", "words", "query", "us/query", "results")
+	queries := []string{
+		"count(/page)",
+		"count(//line)",
+		"count(//w)",
+		"count(//w[7]/covering::*)",
+		"count(//dmg/overlapping::*)",
+		"count(//dmg/overlapping::w)",
+		"count(//res/following::w)",
+	}
+	for _, words := range b.sizes() {
+		cfg := corpus.DefaultConfig(words)
+		doc, err := corpus.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, qs := range queries {
+			q := xpath.MustCompile(qs)
+			var res float64
+			per := measure(func() {
+				v, err := q.Eval(doc)
+				if err != nil {
+					fatal(err)
+				}
+				res = v.Number()
+			})
+			fmt.Printf("%8d %22s %12.1f %9.0f\n", words, shortQuery(qs), float64(per.Nanoseconds())/1000, res)
+		}
+	}
+}
+
+func shortQuery(q string) string {
+	q = strings.TrimPrefix(q, "count(")
+	return strings.TrimSuffix(q, ")")
+}
+
+// e6 — prevalidation cost and veto behaviour (§4 claim: xTagger detects
+// encodings that cannot be extended to valid XML).
+func (b *bench) e6() {
+	header("E6", "prevalidation (potential validity) of markup insertions")
+	wordsDTD := dtd.MustParse("words", `
+<!ELEMENT r (#PCDATA|s|w)*>
+<!ELEMENT s (#PCDATA|w)*>
+<!ELEMENT w (#PCDATA)>
+`)
+	fmt.Printf("%8s %12s %10s %10s\n", "words", "us/check", "accepted", "vetoed")
+	for _, words := range b.sizes() {
+		doc, err := corpus.Generate(corpus.DefaultConfig(words))
+		if err != nil {
+			fatal(err)
+		}
+		h := doc.Hierarchy("words")
+		rng := rand.New(rand.NewSource(7))
+		n := doc.Content().Len()
+		spans := make([]document.Span, 200)
+		for i := range spans {
+			lo := rng.Intn(n - 2)
+			spans[i] = document.NewSpan(lo, lo+1+rng.Intn(min(20, n-lo-1)))
+		}
+		// Veto statistics over the fixed span set, counted once.
+		accepted, vetoed := 0, 0
+		for _, sp := range spans {
+			if err := validate.CheckInsertion(doc, h, wordsDTD, "w", sp); err == nil {
+				accepted++
+			} else {
+				vetoed++
+			}
+		}
+		i := 0
+		per := measure(func() {
+			_ = validate.CheckInsertion(doc, h, wordsDTD, "w", spans[i%len(spans)])
+			i++
+		})
+		fmt.Printf("%8d %12.2f %10d %10d\n", words, float64(per.Nanoseconds())/1000, accepted, vetoed)
+	}
+	fmt.Println("note: vetoes are random spans nesting inside existing <w> ((#PCDATA) content) or overlapping them.")
+}
+
+// e7 — representation conversion cost and size overhead (§4 "Document
+// manipulation": import/export across representations, filtering).
+func (b *bench) e7() {
+	header("E7", "representation encode/decode and size overhead")
+	fmt.Printf("%8s %15s %10s %10s %10s %10s\n", "words", "format", "bytes", "overhead", "enc_ms", "dec_ms")
+	for _, words := range b.sizes() {
+		doc, err := corpus.Generate(corpus.DefaultConfig(words))
+		if err != nil {
+			fatal(err)
+		}
+		contentLen := len(doc.Content().String())
+		type codec struct {
+			name string
+			enc  func() ([]byte, error)
+			dec  func([]byte) error
+		}
+		codecs := []codec{
+			{"distributed", func() ([]byte, error) {
+				m, err := drivers.EncodeDistributed(doc, drivers.EncodeOptions{})
+				if err != nil {
+					return nil, err
+				}
+				var all []byte
+				for _, v := range m {
+					all = append(all, v...)
+				}
+				return all, nil
+			}, func(data []byte) error {
+				m, err := drivers.EncodeDistributed(doc, drivers.EncodeOptions{})
+				if err != nil {
+					return err
+				}
+				_, err = drivers.DecodeDistributed(m)
+				return err
+			}},
+			{"milestones", func() ([]byte, error) {
+				return drivers.EncodeMilestones(doc, drivers.EncodeOptions{})
+			}, func(data []byte) error {
+				_, err := drivers.DecodeMilestones(data)
+				return err
+			}},
+			{"fragmentation", func() ([]byte, error) {
+				return drivers.EncodeFragmentation(doc, drivers.EncodeOptions{})
+			}, func(data []byte) error {
+				_, err := drivers.DecodeFragmentation(data)
+				return err
+			}},
+			{"standoff", func() ([]byte, error) {
+				return drivers.EncodeStandoff(doc, drivers.EncodeOptions{})
+			}, func(data []byte) error {
+				_, err := drivers.DecodeStandoff(data)
+				return err
+			}},
+		}
+		for _, c := range codecs {
+			data, err := c.enc()
+			if err != nil {
+				fatal(err)
+			}
+			tEnc := measure(func() {
+				if _, err := c.enc(); err != nil {
+					fatal(err)
+				}
+			})
+			tDec := measure(func() {
+				if err := c.dec(data); err != nil {
+					fatal(err)
+				}
+			})
+			fmt.Printf("%8d %15s %10d %9.2fx %10.3f %10.3f\n",
+				words, c.name, len(data), float64(len(data))/float64(contentLen),
+				float64(tEnc.Microseconds())/1000, float64(tDec.Microseconds())/1000)
+		}
+	}
+}
+
+// a1 — ablation D2: SACX heap merge vs linear rescan of stream heads.
+func (b *bench) a1() {
+	header("A1", "ablation: SACX k-way heap merge vs linear rescan")
+	fmt.Printf("%8s %4s %14s %14s %9s\n", "words", "h", "heap_ms", "rescan_ms", "ratio")
+	words := b.sizes()[1]
+	for _, h := range []int{2, 4, 8, 16} {
+		cfg := corpus.DefaultConfig(words)
+		cfg.Hierarchies = h
+		srcs, err := corpus.GenerateSources(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		drain := func(strategy sacx.MergeStrategy) {
+			st, err := sacx.NewStream(srcs, sacx.Options{Strategy: strategy})
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := st.Events(); err != nil {
+				fatal(err)
+			}
+		}
+		tHeap := measure(func() { drain(sacx.MergeHeap) })
+		tScan := measure(func() { drain(sacx.MergeRescan) })
+		fmt.Printf("%8d %4d %14.3f %14.3f %8.2fx\n", words, h,
+			float64(tHeap.Microseconds())/1000, float64(tScan.Microseconds())/1000,
+			float64(tScan)/float64(tHeap))
+	}
+}
+
+// a2 — ablation D3: overlapping axis via interval arithmetic vs GODDAG
+// graph walk through shared leaves. The axis is evaluated in isolation
+// (context node fixed to each <dmg>), so the numbers measure only the
+// axis implementations, not the //dmg scan both share.
+func (b *bench) a2() {
+	header("A2", "ablation: overlapping axis, interval arithmetic vs graph walk")
+	fmt.Printf("%8s %8s %6s %14s %14s %9s\n", "words", "density", "dmgs", "interval_us", "walk_us", "ratio")
+	q := xpath.MustCompile("overlapping::w")
+	words := b.sizes()[1]
+	for _, d := range []float64{0.1, 0.5, 0.9} {
+		cfg := corpus.DefaultConfig(words)
+		cfg.OverlapDensity = d
+		doc, err := corpus.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		dmgs := doc.Hierarchy("damage").Elements()
+		evalAll := func(opts xpath.Options) {
+			for _, dmg := range dmgs {
+				if _, err := q.EvalFromWithOptions(doc, dmg, opts); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		tInt := measure(func() { evalAll(xpath.Options{}) })
+		tWalk := measure(func() { evalAll(xpath.Options{OverlapByWalk: true}) })
+		fmt.Printf("%8d %8.1f %6d %14.1f %14.1f %8.2fx\n", words, d, len(dmgs),
+			float64(tInt.Nanoseconds())/1000, float64(tWalk.Nanoseconds())/1000,
+			float64(tWalk)/float64(tInt))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxbench:", err)
+	os.Exit(1)
+}

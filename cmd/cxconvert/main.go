@@ -1,0 +1,70 @@
+// Command cxconvert converts a concurrent XML document between the
+// representations of concurrent markup (paper §4, "Document
+// manipulation"): distributed, milestones, fragmentation, standoff. A
+// subset of hierarchies can be selected on export (the demo's filtering
+// feature).
+//
+// Usage:
+//
+//	cxconvert -to milestones -dominant physical phys.xml words.xml
+//	cxconvert -from standoff -to distributed -o outdir doc.xml
+//	cxconvert -to fragmentation -hierarchies words,damage -fig1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/drivers"
+)
+
+func main() {
+	var (
+		from     = flag.String("from", "auto", "input representation")
+		to       = flag.String("to", "", "output representation (required)")
+		out      = flag.String("o", "-", "output file, directory (distributed), or - for stdout")
+		dominant = flag.String("dominant", "", "dominant hierarchy for milestones/fragmentation")
+		hiers    = flag.String("hierarchies", "", "comma-separated hierarchy filter (default all)")
+		demo     = flag.Bool("fig1", false, "use the bundled Figure 1 fragment")
+	)
+	flag.Parse()
+	if *to == "" {
+		fatal(fmt.Errorf("missing -to format"))
+	}
+	toFormat, err := drivers.ParseFormat(*to)
+	if err != nil {
+		fatal(err)
+	}
+
+	var doc *core.Document
+	if *demo {
+		doc, err = core.Parse(corpus.Fig1Sources())
+	} else {
+		doc, err = cliutil.Load(*from, flag.Args())
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := drivers.EncodeOptions{Dominant: *dominant}
+	if *hiers != "" {
+		opts.Hierarchies = strings.Split(*hiers, ",")
+	}
+	outputs, err := doc.Export(toFormat, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := cliutil.WriteOutputs(*out, outputs); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxconvert:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command cxparse parses a concurrent XML document (any representation)
+// into a GODDAG and prints it: summary statistics, the leaf table, the
+// per-hierarchy trees, or Graphviz DOT — the textual equivalents of the
+// paper's Figures 1 and 2.
+//
+// Usage:
+//
+//	cxparse [-format auto] [-show] [-dot] [-stats] file.xml...
+//
+// With multiple files the inputs form a distributed document, one
+// hierarchy per file, named after the file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/corpus"
+	"repro/internal/goddag"
+)
+
+func main() {
+	var (
+		format = flag.String("format", "auto", "input representation: auto, distributed, milestones, fragmentation, standoff")
+		show   = flag.Bool("show", false, "print the leaf table and per-hierarchy trees (Figure 1 view)")
+		dot    = flag.Bool("dot", false, "print the GODDAG in Graphviz DOT (Figure 2 view)")
+		stats  = flag.Bool("stats", false, "print summary statistics")
+		demo   = flag.Bool("fig1", false, "ignore inputs and use the bundled Figure 1 manuscript fragment")
+	)
+	flag.Parse()
+
+	var g *goddag.Document
+	if *demo {
+		doc, err := corpus.Fig1Document()
+		if err != nil {
+			fatal(err)
+		}
+		g = doc
+	} else {
+		doc, err := cliutil.Load(*format, flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		g = doc.GODDAG()
+	}
+
+	if !*show && !*dot && !*stats {
+		*stats = true
+	}
+	if *stats {
+		st := g.Stats()
+		fmt.Printf("content: %d runes\nleaves: %d\nhierarchies: %d (%v)\nelements: %d\nmax depth: %d\noverlapping pairs: %d\n",
+			st.ContentLen, st.Leaves, st.Hierarchies, g.HierarchyNames(), st.Elements, st.MaxDepth, corpus.CountOverlaps(g))
+	}
+	if *show {
+		fmt.Print(goddag.Dump(g))
+	}
+	if *dot {
+		fmt.Print(goddag.DOT(g))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxparse:", err)
+	os.Exit(1)
+}

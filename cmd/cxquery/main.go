@@ -1,0 +1,119 @@
+// Command cxquery evaluates Extended XPath queries over a concurrent XML
+// document, including the overlapping/covering/covered axes the paper
+// adds for concurrent markup.
+//
+// Usage:
+//
+//	cxquery -q "//dmg/overlapping::w" [-format auto] file.xml...
+//	cxquery -q "count(//w)" -fig1
+//
+// Node results print one per line as hierarchy:tag[span] "text".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/goddag"
+)
+
+func main() {
+	var (
+		query  = flag.String("q", "", "Extended XPath query (required unless -flwor)")
+		flwor  = flag.String("flwor", "", "FLWOR query (for/let/where/order by/return)")
+		format = flag.String("format", "auto", "input representation")
+		demo   = flag.Bool("fig1", false, "use the bundled Figure 1 fragment")
+		quiet  = flag.Bool("count", false, "print only the number of result nodes")
+	)
+	flag.Parse()
+	if *query == "" && *flwor == "" {
+		fatal(fmt.Errorf("missing -q or -flwor query"))
+	}
+
+	var doc *core.Document
+	var err error
+	if *demo {
+		doc, err = core.Parse(corpus.Fig1Sources())
+	} else {
+		doc, err = cliutil.Load(*format, flag.Args())
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *flwor != "" {
+		vals, err := doc.QueryFLWOR(*flwor)
+		if err != nil {
+			fatal(err)
+		}
+		if *quiet {
+			fmt.Println(len(vals))
+			return
+		}
+		for _, v := range vals {
+			if v.IsNodeSet() {
+				for _, n := range v.Nodes() {
+					printNode(n)
+				}
+				continue
+			}
+			fmt.Println(v.String())
+		}
+		return
+	}
+
+	v, err := doc.QueryValue(*query)
+	if err != nil {
+		fatal(err)
+	}
+	if !v.IsNodeSet() {
+		fmt.Println(v.String())
+		return
+	}
+	if attrs := v.Attrs(); len(attrs) > 0 {
+		if *quiet {
+			fmt.Println(len(attrs))
+			return
+		}
+		for _, a := range attrs {
+			fmt.Printf("%s/@%s = %q\n", a.Owner, a.Name, a.Value)
+		}
+		return
+	}
+	nodes := v.Nodes()
+	if *quiet {
+		fmt.Println(len(nodes))
+		return
+	}
+	for _, n := range nodes {
+		printNode(n)
+	}
+}
+
+func printNode(n goddag.Node) {
+	switch v := n.(type) {
+	case *goddag.Element:
+		fmt.Printf("%s:%s%v %q\n", v.Hierarchy().Name(), v.Name(), v.Span(), clip(v.Text()))
+	case goddag.Leaf:
+		fmt.Printf("leaf#%d%v %q\n", v.Index(), v.Span(), clip(v.Text()))
+	case *goddag.Root:
+		fmt.Printf("root:%s %q\n", v.Name(), clip(v.Text()))
+	}
+}
+
+func clip(s string) string {
+	r := []rune(s)
+	if len(r) > 60 {
+		return string(r[:57]) + "..."
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxquery:", err)
+	os.Exit(1)
+}

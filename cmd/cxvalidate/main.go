@@ -1,0 +1,73 @@
+// Command cxvalidate validates a concurrent XML document against a
+// concurrent markup schema (one DTD per hierarchy), in either full or
+// potential-validity mode. Potential validity is the check xTagger runs
+// while authoring: could this partial encoding still be extended to a
+// valid document (paper reference [5])?
+//
+// Usage:
+//
+//	cxvalidate -dtd physical=phys.dtd -dtd words=words.dtd \
+//	           [-mode full|potential] file.xml...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/validate"
+)
+
+func main() {
+	var (
+		format = flag.String("format", "auto", "input representation")
+		mode   = flag.String("mode", "full", "validation mode: full or potential")
+		demo   = flag.Bool("fig1", false, "use the bundled Figure 1 fragment")
+		dtds   cliutil.StringList
+	)
+	flag.Var(&dtds, "dtd", "hierarchy=dtd-file (repeatable)")
+	flag.Parse()
+
+	var m validate.Mode
+	switch *mode {
+	case "full":
+		m = validate.Full
+	case "potential":
+		m = validate.Potential
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	var doc *core.Document
+	var err error
+	if *demo {
+		doc, err = core.Parse(corpus.Fig1Sources())
+	} else {
+		doc, err = cliutil.Load(*format, flag.Args())
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := cliutil.ParseDTDSpecs(doc, dtds); err != nil {
+		fatal(err)
+	}
+
+	viols := doc.Validate(m)
+	if len(viols) == 0 {
+		fmt.Printf("valid (%s mode): %d hierarchies, %d elements\n",
+			*mode, doc.Stats().Hierarchies, doc.Stats().Elements)
+		return
+	}
+	for _, v := range viols {
+		fmt.Println(v.Error())
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxvalidate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,279 @@
+// Command xtagger is the script-driven equivalent of the paper's xTagger
+// editor for multihierarchical document-centric XML (paper §4): select a
+// document fragment, choose markup from any hierarchy, and have
+// prevalidation reject encodings that cannot be extended to valid XML.
+//
+// It reads one command per line from a script file or stdin:
+//
+//	dtd <hierarchy> <dtd-file>     attach a DTD
+//	prevalidate on|off             toggle the prevalidation veto
+//	select <offset>                print the word span at a rune offset
+//	insert <hier> <tag> <start> <end> [name=value ...]
+//	remove <hier> <index>          remove the i-th element (0-based, doc order)
+//	attr <hier> <index> <name> <value>
+//	text-insert <pos> <text...>
+//	text-delete <start> <end>
+//	undo | redo
+//	validate full|potential
+//	show | stats
+//	export <format> [dominant]
+//	# comment
+//
+// Example:
+//
+//	xtagger -fig1 -script edits.xt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/document"
+	"repro/internal/drivers"
+	"repro/internal/goddag"
+	"repro/internal/validate"
+)
+
+func main() {
+	var (
+		format = flag.String("format", "auto", "input representation")
+		script = flag.String("script", "-", "command script file (- for stdin)")
+		demo   = flag.Bool("fig1", false, "use the bundled Figure 1 fragment")
+	)
+	flag.Parse()
+
+	var doc *core.Document
+	var err error
+	if *demo {
+		doc, err = core.Parse(corpus.Fig1Sources())
+	} else if len(flag.Args()) > 0 {
+		doc, err = cliutil.Load(*format, flag.Args())
+	} else {
+		doc = core.New("r", "")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	in := os.Stdin
+	if *script != "-" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	t := &tagger{doc: doc, out: os.Stdout}
+	sc := bufio.NewScanner(in)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := t.run(line); err != nil {
+			fmt.Fprintf(os.Stderr, "xtagger: line %d: %v\n", lineNo, err)
+			os.Exit(1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+type tagger struct {
+	doc *core.Document
+	out *os.File
+}
+
+func (t *tagger) run(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "dtd":
+		if len(args) != 2 {
+			return fmt.Errorf("dtd <hierarchy> <file>")
+		}
+		data, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		return t.doc.SetDTD(args[0], data)
+	case "prevalidate":
+		if len(args) != 1 {
+			return fmt.Errorf("prevalidate on|off")
+		}
+		if args[0] == "on" {
+			t.doc.EnablePrevalidation()
+			fmt.Fprintln(t.out, "prevalidation on")
+		} else {
+			fmt.Fprintln(t.out, "prevalidation off (new sessions only)")
+		}
+		return nil
+	case "select":
+		pos, err := atoi(args, 0)
+		if err != nil {
+			return err
+		}
+		sp, err := t.doc.Edit().SelectWord(pos)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(t.out, "selected %v %q\n", sp, t.doc.GODDAG().Content().Slice(sp))
+		return nil
+	case "insert":
+		if len(args) < 4 {
+			return fmt.Errorf("insert <hier> <tag> <start> <end> [name=value ...]")
+		}
+		start, err1 := strconv.Atoi(args[2])
+		end, err2 := strconv.Atoi(args[3])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad span %s %s", args[2], args[3])
+		}
+		var attrs []goddag.Attr
+		for _, kv := range args[4:] {
+			i := strings.IndexByte(kv, '=')
+			if i <= 0 {
+				return fmt.Errorf("bad attribute %q", kv)
+			}
+			attrs = append(attrs, goddag.Attr{Name: kv[:i], Value: kv[i+1:]})
+		}
+		el, err := t.doc.Edit().InsertMarkup(args[0], args[1], document.NewSpan(start, end), attrs...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(t.out, "inserted %v %q\n", el, el.Text())
+		return nil
+	case "remove":
+		el, err := t.element(args)
+		if err != nil {
+			return err
+		}
+		if err := t.doc.Edit().RemoveMarkup(el); err != nil {
+			return err
+		}
+		fmt.Fprintf(t.out, "removed %v\n", el)
+		return nil
+	case "attr":
+		if len(args) != 4 {
+			return fmt.Errorf("attr <hier> <index> <name> <value>")
+		}
+		el, err := t.element(args[:2])
+		if err != nil {
+			return err
+		}
+		if err := t.doc.Edit().SetAttr(el, args[2], args[3]); err != nil {
+			return err
+		}
+		fmt.Fprintf(t.out, "set %s=%s on %v\n", args[2], args[3], el)
+		return nil
+	case "text-insert":
+		if len(args) < 2 {
+			return fmt.Errorf("text-insert <pos> <text>")
+		}
+		pos, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		text := strings.Join(args[1:], " ")
+		return t.doc.Edit().InsertText(pos, text)
+	case "text-delete":
+		if len(args) != 2 {
+			return fmt.Errorf("text-delete <start> <end>")
+		}
+		start, err1 := strconv.Atoi(args[0])
+		end, err2 := strconv.Atoi(args[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad span")
+		}
+		return t.doc.Edit().DeleteText(document.NewSpan(start, end))
+	case "undo":
+		return t.doc.Edit().Undo()
+	case "redo":
+		return t.doc.Edit().Redo()
+	case "validate":
+		mode := validate.Full
+		if len(args) > 0 && args[0] == "potential" {
+			mode = validate.Potential
+		}
+		viols := t.doc.Validate(mode)
+		if len(viols) == 0 {
+			fmt.Fprintln(t.out, "valid")
+			return nil
+		}
+		for _, v := range viols {
+			fmt.Fprintln(t.out, v.Error())
+		}
+		return nil
+	case "show":
+		fmt.Fprint(t.out, goddag.Dump(t.doc.GODDAG()))
+		return nil
+	case "stats":
+		st := t.doc.Stats()
+		fmt.Fprintf(t.out, "content=%d leaves=%d hierarchies=%d elements=%d depth=%d\n",
+			st.ContentLen, st.Leaves, st.Hierarchies, st.Elements, st.MaxDepth)
+		return nil
+	case "export":
+		if len(args) < 1 {
+			return fmt.Errorf("export <format> [dominant]")
+		}
+		f, err := drivers.ParseFormat(args[0])
+		if err != nil {
+			return err
+		}
+		opts := drivers.EncodeOptions{}
+		if len(args) > 1 {
+			opts.Dominant = args[1]
+		}
+		outputs, err := t.doc.Export(f, opts)
+		if err != nil {
+			return err
+		}
+		return cliutil.WriteOutputs("-", outputs)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// element resolves <hier> <index> to the index-th element of the
+// hierarchy in document order.
+func (t *tagger) element(args []string) (*goddag.Element, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("want <hier> <index>")
+	}
+	h := t.doc.GODDAG().Hierarchy(args[0])
+	if h == nil {
+		return nil, fmt.Errorf("unknown hierarchy %q", args[0])
+	}
+	idx, err := strconv.Atoi(args[1])
+	if err != nil {
+		return nil, err
+	}
+	els := h.Elements()
+	if idx < 0 || idx >= len(els) {
+		return nil, fmt.Errorf("index %d out of range [0,%d)", idx, len(els))
+	}
+	return els[idx], nil
+}
+
+func atoi(args []string, i int) (int, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing argument")
+	}
+	return strconv.Atoi(args[i])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xtagger:", err)
+	os.Exit(1)
+}

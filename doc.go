@@ -1,0 +1,37 @@
+// Package repro is a Go implementation of the framework of Iacob &
+// Dekhtyar, "A Framework for Processing Complex Document-centric XML
+// with Overlapping Structures" (SIGMOD 2005): management of
+// multihierarchical ("concurrent") XML whose markup from different
+// hierarchies overlaps and therefore cannot live in a single well-formed
+// XML tree.
+//
+// The framework models such documents as a GODDAG — a directed acyclic
+// graph in which all hierarchies share one root and one sequence of text
+// leaves, and each hierarchy is a DOM-like tree over those leaves. On top
+// of the GODDAG the package provides:
+//
+//   - SACX, a SAX-style parser that merges a *distributed document* (one
+//     XML file per hierarchy, same content) into a single event stream
+//     and builds the GODDAG in one pass;
+//   - Extended XPath, XPath 1.0 re-defined over the GODDAG and extended
+//     with the overlapping/covering/covered axes and the hierarchy()
+//     function;
+//   - prevalidated editing (the xTagger core): markup insertions are
+//     vetoed when they could never be extended to a valid document;
+//   - drivers for the proposed representations of concurrent markup —
+//     distributed, TEI-style milestones, TEI-style fragmentation, and
+//     standoff — with lossless conversion between all of them and
+//     hierarchy filtering on export.
+//
+// Quick start:
+//
+//	doc, err := repro.Parse([]repro.Source{
+//	    {Hierarchy: "physical", Data: []byte(`<r><line>swa hwæt swa</line></r>`)},
+//	    {Hierarchy: "words", Data: []byte(`<r><w>swa</w> <w>hwæt</w> <w>swa</w></r>`)},
+//	})
+//	if err != nil { ... }
+//	hits, err := doc.Query("//line/overlapping::w")
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's demonstrated claims.
+package repro

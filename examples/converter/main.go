@@ -1,0 +1,98 @@
+// Converter: generate a synthetic multihierarchical manuscript and round
+// it through every representation of concurrent markup, reporting size
+// overheads and verifying losslessness — the paper's "Document
+// manipulation" feature (§4) at workload scale.
+//
+// Run with: go run ./examples/converter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/corpus"
+	"repro/internal/drivers"
+)
+
+func main() {
+	cfg := corpus.DefaultConfig(400)
+	cfg.OverlapDensity = 0.7
+	g, err := corpus.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated: %d hierarchies %v, %d elements, %d overlapping pairs\n",
+		g.Stats().Hierarchies, g.HierarchyNames(), g.Stats().Elements, corpus.CountOverlaps(g))
+	contentLen := len(g.Content().String())
+
+	// Express the GODDAG in each representation and measure overhead.
+	milestones, err := drivers.EncodeMilestones(g, drivers.EncodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fragmentation, err := drivers.EncodeFragmentation(g, drivers.EncodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	standoff, err := drivers.EncodeStandoff(g, drivers.EncodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	distributed, err := drivers.EncodeDistributed(g, drivers.EncodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	distTotal := 0
+	for _, d := range distributed {
+		distTotal += len(d)
+	}
+
+	fmt.Printf("\n%-15s %10s %10s\n", "representation", "bytes", "overhead")
+	for _, row := range []struct {
+		name string
+		n    int
+	}{
+		{"content only", contentLen},
+		{"distributed", distTotal},
+		{"milestones", len(milestones)},
+		{"fragmentation", len(fragmentation)},
+		{"standoff", len(standoff)},
+	} {
+		fmt.Printf("%-15s %10d %9.2fx\n", row.name, row.n, float64(row.n)/float64(contentLen))
+	}
+
+	// Lossless chain: milestones -> GODDAG -> fragmentation -> GODDAG ->
+	// standoff -> GODDAG, ending equal to the original.
+	d1, err := repro.Import(repro.FormatMilestones, milestones)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f2, err := d1.Export(repro.FormatFragmentation, repro.EncodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d2, err := repro.Import(repro.FormatFragmentation, f2["document"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	s3, err := d2.Export(repro.FormatStandoff, repro.EncodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d3, err := repro.Import(repro.FormatStandoff, s3["document"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if d3.Stats() != g.Stats() || d3.GODDAG().Content().String() != g.Content().String() {
+		log.Fatalf("conversion chain lost information: %+v vs %+v", d3.Stats(), g.Stats())
+	}
+	fmt.Println("\nconversion chain milestones -> fragmentation -> standoff: lossless ✓")
+
+	// Filtering on export: ship only the words layer.
+	only, err := d3.Export(repro.FormatDistributed, repro.EncodeOptions{Hierarchies: []string{"words"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("filtered words-only export: %d bytes\n", len(only["words"]))
+}

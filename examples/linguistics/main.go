@@ -1,0 +1,80 @@
+// Linguistics: verse structure vs syntactic structure — the second
+// classic source of overlapping hierarchies (paper §2: physical location
+// markup vs linguistic markup). Metrical lines and grammatical sentences
+// of a poem systematically overlap; the query for *enjambment* (a
+// sentence running past a line break) is exactly an overlapping-axis
+// query.
+//
+// Run with: go run ./examples/linguistics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Two encodings of the same verse (after Tennyson): metrical lines,
+	// and sentences. Sentence 1 ends mid-line-2 and sentence 2 starts
+	// there, so both sentences *properly overlap* line 2 — enjambment,
+	// the canonical concurrent-hierarchy conflict.
+	verse := []repro.Source{
+		{Hierarchy: "metre", Data: []byte(
+			`<poem><l n="1">Man comes and tills the field</l> ` +
+				`<l n="2">and lies beneath and after many</l> ` +
+				`<l n="3">a summer dies the swan</l></poem>`)},
+		{Hierarchy: "syntax", Data: []byte(
+			`<poem><s n="1">Man comes and tills the field and lies beneath</s> ` +
+				`<s n="2">and after many a summer dies the swan</s></poem>`)},
+	}
+	doc, err := repro.Parse(verse)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Enjambment: sentences that properly overlap a metrical line.
+	enj, err := doc.Query("//s[overlaps(//l)]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("enjambed sentences:")
+	for _, n := range enj {
+		s := n.(*repro.Element)
+		num, _ := s.Attr("n")
+		fmt.Printf("  s %s: %q\n", num, s.Text())
+		// Which lines does it cross into?
+		lines, err := doc.QueryValue("count(//s[@n='" + num + "']/overlapping::l)")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    crosses %s line boundaries\n", lines.String())
+	}
+
+	// The reverse view: line-by-line, which lines are split by syntax?
+	broken, err := doc.Query("//l[overlaps(//s)]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("lines split by a sentence boundary:")
+	for _, n := range broken {
+		l := n.(*repro.Element)
+		num, _ := l.Attr("n")
+		fmt.Printf("  l %s: %q\n", num, l.Text())
+	}
+
+	// Leaves are shared between the hierarchies: navigate from a line
+	// into the sentence tree through a leaf (paper §3: navigation from
+	// one structure to another goes through root or leaf nodes).
+	g := doc.GODDAG()
+	line2 := g.Hierarchy("metre").ElementsNamed("l")[1]
+	leaf, _ := line2.FirstLeaf()
+	fmt.Printf("leaf %q has parents:", leaf.Text())
+	for _, p := range leaf.Parents() {
+		if el, ok := p.(*repro.Element); ok {
+			fmt.Printf(" %s:%s", el.Hierarchy().Name(), el.Name())
+		}
+	}
+	fmt.Println()
+}

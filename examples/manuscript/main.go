@@ -1,0 +1,94 @@
+// Manuscript: the full edition-production pipeline of the paper's demo
+// (Figure 4 / experiment E8) on the Figure 1 manuscript fragment —
+// parse the four concurrent encodings, inspect the GODDAG, run editorial
+// overlap queries, annotate under prevalidation, and export a filtered
+// view.
+//
+// Run with: go run ./examples/manuscript
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/corpus"
+	"repro/internal/goddag"
+)
+
+func main() {
+	// 1. Parse the distributed document: physical layout, words,
+	// restorations, damage — four hierarchies over one transcription.
+	doc, err := repro.Parse(corpus.Fig1Sources())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := doc.Stats()
+	fmt.Printf("parsed %d hierarchies, %d elements, %d leaves over %d runes\n\n",
+		st.Hierarchies, st.Elements, st.Leaves, st.ContentLen)
+
+	// 2. The GODDAG (Figure 2): shared leaves under per-hierarchy trees.
+	fmt.Println(goddag.Dump(doc.GODDAG()))
+
+	// 3. Editorial queries over concurrent markup.
+	queries := []string{
+		"//dmg/overlapping::w",      // words touched by damage
+		"//res/overlapping::w",      // words split by a restoration
+		"//res/overlapping::line",   // restorations crossing line breaks
+		"//line[@n='2']/covered::w", // words wholly inside line 2
+	}
+	for _, q := range queries {
+		hits, err := doc.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s ->", q)
+		for _, n := range hits {
+			fmt.Printf(" %q", n.Text())
+		}
+		fmt.Println()
+	}
+
+	// 4. Annotate under prevalidation: the editorial hierarchy has a DTD,
+	// and xTagger-style editing refuses markup that could never validate.
+	if err := doc.SetDTD("editorial", []byte(`
+<!ELEMENT r (#PCDATA|sic|corr)*>
+<!ELEMENT sic (#PCDATA)>
+<!ELEMENT corr (#PCDATA)>
+<!ATTLIST corr resp CDATA #REQUIRED>
+`)); err != nil {
+		log.Fatal(err)
+	}
+	doc.EnablePrevalidation()
+	s := doc.Edit()
+
+	// Tag the damaged reading: select the word under the damage and mark
+	// it sic.
+	damaged, err := doc.Query("//dmg/overlapping::w")
+	if err != nil {
+		log.Fatal(err)
+	}
+	word := damaged[0].(*repro.Element)
+	if _, err := s.InsertMarkup("editorial", "sic", word.Span()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntagged %q as sic\n", word.Text())
+
+	// Prevalidation veto: <sic> inside <sic> can never validate.
+	if _, err := s.InsertMarkup("editorial", "sic",
+		repro.NewSpan(word.Span().Start+1, word.Span().End)); err != nil {
+		fmt.Printf("prevalidation vetoed nested sic: %v\n", err)
+	}
+
+	// 5. Export a filtered view: only words + editorial layer, as
+	// standoff for the archive.
+	view, err := doc.Filter("words", "editorial")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := view.Export(repro.FormatStandoff, repro.EncodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfiltered standoff export:\n%s", out["document"])
+}

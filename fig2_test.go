@@ -1,0 +1,77 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/goddag"
+)
+
+// TestFigure2Golden pins the E2 artifact: the GODDAG of the Figure 1
+// document has exactly the node and edge inventory of the paper's
+// Figure 2 — four hierarchy trees over one shared leaf sequence.
+func TestFigure2Golden(t *testing.T) {
+	doc, err := corpus.Fig1Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node inventory.
+	wantInventory := []string{
+		"damage:dmg x1",
+		"physical:line x2",
+		"restoration:res x1",
+		"words:w x6",
+	}
+	inv := goddag.Inventory(doc)
+	if strings.Join(inv, ";") != strings.Join(wantInventory, ";") {
+		t.Errorf("inventory = %v, want %v", inv, wantInventory)
+	}
+
+	// Leaf sequence: 15 leaves whose texts concatenate to the content.
+	if doc.NumLeaves() != 15 {
+		t.Errorf("leaves = %d, want 15", doc.NumLeaves())
+	}
+	var text strings.Builder
+	for _, l := range doc.Leaves() {
+		text.WriteString(l.Text())
+	}
+	if text.String() != "swa hwæt swa he us sægde" {
+		t.Errorf("leaf concat = %q", text.String())
+	}
+
+	// DOT output carries one cluster per hierarchy, the shared root, and
+	// every leaf.
+	dot := goddag.DOT(doc)
+	for _, want := range []string{
+		"subgraph cluster_physical",
+		"subgraph cluster_words",
+		"subgraph cluster_restoration",
+		"subgraph cluster_damage",
+		`root [label="<r>"`,
+		"leaf14",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Each hierarchy's top elements attach to the shared root.
+	if strings.Count(dot, "root ->") < 4 {
+		t.Errorf("too few root edges in DOT:\n%s", dot)
+	}
+
+	// The multi-parent edges of Figure 2: the leaf under the damage has a
+	// parent in every hierarchy, and they are the expected elements.
+	leaf := doc.LeafAt(10) // inside dmg, res, w, line1
+	var parents []string
+	for _, p := range leaf.Parents() {
+		if el, ok := p.(*goddag.Element); ok {
+			parents = append(parents, el.Hierarchy().Name()+":"+el.Name())
+		}
+	}
+	want := []string{"physical:line", "words:w", "restoration:res", "damage:dmg"}
+	if strings.Join(parents, ";") != strings.Join(want, ";") {
+		t.Errorf("leaf parents = %v, want %v", parents, want)
+	}
+}

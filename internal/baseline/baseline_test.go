@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/drivers"
+	"repro/internal/sacx"
+	"repro/internal/xpath"
+)
+
+func fig1Doc(t *testing.T) []sacx.Source {
+	t.Helper()
+	return []sacx.Source{
+		{Hierarchy: "physical", Data: []byte(`<r><line n="1">swa hwæt swa</line><line n="2"> he us sægde</line></r>`)},
+		{Hierarchy: "words", Data: []byte(`<r><w>swa</w> <w>hwæt</w> <w>swa</w> <w>he</w> <w>us</w> <w>sægde</w></r>`)},
+		{Hierarchy: "damage", Data: []byte(`<r>swa hw<dmg type="stain">æt sw</dmg>a he us sægde</r>`)},
+	}
+}
+
+func TestParseDOM(t *testing.T) {
+	root, err := ParseDOM([]byte(`<r><a x="1">hi <b>there</b></a></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "r" || len(root.Children) != 1 {
+		t.Fatalf("root = %+v", root)
+	}
+	a := root.Children[0]
+	if a.Name != "a" {
+		t.Fatalf("a = %+v", a)
+	}
+	if v, ok := a.Attr("x"); !ok || v != "1" {
+		t.Errorf("a/@x = %q", v)
+	}
+	if _, ok := a.Attr("zzz"); ok {
+		t.Error("zzz should be absent")
+	}
+	if TextContent(a) != "hi there" {
+		t.Errorf("text = %q", TextContent(a))
+	}
+	if a.Children[1].Parent != a {
+		t.Error("parent link")
+	}
+}
+
+func TestParseDOMErrors(t *testing.T) {
+	if _, err := ParseDOM([]byte(`<r>`)); err == nil {
+		t.Error("unclosed root should error")
+	}
+}
+
+func TestElementsNamed(t *testing.T) {
+	root, _ := ParseDOM([]byte(`<r><w>a</w><s><w>b</w></s><w>c</w></r>`))
+	ws := ElementsNamed(root, "w")
+	if len(ws) != 3 {
+		t.Fatalf("w count = %d", len(ws))
+	}
+	if TextContent(ws[1]) != "b" {
+		t.Errorf("order wrong: %q", TextContent(ws[1]))
+	}
+}
+
+func TestFragmentJoinMatchesGODDAG(t *testing.T) {
+	srcs := fig1Doc(t)
+	doc, err := sacx.Build(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GODDAG answer.
+	got, err := xpath.Select(doc, "//dmg/overlapping::w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline answer over the fragmentation encoding.
+	enc, err := drivers.EncodeFragmentation(doc, drivers.EncodeOptions{Dominant: "physical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := ParseDOM(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := OverlappingFragmentJoin(dom, "w", "dmg")
+	if len(pairs) != len(got) {
+		t.Errorf("fragment join found %d overlaps, GODDAG %d\n%s", len(pairs), len(got), enc)
+	}
+	for _, p := range pairs {
+		if p.A.Name != "w" || p.B.Name != "dmg" {
+			t.Errorf("pair names: %+v", p)
+		}
+	}
+}
+
+func TestMilestonePairMatchesGODDAG(t *testing.T) {
+	srcs := fig1Doc(t)
+	doc, err := sacx.Build(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := xpath.Select(doc, "//dmg/overlapping::w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := drivers.EncodeMilestones(doc, drivers.EncodeOptions{Dominant: "physical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := ParseDOM(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := OverlappingMilestonePair(dom, "w", "dmg")
+	if len(pairs) != len(got) {
+		t.Errorf("milestone pair found %d overlaps, GODDAG %d\n%s", len(pairs), len(got), enc)
+	}
+}
+
+func TestExtentsGluesFragments(t *testing.T) {
+	// b is fragmented into two parts with a shared chx-id.
+	src := `<r><a>one <b chx-id="7" chx-part="I">two</b></a><a><b chx-id="7" chx-part="F"> three</b> four</a></r>`
+	root, err := ParseDOM([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := extents(root, "b")
+	if len(es) != 1 {
+		t.Fatalf("extents = %+v", es)
+	}
+	// "one two three four": b covers "two three" = [4, 13).
+	if es[0].Start != 4 || es[0].End != 13 {
+		t.Errorf("b extent = [%d,%d), want [4,13)", es[0].Start, es[0].End)
+	}
+}
+
+func TestMilestoneExtents(t *testing.T) {
+	src := `<r>ab<w chx-s="words.0"/>cd<w chx-e="words.0"/>ef</r>`
+	root, err := ParseDOM([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := milestoneExtents(root, "w")
+	if len(es) != 1 || es[0].Start != 2 || es[0].End != 4 {
+		t.Errorf("extents = %+v", es)
+	}
+}
+
+func TestProperOverlapSemantics(t *testing.T) {
+	mk := func(s, e int) Extent { return Extent{Start: s, End: e} }
+	cases := []struct {
+		a, b Extent
+		want bool
+	}{
+		{mk(0, 5), mk(3, 8), true},
+		{mk(0, 10), mk(3, 8), false}, // containment
+		{mk(0, 5), mk(5, 8), false},  // adjacent
+		{mk(0, 5), mk(0, 5), false},  // equal
+	}
+	for _, c := range cases {
+		if got := properOverlap(c.a, c.b); got != c.want {
+			t.Errorf("properOverlap(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestCountDescendants(t *testing.T) {
+	root, _ := ParseDOM([]byte(`<r><s><w>a</w><w>b</w></s><s><w>c</w></s></r>`))
+	counts := CountDescendants(root, "s", "w")
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if len(counts) != 2 || total != 3 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestJoinOverlapsSweep(t *testing.T) {
+	// Many non-overlapping extents: join must not produce false pairs.
+	var as, bs []Extent
+	for i := 0; i < 100; i++ {
+		as = append(as, Extent{Start: i * 10, End: i*10 + 4})
+		bs = append(bs, Extent{Start: i*10 + 4, End: i*10 + 8})
+	}
+	if pairs := joinOverlaps(as, bs); len(pairs) != 0 {
+		t.Errorf("false pairs: %d", len(pairs))
+	}
+	// Shifted: every a overlaps exactly one b.
+	bs = bs[:0]
+	for i := 0; i < 100; i++ {
+		bs = append(bs, Extent{Start: i*10 + 2, End: i*10 + 6})
+	}
+	if pairs := joinOverlaps(as, bs); len(pairs) != 100 {
+		t.Errorf("pairs = %d, want 100", len(pairs))
+	}
+}

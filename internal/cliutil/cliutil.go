@@ -1,0 +1,161 @@
+// Package cliutil holds the input/output plumbing shared by the cmd/
+// tools: loading a concurrent document from any representation, naming
+// hierarchies from file names, and writing multi-file output.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/drivers"
+	"repro/internal/sacx"
+)
+
+// Load reads a concurrent document.
+//
+// For the distributed format, paths are one XML file per hierarchy and
+// each hierarchy is named after its file (base name without extension).
+// For the single-file formats exactly one path is expected. Format "auto"
+// guesses: multiple paths mean distributed; a single file is sniffed for
+// the standoff root element or chx- metadata, falling back to a plain
+// single-hierarchy document.
+func Load(format string, paths []string) (*core.Document, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no input files")
+	}
+	if format == "auto" {
+		format = guessFormat(paths)
+	}
+	switch format {
+	case "distributed":
+		var srcs []sacx.Source
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return nil, err
+			}
+			srcs = append(srcs, sacx.Source{Hierarchy: HierarchyName(p), Data: data})
+		}
+		return core.Parse(srcs)
+	case "milestones", "fragmentation", "standoff":
+		if len(paths) != 1 {
+			return nil, fmt.Errorf("format %s expects exactly one input file", format)
+		}
+		data, err := os.ReadFile(paths[0])
+		if err != nil {
+			return nil, err
+		}
+		f, err := drivers.ParseFormat(format)
+		if err != nil {
+			return nil, err
+		}
+		return core.Import(f, data)
+	default:
+		return nil, fmt.Errorf("unknown format %q (distributed, milestones, fragmentation, standoff, auto)", format)
+	}
+}
+
+// guessFormat sniffs inputs.
+func guessFormat(paths []string) string {
+	if len(paths) > 1 {
+		return "distributed"
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		return "distributed" // let Load surface the read error
+	}
+	head := string(data)
+	if len(head) > 4096 {
+		head = head[:4096]
+	}
+	switch {
+	case strings.Contains(head, "<standoff"):
+		return "standoff"
+	case strings.Contains(head, "chx-id=") || strings.Contains(head, "chx-part="):
+		return "fragmentation"
+	case strings.Contains(head, "chx-s=") || strings.Contains(head, "chx-hierarchies="):
+		return "milestones"
+	default:
+		return "distributed" // plain XML: a one-hierarchy distributed doc
+	}
+}
+
+// HierarchyName derives a hierarchy name from a file path.
+func HierarchyName(path string) string {
+	base := filepath.Base(path)
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return base
+}
+
+// ParseDTDSpecs parses repeated "hierarchy=path" flags and installs the
+// DTDs on the document.
+func ParseDTDSpecs(doc *core.Document, specs []string) error {
+	for _, spec := range specs {
+		i := strings.IndexByte(spec, '=')
+		if i <= 0 {
+			return fmt.Errorf("bad -dtd %q: want hierarchy=path", spec)
+		}
+		hier, path := spec[:i], spec[i+1:]
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := doc.SetDTD(hier, data); err != nil {
+			return fmt.Errorf("dtd %s: %w", hier, err)
+		}
+	}
+	return nil
+}
+
+// WriteOutputs writes named outputs either to a directory (one file per
+// entry, named <key>.xml) or, for a single entry, to the given file (or
+// stdout when out is "-").
+func WriteOutputs(out string, outputs map[string][]byte) error {
+	if out == "-" || out == "" {
+		keys := make([]string, 0, len(outputs))
+		for k := range outputs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if len(outputs) > 1 {
+				fmt.Printf("<!-- %s -->\n", k)
+			}
+			os.Stdout.Write(outputs[k])
+			fmt.Println()
+		}
+		return nil
+	}
+	if len(outputs) == 1 {
+		for _, data := range outputs {
+			return os.WriteFile(out, data, 0o644)
+		}
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for k, data := range outputs {
+		if err := os.WriteFile(filepath.Join(out, k+".xml"), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StringList is a repeatable string flag.
+type StringList []string
+
+// String implements flag.Value.
+func (s *StringList) String() string { return strings.Join(*s, ",") }
+
+// Set implements flag.Value.
+func (s *StringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}

@@ -1,0 +1,180 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/document"
+	"repro/internal/drivers"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadDistributed(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "words.xml", `<r><w>ab</w>c</r>`)
+	b := writeFile(t, dir, "damage.xml", `<r>a<d>bc</d></r>`)
+	doc, err := Load("distributed", []string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := doc.GODDAG().HierarchyNames()
+	if len(names) != 2 || names[0] != "words" || names[1] != "damage" {
+		t.Errorf("hierarchies = %v", names)
+	}
+}
+
+func TestLoadAutoMultipleFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFile(t, dir, "a.xml", `<r>xy</r>`)
+	b := writeFile(t, dir, "b.xml", `<r>x<q>y</q></r>`)
+	doc, err := Load("auto", []string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.GODDAG().HierarchyNames()) != 2 {
+		t.Errorf("hierarchies = %v", doc.GODDAG().HierarchyNames())
+	}
+}
+
+func TestLoadAutoSniffing(t *testing.T) {
+	dir := t.TempDir()
+	base := core.New("r", "hello world")
+	s := base.Edit()
+	if _, err := s.InsertMarkup("h1", "a", spanOf(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertMarkup("h2", "b", spanOf(3, 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		format drivers.Format
+		file   string
+	}{
+		{drivers.FormatMilestones, "ms.xml"},
+		{drivers.FormatFragmentation, "fr.xml"},
+		{drivers.FormatStandoff, "so.xml"},
+	}
+	for _, c := range cases {
+		out, err := base.Export(c.format, drivers.EncodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := writeFile(t, dir, c.file, string(out["document"]))
+		doc, err := Load("auto", []string{p})
+		if err != nil {
+			t.Fatalf("%v: %v", c.format, err)
+		}
+		if doc.Stats().Elements != base.Stats().Elements {
+			t.Errorf("%v: elements %d != %d", c.format, doc.Stats().Elements, base.Stats().Elements)
+		}
+	}
+}
+
+func TestLoadPlainXMLAuto(t *testing.T) {
+	dir := t.TempDir()
+	p := writeFile(t, dir, "plain.xml", `<r><a>x</a></r>`)
+	doc, err := Load("auto", []string{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Stats().Elements != 1 {
+		t.Errorf("elements = %d", doc.Stats().Elements)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("distributed", nil); err == nil {
+		t.Error("no files should error")
+	}
+	if _, err := Load("bogus", []string{"x"}); err == nil {
+		t.Error("unknown format should error")
+	}
+	if _, err := Load("milestones", []string{"a", "b"}); err == nil {
+		t.Error("single-file format with two files should error")
+	}
+	if _, err := Load("distributed", []string{"/nonexistent/file.xml"}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestHierarchyName(t *testing.T) {
+	cases := map[string]string{
+		"/a/b/words.xml": "words",
+		"damage.xml":     "damage",
+		"noext":          "noext",
+		"/x/y.z.xml":     "y.z",
+	}
+	for in, want := range cases {
+		if got := HierarchyName(in); got != want {
+			t.Errorf("HierarchyName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseDTDSpecs(t *testing.T) {
+	dir := t.TempDir()
+	dtdPath := writeFile(t, dir, "w.dtd", `<!ELEMENT r ANY> <!ELEMENT w (#PCDATA)>`)
+	doc := core.New("r", "ab")
+	if err := ParseDTDSpecs(doc, []string{"words=" + dtdPath}); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema().DTD("words") == nil {
+		t.Error("DTD not installed")
+	}
+	if err := ParseDTDSpecs(doc, []string{"malformed"}); err == nil {
+		t.Error("bad spec should error")
+	}
+	if err := ParseDTDSpecs(doc, []string{"w=/nonexistent.dtd"}); err == nil {
+		t.Error("missing DTD file should error")
+	}
+	bad := writeFile(t, dir, "bad.dtd", `<!ELEMENT`)
+	if err := ParseDTDSpecs(doc, []string{"w=" + bad}); err == nil {
+		t.Error("bad DTD should error")
+	}
+}
+
+func TestWriteOutputs(t *testing.T) {
+	dir := t.TempDir()
+	// Single output to a file.
+	single := filepath.Join(dir, "out.xml")
+	if err := WriteOutputs(single, map[string][]byte{"document": []byte("<r/>")}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(single)
+	if err != nil || string(data) != "<r/>" {
+		t.Errorf("single output: %q %v", data, err)
+	}
+	// Multiple outputs to a directory.
+	outDir := filepath.Join(dir, "multi")
+	outs := map[string][]byte{"a": []byte("<r>a</r>"), "b": []byte("<r>b</r>")}
+	if err := WriteOutputs(outDir, outs); err != nil {
+		t.Fatal(err)
+	}
+	for k := range outs {
+		if _, err := os.Stat(filepath.Join(outDir, k+".xml")); err != nil {
+			t.Errorf("missing %s.xml: %v", k, err)
+		}
+	}
+}
+
+func TestStringList(t *testing.T) {
+	var l StringList
+	l.Set("a")
+	l.Set("b")
+	if l.String() != "a,b" || len(l) != 2 {
+		t.Errorf("list = %v", l)
+	}
+}
+
+func spanOf(a, b int) document.Span { return document.NewSpan(a, b) }

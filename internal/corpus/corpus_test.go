@@ -1,0 +1,165 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/sacx"
+	"repro/internal/xpath"
+)
+
+func TestFig1Document(t *testing.T) {
+	doc, err := Fig1Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := doc.Stats()
+	if st.Hierarchies != 4 || st.Elements != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if doc.Content().String() != "swa hwæt swa he us sægde" {
+		t.Errorf("content = %q", doc.Content().String())
+	}
+	// The defining property of Figure 1: overlap exists.
+	if CountOverlaps(doc) == 0 {
+		t.Error("Figure 1 must contain overlapping markup")
+	}
+}
+
+func TestGenerateBasic(t *testing.T) {
+	doc, err := Generate(DefaultConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := doc.Stats()
+	if st.Hierarchies != 4 {
+		t.Errorf("hierarchies = %d", st.Hierarchies)
+	}
+	// 200 words -> at least 200 w elements + sentences + lines + pages.
+	if st.Elements < 200 {
+		t.Errorf("elements = %d", st.Elements)
+	}
+	ws, err := xpath.Select(doc, "//w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 200 {
+		t.Errorf("w count = %d", len(ws))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Content().String() != b.Content().String() {
+		t.Error("content not deterministic")
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats differ: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg1, cfg2 := DefaultConfig(100), DefaultConfig(100)
+	cfg2.Seed = 99
+	a, _ := Generate(cfg1)
+	b, _ := Generate(cfg2)
+	if a.Content().String() == b.Content().String() {
+		t.Error("different seeds should give different content")
+	}
+}
+
+func TestOverlapDensityEffect(t *testing.T) {
+	lo := DefaultConfig(500)
+	lo.OverlapDensity = 0
+	hi := DefaultConfig(500)
+	hi.OverlapDensity = 1
+	dlo, err := Generate(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dhi, err := Generate(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlo, nhi := CountOverlaps(dlo), CountOverlaps(dhi)
+	if nhi <= nlo {
+		t.Errorf("overlaps at density 1 (%d) should exceed density 0 (%d)", nhi, nlo)
+	}
+}
+
+func TestGenerateHierarchyCount(t *testing.T) {
+	for _, h := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig(100)
+		cfg.Hierarchies = h
+		doc, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		if got := len(doc.HierarchyNames()); got != h {
+			t.Errorf("h=%d: got %d hierarchies (%v)", h, got, doc.HierarchyNames())
+		}
+		if err := doc.Check(); err != nil {
+			t.Errorf("h=%d: %v", h, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Words: 0, Hierarchies: 2}); err == nil {
+		t.Error("zero words should error")
+	}
+	if _, err := Generate(Config{Words: 10, Hierarchies: 0}); err == nil {
+		t.Error("zero hierarchies should error")
+	}
+}
+
+func TestGenerateSources(t *testing.T) {
+	cfg := DefaultConfig(100)
+	srcs, err := GenerateSources(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 4 {
+		t.Fatalf("sources = %d", len(srcs))
+	}
+	// The distributed documents re-parse to an equivalent GODDAG.
+	doc, err := sacx.Build(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := Generate(cfg)
+	if doc.Stats().Elements != orig.Stats().Elements {
+		t.Errorf("elements: %d vs %d", doc.Stats().Elements, orig.Stats().Elements)
+	}
+	if doc.Content().String() != orig.Content().String() {
+		t.Error("content changed through split/build")
+	}
+}
+
+func TestGeneratedOverlapQueriesWork(t *testing.T) {
+	cfg := DefaultConfig(300)
+	cfg.OverlapDensity = 0.9
+	doc, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := xpath.Select(doc, "//dmg/overlapping::w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) == 0 {
+		t.Error("high overlap density should produce dmg/w overlaps")
+	}
+}

@@ -1,0 +1,107 @@
+package document
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Content is the character content of a document, addressable by rune
+// offset in O(1). It is the shared text that all concurrent hierarchies
+// annotate; every hierarchy of a concurrent document must have *identical*
+// content (paper §3: same content, same root).
+//
+// Content is mutable to support authoring (package editor); mutation
+// methods report the resulting offset shifts so markup spans can be
+// adjusted by the caller.
+type Content struct {
+	runes []rune
+}
+
+// NewContent returns content holding the given text.
+func NewContent(text string) *Content {
+	return &Content{runes: []rune(text)}
+}
+
+// Len returns the number of runes of content.
+func (c *Content) Len() int { return len(c.runes) }
+
+// String returns the entire content as a string.
+func (c *Content) String() string { return string(c.runes) }
+
+// Slice returns the content covered by span. It panics if the span is out
+// of range, mirroring Go slice semantics.
+func (c *Content) Slice(s Span) string {
+	if !s.Valid() || s.End > len(c.runes) {
+		panic(fmt.Sprintf("document: slice %v out of range [0,%d]", s, len(c.runes)))
+	}
+	return string(c.runes[s.Start:s.End])
+}
+
+// RuneAt returns the rune at offset pos.
+func (c *Content) RuneAt(pos int) rune {
+	if pos < 0 || pos >= len(c.runes) {
+		panic(fmt.Sprintf("document: rune offset %d out of range [0,%d)", pos, len(c.runes)))
+	}
+	return c.runes[pos]
+}
+
+// Insert inserts text at rune offset pos and returns the number of runes
+// inserted. Offsets >= pos in existing spans must be shifted by that
+// amount by the caller.
+func (c *Content) Insert(pos int, text string) int {
+	if pos < 0 || pos > len(c.runes) {
+		panic(fmt.Sprintf("document: insert offset %d out of range [0,%d]", pos, len(c.runes)))
+	}
+	ins := []rune(text)
+	c.runes = append(c.runes[:pos], append(ins, c.runes[pos:]...)...)
+	return len(ins)
+}
+
+// Delete removes the runes covered by span and returns the number of
+// runes removed.
+func (c *Content) Delete(s Span) int {
+	if !s.Valid() || s.End > len(c.runes) {
+		panic(fmt.Sprintf("document: delete %v out of range [0,%d]", s, len(c.runes)))
+	}
+	c.runes = append(c.runes[:s.Start], c.runes[s.End:]...)
+	return s.Len()
+}
+
+// Clone returns an independent copy of the content.
+func (c *Content) Clone() *Content {
+	cp := make([]rune, len(c.runes))
+	copy(cp, c.runes)
+	return &Content{runes: cp}
+}
+
+// Equal reports whether two contents hold the same text.
+func (c *Content) Equal(o *Content) bool {
+	if len(c.runes) != len(o.runes) {
+		return false
+	}
+	for i, r := range c.runes {
+		if o.runes[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// Find returns the rune offset of the first occurrence of sub at or after
+// the rune offset from, or -1.
+func (c *Content) Find(sub string, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from > len(c.runes) {
+		return -1
+	}
+	hay := string(c.runes[from:])
+	b := strings.Index(hay, sub)
+	if b < 0 {
+		return -1
+	}
+	// Convert byte offset within hay back to a rune offset.
+	return from + utf8.RuneCountInString(hay[:b])
+}

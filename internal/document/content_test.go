@@ -1,0 +1,107 @@
+package document
+
+import (
+	"testing"
+)
+
+func TestContentBasics(t *testing.T) {
+	c := NewContent("hello world")
+	if c.Len() != 11 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.String() != "hello world" {
+		t.Errorf("String = %q", c.String())
+	}
+	if got := c.Slice(NewSpan(6, 11)); got != "world" {
+		t.Errorf("Slice = %q", got)
+	}
+	if got := c.RuneAt(4); got != 'o' {
+		t.Errorf("RuneAt = %q", got)
+	}
+}
+
+func TestContentRuneOffsets(t *testing.T) {
+	// Old English: multi-byte runes must be addressed by rune offset.
+	c := NewContent("ƿæs þæt")
+	if c.Len() != 7 {
+		t.Errorf("Len = %d, want 7", c.Len())
+	}
+	if got := c.Slice(NewSpan(0, 3)); got != "ƿæs" {
+		t.Errorf("Slice = %q", got)
+	}
+	if got := c.Slice(NewSpan(4, 7)); got != "þæt" {
+		t.Errorf("Slice = %q", got)
+	}
+}
+
+func TestContentInsertDelete(t *testing.T) {
+	c := NewContent("abcdef")
+	n := c.Insert(3, "XY")
+	if n != 2 || c.String() != "abcXYdef" {
+		t.Errorf("after insert: %q (n=%d)", c.String(), n)
+	}
+	n = c.Delete(NewSpan(3, 5))
+	if n != 2 || c.String() != "abcdef" {
+		t.Errorf("after delete: %q (n=%d)", c.String(), n)
+	}
+	c.Insert(0, "þ")
+	if c.String() != "þabcdef" {
+		t.Errorf("insert at 0: %q", c.String())
+	}
+	c.Insert(c.Len(), "!")
+	if c.String() != "þabcdef!" {
+		t.Errorf("insert at end: %q", c.String())
+	}
+}
+
+func TestContentCloneEqual(t *testing.T) {
+	c := NewContent("abc")
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Error("clone should be equal")
+	}
+	d.Insert(0, "x")
+	if c.Equal(d) {
+		t.Error("mutated clone should differ")
+	}
+	if c.String() != "abc" {
+		t.Error("clone mutation leaked into original")
+	}
+	if c.Equal(NewContent("abd")) {
+		t.Error("different text should not be equal")
+	}
+}
+
+func TestContentFind(t *testing.T) {
+	c := NewContent("se þe him ær þæs")
+	if got := c.Find("þ", 0); got != 3 {
+		t.Errorf("Find þ from 0 = %d, want 3", got)
+	}
+	if got := c.Find("þ", 4); got != 13 {
+		t.Errorf("Find þ from 4 = %d, want 13", got)
+	}
+	if got := c.Find("zzz", 0); got != -1 {
+		t.Errorf("Find zzz = %d, want -1", got)
+	}
+	if got := c.Find("s", 100); got != -1 {
+		t.Errorf("Find from beyond end = %d, want -1", got)
+	}
+}
+
+func TestContentPanics(t *testing.T) {
+	c := NewContent("abc")
+	mustPanic(t, "slice", func() { c.Slice(NewSpan(0, 4)) })
+	mustPanic(t, "runeAt", func() { c.RuneAt(3) })
+	mustPanic(t, "insert", func() { c.Insert(4, "x") })
+	mustPanic(t, "delete", func() { c.Delete(NewSpan(2, 9)) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

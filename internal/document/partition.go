@@ -1,0 +1,289 @@
+package document
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition maintains the division of document content into *leaves*: the
+// finest-grained text fragments whose borders are the start/end positions
+// of markup from all hierarchies (paper §3). Leaves are numbered 0..n-1 in
+// content order; leaf i covers the span [starts[i], starts[i+1]).
+//
+// The zero value is not usable; call NewPartition.
+type Partition struct {
+	starts []int // ascending leaf start offsets; starts[0] == 0
+	length int   // total content length in runes
+}
+
+// NewPartition returns a partition of content of the given rune length
+// into a single leaf (or zero leaves when length is 0).
+func NewPartition(length int) *Partition {
+	if length < 0 {
+		panic("document: negative partition length")
+	}
+	p := &Partition{length: length}
+	if length > 0 {
+		p.starts = []int{0}
+	}
+	return p
+}
+
+// Len returns the content length the partition covers.
+func (p *Partition) Len() int { return p.length }
+
+// NumLeaves returns the number of leaves.
+func (p *Partition) NumLeaves() int { return len(p.starts) }
+
+// LeafSpan returns the span of leaf i.
+func (p *Partition) LeafSpan(i int) Span {
+	if i < 0 || i >= len(p.starts) {
+		panic(fmt.Sprintf("document: leaf index %d out of range [0,%d)", i, len(p.starts)))
+	}
+	end := p.length
+	if i+1 < len(p.starts) {
+		end = p.starts[i+1]
+	}
+	return Span{Start: p.starts[i], End: end}
+}
+
+// Spans returns the spans of all leaves in content order.
+func (p *Partition) Spans() []Span {
+	out := make([]Span, len(p.starts))
+	for i := range p.starts {
+		out[i] = p.LeafSpan(i)
+	}
+	return out
+}
+
+// LeafAt returns the index of the leaf containing rune offset pos.
+func (p *Partition) LeafAt(pos int) int {
+	if pos < 0 || pos >= p.length {
+		panic(fmt.Sprintf("document: offset %d out of range [0,%d)", pos, p.length))
+	}
+	// First start > pos, minus one.
+	i := sort.SearchInts(p.starts, pos+1) - 1
+	return i
+}
+
+// Cut ensures there is a leaf boundary at rune offset pos, splitting the
+// containing leaf if needed. It returns the index of the leaf that now
+// *starts* at pos, and whether a split actually happened. pos == 0 and
+// pos == Len() are accepted and never split (they are implicit borders);
+// for pos == Len() the returned index is NumLeaves().
+func (p *Partition) Cut(pos int) (leaf int, split bool) {
+	if pos < 0 || pos > p.length {
+		panic(fmt.Sprintf("document: cut offset %d out of range [0,%d]", pos, p.length))
+	}
+	if pos == p.length {
+		return len(p.starts), false
+	}
+	i := sort.SearchInts(p.starts, pos)
+	if i < len(p.starts) && p.starts[i] == pos {
+		return i, false
+	}
+	// pos falls strictly inside leaf i-1; insert a new start at index i.
+	p.starts = append(p.starts, 0)
+	copy(p.starts[i+1:], p.starts[i:])
+	p.starts[i] = pos
+	return i, true
+}
+
+// CutAll establishes leaf boundaries at every given position in one pass,
+// equivalent to (but much faster than) calling Cut for each: O((n+k) +
+// k log k) instead of O(n·k). Positions at 0, at Len(), out-of-range
+// duplicates of existing boundaries are ignored.
+func (p *Partition) CutAll(positions []int) {
+	if len(positions) == 0 || p.length == 0 {
+		return
+	}
+	sorted := make([]int, 0, len(positions))
+	for _, pos := range positions {
+		if pos > 0 && pos < p.length {
+			sorted = append(sorted, pos)
+		}
+	}
+	if len(sorted) == 0 {
+		return
+	}
+	sort.Ints(sorted)
+	merged := make([]int, 0, len(p.starts)+len(sorted))
+	i, j := 0, 0
+	for i < len(p.starts) || j < len(sorted) {
+		var v int
+		switch {
+		case i >= len(p.starts):
+			v = sorted[j]
+			j++
+		case j >= len(sorted):
+			v = p.starts[i]
+			i++
+		case p.starts[i] <= sorted[j]:
+			v = p.starts[i]
+			i++
+		default:
+			v = sorted[j]
+			j++
+		}
+		if len(merged) == 0 || merged[len(merged)-1] != v {
+			merged = append(merged, v)
+		}
+	}
+	p.starts = merged
+}
+
+// LeafStartingAt returns the index of the leaf that starts exactly at pos,
+// or (NumLeaves(), true) when pos == Len(). ok is false when no boundary
+// exists at pos.
+func (p *Partition) LeafStartingAt(pos int) (leaf int, ok bool) {
+	if pos == p.length {
+		return len(p.starts), true
+	}
+	i := sort.SearchInts(p.starts, pos)
+	if i < len(p.starts) && p.starts[i] == pos {
+		return i, true
+	}
+	return 0, false
+}
+
+// LeafRange returns the half-open leaf index range [first, last) covering
+// span s exactly. Both s.Start and s.End must already be boundaries
+// (established with Cut); otherwise ok is false. Empty spans return an
+// empty range positioned at the boundary.
+func (p *Partition) LeafRange(s Span) (first, last int, ok bool) {
+	first, ok1 := p.LeafStartingAt(s.Start)
+	last, ok2 := p.LeafStartingAt(s.End)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	return first, last, true
+}
+
+// InsertText adjusts the partition for an insertion of n runes at rune
+// offset pos: boundaries at or after pos shift right by n. The inserted
+// text joins the leaf containing pos (or the preceding leaf when pos is a
+// boundary), preserving the invariant that leaf borders come only from
+// markup positions.
+func (p *Partition) InsertText(pos, n int) {
+	if pos < 0 || pos > p.length || n < 0 {
+		panic(fmt.Sprintf("document: bad text insertion pos=%d n=%d len=%d", pos, n, p.length))
+	}
+	if n == 0 {
+		return
+	}
+	if p.length == 0 {
+		p.length = n
+		p.starts = []int{0}
+		return
+	}
+	for i := range p.starts {
+		// Shift starts strictly greater than pos; an insertion exactly at
+		// a boundary extends the preceding leaf. Exception: the insertion
+		// at offset 0 extends the first leaf, whose start stays 0.
+		if p.starts[i] > pos || (p.starts[i] == pos && pos != 0) {
+			p.starts[i] += n
+		}
+	}
+	p.length += n
+}
+
+// DeleteRange adjusts the partition for the deletion of span s: boundaries
+// within the span collapse to its start, boundaries after it shift left.
+// Leaves reduced to zero width disappear (their markup becomes empty and
+// is the caller's concern).
+func (p *Partition) DeleteRange(s Span) {
+	if !s.Valid() || s.End > p.length {
+		panic(fmt.Sprintf("document: bad deletion %v len=%d", s, p.length))
+	}
+	n := s.Len()
+	if n == 0 {
+		return
+	}
+	out := p.starts[:0]
+	for _, st := range p.starts {
+		switch {
+		case st <= s.Start:
+			out = appendUnique(out, st)
+		case st >= s.End:
+			out = appendUnique(out, st-n)
+		default:
+			out = appendUnique(out, s.Start)
+		}
+	}
+	p.starts = out
+	p.length -= n
+	// Drop a trailing boundary equal to the new length (empty final leaf),
+	// and handle the partition becoming empty.
+	for len(p.starts) > 0 && p.starts[len(p.starts)-1] >= p.length {
+		if p.starts[len(p.starts)-1] == 0 && p.length > 0 {
+			break
+		}
+		if p.starts[len(p.starts)-1] < p.length {
+			break
+		}
+		p.starts = p.starts[:len(p.starts)-1]
+	}
+	if p.length > 0 && len(p.starts) == 0 {
+		p.starts = []int{0}
+	}
+}
+
+func appendUnique(s []int, v int) []int {
+	if len(s) > 0 && s[len(s)-1] == v {
+		return s
+	}
+	return append(s, v)
+}
+
+// MergeAt removes the boundary at pos if present, fusing the two adjacent
+// leaves. It reports whether a boundary was removed. The boundary at 0
+// cannot be removed.
+func (p *Partition) MergeAt(pos int) bool {
+	if pos <= 0 || pos >= p.length {
+		return false
+	}
+	i := sort.SearchInts(p.starts, pos)
+	if i >= len(p.starts) || p.starts[i] != pos {
+		return false
+	}
+	p.starts = append(p.starts[:i], p.starts[i+1:]...)
+	return true
+}
+
+// Boundaries returns all leaf start offsets (ascending, starting with 0).
+func (p *Partition) Boundaries() []int {
+	out := make([]int, len(p.starts))
+	copy(out, p.starts)
+	return out
+}
+
+// Clone returns an independent copy of the partition.
+func (p *Partition) Clone() *Partition {
+	cp := make([]int, len(p.starts))
+	copy(cp, p.starts)
+	return &Partition{starts: cp, length: p.length}
+}
+
+// Check verifies the partition invariants: starts ascending and unique,
+// first start 0, all starts within [0, length). It returns a descriptive
+// error when violated; used by tests.
+func (p *Partition) Check() error {
+	if p.length == 0 {
+		if len(p.starts) != 0 {
+			return fmt.Errorf("document: empty content with %d leaves", len(p.starts))
+		}
+		return nil
+	}
+	if len(p.starts) == 0 || p.starts[0] != 0 {
+		return fmt.Errorf("document: partition must start at 0, got %v", p.starts)
+	}
+	for i := 1; i < len(p.starts); i++ {
+		if p.starts[i] <= p.starts[i-1] {
+			return fmt.Errorf("document: starts not strictly ascending at %d: %v", i, p.starts)
+		}
+	}
+	if last := p.starts[len(p.starts)-1]; last >= p.length {
+		return fmt.Errorf("document: last start %d not below length %d", last, p.length)
+	}
+	return nil
+}

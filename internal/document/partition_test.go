@@ -1,0 +1,283 @@
+package document
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionInitial(t *testing.T) {
+	p := NewPartition(10)
+	if p.NumLeaves() != 1 {
+		t.Fatalf("NumLeaves = %d, want 1", p.NumLeaves())
+	}
+	if got := p.LeafSpan(0); got != NewSpan(0, 10) {
+		t.Errorf("LeafSpan(0) = %v", got)
+	}
+	if err := p.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	p := NewPartition(0)
+	if p.NumLeaves() != 0 {
+		t.Errorf("NumLeaves = %d, want 0", p.NumLeaves())
+	}
+	if err := p.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionCut(t *testing.T) {
+	p := NewPartition(10)
+	leaf, split := p.Cut(4)
+	if !split || leaf != 1 {
+		t.Errorf("Cut(4) = (%d,%v), want (1,true)", leaf, split)
+	}
+	if p.NumLeaves() != 2 {
+		t.Fatalf("NumLeaves = %d", p.NumLeaves())
+	}
+	if p.LeafSpan(0) != NewSpan(0, 4) || p.LeafSpan(1) != NewSpan(4, 10) {
+		t.Errorf("spans: %v %v", p.LeafSpan(0), p.LeafSpan(1))
+	}
+	// Cutting again at the same place is a no-op.
+	leaf, split = p.Cut(4)
+	if split || leaf != 1 {
+		t.Errorf("repeat Cut(4) = (%d,%v), want (1,false)", leaf, split)
+	}
+	// Cut at 0 and at length never split.
+	if _, split := p.Cut(0); split {
+		t.Error("Cut(0) split")
+	}
+	if leaf, split := p.Cut(10); split || leaf != 2 {
+		t.Errorf("Cut(len) = (%d,%v)", leaf, split)
+	}
+	if err := p.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionCutOrdering(t *testing.T) {
+	p := NewPartition(100)
+	for _, pos := range []int{50, 20, 80, 20, 99, 1} {
+		p.Cut(pos)
+	}
+	want := []int{0, 1, 20, 50, 80, 99}
+	got := p.Boundaries()
+	if len(got) != len(want) {
+		t.Fatalf("boundaries %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("boundaries %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLeafAt(t *testing.T) {
+	p := NewPartition(10)
+	p.Cut(3)
+	p.Cut(7)
+	cases := []struct{ pos, want int }{
+		{0, 0}, {2, 0}, {3, 1}, {6, 1}, {7, 2}, {9, 2},
+	}
+	for _, c := range cases {
+		if got := p.LeafAt(c.pos); got != c.want {
+			t.Errorf("LeafAt(%d) = %d, want %d", c.pos, got, c.want)
+		}
+	}
+}
+
+func TestLeafStartingAtAndRange(t *testing.T) {
+	p := NewPartition(10)
+	p.Cut(3)
+	p.Cut(7)
+	if i, ok := p.LeafStartingAt(3); !ok || i != 1 {
+		t.Errorf("LeafStartingAt(3) = (%d,%v)", i, ok)
+	}
+	if _, ok := p.LeafStartingAt(4); ok {
+		t.Error("LeafStartingAt(4) should fail")
+	}
+	if i, ok := p.LeafStartingAt(10); !ok || i != 3 {
+		t.Errorf("LeafStartingAt(len) = (%d,%v)", i, ok)
+	}
+	first, last, ok := p.LeafRange(NewSpan(3, 10))
+	if !ok || first != 1 || last != 3 {
+		t.Errorf("LeafRange = (%d,%d,%v)", first, last, ok)
+	}
+	if _, _, ok := p.LeafRange(NewSpan(4, 7)); ok {
+		t.Error("LeafRange with non-boundary start should fail")
+	}
+	// Empty span at a boundary.
+	first, last, ok = p.LeafRange(NewSpan(7, 7))
+	if !ok || first != 2 || last != 2 {
+		t.Errorf("empty LeafRange = (%d,%d,%v)", first, last, ok)
+	}
+}
+
+func TestInsertText(t *testing.T) {
+	p := NewPartition(10)
+	p.Cut(3)
+	p.Cut(7)
+	p.InsertText(5, 4) // inside leaf 1
+	if p.Len() != 14 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	want := []int{0, 3, 11}
+	got := p.Boundaries()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("boundaries %v, want %v", got, want)
+		}
+	}
+	// Insert exactly at a boundary extends the previous leaf.
+	p.InsertText(3, 2)
+	got = p.Boundaries()
+	want = []int{0, 5, 13}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("boundaries %v, want %v", got, want)
+		}
+	}
+	if err := p.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertTextIntoEmpty(t *testing.T) {
+	p := NewPartition(0)
+	p.InsertText(0, 5)
+	if p.Len() != 5 || p.NumLeaves() != 1 {
+		t.Errorf("Len=%d NumLeaves=%d", p.Len(), p.NumLeaves())
+	}
+	if err := p.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteRange(t *testing.T) {
+	p := NewPartition(10)
+	p.Cut(3)
+	p.Cut(7)
+	// Delete [2,8): swallows boundaries 3 and 7.
+	p.DeleteRange(NewSpan(2, 8))
+	if p.Len() != 4 {
+		t.Errorf("Len = %d, want 4", p.Len())
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Boundaries()
+	if len(got) < 1 || got[0] != 0 {
+		t.Errorf("boundaries %v", got)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	p := NewPartition(10)
+	p.Cut(5)
+	p.DeleteRange(NewSpan(0, 10))
+	if p.Len() != 0 || p.NumLeaves() != 0 {
+		t.Errorf("Len=%d NumLeaves=%d", p.Len(), p.NumLeaves())
+	}
+	if err := p.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeAt(t *testing.T) {
+	p := NewPartition(10)
+	p.Cut(5)
+	if !p.MergeAt(5) {
+		t.Error("MergeAt(5) failed")
+	}
+	if p.NumLeaves() != 1 {
+		t.Errorf("NumLeaves = %d", p.NumLeaves())
+	}
+	if p.MergeAt(5) {
+		t.Error("second MergeAt(5) should fail")
+	}
+	if p.MergeAt(0) {
+		t.Error("MergeAt(0) must never succeed")
+	}
+}
+
+func TestPartitionClone(t *testing.T) {
+	p := NewPartition(10)
+	p.Cut(4)
+	q := p.Clone()
+	q.Cut(8)
+	if p.NumLeaves() != 2 || q.NumLeaves() != 3 {
+		t.Errorf("clone not independent: %d %d", p.NumLeaves(), q.NumLeaves())
+	}
+}
+
+// Property: after any sequence of cuts, leaves exactly tile [0, n).
+func TestPartitionTiling(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		length := int(n%100) + 1
+		p := NewPartition(length)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20; i++ {
+			p.Cut(rng.Intn(length + 1))
+		}
+		if err := p.Check(); err != nil {
+			return false
+		}
+		spans := p.Spans()
+		pos := 0
+		for _, s := range spans {
+			if s.Start != pos || s.IsEmpty() {
+				return false
+			}
+			pos = s.End
+		}
+		return pos == length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: insert/delete of the same range restores boundaries count and
+// length invariants.
+func TestPartitionEditInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		length := rng.Intn(90) + 10
+		p := NewPartition(length)
+		for i := 0; i < 10; i++ {
+			p.Cut(rng.Intn(length + 1))
+		}
+		for i := 0; i < 10; i++ {
+			switch rng.Intn(2) {
+			case 0:
+				p.InsertText(rng.Intn(p.Len()+1), rng.Intn(5))
+			case 1:
+				if p.Len() > 0 {
+					a := rng.Intn(p.Len())
+					b := a + rng.Intn(p.Len()-a)
+					p.DeleteRange(NewSpan(a, b))
+				}
+			}
+			if err := p.Check(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	p := NewPartition(10)
+	mustPanic(t, "negative length", func() { NewPartition(-1) })
+	mustPanic(t, "cut oob", func() { p.Cut(11) })
+	mustPanic(t, "leafAt oob", func() { p.LeafAt(10) })
+	mustPanic(t, "leafSpan oob", func() { p.LeafSpan(5) })
+	mustPanic(t, "insert oob", func() { p.InsertText(11, 1) })
+	mustPanic(t, "delete oob", func() { p.DeleteRange(NewSpan(5, 11)) })
+}

@@ -1,0 +1,116 @@
+// Package document models the character content of a document-centric XML
+// document: rune-offset spans, the content itself, and the partition of the
+// content into leaves induced by markup boundaries.
+//
+// All offsets are rune offsets (not byte offsets) into the document
+// content, counted from 0. A Span is half-open: [Start, End). Spans with
+// Start == End are permitted; they describe empty elements (milestones).
+package document
+
+import "fmt"
+
+// Span is a half-open rune interval [Start, End) over document content.
+type Span struct {
+	Start int
+	End   int
+}
+
+// NewSpan returns the span [start, end).
+func NewSpan(start, end int) Span { return Span{Start: start, End: end} }
+
+// Len returns the number of runes covered by the span.
+func (s Span) Len() int { return s.End - s.Start }
+
+// IsEmpty reports whether the span covers no content.
+func (s Span) IsEmpty() bool { return s.Start >= s.End }
+
+// Valid reports whether the span is well formed (0 <= Start <= End).
+func (s Span) Valid() bool { return 0 <= s.Start && s.Start <= s.End }
+
+// Contains reports whether the rune offset pos lies inside the span.
+func (s Span) Contains(pos int) bool { return s.Start <= pos && pos < s.End }
+
+// ContainsSpan reports whether o lies entirely within s.
+// An empty span at position p is contained if Start <= p <= End.
+func (s Span) ContainsSpan(o Span) bool {
+	if o.IsEmpty() {
+		return s.Start <= o.Start && o.Start <= s.End
+	}
+	return s.Start <= o.Start && o.End <= s.End
+}
+
+// Intersects reports whether the two spans share at least one rune.
+// Empty spans never intersect anything.
+func (s Span) Intersects(o Span) bool {
+	if s.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return s.Start < o.End && o.Start < s.End
+}
+
+// Intersection returns the common part of two spans and whether it is
+// non-empty.
+func (s Span) Intersection(o Span) (Span, bool) {
+	lo, hi := max(s.Start, o.Start), min(s.End, o.End)
+	if lo >= hi {
+		return Span{}, false
+	}
+	return Span{Start: lo, End: hi}, true
+}
+
+// Overlaps reports whether s and o *properly* overlap: they intersect but
+// neither contains the other. This is the relation behind the Extended
+// XPath `overlapping` axis — fragmentation is needed exactly when two
+// elements properly overlap.
+func (s Span) Overlaps(o Span) bool {
+	return s.Intersects(o) && !s.ContainsSpan(o) && !o.ContainsSpan(s)
+}
+
+// OverlapsLeft reports whether s properly overlaps o and begins before it
+// (s sticks out of o on the left: s.Start < o.Start < s.End < o.End).
+func (s Span) OverlapsLeft(o Span) bool {
+	return s.Start < o.Start && o.Start < s.End && s.End < o.End
+}
+
+// OverlapsRight reports whether s properly overlaps o and ends after it
+// (o.Start < s.Start < o.End < s.End).
+func (s Span) OverlapsRight(o Span) bool {
+	return o.Start < s.Start && s.Start < o.End && o.End < s.End
+}
+
+// Before reports whether s ends at or before the start of o.
+func (s Span) Before(o Span) bool { return s.End <= o.Start }
+
+// After reports whether s starts at or after the end of o.
+func (s Span) After(o Span) bool { return s.Start >= o.End }
+
+// Union returns the smallest span covering both s and o.
+func (s Span) Union(o Span) Span {
+	return Span{Start: min(s.Start, o.Start), End: max(s.End, o.End)}
+}
+
+// Shift returns the span translated by delta runes.
+func (s Span) Shift(delta int) Span {
+	return Span{Start: s.Start + delta, End: s.End + delta}
+}
+
+// String formats the span as [start,end).
+func (s Span) String() string { return fmt.Sprintf("[%d,%d)", s.Start, s.End) }
+
+// CompareSpans orders spans by start, then by *descending* end, so that a
+// containing span sorts before the spans it contains. This is document
+// order for elements that open at the same content position.
+func CompareSpans(a, b Span) int {
+	switch {
+	case a.Start < b.Start:
+		return -1
+	case a.Start > b.Start:
+		return 1
+	case a.End > b.End:
+		return -1
+	case a.End < b.End:
+		return 1
+	default:
+		return 0
+	}
+}

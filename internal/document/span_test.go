@@ -1,0 +1,207 @@
+package document
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpanBasics(t *testing.T) {
+	s := NewSpan(2, 5)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if s.IsEmpty() {
+		t.Error("not empty")
+	}
+	if !s.Valid() {
+		t.Error("valid")
+	}
+	if !NewSpan(3, 3).IsEmpty() {
+		t.Error("empty span should be empty")
+	}
+	if NewSpan(-1, 2).Valid() {
+		t.Error("negative start should be invalid")
+	}
+	if NewSpan(5, 2).Valid() {
+		t.Error("reversed span should be invalid")
+	}
+	if s.String() != "[2,5)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSpanContains(t *testing.T) {
+	s := NewSpan(2, 5)
+	for _, pos := range []int{2, 3, 4} {
+		if !s.Contains(pos) {
+			t.Errorf("Contains(%d) = false", pos)
+		}
+	}
+	for _, pos := range []int{1, 5, 6} {
+		if s.Contains(pos) {
+			t.Errorf("Contains(%d) = true", pos)
+		}
+	}
+}
+
+func TestSpanContainsSpan(t *testing.T) {
+	outer := NewSpan(2, 10)
+	cases := []struct {
+		in   Span
+		want bool
+	}{
+		{NewSpan(2, 10), true},
+		{NewSpan(3, 9), true},
+		{NewSpan(2, 5), true},
+		{NewSpan(5, 10), true},
+		{NewSpan(1, 5), false},
+		{NewSpan(5, 11), false},
+		{NewSpan(0, 2), false},
+		{NewSpan(5, 5), true},   // empty span inside
+		{NewSpan(2, 2), true},   // empty at start
+		{NewSpan(10, 10), true}, // empty at end boundary
+		{NewSpan(11, 11), false},
+	}
+	for _, c := range cases {
+		if got := outer.ContainsSpan(c.in); got != c.want {
+			t.Errorf("%v.ContainsSpan(%v) = %v, want %v", outer, c.in, got, c.want)
+		}
+	}
+}
+
+func TestSpanIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Span
+		want bool
+	}{
+		{NewSpan(0, 5), NewSpan(3, 8), true},
+		{NewSpan(0, 5), NewSpan(5, 8), false}, // touching, half-open
+		{NewSpan(0, 5), NewSpan(6, 8), false},
+		{NewSpan(0, 5), NewSpan(1, 2), true},
+		{NewSpan(3, 3), NewSpan(0, 5), false}, // empty never intersects
+	}
+	for _, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("Intersects not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestSpanIntersection(t *testing.T) {
+	got, ok := NewSpan(0, 5).Intersection(NewSpan(3, 8))
+	if !ok || got != NewSpan(3, 5) {
+		t.Errorf("got %v ok=%v", got, ok)
+	}
+	if _, ok := NewSpan(0, 3).Intersection(NewSpan(3, 8)); ok {
+		t.Error("touching spans should not intersect")
+	}
+}
+
+func TestSpanOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Span
+		want bool
+	}{
+		{NewSpan(0, 5), NewSpan(3, 8), true},   // proper overlap
+		{NewSpan(3, 8), NewSpan(0, 5), true},   // symmetric
+		{NewSpan(0, 10), NewSpan(3, 8), false}, // containment
+		{NewSpan(3, 8), NewSpan(0, 10), false},
+		{NewSpan(0, 5), NewSpan(5, 8), false}, // adjacent
+		{NewSpan(0, 5), NewSpan(0, 5), false}, // equal
+		{NewSpan(0, 5), NewSpan(0, 8), false}, // same start: containment
+		{NewSpan(0, 8), NewSpan(3, 8), false}, // same end: containment
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSpanOverlapsLeftRight(t *testing.T) {
+	a, b := NewSpan(0, 5), NewSpan(3, 8)
+	if !a.OverlapsLeft(b) {
+		t.Error("a should left-overlap b")
+	}
+	if a.OverlapsRight(b) {
+		t.Error("a should not right-overlap b")
+	}
+	if !b.OverlapsRight(a) {
+		t.Error("b should right-overlap a")
+	}
+	if b.OverlapsLeft(a) {
+		t.Error("b should not left-overlap a")
+	}
+}
+
+// Property: Overlaps == OverlapsLeft || OverlapsRight, and both are
+// mutually exclusive.
+func TestOverlapDecomposition(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint8) bool {
+		a := NewSpan(int(a0%50), int(a0%50)+int(a1%50))
+		b := NewSpan(int(b0%50), int(b0%50)+int(b1%50))
+		l, r := a.OverlapsLeft(b), a.OverlapsRight(b)
+		if l && r {
+			return false
+		}
+		return a.Overlaps(b) == (l || r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Overlaps is symmetric and irreflexive.
+func TestOverlapSymmetry(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint8) bool {
+		a := NewSpan(int(a0%50), int(a0%50)+int(a1%50))
+		b := NewSpan(int(b0%50), int(b0%50)+int(b1%50))
+		if a.Overlaps(a) {
+			return false
+		}
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	a, b := NewSpan(0, 3), NewSpan(3, 6)
+	if !a.Before(b) || !b.After(a) {
+		t.Error("adjacent spans are before/after")
+	}
+	if a.After(b) || b.Before(a) {
+		t.Error("wrong direction")
+	}
+}
+
+func TestUnionShift(t *testing.T) {
+	if got := NewSpan(1, 3).Union(NewSpan(5, 9)); got != NewSpan(1, 9) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := NewSpan(1, 3).Shift(10); got != NewSpan(11, 13) {
+		t.Errorf("Shift = %v", got)
+	}
+}
+
+func TestCompareSpans(t *testing.T) {
+	cases := []struct {
+		a, b Span
+		want int
+	}{
+		{NewSpan(0, 5), NewSpan(1, 3), -1},
+		{NewSpan(1, 3), NewSpan(0, 5), 1},
+		{NewSpan(0, 5), NewSpan(0, 3), -1}, // wider first at same start
+		{NewSpan(0, 3), NewSpan(0, 5), 1},
+		{NewSpan(2, 4), NewSpan(2, 4), 0},
+	}
+	for _, c := range cases {
+		if got := CompareSpans(c.a, c.b); got != c.want {
+			t.Errorf("CompareSpans(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

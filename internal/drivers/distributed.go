@@ -1,0 +1,51 @@
+package drivers
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/goddag"
+	"repro/internal/sacx"
+)
+
+// EncodeDistributed renders doc as a distributed document: one standalone
+// XML document per selected hierarchy, keyed by hierarchy name.
+func EncodeDistributed(doc *goddag.Document, opts EncodeOptions) (map[string][]byte, error) {
+	hs, err := selectHierarchies(doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(hs))
+	for _, h := range hs {
+		data, err := sacx.Split(doc, h.Name())
+		if err != nil {
+			return nil, err
+		}
+		out[h.Name()] = data
+	}
+	return out, nil
+}
+
+// DecodeDistributed parses a distributed document (one XML document per
+// hierarchy) into a GODDAG. Hierarchies are added in sorted key order for
+// determinism; use DecodeDistributedOrdered to control the order.
+func DecodeDistributed(docs map[string][]byte) (*goddag.Document, error) {
+	names := make([]string, 0, len(docs))
+	for n := range docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	srcs := make([]sacx.Source, 0, len(names))
+	for _, n := range names {
+		srcs = append(srcs, sacx.Source{Hierarchy: n, Data: docs[n]})
+	}
+	return sacx.Build(srcs)
+}
+
+// DecodeDistributedOrdered parses hierarchy documents in the given order.
+func DecodeDistributedOrdered(srcs []sacx.Source) (*goddag.Document, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("drivers: no sources")
+	}
+	return sacx.Build(srcs)
+}

@@ -1,0 +1,159 @@
+// Package drivers converts between the GODDAG and the proposed on-disk
+// representations of concurrent XML markup (paper §4, "Document
+// manipulation"; reference [2]):
+//
+//   - Distributed: one XML document per hierarchy, all with the same
+//     content and root (the native input of the SACX parser).
+//   - Milestones: a single XML document; one dominant hierarchy keeps its
+//     tree structure, every other element becomes a pair of empty
+//     milestone tags (TEI's second suggested workaround).
+//   - Fragmentation: a single XML document; overlapping elements are
+//     split into fragments that nest properly, chained together with
+//     part/next attributes (TEI's first suggested workaround).
+//   - Standoff: the bare text plus a table of (hierarchy, tag, start,
+//     end, attrs) annotations addressed by rune offsets.
+//
+// Every driver decodes to a *goddag.Document and encodes from one, so any
+// representation converts to any other through the GODDAG, and a subset
+// of hierarchies can be selected on export (the demo's filtering feature).
+package drivers
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/document"
+	"repro/internal/goddag"
+)
+
+// Format identifies a concurrent-markup representation.
+type Format int
+
+// The supported representations.
+const (
+	FormatDistributed Format = iota
+	FormatMilestones
+	FormatFragmentation
+	FormatStandoff
+)
+
+// String returns the format name.
+func (f Format) String() string {
+	switch f {
+	case FormatDistributed:
+		return "distributed"
+	case FormatMilestones:
+		return "milestones"
+	case FormatFragmentation:
+		return "fragmentation"
+	case FormatStandoff:
+		return "standoff"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat resolves a format name.
+func ParseFormat(name string) (Format, error) {
+	switch name {
+	case "distributed":
+		return FormatDistributed, nil
+	case "milestones":
+		return FormatMilestones, nil
+	case "fragmentation":
+		return FormatFragmentation, nil
+	case "standoff":
+		return FormatStandoff, nil
+	default:
+		return 0, fmt.Errorf("drivers: unknown format %q", name)
+	}
+}
+
+// EncodeOptions control single-document encoders.
+type EncodeOptions struct {
+	// Dominant names the hierarchy that keeps its tree structure in the
+	// milestone and fragmentation representations. Empty means the first
+	// hierarchy of the document.
+	Dominant string
+	// Hierarchies selects the hierarchies to include (the filtering
+	// feature). Nil means all.
+	Hierarchies []string
+}
+
+// selectHierarchies resolves opts.Hierarchies against doc, preserving
+// document hierarchy order.
+func selectHierarchies(doc *goddag.Document, opts EncodeOptions) ([]*goddag.Hierarchy, error) {
+	if opts.Hierarchies == nil {
+		return doc.Hierarchies(), nil
+	}
+	want := map[string]bool{}
+	for _, n := range opts.Hierarchies {
+		if doc.Hierarchy(n) == nil {
+			return nil, fmt.Errorf("drivers: unknown hierarchy %q", n)
+		}
+		want[n] = true
+	}
+	var out []*goddag.Hierarchy
+	for _, h := range doc.Hierarchies() {
+		if want[h.Name()] {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+// dominantOf resolves the dominant hierarchy among hs.
+func dominantOf(hs []*goddag.Hierarchy, opts EncodeOptions) (*goddag.Hierarchy, error) {
+	if len(hs) == 0 {
+		return nil, fmt.Errorf("drivers: document has no hierarchies")
+	}
+	if opts.Dominant == "" {
+		return hs[0], nil
+	}
+	for _, h := range hs {
+		if h.Name() == opts.Dominant {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("drivers: dominant hierarchy %q not selected", opts.Dominant)
+}
+
+// Filter returns a new GODDAG containing only the selected hierarchies of
+// doc — the demo's "partially viewing and/or exporting a subset of
+// document encodings". The content and root tag are preserved; leaf
+// boundaries are recomputed from the surviving markup.
+func Filter(doc *goddag.Document, hierarchies ...string) (*goddag.Document, error) {
+	want := map[string]bool{}
+	for _, n := range hierarchies {
+		if doc.Hierarchy(n) == nil {
+			return nil, fmt.Errorf("drivers: unknown hierarchy %q", n)
+		}
+		want[n] = true
+	}
+	out := goddag.New(doc.RootTag(), doc.Content().String())
+	for _, h := range doc.Hierarchies() {
+		if !want[h.Name()] {
+			continue
+		}
+		nh := out.AddHierarchy(h.Name())
+		// Insert outermost-first so adoption is never needed.
+		for _, e := range h.Elements() {
+			if _, err := out.InsertElement(nh, e.Name(), e.Attrs(), e.Span()); err != nil {
+				return nil, fmt.Errorf("drivers: filter: %w", err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// spanStartEnd is a helper ordering elements for single-document
+// serialization: by start, wider first, stable by hierarchy priority.
+func orderForNesting(es []*goddag.Element, priority map[string]int) {
+	sort.SliceStable(es, func(i, j int) bool {
+		a, b := es[i].Span(), es[j].Span()
+		if c := document.CompareSpans(a, b); c != 0 {
+			return c < 0
+		}
+		return priority[es[i].Hierarchy().Name()] < priority[es[j].Hierarchy().Name()]
+	})
+}

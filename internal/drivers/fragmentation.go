@@ -1,0 +1,377 @@
+package drivers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/document"
+	"repro/internal/goddag"
+	"repro/internal/xmlscan"
+)
+
+// The fragmentation representation is a single well-formed XML document in
+// which *every* selected hierarchy appears structurally: wherever two
+// elements would overlap, the one with lower priority is split into
+// fragments that nest properly (TEI's first workaround, made mechanical).
+// Fragments of one original element share a chx-id and carry
+// chx-part="I"/"M"/"F" (initial/middle/final); every element carries
+// chx-h naming its hierarchy. The root records chx-hierarchies and
+// chx-dominant (the highest-priority hierarchy, which is never
+// fragmented by lower-priority ones).
+//
+// Encoding is a single left-to-right sweep over leaf boundaries with a
+// stack of open fragments: at each boundary, elements ending there close;
+// any still-running element sitting above them on the stack is
+// *interrupted* (its fragment closes too and reopens after), exactly the
+// fragment-and-glue discipline a TEI encoder applies by hand.
+
+// EncodeFragmentation renders doc as a single fragmentation-encoded XML
+// document.
+func EncodeFragmentation(doc *goddag.Document, opts EncodeOptions) ([]byte, error) {
+	hs, err := selectHierarchies(doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	dom, err := dominantOf(hs, opts)
+	if err != nil {
+		return nil, err
+	}
+	priority := map[string]int{dom.Name(): 0}
+	for _, h := range hs {
+		if _, ok := priority[h.Name()]; !ok {
+			priority[h.Name()] = len(priority)
+		}
+	}
+
+	// Gather elements with stable ids.
+	type item struct {
+		el *goddag.Element
+		id int
+	}
+	var items []item
+	var all []*goddag.Element
+	for _, h := range hs {
+		all = append(all, h.Elements()...)
+	}
+	orderForNesting(all, priority)
+	for i, e := range all {
+		items = append(items, item{el: e, id: i})
+	}
+
+	// Output token plan; part attributes are resolved after the sweep.
+	type frag struct {
+		itemID int
+		part   int // fragment ordinal of its element
+	}
+	type outTok struct {
+		kind  int // 0 text, 1 open, 2 close
+		text  string
+		f     frag
+		final bool // set on close when the element truly ends
+	}
+	var (
+		toks      []outTok
+		fragCount = make([]int, len(items))
+	)
+	byID := make([]*goddag.Element, len(items))
+	for _, it := range items {
+		byID[it.id] = it.el
+	}
+
+	type openFrag struct {
+		itemID int
+		end    int // true end of the element
+		prio   int
+	}
+	var stack []openFrag
+
+	openOne := func(id int) {
+		e := byID[id]
+		toks = append(toks, outTok{kind: 1, f: frag{itemID: id, part: fragCount[id]}})
+		fragCount[id]++
+		stack = append(stack, openFrag{itemID: id, end: e.Span().End, prio: priority[e.Hierarchy().Name()]})
+	}
+	closeTop := func(final bool) openFrag {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		toks = append(toks, outTok{kind: 2, f: frag{itemID: top.itemID, part: fragCount[top.itemID] - 1}, final: final})
+		return top
+	}
+
+	// Events by position.
+	starts := map[int][]int{} // position -> item ids starting there
+	for _, it := range items {
+		sp := it.el.Span()
+		starts[sp.Start] = append(starts[sp.Start], it.id)
+	}
+	positions := map[int]bool{0: true, doc.Content().Len(): true}
+	for _, it := range items {
+		positions[it.el.Span().Start] = true
+		positions[it.el.Span().End] = true
+	}
+	var posList []int
+	for p := range positions {
+		posList = append(posList, p)
+	}
+	sort.Ints(posList)
+
+	content := doc.Content()
+	for pi, pos := range posList {
+		// 1. Close everything that ends here; interrupted fragments
+		// reopen below.
+		var reopen []int
+		needClose := map[int]bool{}
+		for _, of := range stack {
+			if of.end == pos {
+				needClose[of.itemID] = true
+			}
+		}
+		for len(needClose) > 0 {
+			top := closeTop(stack[len(stack)-1].end == pos)
+			if needClose[top.itemID] {
+				delete(needClose, top.itemID)
+			} else {
+				reopen = append(reopen, top.itemID)
+			}
+		}
+		// 2. Open new elements and reopen interrupted ones, outer-most
+		// (latest end, then priority) first.
+		opening := append(reopen, starts[pos]...)
+		sort.SliceStable(opening, func(i, j int) bool {
+			ei, ej := byID[opening[i]], byID[opening[j]]
+			if ei.Span().End != ej.Span().End {
+				return ei.Span().End > ej.Span().End
+			}
+			pi, pj := priority[ei.Hierarchy().Name()], priority[ej.Hierarchy().Name()]
+			if pi != pj {
+				return pi < pj
+			}
+			// Wider (earlier-starting) first for containment at equal end.
+			return ei.Span().Start < ej.Span().Start
+		})
+		for _, id := range opening {
+			e := byID[id]
+			if e.Span().IsEmpty() {
+				// Milestone: open and close immediately.
+				toks = append(toks, outTok{kind: 1, f: frag{itemID: id, part: 0}})
+				fragCount[id]++
+				toks = append(toks, outTok{kind: 2, f: frag{itemID: id, part: 0}, final: true})
+				continue
+			}
+			openOne(id)
+		}
+		// 3. Emit the text run to the next position.
+		if pi+1 < len(posList) {
+			next := posList[pi+1]
+			if next > pos {
+				toks = append(toks, outTok{kind: 0, text: content.Slice(document.NewSpan(pos, next))})
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("drivers: fragmentation: internal error: %d unclosed fragments", len(stack))
+	}
+
+	// Render.
+	var b strings.Builder
+	names := make([]string, len(hs))
+	for i, h := range hs {
+		names[i] = h.Name()
+	}
+	fmt.Fprintf(&b, "<%s %s=%q %s=%q>", doc.RootTag(),
+		attrHierarchies, strings.Join(names, " "), attrDominant, dom.Name())
+	for _, tk := range toks {
+		switch tk.kind {
+		case 0:
+			b.WriteString(xmlscan.EscapeText(tk.text))
+		case 1:
+			e := byID[tk.f.itemID]
+			fmt.Fprintf(&b, "<%s %s=%q", e.Name(), attrHier, e.Hierarchy().Name())
+			if fragCount[tk.f.itemID] > 1 {
+				fmt.Fprintf(&b, " %s=\"%d\"", attrFragID, tk.f.itemID)
+				part := "M"
+				switch {
+				case tk.f.part == 0:
+					part = "I"
+				case tk.f.part == fragCount[tk.f.itemID]-1:
+					part = "F"
+				}
+				fmt.Fprintf(&b, " %s=%q", attrFragPart, part)
+			}
+			for _, a := range e.Attrs() {
+				fmt.Fprintf(&b, " %s=\"%s\"", a.Name, xmlscan.EscapeAttr(a.Value))
+			}
+			b.WriteString(">")
+		case 2:
+			e := byID[tk.f.itemID]
+			fmt.Fprintf(&b, "</%s>", e.Name())
+		}
+	}
+	fmt.Fprintf(&b, "</%s>", doc.RootTag())
+	return []byte(b.String()), nil
+}
+
+// DecodeFragmentation parses a fragmentation-encoded document into a
+// GODDAG, gluing chx-id fragment chains back into single elements.
+// Documents without chx-* metadata decode as a single hierarchy "main".
+func DecodeFragmentation(data []byte) (*goddag.Document, error) {
+	toks, err := xmlscan.Tokens(data, xmlscan.Options{CoalesceCDATA: true})
+	if err != nil {
+		return nil, fmt.Errorf("drivers: fragmentation: %w", err)
+	}
+	content, err := xmlscan.Content(data)
+	if err != nil {
+		return nil, err
+	}
+	var rootTag string
+	hierNames := []string{"main"}
+
+	var (
+		stack   []openEl
+		groups  = map[string]*group{} // keyed by chx-id
+		singles []group
+		sawRoot bool
+		openSeq int
+	)
+	for _, tok := range toks {
+		switch tok.Kind {
+		case xmlscan.KindStartElement:
+			if !sawRoot {
+				sawRoot = true
+				rootTag = tok.Name
+				if hl, ok := tok.Attr(attrHierarchies); ok {
+					hierNames = strings.Fields(hl)
+				}
+				continue
+			}
+			hier := "main"
+			if hv, ok := tok.Attr(attrHier); ok {
+				hier = hv
+			} else if len(hierNames) > 0 {
+				hier = hierNames[0]
+			}
+			id, _ := tok.Attr(attrFragID)
+			oe := openEl{name: tok.Name, pos: tok.ContentPos, hier: hier, id: id, att: plainAttrs(tok.Attrs), openSeq: openSeq}
+			openSeq++
+			if tok.SelfClosing {
+				finishFragment(groups, &singles, oe, tok.ContentPos)
+				continue
+			}
+			stack = append(stack, oe)
+		case xmlscan.KindEndElement:
+			if tok.Depth == 0 {
+				continue
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			finishFragment(groups, &singles, top, tok.ContentPos)
+		}
+	}
+	if !sawRoot {
+		return nil, fmt.Errorf("drivers: fragmentation: empty document")
+	}
+
+	doc := goddag.New(rootTag, content)
+	for _, n := range hierNames {
+		doc.AddHierarchy(n)
+	}
+	// Glue groups and collect final records.
+	var records []group
+	records = append(records, singles...)
+	ids := make([]string, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		g := groups[id]
+		sort.Slice(g.parts, func(i, j int) bool { return g.parts[i].span.Start < g.parts[j].span.Start })
+		// Fragments must be contiguous.
+		for i := 1; i < len(g.parts); i++ {
+			if g.parts[i].span.Start < g.parts[i-1].span.End {
+				return nil, fmt.Errorf("drivers: fragmentation: fragments of %q overlap", id)
+			}
+		}
+		merged := g.parts[0].span
+		for _, p := range g.parts[1:] {
+			merged = merged.Union(p.span)
+		}
+		records = append(records, group{hier: g.hier, name: g.name, attrs: g.attrs,
+			parts: []piece{{span: merged}}, openSeq: g.openSeq})
+	}
+	// Equal spans across hierarchies order by hierarchy position (the
+	// canonical document order of the SACX pipeline), then by the first
+	// fragment's open order for equal spans within one hierarchy.
+	hierIdx := func(name string) int {
+		for i, n := range hierNames {
+			if n == name {
+				return i
+			}
+		}
+		return len(hierNames)
+	}
+	sort.SliceStable(records, func(i, j int) bool {
+		c := document.CompareSpans(records[i].parts[0].span, records[j].parts[0].span)
+		if c != 0 {
+			return c < 0
+		}
+		if hi, hj := hierIdx(records[i].hier), hierIdx(records[j].hier); hi != hj {
+			return hi < hj
+		}
+		return records[i].openSeq < records[j].openSeq
+	})
+	for _, r := range records {
+		h := doc.Hierarchy(r.hier)
+		if h == nil {
+			h = doc.AddHierarchy(r.hier)
+		}
+		if _, err := doc.InsertElement(h, r.name, r.attrs, r.parts[0].span); err != nil {
+			return nil, fmt.Errorf("drivers: fragmentation: %w", err)
+		}
+	}
+	return doc, nil
+}
+
+// finishFragment files a closed fragment into its chx-id group, or as a
+// standalone element when it has no chx-id.
+func finishFragment(groups map[string]*group, singles *[]group, oe openEl, endPos int) {
+	sp := document.NewSpan(oe.pos, endPos)
+	if oe.id == "" {
+		*singles = append(*singles, group{hier: oe.hier, name: oe.name, attrs: oe.att,
+			parts: []piece{{span: sp}}, openSeq: oe.openSeq})
+		return
+	}
+	g, ok := groups[oe.id]
+	if !ok {
+		g = &group{hier: oe.hier, name: oe.name, attrs: oe.att, openSeq: oe.openSeq}
+		groups[oe.id] = g
+	}
+	if oe.openSeq < g.openSeq {
+		g.openSeq = oe.openSeq
+	}
+	g.parts = append(g.parts, piece{span: sp})
+}
+
+// group/piece/openEl are shared by DecodeFragmentation and
+// finishFragment.
+type piece struct {
+	span document.Span
+}
+
+type group struct {
+	hier    string
+	name    string
+	attrs   []goddag.Attr
+	parts   []piece
+	openSeq int // order of the first fragment's start tag
+}
+
+type openEl struct {
+	name    string
+	pos     int
+	hier    string
+	id      string
+	att     []goddag.Attr
+	openSeq int
+}

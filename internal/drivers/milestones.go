@@ -1,0 +1,336 @@
+package drivers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/document"
+	"repro/internal/goddag"
+	"repro/internal/xmlscan"
+)
+
+// The milestone representation is a single well-formed XML document. One
+// *dominant* hierarchy keeps its element tree; every element of the other
+// hierarchies is flattened into a pair of empty milestone tags carrying
+// reserved attributes:
+//
+//	<w chx-s="words.3" id="w3"/>  ...content...  <w chx-e="words.3"/>
+//
+// The start milestone carries the element's original attributes. The
+// reserved identifier encodes "hierarchy.ordinal", so the decoder can
+// reassign every element to its hierarchy. The root element records the
+// encoding parameters:
+//
+//	<r chx-hierarchies="physical words" chx-dominant="physical">
+//
+// This is TEI's "milestone" workaround made lossless and mechanical
+// (paper §2: "declare elements that are likely to produce overlapping as
+// empty elements").
+
+// Reserved attribute names used by the single-document encoders.
+const (
+	attrMilestoneStart = "chx-s"
+	attrMilestoneEnd   = "chx-e"
+	attrHierarchies    = "chx-hierarchies"
+	attrDominant       = "chx-dominant"
+	attrHier           = "chx-h"
+	attrFragID         = "chx-id"
+	attrFragPart       = "chx-part"
+)
+
+// EncodeMilestones renders doc as a single milestone-encoded XML document.
+func EncodeMilestones(doc *goddag.Document, opts EncodeOptions) ([]byte, error) {
+	hs, err := selectHierarchies(doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	dom, err := dominantOf(hs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Milestone events for all non-dominant elements, grouped by content
+	// position. Ends sort before starts at a position; empty elements
+	// emit start+end adjacently in the start class.
+	type msEvent struct {
+		open bool
+		el   *goddag.Element
+		id   string
+	}
+	events := map[int][]msEvent{}
+	for _, h := range hs {
+		if h == dom {
+			continue
+		}
+		for i, e := range h.Elements() {
+			id := fmt.Sprintf("%s.%d", h.Name(), i)
+			sp := e.Span()
+			if sp.IsEmpty() {
+				events[sp.Start] = append(events[sp.Start],
+					msEvent{open: true, el: e, id: id}, msEvent{open: false, el: e, id: id})
+				continue
+			}
+			events[sp.Start] = append(events[sp.Start], msEvent{open: true, el: e, id: id})
+			events[sp.End] = append(events[sp.End], msEvent{open: false, el: e, id: id})
+		}
+	}
+	for pos := range events {
+		evs := events[pos]
+		sort.SliceStable(evs, func(i, j int) bool {
+			// Ends first, except the paired events of empty elements,
+			// which were appended adjacently and must stay in order;
+			// stable sort keeps them adjacent when both map to the same
+			// class. Classify: end-of-nonempty = 0, everything else = 1.
+			ci, cj := 1, 1
+			if !evs[i].open && !evs[i].el.Span().IsEmpty() {
+				ci = 0
+			}
+			if !evs[j].open && !evs[j].el.Span().IsEmpty() {
+				cj = 0
+			}
+			return ci < cj
+		})
+		events[pos] = evs
+	}
+
+	var b strings.Builder
+	emitMilestones := func(pos int) {
+		for _, ev := range events[pos] {
+			if ev.open {
+				fmt.Fprintf(&b, "<%s %s=%q", ev.el.Name(), attrMilestoneStart, ev.id)
+				for _, a := range ev.el.Attrs() {
+					fmt.Fprintf(&b, " %s=\"%s\"", a.Name, xmlscan.EscapeAttr(a.Value))
+				}
+				b.WriteString("/>")
+			} else {
+				fmt.Fprintf(&b, "<%s %s=%q/>", ev.el.Name(), attrMilestoneEnd, ev.id)
+			}
+		}
+		delete(events, pos)
+	}
+
+	names := make([]string, len(hs))
+	for i, h := range hs {
+		names[i] = h.Name()
+	}
+	fmt.Fprintf(&b, "<%s %s=%q %s=%q>", doc.RootTag(),
+		attrHierarchies, strings.Join(names, " "), attrDominant, dom.Name())
+
+	var walk func(nodes []goddag.Node)
+	walk = func(nodes []goddag.Node) {
+		for _, n := range nodes {
+			switch v := n.(type) {
+			case *goddag.Element:
+				emitMilestones(v.Span().Start)
+				fmt.Fprintf(&b, "<%s", v.Name())
+				for _, a := range v.Attrs() {
+					fmt.Fprintf(&b, " %s=\"%s\"", a.Name, xmlscan.EscapeAttr(a.Value))
+				}
+				if v.IsEmpty() && len(v.ChildElements()) == 0 {
+					b.WriteString("/>")
+					continue
+				}
+				b.WriteString(">")
+				walk(v.Children())
+				emitMilestones(v.Span().End)
+				fmt.Fprintf(&b, "</%s>", v.Name())
+			case goddag.Leaf:
+				sp := v.Span()
+				emitMilestones(sp.Start)
+				b.WriteString(xmlscan.EscapeText(v.Text()))
+			}
+		}
+	}
+	walk(doc.Root().Children(dom))
+	// Trailing milestones at end-of-content.
+	emitMilestones(doc.Content().Len())
+	// Any remaining milestone positions fall strictly inside dominant
+	// leaves (possible only if Compact ran with milestones still present);
+	// flush them in position order before closing the root.
+	if len(events) > 0 {
+		rest := make([]int, 0, len(events))
+		for pos := range events {
+			rest = append(rest, pos)
+		}
+		sort.Ints(rest)
+		for _, pos := range rest {
+			emitMilestones(pos)
+		}
+	}
+	fmt.Fprintf(&b, "</%s>", doc.RootTag())
+	return []byte(b.String()), nil
+}
+
+// DecodeMilestones parses a milestone-encoded document into a GODDAG.
+// Documents without the chx-hierarchies root attribute decode as a single
+// hierarchy named "main".
+func DecodeMilestones(data []byte) (*goddag.Document, error) {
+	toks, err := xmlscan.Tokens(data, xmlscan.Options{CoalesceCDATA: true})
+	if err != nil {
+		return nil, fmt.Errorf("drivers: milestones: %w", err)
+	}
+	content, err := xmlscan.Content(data)
+	if err != nil {
+		return nil, err
+	}
+
+	var rootTag, dominant string
+	hierNames := []string{"main"}
+	dominant = "main"
+
+	type openEl struct {
+		name  string
+		attrs []goddag.Attr
+		pos   int
+	}
+	type openMS struct {
+		name  string
+		attrs []goddag.Attr
+		pos   int
+		hier  string
+	}
+	type record struct {
+		hier  string
+		name  string
+		attrs []goddag.Attr
+		span  document.Span
+		order int
+	}
+	hierIdx := func(name string) int {
+		for i, n := range hierNames {
+			if n == name {
+				return i
+			}
+		}
+		return len(hierNames)
+	}
+	var (
+		stack   []openEl
+		pending = map[string]openMS{}
+		records []record
+		seq     int
+		sawRoot bool
+	)
+	for _, tok := range toks {
+		switch tok.Kind {
+		case xmlscan.KindStartElement:
+			if !sawRoot {
+				sawRoot = true
+				rootTag = tok.Name
+				if hl, ok := tok.Attr(attrHierarchies); ok {
+					hierNames = strings.Fields(hl)
+				}
+				if dm, ok := tok.Attr(attrDominant); ok {
+					dominant = dm
+				} else if len(hierNames) > 0 {
+					dominant = hierNames[0]
+				}
+				continue
+			}
+			if id, ok := tok.Attr(attrMilestoneStart); ok {
+				hier, err := hierOfID(id)
+				if err != nil {
+					return nil, err
+				}
+				if _, dup := pending[id]; dup {
+					return nil, fmt.Errorf("drivers: milestones: duplicate start %q", id)
+				}
+				pending[id] = openMS{name: tok.Name, attrs: plainAttrs(tok.Attrs), pos: tok.ContentPos, hier: hier}
+				continue
+			}
+			if id, ok := tok.Attr(attrMilestoneEnd); ok {
+				ms, open := pending[id]
+				if !open {
+					return nil, fmt.Errorf("drivers: milestones: end %q without start", id)
+				}
+				if ms.name != tok.Name {
+					return nil, fmt.Errorf("drivers: milestones: end %q tag <%s> != start tag <%s>", id, tok.Name, ms.name)
+				}
+				delete(pending, id)
+				records = append(records, record{
+					hier: ms.hier, name: ms.name, attrs: ms.attrs,
+					span: document.NewSpan(ms.pos, tok.ContentPos), order: seq,
+				})
+				seq++
+				continue
+			}
+			// Dominant structural element.
+			if tok.SelfClosing {
+				records = append(records, record{
+					hier: dominant, name: tok.Name, attrs: plainAttrs(tok.Attrs),
+					span: document.NewSpan(tok.ContentPos, tok.ContentPos), order: seq,
+				})
+				seq++
+				continue
+			}
+			stack = append(stack, openEl{name: tok.Name, attrs: plainAttrs(tok.Attrs), pos: tok.ContentPos})
+		case xmlscan.KindEndElement:
+			if tok.Depth == 0 {
+				continue // root close
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			records = append(records, record{
+				hier: dominant, name: top.name, attrs: top.attrs,
+				span: document.NewSpan(top.pos, tok.ContentPos), order: seq,
+			})
+			seq++
+		}
+	}
+	if len(pending) > 0 {
+		for id := range pending {
+			return nil, fmt.Errorf("drivers: milestones: start %q without end", id)
+		}
+	}
+	if !sawRoot {
+		return nil, fmt.Errorf("drivers: milestones: empty document")
+	}
+
+	doc := goddag.New(rootTag, content)
+	for _, n := range hierNames {
+		doc.AddHierarchy(n)
+	}
+	// Insert wider spans first so adoption never fails on equal spans;
+	// equal spans across hierarchies order by hierarchy position, the
+	// canonical document order produced by the SACX pipeline.
+	sort.SliceStable(records, func(i, j int) bool {
+		c := document.CompareSpans(records[i].span, records[j].span)
+		if c != 0 {
+			return c < 0
+		}
+		return hierIdx(records[i].hier) < hierIdx(records[j].hier)
+	})
+	for _, r := range records {
+		h := doc.Hierarchy(r.hier)
+		if h == nil {
+			h = doc.AddHierarchy(r.hier)
+		}
+		if _, err := doc.InsertElement(h, r.name, r.attrs, r.span); err != nil {
+			return nil, fmt.Errorf("drivers: milestones: %w", err)
+		}
+	}
+	return doc, nil
+}
+
+// hierOfID extracts the hierarchy name from a "hierarchy.ordinal" id.
+func hierOfID(id string) (string, error) {
+	i := strings.LastIndexByte(id, '.')
+	if i <= 0 {
+		return "", fmt.Errorf("drivers: milestones: malformed id %q", id)
+	}
+	return id[:i], nil
+}
+
+// plainAttrs converts scanner attributes to goddag attributes, dropping
+// the reserved chx-* names.
+func plainAttrs(attrs []xmlscan.Attr) []goddag.Attr {
+	var out []goddag.Attr
+	for _, a := range attrs {
+		if strings.HasPrefix(a.Name, "chx-") {
+			continue
+		}
+		out = append(out, goddag.Attr{Name: a.Name, Value: a.Value})
+	}
+	return out
+}

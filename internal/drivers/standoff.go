@@ -1,0 +1,192 @@
+package drivers
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/document"
+	"repro/internal/goddag"
+	"repro/internal/xmlscan"
+)
+
+// The standoff representation stores the text once and all markup as
+// offset-addressed annotation records:
+//
+//	<standoff root="r">
+//	  <text>swa hw&#230;t ...</text>
+//	  <hierarchy name="physical">
+//	    <el tag="line" start="0" end="12">
+//	      <at n="n" v="1"/>
+//	    </el>
+//	  </hierarchy>
+//	  ...
+//	</standoff>
+//
+// Offsets are rune offsets into the text, exactly the GODDAG's span
+// coordinates, so encode/decode are lossless for any GODDAG.
+
+// EncodeStandoff renders doc in the standoff representation.
+func EncodeStandoff(doc *goddag.Document, opts EncodeOptions) ([]byte, error) {
+	hs, err := selectHierarchies(doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<standoff root=%q>\n", doc.RootTag())
+	fmt.Fprintf(&b, "  <text>%s</text>\n", xmlscan.EscapeText(doc.Content().String()))
+	for _, h := range hs {
+		fmt.Fprintf(&b, "  <hierarchy name=%q>\n", h.Name())
+		for _, e := range h.Elements() {
+			sp := e.Span()
+			if len(e.Attrs()) == 0 {
+				fmt.Fprintf(&b, "    <el tag=%q start=\"%d\" end=\"%d\"/>\n", e.Name(), sp.Start, sp.End)
+				continue
+			}
+			fmt.Fprintf(&b, "    <el tag=%q start=\"%d\" end=\"%d\">\n", e.Name(), sp.Start, sp.End)
+			for _, a := range e.Attrs() {
+				fmt.Fprintf(&b, "      <at n=%q v=\"%s\"/>\n", a.Name, xmlscan.EscapeAttr(a.Value))
+			}
+			b.WriteString("    </el>\n")
+		}
+		b.WriteString("  </hierarchy>\n")
+	}
+	b.WriteString("</standoff>\n")
+	return []byte(b.String()), nil
+}
+
+// DecodeStandoff parses the standoff representation into a GODDAG.
+func DecodeStandoff(data []byte) (*goddag.Document, error) {
+	toks, err := xmlscan.Tokens(data, xmlscan.Options{CoalesceCDATA: true})
+	if err != nil {
+		return nil, fmt.Errorf("drivers: standoff: %w", err)
+	}
+	var (
+		doc     *goddag.Document
+		rootTag string
+		text    string
+		sawText bool
+		inHier  bool
+		curElem *pendingEl
+		inText  bool
+		pending []pendingHier
+	)
+	flushElem := func() error {
+		if curElem == nil {
+			return nil
+		}
+		if !inHier {
+			return fmt.Errorf("drivers: standoff: <el> outside <hierarchy>")
+		}
+		pending[len(pending)-1].els = append(pending[len(pending)-1].els, *curElem)
+		curElem = nil
+		return nil
+	}
+	for _, tok := range toks {
+		switch tok.Kind {
+		case xmlscan.KindStartElement:
+			switch tok.Name {
+			case "standoff":
+				rootTag, _ = tok.Attr("root")
+				if rootTag == "" {
+					return nil, fmt.Errorf("drivers: standoff: missing root attribute")
+				}
+			case "text":
+				if tok.SelfClosing {
+					sawText = true
+					break
+				}
+				inText = true
+			case "hierarchy":
+				name, ok := tok.Attr("name")
+				if !ok || name == "" {
+					return nil, fmt.Errorf("drivers: standoff: hierarchy without name")
+				}
+				pending = append(pending, pendingHier{name: name})
+				inHier = true
+			case "el":
+				tag, _ := tok.Attr("tag")
+				startS, _ := tok.Attr("start")
+				endS, _ := tok.Attr("end")
+				if tag == "" || startS == "" || endS == "" {
+					return nil, fmt.Errorf("drivers: standoff: el needs tag/start/end at offset %d", tok.Offset)
+				}
+				start, err1 := strconv.Atoi(startS)
+				end, err2 := strconv.Atoi(endS)
+				if err1 != nil || err2 != nil || start < 0 || end < start {
+					return nil, fmt.Errorf("drivers: standoff: bad offsets %q..%q", startS, endS)
+				}
+				pe := pendingEl{tag: tag, span: document.NewSpan(start, end)}
+				if tok.SelfClosing {
+					if len(pending) == 0 {
+						return nil, fmt.Errorf("drivers: standoff: <el> outside <hierarchy>")
+					}
+					pending[len(pending)-1].els = append(pending[len(pending)-1].els, pe)
+				} else {
+					curElem = &pe
+				}
+			case "at":
+				if curElem == nil {
+					return nil, fmt.Errorf("drivers: standoff: <at> outside <el>")
+				}
+				n, _ := tok.Attr("n")
+				v, _ := tok.Attr("v")
+				if n == "" {
+					return nil, fmt.Errorf("drivers: standoff: <at> without n")
+				}
+				curElem.attrs = append(curElem.attrs, goddag.Attr{Name: n, Value: v})
+			default:
+				return nil, fmt.Errorf("drivers: standoff: unexpected element <%s>", tok.Name)
+			}
+		case xmlscan.KindEndElement:
+			switch tok.Name {
+			case "text":
+				inText = false
+				sawText = true
+			case "el":
+				if err := flushElem(); err != nil {
+					return nil, err
+				}
+			case "hierarchy":
+				inHier = false
+			}
+		case xmlscan.KindText, xmlscan.KindCDATA:
+			if inText {
+				text += tok.Text
+			} else if strings.TrimSpace(tok.Text) != "" {
+				return nil, fmt.Errorf("drivers: standoff: stray text %q", tok.Text)
+			}
+		}
+	}
+	if rootTag == "" {
+		return nil, fmt.Errorf("drivers: standoff: no <standoff> element")
+	}
+	if !sawText {
+		return nil, fmt.Errorf("drivers: standoff: no <text> element")
+	}
+	doc = goddag.New(rootTag, text)
+	for _, ph := range pending {
+		h := doc.AddHierarchy(ph.name)
+		for _, pe := range ph.els {
+			if pe.span.End > doc.Content().Len() {
+				return nil, fmt.Errorf("drivers: standoff: %s:%s %v exceeds text length %d",
+					ph.name, pe.tag, pe.span, doc.Content().Len())
+			}
+			if _, err := doc.InsertElement(h, pe.tag, pe.attrs, pe.span); err != nil {
+				return nil, fmt.Errorf("drivers: standoff: %w", err)
+			}
+		}
+	}
+	return doc, nil
+}
+
+type pendingEl struct {
+	tag   string
+	span  document.Span
+	attrs []goddag.Attr
+}
+
+type pendingHier struct {
+	name string
+	els  []pendingEl
+}

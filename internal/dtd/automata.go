@@ -1,0 +1,390 @@
+package dtd
+
+import "sort"
+
+// This file compiles children content models into automata.
+//
+// The Glushkov construction numbers every name occurrence (position) in
+// the expression 1..n and derives nullable/first/last/follow sets; the NFA
+// has states {0..n} where 0 is the start, transitions 0→first and
+// p→follow(p) labelled with the position's name, and accepting states
+// last(E) (plus 0 when the expression is nullable). Because XML content
+// models are required to be deterministic, the subset-construction DFA is
+// small in practice; we build it unconditionally and use it for Match.
+//
+// Potential validity (package validate; paper reference [5]) asks whether
+// a children word w can be *extended to* a valid word by inserting more
+// names anywhere — i.e. whether w is a subsequence of some word in L(M).
+// On the Glushkov NFA this is a simulation in which, before each input
+// symbol, the state set is closed under *all* transitions regardless of
+// label (anything could be inserted there), implemented by CanExtend.
+
+// bitset is a fixed-capacity bit vector over NFA positions.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) intersects(o bitset) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) key() string {
+	buf := make([]byte, 0, len(b)*8)
+	for _, w := range b {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>uint(s)))
+		}
+	}
+	return string(buf)
+}
+
+// nfa is the Glushkov automaton of a children expression.
+type nfa struct {
+	n        int      // number of positions; states are 0..n
+	names    []string // names[p-1] is the label of position p
+	nullable bool
+	first    bitset   // positions reachable from the start
+	follow   []bitset // follow[p] for p in 1..n (index p-1)
+	last     bitset   // accepting positions
+	// byName[name] lists positions labelled name.
+	byName map[string][]int
+}
+
+// glushkov builds the NFA for expr.
+func glushkov(expr *Expr) *nfa {
+	var names []string
+	var number func(e *Expr)
+	number = func(e *Expr) {
+		if e.Op == OpName {
+			names = append(names, e.Name)
+			return
+		}
+		for _, k := range e.Kids {
+			number(k)
+		}
+	}
+	number(expr)
+	n := len(names)
+	a := &nfa{
+		n:      n,
+		names:  names,
+		first:  newBitset(n + 1),
+		last:   newBitset(n + 1),
+		byName: map[string][]int{},
+	}
+	a.follow = make([]bitset, n)
+	for i := range a.follow {
+		a.follow[i] = newBitset(n + 1)
+	}
+	for p, nm := range names {
+		a.byName[nm] = append(a.byName[nm], p+1)
+	}
+
+	type info struct {
+		nullable    bool
+		first, last bitset
+	}
+	pos := 0
+	var walk func(e *Expr) info
+	walk = func(e *Expr) info {
+		switch e.Op {
+		case OpName:
+			pos++
+			f := newBitset(n + 1)
+			f.set(pos)
+			l := newBitset(n + 1)
+			l.set(pos)
+			return info{nullable: false, first: f, last: l}
+		case OpSeq:
+			cur := walk(e.Kids[0])
+			for _, k := range e.Kids[1:] {
+				next := walk(k)
+				// follow(last(cur)) += first(next)
+				for p := 1; p <= n; p++ {
+					if cur.last.has(p) {
+						a.follow[p-1].or(next.first)
+					}
+				}
+				first := cur.first.clone()
+				if cur.nullable {
+					first.or(next.first)
+				}
+				last := next.last.clone()
+				if next.nullable {
+					last.or(cur.last)
+				}
+				cur = info{nullable: cur.nullable && next.nullable, first: first, last: last}
+			}
+			return cur
+		case OpChoice:
+			cur := walk(e.Kids[0])
+			for _, k := range e.Kids[1:] {
+				next := walk(k)
+				cur.first.or(next.first)
+				cur.last.or(next.last)
+				cur.nullable = cur.nullable || next.nullable
+			}
+			return cur
+		case OpOpt:
+			in := walk(e.Kids[0])
+			in.nullable = true
+			return in
+		case OpStar, OpPlus:
+			in := walk(e.Kids[0])
+			for p := 1; p <= n; p++ {
+				if in.last.has(p) {
+					a.follow[p-1].or(in.first)
+				}
+			}
+			if e.Op == OpStar {
+				in.nullable = true
+			}
+			return in
+		default:
+			panic("dtd: unknown expression op")
+		}
+	}
+	top := walk(expr)
+	a.nullable = top.nullable
+	a.first = top.first
+	a.last = top.last
+	return a
+}
+
+// dfa is the determinized children automaton.
+type dfa struct {
+	// next[state][symbol] is the successor state or -1.
+	next   [][]int
+	accept []bool
+	// symbols maps a name to its symbol index; names not in the model
+	// have no entry and immediately reject.
+	symbols map[string]int
+}
+
+// determinize builds the subset-construction DFA of a.
+func determinize(a *nfa) *dfa {
+	symNames := make([]string, 0, len(a.byName))
+	for nm := range a.byName {
+		symNames = append(symNames, nm)
+	}
+	sort.Strings(symNames)
+	symbols := make(map[string]int, len(symNames))
+	for i, nm := range symNames {
+		symbols[nm] = i
+	}
+
+	d := &dfa{symbols: symbols}
+	ids := map[string]int{}
+
+	start := newBitset(a.n + 1)
+	start.set(0)
+
+	var build func(set bitset) int
+	build = func(set bitset) int {
+		if id, ok := ids[set.key()]; ok {
+			return id
+		}
+		id := len(d.next)
+		ids[set.key()] = id
+		d.next = append(d.next, make([]int, len(symNames)))
+		for i := range d.next[id] {
+			d.next[id][i] = -1
+		}
+		acc := a.nullable && set.has(0)
+		if set.intersects(a.last) {
+			acc = true
+		}
+		d.accept = append(d.accept, acc)
+		for si, nm := range symNames {
+			to := newBitset(a.n + 1)
+			for _, p := range a.byName[nm] {
+				// p is reachable on nm from q when q==0 and p∈first, or
+				// p∈follow(q).
+				if set.has(0) && a.first.has(p) {
+					to.set(p)
+				}
+				for q := 1; q <= a.n; q++ {
+					if set.has(q) && a.follow[q-1].has(p) {
+						to.set(p)
+					}
+				}
+			}
+			if !to.empty() {
+				d.next[id][si] = build(to)
+			}
+		}
+		return id
+	}
+	build(start)
+	return d
+}
+
+// match reports whether the word is in the DFA's language.
+func (d *dfa) match(word []string) bool {
+	state := 0
+	for _, w := range word {
+		si, ok := d.symbols[w]
+		if !ok {
+			return false
+		}
+		state = d.next[state][si]
+		if state < 0 {
+			return false
+		}
+	}
+	return d.accept[state]
+}
+
+// canExtend reports whether word is a subsequence of some word in the
+// NFA's language: before each symbol (and at the end) the state set is
+// closed under arbitrary transitions, modelling future insertions.
+func (a *nfa) canExtend(word []string) bool {
+	cur := newBitset(a.n + 1)
+	cur.set(0)
+	closure := func(set bitset) bitset {
+		// Reachability over all transitions, any label.
+		out := set.clone()
+		changed := true
+		for changed {
+			changed = false
+			for p := 0; p <= a.n; p++ {
+				if !out.has(p) {
+					continue
+				}
+				var targets bitset
+				if p == 0 {
+					targets = a.first
+				} else {
+					targets = a.follow[p-1]
+				}
+				for q := 1; q <= a.n; q++ {
+					if targets.has(q) && !out.has(q) {
+						out.set(q)
+						changed = true
+					}
+				}
+			}
+		}
+		return out
+	}
+	for _, w := range word {
+		ps, ok := a.byName[w]
+		if !ok {
+			return false // name never appears in the model
+		}
+		cl := closure(cur)
+		next := newBitset(a.n + 1)
+		any := false
+		for _, p := range ps {
+			// p entered via a transition from some state in cl.
+			if cl.has(0) && a.first.has(p) {
+				next.set(p)
+				any = true
+				continue
+			}
+			for q := 1; q <= a.n; q++ {
+				if cl.has(q) && a.follow[q-1].has(p) {
+					next.set(p)
+					any = true
+					break
+				}
+			}
+		}
+		if !any {
+			return false
+		}
+		cur = next
+	}
+	final := closure(cur)
+	if a.nullable && final.has(0) {
+		return true
+	}
+	return final.intersects(a.last)
+}
+
+// compile prepares the element's automata; it is idempotent.
+func (e *ElementDecl) compile() {
+	if e.Content.Kind != ModelChildren || e.dfa != nil {
+		return
+	}
+	a := glushkov(e.Content.Expr)
+	e.sup = a
+	e.dfa = determinize(a)
+}
+
+// MatchChildren reports whether the given sequence of child element names
+// is valid for this element's content model. Character data is not
+// considered here; see ContentModel.AllowsText.
+func (e *ElementDecl) MatchChildren(names []string) bool {
+	switch e.Content.Kind {
+	case ModelEmpty:
+		return len(names) == 0
+	case ModelAny:
+		return true
+	case ModelMixed:
+		for _, n := range names {
+			if !e.Content.AllowsChild(n) {
+				return false
+			}
+		}
+		return true
+	default:
+		e.compile()
+		return e.dfa.match(names)
+	}
+}
+
+// CanExtendChildren reports whether the given child-name sequence could
+// become valid by inserting additional child elements at any positions —
+// the element-local core of the potential validity check (paper [5]).
+func (e *ElementDecl) CanExtendChildren(names []string) bool {
+	switch e.Content.Kind {
+	case ModelEmpty:
+		return len(names) == 0
+	case ModelAny:
+		return true
+	case ModelMixed:
+		return e.MatchChildren(names)
+	default:
+		e.compile()
+		return e.sup.canExtend(names)
+	}
+}

@@ -1,0 +1,294 @@
+// Package dtd parses Document Type Definitions and compiles element
+// content models into automata.
+//
+// In the paper's framework a *concurrent markup hierarchy* is a collection
+// of DTDs whose element sets do not conflict with one another (paper §3):
+// each hierarchy of a concurrent document is validated against its own
+// DTD. This package provides the substrate for both classic validation and
+// the potential-validity ("prevalidation") check of xTagger, implemented
+// in package validate.
+//
+// The supported DTD subset covers document-centric usage: ELEMENT
+// declarations with EMPTY, ANY, mixed, and deterministic children content
+// models, and ATTLIST declarations with CDATA, ID, IDREF(S), NMTOKEN(S),
+// and enumerated types. Parameter entities and conditional sections are
+// not supported.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DTD is a parsed document type definition: the element and attribute
+// declarations of one markup hierarchy.
+type DTD struct {
+	// Name identifies the DTD (by convention the hierarchy name).
+	Name string
+	// Elements maps element names to their declarations.
+	Elements map[string]*ElementDecl
+	// Order lists element names in declaration order.
+	Order []string
+}
+
+// ElementDecl declares one element type.
+type ElementDecl struct {
+	Name    string
+	Content ContentModel
+	Attrs   []AttDef
+
+	dfa *dfa // lazily compiled children automaton
+	sup *nfa // lazily compiled NFA used for potential validity
+}
+
+// AttDefault describes an attribute's default declaration.
+type AttDefault int
+
+// Attribute default kinds.
+const (
+	DefaultImplied AttDefault = iota
+	DefaultRequired
+	DefaultFixed
+	DefaultValue
+)
+
+// AttDef declares one attribute.
+type AttDef struct {
+	Name    string
+	Type    string   // CDATA, ID, IDREF, IDREFS, NMTOKEN, NMTOKENS, or "enum"
+	Enum    []string // allowed values for enumerated types
+	Default AttDefault
+	Value   string // default or fixed value
+}
+
+// ModelKind discriminates content model forms.
+type ModelKind int
+
+// Content model kinds.
+const (
+	ModelEmpty ModelKind = iota
+	ModelAny
+	ModelMixed    // (#PCDATA | a | b)*
+	ModelChildren // deterministic regular expression over element names
+)
+
+// String returns the kind name.
+func (k ModelKind) String() string {
+	switch k {
+	case ModelEmpty:
+		return "EMPTY"
+	case ModelAny:
+		return "ANY"
+	case ModelMixed:
+		return "MIXED"
+	case ModelChildren:
+		return "CHILDREN"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// ContentModel is an element's declared content.
+type ContentModel struct {
+	Kind  ModelKind
+	Mixed []string // element names admitted in mixed content
+	Expr  *Expr    // children expression, for ModelChildren
+}
+
+// AllowsText reports whether character data may appear directly inside an
+// element with this model.
+func (m ContentModel) AllowsText() bool {
+	return m.Kind == ModelMixed || m.Kind == ModelAny
+}
+
+// AllowsChild reports whether an element with this model may (in some
+// position) contain a child element with the given name.
+func (m ContentModel) AllowsChild(name string) bool {
+	switch m.Kind {
+	case ModelAny:
+		return true
+	case ModelEmpty:
+		return false
+	case ModelMixed:
+		for _, n := range m.Mixed {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	default:
+		return m.Expr.mentions(name)
+	}
+}
+
+// Alphabet returns the set of child element names the model mentions,
+// sorted.
+func (m ContentModel) Alphabet() []string {
+	set := map[string]bool{}
+	switch m.Kind {
+	case ModelMixed:
+		for _, n := range m.Mixed {
+			set[n] = true
+		}
+	case ModelChildren:
+		m.Expr.collect(set)
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the model in DTD syntax.
+func (m ContentModel) String() string {
+	switch m.Kind {
+	case ModelEmpty:
+		return "EMPTY"
+	case ModelAny:
+		return "ANY"
+	case ModelMixed:
+		if len(m.Mixed) == 0 {
+			return "(#PCDATA)"
+		}
+		return "(#PCDATA|" + strings.Join(m.Mixed, "|") + ")*"
+	default:
+		s := m.Expr.String()
+		if !strings.HasPrefix(s, "(") {
+			// Top-level children models must be parenthesized in DTD syntax.
+			s = "(" + s + ")"
+		}
+		return s
+	}
+}
+
+// Op is a children-expression operator.
+type Op int
+
+// Expression operators.
+const (
+	OpName   Op = iota // a leaf: one element name
+	OpSeq              // a , b , c
+	OpChoice           // a | b | c
+	OpOpt              // x?
+	OpStar             // x*
+	OpPlus             // x+
+)
+
+// Expr is a node of a children content-model expression.
+type Expr struct {
+	Op   Op
+	Name string  // for OpName
+	Kids []*Expr // operands
+}
+
+// String renders the expression in DTD syntax.
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpName:
+		return e.Name
+	case OpSeq:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = k.String()
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	case OpChoice:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = k.String()
+		}
+		return "(" + strings.Join(parts, "|") + ")"
+	case OpOpt:
+		return e.Kids[0].String() + "?"
+	case OpStar:
+		return e.Kids[0].String() + "*"
+	case OpPlus:
+		return e.Kids[0].String() + "+"
+	default:
+		return "?!"
+	}
+}
+
+func (e *Expr) mentions(name string) bool {
+	if e == nil {
+		return false
+	}
+	if e.Op == OpName {
+		return e.Name == name
+	}
+	for _, k := range e.Kids {
+		if k.mentions(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Expr) collect(set map[string]bool) {
+	if e == nil {
+		return
+	}
+	if e.Op == OpName {
+		set[e.Name] = true
+		return
+	}
+	for _, k := range e.Kids {
+		k.collect(set)
+	}
+}
+
+// Element returns the declaration for name, or nil.
+func (d *DTD) Element(name string) *ElementDecl {
+	return d.Elements[name]
+}
+
+// ElementNames returns declared element names in declaration order.
+func (d *DTD) ElementNames() []string {
+	out := make([]string, len(d.Order))
+	copy(out, d.Order)
+	return out
+}
+
+// AttDef returns the declaration of the named attribute, or nil.
+func (e *ElementDecl) AttDef(name string) *AttDef {
+	for i := range e.Attrs {
+		if e.Attrs[i].Name == name {
+			return &e.Attrs[i]
+		}
+	}
+	return nil
+}
+
+// String renders the DTD back to declaration syntax.
+func (d *DTD) String() string {
+	var b strings.Builder
+	for _, name := range d.Order {
+		e := d.Elements[name]
+		fmt.Fprintf(&b, "<!ELEMENT %s %s>\n", e.Name, e.Content)
+		if len(e.Attrs) > 0 {
+			fmt.Fprintf(&b, "<!ATTLIST %s", e.Name)
+			for _, a := range e.Attrs {
+				typ := a.Type
+				if typ == "enum" {
+					typ = "(" + strings.Join(a.Enum, "|") + ")"
+				}
+				fmt.Fprintf(&b, "\n  %s %s", a.Name, typ)
+				switch a.Default {
+				case DefaultRequired:
+					b.WriteString(" #REQUIRED")
+				case DefaultImplied:
+					b.WriteString(" #IMPLIED")
+				case DefaultFixed:
+					fmt.Fprintf(&b, " #FIXED %q", a.Value)
+				case DefaultValue:
+					fmt.Fprintf(&b, " %q", a.Value)
+				}
+			}
+			b.WriteString(">\n")
+		}
+	}
+	return b.String()
+}

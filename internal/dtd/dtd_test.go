@@ -1,0 +1,427 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+const manuscriptDTD = `
+<!-- physical structure of a manuscript page -->
+<!ELEMENT page (line+)>
+<!ATTLIST page n CDATA #REQUIRED>
+<!ELEMENT line (#PCDATA)>
+<!ATTLIST line
+  n CDATA #REQUIRED
+  hand (scribe1|scribe2) "scribe1">
+`
+
+func TestParseManuscript(t *testing.T) {
+	d, err := Parse("physical", []byte(manuscriptDTD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Order) != 2 || d.Order[0] != "page" || d.Order[1] != "line" {
+		t.Fatalf("order = %v", d.Order)
+	}
+	page := d.Element("page")
+	if page == nil || page.Content.Kind != ModelChildren {
+		t.Fatalf("page = %+v", page)
+	}
+	if page.Content.Expr.String() != "line+" {
+		t.Errorf("page model = %q", page.Content.Expr)
+	}
+	line := d.Element("line")
+	if line.Content.Kind != ModelMixed || len(line.Content.Mixed) != 0 {
+		t.Errorf("line model = %v", line.Content)
+	}
+	n := line.AttDef("n")
+	if n == nil || n.Type != "CDATA" || n.Default != DefaultRequired {
+		t.Errorf("line/@n = %+v", n)
+	}
+	hand := line.AttDef("hand")
+	if hand == nil || hand.Type != "enum" || len(hand.Enum) != 2 || hand.Value != "scribe1" || hand.Default != DefaultValue {
+		t.Errorf("line/@hand = %+v", hand)
+	}
+	if line.AttDef("zzz") != nil {
+		t.Error("missing attdef should be nil")
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	cases := []struct {
+		decl string
+		kind ModelKind
+		str  string
+	}{
+		{`<!ELEMENT a EMPTY>`, ModelEmpty, "EMPTY"},
+		{`<!ELEMENT a ANY>`, ModelAny, "ANY"},
+		{`<!ELEMENT a (#PCDATA)>`, ModelMixed, "(#PCDATA)"},
+		{`<!ELEMENT a (#PCDATA|b|c)*>`, ModelMixed, "(#PCDATA|b|c)*"},
+		{`<!ELEMENT a (b)>`, ModelChildren, "(b)"},
+		{`<!ELEMENT a (b,c)>`, ModelChildren, "(b,c)"},
+		{`<!ELEMENT a (b|c)>`, ModelChildren, "(b|c)"},
+		{`<!ELEMENT a (b?,c*,d+)>`, ModelChildren, "(b?,c*,d+)"},
+		{`<!ELEMENT a ((b|c)+,d)>`, ModelChildren, "((b|c)+,d)"},
+		{`<!ELEMENT a (b,(c|d)*)>`, ModelChildren, "(b,(c|d)*)"},
+	}
+	for _, c := range cases {
+		d, err := Parse("t", []byte(c.decl))
+		if err != nil {
+			t.Errorf("%s: %v", c.decl, err)
+			continue
+		}
+		m := d.Element("a").Content
+		if m.Kind != c.kind {
+			t.Errorf("%s: kind = %v, want %v", c.decl, m.Kind, c.kind)
+		}
+		if m.String() != c.str {
+			t.Errorf("%s: String = %q, want %q", c.decl, m.String(), c.str)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<!ELEMENT >`,
+		`<!ELEMENT a>`,
+		`<!ELEMENT a (b,>`,
+		`<!ELEMENT a (b|c,d)>`,
+		`<!ELEMENT a (#PCDATA|b)>`, // missing )*
+		`<!ELEMENT a (b)> <!ELEMENT a (c)>`,
+		`<!ATTLIST a x BOGUS #IMPLIED>`,
+		`<!ATTLIST a x CDATA>`,
+		`<!ATTLIST a x CDATA "unterminated>`,
+		`<!ATTLIST a x CDATA #REQUIRED x CDATA #IMPLIED>`,
+		`garbage`,
+	}
+	for _, src := range bad {
+		if _, err := Parse("t", []byte(src)); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseSkips(t *testing.T) {
+	src := `
+<!-- comment -->
+<!ENTITY thorn "&#222;">
+<!NOTATION gif SYSTEM "gif">
+<?pi data?>
+<!ELEMENT a EMPTY>
+`
+	d, err := Parse("t", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Element("a") == nil {
+		t.Error("a not declared")
+	}
+}
+
+func TestAttlistBeforeElement(t *testing.T) {
+	d, err := Parse("t", []byte(`<!ATTLIST a x CDATA #IMPLIED>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Element("a")
+	if a == nil || a.Content.Kind != ModelAny {
+		t.Errorf("placeholder = %+v", a)
+	}
+	if a.AttDef("x") == nil {
+		t.Error("attribute lost")
+	}
+}
+
+func TestAllowsText(t *testing.T) {
+	cases := []struct {
+		model string
+		want  bool
+	}{
+		{`<!ELEMENT a EMPTY>`, false},
+		{`<!ELEMENT a ANY>`, true},
+		{`<!ELEMENT a (#PCDATA)>`, true},
+		{`<!ELEMENT a (b,c)>`, false},
+	}
+	for _, c := range cases {
+		d := MustParse("t", c.model)
+		if got := d.Element("a").Content.AllowsText(); got != c.want {
+			t.Errorf("%s AllowsText = %v", c.model, got)
+		}
+	}
+}
+
+func TestAllowsChild(t *testing.T) {
+	d := MustParse("t", `<!ELEMENT a (b,(c|d)*)> <!ELEMENT e (#PCDATA|f)*> <!ELEMENT g EMPTY> <!ELEMENT h ANY>`)
+	a := d.Element("a").Content
+	for _, n := range []string{"b", "c", "d"} {
+		if !a.AllowsChild(n) {
+			t.Errorf("a should allow %s", n)
+		}
+	}
+	if a.AllowsChild("z") {
+		t.Error("a should not allow z")
+	}
+	if !d.Element("e").Content.AllowsChild("f") || d.Element("e").Content.AllowsChild("b") {
+		t.Error("mixed AllowsChild")
+	}
+	if d.Element("g").Content.AllowsChild("b") {
+		t.Error("EMPTY allows nothing")
+	}
+	if !d.Element("h").Content.AllowsChild("anything") {
+		t.Error("ANY allows everything")
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	d := MustParse("t", `<!ELEMENT a (b,(c|d)*,b)>`)
+	got := d.Element("a").Content.Alphabet()
+	want := []string{"b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("alphabet = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("alphabet = %v", got)
+		}
+	}
+}
+
+func TestMatchChildren(t *testing.T) {
+	d := MustParse("t", `
+<!ELEMENT a (b,(c|d)*,e?)>
+<!ELEMENT m (#PCDATA|x)*>
+<!ELEMENT n EMPTY>
+<!ELEMENT o ANY>
+`)
+	a := d.Element("a")
+	valid := [][]string{
+		{"b"},
+		{"b", "c"},
+		{"b", "d", "c", "c"},
+		{"b", "e"},
+		{"b", "c", "d", "e"},
+	}
+	invalid := [][]string{
+		{},
+		{"c"},
+		{"b", "e", "c"},
+		{"b", "b"},
+		{"b", "z"},
+		{"e"},
+	}
+	for _, w := range valid {
+		if !a.MatchChildren(w) {
+			t.Errorf("MatchChildren(%v) = false, want true", w)
+		}
+	}
+	for _, w := range invalid {
+		if a.MatchChildren(w) {
+			t.Errorf("MatchChildren(%v) = true, want false", w)
+		}
+	}
+	m := d.Element("m")
+	if !m.MatchChildren([]string{"x", "x"}) || m.MatchChildren([]string{"y"}) {
+		t.Error("mixed match")
+	}
+	n := d.Element("n")
+	if !n.MatchChildren(nil) || n.MatchChildren([]string{"x"}) {
+		t.Error("empty match")
+	}
+	o := d.Element("o")
+	if !o.MatchChildren([]string{"q", "r"}) {
+		t.Error("any match")
+	}
+}
+
+func TestMatchPlusStar(t *testing.T) {
+	d := MustParse("t", `<!ELEMENT a (b+)> <!ELEMENT c (b*)>`)
+	a, c := d.Element("a"), d.Element("c")
+	if a.MatchChildren(nil) {
+		t.Error("b+ should reject empty")
+	}
+	if !a.MatchChildren([]string{"b", "b", "b"}) {
+		t.Error("b+ should accept bbb")
+	}
+	if !c.MatchChildren(nil) {
+		t.Error("b* should accept empty")
+	}
+}
+
+func TestCanExtendChildren(t *testing.T) {
+	d := MustParse("t", `<!ELEMENT a (b,(c|d)*,e?)>`)
+	a := d.Element("a")
+	// Any subsequence of a valid word can be extended.
+	canExtend := [][]string{
+		{},         // insert b later
+		{"b"},      // already valid
+		{"c"},      // insert b before
+		{"d", "e"}, // insert b before d
+		{"e"},      // insert b before e
+		{"c", "c"}, // b inserted before
+		{"b", "e"}, // already valid
+		{"c", "d"}, // b before
+	}
+	cannot := [][]string{
+		{"b", "b"},      // two b's never valid
+		{"e", "c"},      // c after e impossible
+		{"z"},           // unknown name
+		{"e", "e"},      // two e's
+		{"b", "e", "d"}, // d after e
+	}
+	for _, w := range canExtend {
+		if !a.CanExtendChildren(w) {
+			t.Errorf("CanExtendChildren(%v) = false, want true", w)
+		}
+	}
+	for _, w := range cannot {
+		if a.CanExtendChildren(w) {
+			t.Errorf("CanExtendChildren(%v) = true, want false", w)
+		}
+	}
+}
+
+func TestCanExtendSeq(t *testing.T) {
+	d := MustParse("t", `<!ELEMENT a (b,c,d)>`)
+	a := d.Element("a")
+	for _, w := range [][]string{{}, {"b"}, {"c"}, {"d"}, {"b", "d"}, {"b", "c", "d"}, {"c", "d"}} {
+		if !a.CanExtendChildren(w) {
+			t.Errorf("CanExtendChildren(%v) = false, want true", w)
+		}
+	}
+	for _, w := range [][]string{{"d", "b"}, {"c", "b"}, {"b", "b"}, {"d", "c"}} {
+		if a.CanExtendChildren(w) {
+			t.Errorf("CanExtendChildren(%v) = true, want false", w)
+		}
+	}
+}
+
+// Property: every prefix-with-gaps (subsequence) of a valid word can be
+// extended; MatchChildren implies CanExtendChildren.
+func TestMatchImpliesCanExtend(t *testing.T) {
+	d := MustParse("t", `<!ELEMENT a ((b|c)+,d?,(e,f)*)>`)
+	a := d.Element("a")
+	words := [][]string{
+		{"b"},
+		{"b", "c", "b"},
+		{"c", "d"},
+		{"b", "e", "f"},
+		{"b", "d", "e", "f", "e", "f"},
+	}
+	for _, w := range words {
+		if !a.MatchChildren(w) {
+			t.Fatalf("fixture word %v should be valid", w)
+		}
+		// Every subsequence (drop each single element) must be extendable.
+		for i := range w {
+			sub := append(append([]string{}, w[:i]...), w[i+1:]...)
+			if !a.CanExtendChildren(sub) {
+				t.Errorf("subsequence %v of valid %v not extendable", sub, w)
+			}
+		}
+	}
+}
+
+func TestEmptyAndAnyExtend(t *testing.T) {
+	d := MustParse("t", `<!ELEMENT a EMPTY> <!ELEMENT b ANY> <!ELEMENT m (#PCDATA|x)*>`)
+	if d.Element("a").CanExtendChildren([]string{"x"}) {
+		t.Error("EMPTY cannot gain children")
+	}
+	if !d.Element("a").CanExtendChildren(nil) {
+		t.Error("EMPTY with no children is fine")
+	}
+	if !d.Element("b").CanExtendChildren([]string{"q"}) {
+		t.Error("ANY extends")
+	}
+	if !d.Element("m").CanExtendChildren([]string{"x"}) || d.Element("m").CanExtendChildren([]string{"y"}) {
+		t.Error("mixed extend")
+	}
+}
+
+func TestDTDString(t *testing.T) {
+	d := MustParse("t", manuscriptDTD)
+	s := d.String()
+	for _, want := range []string{"<!ELEMENT page (line+)>", "<!ELEMENT line (#PCDATA)>", "#REQUIRED", `(scribe1|scribe2) "scribe1"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+	// Round-trip: re-parsing the rendered DTD gives the same structure.
+	d2, err := Parse("t", []byte(s))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if d2.String() != s {
+		t.Errorf("round-trip mismatch:\n%s\nvs\n%s", s, d2.String())
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	for k, want := range map[ModelKind]string{
+		ModelEmpty: "EMPTY", ModelAny: "ANY", ModelMixed: "MIXED", ModelChildren: "CHILDREN",
+	} {
+		if k.String() != want {
+			t.Errorf("%d: %q", int(k), k.String())
+		}
+	}
+	if !strings.Contains(ModelKind(42).String(), "42") {
+		t.Error("unknown kind")
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse("t", []byte(`<!ELEMENT a (b,>`))
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("got %T", err)
+	}
+	if !strings.Contains(pe.Error(), "dtd:") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustParse("t", `<!ELEMENT`)
+}
+
+func TestFixedAndImpliedAttrs(t *testing.T) {
+	d := MustParse("t", `
+<!ELEMENT a EMPTY>
+<!ATTLIST a
+  version CDATA #FIXED "1.0"
+  id ID #IMPLIED
+  refs IDREFS #IMPLIED
+  kind NMTOKEN #IMPLIED
+  kinds NMTOKENS #IMPLIED>
+`)
+	a := d.Element("a")
+	v := a.AttDef("version")
+	if v.Default != DefaultFixed || v.Value != "1.0" {
+		t.Errorf("version = %+v", v)
+	}
+	for name, typ := range map[string]string{"id": "ID", "refs": "IDREFS", "kind": "NMTOKEN", "kinds": "NMTOKENS"} {
+		def := a.AttDef(name)
+		if def == nil || def.Type != typ {
+			t.Errorf("%s = %+v, want type %s", name, def, typ)
+		}
+	}
+}
+
+func TestLargeModelDFA(t *testing.T) {
+	// A model with repeated names exercises the subset construction.
+	d := MustParse("t", `<!ELEMENT a ((b,c)|(b,d))>`)
+	a := d.Element("a")
+	if !a.MatchChildren([]string{"b", "c"}) || !a.MatchChildren([]string{"b", "d"}) {
+		t.Error("both branches should match")
+	}
+	if a.MatchChildren([]string{"b"}) || a.MatchChildren([]string{"c"}) {
+		t.Error("partials should not match")
+	}
+	if !a.CanExtendChildren([]string{"b"}) || !a.CanExtendChildren([]string{"d"}) {
+		t.Error("partials should extend")
+	}
+}

@@ -1,0 +1,425 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseError reports a syntax error in a DTD.
+type ParseError struct {
+	Offset int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dtd: offset %d: %s", e.Offset, e.Msg)
+}
+
+// Parse parses DTD source (the contents of a .dtd file or a DOCTYPE
+// internal subset). name identifies the DTD, by convention the hierarchy
+// name.
+func Parse(name string, src []byte) (*DTD, error) {
+	p := &parser{src: string(src)}
+	d := &DTD{Name: name, Elements: make(map[string]*ElementDecl)}
+	for {
+		p.skipSpaceAndComments()
+		if p.pos >= len(p.src) {
+			return d, nil
+		}
+		switch {
+		case p.has("<!ELEMENT"):
+			if err := p.parseElement(d); err != nil {
+				return nil, err
+			}
+		case p.has("<!ATTLIST"):
+			if err := p.parseAttlist(d); err != nil {
+				return nil, err
+			}
+		case p.has("<!ENTITY"):
+			if err := p.skipDecl(); err != nil {
+				return nil, err
+			}
+		case p.has("<!NOTATION"):
+			if err := p.skipDecl(); err != nil {
+				return nil, err
+			}
+		case p.has("<?"):
+			if err := p.skipPI(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("unexpected input %q", p.peek(12))
+		}
+	}
+}
+
+// MustParse is Parse that panics on error, for tests and fixtures.
+func MustParse(name, src string) *DTD {
+	d, err := Parse(name, []byte(src))
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek(n int) string {
+	if p.pos+n > len(p.src) {
+		n = len(p.src) - p.pos
+	}
+	return p.src[p.pos : p.pos+n]
+}
+
+func (p *parser) has(prefix string) bool {
+	return strings.HasPrefix(p.src[p.pos:], prefix)
+}
+
+func (p *parser) eat(prefix string) bool {
+	if p.has(prefix) {
+		p.pos += len(prefix)
+		return true
+	}
+	return false
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+		} else {
+			return
+		}
+	}
+}
+
+func (p *parser) skipSpaceAndComments() {
+	for {
+		p.skipSpace()
+		if p.has("<!--") {
+			end := strings.Index(p.src[p.pos+4:], "-->")
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += 4 + end + 3
+			continue
+		}
+		return
+	}
+}
+
+func (p *parser) skipDecl() error {
+	// Skip to the matching '>' respecting quoted literals.
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '"', '\'':
+			q := p.src[p.pos]
+			p.pos++
+			for p.pos < len(p.src) && p.src[p.pos] != q {
+				p.pos++
+			}
+			if p.pos >= len(p.src) {
+				return p.errorf("unterminated literal")
+			}
+			p.pos++
+		case '>':
+			p.pos++
+			return nil
+		default:
+			p.pos++
+		}
+	}
+	return p.errorf("unterminated declaration")
+}
+
+func (p *parser) skipPI() error {
+	end := strings.Index(p.src[p.pos:], "?>")
+	if end < 0 {
+		return p.errorf("unterminated processing instruction")
+	}
+	p.pos += end + 2
+	return nil
+}
+
+func (p *parser) name() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '.' || c == ':' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if p.pos == start {
+		return "", p.errorf("expected name, found %q", p.peek(8))
+	}
+	n := p.src[start:p.pos]
+	if c := rune(n[0]); !unicode.IsLetter(c) && c != '_' && c != ':' {
+		return "", p.errorf("invalid name %q", n)
+	}
+	return n, nil
+}
+
+func (p *parser) parseElement(d *DTD) error {
+	p.eat("<!ELEMENT")
+	p.skipSpace()
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	model, err := p.contentModel()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if !p.eat(">") {
+		return p.errorf("expected '>' at end of ELEMENT %s", name)
+	}
+	if _, dup := d.Elements[name]; dup {
+		return p.errorf("duplicate declaration of element %s", name)
+	}
+	decl := &ElementDecl{Name: name, Content: model}
+	d.Elements[name] = decl
+	d.Order = append(d.Order, name)
+	return nil
+}
+
+func (p *parser) contentModel() (ContentModel, error) {
+	switch {
+	case p.eat("EMPTY"):
+		return ContentModel{Kind: ModelEmpty}, nil
+	case p.eat("ANY"):
+		return ContentModel{Kind: ModelAny}, nil
+	}
+	if !p.has("(") {
+		return ContentModel{}, p.errorf("expected content model, found %q", p.peek(8))
+	}
+	// Lookahead for mixed content.
+	save := p.pos
+	p.eat("(")
+	p.skipSpace()
+	if p.eat("#PCDATA") {
+		var mixed []string
+		for {
+			p.skipSpace()
+			if p.eat(")") {
+				// Trailing '*' required when alternatives present.
+				star := p.eat("*")
+				if len(mixed) > 0 && !star {
+					return ContentModel{}, p.errorf("mixed content with alternatives requires ')*'")
+				}
+				return ContentModel{Kind: ModelMixed, Mixed: mixed}, nil
+			}
+			if !p.eat("|") {
+				return ContentModel{}, p.errorf("expected '|' or ')' in mixed content")
+			}
+			p.skipSpace()
+			n, err := p.name()
+			if err != nil {
+				return ContentModel{}, err
+			}
+			mixed = append(mixed, n)
+		}
+	}
+	// Children content.
+	p.pos = save
+	expr, err := p.cp()
+	if err != nil {
+		return ContentModel{}, err
+	}
+	return ContentModel{Kind: ModelChildren, Expr: expr}, nil
+}
+
+// cp parses a content particle: name or group, with optional modifier.
+func (p *parser) cp() (*Expr, error) {
+	p.skipSpace()
+	var e *Expr
+	if p.eat("(") {
+		inner, err := p.group()
+		if err != nil {
+			return nil, err
+		}
+		e = inner
+	} else {
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		e = &Expr{Op: OpName, Name: n}
+	}
+	switch {
+	case p.eat("?"):
+		return &Expr{Op: OpOpt, Kids: []*Expr{e}}, nil
+	case p.eat("*"):
+		return &Expr{Op: OpStar, Kids: []*Expr{e}}, nil
+	case p.eat("+"):
+		return &Expr{Op: OpPlus, Kids: []*Expr{e}}, nil
+	}
+	return e, nil
+}
+
+// group parses the inside of '(...)': a seq or choice list. The opening
+// paren is already consumed; the closing paren is consumed here.
+func (p *parser) group() (*Expr, error) {
+	first, err := p.cp()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	switch {
+	case p.eat(")"):
+		return first, nil
+	case p.has(","):
+		kids := []*Expr{first}
+		for p.eat(",") {
+			e, err := p.cp()
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, e)
+			p.skipSpace()
+		}
+		if !p.eat(")") {
+			return nil, p.errorf("expected ')' after sequence")
+		}
+		return &Expr{Op: OpSeq, Kids: kids}, nil
+	case p.has("|"):
+		kids := []*Expr{first}
+		for p.eat("|") {
+			e, err := p.cp()
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, e)
+			p.skipSpace()
+		}
+		if !p.eat(")") {
+			return nil, p.errorf("expected ')' after choice")
+		}
+		return &Expr{Op: OpChoice, Kids: kids}, nil
+	default:
+		return nil, p.errorf("expected ',', '|' or ')' in group, found %q", p.peek(8))
+	}
+}
+
+func (p *parser) parseAttlist(d *DTD) error {
+	p.eat("<!ATTLIST")
+	p.skipSpace()
+	elName, err := p.name()
+	if err != nil {
+		return err
+	}
+	decl := d.Elements[elName]
+	if decl == nil {
+		// XML allows ATTLIST before ELEMENT; create a placeholder that a
+		// later ELEMENT declaration would conflict with, so instead record
+		// it with ANY content and let a duplicate ELEMENT fail loudly.
+		decl = &ElementDecl{Name: elName, Content: ContentModel{Kind: ModelAny}}
+		d.Elements[elName] = decl
+		d.Order = append(d.Order, elName)
+	}
+	for {
+		p.skipSpace()
+		if p.eat(">") {
+			return nil
+		}
+		aname, err := p.name()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		var a AttDef
+		a.Name = aname
+		switch {
+		case p.eat("CDATA"):
+			a.Type = "CDATA"
+		case p.eat("IDREFS"):
+			a.Type = "IDREFS"
+		case p.eat("IDREF"):
+			a.Type = "IDREF"
+		case p.eat("ID"):
+			a.Type = "ID"
+		case p.eat("NMTOKENS"):
+			a.Type = "NMTOKENS"
+		case p.eat("NMTOKEN"):
+			a.Type = "NMTOKEN"
+		case p.has("("):
+			p.eat("(")
+			a.Type = "enum"
+			for {
+				p.skipSpace()
+				v, err := p.name()
+				if err != nil {
+					return err
+				}
+				a.Enum = append(a.Enum, v)
+				p.skipSpace()
+				if p.eat(")") {
+					break
+				}
+				if !p.eat("|") {
+					return p.errorf("expected '|' or ')' in enumeration")
+				}
+			}
+		default:
+			return p.errorf("unknown attribute type %q", p.peek(10))
+		}
+		p.skipSpace()
+		switch {
+		case p.eat("#REQUIRED"):
+			a.Default = DefaultRequired
+		case p.eat("#IMPLIED"):
+			a.Default = DefaultImplied
+		case p.eat("#FIXED"):
+			a.Default = DefaultFixed
+			p.skipSpace()
+			v, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			a.Value = v
+		default:
+			v, err := p.quoted()
+			if err != nil {
+				return err
+			}
+			a.Default = DefaultValue
+			a.Value = v
+		}
+		if existing := decl.AttDef(aname); existing != nil {
+			return p.errorf("duplicate attribute %s on element %s", aname, elName)
+		}
+		decl.Attrs = append(decl.Attrs, a)
+	}
+}
+
+func (p *parser) quoted() (string, error) {
+	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
+		return "", p.errorf("expected quoted value")
+	}
+	q := p.src[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errorf("unterminated quoted value")
+	}
+	v := p.src[start:p.pos]
+	p.pos++
+	return v, nil
+}

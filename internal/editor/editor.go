@@ -1,0 +1,306 @@
+// Package editor implements the document-editing core of xTagger, the
+// paper's authoring tool for multihierarchical document-centric XML
+// (§4 and reference [4]): select a fragment, choose markup from any of
+// the document's hierarchies, and have *prevalidation* veto insertions
+// that could never be extended to a valid encoding (reference [5]).
+//
+// A Session wraps a GODDAG with a concurrent markup schema (one DTD per
+// hierarchy), an undo/redo history, and change notifications for
+// presentation layers.
+package editor
+
+import (
+	"fmt"
+
+	"repro/internal/document"
+	"repro/internal/dtd"
+	"repro/internal/goddag"
+	"repro/internal/validate"
+)
+
+// ChangeKind discriminates edit notifications.
+type ChangeKind int
+
+// Change kinds.
+const (
+	ChangeInsertMarkup ChangeKind = iota
+	ChangeRemoveMarkup
+	ChangeSetAttr
+	ChangeRemoveAttr
+	ChangeInsertText
+	ChangeDeleteText
+	ChangeUndo
+	ChangeRedo
+)
+
+// String returns the change kind name.
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeInsertMarkup:
+		return "insert-markup"
+	case ChangeRemoveMarkup:
+		return "remove-markup"
+	case ChangeSetAttr:
+		return "set-attr"
+	case ChangeRemoveAttr:
+		return "remove-attr"
+	case ChangeInsertText:
+		return "insert-text"
+	case ChangeDeleteText:
+		return "delete-text"
+	case ChangeUndo:
+		return "undo"
+	case ChangeRedo:
+		return "redo"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(k))
+	}
+}
+
+// Change describes one applied edit.
+type Change struct {
+	Kind      ChangeKind
+	Hierarchy string
+	Tag       string
+	Span      document.Span
+	Detail    string
+}
+
+// Options configure a session.
+type Options struct {
+	// Prevalidate makes every markup insertion pass the potential
+	// validity check against the hierarchy's DTD before it is applied
+	// (xTagger's signature feature). Insertion into hierarchies without
+	// a DTD is always allowed.
+	Prevalidate bool
+	// HistoryLimit bounds the undo stack (0 means DefaultHistoryLimit).
+	HistoryLimit int
+}
+
+// DefaultHistoryLimit is the default undo depth.
+const DefaultHistoryLimit = 64
+
+// Session is an editing session over a GODDAG document.
+type Session struct {
+	doc    *goddag.Document
+	schema *validate.Schema
+	opts   Options
+
+	undo      []*goddag.Document // snapshots before each applied op
+	redo      []*goddag.Document
+	listeners []func(Change)
+}
+
+// NewSession starts a session. schema may be nil (no validation).
+func NewSession(doc *goddag.Document, schema *validate.Schema, opts Options) *Session {
+	if opts.HistoryLimit == 0 {
+		opts.HistoryLimit = DefaultHistoryLimit
+	}
+	if schema == nil {
+		schema = validate.NewSchema()
+	}
+	return &Session{doc: doc, schema: schema, opts: opts}
+}
+
+// Document returns the live document. Mutating it directly bypasses
+// history and prevalidation.
+func (s *Session) Document() *goddag.Document { return s.doc }
+
+// Schema returns the session's concurrent markup schema.
+func (s *Session) Schema() *validate.Schema { return s.schema }
+
+// OnChange registers a change listener, called after each applied edit.
+func (s *Session) OnChange(f func(Change)) { s.listeners = append(s.listeners, f) }
+
+func (s *Session) notify(c Change) {
+	for _, f := range s.listeners {
+		f(c)
+	}
+}
+
+// checkpoint pushes an undo snapshot and clears the redo stack.
+func (s *Session) checkpoint() {
+	s.undo = append(s.undo, s.doc.Clone())
+	if len(s.undo) > s.opts.HistoryLimit {
+		s.undo = s.undo[1:]
+	}
+	s.redo = nil
+}
+
+// CanUndo reports whether Undo would succeed.
+func (s *Session) CanUndo() bool { return len(s.undo) > 0 }
+
+// CanRedo reports whether Redo would succeed.
+func (s *Session) CanRedo() bool { return len(s.redo) > 0 }
+
+// Undo reverts the most recent edit.
+func (s *Session) Undo() error {
+	if len(s.undo) == 0 {
+		return fmt.Errorf("editor: nothing to undo")
+	}
+	s.redo = append(s.redo, s.doc)
+	s.doc = s.undo[len(s.undo)-1]
+	s.undo = s.undo[:len(s.undo)-1]
+	s.notify(Change{Kind: ChangeUndo})
+	return nil
+}
+
+// Redo re-applies the most recently undone edit.
+func (s *Session) Redo() error {
+	if len(s.redo) == 0 {
+		return fmt.Errorf("editor: nothing to redo")
+	}
+	s.undo = append(s.undo, s.doc)
+	s.doc = s.redo[len(s.redo)-1]
+	s.redo = s.redo[:len(s.redo)-1]
+	s.notify(Change{Kind: ChangeRedo})
+	return nil
+}
+
+// InsertMarkup inserts an element over span into the named hierarchy,
+// after prevalidation when enabled. The hierarchy is created on first
+// use. It returns the inserted element.
+//
+// Failed insertions leave the session exactly as it was: InsertElement is
+// atomic (it mutates nothing on error), so only the checkpoint and a
+// just-created empty hierarchy need unwinding.
+func (s *Session) InsertMarkup(hierarchy, tag string, span document.Span, attrs ...goddag.Attr) (*goddag.Element, error) {
+	s.checkpoint()
+	h := s.doc.Hierarchy(hierarchy)
+	created := false
+	if h == nil {
+		h = s.doc.AddHierarchy(hierarchy)
+		created = true
+	}
+	fail := func(err error) (*goddag.Element, error) {
+		if created {
+			s.doc.RemoveHierarchy(hierarchy)
+		}
+		s.undo = s.undo[:len(s.undo)-1]
+		return nil, err
+	}
+	if s.opts.Prevalidate {
+		if err := validate.CheckInsertion(s.doc, h, s.schema.DTD(hierarchy), tag, span); err != nil {
+			return fail(fmt.Errorf("editor: prevalidation rejected <%s>%v in %s: %w", tag, span, hierarchy, err))
+		}
+	}
+	el, err := s.doc.InsertElement(h, tag, attrs, span)
+	if err != nil {
+		return fail(err)
+	}
+	s.notify(Change{Kind: ChangeInsertMarkup, Hierarchy: hierarchy, Tag: tag, Span: span})
+	return el, nil
+}
+
+// RemoveMarkup deletes an element; its children are adopted by its
+// parent.
+func (s *Session) RemoveMarkup(el *goddag.Element) error {
+	if el == nil {
+		return fmt.Errorf("editor: nil element")
+	}
+	hier, tag, span := el.Hierarchy().Name(), el.Name(), el.Span()
+	s.checkpoint()
+	if err := s.doc.RemoveElement(el); err != nil {
+		s.undo = s.undo[:len(s.undo)-1]
+		return err
+	}
+	s.notify(Change{Kind: ChangeRemoveMarkup, Hierarchy: hier, Tag: tag, Span: span})
+	return nil
+}
+
+// SetAttr sets an attribute, validating enumerated/fixed values against
+// the DTD when the session has one for the element's hierarchy.
+func (s *Session) SetAttr(el *goddag.Element, name, value string) error {
+	if el == nil {
+		return fmt.Errorf("editor: nil element")
+	}
+	if d := s.schema.DTD(el.Hierarchy().Name()); d != nil {
+		if decl := d.Element(el.Name()); decl != nil {
+			if def := decl.AttDef(name); def != nil {
+				if def.Type == "enum" {
+					ok := false
+					for _, v := range def.Enum {
+						if v == value {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						return fmt.Errorf("editor: %s=%q not in enumeration for <%s>", name, value, el.Name())
+					}
+				}
+				if def.Default == dtd.DefaultFixed && value != def.Value {
+					return fmt.Errorf("editor: %s must be fixed %q on <%s>", name, def.Value, el.Name())
+				}
+			}
+		}
+	}
+	s.checkpoint()
+	el.SetAttr(name, value)
+	s.notify(Change{Kind: ChangeSetAttr, Hierarchy: el.Hierarchy().Name(), Tag: el.Name(), Detail: name + "=" + value})
+	return nil
+}
+
+// RemoveAttr deletes an attribute.
+func (s *Session) RemoveAttr(el *goddag.Element, name string) error {
+	if el == nil {
+		return fmt.Errorf("editor: nil element")
+	}
+	s.checkpoint()
+	if !el.RemoveAttr(name) {
+		s.undo = s.undo[:len(s.undo)-1]
+		return fmt.Errorf("editor: no attribute %q on %v", name, el)
+	}
+	s.notify(Change{Kind: ChangeRemoveAttr, Hierarchy: el.Hierarchy().Name(), Tag: el.Name(), Detail: name})
+	return nil
+}
+
+// InsertText inserts text at a rune offset, adjusting all markup.
+func (s *Session) InsertText(pos int, text string) error {
+	s.checkpoint()
+	if err := s.doc.InsertText(pos, text); err != nil {
+		s.undo = s.undo[:len(s.undo)-1]
+		return err
+	}
+	s.notify(Change{Kind: ChangeInsertText, Span: document.NewSpan(pos, pos+len([]rune(text)))})
+	return nil
+}
+
+// DeleteText removes a span of text, adjusting all markup; elements whose
+// content is entirely deleted remain as empty milestones.
+func (s *Session) DeleteText(span document.Span) error {
+	s.checkpoint()
+	if err := s.doc.DeleteText(span); err != nil {
+		s.undo = s.undo[:len(s.undo)-1]
+		return err
+	}
+	s.notify(Change{Kind: ChangeDeleteText, Span: span})
+	return nil
+}
+
+// Validate runs the schema over every hierarchy in the given mode.
+func (s *Session) Validate(mode validate.Mode) []validate.Violation {
+	return validate.Document(s.doc, s.schema, mode)
+}
+
+// SelectWord returns the span of the whitespace-delimited word containing
+// rune offset pos — the editor's double-click selection.
+func (s *Session) SelectWord(pos int) (document.Span, error) {
+	c := s.doc.Content()
+	if pos < 0 || pos >= c.Len() {
+		return document.Span{}, fmt.Errorf("editor: offset %d out of range [0,%d)", pos, c.Len())
+	}
+	isSpace := func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == '\r' }
+	if isSpace(c.RuneAt(pos)) {
+		return document.Span{}, fmt.Errorf("editor: offset %d is whitespace", pos)
+	}
+	lo := pos
+	for lo > 0 && !isSpace(c.RuneAt(lo-1)) {
+		lo--
+	}
+	hi := pos + 1
+	for hi < c.Len() && !isSpace(c.RuneAt(hi)) {
+		hi++
+	}
+	return document.NewSpan(lo, hi), nil
+}

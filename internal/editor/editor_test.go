@@ -1,0 +1,349 @@
+package editor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/dtd"
+	"repro/internal/goddag"
+	"repro/internal/validate"
+)
+
+func newSession(t *testing.T, preval bool) *Session {
+	t.Helper()
+	doc := goddag.New("r", "swa hwaet swa he us saegde")
+	schema := validate.NewSchema()
+	schema.Add("words", dtd.MustParse("words", `
+<!ELEMENT r (#PCDATA|w|sentence)*>
+<!ELEMENT sentence (#PCDATA|w)*>
+<!ELEMENT w (#PCDATA)>
+<!ATTLIST w lemma CDATA #IMPLIED kind (noun|verb) #IMPLIED>
+`))
+	schema.Add("physical", dtd.MustParse("physical", `
+<!ELEMENT r (line+)>
+<!ELEMENT line (#PCDATA)>
+`))
+	return NewSession(doc, schema, Options{Prevalidate: preval})
+}
+
+func TestInsertMarkup(t *testing.T) {
+	s := newSession(t, false)
+	w, err := s.InsertMarkup("words", "w", document.NewSpan(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Text() != "swa" {
+		t.Errorf("text = %q", w.Text())
+	}
+	if s.Document().Hierarchy("words").Len() != 1 {
+		t.Error("element not inserted")
+	}
+}
+
+func TestInsertCreatesHierarchy(t *testing.T) {
+	s := newSession(t, false)
+	if _, err := s.InsertMarkup("notes", "note", document.NewSpan(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Document().Hierarchy("notes") == nil {
+		t.Error("hierarchy not created")
+	}
+}
+
+func TestPrevalidationVeto(t *testing.T) {
+	s := newSession(t, true)
+	// "bogus" is not declared in the words DTD.
+	if _, err := s.InsertMarkup("words", "bogus", document.NewSpan(0, 3)); err == nil {
+		t.Error("undeclared tag should be vetoed")
+	}
+	// <w> inside <w> is not potentially valid ((#PCDATA) content).
+	if _, err := s.InsertMarkup("words", "w", document.NewSpan(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertMarkup("words", "w", document.NewSpan(1, 2)); err == nil {
+		t.Error("nested w should be vetoed")
+	}
+	// Unconstrained hierarchy is never vetoed.
+	if _, err := s.InsertMarkup("freeform", "anything", document.NewSpan(0, 5)); err != nil {
+		t.Errorf("unconstrained insert rejected: %v", err)
+	}
+	// A structural conflict is always rejected.
+	if _, err := s.InsertMarkup("words", "w", document.NewSpan(4, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertMarkup("words", "sentence", document.NewSpan(2, 6)); err == nil {
+		t.Error("overlap within hierarchy should be rejected")
+	}
+}
+
+func TestPrevalidationOffByDefaultOption(t *testing.T) {
+	s := newSession(t, false)
+	// Without prevalidation, undeclared tags are allowed (classic editor).
+	if _, err := s.InsertMarkup("words", "bogus", document.NewSpan(0, 3)); err != nil {
+		t.Errorf("insert rejected without prevalidation: %v", err)
+	}
+}
+
+func TestUndoRedo(t *testing.T) {
+	s := newSession(t, false)
+	if s.CanUndo() || s.CanRedo() {
+		t.Error("fresh session should have no history")
+	}
+	if err := s.Undo(); err == nil {
+		t.Error("undo on empty history should error")
+	}
+	if err := s.Redo(); err == nil {
+		t.Error("redo on empty history should error")
+	}
+	s.InsertMarkup("words", "w", document.NewSpan(0, 3))
+	s.InsertMarkup("words", "w", document.NewSpan(4, 9))
+	if n := s.Document().Hierarchy("words").Len(); n != 2 {
+		t.Fatalf("len = %d", n)
+	}
+	if err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Document().Hierarchy("words").Len(); n != 1 {
+		t.Errorf("after undo: %d", n)
+	}
+	if err := s.Redo(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Document().Hierarchy("words").Len(); n != 2 {
+		t.Errorf("after redo: %d", n)
+	}
+	// A new edit clears the redo stack.
+	s.Undo()
+	s.InsertMarkup("words", "w", document.NewSpan(10, 13))
+	if s.CanRedo() {
+		t.Error("redo should be cleared by a new edit")
+	}
+}
+
+func TestUndoRestoresExactState(t *testing.T) {
+	s := newSession(t, false)
+	s.InsertMarkup("words", "w", document.NewSpan(0, 3))
+	before := goddag.Dump(s.Document())
+	s.InsertMarkup("physical", "line", document.NewSpan(0, 13))
+	s.Undo()
+	after := goddag.Dump(s.Document())
+	if before != after {
+		t.Errorf("undo did not restore state:\n%s\nvs\n%s", before, after)
+	}
+}
+
+func TestFailedInsertLeavesNoHistory(t *testing.T) {
+	s := newSession(t, false)
+	s.InsertMarkup("words", "w", document.NewSpan(0, 3))
+	undoDepth := len(s.undo)
+	// Structural conflict (overlap in same hierarchy) fails at apply time.
+	s.InsertMarkup("words", "w", document.NewSpan(4, 9))
+	if _, err := s.InsertMarkup("words", "x", document.NewSpan(2, 6)); err == nil {
+		t.Fatal("expected conflict")
+	}
+	if len(s.undo) != undoDepth+1 {
+		t.Errorf("failed insert should not leave a checkpoint: %d vs %d", len(s.undo), undoDepth+1)
+	}
+}
+
+func TestRemoveMarkup(t *testing.T) {
+	s := newSession(t, false)
+	w, _ := s.InsertMarkup("words", "w", document.NewSpan(0, 3))
+	if err := s.RemoveMarkup(w); err != nil {
+		t.Fatal(err)
+	}
+	if s.Document().Hierarchy("words").Len() != 0 {
+		t.Error("not removed")
+	}
+	s.Undo()
+	if s.Document().Hierarchy("words").Len() != 1 {
+		t.Error("undo of remove failed")
+	}
+	if err := s.RemoveMarkup(nil); err == nil {
+		t.Error("nil element should error")
+	}
+}
+
+func TestSetAttr(t *testing.T) {
+	s := newSession(t, false)
+	w, _ := s.InsertMarkup("words", "w", document.NewSpan(0, 3))
+	if err := s.SetAttr(w, "lemma", "swa"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := w.Attr("lemma"); v != "swa" {
+		t.Errorf("lemma = %q", v)
+	}
+	// Enum validation.
+	if err := s.SetAttr(w, "kind", "adverb"); err == nil {
+		t.Error("bad enum value should be rejected")
+	}
+	if err := s.SetAttr(w, "kind", "noun"); err != nil {
+		t.Errorf("good enum rejected: %v", err)
+	}
+	if err := s.SetAttr(nil, "x", "y"); err == nil {
+		t.Error("nil element should error")
+	}
+}
+
+func TestRemoveAttr(t *testing.T) {
+	s := newSession(t, false)
+	w, _ := s.InsertMarkup("words", "w", document.NewSpan(0, 3), goddag.Attr{Name: "lemma", Value: "swa"})
+	if err := s.RemoveAttr(w, "lemma"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveAttr(w, "zzz"); err == nil {
+		t.Error("missing attribute should error")
+	}
+	if err := s.RemoveAttr(nil, "x"); err == nil {
+		t.Error("nil element should error")
+	}
+}
+
+func TestTextEditing(t *testing.T) {
+	s := newSession(t, false)
+	w, _ := s.InsertMarkup("words", "w", document.NewSpan(0, 3)) // "swa"
+	if err := s.InsertText(3, "n"); err != nil {
+		t.Fatal(err)
+	}
+	if w2 := s.Document().Hierarchy("words").Elements()[0]; w2.Text() != "swan" {
+		t.Errorf("after insert: %q", w2.Text())
+	}
+	_ = w
+	if err := s.DeleteText(document.NewSpan(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if w2 := s.Document().Hierarchy("words").Elements()[0]; w2.Text() != "an" {
+		t.Errorf("after delete: %q", w2.Text())
+	}
+	s.Undo()
+	s.Undo()
+	if got := s.Document().Content().String(); got != "swa hwaet swa he us saegde" {
+		t.Errorf("undo text edits: %q", got)
+	}
+	if err := s.InsertText(999, "x"); err == nil {
+		t.Error("out of range insert should error")
+	}
+	if err := s.DeleteText(document.NewSpan(0, 999)); err == nil {
+		t.Error("out of range delete should error")
+	}
+}
+
+func TestChangeNotifications(t *testing.T) {
+	s := newSession(t, false)
+	var kinds []ChangeKind
+	s.OnChange(func(c Change) { kinds = append(kinds, c.Kind) })
+	w, _ := s.InsertMarkup("words", "w", document.NewSpan(0, 3))
+	s.SetAttr(w, "lemma", "x")
+	s.Undo()
+	s.Redo()
+	want := []ChangeKind{ChangeInsertMarkup, ChangeSetAttr, ChangeUndo, ChangeRedo}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("kinds[%d] = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestHistoryLimit(t *testing.T) {
+	doc := goddag.New("r", strings.Repeat("ab ", 50))
+	s := NewSession(doc, nil, Options{HistoryLimit: 3})
+	for i := 0; i < 10; i++ {
+		if _, err := s.InsertMarkup("h", "w", document.NewSpan(i*3, i*3+2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	undos := 0
+	for s.CanUndo() {
+		s.Undo()
+		undos++
+	}
+	if undos != 3 {
+		t.Errorf("undo depth = %d, want 3", undos)
+	}
+}
+
+func TestValidateSession(t *testing.T) {
+	s := newSession(t, false)
+	s.InsertMarkup("physical", "line", document.NewSpan(0, 13))
+	// Missing required... line has no attrs declared required; check text
+	// at root level in (line+): root has uncovered text -> full invalid.
+	viols := s.Validate(validate.Full)
+	if len(viols) == 0 {
+		t.Error("expected violations (uncovered text under (line+) root)")
+	}
+	potential := s.Validate(validate.Potential)
+	if len(potential) != 0 {
+		t.Errorf("potentially valid expected: %v", potential)
+	}
+}
+
+func TestSelectWord(t *testing.T) {
+	s := newSession(t, false)
+	sp, err := s.SelectWord(5) // inside "hwaet"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Document().Content().Slice(sp) != "hwaet" {
+		t.Errorf("word = %q", s.Document().Content().Slice(sp))
+	}
+	// First word.
+	sp, _ = s.SelectWord(0)
+	if s.Document().Content().Slice(sp) != "swa" {
+		t.Errorf("first word = %q", s.Document().Content().Slice(sp))
+	}
+	// Last word.
+	sp, _ = s.SelectWord(s.Document().Content().Len() - 1)
+	if s.Document().Content().Slice(sp) != "saegde" {
+		t.Errorf("last word = %q", s.Document().Content().Slice(sp))
+	}
+	if _, err := s.SelectWord(3); err == nil {
+		t.Error("whitespace offset should error")
+	}
+	if _, err := s.SelectWord(-1); err == nil {
+		t.Error("negative offset should error")
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	kinds := []ChangeKind{
+		ChangeInsertMarkup, ChangeRemoveMarkup, ChangeSetAttr, ChangeRemoveAttr,
+		ChangeInsertText, ChangeDeleteText, ChangeUndo, ChangeRedo,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if s := k.String(); s == "" || seen[s] {
+			t.Errorf("kind %d name %q", int(k), s)
+		} else {
+			seen[s] = true
+		}
+	}
+	if !strings.Contains(ChangeKind(42).String(), "42") {
+		t.Error("unknown kind")
+	}
+}
+
+func TestEditWorkflowEndToEnd(t *testing.T) {
+	// The demo's xTagger flow: select a word, tag it, prevalidate, undo.
+	s := newSession(t, true)
+	sp, err := s.SelectWord(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.InsertMarkup("words", "w", sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAttr(w, "lemma", "swa"); err != nil {
+		t.Fatal(err)
+	}
+	if viols := s.Validate(validate.Potential); len(viols) != 0 {
+		t.Errorf("violations: %v", viols)
+	}
+	if err := s.Document().Check(); err != nil {
+		t.Error(err)
+	}
+}

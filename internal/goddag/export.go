@@ -1,0 +1,174 @@
+package goddag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DumpTree renders hierarchy h as an indented ASCII tree, leaves included.
+// Used by cmd/cxparse to reproduce the per-hierarchy views of Figure 1.
+func DumpTree(h *Hierarchy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<%s> (hierarchy %s)\n", h.doc.rootTag, h.name)
+	var walk func(nodes []Node, indent string)
+	walk = func(nodes []Node, indent string) {
+		for _, n := range nodes {
+			switch v := n.(type) {
+			case *Element:
+				fmt.Fprintf(&b, "%s<%s>%v", indent, v.Name(), v.Span())
+				for _, a := range v.Attrs() {
+					fmt.Fprintf(&b, " %s=%q", a.Name, a.Value)
+				}
+				b.WriteByte('\n')
+				walk(v.Children(), indent+"  ")
+			case Leaf:
+				fmt.Fprintf(&b, "%s#%d %q\n", indent, v.Index(), v.Text())
+			}
+		}
+	}
+	walk(h.doc.root.Children(h), "  ")
+	return b.String()
+}
+
+// Dump renders the whole GODDAG: the leaf table followed by each
+// hierarchy tree. This is the textual equivalent of Figure 2.
+func Dump(d *Document) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "content: %q\n", d.content.String())
+	fmt.Fprintf(&b, "leaves (%d):\n", d.NumLeaves())
+	for _, l := range d.Leaves() {
+		fmt.Fprintf(&b, "  #%d %v %q\n", l.Index(), l.Span(), l.Text())
+	}
+	for _, h := range d.Hierarchies() {
+		b.WriteString(DumpTree(h))
+	}
+	return b.String()
+}
+
+// DOT renders the GODDAG in Graphviz DOT format: one subgraph per
+// hierarchy plus the shared root and leaf rank. Node labels carry the
+// numeric identification used in Figure 2 of the paper.
+func DOT(d *Document) string {
+	var b strings.Builder
+	b.WriteString("digraph goddag {\n  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	fmt.Fprintf(&b, "  root [label=\"<%s>\", shape=ellipse];\n", d.rootTag)
+
+	// Leaves on one bottom rank.
+	b.WriteString("  { rank=same;\n")
+	for _, l := range d.Leaves() {
+		fmt.Fprintf(&b, "    leaf%d [label=%q, shape=plaintext];\n", l.Index(), l.Text())
+	}
+	b.WriteString("  }\n")
+	for i := 0; i+1 < d.NumLeaves(); i++ {
+		fmt.Fprintf(&b, "  leaf%d -> leaf%d [style=invis];\n", i, i+1)
+	}
+
+	// Number elements per tag, in document order, like Figure 2.
+	counter := map[string]int{}
+	ids := map[*Element]string{}
+	for _, e := range d.Elements() {
+		counter[e.Name()]++
+		ids[e] = fmt.Sprintf("%s%d", sanitizeDotID(e.Name()), counter[e.Name()])
+	}
+
+	for _, h := range d.Hierarchies() {
+		fmt.Fprintf(&b, "  subgraph cluster_%s {\n    label=%q; style=dashed;\n", sanitizeDotID(h.Name()), h.Name())
+		for _, e := range h.Elements() {
+			label := fmt.Sprintf("%s (%d)", e.Name(), elemNumber(ids[e]))
+			fmt.Fprintf(&b, "    %s_%s [label=%q];\n", sanitizeDotID(h.Name()), ids[e], label)
+		}
+		b.WriteString("  }\n")
+		for _, e := range h.Elements() {
+			from := fmt.Sprintf("%s_%s", sanitizeDotID(h.Name()), ids[e])
+			if e.ParentElement() == nil {
+				fmt.Fprintf(&b, "  root -> %s;\n", from)
+			}
+			for _, c := range e.ChildElements() {
+				fmt.Fprintf(&b, "  %s -> %s_%s;\n", from, sanitizeDotID(h.Name()), ids[c])
+			}
+			first, last := e.LeafRange()
+			for i := first; i < last; i++ {
+				if isDirectLeafChild(e, i) {
+					fmt.Fprintf(&b, "  %s -> leaf%d;\n", from, i)
+				}
+			}
+		}
+		// Uncovered leaves hang from the root in this hierarchy's tree.
+		for _, n := range d.root.Children(h) {
+			if l, ok := n.(Leaf); ok {
+				fmt.Fprintf(&b, "  root -> leaf%d [style=dotted];\n", l.Index())
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// isDirectLeafChild reports whether leaf i is a direct child of e (not
+// covered by a child element of e).
+func isDirectLeafChild(e *Element, i int) bool {
+	span := e.doc.part.LeafSpan(i)
+	for _, c := range e.ChildElements() {
+		if c.Span().ContainsSpan(span) && !c.Span().IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+func elemNumber(id string) int {
+	j := len(id)
+	for j > 0 && id[j-1] >= '0' && id[j-1] <= '9' {
+		j--
+	}
+	n := 0
+	for _, c := range id[j:] {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func sanitizeDotID(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// LeafTable returns a compact one-line-per-leaf table: index, span, text.
+// Columns are fixed for golden-file comparisons in tests.
+func LeafTable(d *Document) string {
+	var b strings.Builder
+	for _, l := range d.Leaves() {
+		fmt.Fprintf(&b, "%4d %10s %q\n", l.Index(), l.Span().String(), l.Text())
+	}
+	return b.String()
+}
+
+// Inventory returns a sorted "hierarchy:tag count" listing, used by tests
+// asserting the node inventory of Figure 2.
+func Inventory(d *Document) []string {
+	counts := map[string]int{}
+	for _, h := range d.Hierarchies() {
+		for _, e := range h.Elements() {
+			counts[h.Name()+":"+e.Name()]++
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s x%d", k, counts[k])
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+// Package goddag implements the GODDAG (Generalized Ordered-Descendant
+// Directed Acyclic Graph) of Sperberg-McQueen and Huitfeldt, the data model
+// the paper uses for multihierarchical document-centric XML.
+//
+// A GODDAG document has:
+//
+//   - one character Content shared by all hierarchies,
+//   - one sequence of Leaves: the finest division of the content induced
+//     by markup boundaries from *all* hierarchies,
+//   - one Root shared by all hierarchies, and
+//   - one element tree per concurrent hierarchy, whose text nodes are the
+//     shared leaves.
+//
+// Because leaves are shared, a leaf has several parents — one per
+// hierarchy — and navigation can switch hierarchies through the root or
+// through leaves, exactly as described in §3 of the paper.
+//
+// This implementation is a *restricted* GODDAG: every element dominates a
+// contiguous interval of leaves (invariant D5 in DESIGN.md), which is true
+// of any structure derived from in-line or standoff markup ranges.
+package goddag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/document"
+)
+
+// NodeKind discriminates the three node types of a GODDAG.
+type NodeKind int
+
+// The node kinds.
+const (
+	KindRoot NodeKind = iota
+	KindElement
+	KindLeaf
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindElement:
+		return "element"
+	case KindLeaf:
+		return "leaf"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a GODDAG node: the root, an element, or a text leaf.
+type Node interface {
+	// Kind reports the node type.
+	Kind() NodeKind
+	// Span is the content interval the node dominates. The root spans
+	// the whole content; a leaf spans its fragment.
+	Span() document.Span
+	// Text returns the content dominated by the node.
+	Text() string
+	// Document returns the owning document.
+	Document() *Document
+
+	isNode()
+}
+
+// Attr is a name/value attribute on an element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Document is a GODDAG document: shared content and leaves plus one
+// element tree per hierarchy, all united at a single root.
+type Document struct {
+	content *document.Content
+	part    *document.Partition
+	root    *Root
+	rootTag string
+	hiers   map[string]*Hierarchy
+	order   []string // hierarchy insertion order
+	seq     int      // element insertion counter, for stable ordering
+
+	// Element index cache: Elements() is hot in query evaluation, so the
+	// sorted cross-hierarchy element list is cached and invalidated by a
+	// version counter bumped on every structural mutation.
+	version      uint64
+	elemCache    []*Element
+	elemCacheVer uint64
+	spanIdx      *spanIndex
+	spanIdxVer   uint64
+}
+
+// bump invalidates derived caches after a structural mutation.
+func (d *Document) bump() { d.version++ }
+
+// New creates a document over the given character content with the given
+// root element tag (all hierarchies of a concurrent document share the
+// same root; paper §3).
+func New(rootTag, content string) *Document {
+	d := &Document{
+		content: document.NewContent(content),
+		rootTag: rootTag,
+		hiers:   make(map[string]*Hierarchy),
+	}
+	d.part = document.NewPartition(d.content.Len())
+	d.root = &Root{doc: d}
+	return d
+}
+
+// RootTag returns the shared root element tag.
+func (d *Document) RootTag() string { return d.rootTag }
+
+// Root returns the shared root node.
+func (d *Document) Root() *Root { return d.root }
+
+// Content returns the document's character content.
+func (d *Document) Content() *document.Content { return d.content }
+
+// Partition exposes the leaf partition (read-mostly; mutate only through
+// document operations).
+func (d *Document) Partition() *document.Partition { return d.part }
+
+// AddHierarchy registers a new concurrent hierarchy (one per DTD in the
+// concurrent markup hierarchy; paper §3) and returns it. Adding an
+// existing name returns the existing hierarchy.
+func (d *Document) AddHierarchy(name string) *Hierarchy {
+	if h, ok := d.hiers[name]; ok {
+		return h
+	}
+	h := &Hierarchy{doc: d, name: name}
+	d.hiers[name] = h
+	d.order = append(d.order, name)
+	d.bump()
+	return h
+}
+
+// Hierarchy returns the named hierarchy, or nil.
+func (d *Document) Hierarchy(name string) *Hierarchy { return d.hiers[name] }
+
+// RemoveHierarchy deletes an *empty* hierarchy, reporting whether it was
+// removed. Hierarchies that still hold elements are not removed.
+func (d *Document) RemoveHierarchy(name string) bool {
+	h, ok := d.hiers[name]
+	if !ok || h.n != 0 {
+		return false
+	}
+	delete(d.hiers, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.bump()
+	return true
+}
+
+// Hierarchies returns all hierarchies in creation order.
+func (d *Document) Hierarchies() []*Hierarchy {
+	out := make([]*Hierarchy, 0, len(d.order))
+	for _, n := range d.order {
+		out = append(out, d.hiers[n])
+	}
+	return out
+}
+
+// HierarchyNames returns hierarchy names in creation order.
+func (d *Document) HierarchyNames() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// NumLeaves returns the current number of text leaves.
+func (d *Document) NumLeaves() int { return d.part.NumLeaves() }
+
+// Leaf returns the i-th leaf handle.
+func (d *Document) Leaf(i int) Leaf {
+	if i < 0 || i >= d.part.NumLeaves() {
+		panic(fmt.Sprintf("goddag: leaf index %d out of range [0,%d)", i, d.part.NumLeaves()))
+	}
+	return Leaf{doc: d, idx: i}
+}
+
+// Leaves returns all leaf handles in content order.
+func (d *Document) Leaves() []Leaf {
+	out := make([]Leaf, d.part.NumLeaves())
+	for i := range out {
+		out[i] = Leaf{doc: d, idx: i}
+	}
+	return out
+}
+
+// LeafAt returns the leaf containing rune offset pos.
+func (d *Document) LeafAt(pos int) Leaf {
+	return Leaf{doc: d, idx: d.part.LeafAt(pos)}
+}
+
+// Elements returns every element of every hierarchy in document order.
+// The result is cached until the next structural mutation; callers must
+// not modify it.
+func (d *Document) Elements() []*Element {
+	if d.elemCache != nil && d.elemCacheVer == d.version {
+		return d.elemCache
+	}
+	out := make([]*Element, 0, 16)
+	for _, name := range d.order {
+		out = append(out, d.hiers[name].Elements()...)
+	}
+	sortElements(out)
+	d.elemCache = out
+	d.elemCacheVer = d.version
+	return out
+}
+
+// ElementsNamed returns every element with the given tag across all
+// hierarchies, in document order.
+func (d *Document) ElementsNamed(tag string) []*Element {
+	var out []*Element
+	for _, e := range d.Elements() {
+		if e.name == tag {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// sortElements orders elements in document order: by start offset, wider
+// spans first, then by insertion sequence (stable for empty elements and
+// equal spans, and deterministic across hierarchies).
+func sortElements(es []*Element) {
+	sort.SliceStable(es, func(i, j int) bool {
+		c := document.CompareSpans(es[i].span, es[j].span)
+		if c != 0 {
+			return c < 0
+		}
+		return es[i].seq < es[j].seq
+	})
+}
+
+// Root is the single root node shared by all hierarchy trees.
+type Root struct {
+	doc *Document
+}
+
+// Kind returns KindRoot.
+func (r *Root) Kind() NodeKind { return KindRoot }
+
+// Span covers the entire content.
+func (r *Root) Span() document.Span {
+	return document.NewSpan(0, r.doc.content.Len())
+}
+
+// Text returns the entire document content.
+func (r *Root) Text() string { return r.doc.content.String() }
+
+// Document returns the owning document.
+func (r *Root) Document() *Document { return r.doc }
+
+func (r *Root) isNode() {}
+
+// Name returns the root element tag.
+func (r *Root) Name() string { return r.doc.rootTag }
+
+// Children returns the root's children in hierarchy h: the top-level
+// elements of h interleaved with the leaves not covered by any of them.
+func (r *Root) Children(h *Hierarchy) []Node {
+	return childNodes(r.doc, r.Span(), h.top)
+}
+
+// Leaf is a handle on the i-th text leaf. Leaves are shared by all
+// hierarchies; they are identified by index, so handles stay cheap and
+// remain valid as long as the document is not structurally mutated.
+type Leaf struct {
+	doc *Document
+	idx int
+}
+
+// Kind returns KindLeaf.
+func (l Leaf) Kind() NodeKind { return KindLeaf }
+
+// Index returns the leaf's position in the leaf sequence.
+func (l Leaf) Index() int { return l.idx }
+
+// Span returns the content interval of the leaf.
+func (l Leaf) Span() document.Span { return l.doc.part.LeafSpan(l.idx) }
+
+// Text returns the leaf's content fragment.
+func (l Leaf) Text() string { return l.doc.content.Slice(l.Span()) }
+
+// Document returns the owning document.
+func (l Leaf) Document() *Document { return l.doc }
+
+func (l Leaf) isNode() {}
+
+// Parent returns the leaf's parent in hierarchy h: the innermost element
+// of h dominating the leaf, or the root if no element of h covers it.
+func (l Leaf) Parent(h *Hierarchy) Node {
+	if e := h.innermostCovering(l.Span()); e != nil {
+		return e
+	}
+	return l.doc.root
+}
+
+// Parents returns the leaf's parents across all hierarchies, one node per
+// hierarchy in hierarchy creation order. This is the multi-parent edge set
+// that makes the GODDAG a DAG rather than a tree.
+func (l Leaf) Parents() []Node {
+	out := make([]Node, 0, len(l.doc.order))
+	for _, name := range l.doc.order {
+		out = append(out, l.Parent(l.doc.hiers[name]))
+	}
+	return out
+}
+
+// Next returns the following leaf and ok=false at the last leaf.
+func (l Leaf) Next() (Leaf, bool) {
+	if l.idx+1 >= l.doc.part.NumLeaves() {
+		return Leaf{}, false
+	}
+	return Leaf{doc: l.doc, idx: l.idx + 1}, true
+}
+
+// Prev returns the preceding leaf and ok=false at the first leaf.
+func (l Leaf) Prev() (Leaf, bool) {
+	if l.idx == 0 {
+		return Leaf{}, false
+	}
+	return Leaf{doc: l.doc, idx: l.idx - 1}, true
+}

@@ -1,0 +1,89 @@
+package goddag
+
+import "repro/internal/document"
+
+// spanIndex is a static interval index over the document's elements: the
+// elements sorted by start offset, augmented with a segment tree of
+// maximum span ends. Intersection-style queries prune whole subtrees
+// whose spans end before the query starts and stop at the first start
+// past the query end, giving O(log n + answers) lookups instead of a
+// linear scan — the "indexing" direction the paper lists as ongoing
+// work, applied to the in-memory GODDAG.
+//
+// The index is rebuilt lazily alongside the element cache and shares its
+// version stamp.
+type spanIndex struct {
+	els    []*Element
+	maxEnd []int // segment tree, node i covers a range of els
+}
+
+// buildSpanIndex builds the tree. els must be sorted by span start,
+// which document order guarantees.
+func buildSpanIndex(els []*Element) *spanIndex {
+	ix := &spanIndex{els: els}
+	if len(els) == 0 {
+		return ix
+	}
+	ix.maxEnd = make([]int, 4*len(els))
+	ix.build(1, 0, len(els))
+	return ix
+}
+
+func (ix *spanIndex) build(node, lo, hi int) int {
+	if hi-lo == 1 {
+		ix.maxEnd[node] = ix.els[lo].span.End
+		return ix.maxEnd[node]
+	}
+	mid := (lo + hi) / 2
+	l := ix.build(2*node, lo, mid)
+	r := ix.build(2*node+1, mid, hi)
+	if l > r {
+		ix.maxEnd[node] = l
+	} else {
+		ix.maxEnd[node] = r
+	}
+	return ix.maxEnd[node]
+}
+
+// visitIntersecting calls emit, in document order, for every element
+// whose span satisfies Start < sp.End && End > sp.Start — the candidate
+// superset for intersection, containment, and proper-overlap tests.
+func (ix *spanIndex) visitIntersecting(sp document.Span, emit func(*Element)) {
+	if len(ix.els) == 0 || sp.End <= sp.Start {
+		return
+	}
+	ix.visit(1, 0, len(ix.els), sp, emit)
+}
+
+func (ix *spanIndex) visit(node, lo, hi int, sp document.Span, emit func(*Element)) {
+	// Prune: every span in this subtree ends at or before sp.Start.
+	if ix.maxEnd[node] <= sp.Start {
+		return
+	}
+	// Prune: every span in this subtree starts at or after sp.End
+	// (elements are sorted by start).
+	if ix.els[lo].span.Start >= sp.End {
+		return
+	}
+	if hi-lo == 1 {
+		e := ix.els[lo]
+		if e.span.Start < sp.End && e.span.End > sp.Start {
+			emit(e)
+		}
+		return
+	}
+	mid := (lo + hi) / 2
+	ix.visit(2*node, lo, mid, sp, emit)
+	ix.visit(2*node+1, mid, hi, sp, emit)
+}
+
+// index returns the document's span index, rebuilding it when stale.
+func (d *Document) index() *spanIndex {
+	els := d.Elements() // refreshes the cache and its version stamp
+	if d.spanIdx != nil && d.spanIdxVer == d.version {
+		return d.spanIdx
+	}
+	d.spanIdx = buildSpanIndex(els)
+	d.spanIdxVer = d.version
+	return d.spanIdx
+}

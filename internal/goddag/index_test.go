@@ -1,0 +1,150 @@
+package goddag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/document"
+)
+
+// naiveOverlapping is the reference implementation the index must match.
+func naiveOverlapping(d *Document, sp document.Span) []*Element {
+	var out []*Element
+	for _, e := range d.Elements() {
+		if e.Span().Overlaps(sp) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func naiveIntersecting(d *Document, sp document.Span) []*Element {
+	var out []*Element
+	for _, e := range d.Elements() {
+		if e.Span().Intersects(sp) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// randomDoc builds a document with many hierarchies of random
+// non-conflicting spans.
+func randomDoc(seed int64, contentLen, hierarchies, perHier int) *Document {
+	rng := rand.New(rand.NewSource(seed))
+	d := New("r", randText(rng, contentLen))
+	for h := 0; h < hierarchies; h++ {
+		hier := d.AddHierarchy(string(rune('a' + h)))
+		lastEnd := 0
+		for i := 0; i < perHier; i++ {
+			lo := lastEnd + rng.Intn(5)
+			hi := lo + 1 + rng.Intn(8)
+			if hi > contentLen {
+				break
+			}
+			if _, err := d.InsertElement(hier, "x", nil, document.NewSpan(lo, hi)); err != nil {
+				panic(err)
+			}
+			lastEnd = hi
+		}
+	}
+	return d
+}
+
+func randText(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func TestIndexMatchesNaive(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		d := randomDoc(seed, 200, 4, 12)
+		lo := int(a) % 200
+		hi := lo + int(b)%40
+		if hi > 200 {
+			hi = 200
+		}
+		sp := document.NewSpan(lo, hi)
+		got := d.ElementsOverlapping(sp)
+		want := naiveOverlapping(d, sp)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		gotI := d.ElementsIntersecting(sp)
+		wantI := naiveIntersecting(d, sp)
+		if len(gotI) != len(wantI) {
+			return false
+		}
+		for i := range gotI {
+			if gotI[i] != wantI[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexInvalidation(t *testing.T) {
+	d := New("r", "abcdefghij")
+	h1 := d.AddHierarchy("h1")
+	h2 := d.AddHierarchy("h2")
+	if _, err := d.InsertElement(h1, "a", nil, document.NewSpan(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	sp := document.NewSpan(3, 9)
+	if got := d.ElementsOverlapping(sp); len(got) != 1 {
+		t.Fatalf("before: %v", got)
+	}
+	// Insert a second overlapping element: the index must see it.
+	if _, err := d.InsertElement(h2, "b", nil, document.NewSpan(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ElementsOverlapping(sp); len(got) != 2 {
+		t.Errorf("after insert: %v", got)
+	}
+	// Remove one: the index must forget it.
+	if err := d.RemoveElement(d.Hierarchy("h1").Elements()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ElementsOverlapping(sp); len(got) != 1 {
+		t.Errorf("after remove: %v", got)
+	}
+}
+
+func TestIndexEmptyDocument(t *testing.T) {
+	d := New("r", "abc")
+	if got := d.ElementsOverlapping(document.NewSpan(0, 3)); len(got) != 0 {
+		t.Errorf("empty doc: %v", got)
+	}
+	if got := d.ElementsIntersecting(document.NewSpan(1, 1)); len(got) != 0 {
+		t.Errorf("empty span: %v", got)
+	}
+}
+
+func TestElementsCacheStability(t *testing.T) {
+	d := New("r", "abcdefghij")
+	h := d.AddHierarchy("h")
+	d.InsertElement(h, "a", nil, document.NewSpan(0, 4))
+	first := d.Elements()
+	second := d.Elements()
+	if &first[0] != &second[0] {
+		t.Error("cache should return the same slice between mutations")
+	}
+	d.InsertElement(h, "b", nil, document.NewSpan(5, 9))
+	third := d.Elements()
+	if len(third) != 2 {
+		t.Errorf("after mutation: %d elements", len(third))
+	}
+}

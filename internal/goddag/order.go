@@ -1,0 +1,95 @@
+package goddag
+
+import "repro/internal/document"
+
+// CompareNodes defines the total document order over GODDAG nodes used by
+// Extended XPath node-sets:
+//
+//   - the root precedes everything;
+//   - otherwise nodes order by start offset, then wider spans first (a
+//     containing element precedes its contents);
+//   - at equal spans, elements precede leaves (a milestone at a position
+//     precedes the text that follows it), and elements order by insertion
+//     sequence.
+//
+// It returns -1, 0, or +1.
+func CompareNodes(a, b Node) int {
+	if a == b {
+		return 0
+	}
+	ka, kb := a.Kind(), b.Kind()
+	if ka == KindRoot {
+		if kb == KindRoot {
+			return 0
+		}
+		return -1
+	}
+	if kb == KindRoot {
+		return 1
+	}
+	c := document.CompareSpans(a.Span(), b.Span())
+	if c != 0 {
+		return c
+	}
+	// Same span: element before leaf; elements by sequence; leaves by index.
+	ea, isEA := a.(*Element)
+	eb, isEB := b.(*Element)
+	switch {
+	case isEA && isEB:
+		switch {
+		case ea.seq < eb.seq:
+			return -1
+		case ea.seq > eb.seq:
+			return 1
+		default:
+			return 0
+		}
+	case isEA:
+		return -1
+	case isEB:
+		return 1
+	}
+	la, isLA := a.(Leaf)
+	lb, isLB := b.(Leaf)
+	if isLA && isLB {
+		switch {
+		case la.idx < lb.idx:
+			return -1
+		case la.idx > lb.idx:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+// NodesEqual reports whether two nodes are the same GODDAG node. Leaf
+// handles are value types, so plain == works for them but not across the
+// Node interface with pointer kinds mixed in.
+func NodesEqual(a, b Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if la, ok := a.(Leaf); ok {
+		if lb, ok := b.(Leaf); ok {
+			return la.doc == lb.doc && la.idx == lb.idx
+		}
+		return false
+	}
+	return a == b
+}
+
+// NodeID returns a stable identity key for a node, usable as a map key for
+// node-set deduplication.
+func NodeID(n Node) any {
+	if l, ok := n.(Leaf); ok {
+		return leafID{doc: l.doc, idx: l.idx}
+	}
+	return n
+}
+
+type leafID struct {
+	doc *Document
+	idx int
+}

@@ -1,0 +1,175 @@
+package goddag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/document"
+)
+
+// TestRandomEditSequences drives random insert/remove/text-edit/compact
+// sequences across several hierarchies and checks every GODDAG invariant
+// after each step.
+func TestRandomEditSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New("r", randText(rng, 80))
+		hiers := []*Hierarchy{
+			d.AddHierarchy("h1"), d.AddHierarchy("h2"), d.AddHierarchy("h3"),
+		}
+		var inserted []*Element
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4, 5: // insert
+				if d.Content().Len() == 0 {
+					continue
+				}
+				h := hiers[rng.Intn(len(hiers))]
+				lo := rng.Intn(d.Content().Len())
+				hi := lo + rng.Intn(d.Content().Len()-lo+1)
+				el, err := d.InsertElement(h, "x", nil, document.NewSpan(lo, hi))
+				if err != nil {
+					// Conflicts within a hierarchy are expected; anything
+					// else would be caught by Check below.
+					continue
+				}
+				inserted = append(inserted, el)
+			case 6: // remove
+				if len(inserted) == 0 {
+					continue
+				}
+				i := rng.Intn(len(inserted))
+				el := inserted[i]
+				inserted = append(inserted[:i], inserted[i+1:]...)
+				if err := d.RemoveElement(el); err != nil {
+					return false
+				}
+			case 7: // insert text
+				pos := rng.Intn(d.Content().Len() + 1)
+				if err := d.InsertText(pos, "ab"); err != nil {
+					return false
+				}
+			case 8: // delete text
+				if d.Content().Len() < 2 {
+					continue
+				}
+				lo := rng.Intn(d.Content().Len() - 1)
+				hi := lo + 1 + rng.Intn(min(4, d.Content().Len()-lo-1))
+				if err := d.DeleteText(document.NewSpan(lo, hi)); err != nil {
+					return false
+				}
+			case 9: // compact
+				d.Compact()
+			}
+			if err := d.Check(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeafTextConcatenationInvariant: the concatenation of all leaf texts
+// always equals the document content, whatever the markup.
+func TestLeafTextConcatenationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDoc(seed, 120, 3, 15)
+		text := ""
+		for _, l := range d.Leaves() {
+			text += l.Text()
+		}
+		return text == d.Content().String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestElementTextEqualsLeafConcat: every element's text equals the
+// concatenation of its dominated leaves.
+func TestElementTextEqualsLeafConcat(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDoc(seed, 120, 3, 15)
+		for _, e := range d.Elements() {
+			text := ""
+			for _, l := range e.Leaves() {
+				text += l.Text()
+			}
+			if text != e.Text() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeafParentsConsistent: for every leaf and hierarchy, the parent's
+// span contains the leaf and the leaf appears among the parent's
+// children.
+func TestLeafParentsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDoc(seed, 100, 3, 10)
+		for _, l := range d.Leaves() {
+			for _, h := range d.Hierarchies() {
+				p := l.Parent(h)
+				if !p.Span().ContainsSpan(l.Span()) {
+					return false
+				}
+				var kids []Node
+				switch v := p.(type) {
+				case *Element:
+					kids = v.Children()
+				case *Root:
+					kids = v.Children(h)
+				}
+				found := false
+				for _, k := range kids {
+					if NodesEqual(k, l) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDocumentOrderTotal: CompareNodes is a total order over all nodes —
+// antisymmetric and transitive on a sample.
+func TestDocumentOrderTotal(t *testing.T) {
+	d := randomDoc(42, 100, 3, 12)
+	var nodes []Node
+	nodes = append(nodes, d.Root())
+	for _, e := range d.Elements() {
+		nodes = append(nodes, e)
+	}
+	for _, l := range d.Leaves() {
+		nodes = append(nodes, l)
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			ab, ba := CompareNodes(a, b), CompareNodes(b, a)
+			if ab != -ba {
+				t.Fatalf("not antisymmetric: %v vs %v: %d %d", a, b, ab, ba)
+			}
+			if ab == 0 && !NodesEqual(a, b) && a.Span() != b.Span() {
+				t.Fatalf("distinct nodes compare equal: %v %v", a, b)
+			}
+		}
+	}
+}

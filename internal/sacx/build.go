@@ -1,0 +1,197 @@
+package sacx
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/document"
+	"repro/internal/goddag"
+)
+
+// Build parses a distributed document into a GODDAG in one pass over the
+// merged event stream: per-hierarchy element stacks turn start/end event
+// pairs into element records. All leaf boundaries are then cut in one
+// batch (O(B log B) rather than O(B·leaves)), and records are inserted
+// widest-first so the per-insert adoption work stays minimal.
+func Build(sources []Source) (*goddag.Document, error) {
+	return BuildWithOptions(sources, Options{})
+}
+
+// BuildWithOptions is Build with explicit stream options.
+func BuildWithOptions(sources []Source, opts Options) (*goddag.Document, error) {
+	st, err := NewStream(sources, opts)
+	if err != nil {
+		return nil, err
+	}
+	var doc *goddag.Document
+	type open struct {
+		name  string
+		attrs []goddag.Attr
+		pos   int
+	}
+	type record struct {
+		hier  string
+		name  string
+		attrs []goddag.Attr
+		span  document.Span
+		seq   int
+	}
+	stacks := map[string][]open{}
+	for _, src := range sources {
+		stacks[src.Hierarchy] = nil
+	}
+	var records []record
+	seq := 0
+	for {
+		ev, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case StartDocument:
+			doc = goddag.New(ev.Name, ev.Text)
+			for _, src := range sources {
+				doc.AddHierarchy(src.Hierarchy)
+			}
+		case StartElement:
+			stacks[ev.Hierarchy] = append(stacks[ev.Hierarchy],
+				open{name: ev.Name, attrs: ev.Attrs, pos: ev.Pos})
+		case EndElement:
+			stack := stacks[ev.Hierarchy]
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("sacx: unbalanced end of <%s> in hierarchy %q", ev.Name, ev.Hierarchy)
+			}
+			top := stack[len(stack)-1]
+			stacks[ev.Hierarchy] = stack[:len(stack)-1]
+			if top.name != ev.Name {
+				return nil, fmt.Errorf("sacx: end of <%s> does not match open <%s> in hierarchy %q",
+					ev.Name, top.name, ev.Hierarchy)
+			}
+			records = append(records, record{
+				hier: ev.Hierarchy, name: top.name, attrs: top.attrs,
+				span: document.NewSpan(top.pos, ev.Pos), seq: seq,
+			})
+			seq++
+		case Characters, EndDocument:
+			// Content was installed at StartDocument.
+		}
+	}
+	for hier, stack := range stacks {
+		if len(stack) != 0 {
+			return nil, fmt.Errorf("sacx: hierarchy %q has %d unclosed elements", hier, len(stack))
+		}
+	}
+
+	// Batch-cut every markup border, then insert widest-first: parents
+	// land before children, so adoption churn never occurs. Equal spans
+	// keep arrival order (inner element ended first), preserving nesting.
+	cuts := make([]int, 0, 2*len(records))
+	for _, r := range records {
+		cuts = append(cuts, r.span.Start, r.span.End)
+	}
+	doc.Partition().CutAll(cuts)
+	sort.SliceStable(records, func(i, j int) bool {
+		c := document.CompareSpans(records[i].span, records[j].span)
+		if c != 0 {
+			return c < 0
+		}
+		return records[i].seq < records[j].seq
+	})
+	for _, r := range records {
+		h := doc.Hierarchy(r.hier)
+		if _, err := doc.InsertElement(h, r.name, r.attrs, r.span); err != nil {
+			return nil, fmt.Errorf("sacx: hierarchy %q: %w", r.hier, err)
+		}
+	}
+	return doc, nil
+}
+
+// Split serializes one hierarchy of a GODDAG back to a standalone XML
+// document — the inverse of Build for a single hierarchy. It renders the
+// shared root, the hierarchy's elements, and the full character content.
+func Split(d *goddag.Document, hierarchy string) ([]byte, error) {
+	h := d.Hierarchy(hierarchy)
+	if h == nil {
+		return nil, fmt.Errorf("sacx: unknown hierarchy %q", hierarchy)
+	}
+	var b []byte
+	b = append(b, '<')
+	b = append(b, d.RootTag()...)
+	b = append(b, '>')
+	b = appendNodes(b, d.Root().Children(h))
+	b = append(b, '<', '/')
+	b = append(b, d.RootTag()...)
+	b = append(b, '>')
+	return b, nil
+}
+
+func appendNodes(b []byte, nodes []goddag.Node) []byte {
+	for _, n := range nodes {
+		switch v := n.(type) {
+		case *goddag.Element:
+			b = append(b, '<')
+			b = append(b, v.Name()...)
+			for _, a := range v.Attrs() {
+				b = append(b, ' ')
+				b = append(b, a.Name...)
+				b = append(b, '=', '"')
+				b = append(b, escapeAttr(a.Value)...)
+				b = append(b, '"')
+			}
+			if v.IsEmpty() && len(v.ChildElements()) == 0 {
+				b = append(b, '/', '>')
+				continue
+			}
+			b = append(b, '>')
+			b = appendNodes(b, v.Children())
+			b = append(b, '<', '/')
+			b = append(b, v.Name()...)
+			b = append(b, '>')
+		case goddag.Leaf:
+			b = append(b, escapeText(v.Text())...)
+		}
+	}
+	return b
+}
+
+func escapeText(s string) string {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		default:
+			out = appendRune(out, r)
+		}
+	}
+	return string(out)
+}
+
+func escapeAttr(s string) string {
+	out := make([]byte, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = appendRune(out, r)
+		}
+	}
+	return string(out)
+}
+
+func appendRune(b []byte, r rune) []byte {
+	return append(b, string(r)...)
+}

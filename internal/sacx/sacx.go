@@ -1,0 +1,190 @@
+// Package sacx implements SACX, the SAX-style parser for concurrent XML
+// of Iacob, Dekhtyar & Kaneko (WIDM 2004, reference [6] of the paper).
+//
+// The input is a *distributed document*: one well-formed XML document per
+// concurrent hierarchy, all with the same root element tag and the same
+// character content (paper §3). SACX merges the hierarchies' markup into a
+// single event stream ordered by content offset, from which a GODDAG can
+// be built in one pass (Build), or which applications can consume
+// directly (Stream) the way they would consume SAX events.
+//
+// Event order at one content position: end-tags fire before start-tags
+// (markup closing at a position precedes markup opening there), and both
+// precede the character data that follows the position. Events from
+// different hierarchies at the same position and of the same class are
+// delivered in source order, so the merge is deterministic.
+package sacx
+
+import (
+	"fmt"
+
+	"repro/internal/goddag"
+	"repro/internal/xmlscan"
+)
+
+// Source is one hierarchy's XML document.
+type Source struct {
+	// Hierarchy names the concurrent hierarchy this document encodes.
+	Hierarchy string
+	// Data is the document text.
+	Data []byte
+}
+
+// EventKind discriminates merged stream events.
+type EventKind int
+
+// Event kinds, in the order they sort at equal content positions.
+const (
+	// StartDocument is emitted once, carrying the shared root tag in Name
+	// and the full character content in Text.
+	StartDocument EventKind = iota
+	// EndElement closes an element; Pos is the content offset of the
+	// close.
+	EndElement
+	// StartElement opens an element at content offset Pos.
+	StartElement
+	// Characters carries a maximal run of character data between markup
+	// positions. Text holds the run; Pos its starting offset.
+	Characters
+	// EndDocument is emitted once after all markup closes.
+	EndDocument
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case StartDocument:
+		return "StartDocument"
+	case EndElement:
+		return "EndElement"
+	case StartElement:
+		return "StartElement"
+	case Characters:
+		return "Characters"
+	case EndDocument:
+		return "EndDocument"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one item of the merged concurrent event stream.
+type Event struct {
+	Kind      EventKind
+	Hierarchy string // owning hierarchy for element events
+	Name      string // element tag / root tag
+	Attrs     []goddag.Attr
+	Text      string // character data (Characters, StartDocument)
+	Pos       int    // content rune offset
+}
+
+// ContentMismatchError reports that two hierarchies of a distributed
+// document disagree on character content, which §3 of the paper forbids.
+type ContentMismatchError struct {
+	Hierarchy string // the diverging hierarchy
+	Against   string // the reference hierarchy
+	Pos       int    // rune offset of the first divergence
+	Want      string // reference content around Pos
+	Got       string // diverging content around Pos
+}
+
+// Error implements the error interface.
+func (e *ContentMismatchError) Error() string {
+	return fmt.Sprintf("sacx: hierarchy %q diverges from %q at content offset %d: %q vs %q",
+		e.Hierarchy, e.Against, e.Pos, e.Got, e.Want)
+}
+
+// RootMismatchError reports differing root tags across hierarchies.
+type RootMismatchError struct {
+	Hierarchy string
+	Want      string
+	Got       string
+}
+
+// Error implements the error interface.
+func (e *RootMismatchError) Error() string {
+	return fmt.Sprintf("sacx: hierarchy %q has root <%s>, want <%s>", e.Hierarchy, e.Got, e.Want)
+}
+
+// verifySources tokenizes nothing; it checks that all sources share root
+// tag and content, returning the shared values.
+func verifySources(sources []Source) (rootTag, content string, err error) {
+	if len(sources) == 0 {
+		return "", "", fmt.Errorf("sacx: no sources")
+	}
+	seen := map[string]bool{}
+	for i, src := range sources {
+		if src.Hierarchy == "" {
+			return "", "", fmt.Errorf("sacx: source %d has empty hierarchy name", i)
+		}
+		if seen[src.Hierarchy] {
+			return "", "", fmt.Errorf("sacx: duplicate hierarchy %q", src.Hierarchy)
+		}
+		seen[src.Hierarchy] = true
+	}
+	for i, src := range sources {
+		c, cerr := xmlscan.Content(src.Data)
+		if cerr != nil {
+			return "", "", fmt.Errorf("sacx: hierarchy %q: %w", src.Hierarchy, cerr)
+		}
+		rt, rerr := rootOf(src.Data)
+		if rerr != nil {
+			return "", "", fmt.Errorf("sacx: hierarchy %q: %w", src.Hierarchy, rerr)
+		}
+		if i == 0 {
+			rootTag, content = rt, c
+			continue
+		}
+		if rt != rootTag {
+			return "", "", &RootMismatchError{Hierarchy: src.Hierarchy, Want: rootTag, Got: rt}
+		}
+		if c != content {
+			pos := divergence(content, c)
+			return "", "", &ContentMismatchError{
+				Hierarchy: src.Hierarchy,
+				Against:   sources[0].Hierarchy,
+				Pos:       pos,
+				Want:      clip(content, pos),
+				Got:       clip(c, pos),
+			}
+		}
+	}
+	return rootTag, content, nil
+}
+
+func rootOf(data []byte) (string, error) {
+	s := xmlscan.New(data, xmlscan.Options{})
+	for {
+		tok, err := s.Next()
+		if err != nil {
+			return "", err
+		}
+		if tok.Kind == xmlscan.KindStartElement {
+			return tok.Name, nil
+		}
+	}
+}
+
+// divergence returns the rune offset of the first difference.
+func divergence(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	n := min(len(ra), len(rb))
+	for i := 0; i < n; i++ {
+		if ra[i] != rb[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func clip(s string, pos int) string {
+	r := []rune(s)
+	lo, hi := pos-8, pos+8
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r) {
+		hi = len(r)
+	}
+	return string(r[lo:hi])
+}

@@ -1,0 +1,418 @@
+package sacx
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/goddag"
+)
+
+// fig1Sources is the paper's Figure 1 distributed document: four XML
+// encodings of the same manuscript content.
+func fig1Sources() []Source {
+	return []Source{
+		{Hierarchy: "physical", Data: []byte(`<r><line n="1">swa hwæt swa</line><line n="2"> he us sægde</line></r>`)},
+		{Hierarchy: "words", Data: []byte(`<r><w>swa</w> <w>hwæt</w> <w>swa</w> <w>he</w> <w>us</w> <w>sægde</w></r>`)},
+		{Hierarchy: "restoration", Data: []byte(`<r>swa hwæt s<res resp="ed">wa he u</res>s sægde</r>`)},
+		{Hierarchy: "damage", Data: []byte(`<r>swa hw<dmg type="stain">æt sw</dmg>a he us sægde</r>`)},
+	}
+}
+
+func TestVerifySources(t *testing.T) {
+	root, content, err := verifySources(fig1Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != "r" {
+		t.Errorf("root = %q", root)
+	}
+	if content != "swa hwæt swa he us sægde" {
+		t.Errorf("content = %q", content)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	if _, _, err := verifySources(nil); err == nil {
+		t.Error("no sources should error")
+	}
+	if _, _, err := verifySources([]Source{{Hierarchy: "", Data: []byte("<r/>")}}); err == nil {
+		t.Error("empty hierarchy name should error")
+	}
+	dup := []Source{
+		{Hierarchy: "a", Data: []byte("<r>x</r>")},
+		{Hierarchy: "a", Data: []byte("<r>x</r>")},
+	}
+	if _, _, err := verifySources(dup); err == nil {
+		t.Error("duplicate hierarchy should error")
+	}
+	badXML := []Source{{Hierarchy: "a", Data: []byte("<r>")}}
+	if _, _, err := verifySources(badXML); err == nil {
+		t.Error("bad XML should error")
+	}
+}
+
+func TestRootMismatch(t *testing.T) {
+	src := []Source{
+		{Hierarchy: "a", Data: []byte("<r>x</r>")},
+		{Hierarchy: "b", Data: []byte("<s>x</s>")},
+	}
+	_, _, err := verifySources(src)
+	rme, ok := err.(*RootMismatchError)
+	if !ok {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if rme.Hierarchy != "b" || rme.Want != "r" || rme.Got != "s" {
+		t.Errorf("fields: %+v", rme)
+	}
+	if !strings.Contains(rme.Error(), "root") {
+		t.Errorf("Error() = %q", rme.Error())
+	}
+}
+
+func TestContentMismatch(t *testing.T) {
+	src := []Source{
+		{Hierarchy: "a", Data: []byte("<r>abcdef</r>")},
+		{Hierarchy: "b", Data: []byte("<r>abcXef</r>")},
+	}
+	_, _, err := verifySources(src)
+	cme, ok := err.(*ContentMismatchError)
+	if !ok {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if cme.Pos != 3 || cme.Hierarchy != "b" || cme.Against != "a" {
+		t.Errorf("fields: %+v", cme)
+	}
+	if !strings.Contains(cme.Error(), "diverges") {
+		t.Errorf("Error() = %q", cme.Error())
+	}
+}
+
+func TestStreamEventOrder(t *testing.T) {
+	src := []Source{
+		{Hierarchy: "h1", Data: []byte(`<r><a>xy</a>z</r>`)},
+		{Hierarchy: "h2", Data: []byte(`<r>x<b>yz</b></r>`)},
+	}
+	st, err := NewStream(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := st.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []string
+	for _, ev := range evs {
+		switch ev.Kind {
+		case StartDocument:
+			trace = append(trace, "SD")
+		case StartElement:
+			trace = append(trace, "S:"+ev.Hierarchy+":"+ev.Name)
+		case EndElement:
+			trace = append(trace, "E:"+ev.Hierarchy+":"+ev.Name)
+		case Characters:
+			trace = append(trace, "T:"+ev.Text)
+		case EndDocument:
+			trace = append(trace, "ED")
+		}
+	}
+	want := []string{
+		"SD",
+		"S:h1:a", // a opens at 0
+		"T:x",    // [0,1)
+		"S:h2:b", // b opens at 1
+		"T:y",    // [1,2)
+		"E:h1:a", // a closes at 2 — ends precede starts/text at a position
+		"T:z",
+		"E:h2:b",
+		"ED",
+	}
+	if strings.Join(trace, " ") != strings.Join(want, " ") {
+		t.Errorf("trace:\n got %v\nwant %v", trace, want)
+	}
+}
+
+func TestStreamEndsBeforeStarts(t *testing.T) {
+	// At the same position, an end in one hierarchy precedes a start in
+	// another.
+	src := []Source{
+		{Hierarchy: "h1", Data: []byte(`<r><a>xy</a>zw</r>`)},
+		{Hierarchy: "h2", Data: []byte(`<r>xy<b>zw</b></r>`)},
+	}
+	st, _ := NewStream(src, Options{})
+	evs, err := st.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	endIdx, startIdx := -1, -1
+	for i, ev := range evs {
+		if ev.Kind == EndElement && ev.Name == "a" {
+			endIdx = i
+		}
+		if ev.Kind == StartElement && ev.Name == "b" {
+			startIdx = i
+		}
+	}
+	if endIdx < 0 || startIdx < 0 || endIdx > startIdx {
+		t.Errorf("end a at %d, start b at %d; want end first", endIdx, startIdx)
+	}
+}
+
+func TestStreamStrategiesAgree(t *testing.T) {
+	for _, src := range [][]Source{fig1Sources()} {
+		heapStream, err := NewStream(src, Options{Strategy: MergeHeap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanStream, err := NewStream(src, Options{Strategy: MergeRescan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		he, err := heapStream.Events()
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := scanStream.Events()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(he) != len(se) {
+			t.Fatalf("event counts differ: %d vs %d", len(he), len(se))
+		}
+		for i := range he {
+			a, b := he[i], se[i]
+			if a.Kind != b.Kind || a.Hierarchy != b.Hierarchy || a.Name != b.Name || a.Pos != b.Pos || a.Text != b.Text {
+				t.Fatalf("event %d differs: %+v vs %+v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestStreamSelfClosing(t *testing.T) {
+	src := []Source{{Hierarchy: "h", Data: []byte(`<r>ab<pb n="2"/>cd</r>`)}}
+	st, _ := NewStream(src, Options{})
+	evs, err := st.Events()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawStart, sawEnd bool
+	for _, ev := range evs {
+		if ev.Name == "pb" && ev.Kind == StartElement {
+			sawStart = true
+			if ev.Pos != 2 {
+				t.Errorf("pb start at %d", ev.Pos)
+			}
+			if v, ok := findAttr(ev.Attrs, "n"); !ok || v != "2" {
+				t.Errorf("pb attrs = %v", ev.Attrs)
+			}
+		}
+		if ev.Name == "pb" && ev.Kind == EndElement {
+			sawEnd = true
+			if ev.Pos != 2 {
+				t.Errorf("pb end at %d", ev.Pos)
+			}
+		}
+	}
+	if !sawStart || !sawEnd {
+		t.Errorf("milestone events missing: start=%v end=%v", sawStart, sawEnd)
+	}
+}
+
+func findAttr(attrs []goddag.Attr, name string) (string, bool) {
+	for _, a := range attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+func TestStreamEOFSticky(t *testing.T) {
+	st, _ := NewStream([]Source{{Hierarchy: "h", Data: []byte("<r>x</r>")}}, Options{})
+	if _, err := st.Events(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(); err != io.EOF {
+		t.Errorf("after drain: %v, want EOF", err)
+	}
+}
+
+func TestBuildFig1(t *testing.T) {
+	doc, err := Build(fig1Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := doc.Stats()
+	if st.Hierarchies != 4 {
+		t.Errorf("hierarchies = %d", st.Hierarchies)
+	}
+	if st.Elements != 10 {
+		t.Errorf("elements = %d, want 10 (2 line + 6 w + res + dmg)", st.Elements)
+	}
+	if doc.Content().String() != "swa hwæt swa he us sægde" {
+		t.Errorf("content = %q", doc.Content().String())
+	}
+	// The res element overlaps words and the line boundary.
+	res := doc.Hierarchy("restoration").Elements()[0]
+	over := doc.ElementsOverlapping(res.Span())
+	if len(over) == 0 {
+		t.Error("res should overlap other markup")
+	}
+	// Attributes survive.
+	if v, ok := res.Attr("resp"); !ok || v != "ed" {
+		t.Errorf("res/@resp = %q,%v", v, ok)
+	}
+}
+
+func TestBuildRejectsMismatch(t *testing.T) {
+	src := []Source{
+		{Hierarchy: "a", Data: []byte("<r>abc</r>")},
+		{Hierarchy: "b", Data: []byte("<r>abX</r>")},
+	}
+	if _, err := Build(src); err == nil {
+		t.Error("expected content mismatch error")
+	}
+}
+
+func TestBuildSingleHierarchy(t *testing.T) {
+	doc, err := Build([]Source{{Hierarchy: "only", Data: []byte(`<r><a><b>x</b>y</a>z</r>`)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := doc.Hierarchy("only")
+	if h.Len() != 2 {
+		t.Errorf("elements = %d", h.Len())
+	}
+	a := h.TopElements()[0]
+	if a.Name() != "a" || a.Text() != "xy" {
+		t.Errorf("a = %v %q", a, a.Text())
+	}
+	bs := a.ChildElements()
+	if len(bs) != 1 || bs[0].Name() != "b" || bs[0].Text() != "x" {
+		t.Errorf("b = %v", bs)
+	}
+}
+
+func TestBuildEmptyContentElements(t *testing.T) {
+	doc, err := Build([]Source{{Hierarchy: "h", Data: []byte(`<r>ab<pb/><lb></lb>cd</r>`)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Hierarchy("h").Len() != 2 {
+		t.Errorf("elements = %d", doc.Hierarchy("h").Len())
+	}
+	for _, e := range doc.Hierarchy("h").Elements() {
+		if !e.IsEmpty() {
+			t.Errorf("%v should be empty", e)
+		}
+	}
+	if err := doc.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitRoundTrip(t *testing.T) {
+	doc, err := Build(fig1Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hier := range doc.HierarchyNames() {
+		out, err := Split(doc, hier)
+		if err != nil {
+			t.Fatalf("split %s: %v", hier, err)
+		}
+		// Re-parsing the split output and re-splitting is a fixed point.
+		doc2, err := Build([]Source{{Hierarchy: hier, Data: out}})
+		if err != nil {
+			t.Fatalf("re-parse %s: %v\n%s", hier, err, out)
+		}
+		out2, err := Split(doc2, hier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(out2) {
+			t.Errorf("%s: round trip mismatch:\n%s\nvs\n%s", hier, out, out2)
+		}
+		// Content preserved.
+		if doc2.Content().String() != doc.Content().String() {
+			t.Errorf("%s: content changed", hier)
+		}
+	}
+}
+
+func TestSplitUnknownHierarchy(t *testing.T) {
+	doc, _ := Build([]Source{{Hierarchy: "h", Data: []byte("<r>x</r>")}})
+	if _, err := Split(doc, "zzz"); err == nil {
+		t.Error("unknown hierarchy should error")
+	}
+}
+
+func TestSplitEscaping(t *testing.T) {
+	doc, err := Build([]Source{{Hierarchy: "h", Data: []byte(`<r><a q="&lt;&quot;">x &amp; y</a></r>`)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Split(doc, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, "x &amp; y") {
+		t.Errorf("text not escaped: %s", s)
+	}
+	if !strings.Contains(s, `q="&lt;&quot;"`) {
+		t.Errorf("attr not escaped: %s", s)
+	}
+	// And it must re-parse.
+	if _, err := Build([]Source{{Hierarchy: "h", Data: out}}); err != nil {
+		t.Errorf("re-parse: %v", err)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		StartDocument: "StartDocument",
+		EndElement:    "EndElement",
+		StartElement:  "StartElement",
+		Characters:    "Characters",
+		EndDocument:   "EndDocument",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q", int(k), k.String())
+		}
+	}
+	if !strings.Contains(EventKind(77).String(), "77") {
+		t.Error("unknown kind")
+	}
+}
+
+func TestManyHierarchies(t *testing.T) {
+	// Eight hierarchies each wrapping a different region.
+	content := "abcdefghijklmnop"
+	var srcs []Source
+	for i := 0; i < 8; i++ {
+		lo, hi := i, i+8
+		data := "<r>" + content[:lo] + "<x>" + content[lo:hi] + "</x>" + content[hi:] + "</r>"
+		srcs = append(srcs, Source{Hierarchy: string(rune('a' + i)), Data: []byte(data)})
+	}
+	doc, err := Build(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Stats().Elements != 8 {
+		t.Errorf("elements = %d", doc.Stats().Elements)
+	}
+	// Every adjacent pair of x's overlaps.
+	els := doc.Elements()
+	for i := 1; i < len(els); i++ {
+		if !els[i-1].Span().Overlaps(els[i].Span()) {
+			t.Errorf("adjacent x's should overlap: %v %v", els[i-1], els[i])
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package sacx
+
+import (
+	"container/heap"
+	"io"
+
+	"repro/internal/goddag"
+	"repro/internal/xmlscan"
+)
+
+// MergeStrategy selects how the per-hierarchy token streams are merged.
+// The k-way heap is the production strategy; the linear rescan exists as
+// the ablation baseline for experiment A1 (DESIGN.md D2).
+type MergeStrategy int
+
+// Merge strategies.
+const (
+	// MergeHeap pops the next event with a k-way heap: O(log k) per event.
+	MergeHeap MergeStrategy = iota
+	// MergeRescan scans all k stream heads per event: O(k) per event.
+	MergeRescan
+)
+
+// Options configure a Stream.
+type Options struct {
+	Strategy MergeStrategy
+	// Entities supplies extra entity definitions to the tokenizer.
+	Entities map[string]string
+}
+
+// Stream is the merged SACX event stream over a distributed document.
+// Create with NewStream; read with Next until io.EOF.
+type Stream struct {
+	cursors []*cursor
+	opts    Options
+	rootTag string
+	content string
+	runes   []rune // content as runes, for O(1) run slicing
+
+	h          eventHeap
+	started    bool // StartDocument delivered
+	rootOpen   int  // streams whose root is still open
+	endPending bool // EndDocument not yet delivered
+	textEmit   int  // content offset up to which text has been emitted
+	err        error
+}
+
+// cursor walks one hierarchy's token stream, mapping tokens to candidate
+// events. The root element's own start/end tokens are absorbed (the merged
+// stream has a single StartDocument/EndDocument pair).
+type cursor struct {
+	hier    string
+	scanner *xmlscan.Scanner
+	idx     int // stream index for deterministic ordering
+
+	pending   *Event // next candidate event, nil when exhausted
+	queuedEnd *Event // synthesized end for a self-closing tag
+	sawRoot   bool
+	done      bool
+}
+
+// NewStream verifies the distributed document and prepares the merge.
+func NewStream(sources []Source, opts Options) (*Stream, error) {
+	rootTag, content, err := verifySources(sources)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{opts: opts, rootTag: rootTag, content: content, runes: []rune(content), rootOpen: len(sources), endPending: true}
+	for i, src := range sources {
+		c := &cursor{
+			hier:    src.Hierarchy,
+			scanner: xmlscan.New(src.Data, xmlscan.Options{Entities: opts.Entities, CoalesceCDATA: true}),
+			idx:     i,
+		}
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		s.cursors = append(s.cursors, c)
+	}
+	if opts.Strategy == MergeHeap {
+		s.h = eventHeap{s: s}
+		for _, c := range s.cursors {
+			if c.pending != nil {
+				s.h.items = append(s.h.items, c)
+			}
+		}
+		heap.Init(&s.h)
+	}
+	return s, nil
+}
+
+// RootTag returns the shared root element tag.
+func (s *Stream) RootTag() string { return s.rootTag }
+
+// Content returns the shared character content.
+func (s *Stream) Content() string { return s.content }
+
+// advance loads the cursor's next candidate event from its token stream.
+// Text tokens are consumed for offset tracking but produce no event: the
+// merged stream synthesizes Characters runs itself (content is shared).
+func (c *cursor) advance() error {
+	c.pending = nil
+	for {
+		tok, err := c.scanner.Next()
+		if err == io.EOF {
+			c.done = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch tok.Kind {
+		case xmlscan.KindStartElement:
+			if !c.sawRoot {
+				c.sawRoot = true
+				if tok.SelfClosing {
+					c.done = true
+					return nil
+				}
+				continue // absorb per-hierarchy root start
+			}
+			attrs := make([]goddag.Attr, len(tok.Attrs))
+			for i, a := range tok.Attrs {
+				attrs[i] = goddag.Attr{Name: a.Name, Value: a.Value}
+			}
+			c.pending = &Event{
+				Kind: StartElement, Hierarchy: c.hier,
+				Name: tok.Name, Attrs: attrs, Pos: tok.ContentPos,
+			}
+			if tok.SelfClosing {
+				// Synthesize the matching end immediately after; handled
+				// by storing a queued end event.
+				c.queuedEnd = &Event{Kind: EndElement, Hierarchy: c.hier, Name: tok.Name, Pos: tok.ContentPos}
+			}
+			return nil
+		case xmlscan.KindEndElement:
+			if tok.Depth == 0 {
+				// Root close: no event, stream will finish.
+				continue
+			}
+			c.pending = &Event{Kind: EndElement, Hierarchy: c.hier, Name: tok.Name, Pos: tok.ContentPos}
+			return nil
+		default:
+			// Text, comments, PIs, doctype: no structural event.
+			continue
+		}
+	}
+}
+
+// eventClass orders event kinds at equal positions: ends before starts.
+func eventClass(k EventKind) int {
+	if k == EndElement {
+		return 0
+	}
+	return 1
+}
+
+// less orders cursors by their pending events.
+func eventLess(a, b *Event, ai, bi int) bool {
+	if a.Pos != b.Pos {
+		return a.Pos < b.Pos
+	}
+	ca, cb := eventClass(a.Kind), eventClass(b.Kind)
+	if ca != cb {
+		return ca < cb
+	}
+	return ai < bi
+}
+
+type eventHeap struct {
+	s     *Stream
+	items []*cursor
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+func (h *eventHeap) Less(i, j int) bool {
+	return eventLess(h.items[i].pending, h.items[j].pending, h.items[i].idx, h.items[j].idx)
+}
+func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *eventHeap) Push(x any)    { h.items = append(h.items, x.(*cursor)) }
+func (h *eventHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// Next returns the next merged event, or io.EOF after EndDocument.
+func (s *Stream) Next() (Event, error) {
+	if s.err != nil {
+		return Event{}, s.err
+	}
+	if !s.started {
+		s.started = true
+		return Event{Kind: StartDocument, Name: s.rootTag, Text: s.content}, nil
+	}
+	// Find the next structural event across cursors.
+	c := s.peekMin()
+	contentLen := len(s.runes)
+	// Emit pending text before the next structural position.
+	nextPos := contentLen
+	if c != nil {
+		nextPos = c.pending.Pos
+	}
+	if s.textEmit < nextPos {
+		ev := Event{Kind: Characters, Text: string(s.runes[s.textEmit:nextPos]), Pos: s.textEmit}
+		s.textEmit = nextPos
+		return ev, nil
+	}
+	if c == nil {
+		if s.endPending {
+			s.endPending = false
+			return Event{Kind: EndDocument, Pos: contentLen}, nil
+		}
+		return Event{}, io.EOF
+	}
+	ev := *c.pending
+	if err := s.stepCursor(c); err != nil {
+		s.err = err
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// peekMin returns the cursor with the least pending event, or nil.
+func (s *Stream) peekMin() *cursor {
+	if s.opts.Strategy == MergeHeap {
+		if len(s.h.items) == 0 {
+			return nil
+		}
+		return s.h.items[0]
+	}
+	var best *cursor
+	for _, c := range s.cursors {
+		if c.pending == nil {
+			continue
+		}
+		if best == nil || eventLess(c.pending, best.pending, c.idx, best.idx) {
+			best = c
+		}
+	}
+	return best
+}
+
+// stepCursor advances c past its delivered event and restores the merge
+// structure.
+func (s *Stream) stepCursor(c *cursor) error {
+	if c.queuedEnd != nil {
+		c.pending, c.queuedEnd = c.queuedEnd, nil
+	} else if err := c.advance(); err != nil {
+		return err
+	}
+	if s.opts.Strategy == MergeHeap {
+		if c.pending == nil {
+			heap.Remove(&s.h, indexOf(s.h.items, c))
+		} else {
+			heap.Fix(&s.h, indexOf(s.h.items, c))
+		}
+	}
+	return nil
+}
+
+func indexOf(items []*cursor, c *cursor) int {
+	for i, it := range items {
+		if it == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Events drains the stream into a slice.
+func (s *Stream) Events() ([]Event, error) {
+	var out []Event
+	for {
+		ev, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,255 @@
+// Package store implements persistent storage for GODDAG documents — the
+// framework component the paper reports as "currently underway" (§1:
+// "Work on building persistent storage solutions"). It defines a compact
+// binary format and streaming Encode/Decode:
+//
+//	header:  magic "GDAG", version byte
+//	body:    root tag, content, hierarchy count,
+//	         per hierarchy: name, element count,
+//	         per element (document order): tag, span start/end (varint),
+//	         attribute count, attributes (name, value)
+//	footer:  CRC-32 (Castagnoli) of everything before it
+//
+// Strings are length-prefixed (uvarint) UTF-8; integers are uvarints.
+// Elements are stored in document order, so loading replays them through
+// goddag.InsertElement, which appends in O(1) per element on this order;
+// leaf boundaries are re-established in one batch.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/document"
+	"repro/internal/goddag"
+)
+
+// magic identifies the file format; version allows evolution.
+const (
+	magic   = "GDAG"
+	version = 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode writes doc to w in the binary GODDAG format.
+func Encode(w io.Writer, doc *goddag.Document) error {
+	bw := bufio.NewWriter(w)
+	h := crc32.New(crcTable)
+	e := &encoder{w: io.MultiWriter(bw, h)}
+
+	e.raw([]byte(magic))
+	e.byte(version)
+	e.str(doc.RootTag())
+	e.str(doc.Content().String())
+	hiers := doc.Hierarchies()
+	e.uint(uint64(len(hiers)))
+	for _, hier := range hiers {
+		e.str(hier.Name())
+		els := hier.Elements()
+		e.uint(uint64(len(els)))
+		for _, el := range els {
+			e.str(el.Name())
+			sp := el.Span()
+			e.uint(uint64(sp.Start))
+			e.uint(uint64(sp.End - sp.Start))
+			attrs := el.Attrs()
+			e.uint(uint64(len(attrs)))
+			for _, a := range attrs {
+				e.str(a.Name)
+				e.str(a.Value)
+			}
+		}
+	}
+	if e.err != nil {
+		return fmt.Errorf("store: encode: %w", e.err)
+	}
+	// Footer: checksum of everything written so far.
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], h.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Decode reads a document in the binary GODDAG format.
+func Decode(r io.Reader) (*goddag.Document, error) {
+	h := crc32.New(crcTable)
+	d := &decoder{r: bufio.NewReader(r), h: h}
+
+	head := d.raw(4)
+	if d.err == nil && string(head) != magic {
+		return nil, fmt.Errorf("store: bad magic %q", head)
+	}
+	if v := d.byte(); d.err == nil && v != version {
+		return nil, fmt.Errorf("store: unsupported version %d", v)
+	}
+	rootTag := d.str()
+	content := d.str()
+	if d.err != nil {
+		return nil, fmt.Errorf("store: decode: %w", d.err)
+	}
+	doc := goddag.New(rootTag, content)
+
+	type record struct {
+		hier  string
+		tag   string
+		span  document.Span
+		attrs []goddag.Attr
+	}
+	var records []record
+	nh := d.uint()
+	for i := uint64(0); i < nh && d.err == nil; i++ {
+		name := d.str()
+		doc.AddHierarchy(name)
+		ne := d.uint()
+		for j := uint64(0); j < ne && d.err == nil; j++ {
+			tag := d.str()
+			start := d.uint()
+			length := d.uint()
+			na := d.uint()
+			var attrs []goddag.Attr
+			for k := uint64(0); k < na && d.err == nil; k++ {
+				an := d.str()
+				av := d.str()
+				attrs = append(attrs, goddag.Attr{Name: an, Value: av})
+			}
+			records = append(records, record{
+				hier: name, tag: tag,
+				span:  document.NewSpan(int(start), int(start+length)),
+				attrs: attrs,
+			})
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("store: decode: %w", d.err)
+	}
+	// Verify the checksum before mutating further: the footer is read
+	// outside the hash.
+	want := h.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(d.r, sum[:]); err != nil {
+		return nil, fmt.Errorf("store: decode: missing checksum: %w", err)
+	}
+	if got := binary.BigEndian.Uint32(sum[:]); got != want {
+		return nil, fmt.Errorf("store: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+
+	// Re-establish leaf boundaries in one batch, then replay elements in
+	// stored (document) order — the append fast path of InsertElement.
+	cuts := make([]int, 0, 2*len(records))
+	for _, rec := range records {
+		if rec.span.End > doc.Content().Len() {
+			return nil, fmt.Errorf("store: element %s span %v exceeds content length %d",
+				rec.tag, rec.span, doc.Content().Len())
+		}
+		cuts = append(cuts, rec.span.Start, rec.span.End)
+	}
+	doc.Partition().CutAll(cuts)
+	for _, rec := range records {
+		hier := doc.Hierarchy(rec.hier)
+		if _, err := doc.InsertElement(hier, rec.tag, rec.attrs, rec.span); err != nil {
+			return nil, fmt.Errorf("store: decode: %w", err)
+		}
+	}
+	return doc, nil
+}
+
+// encoder writes primitives, remembering the first error.
+type encoder struct {
+	w   io.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) raw(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *encoder) byte(b byte) { e.raw([]byte{b}) }
+
+func (e *encoder) uint(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.raw(e.buf[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.uint(uint64(len(s)))
+	e.raw([]byte(s))
+}
+
+// decoder reads primitives, hashing everything it consumes.
+type decoder struct {
+	r   *bufio.Reader
+	h   hash.Hash32
+	err error
+}
+
+func (d *decoder) raw(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = err
+		return nil
+	}
+	d.h.Write(b)
+	return b
+}
+
+func (d *decoder) byte() byte {
+	b := d.raw(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(hashingByteReader{d})
+	if err != nil {
+		d.err = err
+		return 0
+	}
+	return v
+}
+
+const maxString = 1 << 30 // sanity bound against corrupted lengths
+
+func (d *decoder) str() string {
+	n := d.uint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxString {
+		d.err = fmt.Errorf("string length %d exceeds limit", n)
+		return ""
+	}
+	return string(d.raw(int(n)))
+}
+
+// hashingByteReader feeds single bytes to ReadUvarint while keeping the
+// checksum in sync.
+type hashingByteReader struct{ d *decoder }
+
+// ReadByte implements io.ByteReader.
+func (r hashingByteReader) ReadByte() (byte, error) {
+	b, err := r.d.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	r.d.h.Write([]byte{b})
+	return b, nil
+}

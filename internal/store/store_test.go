@@ -1,0 +1,172 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/document"
+	"repro/internal/goddag"
+)
+
+func roundTrip(t *testing.T, doc *goddag.Document) *goddag.Document {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestRoundTripFig1(t *testing.T) {
+	doc, err := corpus.Fig1Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, doc)
+	if err := back.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != doc.Stats() {
+		t.Errorf("stats %+v != %+v", back.Stats(), doc.Stats())
+	}
+	if goddag.Dump(back) != goddag.Dump(doc) {
+		t.Error("dumps differ after round trip")
+	}
+}
+
+func TestRoundTripSynthetic(t *testing.T) {
+	doc, err := corpus.Generate(corpus.DefaultConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, doc)
+	if back.Stats() != doc.Stats() {
+		t.Errorf("stats differ: %+v vs %+v", back.Stats(), doc.Stats())
+	}
+	// Attribute fidelity, element by element.
+	a, b := doc.Elements(), back.Elements()
+	if len(a) != len(b) {
+		t.Fatalf("element counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name() != b[i].Name() || a[i].Span() != b[i].Span() {
+			t.Fatalf("element %d: %v vs %v", i, a[i], b[i])
+		}
+		aa, ba := a[i].Attrs(), b[i].Attrs()
+		if len(aa) != len(ba) {
+			t.Fatalf("element %d attr count", i)
+		}
+		for j := range aa {
+			if aa[j] != ba[j] {
+				t.Fatalf("element %d attr %d: %v vs %v", i, j, aa[j], ba[j])
+			}
+		}
+	}
+}
+
+func TestRoundTripEmptyDocument(t *testing.T) {
+	doc := goddag.New("r", "")
+	back := roundTrip(t, doc)
+	if back.RootTag() != "r" || back.Content().Len() != 0 {
+		t.Errorf("empty doc round trip: %q %d", back.RootTag(), back.Content().Len())
+	}
+}
+
+func TestRoundTripUnicode(t *testing.T) {
+	doc := goddag.New("r", "ƿæs þæt 日本語")
+	h := doc.AddHierarchy("h")
+	if _, err := doc.InsertElement(h, "w", []goddag.Attr{{Name: "x", Value: "þ\"<&"}}, spanOf(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, doc)
+	if back.Content().String() != doc.Content().String() {
+		t.Errorf("content %q", back.Content().String())
+	}
+	el := back.Hierarchy("h").Elements()[0]
+	if v, _ := el.Attr("x"); v != "þ\"<&" {
+		t.Errorf("attr = %q", v)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	doc, err := corpus.Fig1Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one content byte mid-file.
+	data[len(data)/2] ^= 0x40
+	if _, err := Decode(bytes.NewReader(data)); err == nil {
+		t.Error("corruption not detected")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE....."),
+		"truncated":   []byte("GDAG"),
+		"bad version": append([]byte("GDAG"), 99),
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDecodeTruncatedBody(t *testing.T) {
+	doc, _ := corpus.Fig1Document()
+	var buf bytes.Buffer
+	if err := Encode(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{6, len(data) / 2, len(data) - 2} {
+		if _, err := Decode(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestSizeIsCompact(t *testing.T) {
+	doc, err := corpus.Generate(corpus.DefaultConfig(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	// The binary format should undercut the smallest XML representation
+	// (fragmentation, ~8x content) by a wide margin.
+	contentLen := len(doc.Content().String())
+	if buf.Len() > 6*contentLen {
+		t.Errorf("binary size %d > 6x content %d", buf.Len(), contentLen)
+	}
+}
+
+func TestEncodeWriterError(t *testing.T) {
+	doc, _ := corpus.Fig1Document()
+	if err := Encode(failWriter{}, doc); err == nil {
+		t.Error("writer failure should surface")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errFail }
+
+var errFail = errors.New("write failed")
+
+func spanOf(a, b int) document.Span { return document.NewSpan(a, b) }

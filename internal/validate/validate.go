@@ -1,0 +1,459 @@
+// Package validate checks GODDAG hierarchies against DTDs: classic
+// validity, and the *potential validity* ("prevalidation") of Iacob,
+// Dekhtyar & Dekhtyar (WebDB 2004, reference [5] of the paper), which the
+// xTagger editor uses to veto markup insertions that could never be
+// extended to a valid document.
+//
+// A hierarchy is potentially valid when additional markup insertions
+// could make it valid: every element's current child sequence must be a
+// subsequence of some word in its content model's language (future
+// siblings may be inserted anywhere), character data may appear only where
+// the model allows it directly or where a future wrapping element could
+// legitimize it, and no element may carry an attribute value that is
+// already illegal. Missing REQUIRED attributes do not break potential
+// validity (they can still be supplied), but they do break full validity.
+package validate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/document"
+	"repro/internal/dtd"
+	"repro/internal/goddag"
+)
+
+// Code classifies a violation.
+type Code int
+
+// Violation codes.
+const (
+	CodeUndeclaredElement Code = iota
+	CodeBadChildren
+	CodeTextNotAllowed
+	CodeEmptyWithContent
+	CodeUndeclaredAttr
+	CodeMissingRequiredAttr
+	CodeBadAttrValue
+	CodeDuplicateID
+	CodeDanglingIDRef
+	CodeCannotExtend
+)
+
+// String returns the code name.
+func (c Code) String() string {
+	switch c {
+	case CodeUndeclaredElement:
+		return "undeclared-element"
+	case CodeBadChildren:
+		return "bad-children"
+	case CodeTextNotAllowed:
+		return "text-not-allowed"
+	case CodeEmptyWithContent:
+		return "empty-with-content"
+	case CodeUndeclaredAttr:
+		return "undeclared-attribute"
+	case CodeMissingRequiredAttr:
+		return "missing-required-attribute"
+	case CodeBadAttrValue:
+		return "bad-attribute-value"
+	case CodeDuplicateID:
+		return "duplicate-id"
+	case CodeDanglingIDRef:
+		return "dangling-idref"
+	case CodeCannotExtend:
+		return "cannot-extend"
+	default:
+		return fmt.Sprintf("Code(%d)", int(c))
+	}
+}
+
+// Violation describes one validity problem.
+type Violation struct {
+	Hierarchy string
+	Element   *goddag.Element // nil for root-level problems
+	Code      Code
+	Msg       string
+}
+
+// Error renders the violation as a message.
+func (v Violation) Error() string {
+	where := "root"
+	if v.Element != nil {
+		where = v.Element.String()
+	}
+	return fmt.Sprintf("validate: %s: %s: %s", where, v.Code, v.Msg)
+}
+
+// Schema is a concurrent markup hierarchy: one DTD per GODDAG hierarchy
+// (paper §3: "group non conflicting tag elements into separate DTDs").
+type Schema struct {
+	dtds  map[string]*dtd.DTD
+	order []string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{dtds: make(map[string]*dtd.DTD)}
+}
+
+// Add registers the DTD for a hierarchy name, replacing any previous one.
+func (s *Schema) Add(hierarchy string, d *dtd.DTD) {
+	if _, ok := s.dtds[hierarchy]; !ok {
+		s.order = append(s.order, hierarchy)
+	}
+	s.dtds[hierarchy] = d
+}
+
+// DTD returns the DTD registered for a hierarchy, or nil.
+func (s *Schema) DTD(hierarchy string) *dtd.DTD { return s.dtds[hierarchy] }
+
+// Hierarchies returns registered hierarchy names in registration order.
+func (s *Schema) Hierarchies() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Mode selects full or potential validity.
+type Mode int
+
+// Validation modes.
+const (
+	// Full demands classic DTD validity.
+	Full Mode = iota
+	// Potential demands only that the document could be extended to a
+	// valid one by inserting more markup (prevalidation).
+	Potential
+)
+
+// Hierarchy validates one hierarchy of a document against d. A nil DTD
+// yields no violations (unconstrained hierarchy).
+func Hierarchy(h *goddag.Hierarchy, d *dtd.DTD, mode Mode) []Violation {
+	if d == nil {
+		return nil
+	}
+	v := &validator{d: d, hier: h.Name(), mode: mode}
+
+	// Validate the root's children if the DTD declares the root tag.
+	doc := h.Document()
+	if rootDecl := d.Element(doc.RootTag()); rootDecl != nil {
+		v.checkContent(nil, rootDecl, doc.Root().Children(h))
+	}
+	for _, e := range h.Elements() {
+		decl := d.Element(e.Name())
+		if decl == nil {
+			v.add(e, CodeUndeclaredElement, "element <%s> is not declared in DTD %s", e.Name(), d.Name)
+			continue
+		}
+		v.checkContent(e, decl, e.Children())
+		v.checkAttrs(e, decl)
+	}
+	v.checkIDs(h, d)
+	return v.out
+}
+
+// Document validates every hierarchy of doc that has a DTD in the schema.
+func Document(doc *goddag.Document, s *Schema, mode Mode) []Violation {
+	var out []Violation
+	for _, h := range doc.Hierarchies() {
+		out = append(out, Hierarchy(h, s.DTD(h.Name()), mode)...)
+	}
+	return out
+}
+
+type validator struct {
+	d    *dtd.DTD
+	hier string
+	mode Mode
+	out  []Violation
+}
+
+func (v *validator) add(e *goddag.Element, code Code, format string, args ...any) {
+	v.out = append(v.out, Violation{
+		Hierarchy: v.hier,
+		Element:   e,
+		Code:      code,
+		Msg:       fmt.Sprintf(format, args...),
+	})
+}
+
+// checkContent validates the child list of one element (or of the root,
+// with e == nil) against decl.
+func (v *validator) checkContent(e *goddag.Element, decl *dtd.ElementDecl, kids []goddag.Node) {
+	var names []string
+	hasText := false
+	for _, k := range kids {
+		switch n := k.(type) {
+		case *goddag.Element:
+			names = append(names, n.Name())
+		case goddag.Leaf:
+			if strings.TrimSpace(n.Text()) != "" {
+				hasText = true
+			}
+		}
+	}
+	switch decl.Content.Kind {
+	case dtd.ModelEmpty:
+		if len(names) > 0 || hasText {
+			v.add(e, CodeEmptyWithContent, "<%s> is declared EMPTY but has content", decl.Name)
+		}
+		return
+	case dtd.ModelAny:
+		return
+	}
+	if hasText && !decl.Content.AllowsText() {
+		if v.mode == Full || !v.textWrappable(decl) {
+			v.add(e, CodeTextNotAllowed,
+				"character data not allowed in <%s> (model %s)", decl.Name, decl.Content)
+		}
+	}
+	ok := false
+	if v.mode == Full {
+		ok = decl.MatchChildren(names)
+	} else {
+		ok = decl.CanExtendChildren(names)
+	}
+	if !ok {
+		code := CodeBadChildren
+		if v.mode == Potential {
+			code = CodeCannotExtend
+		}
+		v.add(e, code, "children %v do not fit model %s of <%s>", names, decl.Content, decl.Name)
+	}
+}
+
+// textWrappable reports whether a text run directly inside an element with
+// this declaration could be legitimized by wrapping it in future child
+// markup: some element name in the model's alphabet (transitively) allows
+// character data. This is the documented approximation of [5]'s treatment
+// of character data under element content.
+func (v *validator) textWrappable(decl *dtd.ElementDecl) bool {
+	seen := map[string]bool{}
+	var can func(name string) bool
+	can = func(name string) bool {
+		if seen[name] {
+			return false
+		}
+		seen[name] = true
+		d := v.d.Element(name)
+		if d == nil {
+			return false
+		}
+		if d.Content.AllowsText() {
+			return true
+		}
+		for _, n := range d.Content.Alphabet() {
+			if can(n) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range decl.Content.Alphabet() {
+		if can(n) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *validator) checkAttrs(e *goddag.Element, decl *dtd.ElementDecl) {
+	for _, a := range e.Attrs() {
+		def := decl.AttDef(a.Name)
+		if def == nil {
+			v.add(e, CodeUndeclaredAttr, "attribute %q not declared on <%s>", a.Name, decl.Name)
+			continue
+		}
+		switch {
+		case def.Type == "enum":
+			ok := false
+			for _, allowed := range def.Enum {
+				if a.Value == allowed {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				v.add(e, CodeBadAttrValue, "attribute %s=%q not in (%s)",
+					a.Name, a.Value, strings.Join(def.Enum, "|"))
+			}
+		case def.Default == dtd.DefaultFixed && a.Value != def.Value:
+			v.add(e, CodeBadAttrValue, "attribute %s=%q must be fixed %q", a.Name, a.Value, def.Value)
+		}
+	}
+	if v.mode == Full {
+		for _, def := range decl.Attrs {
+			if def.Default == dtd.DefaultRequired {
+				if _, ok := e.Attr(def.Name); !ok {
+					v.add(e, CodeMissingRequiredAttr, "required attribute %q missing on <%s>", def.Name, decl.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkIDs verifies ID uniqueness and (in Full mode) IDREF targets within
+// one hierarchy.
+func (v *validator) checkIDs(h *goddag.Hierarchy, d *dtd.DTD) {
+	ids := map[string]*goddag.Element{}
+	type ref struct {
+		e   *goddag.Element
+		val string
+	}
+	var refs []ref
+	for _, e := range h.Elements() {
+		decl := d.Element(e.Name())
+		if decl == nil {
+			continue
+		}
+		for _, a := range e.Attrs() {
+			def := decl.AttDef(a.Name)
+			if def == nil {
+				continue
+			}
+			switch def.Type {
+			case "ID":
+				if prev, dup := ids[a.Value]; dup {
+					v.add(e, CodeDuplicateID, "ID %q already used by %v", a.Value, prev)
+				} else {
+					ids[a.Value] = e
+				}
+			case "IDREF":
+				refs = append(refs, ref{e, a.Value})
+			case "IDREFS":
+				for _, one := range strings.Fields(a.Value) {
+					refs = append(refs, ref{e, one})
+				}
+			}
+		}
+	}
+	if v.mode == Full {
+		for _, r := range refs {
+			if _, ok := ids[r.val]; !ok {
+				v.add(r.e, CodeDanglingIDRef, "IDREF %q has no matching ID", r.val)
+			}
+		}
+	}
+}
+
+// CheckInsertion decides whether inserting an element tag over span into
+// hierarchy h would keep the hierarchy potentially valid — the
+// prevalidation test xTagger runs before accepting an edit (paper §4).
+// It does not mutate the document. A nil DTD accepts everything that is
+// structurally possible.
+//
+// The returned error is a *goddag.ConflictError for structural conflicts,
+// a Violation for prevalidation failures, or nil when the insertion is
+// acceptable.
+func CheckInsertion(doc *goddag.Document, h *goddag.Hierarchy, d *dtd.DTD, tag string, span document.Span) error {
+	parent, adopted, err := doc.ProbeInsert(h, tag, span)
+	if err != nil {
+		return err
+	}
+	if d == nil {
+		return nil
+	}
+	decl := d.Element(tag)
+	if decl == nil {
+		return Violation{Hierarchy: h.Name(), Code: CodeUndeclaredElement,
+			Msg: fmt.Sprintf("element <%s> is not declared in DTD %s", tag, d.Name)}
+	}
+
+	// 1. The new element's own children (the adopted elements) must fit.
+	var childNames []string
+	for _, a := range adopted {
+		childNames = append(childNames, a.Name())
+	}
+	if !decl.CanExtendChildren(childNames) {
+		return Violation{Hierarchy: h.Name(), Code: CodeCannotExtend,
+			Msg: fmt.Sprintf("adopted children %v cannot fit model %s of <%s>", childNames, decl.Content, tag)}
+	}
+	// Character data directly inside the new element: spans of `span` not
+	// covered by adopted children.
+	if hasUncoveredText(doc, span, adopted) && !decl.Content.AllowsText() {
+		if decl.Content.Kind == dtd.ModelEmpty {
+			return Violation{Hierarchy: h.Name(), Code: CodeEmptyWithContent,
+				Msg: fmt.Sprintf("<%s> is declared EMPTY but would contain text", tag)}
+		}
+		v := &validator{d: d, hier: h.Name(), mode: Potential}
+		if !v.textWrappable(decl) {
+			return Violation{Hierarchy: h.Name(), Code: CodeTextNotAllowed,
+				Msg: fmt.Sprintf("character data cannot be legitimized inside <%s>", tag)}
+		}
+	}
+
+	// 2. The parent's new child sequence must remain extendable.
+	var parentDecl *dtd.ElementDecl
+	var parentKids []goddag.Node
+	if parent == nil {
+		parentDecl = d.Element(doc.RootTag())
+		parentKids = doc.Root().Children(h)
+	} else {
+		parentDecl = d.Element(parent.Name())
+		parentKids = parent.Children()
+	}
+	if parentDecl == nil {
+		return nil // unconstrained parent
+	}
+	adoptedSet := make(map[*goddag.Element]bool, len(adopted))
+	for _, a := range adopted {
+		adoptedSet[a] = true
+	}
+	var newSeq []string
+	inserted := false
+	for _, k := range parentKids {
+		el, ok := k.(*goddag.Element)
+		if !ok {
+			continue
+		}
+		if adoptedSet[el] {
+			if !inserted {
+				newSeq = append(newSeq, tag)
+				inserted = true
+			}
+			continue
+		}
+		if !inserted && spanBefore(span, el.Span()) {
+			newSeq = append(newSeq, tag)
+			inserted = true
+		}
+		newSeq = append(newSeq, el.Name())
+	}
+	if !inserted {
+		newSeq = append(newSeq, tag)
+	}
+	if !parentDecl.CanExtendChildren(newSeq) {
+		return Violation{Hierarchy: h.Name(), Code: CodeCannotExtend,
+			Msg: fmt.Sprintf("parent <%s> children %v cannot fit model %s", parentDecl.Name, newSeq, parentDecl.Content)}
+	}
+	return nil
+}
+
+// spanBefore reports whether a comes entirely before b, treating empty
+// spans by position.
+func spanBefore(a, b document.Span) bool {
+	if a.IsEmpty() || b.IsEmpty() {
+		return a.Start <= b.Start && a.End <= b.Start
+	}
+	return a.Before(b)
+}
+
+// hasUncoveredText reports whether span contains non-whitespace content
+// not covered by any of the given elements.
+func hasUncoveredText(doc *goddag.Document, span document.Span, covered []*goddag.Element) bool {
+	pos := span.Start
+	text := func(s document.Span) bool {
+		return strings.TrimSpace(doc.Content().Slice(s)) != ""
+	}
+	for _, c := range covered {
+		cs := c.Span()
+		if cs.Start > pos && text(document.NewSpan(pos, cs.Start)) {
+			return true
+		}
+		if cs.End > pos {
+			pos = cs.End
+		}
+	}
+	return pos < span.End && text(document.NewSpan(pos, span.End))
+}

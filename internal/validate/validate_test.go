@@ -1,0 +1,407 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/document"
+	"repro/internal/dtd"
+	"repro/internal/goddag"
+)
+
+// Test fixtures model the paper's manuscript encoding: a "physical"
+// hierarchy (r -> line+) and a "words" hierarchy (r -> w*, w mixed).
+
+const physDTD = `
+<!ELEMENT r (line+)>
+<!ELEMENT line (#PCDATA)>
+<!ATTLIST line n CDATA #REQUIRED>
+`
+
+const wordsDTD = `
+<!ELEMENT r (#PCDATA|w|sentence)*>
+<!ELEMENT sentence (#PCDATA|w)*>
+<!ELEMENT w (#PCDATA)>
+<!ATTLIST w id ID #IMPLIED ref IDREF #IMPLIED>
+`
+
+func buildDoc(t *testing.T) (*goddag.Document, *goddag.Hierarchy, *goddag.Hierarchy) {
+	t.Helper()
+	d := goddag.New("r", "swa hwaet swa")
+	phys := d.AddHierarchy("physical")
+	words := d.AddHierarchy("words")
+	mustInsert(t, d, phys, "line", document.NewSpan(0, 13), goddag.Attr{Name: "n", Value: "1"})
+	mustInsert(t, d, words, "w", document.NewSpan(0, 3))
+	mustInsert(t, d, words, "w", document.NewSpan(4, 9))
+	mustInsert(t, d, words, "w", document.NewSpan(10, 13))
+	return d, phys, words
+}
+
+func mustInsert(t *testing.T, d *goddag.Document, h *goddag.Hierarchy, tag string, sp document.Span, attrs ...goddag.Attr) *goddag.Element {
+	t.Helper()
+	e, err := d.InsertElement(h, tag, attrs, sp)
+	if err != nil {
+		t.Fatalf("insert %s: %v", tag, err)
+	}
+	return e
+}
+
+func TestValidDocument(t *testing.T) {
+	doc, phys, words := buildDoc(t)
+	pd := dtd.MustParse("physical", physDTD)
+	wd := dtd.MustParse("words", wordsDTD)
+	if v := Hierarchy(phys, pd, Full); len(v) != 0 {
+		t.Errorf("physical violations: %v", v)
+	}
+	if v := Hierarchy(words, wd, Full); len(v) != 0 {
+		t.Errorf("words violations: %v", v)
+	}
+	s := NewSchema()
+	s.Add("physical", pd)
+	s.Add("words", wd)
+	if v := Document(doc, s, Full); len(v) != 0 {
+		t.Errorf("document violations: %v", v)
+	}
+	if got := s.Hierarchies(); len(got) != 2 || got[0] != "physical" {
+		t.Errorf("schema hierarchies = %v", got)
+	}
+	if s.DTD("physical") != pd || s.DTD("zzz") != nil {
+		t.Error("schema lookup")
+	}
+}
+
+func TestUndeclaredElement(t *testing.T) {
+	_, phys, _ := buildDoc(t)
+	d := dtd.MustParse("physical", `<!ELEMENT r (page+)> <!ELEMENT page (#PCDATA)>`)
+	v := Hierarchy(phys, d, Full)
+	if !hasCode(v, CodeUndeclaredElement) {
+		t.Errorf("violations = %v", v)
+	}
+}
+
+func TestMissingRequiredAttr(t *testing.T) {
+	doc := goddag.New("r", "abc")
+	phys := doc.AddHierarchy("physical")
+	mustInsert(t, doc, phys, "line", document.NewSpan(0, 3)) // no n attribute
+	d := dtd.MustParse("physical", physDTD)
+	v := Hierarchy(phys, d, Full)
+	if !hasCode(v, CodeMissingRequiredAttr) {
+		t.Errorf("violations = %v", v)
+	}
+	// Potential validity tolerates the missing attribute.
+	if v := Hierarchy(phys, d, Potential); hasCode(v, CodeMissingRequiredAttr) {
+		t.Errorf("potential mode should tolerate missing required: %v", v)
+	}
+}
+
+func TestBadEnumAndFixed(t *testing.T) {
+	doc := goddag.New("r", "abc")
+	h := doc.AddHierarchy("h")
+	mustInsert(t, doc, h, "line", document.NewSpan(0, 3),
+		goddag.Attr{Name: "n", Value: "1"},
+		goddag.Attr{Name: "hand", Value: "scribe9"},
+		goddag.Attr{Name: "v", Value: "2.0"})
+	d := dtd.MustParse("h", `
+<!ELEMENT r (line+)>
+<!ELEMENT line (#PCDATA)>
+<!ATTLIST line
+  n CDATA #REQUIRED
+  hand (scribe1|scribe2) "scribe1"
+  v CDATA #FIXED "1.0">
+`)
+	v := Hierarchy(h, d, Full)
+	bad := 0
+	for _, viol := range v {
+		if viol.Code == CodeBadAttrValue {
+			bad++
+		}
+	}
+	if bad != 2 {
+		t.Errorf("bad attr values = %d, want 2: %v", bad, v)
+	}
+	// Bad values break potential validity too.
+	v = Hierarchy(h, d, Potential)
+	if !hasCode(v, CodeBadAttrValue) {
+		t.Errorf("potential should flag bad enum: %v", v)
+	}
+}
+
+func TestUndeclaredAttr(t *testing.T) {
+	doc := goddag.New("r", "abc")
+	h := doc.AddHierarchy("h")
+	mustInsert(t, doc, h, "line", document.NewSpan(0, 3),
+		goddag.Attr{Name: "n", Value: "1"}, goddag.Attr{Name: "bogus", Value: "x"})
+	d := dtd.MustParse("h", physDTD)
+	if v := Hierarchy(h, d, Full); !hasCode(v, CodeUndeclaredAttr) {
+		t.Errorf("violations = %v", v)
+	}
+}
+
+func TestEmptyElementWithContent(t *testing.T) {
+	doc := goddag.New("r", "abc")
+	h := doc.AddHierarchy("h")
+	mustInsert(t, doc, h, "pb", document.NewSpan(0, 3)) // pb is EMPTY but spans text
+	d := dtd.MustParse("h", `<!ELEMENT r ANY> <!ELEMENT pb EMPTY>`)
+	if v := Hierarchy(h, d, Full); !hasCode(v, CodeEmptyWithContent) {
+		t.Errorf("violations = %v", v)
+	}
+	// Not fixable by insertion either.
+	if v := Hierarchy(h, d, Potential); !hasCode(v, CodeEmptyWithContent) {
+		t.Errorf("potential should flag EMPTY with content: %v", v)
+	}
+}
+
+func TestTextNotAllowed(t *testing.T) {
+	doc := goddag.New("r", "abc def")
+	h := doc.AddHierarchy("h")
+	// <r> has element content (line+) but "abc def" has uncovered text.
+	mustInsert(t, doc, h, "line", document.NewSpan(0, 3), goddag.Attr{Name: "n", Value: "1"})
+	d := dtd.MustParse("h", physDTD)
+	v := Hierarchy(h, d, Full)
+	if !hasCode(v, CodeTextNotAllowed) {
+		t.Errorf("violations = %v", v)
+	}
+	// Potentially valid: the stray text can be wrapped in a future <line>.
+	v = Hierarchy(h, d, Potential)
+	if hasCode(v, CodeTextNotAllowed) {
+		t.Errorf("potential should allow wrappable text: %v", v)
+	}
+}
+
+func TestTextNeverWrappable(t *testing.T) {
+	doc := goddag.New("r", "abc")
+	h := doc.AddHierarchy("h")
+	mustInsert(t, doc, h, "a", document.NewSpan(0, 3))
+	// <a> contains text but its model (b*) only admits <b EMPTY>, which
+	// can never contain text.
+	d := dtd.MustParse("h", `<!ELEMENT r ANY> <!ELEMENT a (b*)> <!ELEMENT b EMPTY>`)
+	v := Hierarchy(h, d, Potential)
+	if !hasCode(v, CodeTextNotAllowed) {
+		t.Errorf("unwrappable text should fail prevalidation: %v", v)
+	}
+}
+
+func TestBadChildrenVsCannotExtend(t *testing.T) {
+	doc := goddag.New("r", "abcdef")
+	h := doc.AddHierarchy("h")
+	mustInsert(t, doc, h, "s", document.NewSpan(0, 6))
+	mustInsert(t, doc, h, "c", document.NewSpan(0, 3)) // model needs (b,c): c alone
+	d := dtd.MustParse("h", `
+<!ELEMENT r (s*)>
+<!ELEMENT s (b,c)>
+<!ELEMENT b EMPTY>
+<!ELEMENT c (#PCDATA)>
+`)
+	// Full: invalid ((c) != (b,c)); note the stray text inside s also trips.
+	v := Hierarchy(h, d, Full)
+	if !hasCode(v, CodeBadChildren) {
+		t.Errorf("full violations = %v", v)
+	}
+	// Potential: (c) is a subsequence of (b,c) -> extendable.
+	v = Hierarchy(h, d, Potential)
+	if hasCode(v, CodeCannotExtend) {
+		t.Errorf("potential violations = %v", v)
+	}
+	// Now add a second c: (c,c) can never fit (b,c).
+	mustInsert(t, doc, h, "c", document.NewSpan(3, 6))
+	v = Hierarchy(h, d, Potential)
+	if !hasCode(v, CodeCannotExtend) {
+		t.Errorf("two c's should not be extendable: %v", v)
+	}
+}
+
+func TestIDUniquenessAndRefs(t *testing.T) {
+	doc := goddag.New("r", "ab cd ef")
+	words := doc.AddHierarchy("words")
+	mustInsert(t, doc, words, "w", document.NewSpan(0, 2), goddag.Attr{Name: "id", Value: "w1"})
+	mustInsert(t, doc, words, "w", document.NewSpan(3, 5), goddag.Attr{Name: "id", Value: "w1"}) // dup
+	mustInsert(t, doc, words, "w", document.NewSpan(6, 8), goddag.Attr{Name: "ref", Value: "w9"})
+	d := dtd.MustParse("words", wordsDTD)
+	v := Hierarchy(words, d, Full)
+	if !hasCode(v, CodeDuplicateID) {
+		t.Errorf("expected duplicate ID: %v", v)
+	}
+	if !hasCode(v, CodeDanglingIDRef) {
+		t.Errorf("expected dangling IDREF: %v", v)
+	}
+	// Potential mode: duplicate IDs still flagged, dangling refs not.
+	v = Hierarchy(words, d, Potential)
+	if !hasCode(v, CodeDuplicateID) {
+		t.Errorf("potential should flag dup IDs: %v", v)
+	}
+	if hasCode(v, CodeDanglingIDRef) {
+		t.Errorf("potential should not flag dangling refs: %v", v)
+	}
+}
+
+func TestNilDTD(t *testing.T) {
+	_, phys, _ := buildDoc(t)
+	if v := Hierarchy(phys, nil, Full); v != nil {
+		t.Errorf("nil DTD should yield nil: %v", v)
+	}
+}
+
+func TestCheckInsertionAccepts(t *testing.T) {
+	doc, _, words := buildDoc(t)
+	wd := dtd.MustParse("words", wordsDTD)
+	// Wrapping two words in a sentence is fine.
+	if err := CheckInsertion(doc, words, wd, "sentence", document.NewSpan(0, 9)); err != nil {
+		t.Errorf("sentence insertion rejected: %v", err)
+	}
+	// Structure is unchanged (probe only).
+	if words.Len() != 3 {
+		t.Errorf("probe mutated the document: %d elements", words.Len())
+	}
+}
+
+func TestCheckInsertionUndeclared(t *testing.T) {
+	doc, _, words := buildDoc(t)
+	wd := dtd.MustParse("words", wordsDTD)
+	err := CheckInsertion(doc, words, wd, "bogus", document.NewSpan(0, 3))
+	viol, ok := err.(Violation)
+	if !ok || viol.Code != CodeUndeclaredElement {
+		t.Errorf("err = %v", err)
+	}
+	if !strings.Contains(viol.Error(), "undeclared-element") {
+		t.Errorf("Error() = %q", viol.Error())
+	}
+}
+
+func TestCheckInsertionConflict(t *testing.T) {
+	doc, _, words := buildDoc(t)
+	wd := dtd.MustParse("words", wordsDTD)
+	// Span overlapping word [4,9) partially is a structural conflict.
+	err := CheckInsertion(doc, words, wd, "w", document.NewSpan(5, 11))
+	if _, ok := err.(*goddag.ConflictError); !ok {
+		t.Errorf("err = %T %v, want *goddag.ConflictError", err, err)
+	}
+}
+
+func TestCheckInsertionContentModel(t *testing.T) {
+	doc := goddag.New("r", "abcdef")
+	h := doc.AddHierarchy("h")
+	d := dtd.MustParse("h", `
+<!ELEMENT r (a?,b?)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`)
+	mustInsert(t, doc, h, "a", document.NewSpan(0, 3))
+	// A second <a> can never fit (a?,b?).
+	if err := CheckInsertion(doc, h, d, "a", document.NewSpan(3, 6)); err == nil {
+		t.Error("second <a> should be rejected")
+	}
+	// A <b> after <a> is fine.
+	if err := CheckInsertion(doc, h, d, "b", document.NewSpan(3, 6)); err != nil {
+		t.Errorf("<b> rejected: %v", err)
+	}
+}
+
+func TestCheckInsertionOrderMatters(t *testing.T) {
+	doc := goddag.New("r", "abcdef")
+	h := doc.AddHierarchy("h")
+	d := dtd.MustParse("h", `
+<!ELEMENT r (a,b)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`)
+	mustInsert(t, doc, h, "b", document.NewSpan(3, 6))
+	// Inserting <a> before <b> is extendable; after <b> is not.
+	if err := CheckInsertion(doc, h, d, "a", document.NewSpan(0, 3)); err != nil {
+		t.Errorf("a before b rejected: %v", err)
+	}
+	// Remove b, add a at the start, then check a after a fails.
+	doc2 := goddag.New("r", "abcdef")
+	h2 := doc2.AddHierarchy("h")
+	mustInsert(t, doc2, h2, "a", document.NewSpan(0, 3))
+	if err := CheckInsertion(doc2, h2, d, "a", document.NewSpan(3, 6)); err == nil {
+		t.Error("second a should fail")
+	}
+}
+
+func TestCheckInsertionAdoption(t *testing.T) {
+	doc := goddag.New("r", "one two three")
+	h := doc.AddHierarchy("h")
+	d := dtd.MustParse("h", `
+<!ELEMENT r (s*)>
+<!ELEMENT s (w+)>
+<!ELEMENT w (#PCDATA)>
+`)
+	mustInsert(t, doc, h, "w", document.NewSpan(0, 3))
+	mustInsert(t, doc, h, "w", document.NewSpan(4, 7))
+	// Wrapping both w's in an s: s adopts w,w which fits (w+). The root's
+	// sequence becomes [s] which fits (s*).
+	if err := CheckInsertion(doc, h, d, "s", document.NewSpan(0, 7)); err != nil {
+		t.Errorf("s insertion rejected: %v", err)
+	}
+	// Perform the wrap for real, then an s over the remaining uncovered
+	// text is accepted: it has no w children yet but (w+) is extendable.
+	mustInsert(t, doc, h, "s", document.NewSpan(0, 7))
+	if err := CheckInsertion(doc, h, d, "s", document.NewSpan(8, 13)); err != nil {
+		t.Errorf("empty s rejected: %v", err)
+	}
+	// Inserting w directly at root level: root model (s*) has no w and
+	// can never get one.
+	if err := CheckInsertion(doc, h, d, "w", document.NewSpan(8, 13)); err == nil {
+		t.Error("w at root level should be rejected")
+	}
+}
+
+func TestCheckInsertionEmptyModel(t *testing.T) {
+	doc := goddag.New("r", "abcdef")
+	h := doc.AddHierarchy("h")
+	d := dtd.MustParse("h", `<!ELEMENT r ANY> <!ELEMENT pb EMPTY>`)
+	// pb over text content is not allowed.
+	if err := CheckInsertion(doc, h, d, "pb", document.NewSpan(0, 3)); err == nil {
+		t.Error("pb over text should be rejected")
+	}
+	// pb as a zero-width milestone is fine.
+	if err := CheckInsertion(doc, h, d, "pb", document.NewSpan(3, 3)); err != nil {
+		t.Errorf("milestone pb rejected: %v", err)
+	}
+}
+
+func TestCheckInsertionNilDTD(t *testing.T) {
+	doc, _, words := buildDoc(t)
+	if err := CheckInsertion(doc, words, nil, "anything", document.NewSpan(0, 3)); err != nil {
+		t.Errorf("nil DTD should accept: %v", err)
+	}
+	// ... but structural conflicts still surface.
+	if err := CheckInsertion(doc, words, nil, "x", document.NewSpan(5, 11)); err == nil {
+		t.Error("conflict should surface even with nil DTD")
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	codes := []Code{
+		CodeUndeclaredElement, CodeBadChildren, CodeTextNotAllowed,
+		CodeEmptyWithContent, CodeUndeclaredAttr, CodeMissingRequiredAttr,
+		CodeBadAttrValue, CodeDuplicateID, CodeDanglingIDRef, CodeCannotExtend,
+	}
+	seen := map[string]bool{}
+	for _, c := range codes {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Errorf("code %d has bad name %q", int(c), s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(Code(99).String(), "99") {
+		t.Error("unknown code")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := Violation{Hierarchy: "h", Code: CodeBadChildren, Msg: "boom"}
+	if !strings.Contains(v.Error(), "root") || !strings.Contains(v.Error(), "boom") {
+		t.Errorf("Error() = %q", v.Error())
+	}
+}
+
+func hasCode(vs []Violation, c Code) bool {
+	for _, v := range vs {
+		if v.Code == c {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,740 @@
+package xmlscan
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Options configure a Scanner.
+type Options struct {
+	// Entities maps additional entity names (without & and ;) to their
+	// replacement text. The five predefined XML entities are always
+	// available. Entities declared in the DOCTYPE internal subset are
+	// added automatically.
+	Entities map[string]string
+
+	// KeepComments reports comments as tokens instead of skipping them.
+	KeepComments bool
+
+	// KeepProcInsts reports processing instructions as tokens instead of
+	// skipping them.
+	KeepProcInsts bool
+
+	// CoalesceCDATA makes CDATA sections come back as KindText tokens,
+	// merged with adjacent character data.
+	CoalesceCDATA bool
+}
+
+// Scanner tokenizes a complete XML document held in memory.
+// The zero value is not usable; call New.
+type Scanner struct {
+	src  []byte
+	pos  int
+	line int
+	col  int
+
+	contentPos int // rune offset within character content so far
+	stack      []string
+	opts       Options
+	entities   map[string]string
+
+	// Incremental line/col cache: position lcOff is on line lcLine at
+	// column lcCol. Offsets are queried in nearly ascending order, so
+	// advancing from the cache keeps position tracking O(input) overall.
+	lcOff  int
+	lcLine int
+	lcCol  int
+
+	sawRoot    bool // a root element has been seen
+	rootClosed bool // ... and closed
+	started    bool // any token delivered yet
+	err        error
+}
+
+// New returns a Scanner over src.
+func New(src []byte, opts Options) *Scanner {
+	ents := map[string]string{
+		"lt":   "<",
+		"gt":   ">",
+		"amp":  "&",
+		"apos": "'",
+		"quot": `"`,
+	}
+	for k, v := range opts.Entities {
+		ents[k] = v
+	}
+	return &Scanner{src: src, line: 1, col: 1, opts: opts, entities: ents, lcLine: 1, lcCol: 1}
+}
+
+// Depth returns the current element nesting depth.
+func (s *Scanner) Depth() int { return len(s.stack) }
+
+// ContentPos returns the rune offset within character content reached so far.
+func (s *Scanner) ContentPos() int { return s.contentPos }
+
+func (s *Scanner) errorf(off int, format string, args ...any) error {
+	line, col := s.lineColAt(off)
+	e := &SyntaxError{Offset: off, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+	s.err = e
+	return e
+}
+
+// lineColAt computes the line/column of a byte offset, advancing from the
+// cached position when possible (token offsets arrive in ascending
+// order) and rescanning only on the rare backward query.
+func (s *Scanner) lineColAt(off int) (line, col int) {
+	if off > len(s.src) {
+		off = len(s.src)
+	}
+	if off < s.lcOff {
+		s.lcOff, s.lcLine, s.lcCol = 0, 1, 1
+	}
+	for i := s.lcOff; i < off; i++ {
+		if s.src[i] == '\n' {
+			s.lcLine++
+			s.lcCol = 1
+		} else {
+			s.lcCol++
+		}
+	}
+	s.lcOff = off
+	return s.lcLine, s.lcCol
+}
+
+// Next returns the next token. At end of input it returns io.EOF after
+// verifying that all elements were closed and a root element was present.
+// After any error, Next keeps returning the same error.
+func (s *Scanner) Next() (Token, error) {
+	if s.err != nil {
+		return Token{}, s.err
+	}
+	for {
+		tok, err := s.next()
+		if err != nil {
+			return Token{}, err
+		}
+		switch tok.Kind {
+		case KindComment:
+			if !s.opts.KeepComments {
+				continue
+			}
+		case KindProcInst:
+			if !s.opts.KeepProcInsts {
+				continue
+			}
+		case KindCDATA:
+			if s.opts.CoalesceCDATA {
+				tok.Kind = KindText
+			}
+		}
+		return tok, nil
+	}
+}
+
+func (s *Scanner) next() (Token, error) {
+	if s.pos >= len(s.src) {
+		if len(s.stack) > 0 {
+			return Token{}, s.errorf(s.pos, "unexpected EOF: unclosed element <%s>", s.stack[len(s.stack)-1])
+		}
+		if !s.sawRoot {
+			return Token{}, s.errorf(s.pos, "document has no root element")
+		}
+		return Token{}, io.EOF
+	}
+	start := s.pos
+	if s.src[s.pos] != '<' {
+		return s.scanText(start)
+	}
+	// Markup.
+	if s.pos+1 >= len(s.src) {
+		return Token{}, s.errorf(s.pos, "unexpected EOF after '<'")
+	}
+	switch s.src[s.pos+1] {
+	case '?':
+		return s.scanPI(start)
+	case '!':
+		return s.scanBang(start)
+	case '/':
+		return s.scanEndTag(start)
+	default:
+		return s.scanStartTag(start)
+	}
+}
+
+// scanText scans a run of character data up to the next '<'.
+func (s *Scanner) scanText(start int) (Token, error) {
+	var b strings.Builder
+	for s.pos < len(s.src) && s.src[s.pos] != '<' {
+		c := s.src[s.pos]
+		switch c {
+		case '&':
+			r, err := s.scanReference()
+			if err != nil {
+				return Token{}, err
+			}
+			b.WriteString(r)
+		case ']':
+			// "]]>" must not appear in character data.
+			if s.pos+2 < len(s.src) && s.src[s.pos+1] == ']' && s.src[s.pos+2] == '>' {
+				return Token{}, s.errorf(s.pos, "']]>' not allowed in character data")
+			}
+			b.WriteByte(c)
+			s.pos++
+		default:
+			b.WriteByte(c)
+			s.pos++
+		}
+	}
+	text := b.String()
+	if len(s.stack) == 0 {
+		// Text outside the root element must be whitespace only.
+		if strings.TrimSpace(text) != "" {
+			return Token{}, s.errorf(start, "character data outside root element")
+		}
+		// Whitespace outside the root is not document content.
+		line, col := s.lineColAt(start)
+		return Token{
+			Kind: KindText, Text: "", Offset: start, End: s.pos,
+			Line: line, Col: col, ContentPos: s.contentPos, Depth: 0,
+		}, nil
+	}
+	line, col := s.lineColAt(start)
+	tok := Token{
+		Kind: KindText, Text: text, Offset: start, End: s.pos,
+		Line: line, Col: col, ContentPos: s.contentPos, Depth: len(s.stack),
+	}
+	s.contentPos += utf8.RuneCountInString(text)
+	return tok, nil
+}
+
+// scanReference scans &name; or &#NN; / &#xNN; starting at '&'.
+func (s *Scanner) scanReference() (string, error) {
+	start := s.pos
+	s.pos++ // consume '&'
+	semi := -1
+	for i := s.pos; i < len(s.src) && i < s.pos+64; i++ {
+		if s.src[i] == ';' {
+			semi = i
+			break
+		}
+	}
+	if semi < 0 {
+		return "", s.errorf(start, "unterminated entity reference")
+	}
+	name := string(s.src[s.pos:semi])
+	s.pos = semi + 1
+	if name == "" {
+		return "", s.errorf(start, "empty entity reference")
+	}
+	if name[0] == '#' {
+		r, err := decodeCharRef(name[1:])
+		if err != nil {
+			return "", s.errorf(start, "invalid character reference &%s;: %v", name, err)
+		}
+		return string(r), nil
+	}
+	if v, ok := s.entities[name]; ok {
+		return v, nil
+	}
+	return "", s.errorf(start, "undefined entity &%s;", name)
+}
+
+func decodeCharRef(body string) (rune, error) {
+	if body == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	base := 10
+	if body[0] == 'x' || body[0] == 'X' {
+		base = 16
+		body = body[1:]
+		if body == "" {
+			return 0, fmt.Errorf("empty hex")
+		}
+	}
+	var n int64
+	for _, c := range body {
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		n = n*int64(base) + d
+		if n > utf8.MaxRune {
+			return 0, fmt.Errorf("out of range")
+		}
+	}
+	r := rune(n)
+	if !isXMLChar(r) {
+		return 0, fmt.Errorf("not an XML character")
+	}
+	return r, nil
+}
+
+// isXMLChar reports whether r is a legal XML 1.0 character.
+func isXMLChar(r rune) bool {
+	return r == 0x9 || r == 0xA || r == 0xD ||
+		(r >= 0x20 && r <= 0xD7FF) ||
+		(r >= 0xE000 && r <= 0xFFFD) ||
+		(r >= 0x10000 && r <= 0x10FFFF)
+}
+
+// isNameStart reports whether r may begin an XML name.
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r)
+}
+
+// isNameChar reports whether r may continue an XML name.
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r) ||
+		unicode.Is(unicode.Mn, r) || unicode.Is(unicode.Mc, r)
+}
+
+// IsName reports whether s is a syntactically valid XML name.
+func IsName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 {
+			if !isNameStart(r) {
+				return false
+			}
+		} else if !isNameChar(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanName scans an XML name at the current position.
+func (s *Scanner) scanName() (string, error) {
+	start := s.pos
+	r, size := utf8.DecodeRune(s.src[s.pos:])
+	if !isNameStart(r) {
+		return "", s.errorf(s.pos, "expected name, found %q", r)
+	}
+	s.pos += size
+	for s.pos < len(s.src) {
+		r, size = utf8.DecodeRune(s.src[s.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		s.pos += size
+	}
+	return string(s.src[start:s.pos]), nil
+}
+
+func (s *Scanner) skipSpace() {
+	for s.pos < len(s.src) {
+		switch s.src[s.pos] {
+		case ' ', '\t', '\n', '\r':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+// scanStartTag scans <name attr="v" ...> or <name .../>.
+func (s *Scanner) scanStartTag(start int) (Token, error) {
+	s.pos++ // consume '<'
+	name, err := s.scanName()
+	if err != nil {
+		return Token{}, err
+	}
+	var attrs []Attr
+	for {
+		s.skipSpace()
+		if s.pos >= len(s.src) {
+			return Token{}, s.errorf(start, "unexpected EOF in tag <%s>", name)
+		}
+		c := s.src[s.pos]
+		if c == '>' || c == '/' {
+			break
+		}
+		aname, err := s.scanName()
+		if err != nil {
+			return Token{}, err
+		}
+		s.skipSpace()
+		if s.pos >= len(s.src) || s.src[s.pos] != '=' {
+			return Token{}, s.errorf(s.pos, "expected '=' after attribute name %q", aname)
+		}
+		s.pos++
+		s.skipSpace()
+		val, err := s.scanAttrValue()
+		if err != nil {
+			return Token{}, err
+		}
+		for _, a := range attrs {
+			if a.Name == aname {
+				return Token{}, s.errorf(start, "duplicate attribute %q in element <%s>", aname, name)
+			}
+		}
+		attrs = append(attrs, Attr{Name: aname, Value: val})
+	}
+	selfClosing := false
+	if s.src[s.pos] == '/' {
+		selfClosing = true
+		s.pos++
+		if s.pos >= len(s.src) || s.src[s.pos] != '>' {
+			return Token{}, s.errorf(s.pos, "expected '>' after '/' in tag <%s>", name)
+		}
+	}
+	s.pos++ // consume '>'
+
+	if s.rootClosed {
+		return Token{}, s.errorf(start, "element <%s> after root element closed", name)
+	}
+	if len(s.stack) == 0 && s.sawRoot && !selfClosing {
+		return Token{}, s.errorf(start, "second root element <%s>", name)
+	}
+	if len(s.stack) == 0 && s.sawRoot && selfClosing {
+		return Token{}, s.errorf(start, "second root element <%s>", name)
+	}
+	depth := len(s.stack)
+	s.sawRoot = true
+	if !selfClosing {
+		s.stack = append(s.stack, name)
+	} else if depth == 0 {
+		s.rootClosed = true
+	}
+	line, col := s.lineColAt(start)
+	return Token{
+		Kind: KindStartElement, Name: name, Attrs: attrs, SelfClosing: selfClosing,
+		Offset: start, End: s.pos, Line: line, Col: col,
+		ContentPos: s.contentPos, Depth: depth,
+	}, nil
+}
+
+// scanAttrValue scans a quoted attribute value with references decoded.
+func (s *Scanner) scanAttrValue() (string, error) {
+	if s.pos >= len(s.src) {
+		return "", s.errorf(s.pos, "unexpected EOF in attribute value")
+	}
+	quote := s.src[s.pos]
+	if quote != '"' && quote != '\'' {
+		return "", s.errorf(s.pos, "attribute value must be quoted")
+	}
+	s.pos++
+	var b strings.Builder
+	for {
+		if s.pos >= len(s.src) {
+			return "", s.errorf(s.pos, "unterminated attribute value")
+		}
+		c := s.src[s.pos]
+		switch {
+		case c == quote:
+			s.pos++
+			return b.String(), nil
+		case c == '<':
+			return "", s.errorf(s.pos, "'<' not allowed in attribute value")
+		case c == '&':
+			r, err := s.scanReference()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r)
+		default:
+			b.WriteByte(c)
+			s.pos++
+		}
+	}
+}
+
+// scanEndTag scans </name>.
+func (s *Scanner) scanEndTag(start int) (Token, error) {
+	s.pos += 2 // consume "</"
+	name, err := s.scanName()
+	if err != nil {
+		return Token{}, err
+	}
+	s.skipSpace()
+	if s.pos >= len(s.src) || s.src[s.pos] != '>' {
+		return Token{}, s.errorf(s.pos, "expected '>' in end tag </%s>", name)
+	}
+	s.pos++
+	if len(s.stack) == 0 {
+		return Token{}, s.errorf(start, "unexpected end tag </%s>", name)
+	}
+	top := s.stack[len(s.stack)-1]
+	if top != name {
+		return Token{}, s.errorf(start, "end tag </%s> does not match open element <%s>", name, top)
+	}
+	s.stack = s.stack[:len(s.stack)-1]
+	if len(s.stack) == 0 {
+		s.rootClosed = true
+	}
+	line, col := s.lineColAt(start)
+	return Token{
+		Kind: KindEndElement, Name: name,
+		Offset: start, End: s.pos, Line: line, Col: col,
+		ContentPos: s.contentPos, Depth: len(s.stack),
+	}, nil
+}
+
+// scanPI scans <?target data?> (and the XML declaration).
+func (s *Scanner) scanPI(start int) (Token, error) {
+	s.pos += 2 // consume "<?"
+	name, err := s.scanName()
+	if err != nil {
+		return Token{}, err
+	}
+	dataStart := s.pos
+	end := indexFrom(s.src, s.pos, "?>")
+	if end < 0 {
+		return Token{}, s.errorf(start, "unterminated processing instruction <?%s", name)
+	}
+	data := strings.TrimLeft(string(s.src[dataStart:end]), " \t\r\n")
+	s.pos = end + 2
+	kind := KindProcInst
+	if name == "xml" || name == "XML" {
+		if start != 0 {
+			return Token{}, s.errorf(start, "XML declaration not at start of document")
+		}
+		kind = KindXMLDecl
+	}
+	line, col := s.lineColAt(start)
+	return Token{
+		Kind: kind, Name: name, Text: data,
+		Offset: start, End: s.pos, Line: line, Col: col,
+		ContentPos: s.contentPos, Depth: len(s.stack),
+	}, nil
+}
+
+// scanBang dispatches <!-- , <![CDATA[ and <!DOCTYPE.
+func (s *Scanner) scanBang(start int) (Token, error) {
+	rest := s.src[s.pos:]
+	switch {
+	case hasPrefix(rest, "<!--"):
+		return s.scanComment(start)
+	case hasPrefix(rest, "<![CDATA["):
+		return s.scanCDATA(start)
+	case hasPrefix(rest, "<!DOCTYPE"):
+		return s.scanDoctype(start)
+	default:
+		return Token{}, s.errorf(start, "unrecognized markup declaration")
+	}
+}
+
+func (s *Scanner) scanComment(start int) (Token, error) {
+	s.pos += 4 // consume "<!--"
+	end := indexFrom(s.src, s.pos, "-->")
+	if end < 0 {
+		return Token{}, s.errorf(start, "unterminated comment")
+	}
+	body := string(s.src[s.pos:end])
+	if strings.Contains(body, "--") {
+		return Token{}, s.errorf(start, "'--' not allowed inside comment")
+	}
+	s.pos = end + 3
+	line, col := s.lineColAt(start)
+	return Token{
+		Kind: KindComment, Text: body,
+		Offset: start, End: s.pos, Line: line, Col: col,
+		ContentPos: s.contentPos, Depth: len(s.stack),
+	}, nil
+}
+
+func (s *Scanner) scanCDATA(start int) (Token, error) {
+	if len(s.stack) == 0 {
+		return Token{}, s.errorf(start, "CDATA section outside root element")
+	}
+	s.pos += 9 // consume "<![CDATA["
+	end := indexFrom(s.src, s.pos, "]]>")
+	if end < 0 {
+		return Token{}, s.errorf(start, "unterminated CDATA section")
+	}
+	body := string(s.src[s.pos:end])
+	s.pos = end + 3
+	line, col := s.lineColAt(start)
+	tok := Token{
+		Kind: KindCDATA, Text: body,
+		Offset: start, End: s.pos, Line: line, Col: col,
+		ContentPos: s.contentPos, Depth: len(s.stack),
+	}
+	s.contentPos += utf8.RuneCountInString(body)
+	return tok, nil
+}
+
+// scanDoctype scans <!DOCTYPE name ... [internal subset]> and harvests
+// ENTITY declarations from the internal subset.
+func (s *Scanner) scanDoctype(start int) (Token, error) {
+	if s.sawRoot {
+		return Token{}, s.errorf(start, "DOCTYPE after root element")
+	}
+	s.pos += len("<!DOCTYPE")
+	s.skipSpace()
+	name, err := s.scanName()
+	if err != nil {
+		return Token{}, err
+	}
+	bodyStart := s.pos
+	depth := 0
+	for {
+		if s.pos >= len(s.src) {
+			return Token{}, s.errorf(start, "unterminated DOCTYPE")
+		}
+		switch s.src[s.pos] {
+		case '[':
+			depth++
+			s.pos++
+		case ']':
+			depth--
+			s.pos++
+		case '"', '\'':
+			q := s.src[s.pos]
+			s.pos++
+			for s.pos < len(s.src) && s.src[s.pos] != q {
+				s.pos++
+			}
+			if s.pos >= len(s.src) {
+				return Token{}, s.errorf(start, "unterminated literal in DOCTYPE")
+			}
+			s.pos++
+		case '>':
+			if depth == 0 {
+				body := string(s.src[bodyStart:s.pos])
+				s.pos++
+				s.harvestEntities(body)
+				line, col := s.lineColAt(start)
+				return Token{
+					Kind: KindDoctype, Name: name, Text: strings.TrimSpace(body),
+					Offset: start, End: s.pos, Line: line, Col: col,
+					ContentPos: s.contentPos, Depth: 0,
+				}, nil
+			}
+			s.pos++
+		default:
+			s.pos++
+		}
+	}
+}
+
+// harvestEntities extracts <!ENTITY name "value"> declarations from a
+// DOCTYPE internal subset and registers them for reference expansion.
+func (s *Scanner) harvestEntities(subset string) {
+	for {
+		i := strings.Index(subset, "<!ENTITY")
+		if i < 0 {
+			return
+		}
+		subset = subset[i+len("<!ENTITY"):]
+		rest := strings.TrimLeft(subset, " \t\r\n")
+		if rest == "" || rest[0] == '%' {
+			continue // parameter entities not supported
+		}
+		j := strings.IndexAny(rest, " \t\r\n")
+		if j < 0 {
+			return
+		}
+		name := rest[:j]
+		rest = strings.TrimLeft(rest[j:], " \t\r\n")
+		if rest == "" || (rest[0] != '"' && rest[0] != '\'') {
+			continue
+		}
+		q := rest[0]
+		k := strings.IndexByte(rest[1:], q)
+		if k < 0 {
+			return
+		}
+		if IsName(name) {
+			s.entities[name] = rest[1 : 1+k]
+		}
+		subset = rest[1+k:]
+	}
+}
+
+func hasPrefix(b []byte, p string) bool {
+	return len(b) >= len(p) && string(b[:len(p)]) == p
+}
+
+func indexFrom(b []byte, from int, sub string) int {
+	i := bytes.Index(b[from:], []byte(sub))
+	if i < 0 {
+		return -1
+	}
+	return from + i
+}
+
+// Tokens scans src to completion and returns all tokens.
+func Tokens(src []byte, opts Options) ([]Token, error) {
+	s := New(src, opts)
+	var out []Token
+	for {
+		tok, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+	}
+}
+
+// Content returns the character content of src: the concatenation of all
+// text and CDATA, with references decoded.
+func Content(src []byte) (string, error) {
+	toks, err := Tokens(src, Options{})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, t := range toks {
+		if t.Kind == KindText || t.Kind == KindCDATA {
+			b.WriteString(t.Text)
+		}
+	}
+	return b.String(), nil
+}
+
+// EscapeText writes s with <, >, & escaped for use as character data.
+func EscapeText(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr writes s escaped for use inside a double-quoted attribute.
+func EscapeAttr(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '<':
+			b.WriteString("&lt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\n':
+			b.WriteString("&#10;")
+		case '\t':
+			b.WriteString("&#9;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+// Package xmlscan implements a small, strict XML 1.0 tokenizer that
+// preserves byte offsets and content (text) offsets for every token.
+//
+// The standard library's encoding/xml decoder is designed for data-centric
+// XML: it does not report the *content offset* of markup (the number of
+// text runes preceding a tag), which is the primitive that concurrent-XML
+// parsing (package sacx) and standoff/milestone drivers (package drivers)
+// are built on. This scanner reports, for every token, both its byte span
+// in the input and the rune offset of the token within the document's
+// character content.
+//
+// The scanner checks well-formedness as it goes: tag balance, attribute
+// uniqueness, name syntax, and entity correctness. It understands the
+// predefined entities, character references, and ENTITY declarations from
+// the DOCTYPE internal subset.
+package xmlscan
+
+import "fmt"
+
+// Kind identifies the kind of a Token.
+type Kind int
+
+// Token kinds reported by the Scanner.
+const (
+	KindInvalid Kind = iota
+	// KindStartElement is a start tag <name ...> or self-closing tag
+	// <name .../> (see Token.SelfClosing).
+	KindStartElement
+	// KindEndElement is an end tag </name>.
+	KindEndElement
+	// KindText is a run of character data between markup. Entity and
+	// character references are decoded in Token.Text.
+	KindText
+	// KindCDATA is a <![CDATA[...]]> section. Token.Text holds the
+	// literal contents.
+	KindCDATA
+	// KindComment is a <!-- ... --> comment. Token.Text holds the body.
+	KindComment
+	// KindProcInst is a processing instruction <?target data?>.
+	// Token.Name is the target and Token.Text the data.
+	KindProcInst
+	// KindDoctype is a <!DOCTYPE ...> declaration. Token.Name is the
+	// document type name and Token.Text the raw declaration body.
+	KindDoctype
+	// KindXMLDecl is the <?xml version="1.0" ...?> declaration.
+	KindXMLDecl
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindStartElement:
+		return "StartElement"
+	case KindEndElement:
+		return "EndElement"
+	case KindText:
+		return "Text"
+	case KindCDATA:
+		return "CDATA"
+	case KindComment:
+		return "Comment"
+	case KindProcInst:
+		return "ProcInst"
+	case KindDoctype:
+		return "Doctype"
+	case KindXMLDecl:
+		return "XMLDecl"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attr is a single attribute on a start tag. Value has entity and
+// character references decoded.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is a single lexical item of an XML document.
+type Token struct {
+	Kind Kind
+
+	// Name is the element name (start/end tags), PI target, or DOCTYPE name.
+	Name string
+
+	// Attrs are the attributes of a start tag, in document order.
+	Attrs []Attr
+
+	// Text is the decoded character data (Text), literal CDATA body,
+	// comment body, PI data, or raw DOCTYPE body.
+	Text string
+
+	// SelfClosing reports whether a start element was written <name/>.
+	SelfClosing bool
+
+	// Offset and End delimit the raw bytes of the token in the input:
+	// input[Offset:End].
+	Offset int
+	End    int
+
+	// Line and Col are the 1-based position of the token start.
+	Line int
+	Col  int
+
+	// ContentPos is the rune offset of this token within the document's
+	// character content: the number of content runes (from Text and
+	// CDATA tokens) that precede it. For a Text or CDATA token this is
+	// the content offset of its first rune.
+	ContentPos int
+
+	// Depth is the element nesting depth at the token start (the root
+	// start tag has depth 0).
+	Depth int
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (t *Token) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SyntaxError describes a well-formedness violation found while scanning.
+type SyntaxError struct {
+	Offset int    // byte offset of the error
+	Line   int    // 1-based line
+	Col    int    // 1-based column
+	Msg    string // description
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xml: %d:%d: %s", e.Line, e.Col, e.Msg)
+}

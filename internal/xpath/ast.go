@@ -1,0 +1,209 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis enumerates the navigation axes of Extended XPath.
+type Axis int
+
+// The axes. The first group is standard XPath re-defined over GODDAG; the
+// second group is the concurrent-markup extension of [7].
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisParent
+	AxisAncestor
+	AxisAncestorOrSelf
+	AxisFollowingSibling
+	AxisPrecedingSibling
+	AxisFollowing
+	AxisPreceding
+	AxisSelf
+	AxisAttribute
+
+	AxisOverlapping
+	AxisOverlappingLeft
+	AxisOverlappingRight
+	AxisCovering
+	AxisCovered
+)
+
+var axisNames = map[string]Axis{
+	"child":              AxisChild,
+	"descendant":         AxisDescendant,
+	"descendant-or-self": AxisDescendantOrSelf,
+	"parent":             AxisParent,
+	"ancestor":           AxisAncestor,
+	"ancestor-or-self":   AxisAncestorOrSelf,
+	"following-sibling":  AxisFollowingSibling,
+	"preceding-sibling":  AxisPrecedingSibling,
+	"following":          AxisFollowing,
+	"preceding":          AxisPreceding,
+	"self":               AxisSelf,
+	"attribute":          AxisAttribute,
+	"overlapping":        AxisOverlapping,
+	"overlapping-left":   AxisOverlappingLeft,
+	"overlapping-right":  AxisOverlappingRight,
+	"covering":           AxisCovering,
+	"covered":            AxisCovered,
+}
+
+// String returns the axis name.
+func (a Axis) String() string {
+	for n, ax := range axisNames {
+		if ax == a {
+			return n
+		}
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// testKind discriminates node tests.
+type testKind int
+
+const (
+	testName testKind = iota // a specific element name
+	testAny                  // *
+	testNode                 // node()
+	testText                 // text()
+)
+
+// nodeTest selects nodes on an axis.
+type nodeTest struct {
+	kind testKind
+	name string
+	// hierarchy restricts matches to one hierarchy when non-empty
+	// (written hierarchy:name is not supported; use the in() predicate —
+	// kept for future use by the evaluator).
+	hierarchy string
+}
+
+func (t nodeTest) String() string {
+	switch t.kind {
+	case testName:
+		return t.name
+	case testAny:
+		return "*"
+	case testNode:
+		return "node()"
+	default:
+		return "text()"
+	}
+}
+
+// step is one location step: axis::test[pred]...
+type step struct {
+	axis  Axis
+	test  nodeTest
+	preds []expr
+}
+
+func (s step) String() string {
+	var b strings.Builder
+	b.WriteString(s.axis.String())
+	b.WriteString("::")
+	b.WriteString(s.test.String())
+	for _, p := range s.preds {
+		fmt.Fprintf(&b, "[%s]", p)
+	}
+	return b.String()
+}
+
+// expr is an evaluable query expression node.
+type expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// pathExpr is a location path: absolute or relative sequence of steps.
+type pathExpr struct {
+	absolute bool
+	steps    []step
+	// filter is the primary expression the path applies to, e.g.
+	// (expr)/child::a. Nil for plain location paths.
+	filter expr
+}
+
+func (p *pathExpr) isExpr() {}
+func (p *pathExpr) String() string {
+	var b strings.Builder
+	if p.filter != nil {
+		fmt.Fprintf(&b, "(%s)", p.filter)
+	}
+	if p.absolute {
+		b.WriteString("/")
+	}
+	for i, s := range p.steps {
+		if i > 0 || p.filter != nil {
+			if i > 0 {
+				b.WriteString("/")
+			} else {
+				b.WriteString("/")
+			}
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// binaryExpr applies a binary operator.
+type binaryExpr struct {
+	op   string // or and = != < <= > >= + - * div mod |
+	l, r expr
+}
+
+func (e *binaryExpr) isExpr() {}
+func (e *binaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.l, e.op, e.r)
+}
+
+// unaryExpr is numeric negation.
+type unaryExpr struct {
+	x expr
+}
+
+func (e *unaryExpr) isExpr()        {}
+func (e *unaryExpr) String() string { return fmt.Sprintf("(-%s)", e.x) }
+
+// literalExpr is a string constant.
+type literalExpr struct {
+	s string
+}
+
+func (e *literalExpr) isExpr()        {}
+func (e *literalExpr) String() string { return fmt.Sprintf("%q", e.s) }
+
+// numberExpr is a numeric constant.
+type numberExpr struct {
+	f float64
+}
+
+func (e *numberExpr) isExpr()        {}
+func (e *numberExpr) String() string { return fmt.Sprintf("%g", e.f) }
+
+// varExpr references a variable bound by the caller (or by an enclosing
+// FLWOR clause in package xquery).
+type varExpr struct {
+	name string
+}
+
+func (e *varExpr) isExpr()        {}
+func (e *varExpr) String() string { return "$" + e.name }
+
+// callExpr is a function call.
+type callExpr struct {
+	name string
+	args []expr
+}
+
+func (e *callExpr) isExpr() {}
+func (e *callExpr) String() string {
+	parts := make([]string, len(e.args))
+	for i, a := range e.args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.name, strings.Join(parts, ", "))
+}

@@ -1,0 +1,363 @@
+package xpath
+
+import (
+	"sort"
+
+	"repro/internal/document"
+	"repro/internal/goddag"
+)
+
+// axisNodes materializes one axis from one context node, following the
+// GODDAG re-definition of XPath axes (paper §4):
+//
+//   - child/descendant follow the context element's *own* hierarchy tree,
+//     with shared leaves as text children; from the root they fan out
+//     into every hierarchy.
+//   - parent of a leaf is multi-valued: one parent per hierarchy. This is
+//     how a query hops from one hierarchy to another ("navigation from
+//     one structure to another is done through root node or leaf nodes",
+//     paper §3).
+//   - following/preceding are defined by content extent: nodes whose span
+//     lies entirely after (before) the context span, across hierarchies.
+//   - the overlapping/covering/covered axes compare content spans across
+//     hierarchies.
+func (ev *evaluator) axisNodes(a Axis, n goddag.Node) []goddag.Node {
+	doc := ev.doc
+	switch a {
+	case AxisSelf:
+		return []goddag.Node{n}
+
+	case AxisChild:
+		return childrenOf(doc, n)
+
+	case AxisDescendant, AxisDescendantOrSelf:
+		// Descendants of a node are exactly its subtree elements plus
+		// the leaves it dominates; both lists are available pre-sorted,
+		// so a merge avoids the recursive walk (which would revisit
+		// shared leaves once per hierarchy and need dedup).
+		var out []goddag.Node
+		if a == AxisDescendantOrSelf {
+			out = append(out, n)
+		}
+		var els []*goddag.Element
+		var firstLeaf, lastLeaf int
+		switch v := n.(type) {
+		case *goddag.Root:
+			els = doc.Elements()
+			firstLeaf, lastLeaf = 0, doc.NumLeaves()
+		case *goddag.Element:
+			els = subtreeElements(v)
+			firstLeaf, lastLeaf = v.LeafRange()
+		default:
+			return out
+		}
+		i, j := 0, firstLeaf
+		for i < len(els) || j < lastLeaf {
+			switch {
+			case i >= len(els):
+				out = append(out, doc.Leaf(j))
+				j++
+			case j >= lastLeaf:
+				out = append(out, els[i])
+				i++
+			case goddag.CompareNodes(els[i], doc.Leaf(j)) <= 0:
+				out = append(out, els[i])
+				i++
+			default:
+				out = append(out, doc.Leaf(j))
+				j++
+			}
+		}
+		return out
+
+	case AxisParent:
+		return parentsOf(doc, n)
+
+	case AxisAncestor, AxisAncestorOrSelf:
+		var out []goddag.Node
+		if a == AxisAncestorOrSelf {
+			out = append(out, n)
+		}
+		seen := map[any]bool{}
+		var up func(m goddag.Node)
+		up = func(m goddag.Node) {
+			for _, p := range parentsOf(doc, m) {
+				id := goddag.NodeID(p)
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				out = append(out, p)
+				up(p)
+			}
+		}
+		up(n)
+		return out
+
+	case AxisFollowingSibling, AxisPrecedingSibling:
+		el, ok := n.(*goddag.Element)
+		if !ok {
+			return nil // sibling axes are defined for elements only
+		}
+		var sibs []goddag.Node
+		switch p := el.Parent().(type) {
+		case *goddag.Element:
+			sibs = p.Children()
+		case *goddag.Root:
+			sibs = p.Children(el.Hierarchy())
+		}
+		idx := -1
+		for i, s := range sibs {
+			if goddag.NodesEqual(s, n) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil
+		}
+		if a == AxisFollowingSibling {
+			return sibs[idx+1:]
+		}
+		rev := make([]goddag.Node, 0, idx)
+		for i := idx - 1; i >= 0; i-- {
+			rev = append(rev, sibs[i])
+		}
+		return rev
+
+	case AxisFollowing, AxisPreceding:
+		sp := n.Span()
+		var out []goddag.Node
+		els := doc.Elements()
+		if a == AxisFollowing {
+			// Elements are sorted by start offset: everything following
+			// begins at or after sp.End.
+			i := sort.Search(len(els), func(i int) bool { return els[i].Span().Start >= sp.End })
+			for _, e := range els[i:] {
+				if !goddag.NodesEqual(e, n) && spanAfter(e.Span(), sp) {
+					out = append(out, e)
+				}
+			}
+		} else {
+			for _, e := range els {
+				if e.Span().Start >= sp.Start && !e.Span().IsEmpty() {
+					break // can no longer end before sp begins
+				}
+				if !goddag.NodesEqual(e, n) && spanAfter(sp, e.Span()) {
+					out = append(out, e)
+				}
+			}
+		}
+		for _, l := range doc.Leaves() {
+			ls := l.Span()
+			if a == AxisFollowing && spanAfter(ls, sp) {
+				out = append(out, l)
+			}
+			if a == AxisPreceding && spanAfter(sp, ls) {
+				out = append(out, l)
+			}
+		}
+		return out
+
+	case AxisOverlapping:
+		return ev.overlapAxis(n, overlapAny)
+	case AxisOverlappingLeft:
+		return ev.overlapAxis(n, overlapLeft)
+	case AxisOverlappingRight:
+		return ev.overlapAxis(n, overlapRight)
+
+	case AxisCovering:
+		sp := n.Span()
+		var out []goddag.Node
+		if !sp.IsEmpty() {
+			// Containment implies intersection, so the interval index
+			// supplies the candidates in O(log n + candidates).
+			for _, e := range doc.ElementsIntersecting(sp) {
+				if !goddag.NodesEqual(e, n) && e.Span().ContainsSpan(sp) {
+					out = append(out, e)
+				}
+			}
+			return out
+		}
+		for _, e := range doc.Elements() {
+			if e.Span().Start > sp.Start {
+				break // a container must start at or before sp
+			}
+			if goddag.NodesEqual(e, n) {
+				continue
+			}
+			if e.Span().ContainsSpan(sp) && !e.Span().IsEmpty() {
+				out = append(out, e)
+			}
+		}
+		return out
+
+	case AxisCovered:
+		sp := n.Span()
+		var out []goddag.Node
+		for _, e := range doc.Elements() {
+			if e.Span().Start > sp.End {
+				break // a covered element must start within sp
+			}
+			if goddag.NodesEqual(e, n) {
+				continue
+			}
+			if sp.ContainsSpan(e.Span()) {
+				out = append(out, e)
+			}
+		}
+		for _, l := range doc.Leaves() {
+			if sp.ContainsSpan(l.Span()) {
+				out = append(out, l)
+			}
+		}
+		return out
+
+	default:
+		return nil
+	}
+}
+
+// subtreeElements returns the same-hierarchy descendants of e in document
+// order (pre-order of a tree sorted at every level).
+func subtreeElements(e *goddag.Element) []*goddag.Element {
+	var out []*goddag.Element
+	var walk func(es []*goddag.Element)
+	walk = func(es []*goddag.Element) {
+		for _, c := range es {
+			out = append(out, c)
+			walk(c.ChildElements())
+		}
+	}
+	walk(e.ChildElements())
+	return out
+}
+
+// childrenOf returns a node's children in document order: per-hierarchy
+// for elements, the union over hierarchies for the root (deduplicated),
+// nothing for leaves.
+func childrenOf(doc *goddag.Document, n goddag.Node) []goddag.Node {
+	switch v := n.(type) {
+	case *goddag.Element:
+		return v.Children()
+	case *goddag.Root:
+		var out []goddag.Node
+		seen := map[any]bool{}
+		for _, h := range doc.Hierarchies() {
+			for _, c := range v.Children(h) {
+				id := goddag.NodeID(c)
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, c)
+				}
+			}
+		}
+		if len(doc.Hierarchies()) == 0 {
+			for _, l := range doc.Leaves() {
+				out = append(out, l)
+			}
+		}
+		// The per-hierarchy collection is hierarchy-major; node-set
+		// semantics (and positional predicates) require document order.
+		sort.SliceStable(out, func(i, j int) bool {
+			return goddag.CompareNodes(out[i], out[j]) < 0
+		})
+		return out
+	default:
+		return nil
+	}
+}
+
+// parentsOf returns a node's parents: the single tree parent for an
+// element, one parent per hierarchy for a leaf, none for the root.
+func parentsOf(doc *goddag.Document, n goddag.Node) []goddag.Node {
+	switch v := n.(type) {
+	case *goddag.Element:
+		return []goddag.Node{v.Parent()}
+	case goddag.Leaf:
+		if len(doc.Hierarchies()) == 0 {
+			return []goddag.Node{doc.Root()}
+		}
+		return v.Parents()
+	default:
+		return nil
+	}
+}
+
+// spanAfter reports whether a lies entirely after b, with empty spans
+// ordered by position.
+func spanAfter(a, b document.Span) bool {
+	if a.IsEmpty() || b.IsEmpty() {
+		return a.Start >= b.End && a.Start >= b.Start && (a.Start > b.Start || a.Start > b.End)
+	}
+	return a.Start >= b.End
+}
+
+type overlapDir int
+
+const (
+	overlapAny overlapDir = iota
+	overlapLeft
+	overlapRight
+)
+
+// overlapAxis finds elements properly overlapping the context node's span.
+// The production implementation compares spans (O(1) per candidate, D3);
+// with Options.OverlapByWalk it instead walks the GODDAG through shared
+// leaves, which visits only connected markup but pays pointer-chasing
+// costs — kept as the A2 ablation baseline.
+func (ev *evaluator) overlapAxis(n goddag.Node, dir overlapDir) []goddag.Node {
+	sp := n.Span()
+	match := func(es document.Span) bool {
+		switch dir {
+		case overlapLeft:
+			return es.OverlapsLeft(sp)
+		case overlapRight:
+			return es.OverlapsRight(sp)
+		default:
+			return es.Overlaps(sp)
+		}
+	}
+	if !ev.opts.OverlapByWalk {
+		// ElementsOverlapping scans the sorted element cache with early
+		// termination; directional variants are subsets of it.
+		var out []goddag.Node
+		for _, e := range ev.doc.ElementsOverlapping(sp) {
+			if match(e.Span()) {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	// Graph-walk variant: an element overlapping sp must dominate at
+	// least one leaf inside sp, so walk sp's leaves, climb to each
+	// parent chain, and test.
+	if sp.IsEmpty() {
+		return nil
+	}
+	seen := map[any]bool{}
+	var out []goddag.Node
+	doc := ev.doc
+	for pos := sp.Start; pos < sp.End; {
+		leaf := doc.LeafAt(pos)
+		for _, h := range doc.Hierarchies() {
+			node := leaf.Parent(h)
+			for {
+				el, ok := node.(*goddag.Element)
+				if !ok {
+					break
+				}
+				id := goddag.NodeID(el)
+				if !seen[id] {
+					seen[id] = true
+					if match(el.Span()) {
+						out = append(out, el)
+					}
+				}
+				node = el.Parent()
+			}
+		}
+		pos = leaf.Span().End
+	}
+	return ev.dedupSort(out)
+}

@@ -1,0 +1,633 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/goddag"
+)
+
+// Value is the result of evaluating an Extended XPath expression: a
+// node-set, string, number, or boolean, following XPath 1.0's type system.
+type Value struct {
+	kind  valueKind
+	nodes []goddag.Node
+	s     string
+	f     float64
+	b     bool
+	attrs []AttrNode
+}
+
+type valueKind int
+
+const (
+	valNodes valueKind = iota
+	valString
+	valNumber
+	valBool
+	valAttrs
+)
+
+// AttrNode is an attribute selected by the attribute axis, paired with
+// its owning element.
+type AttrNode struct {
+	Owner *goddag.Element
+	Name  string
+	Value string
+}
+
+// Nodes returns the node-set (nil for non-node values).
+func (v Value) Nodes() []goddag.Node { return v.nodes }
+
+// Attrs returns selected attributes (attribute-axis results).
+func (v Value) Attrs() []AttrNode { return v.attrs }
+
+// IsNodeSet reports whether the value is a node-set (or attribute set).
+func (v Value) IsNodeSet() bool { return v.kind == valNodes || v.kind == valAttrs }
+
+// String converts the value to a string per XPath rules: a node-set
+// converts to the string value of its first node.
+func (v Value) String() string {
+	switch v.kind {
+	case valString:
+		return v.s
+	case valNumber:
+		return formatNumber(v.f)
+	case valBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case valAttrs:
+		if len(v.attrs) == 0 {
+			return ""
+		}
+		return v.attrs[0].Value
+	default:
+		if len(v.nodes) == 0 {
+			return ""
+		}
+		return v.nodes[0].Text()
+	}
+}
+
+// Number converts the value to a number per XPath rules.
+func (v Value) Number() float64 {
+	switch v.kind {
+	case valNumber:
+		return v.f
+	case valBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	default:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.String()), 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	}
+}
+
+// Bool converts the value to a boolean per XPath rules: node-sets are
+// true when non-empty, strings when non-empty, numbers when non-zero.
+func (v Value) Bool() bool {
+	switch v.kind {
+	case valBool:
+		return v.b
+	case valNumber:
+		return v.f != 0 && !math.IsNaN(v.f)
+	case valString:
+		return v.s != ""
+	case valAttrs:
+		return len(v.attrs) > 0
+	default:
+		return len(v.nodes) > 0
+	}
+}
+
+func formatNumber(f float64) string {
+	if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Singleton returns a node-set value holding exactly one node; the FLWOR
+// layer (package xquery) binds iteration variables with it.
+func Singleton(n goddag.Node) Value { return nodesValue([]goddag.Node{n}) }
+
+func nodesValue(ns []goddag.Node) Value { return Value{kind: valNodes, nodes: ns} }
+func stringValue(s string) Value        { return Value{kind: valString, s: s} }
+func numberValue(f float64) Value       { return Value{kind: valNumber, f: f} }
+func boolValue(b bool) Value            { return Value{kind: valBool, b: b} }
+
+// EvalError reports a runtime evaluation failure.
+type EvalError struct {
+	Query string
+	Msg   string
+}
+
+// Error implements the error interface.
+func (e *EvalError) Error() string { return fmt.Sprintf("xpath: %q: %s", e.Query, e.Msg) }
+
+// Bindings maps variable names (without '$') to values for queries that
+// reference $variables.
+type Bindings map[string]Value
+
+// context carries the evaluation state for one node.
+type context struct {
+	doc  *goddag.Document
+	node goddag.Node
+	pos  int // 1-based position in the current node list
+	size int
+	vars Bindings
+}
+
+// Options tune evaluation.
+type Options struct {
+	// OverlapByWalk forces the overlapping axes to traverse the GODDAG
+	// through shared leaves instead of using span-interval arithmetic.
+	// It exists as the ablation baseline for experiment A2 (DESIGN.md D3)
+	// and is never faster.
+	OverlapByWalk bool
+
+	// NoFastPaths disables the step fast paths (collapsed descendants
+	// and leaf-free candidate enumeration) so evaluation takes only the
+	// reference code paths. Used by differential tests; results must be
+	// identical either way.
+	NoFastPaths bool
+}
+
+// Eval evaluates the query with the document root as context node.
+func (q *Query) Eval(doc *goddag.Document) (Value, error) {
+	return q.EvalWithOptions(doc, Options{})
+}
+
+// EvalWithOptions evaluates with explicit options.
+func (q *Query) EvalWithOptions(doc *goddag.Document, opts Options) (Value, error) {
+	ev := &evaluator{doc: doc, query: q.source, opts: opts}
+	return ev.eval(q.root, context{doc: doc, node: doc.Root(), pos: 1, size: 1})
+}
+
+// EvalFrom evaluates the query with an explicit context node.
+func (q *Query) EvalFrom(doc *goddag.Document, node goddag.Node) (Value, error) {
+	return q.EvalFromWithOptions(doc, node, Options{})
+}
+
+// EvalFromWithOptions evaluates with an explicit context node and options.
+func (q *Query) EvalFromWithOptions(doc *goddag.Document, node goddag.Node, opts Options) (Value, error) {
+	ev := &evaluator{doc: doc, query: q.source, opts: opts}
+	return ev.eval(q.root, context{doc: doc, node: node, pos: 1, size: 1})
+}
+
+// EvalWith evaluates with an explicit context node and variable bindings
+// (for $x references; the FLWOR layer in package xquery builds on this).
+func (q *Query) EvalWith(doc *goddag.Document, node goddag.Node, vars Bindings) (Value, error) {
+	ev := &evaluator{doc: doc, query: q.source}
+	return ev.eval(q.root, context{doc: doc, node: node, pos: 1, size: 1, vars: vars})
+}
+
+// Select is a convenience wrapper returning the node-set of the query; it
+// errors when the query does not produce a node-set.
+func Select(doc *goddag.Document, query string) ([]goddag.Node, error) {
+	q, err := Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	v, err := q.Eval(doc)
+	if err != nil {
+		return nil, err
+	}
+	if !v.IsNodeSet() {
+		return nil, &EvalError{Query: query, Msg: fmt.Sprintf("result is not a node-set (got %T-like value %q)", v.kind, v.String())}
+	}
+	return v.nodes, nil
+}
+
+type evaluator struct {
+	doc   *goddag.Document
+	query string
+	opts  Options
+}
+
+func (ev *evaluator) errorf(format string, args ...any) error {
+	return &EvalError{Query: ev.query, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (ev *evaluator) eval(e expr, ctx context) (Value, error) {
+	switch n := e.(type) {
+	case *varExpr:
+		v, ok := ctx.vars[n.name]
+		if !ok {
+			return Value{}, ev.errorf("unbound variable $%s", n.name)
+		}
+		return v, nil
+	case *literalExpr:
+		return stringValue(n.s), nil
+	case *numberExpr:
+		return numberValue(n.f), nil
+	case *unaryExpr:
+		v, err := ev.eval(n.x, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return numberValue(-v.Number()), nil
+	case *binaryExpr:
+		return ev.evalBinary(n, ctx)
+	case *callExpr:
+		return ev.evalCall(n, ctx)
+	case *pathExpr:
+		return ev.evalPath(n, ctx)
+	default:
+		return Value{}, ev.errorf("unknown expression %T", e)
+	}
+}
+
+func (ev *evaluator) evalBinary(e *binaryExpr, ctx context) (Value, error) {
+	switch e.op {
+	case "or":
+		l, err := ev.eval(e.l, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Bool() {
+			return boolValue(true), nil
+		}
+		r, err := ev.eval(e.r, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(r.Bool()), nil
+	case "and":
+		l, err := ev.eval(e.l, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.Bool() {
+			return boolValue(false), nil
+		}
+		r, err := ev.eval(e.r, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(r.Bool()), nil
+	}
+	l, err := ev.eval(e.l, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ev.eval(e.r, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.op {
+	case "|":
+		if !l.IsNodeSet() || !r.IsNodeSet() {
+			return Value{}, ev.errorf("'|' requires node-sets")
+		}
+		return nodesValue(ev.dedupSort(append(append([]goddag.Node{}, l.nodes...), r.nodes...))), nil
+	case "=", "!=":
+		return boolValue(compareValues(l, r, e.op)), nil
+	case "<", "<=", ">", ">=":
+		return boolValue(compareNumeric(l, r, e.op)), nil
+	case "+":
+		return numberValue(l.Number() + r.Number()), nil
+	case "-":
+		return numberValue(l.Number() - r.Number()), nil
+	case "*":
+		return numberValue(l.Number() * r.Number()), nil
+	case "div":
+		return numberValue(l.Number() / r.Number()), nil
+	case "mod":
+		return numberValue(math.Mod(l.Number(), r.Number())), nil
+	default:
+		return Value{}, ev.errorf("unknown operator %q", e.op)
+	}
+}
+
+// compareValues implements =/!= with XPath existential node-set
+// semantics (simplified: node string-values are compared).
+func compareValues(l, r Value, op string) bool {
+	eq := func(a, b string) bool {
+		if op == "=" {
+			return a == b
+		}
+		return a != b
+	}
+	switch {
+	case l.IsNodeSet() && r.IsNodeSet():
+		for _, a := range setStrings(l) {
+			for _, b := range setStrings(r) {
+				if eq(a, b) {
+					return true
+				}
+			}
+		}
+		return false
+	case l.IsNodeSet():
+		for _, a := range setStrings(l) {
+			if eq(a, r.String()) {
+				return true
+			}
+		}
+		return false
+	case r.IsNodeSet():
+		for _, b := range setStrings(r) {
+			if eq(l.String(), b) {
+				return true
+			}
+		}
+		return false
+	case l.kind == valBool || r.kind == valBool:
+		return eq(fmt.Sprint(l.Bool()), fmt.Sprint(r.Bool()))
+	case l.kind == valNumber || r.kind == valNumber:
+		if op == "=" {
+			return l.Number() == r.Number()
+		}
+		return l.Number() != r.Number()
+	default:
+		return eq(l.String(), r.String())
+	}
+}
+
+func compareNumeric(l, r Value, op string) bool {
+	cmp := func(a, b float64) bool {
+		switch op {
+		case "<":
+			return a < b
+		case "<=":
+			return a <= b
+		case ">":
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+	switch {
+	case l.IsNodeSet():
+		for _, a := range setStrings(l) {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(a), 64); err == nil && cmp(f, r.Number()) {
+				return true
+			}
+		}
+		return false
+	case r.IsNodeSet():
+		for _, b := range setStrings(r) {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(b), 64); err == nil && cmp(l.Number(), f) {
+				return true
+			}
+		}
+		return false
+	default:
+		return cmp(l.Number(), r.Number())
+	}
+}
+
+func setStrings(v Value) []string {
+	if v.kind == valAttrs {
+		out := make([]string, len(v.attrs))
+		for i, a := range v.attrs {
+			out[i] = a.Value
+		}
+		return out
+	}
+	out := make([]string, len(v.nodes))
+	for i, n := range v.nodes {
+		out[i] = n.Text()
+	}
+	return out
+}
+
+// evalPath evaluates a location path.
+func (ev *evaluator) evalPath(p *pathExpr, ctx context) (Value, error) {
+	var current []goddag.Node
+	switch {
+	case p.filter != nil:
+		v, err := ev.eval(p.filter, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if !v.IsNodeSet() || v.kind == valAttrs {
+			return Value{}, ev.errorf("path applied to non-node-set")
+		}
+		current = v.nodes
+	case p.absolute:
+		current = []goddag.Node{ev.doc.Root()}
+	default:
+		current = []goddag.Node{ctx.node}
+	}
+	if len(p.steps) == 0 {
+		return nodesValue(current), nil
+	}
+	for i, st := range p.steps {
+		isLast := i == len(p.steps)-1
+		if st.axis == AxisAttribute {
+			if !isLast {
+				return Value{}, ev.errorf("attribute step must be last")
+			}
+			var attrs []AttrNode
+			for _, n := range current {
+				el, ok := n.(*goddag.Element)
+				if !ok {
+					continue
+				}
+				for _, a := range el.Attrs() {
+					if st.test.kind == testAny || a.Name == st.test.name {
+						attrs = append(attrs, AttrNode{Owner: el, Name: a.Name, Value: a.Value})
+					}
+				}
+			}
+			// Predicates on attributes: only positional/string predicates
+			// make sense; evaluate against the owner element context.
+			for _, pred := range st.preds {
+				var kept []AttrNode
+				for pi, a := range attrs {
+					pctx := context{doc: ev.doc, node: a.Owner, pos: pi + 1, size: len(attrs), vars: ctx.vars}
+					v, err := ev.eval(pred, pctx)
+					if err != nil {
+						return Value{}, err
+					}
+					if predHolds(v, pi+1) {
+						kept = append(kept, a)
+					}
+				}
+				attrs = kept
+			}
+			return Value{kind: valAttrs, attrs: attrs}, nil
+		}
+		next, err := ev.evalStep(st, current, ctx.vars)
+		if err != nil {
+			return Value{}, err
+		}
+		current = next
+	}
+	return nodesValue(current), nil
+}
+
+// evalStep applies one step to every node of the current set, with
+// predicate filtering per origin node list (XPath position semantics).
+func (ev *evaluator) evalStep(st step, current []goddag.Node, vars Bindings) ([]goddag.Node, error) {
+	if out, ok := ev.fastStep(st, current); ok {
+		return out, nil
+	}
+	// Even with predicates, element-only tests never match leaves, so
+	// candidate enumeration can use the leaf-free fast path per origin;
+	// predicate positions are unchanged (leaves were filtered out anyway).
+	bare := step{axis: st.axis, test: st.test}
+	var out []goddag.Node
+	for _, n := range current {
+		var cands []goddag.Node
+		if fs, ok := ev.fastStep(bare, []goddag.Node{n}); ok {
+			cands = fs
+		} else {
+			cands = filterTest(ev.axisNodes(st.axis, n), st.test)
+		}
+		for _, pred := range st.preds {
+			var kept []goddag.Node
+			size := len(cands)
+			for i, c := range cands {
+				pctx := context{doc: ev.doc, node: c, pos: i + 1, size: size, vars: vars}
+				v, err := ev.eval(pred, pctx)
+				if err != nil {
+					return nil, err
+				}
+				if predHolds(v, i+1) {
+					kept = append(kept, c)
+				}
+			}
+			cands = kept
+		}
+		out = append(out, cands...)
+	}
+	return ev.dedupSort(out), nil
+}
+
+// fastStep handles the hottest step shapes without materializing
+// intermediate node lists: predicate-free element tests on the child and
+// descendant axes. Element tests never match leaves, so these paths skip
+// leaf enumeration entirely; from the root, the descendant axis is served
+// by the document's cached, sorted element list.
+func (ev *evaluator) fastStep(st step, current []goddag.Node) ([]goddag.Node, bool) {
+	if ev.opts.NoFastPaths {
+		return nil, false
+	}
+	if len(st.preds) != 0 || (st.test.kind != testName && st.test.kind != testAny) {
+		return nil, false
+	}
+	match := func(e *goddag.Element) bool {
+		return st.test.kind == testAny || e.Name() == st.test.name
+	}
+	var out []goddag.Node
+	mustSort := false
+	switch st.axis {
+	case AxisDescendant, AxisDescendantOrSelf:
+		for _, n := range current {
+			switch v := n.(type) {
+			case *goddag.Root:
+				for _, e := range ev.doc.Elements() {
+					if match(e) {
+						out = append(out, e)
+					}
+				}
+			case *goddag.Element:
+				if st.axis == AxisDescendantOrSelf && match(v) {
+					out = append(out, v)
+				}
+				var walk func(es []*goddag.Element)
+				walk = func(es []*goddag.Element) {
+					for _, e := range es {
+						if match(e) {
+							out = append(out, e)
+						}
+						walk(e.ChildElements())
+					}
+				}
+				walk(v.ChildElements())
+			}
+		}
+	case AxisChild:
+		for _, n := range current {
+			switch v := n.(type) {
+			case *goddag.Root:
+				// Tops collect hierarchy-major; restore document order.
+				mustSort = len(ev.doc.Hierarchies()) > 1
+				for _, h := range ev.doc.Hierarchies() {
+					for _, e := range h.TopElements() {
+						if match(e) {
+							out = append(out, e)
+						}
+					}
+				}
+			case *goddag.Element:
+				for _, e := range v.ChildElements() {
+					if match(e) {
+						out = append(out, e)
+					}
+				}
+			}
+		}
+	default:
+		return nil, false
+	}
+	if len(current) > 1 || mustSort {
+		out = ev.dedupSort(out)
+	}
+	return out, true
+}
+
+// predHolds implements XPath predicate truth: a number predicate selects
+// by position.
+func predHolds(v Value, pos int) bool {
+	if v.kind == valNumber {
+		return int(v.f) == pos
+	}
+	return v.Bool()
+}
+
+func filterTest(ns []goddag.Node, t nodeTest) []goddag.Node {
+	var out []goddag.Node
+	for _, n := range ns {
+		switch t.kind {
+		case testNode:
+			out = append(out, n)
+		case testText:
+			if n.Kind() == goddag.KindLeaf {
+				out = append(out, n)
+			}
+		case testAny:
+			if n.Kind() == goddag.KindElement {
+				out = append(out, n)
+			}
+		case testName:
+			if el, ok := n.(*goddag.Element); ok && el.Name() == t.name {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// dedupSort deduplicates a node list and sorts it in document order.
+func (ev *evaluator) dedupSort(ns []goddag.Node) []goddag.Node {
+	if len(ns) <= 1 {
+		return ns
+	}
+	seen := make(map[any]bool, len(ns))
+	var out []goddag.Node
+	for _, n := range ns {
+		id := goddag.NodeID(n)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return goddag.CompareNodes(out[i], out[j]) < 0
+	})
+	return out
+}

@@ -1,0 +1,272 @@
+package xpath
+
+import (
+	"strings"
+
+	"repro/internal/goddag"
+)
+
+// evalCall dispatches Extended XPath function calls. The core library
+// covers the XPath 1.0 functions used in document-centric querying plus
+// the concurrent-markup extensions hierarchy(), overlaps(), span-start()
+// and span-end().
+func (ev *evaluator) evalCall(c *callExpr, ctx context) (Value, error) {
+	argVals := func(want int) ([]Value, error) {
+		if want >= 0 && len(c.args) != want {
+			return nil, ev.errorf("%s() takes %d argument(s), got %d", c.name, want, len(c.args))
+		}
+		out := make([]Value, len(c.args))
+		for i, a := range c.args {
+			v, err := ev.eval(a, ctx)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	switch c.name {
+	case "position":
+		if _, err := argVals(0); err != nil {
+			return Value{}, err
+		}
+		return numberValue(float64(ctx.pos)), nil
+	case "last":
+		if _, err := argVals(0); err != nil {
+			return Value{}, err
+		}
+		return numberValue(float64(ctx.size)), nil
+	case "count":
+		vs, err := argVals(1)
+		if err != nil {
+			return Value{}, err
+		}
+		if !vs[0].IsNodeSet() {
+			return Value{}, ev.errorf("count() requires a node-set")
+		}
+		if vs[0].kind == valAttrs {
+			return numberValue(float64(len(vs[0].attrs))), nil
+		}
+		return numberValue(float64(len(vs[0].nodes))), nil
+	case "name", "local-name":
+		if len(c.args) == 0 {
+			return stringValue(nodeName(ctx.node)), nil
+		}
+		vs, err := argVals(1)
+		if err != nil {
+			return Value{}, err
+		}
+		if !vs[0].IsNodeSet() || len(vs[0].nodes) == 0 {
+			return stringValue(""), nil
+		}
+		return stringValue(nodeName(vs[0].nodes[0])), nil
+	case "hierarchy":
+		// hierarchy() — the hierarchy name of the context node (empty for
+		// the root and for leaves, which belong to all hierarchies);
+		// hierarchy(ns) — of the first node in ns.
+		node := ctx.node
+		if len(c.args) == 1 {
+			vs, err := argVals(1)
+			if err != nil {
+				return Value{}, err
+			}
+			if !vs[0].IsNodeSet() || len(vs[0].nodes) == 0 {
+				return stringValue(""), nil
+			}
+			node = vs[0].nodes[0]
+		} else if len(c.args) > 1 {
+			return Value{}, ev.errorf("hierarchy() takes 0 or 1 arguments")
+		}
+		if el, ok := node.(*goddag.Element); ok {
+			return stringValue(el.Hierarchy().Name()), nil
+		}
+		return stringValue(""), nil
+	case "overlaps":
+		// overlaps(ns) — true when the context node properly overlaps any
+		// node of ns; overlaps(ns1, ns2) — any cross pair overlaps.
+		switch len(c.args) {
+		case 1:
+			vs, err := argVals(1)
+			if err != nil {
+				return Value{}, err
+			}
+			if !vs[0].IsNodeSet() {
+				return Value{}, ev.errorf("overlaps() requires node-sets")
+			}
+			sp := ctx.node.Span()
+			for _, m := range vs[0].nodes {
+				if sp.Overlaps(m.Span()) {
+					return boolValue(true), nil
+				}
+			}
+			return boolValue(false), nil
+		case 2:
+			vs, err := argVals(2)
+			if err != nil {
+				return Value{}, err
+			}
+			if !vs[0].IsNodeSet() || !vs[1].IsNodeSet() {
+				return Value{}, ev.errorf("overlaps() requires node-sets")
+			}
+			for _, a := range vs[0].nodes {
+				for _, b := range vs[1].nodes {
+					if a.Span().Overlaps(b.Span()) {
+						return boolValue(true), nil
+					}
+				}
+			}
+			return boolValue(false), nil
+		default:
+			return Value{}, ev.errorf("overlaps() takes 1 or 2 arguments")
+		}
+	case "span-start", "span-end":
+		node := ctx.node
+		if len(c.args) == 1 {
+			vs, err := argVals(1)
+			if err != nil {
+				return Value{}, err
+			}
+			if !vs[0].IsNodeSet() || len(vs[0].nodes) == 0 {
+				return numberValue(-1), nil
+			}
+			node = vs[0].nodes[0]
+		}
+		if c.name == "span-start" {
+			return numberValue(float64(node.Span().Start)), nil
+		}
+		return numberValue(float64(node.Span().End)), nil
+	case "string":
+		if len(c.args) == 0 {
+			return stringValue(ctx.node.Text()), nil
+		}
+		vs, err := argVals(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return stringValue(vs[0].String()), nil
+	case "number":
+		if len(c.args) == 0 {
+			return numberValue(stringValue(ctx.node.Text()).Number()), nil
+		}
+		vs, err := argVals(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return numberValue(vs[0].Number()), nil
+	case "boolean":
+		vs, err := argVals(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(vs[0].Bool()), nil
+	case "not":
+		vs, err := argVals(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(!vs[0].Bool()), nil
+	case "true":
+		if _, err := argVals(0); err != nil {
+			return Value{}, err
+		}
+		return boolValue(true), nil
+	case "false":
+		if _, err := argVals(0); err != nil {
+			return Value{}, err
+		}
+		return boolValue(false), nil
+	case "contains":
+		vs, err := argVals(2)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(strings.Contains(vs[0].String(), vs[1].String())), nil
+	case "starts-with":
+		vs, err := argVals(2)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(strings.HasPrefix(vs[0].String(), vs[1].String())), nil
+	case "string-length":
+		if len(c.args) == 0 {
+			return numberValue(float64(len([]rune(ctx.node.Text())))), nil
+		}
+		vs, err := argVals(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return numberValue(float64(len([]rune(vs[0].String())))), nil
+	case "normalize-space":
+		s := ""
+		if len(c.args) == 0 {
+			s = ctx.node.Text()
+		} else {
+			vs, err := argVals(1)
+			if err != nil {
+				return Value{}, err
+			}
+			s = vs[0].String()
+		}
+		return stringValue(strings.Join(strings.Fields(s), " ")), nil
+	case "concat":
+		if len(c.args) < 2 {
+			return Value{}, ev.errorf("concat() takes at least 2 arguments")
+		}
+		vs, err := argVals(-1)
+		if err != nil {
+			return Value{}, err
+		}
+		var b strings.Builder
+		for _, v := range vs {
+			b.WriteString(v.String())
+		}
+		return stringValue(b.String()), nil
+	case "substring":
+		if len(c.args) != 2 && len(c.args) != 3 {
+			return Value{}, ev.errorf("substring() takes 2 or 3 arguments")
+		}
+		vs, err := argVals(-1)
+		if err != nil {
+			return Value{}, err
+		}
+		r := []rune(vs[0].String())
+		start := int(vs[1].Number()) - 1 // XPath is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start > len(r) {
+			start = len(r)
+		}
+		end := len(r)
+		if len(vs) == 3 {
+			end = start + int(vs[2].Number())
+			if end > len(r) {
+				end = len(r)
+			}
+			if end < start {
+				end = start
+			}
+		}
+		return stringValue(string(r[start:end])), nil
+	case "text":
+		// text() as a function: the string value of the context node.
+		if _, err := argVals(0); err != nil {
+			return Value{}, err
+		}
+		return stringValue(ctx.node.Text()), nil
+	default:
+		return Value{}, ev.errorf("unknown function %q", c.name)
+	}
+}
+
+func nodeName(n goddag.Node) string {
+	switch v := n.(type) {
+	case *goddag.Element:
+		return v.Name()
+	case *goddag.Root:
+		return v.Name()
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,475 @@
+package xpath
+
+import "fmt"
+
+// Query is a compiled Extended XPath expression, safe for concurrent use.
+type Query struct {
+	source string
+	root   expr
+}
+
+// String returns the original query text.
+func (q *Query) String() string { return q.source }
+
+// Compile parses an Extended XPath query.
+func Compile(query string) (*Query, error) {
+	toks, err := lex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{query: query, toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected %s after expression", p.peek().kind)
+	}
+	return &Query{source: query, root: e}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(query string) *Query {
+	q, err := Compile(query)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	query string
+	toks  []token
+	pos   int
+	// noOpt disables the step rewrites of optimizeSteps; used by
+	// differential tests to compare optimized and reference plans.
+	noOpt bool
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Query: p.query, Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) accept(k tokenKind) bool {
+	if p.peek().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parseExpr := OrExpr
+func (p *parser) parseExpr() (expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokName && p.peek().text == "or" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseEquality()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokName && p.peek().text == "and" {
+		p.next()
+		r, err := p.parseEquality()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseEquality() (expr, error) {
+	l, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokEq:
+			op = "="
+		case tokNeq:
+			op = "!="
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) parseRelational() (expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokLt:
+			op = "<"
+		case tokLe:
+			op = "<="
+		case tokGt:
+			op = ">"
+		case tokGe:
+			op = ">="
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) parseAdditive() (expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.peek().kind == tokStar:
+			op = "*"
+		case p.peek().kind == tokName && p.peek().text == "div":
+			op = "div"
+		case p.peek().kind == tokName && p.peek().text == "mod":
+			op = "mod"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.accept(tokMinus) {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{x: x}, nil
+	}
+	return p.parseUnion()
+}
+
+func (p *parser) parseUnion() (expr, error) {
+	l, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPipe) {
+		r, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: "|", l: l, r: r}
+	}
+	return l, nil
+}
+
+// parsePath parses a location path or a filter expression with an
+// optional path continuation.
+func (p *parser) parsePath() (expr, error) {
+	switch p.peek().kind {
+	case tokSlash, tokDoubleSlash:
+		return p.parseLocationPath(nil)
+	case tokLParen, tokLiteral, tokNumber, tokVar:
+		prim, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokSlash || p.peek().kind == tokDoubleSlash {
+			return p.parseLocationPath(prim)
+		}
+		return prim, nil
+	case tokName:
+		// Could be a function call (name followed by '(' and not a node
+		// test like node()/text()) or a location path.
+		if p.toks[p.pos+1].kind == tokLParen && p.peek().text != "node" && p.peek().text != "text" {
+			prim, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			if p.peek().kind == tokSlash || p.peek().kind == tokDoubleSlash {
+				return p.parseLocationPath(prim)
+			}
+			return prim, nil
+		}
+		return p.parseLocationPath(nil)
+	case tokDot, tokDotDot, tokAt, tokStar:
+		return p.parseLocationPath(nil)
+	default:
+		return nil, p.errorf("expected expression, found %s", p.peek().kind)
+	}
+}
+
+// parseLocationPath parses [filter] ('/'|'//')? steps...
+func (p *parser) parseLocationPath(filter expr) (expr, error) {
+	path := &pathExpr{filter: filter}
+	switch p.peek().kind {
+	case tokSlash:
+		p.next()
+		if filter == nil {
+			path.absolute = true
+		}
+		if p.peek().kind == tokEOF || !p.startsStep() {
+			if filter == nil {
+				return path, nil // bare "/"
+			}
+			return nil, p.errorf("expected step after '/'")
+		}
+	case tokDoubleSlash:
+		p.next()
+		if filter == nil {
+			path.absolute = true
+		}
+		path.steps = append(path.steps, step{axis: AxisDescendantOrSelf, test: nodeTest{kind: testNode}})
+	}
+	for {
+		st, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		path.steps = append(path.steps, st)
+		switch p.peek().kind {
+		case tokSlash:
+			p.next()
+		case tokDoubleSlash:
+			p.next()
+			path.steps = append(path.steps, step{axis: AxisDescendantOrSelf, test: nodeTest{kind: testNode}})
+		default:
+			if !p.noOpt {
+				path.steps = optimizeSteps(path.steps)
+			}
+			return path, nil
+		}
+	}
+}
+
+// optimizeSteps collapses the expansion of '//' —
+// descendant-or-self::node()/child::TEST — into a single descendant::TEST
+// step. The rewrite is applied only when the child step has no
+// predicates: positional predicates count within each parent's child
+// list, which the collapsed form would change.
+func optimizeSteps(steps []step) []step {
+	out := steps[:0]
+	for i := 0; i < len(steps); i++ {
+		s := steps[i]
+		if s.axis == AxisDescendantOrSelf && s.test.kind == testNode && len(s.preds) == 0 && i+1 < len(steps) {
+			next := steps[i+1]
+			if next.axis == AxisChild && len(next.preds) == 0 {
+				out = append(out, step{axis: AxisDescendant, test: next.test})
+				i++
+				continue
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (p *parser) startsStep() bool {
+	switch p.peek().kind {
+	case tokName, tokStar, tokAt, tokDot, tokDotDot:
+		return true
+	default:
+		return false
+	}
+}
+
+// parseStep parses axis::test[pred]* with abbreviations ., .., @name.
+func (p *parser) parseStep() (step, error) {
+	switch p.peek().kind {
+	case tokDot:
+		p.next()
+		return step{axis: AxisSelf, test: nodeTest{kind: testNode}}, nil
+	case tokDotDot:
+		p.next()
+		return step{axis: AxisParent, test: nodeTest{kind: testNode}}, nil
+	case tokAt:
+		p.next()
+		st := step{axis: AxisAttribute}
+		switch p.peek().kind {
+		case tokStar:
+			p.next()
+			st.test = nodeTest{kind: testAny}
+		case tokName:
+			st.test = nodeTest{kind: testName, name: p.next().text}
+		default:
+			return step{}, p.errorf("expected attribute name after '@'")
+		}
+		return p.parsePredicates(st)
+	}
+	st := step{axis: AxisChild}
+	if p.peek().kind == tokName && p.toks[p.pos+1].kind == tokDoubleColon {
+		axisName := p.next().text
+		p.next() // '::'
+		ax, ok := axisNames[axisName]
+		if !ok {
+			return step{}, p.errorf("unknown axis %q", axisName)
+		}
+		st.axis = ax
+		if st.axis == AxisAttribute {
+			switch p.peek().kind {
+			case tokStar:
+				p.next()
+				st.test = nodeTest{kind: testAny}
+			case tokName:
+				st.test = nodeTest{kind: testName, name: p.next().text}
+			default:
+				return step{}, p.errorf("expected attribute name after attribute::")
+			}
+			return p.parsePredicates(st)
+		}
+	}
+	switch p.peek().kind {
+	case tokStar:
+		p.next()
+		st.test = nodeTest{kind: testAny}
+	case tokName:
+		name := p.next().text
+		if p.peek().kind == tokLParen {
+			switch name {
+			case "node":
+				p.next()
+				if !p.accept(tokRParen) {
+					return step{}, p.errorf("expected ')' after node(")
+				}
+				st.test = nodeTest{kind: testNode}
+			case "text":
+				p.next()
+				if !p.accept(tokRParen) {
+					return step{}, p.errorf("expected ')' after text(")
+				}
+				st.test = nodeTest{kind: testText}
+			default:
+				return step{}, p.errorf("unexpected function %q in step", name)
+			}
+		} else {
+			st.test = nodeTest{kind: testName, name: name}
+		}
+	default:
+		return step{}, p.errorf("expected node test, found %s", p.peek().kind)
+	}
+	return p.parsePredicates(st)
+}
+
+func (p *parser) parsePredicates(st step) (step, error) {
+	for p.accept(tokLBracket) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return step{}, err
+		}
+		if !p.accept(tokRBracket) {
+			return step{}, p.errorf("expected ']'")
+		}
+		st.preds = append(st.preds, e)
+	}
+	return st, nil
+}
+
+// parsePrimary parses '(' expr ')', literals, numbers, function calls.
+func (p *parser) parsePrimary() (expr, error) {
+	switch p.peek().kind {
+	case tokVar:
+		t := p.next()
+		return &varExpr{name: t.text}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokRParen) {
+			return nil, p.errorf("expected ')'")
+		}
+		return e, nil
+	case tokLiteral:
+		t := p.next()
+		return &literalExpr{s: t.text}, nil
+	case tokNumber:
+		t := p.next()
+		return &numberExpr{f: t.num}, nil
+	case tokName:
+		name := p.next().text
+		if !p.accept(tokLParen) {
+			return nil, p.errorf("expected '(' after function name %q", name)
+		}
+		call := &callExpr{name: name}
+		if p.accept(tokRParen) {
+			return call, nil
+		}
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.args = append(call.args, arg)
+			if p.accept(tokRParen) {
+				return call, nil
+			}
+			if !p.accept(tokComma) {
+				return nil, p.errorf("expected ',' or ')' in argument list of %q", name)
+			}
+		}
+	default:
+		return nil, p.errorf("expected primary expression, found %s", p.peek().kind)
+	}
+}

@@ -1,0 +1,368 @@
+// Package xquery implements the FLWOR layer of the paper's query stack —
+// "an XQuery extension and implementation is under development" (§3) —
+// as a compact for/let/where/order by/return language whose expressions
+// are Extended XPath (package xpath), evaluated over the GODDAG.
+//
+// Grammar (keywords are reserved at clause level only):
+//
+//	query   := (forClause | letClause)+ whereClause? orderClause? returnClause
+//	for     := "for" $var "in" <xpath>
+//	let     := "let" $var ":=" <xpath>
+//	where   := "where" <xpath>
+//	order   := "order" "by" <xpath> ("descending")?
+//	return  := "return" <xpath>
+//
+// Every for-clause iterates the *nodes* of its XPath result, binding the
+// variable to a singleton node-set per iteration (so $v behaves like a
+// node: $v/overlapping::w, name($v), ... all work). Clauses nest left to
+// right; where filters binding tuples; return produces one Value per
+// surviving tuple.
+//
+// Example — the paper's flagship information need, in FLWOR form:
+//
+//	for $d in //dmg
+//	for $w in $d/overlapping::w
+//	return concat(name($d), ' damages ', string($w))
+package xquery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/goddag"
+	"repro/internal/xpath"
+)
+
+// Query is a compiled FLWOR query.
+type Query struct {
+	source  string
+	clauses []clause
+	where   *xpath.Query
+	orderBy *xpath.Query
+	desc    bool
+	ret     *xpath.Query
+}
+
+type clauseKind int
+
+const (
+	clauseFor clauseKind = iota
+	clauseLet
+)
+
+type clause struct {
+	kind clauseKind
+	vari string
+	expr *xpath.Query
+}
+
+// SyntaxError reports a FLWOR parse failure.
+type SyntaxError struct {
+	Query string
+	Msg   string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string { return fmt.Sprintf("xquery: %q: %s", e.Query, e.Msg) }
+
+// Compile parses a FLWOR query.
+func Compile(src string) (*Query, error) {
+	q := &Query{source: src}
+	errf := func(format string, args ...any) error {
+		return &SyntaxError{Query: src, Msg: fmt.Sprintf(format, args...)}
+	}
+	segs, err := splitClauses(src)
+	if err != nil {
+		return nil, errf("%v", err)
+	}
+	if len(segs) == 0 {
+		return nil, errf("empty query")
+	}
+	for _, seg := range segs {
+		switch seg.keyword {
+		case "for", "let":
+			rest := strings.TrimSpace(seg.body)
+			if !strings.HasPrefix(rest, "$") {
+				return nil, errf("%s clause needs a $variable", seg.keyword)
+			}
+			rest = rest[1:]
+			sep := " in "
+			if seg.keyword == "let" {
+				sep = ":="
+			}
+			i := strings.Index(rest, sep)
+			if i < 0 {
+				return nil, errf("%s clause needs %q", seg.keyword, strings.TrimSpace(sep))
+			}
+			name := strings.TrimSpace(rest[:i])
+			if name == "" {
+				return nil, errf("%s clause has empty variable name", seg.keyword)
+			}
+			exprSrc := strings.TrimSpace(rest[i+len(sep):])
+			xq, err := xpath.Compile(exprSrc)
+			if err != nil {
+				return nil, err
+			}
+			kind := clauseFor
+			if seg.keyword == "let" {
+				kind = clauseLet
+			}
+			q.clauses = append(q.clauses, clause{kind: kind, vari: name, expr: xq})
+		case "where":
+			if q.where != nil {
+				return nil, errf("duplicate where clause")
+			}
+			xq, err := xpath.Compile(strings.TrimSpace(seg.body))
+			if err != nil {
+				return nil, err
+			}
+			q.where = xq
+		case "order":
+			body := strings.TrimSpace(seg.body)
+			if !strings.HasPrefix(body, "by ") {
+				return nil, errf("expected 'order by'")
+			}
+			body = strings.TrimSpace(body[3:])
+			if strings.HasSuffix(body, " descending") {
+				q.desc = true
+				body = strings.TrimSpace(strings.TrimSuffix(body, " descending"))
+			}
+			xq, err := xpath.Compile(body)
+			if err != nil {
+				return nil, err
+			}
+			q.orderBy = xq
+		case "return":
+			if q.ret != nil {
+				return nil, errf("duplicate return clause")
+			}
+			xq, err := xpath.Compile(strings.TrimSpace(seg.body))
+			if err != nil {
+				return nil, err
+			}
+			q.ret = xq
+		default:
+			return nil, errf("unknown clause %q", seg.keyword)
+		}
+	}
+	if q.ret == nil {
+		return nil, errf("missing return clause")
+	}
+	if len(q.clauses) == 0 {
+		return nil, errf("missing for/let clause")
+	}
+	return q, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String returns the query source.
+func (q *Query) String() string { return q.source }
+
+// segment is one clause: leading keyword plus body text.
+type segment struct {
+	keyword string
+	body    string
+}
+
+// splitClauses cuts the source at top-level clause keywords, respecting
+// parentheses, brackets, and string literals inside XPath expressions.
+func splitClauses(src string) ([]segment, error) {
+	keywords := []string{"for", "let", "where", "order", "return"}
+	var segs []segment
+	depth := 0
+	var quote byte
+	wordStart := -1
+	lastCut, lastKeyword := -1, ""
+	flush := func(end int) {
+		if lastCut >= 0 {
+			segs = append(segs, segment{keyword: lastKeyword, body: src[lastCut:end]})
+		}
+	}
+	isWordByte := func(c byte) bool {
+		return c >= 'a' && c <= 'z'
+	}
+	for i := 0; i <= len(src); i++ {
+		var c byte
+		if i < len(src) {
+			c = src[i]
+		}
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+			wordStart = -1
+			continue
+		case '(', '[':
+			depth++
+			wordStart = -1
+			continue
+		case ')', ']':
+			depth--
+			wordStart = -1
+			continue
+		}
+		if depth == 0 && isWordByte(c) {
+			if wordStart < 0 {
+				wordStart = i
+			}
+			continue
+		}
+		// Word boundary.
+		if wordStart >= 0 && depth == 0 {
+			word := src[wordStart:i]
+			isKeyword := false
+			for _, k := range keywords {
+				if word == k {
+					isKeyword = true
+					break
+				}
+			}
+			// A keyword only counts if preceded by start-of-input or
+			// whitespace (not, e.g., an axis name ending in a keyword).
+			if isKeyword && (wordStart == 0 || src[wordStart-1] == ' ' || src[wordStart-1] == '\n' || src[wordStart-1] == '\t') {
+				// "order" must not swallow "by"; "in"/"descending" are
+				// handled by the clause parsers.
+				flush(wordStart)
+				lastKeyword = word
+				lastCut = i
+			}
+		}
+		wordStart = -1
+	}
+	if quote != 0 {
+		return nil, fmt.Errorf("unterminated string literal")
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced parentheses")
+	}
+	flush(len(src))
+	if lastCut < 0 {
+		return nil, fmt.Errorf("no clauses found")
+	}
+	return segs, nil
+}
+
+// Eval runs the query over doc, returning one Value per result tuple.
+func (q *Query) Eval(doc *goddag.Document) ([]xpath.Value, error) {
+	var out []xpath.Value
+	type row struct {
+		val xpath.Value
+		key xpath.Value
+	}
+	var rows []row
+	root := doc.Root()
+
+	var run func(ci int, vars xpath.Bindings) error
+	run = func(ci int, vars xpath.Bindings) error {
+		if ci == len(q.clauses) {
+			if q.where != nil {
+				ok, err := q.where.EvalWith(doc, root, vars)
+				if err != nil {
+					return err
+				}
+				if !ok.Bool() {
+					return nil
+				}
+			}
+			v, err := q.ret.EvalWith(doc, root, vars)
+			if err != nil {
+				return err
+			}
+			r := row{val: v}
+			if q.orderBy != nil {
+				k, err := q.orderBy.EvalWith(doc, root, vars)
+				if err != nil {
+					return err
+				}
+				r.key = k
+			}
+			rows = append(rows, r)
+			return nil
+		}
+		c := q.clauses[ci]
+		switch c.kind {
+		case clauseLet:
+			v, err := c.expr.EvalWith(doc, root, vars)
+			if err != nil {
+				return err
+			}
+			return run(ci+1, withVar(vars, c.vari, v))
+		default: // for
+			v, err := c.expr.EvalWith(doc, root, vars)
+			if err != nil {
+				return err
+			}
+			if !v.IsNodeSet() {
+				return &SyntaxError{Query: q.source, Msg: fmt.Sprintf("for $%s: expression is not a node-set", c.vari)}
+			}
+			for _, n := range v.Nodes() {
+				if err := run(ci+1, withVar(vars, c.vari, xpath.Singleton(n))); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if err := run(0, xpath.Bindings{}); err != nil {
+		return nil, err
+	}
+	if q.orderBy != nil {
+		sort.SliceStable(rows, func(i, j int) bool {
+			a, b := rows[i].key, rows[j].key
+			var less bool
+			an, bn := a.Number(), b.Number()
+			if an == an && bn == bn { // both numeric (not NaN)
+				less = an < bn
+			} else {
+				less = a.String() < b.String()
+			}
+			if q.desc {
+				return !less && (an != bn || a.String() != b.String())
+			}
+			return less
+		})
+	}
+	for _, r := range rows {
+		out = append(out, r.val)
+	}
+	return out, nil
+}
+
+// EvalStrings runs the query and converts every result to its string
+// value — the common case for report-style FLWOR queries.
+func (q *Query) EvalStrings(doc *goddag.Document) ([]string, error) {
+	vals, err := q.Eval(doc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = v.String()
+	}
+	return out, nil
+}
+
+// withVar extends a binding set without mutating the parent (clauses
+// shadow outer variables of the same name).
+func withVar(vars xpath.Bindings, name string, v xpath.Value) xpath.Bindings {
+	next := make(xpath.Bindings, len(vars)+1)
+	for k, val := range vars {
+		next[k] = val
+	}
+	next[name] = v
+	return next
+}

@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/document"
+	"repro/internal/drivers"
+	"repro/internal/goddag"
+	"repro/internal/sacx"
+	"repro/internal/validate"
+	"repro/internal/xpath"
+)
+
+// Document is a multihierarchical document-centric XML document: shared
+// content plus one element tree per concurrent hierarchy, united in a
+// GODDAG, with optional per-hierarchy DTDs.
+type Document = core.Document
+
+// Source is one hierarchy's XML document within a distributed document.
+type Source = sacx.Source
+
+// Node is a GODDAG node: the shared root, an element of some hierarchy,
+// or a shared text leaf.
+type Node = goddag.Node
+
+// Element is an element node of one hierarchy.
+type Element = goddag.Element
+
+// Leaf is a shared text leaf.
+type Leaf = goddag.Leaf
+
+// Attr is an element attribute.
+type Attr = goddag.Attr
+
+// Span is a half-open rune interval [Start, End) over document content.
+type Span = document.Span
+
+// Format identifies an on-disk representation of concurrent markup.
+type Format = drivers.Format
+
+// The supported representations.
+const (
+	FormatDistributed   = drivers.FormatDistributed
+	FormatMilestones    = drivers.FormatMilestones
+	FormatFragmentation = drivers.FormatFragmentation
+	FormatStandoff      = drivers.FormatStandoff
+)
+
+// EncodeOptions control exports: dominant hierarchy for single-document
+// encodings, and the hierarchy filter.
+type EncodeOptions = drivers.EncodeOptions
+
+// Validation modes.
+const (
+	// Full demands classic DTD validity.
+	Full = validate.Full
+	// Potential demands only that more insertions could reach validity.
+	Potential = validate.Potential
+)
+
+// Value is an Extended XPath result value.
+type Value = xpath.Value
+
+// New creates an empty document with the given shared root tag and
+// character content.
+func New(rootTag, content string) *Document { return core.New(rootTag, content) }
+
+// Parse builds a document from a distributed concurrent XML document
+// using the SACX parser.
+func Parse(sources []Source) (*Document, error) { return core.Parse(sources) }
+
+// Import decodes a single-file representation (milestones,
+// fragmentation, or standoff).
+func Import(format Format, data []byte) (*Document, error) { return core.Import(format, data) }
+
+// NewSpan returns the span [start, end).
+func NewSpan(start, end int) Span { return document.NewSpan(start, end) }
+
+// Compile parses an Extended XPath query for repeated evaluation.
+func Compile(query string) (*xpath.Query, error) { return xpath.Compile(query) }
+
+// Load reads a document saved with Document.Save (the compact binary
+// GODDAG format).
+func Load(r io.Reader) (*Document, error) { return core.Load(r) }

@@ -1,0 +1,253 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/corpus"
+	"repro/internal/validate"
+)
+
+func fig1(t *testing.T) *repro.Document {
+	t.Helper()
+	doc, err := repro.Parse(corpus.Fig1Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseAndQuery(t *testing.T) {
+	doc := fig1(t)
+	hits, err := doc.Query("//dmg/overlapping::w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Errorf("hits = %d", len(hits))
+	}
+	v, err := doc.QueryValue("count(//w)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number() != 6 {
+		t.Errorf("count = %v", v.Number())
+	}
+}
+
+func TestNewAndEdit(t *testing.T) {
+	doc := repro.New("r", "hello world")
+	s := doc.Edit()
+	if _, err := s.InsertMarkup("words", "w", repro.NewSpan(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertMarkup("emphasis", "em", repro.NewSpan(3, 8)); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := doc.Query("//w/overlapping::em")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Errorf("overlap = %d", len(hits))
+	}
+}
+
+func TestSetDTDAndValidate(t *testing.T) {
+	doc := fig1(t)
+	err := doc.SetDTD("words", []byte(`
+<!ELEMENT r (#PCDATA|w)*>
+<!ELEMENT w (#PCDATA)>
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viols := doc.Validate(repro.Potential); len(viols) != 0 {
+		t.Errorf("violations: %v", viols)
+	}
+	if err := doc.SetDTD("words", []byte(`<!ELEMENT bad`)); err == nil {
+		t.Error("bad DTD should error")
+	}
+}
+
+func TestPrevalidation(t *testing.T) {
+	doc := fig1(t)
+	if err := doc.SetDTD("words", []byte(`
+<!ELEMENT r (#PCDATA|w)*>
+<!ELEMENT w (#PCDATA)>
+`)); err != nil {
+		t.Fatal(err)
+	}
+	doc.EnablePrevalidation()
+	// A <w> inside a <w> violates the (#PCDATA) model.
+	if _, err := doc.Edit().InsertMarkup("words", "w", repro.NewSpan(1, 2)); err == nil {
+		t.Error("nested w should be vetoed")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	doc := fig1(t)
+	for _, f := range []repro.Format{repro.FormatMilestones, repro.FormatFragmentation, repro.FormatStandoff} {
+		out, err := doc.Export(f, repro.EncodeOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		back, err := repro.Import(f, out["document"])
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if back.Stats() != doc.Stats() {
+			t.Errorf("%v: stats %+v != %+v", f, back.Stats(), doc.Stats())
+		}
+	}
+	// Distributed export round-trips through Parse.
+	out, err := doc.Export(repro.FormatDistributed, repro.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcs []repro.Source
+	for _, h := range doc.GODDAG().HierarchyNames() {
+		srcs = append(srcs, repro.Source{Hierarchy: h, Data: out[h]})
+	}
+	back, err := repro.Parse(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != doc.Stats() {
+		t.Errorf("distributed: stats differ")
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	if _, err := repro.Import(repro.FormatDistributed, nil); err == nil {
+		t.Error("distributed Import should error (use Parse)")
+	}
+	if _, err := repro.Import(repro.Format(99), nil); err == nil {
+		t.Error("unknown format should error")
+	}
+	if _, err := repro.Import(repro.FormatStandoff, []byte("garbage")); err == nil {
+		t.Error("garbage should error")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	doc := fig1(t)
+	sub, err := doc.Filter("words", "damage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.GODDAG().HierarchyNames(); len(got) != 2 {
+		t.Errorf("hierarchies = %v", got)
+	}
+	if _, err := doc.Filter("zzz"); err == nil {
+		t.Error("unknown hierarchy should error")
+	}
+}
+
+func TestFilterCarriesDTDs(t *testing.T) {
+	doc := fig1(t)
+	doc.SetDTD("words", []byte(`<!ELEMENT r (#PCDATA|w)*> <!ELEMENT w (#PCDATA)>`))
+	sub, err := doc.Filter("words")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Schema().DTD("words") == nil {
+		t.Error("DTD lost in filter")
+	}
+}
+
+func TestCompiledQueryReuse(t *testing.T) {
+	doc := fig1(t)
+	q, err := repro.Compile("count(//w)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		v, err := q.Eval(doc.GODDAG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Number() != 6 {
+			t.Errorf("run %d: %v", i, v.Number())
+		}
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	// The E8 demo flow: parse -> query -> edit -> prevalidate -> export a
+	// filtered view.
+	doc := fig1(t)
+	if err := doc.SetDTD("notes", []byte(`
+<!ELEMENT r (#PCDATA|note)*>
+<!ELEMENT note (#PCDATA)>
+<!ATTLIST note resp CDATA #REQUIRED>
+`)); err != nil {
+		t.Fatal(err)
+	}
+	doc.EnablePrevalidation()
+
+	// Find the damaged words and annotate the first one.
+	hits, err := doc.Query("//dmg/overlapping::w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no damaged words")
+	}
+	first := hits[0].(*repro.Element)
+	note, err := doc.Edit().InsertMarkup("notes", "note", first.Span(), repro.Attr{Name: "resp", Value: "IEI"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if note.Text() != first.Text() {
+		t.Errorf("note text %q != word text %q", note.Text(), first.Text())
+	}
+	// Potentially valid (required attr present, content fits).
+	if viols := doc.Validate(validate.Potential); len(viols) != 0 {
+		t.Errorf("violations: %v", viols)
+	}
+	// Export only the notes view.
+	view, err := doc.Filter("notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := view.Export(repro.FormatDistributed, repro.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out["notes"]), "<note") {
+		t.Errorf("notes view missing note element: %s", out["notes"])
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	doc := fig1(t)
+	var buf bytes.Buffer
+	if err := doc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != doc.Stats() {
+		t.Errorf("stats %+v != %+v", back.Stats(), doc.Stats())
+	}
+	// Loaded documents answer the same queries.
+	a, err := doc.Query("//dmg/overlapping::w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Query("//dmg/overlapping::w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("query results differ: %d vs %d", len(a), len(b))
+	}
+	if _, err := repro.Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("junk should fail to load")
+	}
+}
