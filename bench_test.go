@@ -1,7 +1,9 @@
-// Benchmarks regenerating the experiments of DESIGN.md §6 / EXPERIMENTS.md
-// under `go test -bench`. Each experiment also has a table-printing
-// driver in cmd/cxbench; the benchmarks here are the stable,
-// statistically-sound form (use -benchmem and -count for confidence).
+// Benchmarks regenerating the reproduction's experiments (E3–E7 parsing,
+// querying, validation, and conversion; A1/A2 ablations) under
+// `go test -bench`. Each experiment also has a table-printing driver in
+// cmd/cxbench; the benchmarks here are the stable, statistically-sound
+// form (use -benchmem and -count for confidence). PERFORMANCE.md records
+// the ingest-path trajectory across PRs.
 package repro_test
 
 import (

@@ -1,7 +1,9 @@
 // Command cxbench regenerates the quantitative experiments of the
-// reproduction (see DESIGN.md §6 and EXPERIMENTS.md): it generates
-// synthetic multihierarchical manuscripts, runs each experiment's
-// workload, and prints one table per experiment.
+// reproduction: it generates synthetic multihierarchical manuscripts,
+// runs each experiment's workload, and prints one table per experiment.
+// With -benchjson it also writes the SACX ingest rows to a JSON file
+// (conventionally BENCH_sacx.json) so the performance trajectory can be
+// tracked across PRs; see PERFORMANCE.md.
 //
 // Usage:
 //
@@ -22,10 +24,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,8 +46,9 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id: E3,E4,E5,E6,E7,A1,A2 or all")
-		full = flag.Bool("full", false, "run the larger sweeps")
+		exp      = flag.String("exp", "all", "experiment id: E3,E4,E5,E6,E7,A1,A2 or all")
+		full     = flag.Bool("full", false, "run the larger sweeps")
+		jsonPath = flag.String("benchjson", "", "write SACX ingest results (E3/A1 rows) to this JSON file, e.g. BENCH_sacx.json")
 	)
 	flag.Parse()
 
@@ -56,18 +61,52 @@ func main() {
 		for _, id := range []string{"E3", "E4", "E5", "E6", "E7", "A1", "A2"} {
 			run[id]()
 		}
-		return
-	}
-	f, ok := run[*exp]
-	if !ok {
+	} else if f, ok := run[*exp]; ok {
+		f()
+	} else {
 		fmt.Fprintf(os.Stderr, "cxbench: unknown experiment %q\n", *exp)
 		os.Exit(1)
 	}
-	f()
+	if *jsonPath != "" {
+		if err := b.writeJSON(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cxbench: wrote %d rows to %s\n", len(b.rows), *jsonPath)
+	}
 }
 
 type bench struct {
 	full bool
+	rows []benchRow
+}
+
+// benchRow is one measured configuration of the SACX ingest path,
+// emitted with -benchjson so successive PRs can track the performance
+// trajectory (see PERFORMANCE.md).
+type benchRow struct {
+	Experiment  string  `json:"experiment"` // "E3" (parse) or "A1" (merge ablation)
+	Words       int     `json:"words"`
+	Hierarchies int     `json:"hierarchies"`
+	Density     float64 `json:"density,omitempty"`
+	Strategy    string  `json:"strategy,omitempty"` // A1: "heap" or "rescan"
+	InputBytes  int     `json:"input_bytes,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	Elements    int     `json:"elements,omitempty"`
+}
+
+func (b *bench) writeJSON(path string) error {
+	if len(b.rows) == 0 {
+		return fmt.Errorf("-benchjson requires an experiment that produces SACX rows (-exp E3, A1, or all)")
+	}
+	data, err := json.MarshalIndent(struct {
+		GoVersion string     `json:"go_version"`
+		Rows      []benchRow `json:"rows"`
+	}{runtime.Version(), b.rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // measure runs f repeatedly until enough wall time accumulates and
@@ -128,6 +167,11 @@ func (b *bench) e3() {
 				mbps := float64(total) / per.Seconds() / (1 << 20)
 				fmt.Printf("%8d %4d %8.1f %10.1f %10.3f %10.1f %9d\n",
 					words, h, d, float64(total)/1024, float64(per.Microseconds())/1000, mbps, doc.Stats().Elements)
+				b.rows = append(b.rows, benchRow{
+					Experiment: "E3", Words: words, Hierarchies: h, Density: d,
+					InputBytes: total, NsPerOp: per.Nanoseconds(), MBPerS: mbps,
+					Elements: doc.Stats().Elements,
+				})
 			}
 		}
 	}
@@ -376,6 +420,9 @@ func (b *bench) a1() {
 		fmt.Printf("%8d %4d %14.3f %14.3f %8.2fx\n", words, h,
 			float64(tHeap.Microseconds())/1000, float64(tScan.Microseconds())/1000,
 			float64(tScan)/float64(tHeap))
+		b.rows = append(b.rows,
+			benchRow{Experiment: "A1", Words: words, Hierarchies: h, Strategy: "heap", NsPerOp: tHeap.Nanoseconds()},
+			benchRow{Experiment: "A1", Words: words, Hierarchies: h, Strategy: "rescan", NsPerOp: tScan.Nanoseconds()})
 	}
 }
 

@@ -1,0 +1,243 @@
+// Differential tests for the zero-copy SACX ingest path: the fast path
+// (single-tokenize merge + GODDAG bulk loader) must produce byte-identical
+// documents to the MergeRescan ablation merge and to a reference builder
+// that replays the pre-refactor insertion strategy (the general
+// Document.InsertElement per record), across the whole corpus
+// configuration grid used by the benchmarks.
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/document"
+	"repro/internal/goddag"
+	"repro/internal/sacx"
+)
+
+// referenceBuild replays the pre-refactor GODDAG construction: drain the
+// merged event stream into element records, batch-cut the borders, sort
+// widest-first, and insert every record through the general
+// InsertElement path (root-descent locate plus adoption probing).
+func referenceBuild(t *testing.T, srcs []sacx.Source, strategy sacx.MergeStrategy) *goddag.Document {
+	t.Helper()
+	st, err := sacx.NewStream(srcs, sacx.Options{Strategy: strategy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc *goddag.Document
+	type open struct {
+		name  string
+		attrs []goddag.Attr
+		pos   int
+	}
+	type record struct {
+		hier  string
+		name  string
+		attrs []goddag.Attr
+		span  document.Span
+		seq   int
+	}
+	stacks := map[string][]open{}
+	var records []record
+	seq := 0
+	for {
+		ev, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Kind {
+		case sacx.StartDocument:
+			doc = goddag.New(ev.Name, ev.Text)
+			for _, src := range srcs {
+				doc.AddHierarchy(src.Hierarchy)
+			}
+		case sacx.StartElement:
+			stacks[ev.Hierarchy] = append(stacks[ev.Hierarchy],
+				open{name: ev.Name, attrs: ev.Attrs, pos: ev.Pos})
+		case sacx.EndElement:
+			stack := stacks[ev.Hierarchy]
+			if len(stack) == 0 {
+				t.Fatalf("unbalanced end of <%s> in %q", ev.Name, ev.Hierarchy)
+			}
+			top := stack[len(stack)-1]
+			stacks[ev.Hierarchy] = stack[:len(stack)-1]
+			records = append(records, record{
+				hier: ev.Hierarchy, name: top.name, attrs: top.attrs,
+				span: document.NewSpan(top.pos, ev.Pos), seq: seq,
+			})
+			seq++
+		}
+	}
+	cuts := make([]int, 0, 2*len(records))
+	for _, r := range records {
+		cuts = append(cuts, r.span.Start, r.span.End)
+	}
+	doc.Partition().CutAll(cuts)
+	sort.SliceStable(records, func(i, j int) bool {
+		c := document.CompareSpans(records[i].span, records[j].span)
+		if c != 0 {
+			return c < 0
+		}
+		return records[i].seq < records[j].seq
+	})
+	for _, r := range records {
+		h := doc.Hierarchy(r.hier)
+		if _, err := doc.InsertElement(h, r.name, r.attrs, r.span); err != nil {
+			t.Fatalf("reference insert %s %v: %v", r.name, r.span, err)
+		}
+	}
+	return doc
+}
+
+// splitAll renders every hierarchy of a document back to standalone XML.
+func splitAll(t *testing.T, doc *goddag.Document) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, hier := range doc.HierarchyNames() {
+		b, err := sacx.Split(doc, hier)
+		if err != nil {
+			t.Fatalf("split %q: %v", hier, err)
+		}
+		out[hier] = string(b)
+	}
+	return out
+}
+
+func diffDocs(t *testing.T, label string, want, got *goddag.Document) {
+	t.Helper()
+	if err := got.Check(); err != nil {
+		t.Fatalf("%s: invariant violation: %v", label, err)
+	}
+	ws, gs := want.Stats(), got.Stats()
+	if ws != gs {
+		t.Fatalf("%s: stats differ: %+v vs %+v", label, ws, gs)
+	}
+	wsplit, gsplit := splitAll(t, want), splitAll(t, got)
+	for hier, w := range wsplit {
+		if g := gsplit[hier]; g != w {
+			t.Errorf("%s: hierarchy %q serializes differently:\n want %s\n  got %s", label, hier, w, g)
+		}
+	}
+}
+
+func TestDifferentialCorpusGrid(t *testing.T) {
+	for _, words := range []int{200, 1200} {
+		for _, h := range []int{1, 2, 4, 8} {
+			for _, density := range []float64{0.1, 0.5, 0.9} {
+				name := fmt.Sprintf("words=%d/h=%d/density=%.1f", words, h, density)
+				t.Run(name, func(t *testing.T) {
+					cfg := corpus.DefaultConfig(words)
+					cfg.Hierarchies = h
+					cfg.OverlapDensity = density
+					srcs, err := corpus.GenerateSources(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fast, err := sacx.Build(srcs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rescan, err := sacx.BuildWithOptions(srcs, sacx.Options{Strategy: sacx.MergeRescan})
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref := referenceBuild(t, srcs, sacx.MergeRescan)
+					if err := ref.Check(); err != nil {
+						t.Fatalf("reference document invalid: %v", err)
+					}
+					diffDocs(t, "fast vs reference", ref, fast)
+					diffDocs(t, "rescan vs reference", ref, rescan)
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialEventStreams verifies that both merge strategies emit
+// identical event sequences over the corpus grid (the fig1 case is
+// covered in package sacx).
+func TestDifferentialEventStreams(t *testing.T) {
+	for _, h := range []int{2, 8} {
+		for _, density := range []float64{0.1, 0.9} {
+			cfg := corpus.DefaultConfig(400)
+			cfg.Hierarchies = h
+			cfg.OverlapDensity = density
+			srcs, err := corpus.GenerateSources(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drain := func(strategy sacx.MergeStrategy) []sacx.Event {
+				st, err := sacx.NewStream(srcs, sacx.Options{Strategy: strategy})
+				if err != nil {
+					t.Fatal(err)
+				}
+				evs, err := st.Events()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return evs
+			}
+			he, se := drain(sacx.MergeHeap), drain(sacx.MergeRescan)
+			if len(he) != len(se) {
+				t.Fatalf("h=%d density=%.1f: event counts differ: %d vs %d", h, density, len(he), len(se))
+			}
+			for i := range he {
+				a, b := he[i], se[i]
+				if a.Kind != b.Kind || a.Hierarchy != b.Hierarchy || a.Name != b.Name || a.Pos != b.Pos || a.Text != b.Text {
+					t.Fatalf("h=%d density=%.1f: event %d differs: %+v vs %+v", h, density, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialMilestones exercises the bulk loader's equal-span and
+// milestone edge cases against the general insert path: coextensive
+// elements, milestones at element borders, and stacked milestones at one
+// position.
+func TestDifferentialMilestones(t *testing.T) {
+	cases := []struct {
+		name string
+		srcs []sacx.Source
+	}{
+		{"coextensive", []sacx.Source{
+			{Hierarchy: "a", Data: []byte(`<r>xy<o><i>abc</i></o>z</r>`)},
+		}},
+		{"triple-coextensive", []sacx.Source{
+			{Hierarchy: "a", Data: []byte(`<r><o><m><i>abc</i></m></o>z</r>`)},
+		}},
+		{"milestone-left-edge", []sacx.Source{
+			{Hierarchy: "a", Data: []byte(`<r>ab<el><pb/>cd</el>ef</r>`)},
+		}},
+		{"milestone-right-edge", []sacx.Source{
+			{Hierarchy: "a", Data: []byte(`<r>ab<el>cd<pb/></el>ef</r>`)},
+		}},
+		{"stacked-milestones", []sacx.Source{
+			{Hierarchy: "a", Data: []byte(`<r>ab<pb/><lb/>cd</r>`)},
+		}},
+		{"nested-milestones", []sacx.Source{
+			{Hierarchy: "a", Data: []byte(`<r>ab<pb><lb/></pb>cd</r>`)},
+		}},
+		{"milestone-overlap-mix", []sacx.Source{
+			{Hierarchy: "a", Data: []byte(`<r><s>ab cd</s> <s>ef gh</s></r>`)},
+			{Hierarchy: "b", Data: []byte(`<r>ab<pb/> <x>cd ef</x> gh</r>`)},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fast, err := sacx.Build(c.srcs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := referenceBuild(t, c.srcs, sacx.MergeHeap)
+			diffDocs(t, c.name, ref, fast)
+		})
+	}
+}

@@ -32,6 +32,7 @@
 //	if err != nil { ... }
 //	hits, err := doc.Query("//line/overlapping::w")
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's demonstrated claims.
+// See ROADMAP.md for the system inventory and open directions, PAPER.md
+// for the source paper's abstract, and PERFORMANCE.md for the measured
+// behaviour of the parsing pipeline.
 package repro

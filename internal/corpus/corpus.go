@@ -3,7 +3,7 @@
 // Figure 1, and a parameterised generator of synthetic manuscripts with
 // concurrent hierarchies.
 //
-// Substitution note (see DESIGN.md §2): the paper demonstrates on images
+// Substitution note: the paper demonstrates on images
 // and transcriptions of British Library MS Cotton Otho A. vi (Boethius,
 // folio 36v), which are not redistributable. The bundled fragment is a
 // public-domain Old English passage encoded with exactly the hierarchies

@@ -3,6 +3,7 @@ package document
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"unicode/utf8"
 )
 
@@ -14,78 +15,107 @@ import (
 // Content is mutable to support authoring (package editor); mutation
 // methods report the resulting offset shifts so markup spans can be
 // adjusted by the caller.
+//
+// Internally the text is kept as the string it was built from; the rune
+// slice that backs random access and mutation is materialized lazily, so
+// parse-only workloads never pay for it. Materialization is guarded, so
+// concurrent *readers* of an unmutated Content remain safe; mutation
+// requires external synchronization, as before.
 type Content struct {
-	runes []rune
+	s     string    // the text; stale when dirty is set
+	runes []rune    // lazily materialized; canonical when dirty
+	n     int       // rune length
+	dirty bool      // runes have been mutated since s was built
+	once  sync.Once // guards the lazy materialization
 }
 
 // NewContent returns content holding the given text.
 func NewContent(text string) *Content {
-	return &Content{runes: []rune(text)}
+	return &Content{s: text, n: utf8.RuneCountInString(text)}
+}
+
+// rs returns the rune representation, materializing it on first use.
+func (c *Content) rs() []rune {
+	if c.dirty {
+		// Mutated state: the caller already holds exclusive access.
+		return c.runes
+	}
+	c.once.Do(func() {
+		if c.runes == nil && c.n > 0 {
+			c.runes = []rune(c.s)
+		}
+	})
+	return c.runes
 }
 
 // Len returns the number of runes of content.
-func (c *Content) Len() int { return len(c.runes) }
+func (c *Content) Len() int { return c.n }
 
 // String returns the entire content as a string.
-func (c *Content) String() string { return string(c.runes) }
+func (c *Content) String() string {
+	if c.dirty {
+		c.s = string(c.runes)
+		c.dirty = false
+	}
+	return c.s
+}
 
 // Slice returns the content covered by span. It panics if the span is out
 // of range, mirroring Go slice semantics.
 func (c *Content) Slice(s Span) string {
-	if !s.Valid() || s.End > len(c.runes) {
-		panic(fmt.Sprintf("document: slice %v out of range [0,%d]", s, len(c.runes)))
+	if !s.Valid() || s.End > c.n {
+		panic(fmt.Sprintf("document: slice %v out of range [0,%d]", s, c.n))
 	}
-	return string(c.runes[s.Start:s.End])
+	if s.Start == 0 && s.End == c.n {
+		return c.String()
+	}
+	return string(c.rs()[s.Start:s.End])
 }
 
 // RuneAt returns the rune at offset pos.
 func (c *Content) RuneAt(pos int) rune {
-	if pos < 0 || pos >= len(c.runes) {
-		panic(fmt.Sprintf("document: rune offset %d out of range [0,%d)", pos, len(c.runes)))
+	if pos < 0 || pos >= c.n {
+		panic(fmt.Sprintf("document: rune offset %d out of range [0,%d)", pos, c.n))
 	}
-	return c.runes[pos]
+	return c.rs()[pos]
 }
 
 // Insert inserts text at rune offset pos and returns the number of runes
 // inserted. Offsets >= pos in existing spans must be shifted by that
 // amount by the caller.
 func (c *Content) Insert(pos int, text string) int {
-	if pos < 0 || pos > len(c.runes) {
-		panic(fmt.Sprintf("document: insert offset %d out of range [0,%d]", pos, len(c.runes)))
+	if pos < 0 || pos > c.n {
+		panic(fmt.Sprintf("document: insert offset %d out of range [0,%d]", pos, c.n))
 	}
 	ins := []rune(text)
-	c.runes = append(c.runes[:pos], append(ins, c.runes[pos:]...)...)
+	r := c.rs()
+	c.runes = append(r[:pos:pos], append(ins, r[pos:]...)...)
+	c.n = len(c.runes)
+	c.dirty = true
 	return len(ins)
 }
 
 // Delete removes the runes covered by span and returns the number of
 // runes removed.
 func (c *Content) Delete(s Span) int {
-	if !s.Valid() || s.End > len(c.runes) {
-		panic(fmt.Sprintf("document: delete %v out of range [0,%d]", s, len(c.runes)))
+	if !s.Valid() || s.End > c.n {
+		panic(fmt.Sprintf("document: delete %v out of range [0,%d]", s, c.n))
 	}
-	c.runes = append(c.runes[:s.Start], c.runes[s.End:]...)
+	r := c.rs()
+	c.runes = append(r[:s.Start], r[s.End:]...)
+	c.n = len(c.runes)
+	c.dirty = true
 	return s.Len()
 }
 
 // Clone returns an independent copy of the content.
 func (c *Content) Clone() *Content {
-	cp := make([]rune, len(c.runes))
-	copy(cp, c.runes)
-	return &Content{runes: cp}
+	return NewContent(c.String())
 }
 
 // Equal reports whether two contents hold the same text.
 func (c *Content) Equal(o *Content) bool {
-	if len(c.runes) != len(o.runes) {
-		return false
-	}
-	for i, r := range c.runes {
-		if o.runes[i] != r {
-			return false
-		}
-	}
-	return true
+	return c.n == o.n && c.String() == o.String()
 }
 
 // Find returns the rune offset of the first occurrence of sub at or after
@@ -94,10 +124,15 @@ func (c *Content) Find(sub string, from int) int {
 	if from < 0 {
 		from = 0
 	}
-	if from > len(c.runes) {
+	if from > c.n {
 		return -1
 	}
-	hay := string(c.runes[from:])
+	var hay string
+	if from == 0 {
+		hay = c.String()
+	} else {
+		hay = string(c.rs()[from:])
+	}
 	b := strings.Index(hay, sub)
 	if b < 0 {
 		return -1

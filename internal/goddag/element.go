@@ -566,8 +566,8 @@ func (d *Document) ElementsIntersecting(span document.Span) []*Element {
 
 // ElementsOverlapping returns all elements whose spans *properly* overlap
 // the given span (intersect without containment either way), in document
-// order. This powers the Extended XPath overlapping axis (DESIGN.md D3);
-// candidates come from the interval index in O(log n + candidates).
+// order. This powers the Extended XPath overlapping axis; candidates come
+// from the interval index in O(log n + candidates).
 func (d *Document) ElementsOverlapping(span document.Span) []*Element {
 	var out []*Element
 	d.index().visitIntersecting(span, func(e *Element) {

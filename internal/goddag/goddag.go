@@ -16,8 +16,8 @@
 // through leaves, exactly as described in §3 of the paper.
 //
 // This implementation is a *restricted* GODDAG: every element dominates a
-// contiguous interval of leaves (invariant D5 in DESIGN.md), which is true
-// of any structure derived from in-line or standoff markup ranges.
+// contiguous interval of leaves, which is true of any structure derived
+// from in-line or standoff markup ranges.
 package goddag
 
 import (

@@ -3,17 +3,22 @@ package sacx
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"repro/internal/document"
 	"repro/internal/goddag"
+	"repro/internal/xmlscan"
 )
 
 // Build parses a distributed document into a GODDAG in one pass over the
 // merged event stream: per-hierarchy element stacks turn start/end event
 // pairs into element records. All leaf boundaries are then cut in one
 // batch (O(B log B) rather than O(B·leaves)), and records are inserted
-// widest-first so the per-insert adoption work stays minimal.
+// widest-first through the GODDAG's bulk loader, which appends each
+// element in O(1) amortized time instead of re-locating from the root.
+//
+// The document's element names and attribute values alias the sources'
+// bytes; do not mutate any Source.Data while the document is in use.
 func Build(sources []Source) (*goddag.Document, error) {
 	return BuildWithOptions(sources, Options{})
 }
@@ -31,17 +36,19 @@ func BuildWithOptions(sources []Source, opts Options) (*goddag.Document, error) 
 		pos   int
 	}
 	type record struct {
-		hier  string
+		h     *goddag.Hierarchy
 		name  string
 		attrs []goddag.Attr
 		span  document.Span
 		seq   int
 	}
-	stacks := map[string][]open{}
-	for _, src := range sources {
-		stacks[src.Hierarchy] = nil
+	type hstack struct {
+		h    *goddag.Hierarchy
+		open []open
 	}
-	var records []record
+	stacks := make(map[string]*hstack, len(sources))
+	// Every element contributes one start and one end event.
+	records := make([]record, 0, st.totalEvents()/2)
 	seq := 0
 	for {
 		ev, err := st.Next()
@@ -55,24 +62,24 @@ func BuildWithOptions(sources []Source, opts Options) (*goddag.Document, error) 
 		case StartDocument:
 			doc = goddag.New(ev.Name, ev.Text)
 			for _, src := range sources {
-				doc.AddHierarchy(src.Hierarchy)
+				stacks[src.Hierarchy] = &hstack{h: doc.AddHierarchy(src.Hierarchy)}
 			}
 		case StartElement:
-			stacks[ev.Hierarchy] = append(stacks[ev.Hierarchy],
-				open{name: ev.Name, attrs: ev.Attrs, pos: ev.Pos})
+			hs := stacks[ev.Hierarchy]
+			hs.open = append(hs.open, open{name: ev.Name, attrs: ev.Attrs, pos: ev.Pos})
 		case EndElement:
-			stack := stacks[ev.Hierarchy]
-			if len(stack) == 0 {
+			hs := stacks[ev.Hierarchy]
+			if len(hs.open) == 0 {
 				return nil, fmt.Errorf("sacx: unbalanced end of <%s> in hierarchy %q", ev.Name, ev.Hierarchy)
 			}
-			top := stack[len(stack)-1]
-			stacks[ev.Hierarchy] = stack[:len(stack)-1]
+			top := hs.open[len(hs.open)-1]
+			hs.open = hs.open[:len(hs.open)-1]
 			if top.name != ev.Name {
 				return nil, fmt.Errorf("sacx: end of <%s> does not match open <%s> in hierarchy %q",
 					ev.Name, top.name, ev.Hierarchy)
 			}
 			records = append(records, record{
-				hier: ev.Hierarchy, name: top.name, attrs: top.attrs,
+				h: hs.h, name: top.name, attrs: top.attrs,
 				span: document.NewSpan(top.pos, ev.Pos), seq: seq,
 			})
 			seq++
@@ -80,31 +87,38 @@ func BuildWithOptions(sources []Source, opts Options) (*goddag.Document, error) 
 			// Content was installed at StartDocument.
 		}
 	}
-	for hier, stack := range stacks {
-		if len(stack) != 0 {
-			return nil, fmt.Errorf("sacx: hierarchy %q has %d unclosed elements", hier, len(stack))
+	for hier, hs := range stacks {
+		if len(hs.open) != 0 {
+			return nil, fmt.Errorf("sacx: hierarchy %q has %d unclosed elements", hier, len(hs.open))
 		}
 	}
 
 	// Batch-cut every markup border, then insert widest-first: parents
-	// land before children, so adoption churn never occurs. Equal spans
-	// keep arrival order (inner element ended first), preserving nesting.
+	// land before children, so the bulk loader's per-hierarchy stacks
+	// place every element without adoption churn. Equal spans keep
+	// arrival order (inner element ended first), preserving nesting.
 	cuts := make([]int, 0, 2*len(records))
 	for _, r := range records {
 		cuts = append(cuts, r.span.Start, r.span.End)
 	}
 	doc.Partition().CutAll(cuts)
-	sort.SliceStable(records, func(i, j int) bool {
-		c := document.CompareSpans(records[i].span, records[j].span)
-		if c != 0 {
-			return c < 0
+	slices.SortFunc(records, func(a, b record) int {
+		if c := document.CompareSpans(a.span, b.span); c != 0 {
+			return c
 		}
-		return records[i].seq < records[j].seq
+		return a.seq - b.seq
 	})
+	nattrs := 0
 	for _, r := range records {
-		h := doc.Hierarchy(r.hier)
-		if _, err := doc.InsertElement(h, r.name, r.attrs, r.span); err != nil {
-			return nil, fmt.Errorf("sacx: hierarchy %q: %w", r.hier, err)
+		nattrs += len(r.attrs)
+	}
+	bulk := doc.BulkLoad()
+	bulk.Grow(len(records), nattrs)
+	bulk.Precut() // CutAll above established every border
+	for i := range records {
+		r := &records[i]
+		if _, err := bulk.Append(r.h, r.name, r.attrs, r.span); err != nil {
+			return nil, fmt.Errorf("sacx: hierarchy %q: %w", r.h.Name(), err)
 		}
 	}
 	return doc, nil
@@ -139,7 +153,7 @@ func appendNodes(b []byte, nodes []goddag.Node) []byte {
 				b = append(b, ' ')
 				b = append(b, a.Name...)
 				b = append(b, '=', '"')
-				b = append(b, escapeAttr(a.Value)...)
+				b = append(b, xmlscan.EscapeAttr(a.Value)...)
 				b = append(b, '"')
 			}
 			if v.IsEmpty() && len(v.ChildElements()) == 0 {
@@ -152,46 +166,8 @@ func appendNodes(b []byte, nodes []goddag.Node) []byte {
 			b = append(b, v.Name()...)
 			b = append(b, '>')
 		case goddag.Leaf:
-			b = append(b, escapeText(v.Text())...)
+			b = append(b, xmlscan.EscapeText(v.Text())...)
 		}
 	}
 	return b
-}
-
-func escapeText(s string) string {
-	out := make([]byte, 0, len(s))
-	for _, r := range s {
-		switch r {
-		case '<':
-			out = append(out, "&lt;"...)
-		case '>':
-			out = append(out, "&gt;"...)
-		case '&':
-			out = append(out, "&amp;"...)
-		default:
-			out = appendRune(out, r)
-		}
-	}
-	return string(out)
-}
-
-func escapeAttr(s string) string {
-	out := make([]byte, 0, len(s))
-	for _, r := range s {
-		switch r {
-		case '<':
-			out = append(out, "&lt;"...)
-		case '&':
-			out = append(out, "&amp;"...)
-		case '"':
-			out = append(out, "&quot;"...)
-		default:
-			out = appendRune(out, r)
-		}
-	}
-	return string(out)
-}
-
-func appendRune(b []byte, r rune) []byte {
-	return append(b, string(r)...)
 }

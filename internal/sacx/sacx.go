@@ -16,7 +16,10 @@
 package sacx
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/goddag"
 	"repro/internal/xmlscan"
@@ -26,7 +29,11 @@ import (
 type Source struct {
 	// Hierarchy names the concurrent hierarchy this document encodes.
 	Hierarchy string
-	// Data is the document text.
+	// Data is the document text. The zero-copy pipeline aliases it:
+	// names, attribute values, and text in the resulting events and
+	// documents are string views of these bytes. The caller must not
+	// mutate Data for the lifetime of any Stream or Document built from
+	// it (copy the buffer first when reusing it).
 	Data []byte
 }
 
@@ -68,7 +75,9 @@ func (k EventKind) String() string {
 	}
 }
 
-// Event is one item of the merged concurrent event stream.
+// Event is one item of the merged concurrent event stream. Events are
+// plain values; Text and Attrs alias the stream's shared content and
+// per-source attribute arenas and must be treated as read-only.
 type Event struct {
 	Kind      EventKind
 	Hierarchy string // owning hierarchy for element events
@@ -106,63 +115,92 @@ func (e *RootMismatchError) Error() string {
 	return fmt.Sprintf("sacx: hierarchy %q has root <%s>, want <%s>", e.Hierarchy, e.Got, e.Want)
 }
 
-// verifySources tokenizes nothing; it checks that all sources share root
-// tag and content, returning the shared values.
-func verifySources(sources []Source) (rootTag, content string, err error) {
+// errContentMismatch is the internal signal that a source's character
+// content diverged from the reference; prepareSources converts it into a
+// detailed *ContentMismatchError on the (cold) error path.
+var errContentMismatch = errors.New("sacx: content mismatch")
+
+// prepareSources tokenizes every source exactly once, verifying along the
+// way that all sources share one root tag and one character content, and
+// returns the loaded merge cursors. The first source is the reference: it
+// establishes the shared content; every other source's text runs are
+// compared against it in place, with no per-source content copy.
+func prepareSources(sources []Source, opts Options) (rootTag, content string, cursors []*cursor, err error) {
 	if len(sources) == 0 {
-		return "", "", fmt.Errorf("sacx: no sources")
+		return "", "", nil, fmt.Errorf("sacx: no sources")
 	}
-	seen := map[string]bool{}
+	seen := make(map[string]bool, len(sources))
 	for i, src := range sources {
 		if src.Hierarchy == "" {
-			return "", "", fmt.Errorf("sacx: source %d has empty hierarchy name", i)
+			return "", "", nil, fmt.Errorf("sacx: source %d has empty hierarchy name", i)
 		}
 		if seen[src.Hierarchy] {
-			return "", "", fmt.Errorf("sacx: duplicate hierarchy %q", src.Hierarchy)
+			return "", "", nil, fmt.Errorf("sacx: duplicate hierarchy %q", src.Hierarchy)
 		}
 		seen[src.Hierarchy] = true
 	}
+	scanOpts := xmlscan.Options{Entities: opts.Entities, CoalesceCDATA: true, ReuseAttrs: true}
+	cursors = make([]*cursor, 0, len(sources))
 	for i, src := range sources {
-		c, cerr := xmlscan.Content(src.Data)
-		if cerr != nil {
-			return "", "", fmt.Errorf("sacx: hierarchy %q: %w", src.Hierarchy, cerr)
+		c := &cursor{hier: src.Hierarchy, idx: i}
+		// Pre-size the event list and attribute arena from cheap byte
+		// counts: every tag token starts with '<' (self-closing tags
+		// yield a second event, counted by "/>"), and every attribute
+		// carries one '='. Both are upper bounds; excess capacity from
+		// comments or PIs is marginal.
+		tags := bytes.Count(src.Data, []byte{'<'}) + bytes.Count(src.Data, []byte("/>"))
+		c.events = make([]streamEvent, 0, tags)
+		if eqs := bytes.Count(src.Data, []byte{'='}); eqs > 0 {
+			c.attrs = make([]goddag.Attr, 0, eqs)
 		}
-		rt, rerr := rootOf(src.Data)
-		if rerr != nil {
-			return "", "", fmt.Errorf("sacx: hierarchy %q: %w", src.Hierarchy, rerr)
+		var build *strings.Builder
+		if i == 0 {
+			build = &strings.Builder{}
+			build.Grow(len(src.Data))
+		}
+		rt, lerr := c.load(xmlscan.New(src.Data, scanOpts), build, content)
+		switch {
+		case lerr == errContentMismatch:
+			return "", "", nil, contentMismatch(src, scanOpts, content, sources[0].Hierarchy)
+		case lerr != nil:
+			return "", "", nil, fmt.Errorf("sacx: hierarchy %q: %w", src.Hierarchy, lerr)
 		}
 		if i == 0 {
-			rootTag, content = rt, c
-			continue
+			rootTag, content = rt, build.String()
+		} else if rt != rootTag {
+			return "", "", nil, &RootMismatchError{Hierarchy: src.Hierarchy, Want: rootTag, Got: rt}
 		}
-		if rt != rootTag {
-			return "", "", &RootMismatchError{Hierarchy: src.Hierarchy, Want: rootTag, Got: rt}
-		}
-		if c != content {
-			pos := divergence(content, c)
-			return "", "", &ContentMismatchError{
-				Hierarchy: src.Hierarchy,
-				Against:   sources[0].Hierarchy,
-				Pos:       pos,
-				Want:      clip(content, pos),
-				Got:       clip(c, pos),
-			}
-		}
+		cursors = append(cursors, c)
 	}
-	return rootTag, content, nil
+	return rootTag, content, cursors, nil
 }
 
-func rootOf(data []byte) (string, error) {
-	s := xmlscan.New(data, xmlscan.Options{})
-	for {
-		tok, err := s.Next()
-		if err != nil {
-			return "", err
-		}
-		if tok.Kind == xmlscan.KindStartElement {
-			return tok.Name, nil
-		}
+// contentMismatch rebuilds the diverging source's full content (cold
+// path) to report the exact rune offset and surroundings of the first
+// divergence.
+func contentMismatch(src Source, scanOpts xmlscan.Options, ref, against string) error {
+	var b strings.Builder
+	c := &cursor{hier: src.Hierarchy}
+	if _, err := c.load(xmlscan.New(src.Data, scanOpts), &b, ""); err != nil {
+		return fmt.Errorf("sacx: hierarchy %q: %w", src.Hierarchy, err)
 	}
+	got := b.String()
+	pos := divergence(ref, got)
+	return &ContentMismatchError{
+		Hierarchy: src.Hierarchy,
+		Against:   against,
+		Pos:       pos,
+		Want:      clip(ref, pos),
+		Got:       clip(got, pos),
+	}
+}
+
+// verifySources checks that all sources share root tag and content,
+// returning the shared values. It is a thin wrapper over the single-pass
+// loader; NewStream performs the same verification without a second pass.
+func verifySources(sources []Source) (rootTag, content string, err error) {
+	rootTag, content, _, err = prepareSources(sources, Options{})
+	return rootTag, content, err
 }
 
 // divergence returns the rune offset of the first difference.

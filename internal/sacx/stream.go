@@ -3,6 +3,8 @@ package sacx
 import (
 	"container/heap"
 	"io"
+	"strings"
+	"unicode/utf8"
 
 	"repro/internal/goddag"
 	"repro/internal/xmlscan"
@@ -10,7 +12,7 @@ import (
 
 // MergeStrategy selects how the per-hierarchy token streams are merged.
 // The k-way heap is the production strategy; the linear rescan exists as
-// the ablation baseline for experiment A1 (DESIGN.md D2).
+// the ablation baseline for experiment A1 (see PERFORMANCE.md).
 type MergeStrategy int
 
 // Merge strategies.
@@ -30,57 +32,94 @@ type Options struct {
 
 // Stream is the merged SACX event stream over a distributed document.
 // Create with NewStream; read with Next until io.EOF.
+//
+// Each source is tokenized exactly once, during NewStream: the pass that
+// verifies the shared root tag and character content also records the
+// structural events, so the merge itself touches no XML text again.
+// Characters events are substrings of the shared content (no copying),
+// and element events carry attribute slices out of a per-source arena.
+//
+// Names and attribute values alias the Source.Data bytes; the sources
+// must stay unmutated while the stream or anything built from it is in
+// use (see Source.Data).
 type Stream struct {
 	cursors []*cursor
 	opts    Options
 	rootTag string
 	content string
-	runes   []rune // content as runes, for O(1) run slicing
+	runeLen int // content length in runes
 
-	h          eventHeap
-	started    bool // StartDocument delivered
-	rootOpen   int  // streams whose root is still open
-	endPending bool // EndDocument not yet delivered
-	textEmit   int  // content offset up to which text has been emitted
-	err        error
+	h            eventHeap
+	started      bool // StartDocument delivered
+	endPending   bool // EndDocument not yet delivered
+	textEmit     int  // content rune offset up to which text has been emitted
+	textEmitByte int  // the same frontier as a byte offset
 }
 
-// cursor walks one hierarchy's token stream, mapping tokens to candidate
-// events. The root element's own start/end tokens are absorbed (the merged
-// stream has a single StartDocument/EndDocument pair).
+// streamEvent is one structural event recorded while tokenizing a source:
+// a start or end tag with its content position in runes and bytes.
+// Attributes live in the owning cursor's arena at [attrLo, attrHi).
+type streamEvent struct {
+	kind    EventKind
+	name    string
+	pos     int // content rune offset
+	bytePos int // content byte offset
+	attrLo  int32
+	attrHi  int32
+}
+
+// cursor holds one hierarchy's recorded event list and the merge position
+// within it. The root element's own start/end tokens are absorbed during
+// recording (the merged stream has a single StartDocument/EndDocument
+// pair).
 type cursor struct {
 	hier    string
-	scanner *xmlscan.Scanner
-	idx     int // stream index for deterministic ordering
+	events  []streamEvent
+	attrs   []goddag.Attr // arena referenced by events
+	i       int           // next event to deliver
+	idx     int           // stream index for deterministic ordering
+	heapIdx int           // position in the merge heap
+}
 
-	pending   *Event // next candidate event, nil when exhausted
-	queuedEnd *Event // synthesized end for a self-closing tag
-	sawRoot   bool
-	done      bool
+func (c *cursor) exhausted() bool { return c.i >= len(c.events) }
+
+// head returns the cursor's pending event. Callers must check exhausted.
+func (c *cursor) head() *streamEvent { return &c.events[c.i] }
+
+// less orders cursors by their pending events: position, then ends before
+// starts, then source order.
+func (c *cursor) less(o *cursor) bool {
+	a, b := c.head(), o.head()
+	if a.pos != b.pos {
+		return a.pos < b.pos
+	}
+	ca, cb := eventClass(a.kind), eventClass(b.kind)
+	if ca != cb {
+		return ca < cb
+	}
+	return c.idx < o.idx
 }
 
 // NewStream verifies the distributed document and prepares the merge.
+// Verification and event recording happen in the same single pass over
+// each source.
 func NewStream(sources []Source, opts Options) (*Stream, error) {
-	rootTag, content, err := verifySources(sources)
+	rootTag, content, cursors, err := prepareSources(sources, opts)
 	if err != nil {
 		return nil, err
 	}
-	s := &Stream{opts: opts, rootTag: rootTag, content: content, runes: []rune(content), rootOpen: len(sources), endPending: true}
-	for i, src := range sources {
-		c := &cursor{
-			hier:    src.Hierarchy,
-			scanner: xmlscan.New(src.Data, xmlscan.Options{Entities: opts.Entities, CoalesceCDATA: true}),
-			idx:     i,
-		}
-		if err := c.advance(); err != nil {
-			return nil, err
-		}
-		s.cursors = append(s.cursors, c)
+	s := &Stream{
+		cursors: cursors,
+		opts:    opts,
+		rootTag: rootTag,
+		content: content,
+		runeLen: utf8.RuneCountInString(content),
 	}
+	s.endPending = true
 	if opts.Strategy == MergeHeap {
-		s.h = eventHeap{s: s}
 		for _, c := range s.cursors {
-			if c.pending != nil {
+			if !c.exhausted() {
+				c.heapIdx = len(s.h.items)
 				s.h.items = append(s.h.items, c)
 			}
 		}
@@ -92,57 +131,88 @@ func NewStream(sources []Source, opts Options) (*Stream, error) {
 // RootTag returns the shared root element tag.
 func (s *Stream) RootTag() string { return s.rootTag }
 
+// totalEvents returns the number of structural events left to merge,
+// letting Build pre-size its record list.
+func (s *Stream) totalEvents() int {
+	n := 0
+	for _, c := range s.cursors {
+		n += len(c.events) - c.i
+	}
+	return n
+}
+
 // Content returns the shared character content.
 func (s *Stream) Content() string { return s.content }
 
-// advance loads the cursor's next candidate event from its token stream.
-// Text tokens are consumed for offset tracking but produce no event: the
-// merged stream synthesizes Characters runs itself (content is shared).
-func (c *cursor) advance() error {
-	c.pending = nil
+// load tokenizes one source into the cursor's event list. When build is
+// non-nil the decoded character content is appended to it (the reference
+// source); otherwise every text run is compared in place against ref, the
+// already-established shared content. The returned root tag is the
+// source's root element name ("" for an empty document, which the scanner
+// rejects anyway).
+func (c *cursor) load(sc *xmlscan.Scanner, build *strings.Builder, ref string) (rootTag string, err error) {
+	sawRoot := false
 	for {
-		tok, err := c.scanner.Next()
+		tok, err := sc.Next()
 		if err == io.EOF {
-			c.done = true
-			return nil
+			if build == nil && sc.ContentByte() != len(ref) {
+				return rootTag, errContentMismatch
+			}
+			return rootTag, nil
 		}
 		if err != nil {
-			return err
+			return rootTag, err
 		}
 		switch tok.Kind {
 		case xmlscan.KindStartElement:
-			if !c.sawRoot {
-				c.sawRoot = true
-				if tok.SelfClosing {
-					c.done = true
-					return nil
+			if !sawRoot {
+				sawRoot = true
+				rootTag = tok.Name
+				continue // absorb the per-hierarchy root start
+			}
+			ev := streamEvent{
+				kind:    StartElement,
+				name:    tok.Name,
+				pos:     tok.ContentPos,
+				bytePos: tok.ContentByte,
+			}
+			if len(tok.Attrs) > 0 {
+				ev.attrLo = int32(len(c.attrs))
+				for _, a := range tok.Attrs {
+					c.attrs = append(c.attrs, goddag.Attr{Name: a.Name, Value: a.Value})
 				}
-				continue // absorb per-hierarchy root start
+				ev.attrHi = int32(len(c.attrs))
 			}
-			attrs := make([]goddag.Attr, len(tok.Attrs))
-			for i, a := range tok.Attrs {
-				attrs[i] = goddag.Attr{Name: a.Name, Value: a.Value}
-			}
-			c.pending = &Event{
-				Kind: StartElement, Hierarchy: c.hier,
-				Name: tok.Name, Attrs: attrs, Pos: tok.ContentPos,
-			}
+			c.events = append(c.events, ev)
 			if tok.SelfClosing {
-				// Synthesize the matching end immediately after; handled
-				// by storing a queued end event.
-				c.queuedEnd = &Event{Kind: EndElement, Hierarchy: c.hier, Name: tok.Name, Pos: tok.ContentPos}
+				c.events = append(c.events, streamEvent{
+					kind: EndElement, name: tok.Name,
+					pos: tok.ContentPos, bytePos: tok.ContentByte,
+				})
 			}
-			return nil
 		case xmlscan.KindEndElement:
 			if tok.Depth == 0 {
-				// Root close: no event, stream will finish.
+				continue // absorb the per-hierarchy root end
+			}
+			c.events = append(c.events, streamEvent{
+				kind: EndElement, name: tok.Name,
+				pos: tok.ContentPos, bytePos: tok.ContentByte,
+			})
+		case xmlscan.KindText:
+			// CoalesceCDATA folds CDATA sections into text tokens.
+			if tok.Text == "" {
 				continue
 			}
-			c.pending = &Event{Kind: EndElement, Hierarchy: c.hier, Name: tok.Name, Pos: tok.ContentPos}
-			return nil
+			if build != nil {
+				build.WriteString(tok.Text)
+				continue
+			}
+			end := tok.ContentByte + len(tok.Text)
+			if end > len(ref) || ref[tok.ContentByte:end] != tok.Text {
+				return rootTag, errContentMismatch
+			}
 		default:
-			// Text, comments, PIs, doctype: no structural event.
-			continue
+			// Comments, PIs, doctype: no structural event.
 		}
 	}
 }
@@ -155,29 +225,25 @@ func eventClass(k EventKind) int {
 	return 1
 }
 
-// less orders cursors by their pending events.
-func eventLess(a, b *Event, ai, bi int) bool {
-	if a.Pos != b.Pos {
-		return a.Pos < b.Pos
-	}
-	ca, cb := eventClass(a.Kind), eventClass(b.Kind)
-	if ca != cb {
-		return ca < cb
-	}
-	return ai < bi
-}
-
+// eventHeap is the k-way merge heap over cursors with pending events.
+// Each cursor tracks its own index (heapIdx), so Fix and Remove after a
+// cursor step are O(log k) with no linear scan.
 type eventHeap struct {
-	s     *Stream
 	items []*cursor
 }
 
-func (h *eventHeap) Len() int { return len(h.items) }
-func (h *eventHeap) Less(i, j int) bool {
-	return eventLess(h.items[i].pending, h.items[j].pending, h.items[i].idx, h.items[j].idx)
+func (h *eventHeap) Len() int           { return len(h.items) }
+func (h *eventHeap) Less(i, j int) bool { return h.items[i].less(h.items[j]) }
+func (h *eventHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIdx = i
+	h.items[j].heapIdx = j
 }
-func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *eventHeap) Push(x any)    { h.items = append(h.items, x.(*cursor)) }
+func (h *eventHeap) Push(x any) {
+	c := x.(*cursor)
+	c.heapIdx = len(h.items)
+	h.items = append(h.items, c)
+}
 func (h *eventHeap) Pop() any {
 	old := h.items
 	n := len(old)
@@ -187,39 +253,39 @@ func (h *eventHeap) Pop() any {
 }
 
 // Next returns the next merged event, or io.EOF after EndDocument.
+// All fallible work happens in NewStream; after a successful NewStream
+// the only non-nil result is io.EOF once the stream is drained.
 func (s *Stream) Next() (Event, error) {
-	if s.err != nil {
-		return Event{}, s.err
-	}
 	if !s.started {
 		s.started = true
 		return Event{Kind: StartDocument, Name: s.rootTag, Text: s.content}, nil
 	}
 	// Find the next structural event across cursors.
 	c := s.peekMin()
-	contentLen := len(s.runes)
 	// Emit pending text before the next structural position.
-	nextPos := contentLen
+	nextPos, nextByte := s.runeLen, len(s.content)
 	if c != nil {
-		nextPos = c.pending.Pos
+		head := c.head()
+		nextPos, nextByte = head.pos, head.bytePos
 	}
 	if s.textEmit < nextPos {
-		ev := Event{Kind: Characters, Text: string(s.runes[s.textEmit:nextPos]), Pos: s.textEmit}
-		s.textEmit = nextPos
+		ev := Event{Kind: Characters, Text: s.content[s.textEmitByte:nextByte], Pos: s.textEmit}
+		s.textEmit, s.textEmitByte = nextPos, nextByte
 		return ev, nil
 	}
 	if c == nil {
 		if s.endPending {
 			s.endPending = false
-			return Event{Kind: EndDocument, Pos: contentLen}, nil
+			return Event{Kind: EndDocument, Pos: s.runeLen}, nil
 		}
 		return Event{}, io.EOF
 	}
-	ev := *c.pending
-	if err := s.stepCursor(c); err != nil {
-		s.err = err
-		return Event{}, err
+	head := c.head()
+	ev := Event{Kind: head.kind, Hierarchy: c.hier, Name: head.name, Pos: head.pos}
+	if head.attrHi > head.attrLo {
+		ev.Attrs = c.attrs[head.attrLo:head.attrHi:head.attrHi]
 	}
+	s.stepCursor(c)
 	return ev, nil
 }
 
@@ -233,10 +299,10 @@ func (s *Stream) peekMin() *cursor {
 	}
 	var best *cursor
 	for _, c := range s.cursors {
-		if c.pending == nil {
+		if c.exhausted() {
 			continue
 		}
-		if best == nil || eventLess(c.pending, best.pending, c.idx, best.idx) {
+		if best == nil || c.less(best) {
 			best = c
 		}
 	}
@@ -244,30 +310,16 @@ func (s *Stream) peekMin() *cursor {
 }
 
 // stepCursor advances c past its delivered event and restores the merge
-// structure.
-func (s *Stream) stepCursor(c *cursor) error {
-	if c.queuedEnd != nil {
-		c.pending, c.queuedEnd = c.queuedEnd, nil
-	} else if err := c.advance(); err != nil {
-		return err
-	}
+// structure in O(log k) via the cursor's stored heap index.
+func (s *Stream) stepCursor(c *cursor) {
+	c.i++
 	if s.opts.Strategy == MergeHeap {
-		if c.pending == nil {
-			heap.Remove(&s.h, indexOf(s.h.items, c))
+		if c.exhausted() {
+			heap.Remove(&s.h, c.heapIdx)
 		} else {
-			heap.Fix(&s.h, indexOf(s.h.items, c))
+			heap.Fix(&s.h, c.heapIdx)
 		}
 	}
-	return nil
-}
-
-func indexOf(items []*cursor, c *cursor) int {
-	for i, it := range items {
-		if it == c {
-			return i
-		}
-	}
-	return -1
 }
 
 // Events drains the stream into a slice.

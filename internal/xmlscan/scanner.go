@@ -7,6 +7,7 @@ import (
 	"strings"
 	"unicode"
 	"unicode/utf8"
+	"unsafe"
 )
 
 // Options configure a Scanner.
@@ -27,47 +28,85 @@ type Options struct {
 	// CoalesceCDATA makes CDATA sections come back as KindText tokens,
 	// merged with adjacent character data.
 	CoalesceCDATA bool
+
+	// ReuseAttrs makes the scanner reuse one internal buffer for the
+	// Attrs of successive start tags instead of allocating a fresh slice
+	// per tag. A token's Attrs are then only valid until the next call to
+	// Next; consumers that retain tokens (or their Attrs) must copy them
+	// first. Streaming consumers that fold attributes into their own
+	// structures (package sacx) set this to eliminate one allocation per
+	// element.
+	ReuseAttrs bool
+}
+
+// predefinedEntities are the five entities every XML processor knows.
+// They are shared by all scanners; per-scanner entities overlay them.
+var predefinedEntities = map[string]string{
+	"lt":   "<",
+	"gt":   ">",
+	"amp":  "&",
+	"apos": "'",
+	"quot": `"`,
 }
 
 // Scanner tokenizes a complete XML document held in memory.
+//
+// The scanner is zero-copy where the input allows it: names, attribute
+// values and text runs that contain no entity or character references
+// are returned as strings aliasing the input bytes (no copying, per
+// token or whole-input). A string is built only when a reference
+// actually needs decoding.
+//
+// Line/column information is not computed while scanning; it is derived
+// on demand (Position) and when constructing a SyntaxError.
+//
 // The zero value is not usable; call New.
 type Scanner struct {
-	src  []byte
-	pos  int
-	line int
-	col  int
+	src []byte
+	str string // src as a string; token substrings alias it
+	pos int
 
-	contentPos int // rune offset within character content so far
-	stack      []string
-	opts       Options
-	entities   map[string]string
+	contentPos  int // rune offset within character content so far
+	contentByte int // byte offset within decoded character content so far
+	stack       []string
+	opts        Options
+	entities    map[string]string // overlay over predefinedEntities; may be nil
 
-	// Incremental line/col cache: position lcOff is on line lcLine at
-	// column lcCol. Offsets are queried in nearly ascending order, so
-	// advancing from the cache keeps position tracking O(input) overall.
-	lcOff  int
-	lcLine int
-	lcCol  int
+	attrBuf []Attr // reused across start tags when opts.ReuseAttrs
 
 	sawRoot    bool // a root element has been seen
 	rootClosed bool // ... and closed
-	started    bool // any token delivered yet
 	err        error
 }
 
-// New returns a Scanner over src.
+// New returns a Scanner over src. The scanner aliases src — the string
+// view behind zero-copy tokens shares src's memory — so the caller must
+// not mutate src while the scanner or any of its tokens are in use.
 func New(src []byte, opts Options) *Scanner {
-	ents := map[string]string{
-		"lt":   "<",
-		"gt":   ">",
-		"amp":  "&",
-		"apos": "'",
-		"quot": `"`,
-	}
+	s := &Scanner{src: src, str: unsafe.String(unsafe.SliceData(src), len(src)), opts: opts}
 	for k, v := range opts.Entities {
-		ents[k] = v
+		s.defineEntity(k, v)
 	}
-	return &Scanner{src: src, line: 1, col: 1, opts: opts, entities: ents, lcLine: 1, lcCol: 1}
+	return s
+}
+
+// defineEntity registers a custom entity, allocating the overlay map only
+// when one is actually defined.
+func (s *Scanner) defineEntity(name, value string) {
+	if s.entities == nil {
+		s.entities = make(map[string]string, 8)
+	}
+	s.entities[name] = value
+}
+
+// lookupEntity resolves an entity name against the overlay and the
+// predefined set.
+func (s *Scanner) lookupEntity(name string) (string, bool) {
+	if v, ok := s.entities[name]; ok {
+		return v, true
+	}
+	v, ok := predefinedEntities[name]
+	return v, ok
 }
 
 // Depth returns the current element nesting depth.
@@ -76,6 +115,15 @@ func (s *Scanner) Depth() int { return len(s.stack) }
 // ContentPos returns the rune offset within character content reached so far.
 func (s *Scanner) ContentPos() int { return s.contentPos }
 
+// ContentByte returns the byte offset within the decoded character
+// content reached so far.
+func (s *Scanner) ContentByte() int { return s.contentByte }
+
+// Position returns the 1-based line and column of a byte offset in the
+// input. It is computed on demand by scanning for newlines, so it costs
+// O(offset); use it for diagnostics, not per token.
+func (s *Scanner) Position(off int) (line, col int) { return s.lineColAt(off) }
+
 func (s *Scanner) errorf(off int, format string, args ...any) error {
 	line, col := s.lineColAt(off)
 	e := &SyntaxError{Offset: off, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
@@ -83,26 +131,22 @@ func (s *Scanner) errorf(off int, format string, args ...any) error {
 	return e
 }
 
-// lineColAt computes the line/column of a byte offset, advancing from the
-// cached position when possible (token offsets arrive in ascending
-// order) and rescanning only on the rare backward query.
+// lineColAt computes the line/column of a byte offset by rescanning the
+// input. Only error construction and explicit Position calls pay for it.
 func (s *Scanner) lineColAt(off int) (line, col int) {
 	if off > len(s.src) {
 		off = len(s.src)
 	}
-	if off < s.lcOff {
-		s.lcOff, s.lcLine, s.lcCol = 0, 1, 1
-	}
-	for i := s.lcOff; i < off; i++ {
+	line, col = 1, 1
+	for i := 0; i < off; i++ {
 		if s.src[i] == '\n' {
-			s.lcLine++
-			s.lcCol = 1
+			line++
+			col = 1
 		} else {
-			s.lcCol++
+			col++
 		}
 	}
-	s.lcOff = off
-	return s.lcLine, s.lcCol
+	return line, col
 }
 
 // Next returns the next token. At end of input it returns io.EOF after
@@ -113,8 +157,8 @@ func (s *Scanner) Next() (Token, error) {
 		return Token{}, s.err
 	}
 	for {
-		tok, err := s.next()
-		if err != nil {
+		var tok Token
+		if err := s.next(&tok); err != nil {
 			return Token{}, err
 		}
 		switch tok.Kind {
@@ -135,80 +179,102 @@ func (s *Scanner) Next() (Token, error) {
 	}
 }
 
-func (s *Scanner) next() (Token, error) {
+func (s *Scanner) next(t *Token) error {
 	if s.pos >= len(s.src) {
 		if len(s.stack) > 0 {
-			return Token{}, s.errorf(s.pos, "unexpected EOF: unclosed element <%s>", s.stack[len(s.stack)-1])
+			return s.errorf(s.pos, "unexpected EOF: unclosed element <%s>", s.stack[len(s.stack)-1])
 		}
 		if !s.sawRoot {
-			return Token{}, s.errorf(s.pos, "document has no root element")
+			return s.errorf(s.pos, "document has no root element")
 		}
-		return Token{}, io.EOF
+		return io.EOF
 	}
 	start := s.pos
 	if s.src[s.pos] != '<' {
-		return s.scanText(start)
+		return s.scanText(start, t)
 	}
 	// Markup.
 	if s.pos+1 >= len(s.src) {
-		return Token{}, s.errorf(s.pos, "unexpected EOF after '<'")
+		return s.errorf(s.pos, "unexpected EOF after '<'")
 	}
 	switch s.src[s.pos+1] {
 	case '?':
-		return s.scanPI(start)
+		return s.scanPI(start, t)
 	case '!':
-		return s.scanBang(start)
+		return s.scanBang(start, t)
 	case '/':
-		return s.scanEndTag(start)
+		return s.scanEndTag(start, t)
 	default:
-		return s.scanStartTag(start)
+		return s.scanStartTag(start, t)
 	}
 }
 
-// scanText scans a run of character data up to the next '<'.
-func (s *Scanner) scanText(start int) (Token, error) {
-	var b strings.Builder
-	for s.pos < len(s.src) && s.src[s.pos] != '<' {
-		c := s.src[s.pos]
-		switch c {
-		case '&':
-			r, err := s.scanReference()
-			if err != nil {
-				return Token{}, err
-			}
-			b.WriteString(r)
-		case ']':
-			// "]]>" must not appear in character data.
-			if s.pos+2 < len(s.src) && s.src[s.pos+1] == ']' && s.src[s.pos+2] == '>' {
-				return Token{}, s.errorf(s.pos, "']]>' not allowed in character data")
-			}
-			b.WriteByte(c)
-			s.pos++
-		default:
-			b.WriteByte(c)
-			s.pos++
-		}
+// scanText scans a run of character data up to the next '<'. When the run
+// contains no references the token text aliases the input; otherwise the
+// decoded text is built chunk-wise.
+func (s *Scanner) scanText(start int, t *Token) error {
+	end := len(s.src)
+	if i := bytes.IndexByte(s.src[s.pos:], '<'); i >= 0 {
+		end = s.pos + i
 	}
-	text := b.String()
+	seg := s.src[s.pos:end]
+	var text string
+	if bytes.IndexByte(seg, '&') < 0 {
+		// Zero-copy path: no references to decode.
+		if i := bytes.Index(seg, []byte("]]>")); i >= 0 {
+			return s.errorf(s.pos+i, "']]>' not allowed in character data")
+		}
+		text = s.str[s.pos:end]
+		s.pos = end
+	} else {
+		var b strings.Builder
+		b.Grow(len(seg))
+		for s.pos < end {
+			switch c := s.src[s.pos]; c {
+			case '&':
+				r, err := s.scanReference()
+				if err != nil {
+					return err
+				}
+				b.WriteString(r)
+			case ']':
+				// "]]>" must not appear in character data.
+				if s.pos+2 < len(s.src) && s.src[s.pos+1] == ']' && s.src[s.pos+2] == '>' {
+					return s.errorf(s.pos, "']]>' not allowed in character data")
+				}
+				b.WriteByte(c)
+				s.pos++
+			default:
+				// Copy the whole plain chunk up to the next special byte.
+				q := s.pos + 1
+				for q < end && s.src[q] != '&' && s.src[q] != ']' {
+					q++
+				}
+				b.WriteString(s.str[s.pos:q])
+				s.pos = q
+			}
+		}
+		text = b.String()
+	}
 	if len(s.stack) == 0 {
 		// Text outside the root element must be whitespace only.
 		if strings.TrimSpace(text) != "" {
-			return Token{}, s.errorf(start, "character data outside root element")
+			return s.errorf(start, "character data outside root element")
 		}
 		// Whitespace outside the root is not document content.
-		line, col := s.lineColAt(start)
-		return Token{
+		*t = Token{
 			Kind: KindText, Text: "", Offset: start, End: s.pos,
-			Line: line, Col: col, ContentPos: s.contentPos, Depth: 0,
-		}, nil
+			ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: 0,
+		}
+		return nil
 	}
-	line, col := s.lineColAt(start)
-	tok := Token{
+	*t = Token{
 		Kind: KindText, Text: text, Offset: start, End: s.pos,
-		Line: line, Col: col, ContentPos: s.contentPos, Depth: len(s.stack),
+		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: len(s.stack),
 	}
 	s.contentPos += utf8.RuneCountInString(text)
-	return tok, nil
+	s.contentByte += len(text)
+	return nil
 }
 
 // scanReference scans &name; or &#NN; / &#xNN; starting at '&'.
@@ -225,7 +291,7 @@ func (s *Scanner) scanReference() (string, error) {
 	if semi < 0 {
 		return "", s.errorf(start, "unterminated entity reference")
 	}
-	name := string(s.src[s.pos:semi])
+	name := s.str[s.pos:semi]
 	s.pos = semi + 1
 	if name == "" {
 		return "", s.errorf(start, "empty entity reference")
@@ -237,7 +303,7 @@ func (s *Scanner) scanReference() (string, error) {
 		}
 		return string(r), nil
 	}
-	if v, ok := s.entities[name]; ok {
+	if v, ok := s.lookupEntity(name); ok {
 		return v, nil
 	}
 	return "", s.errorf(start, "undefined entity &%s;", name)
@@ -316,22 +382,58 @@ func IsName(s string) bool {
 	return true
 }
 
-// scanName scans an XML name at the current position.
+// scanName scans an XML name at the current position. The result aliases
+// the input.
 func (s *Scanner) scanName() (string, error) {
 	start := s.pos
-	r, size := utf8.DecodeRune(s.src[s.pos:])
-	if !isNameStart(r) {
-		return "", s.errorf(s.pos, "expected name, found %q", r)
+	if s.pos >= len(s.src) {
+		// Match utf8.DecodeRune's behaviour on an empty tail.
+		return "", s.errorf(s.pos, "expected name, found %q", utf8.RuneError)
 	}
-	s.pos += size
+	// ASCII fast path: names are overwhelmingly [A-Za-z0-9_:.-].
+	c := s.src[s.pos]
+	if isASCIINameStart(c) {
+		s.pos++
+		for s.pos < len(s.src) {
+			c = s.src[s.pos]
+			if isASCIINameChar(c) {
+				s.pos++
+				continue
+			}
+			if c < utf8.RuneSelf {
+				return s.str[start:s.pos], nil
+			}
+			break
+		}
+		if s.pos >= len(s.src) {
+			return s.str[start:s.pos], nil
+		}
+	} else if c < utf8.RuneSelf {
+		r, _ := utf8.DecodeRune(s.src[s.pos:])
+		return "", s.errorf(s.pos, "expected name, found %q", r)
+	} else {
+		r, size := utf8.DecodeRune(s.src[s.pos:])
+		if !isNameStart(r) {
+			return "", s.errorf(s.pos, "expected name, found %q", r)
+		}
+		s.pos += size
+	}
 	for s.pos < len(s.src) {
-		r, size = utf8.DecodeRune(s.src[s.pos:])
+		r, size := utf8.DecodeRune(s.src[s.pos:])
 		if !isNameChar(r) {
 			break
 		}
 		s.pos += size
 	}
-	return string(s.src[start:s.pos]), nil
+	return s.str[start:s.pos], nil
+}
+
+func isASCIINameStart(c byte) bool {
+	return c == '_' || c == ':' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isASCIINameChar(c byte) bool {
+	return isASCIINameStart(c) || c == '-' || c == '.' || ('0' <= c && c <= '9')
 }
 
 func (s *Scanner) skipSpace() {
@@ -346,17 +448,20 @@ func (s *Scanner) skipSpace() {
 }
 
 // scanStartTag scans <name attr="v" ...> or <name .../>.
-func (s *Scanner) scanStartTag(start int) (Token, error) {
+func (s *Scanner) scanStartTag(start int, t *Token) error {
 	s.pos++ // consume '<'
 	name, err := s.scanName()
 	if err != nil {
-		return Token{}, err
+		return err
 	}
 	var attrs []Attr
+	if s.opts.ReuseAttrs {
+		attrs = s.attrBuf[:0]
+	}
 	for {
 		s.skipSpace()
 		if s.pos >= len(s.src) {
-			return Token{}, s.errorf(start, "unexpected EOF in tag <%s>", name)
+			return s.errorf(start, "unexpected EOF in tag <%s>", name)
 		}
 		c := s.src[s.pos]
 		if c == '>' || c == '/' {
@@ -364,43 +469,49 @@ func (s *Scanner) scanStartTag(start int) (Token, error) {
 		}
 		aname, err := s.scanName()
 		if err != nil {
-			return Token{}, err
+			return err
 		}
 		s.skipSpace()
 		if s.pos >= len(s.src) || s.src[s.pos] != '=' {
-			return Token{}, s.errorf(s.pos, "expected '=' after attribute name %q", aname)
+			return s.errorf(s.pos, "expected '=' after attribute name %q", aname)
 		}
 		s.pos++
 		s.skipSpace()
 		val, err := s.scanAttrValue()
 		if err != nil {
-			return Token{}, err
+			return err
 		}
 		for _, a := range attrs {
 			if a.Name == aname {
-				return Token{}, s.errorf(start, "duplicate attribute %q in element <%s>", aname, name)
+				return s.errorf(start, "duplicate attribute %q in element <%s>", aname, name)
 			}
 		}
+		if attrs == nil {
+			attrs = make([]Attr, 0, 4)
+		}
 		attrs = append(attrs, Attr{Name: aname, Value: val})
+	}
+	if s.opts.ReuseAttrs {
+		s.attrBuf = attrs[:0]
+		if len(attrs) == 0 {
+			attrs = nil
+		}
 	}
 	selfClosing := false
 	if s.src[s.pos] == '/' {
 		selfClosing = true
 		s.pos++
 		if s.pos >= len(s.src) || s.src[s.pos] != '>' {
-			return Token{}, s.errorf(s.pos, "expected '>' after '/' in tag <%s>", name)
+			return s.errorf(s.pos, "expected '>' after '/' in tag <%s>", name)
 		}
 	}
 	s.pos++ // consume '>'
 
 	if s.rootClosed {
-		return Token{}, s.errorf(start, "element <%s> after root element closed", name)
+		return s.errorf(start, "element <%s> after root element closed", name)
 	}
-	if len(s.stack) == 0 && s.sawRoot && !selfClosing {
-		return Token{}, s.errorf(start, "second root element <%s>", name)
-	}
-	if len(s.stack) == 0 && s.sawRoot && selfClosing {
-		return Token{}, s.errorf(start, "second root element <%s>", name)
+	if len(s.stack) == 0 && s.sawRoot {
+		return s.errorf(start, "second root element <%s>", name)
 	}
 	depth := len(s.stack)
 	s.sawRoot = true
@@ -409,15 +520,16 @@ func (s *Scanner) scanStartTag(start int) (Token, error) {
 	} else if depth == 0 {
 		s.rootClosed = true
 	}
-	line, col := s.lineColAt(start)
-	return Token{
+	*t = Token{
 		Kind: KindStartElement, Name: name, Attrs: attrs, SelfClosing: selfClosing,
-		Offset: start, End: s.pos, Line: line, Col: col,
-		ContentPos: s.contentPos, Depth: depth,
-	}, nil
+		Offset: start, End: s.pos,
+		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: depth,
+	}
+	return nil
 }
 
 // scanAttrValue scans a quoted attribute value with references decoded.
+// Values without references alias the input.
 func (s *Scanner) scanAttrValue() (string, error) {
 	if s.pos >= len(s.src) {
 		return "", s.errorf(s.pos, "unexpected EOF in attribute value")
@@ -427,6 +539,15 @@ func (s *Scanner) scanAttrValue() (string, error) {
 		return "", s.errorf(s.pos, "attribute value must be quoted")
 	}
 	s.pos++
+	// Zero-copy path: a clean run up to the closing quote.
+	if rel := bytes.IndexByte(s.src[s.pos:], quote); rel >= 0 {
+		seg := s.src[s.pos : s.pos+rel]
+		if bytes.IndexByte(seg, '&') < 0 && bytes.IndexByte(seg, '<') < 0 {
+			val := s.str[s.pos : s.pos+rel]
+			s.pos += rel + 1
+			return val, nil
+		}
+	}
 	var b strings.Builder
 	for {
 		if s.pos >= len(s.src) {
@@ -453,137 +574,137 @@ func (s *Scanner) scanAttrValue() (string, error) {
 }
 
 // scanEndTag scans </name>.
-func (s *Scanner) scanEndTag(start int) (Token, error) {
+func (s *Scanner) scanEndTag(start int, t *Token) error {
 	s.pos += 2 // consume "</"
 	name, err := s.scanName()
 	if err != nil {
-		return Token{}, err
+		return err
 	}
 	s.skipSpace()
 	if s.pos >= len(s.src) || s.src[s.pos] != '>' {
-		return Token{}, s.errorf(s.pos, "expected '>' in end tag </%s>", name)
+		return s.errorf(s.pos, "expected '>' in end tag </%s>", name)
 	}
 	s.pos++
 	if len(s.stack) == 0 {
-		return Token{}, s.errorf(start, "unexpected end tag </%s>", name)
+		return s.errorf(start, "unexpected end tag </%s>", name)
 	}
 	top := s.stack[len(s.stack)-1]
 	if top != name {
-		return Token{}, s.errorf(start, "end tag </%s> does not match open element <%s>", name, top)
+		return s.errorf(start, "end tag </%s> does not match open element <%s>", name, top)
 	}
 	s.stack = s.stack[:len(s.stack)-1]
 	if len(s.stack) == 0 {
 		s.rootClosed = true
 	}
-	line, col := s.lineColAt(start)
-	return Token{
+	*t = Token{
 		Kind: KindEndElement, Name: name,
-		Offset: start, End: s.pos, Line: line, Col: col,
-		ContentPos: s.contentPos, Depth: len(s.stack),
-	}, nil
+		Offset: start, End: s.pos,
+		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: len(s.stack),
+	}
+	return nil
 }
 
 // scanPI scans <?target data?> (and the XML declaration).
-func (s *Scanner) scanPI(start int) (Token, error) {
+func (s *Scanner) scanPI(start int, t *Token) error {
 	s.pos += 2 // consume "<?"
 	name, err := s.scanName()
 	if err != nil {
-		return Token{}, err
+		return err
 	}
 	dataStart := s.pos
 	end := indexFrom(s.src, s.pos, "?>")
 	if end < 0 {
-		return Token{}, s.errorf(start, "unterminated processing instruction <?%s", name)
+		return s.errorf(start, "unterminated processing instruction <?%s", name)
 	}
-	data := strings.TrimLeft(string(s.src[dataStart:end]), " \t\r\n")
+	data := strings.TrimLeft(s.str[dataStart:end], " \t\r\n")
 	s.pos = end + 2
 	kind := KindProcInst
 	if name == "xml" || name == "XML" {
 		if start != 0 {
-			return Token{}, s.errorf(start, "XML declaration not at start of document")
+			return s.errorf(start, "XML declaration not at start of document")
 		}
 		kind = KindXMLDecl
 	}
-	line, col := s.lineColAt(start)
-	return Token{
+	*t = Token{
 		Kind: kind, Name: name, Text: data,
-		Offset: start, End: s.pos, Line: line, Col: col,
-		ContentPos: s.contentPos, Depth: len(s.stack),
-	}, nil
+		Offset: start, End: s.pos,
+		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: len(s.stack),
+	}
+	return nil
 }
 
 // scanBang dispatches <!-- , <![CDATA[ and <!DOCTYPE.
-func (s *Scanner) scanBang(start int) (Token, error) {
+func (s *Scanner) scanBang(start int, t *Token) error {
 	rest := s.src[s.pos:]
 	switch {
 	case hasPrefix(rest, "<!--"):
-		return s.scanComment(start)
+		return s.scanComment(start, t)
 	case hasPrefix(rest, "<![CDATA["):
-		return s.scanCDATA(start)
+		return s.scanCDATA(start, t)
 	case hasPrefix(rest, "<!DOCTYPE"):
-		return s.scanDoctype(start)
+		return s.scanDoctype(start, t)
 	default:
-		return Token{}, s.errorf(start, "unrecognized markup declaration")
+		return s.errorf(start, "unrecognized markup declaration")
 	}
 }
 
-func (s *Scanner) scanComment(start int) (Token, error) {
+func (s *Scanner) scanComment(start int, t *Token) error {
 	s.pos += 4 // consume "<!--"
 	end := indexFrom(s.src, s.pos, "-->")
 	if end < 0 {
-		return Token{}, s.errorf(start, "unterminated comment")
+		return s.errorf(start, "unterminated comment")
 	}
-	body := string(s.src[s.pos:end])
+	body := s.str[s.pos:end]
 	if strings.Contains(body, "--") {
-		return Token{}, s.errorf(start, "'--' not allowed inside comment")
+		return s.errorf(start, "'--' not allowed inside comment")
 	}
 	s.pos = end + 3
-	line, col := s.lineColAt(start)
-	return Token{
+	*t = Token{
 		Kind: KindComment, Text: body,
-		Offset: start, End: s.pos, Line: line, Col: col,
-		ContentPos: s.contentPos, Depth: len(s.stack),
-	}, nil
+		Offset: start, End: s.pos,
+		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: len(s.stack),
+	}
+	return nil
 }
 
-func (s *Scanner) scanCDATA(start int) (Token, error) {
+func (s *Scanner) scanCDATA(start int, t *Token) error {
 	if len(s.stack) == 0 {
-		return Token{}, s.errorf(start, "CDATA section outside root element")
+		return s.errorf(start, "CDATA section outside root element")
 	}
 	s.pos += 9 // consume "<![CDATA["
 	end := indexFrom(s.src, s.pos, "]]>")
 	if end < 0 {
-		return Token{}, s.errorf(start, "unterminated CDATA section")
+		return s.errorf(start, "unterminated CDATA section")
 	}
-	body := string(s.src[s.pos:end])
+	body := s.str[s.pos:end]
 	s.pos = end + 3
-	line, col := s.lineColAt(start)
-	tok := Token{
+	*t = Token{
 		Kind: KindCDATA, Text: body,
-		Offset: start, End: s.pos, Line: line, Col: col,
-		ContentPos: s.contentPos, Depth: len(s.stack),
+		Offset: start, End: s.pos,
+		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: len(s.stack),
 	}
 	s.contentPos += utf8.RuneCountInString(body)
-	return tok, nil
+	s.contentByte += len(body)
+	return nil
 }
 
 // scanDoctype scans <!DOCTYPE name ... [internal subset]> and harvests
 // ENTITY declarations from the internal subset.
-func (s *Scanner) scanDoctype(start int) (Token, error) {
+func (s *Scanner) scanDoctype(start int, t *Token) error {
 	if s.sawRoot {
-		return Token{}, s.errorf(start, "DOCTYPE after root element")
+		return s.errorf(start, "DOCTYPE after root element")
 	}
 	s.pos += len("<!DOCTYPE")
 	s.skipSpace()
 	name, err := s.scanName()
 	if err != nil {
-		return Token{}, err
+		return err
 	}
 	bodyStart := s.pos
 	depth := 0
 	for {
 		if s.pos >= len(s.src) {
-			return Token{}, s.errorf(start, "unterminated DOCTYPE")
+			return s.errorf(start, "unterminated DOCTYPE")
 		}
 		switch s.src[s.pos] {
 		case '[':
@@ -599,20 +720,20 @@ func (s *Scanner) scanDoctype(start int) (Token, error) {
 				s.pos++
 			}
 			if s.pos >= len(s.src) {
-				return Token{}, s.errorf(start, "unterminated literal in DOCTYPE")
+				return s.errorf(start, "unterminated literal in DOCTYPE")
 			}
 			s.pos++
 		case '>':
 			if depth == 0 {
-				body := string(s.src[bodyStart:s.pos])
+				body := s.str[bodyStart:s.pos]
 				s.pos++
 				s.harvestEntities(body)
-				line, col := s.lineColAt(start)
-				return Token{
+				*t = Token{
 					Kind: KindDoctype, Name: name, Text: strings.TrimSpace(body),
-					Offset: start, End: s.pos, Line: line, Col: col,
-					ContentPos: s.contentPos, Depth: 0,
-				}, nil
+					Offset: start, End: s.pos,
+					ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: 0,
+				}
+				return nil
 			}
 			s.pos++
 		default:
@@ -649,7 +770,7 @@ func (s *Scanner) harvestEntities(subset string) {
 			return
 		}
 		if IsName(name) {
-			s.entities[name] = rest[1 : 1+k]
+			s.defineEntity(name, rest[1:1+k])
 		}
 		subset = rest[1+k:]
 	}
@@ -667,7 +788,9 @@ func indexFrom(b []byte, from int, sub string) int {
 	return from + i
 }
 
-// Tokens scans src to completion and returns all tokens.
+// Tokens scans src to completion and returns all tokens. Because the
+// result retains every token, attribute slices are copied out of the
+// shared buffer when Options.ReuseAttrs is set.
 func Tokens(src []byte, opts Options) ([]Token, error) {
 	s := New(src, opts)
 	var out []Token
@@ -679,6 +802,9 @@ func Tokens(src []byte, opts Options) ([]Token, error) {
 		if err != nil {
 			return nil, err
 		}
+		if opts.ReuseAttrs && len(tok.Attrs) > 0 {
+			tok.Attrs = append([]Attr(nil), tok.Attrs...)
+		}
 		out = append(out, tok)
 	}
 }
@@ -686,55 +812,80 @@ func Tokens(src []byte, opts Options) ([]Token, error) {
 // Content returns the character content of src: the concatenation of all
 // text and CDATA, with references decoded.
 func Content(src []byte) (string, error) {
-	toks, err := Tokens(src, Options{})
-	if err != nil {
-		return "", err
-	}
+	s := New(src, Options{})
 	var b strings.Builder
-	for _, t := range toks {
-		if t.Kind == KindText || t.Kind == KindCDATA {
-			b.WriteString(t.Text)
+	for {
+		tok, err := s.Next()
+		if err == io.EOF {
+			return b.String(), nil
+		}
+		if err != nil {
+			return "", err
+		}
+		if tok.Kind == KindText || tok.Kind == KindCDATA {
+			b.WriteString(tok.Text)
 		}
 	}
-	return b.String(), nil
 }
 
 // EscapeText writes s with <, >, & escaped for use as character data.
+// Strings that need no escaping are returned unchanged, without copying.
 func EscapeText(s string) string {
-	var b strings.Builder
-	for _, r := range s {
-		switch r {
-		case '<':
-			b.WriteString("&lt;")
-		case '>':
-			b.WriteString("&gt;")
-		case '&':
-			b.WriteString("&amp;")
-		default:
-			b.WriteRune(r)
-		}
+	if !strings.ContainsAny(s, "<>&") {
+		return s
 	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '&':
+			esc = "&amp;"
+		default:
+			continue
+		}
+		b.WriteString(s[last:i])
+		b.WriteString(esc)
+		last = i + 1
+	}
+	b.WriteString(s[last:])
 	return b.String()
 }
 
 // EscapeAttr writes s escaped for use inside a double-quoted attribute.
+// Strings that need no escaping are returned unchanged, without copying.
 func EscapeAttr(s string) string {
-	var b strings.Builder
-	for _, r := range s {
-		switch r {
-		case '<':
-			b.WriteString("&lt;")
-		case '&':
-			b.WriteString("&amp;")
-		case '"':
-			b.WriteString("&quot;")
-		case '\n':
-			b.WriteString("&#10;")
-		case '\t':
-			b.WriteString("&#9;")
-		default:
-			b.WriteRune(r)
-		}
+	if !strings.ContainsAny(s, "<&\"\n\t") {
+		return s
 	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '<':
+			esc = "&lt;"
+		case '&':
+			esc = "&amp;"
+		case '"':
+			esc = "&quot;"
+		case '\n':
+			esc = "&#10;"
+		case '\t':
+			esc = "&#9;"
+		default:
+			continue
+		}
+		b.WriteString(s[last:i])
+		b.WriteString(esc)
+		last = i + 1
+	}
+	b.WriteString(s[last:])
 	return b.String()
 }

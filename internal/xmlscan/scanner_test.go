@@ -230,11 +230,18 @@ func TestOffsetsSliceable(t *testing.T) {
 
 func TestLineCol(t *testing.T) {
 	src := "<r>\n  <w/>\n</r>"
-	toks := mustTokens(t, src)
-	for _, tok := range toks {
+	s := New([]byte(src), Options{})
+	for {
+		tok, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
 		if tok.Kind == KindStartElement && tok.Name == "w" {
-			if tok.Line != 2 || tok.Col != 3 {
-				t.Errorf("<w> at %d:%d, want 2:3", tok.Line, tok.Col)
+			if line, col := s.Position(tok.Offset); line != 2 || col != 3 {
+				t.Errorf("<w> at %d:%d, want 2:3", line, col)
 			}
 		}
 	}
@@ -261,6 +268,10 @@ func TestWellFormednessErrors(t *testing.T) {
 		{`<r>x</r>trailing`, "outside root"},
 		{``, "no root"},
 		{`<1bad/>`, "expected name"},
+		{`</`, "expected name"},
+		{`<?`, "expected name"},
+		{`<!DOCTYPE `, "expected name"},
+		{`<r></`, "expected name"},
 		{`<r b="<"/>`, "'<' not allowed"},
 		{`<r>&#0;</r>`, "invalid character reference"},
 	}
@@ -464,6 +475,235 @@ func TestKindString(t *testing.T) {
 	for k, want := range names {
 		if k.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+// ---- zero-copy / lazy-path coverage ------------------------------------
+
+// TestZeroCopyTextAliasesInput checks that reference-free text comes back
+// as a substring of the input rather than a copy.
+func TestZeroCopyTextAliasesInput(t *testing.T) {
+	src := `<r>plain text run</r>`
+	toks := mustTokens(t, src)
+	text := toks[1]
+	if text.Kind != KindText || text.Text != "plain text run" {
+		t.Fatalf("unexpected token %+v", text)
+	}
+	if src[text.Offset:text.End] != text.Text {
+		t.Errorf("text %q is not the input slice %q", text.Text, src[text.Offset:text.End])
+	}
+}
+
+// TestEntityHeavyText exercises the decoded (slow) text path: every run
+// mixes plain chunks, named entities, character references, and ']'
+// bytes that must be checked against "]]>".
+func TestEntityHeavyText(t *testing.T) {
+	src := `<r>a&amp;b&lt;c&#65;&#x42;]x&gt;[&quot;&apos;]tail&amp;&amp;</r>`
+	toks := mustTokens(t, src)
+	want := `a&b<cAB]x>["']tail&&`
+	if toks[1].Text != want {
+		t.Errorf("decoded text %q, want %q", toks[1].Text, want)
+	}
+	if toks[2].ContentPos != len([]rune(want)) {
+		t.Errorf("end tag content pos %d, want %d", toks[2].ContentPos, len([]rune(want)))
+	}
+	if toks[2].ContentByte != len(want) {
+		t.Errorf("end tag content byte %d, want %d", toks[2].ContentByte, len(want))
+	}
+}
+
+// TestEntityTextPositions verifies rune/byte content offsets across a mix
+// of multi-byte literals and references that decode to multi-byte runes.
+func TestEntityTextPositions(t *testing.T) {
+	// Content: "æx" + "þy" — æ literal, þ via character reference.
+	toks := mustTokens(t, `<r>æx<w>&#xFE;y</w></r>`)
+	for _, tok := range toks {
+		if tok.Kind == KindStartElement && tok.Name == "w" {
+			if tok.ContentPos != 2 {
+				t.Errorf("w content pos %d, want 2", tok.ContentPos)
+			}
+			if tok.ContentByte != 3 {
+				t.Errorf("w content byte %d, want 3 (æ is 2 bytes)", tok.ContentByte)
+			}
+		}
+		if tok.Kind == KindEndElement && tok.Name == "r" {
+			if tok.ContentPos != 4 || tok.ContentByte != 6 {
+				t.Errorf("r end at pos=%d byte=%d, want 4/6", tok.ContentPos, tok.ContentByte)
+			}
+		}
+	}
+}
+
+// TestCDATACoalescingPositions checks that coalesced CDATA advances
+// content offsets exactly like plain text, including raw markup-looking
+// bytes inside the section.
+func TestCDATACoalescingPositions(t *testing.T) {
+	src := `<r>ab<![CDATA[<&]]>cd<w/></r>`
+	toks, err := Tokens([]byte(src), Options{CoalesceCDATA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var content string
+	for _, tok := range toks {
+		if tok.Kind == KindText {
+			content += tok.Text
+		}
+		if tok.Kind == KindStartElement && tok.Name == "w" {
+			if tok.ContentPos != 6 || tok.ContentByte != 6 {
+				t.Errorf("w at pos=%d byte=%d, want 6/6", tok.ContentPos, tok.ContentByte)
+			}
+		}
+	}
+	if content != "ab<&cd" {
+		t.Errorf("content %q, want %q", content, "ab<&cd")
+	}
+}
+
+// TestCRLFInputs checks that carriage returns pass through text untouched
+// and that line/col positions treat only '\n' as a line break, exactly as
+// the eager implementation did.
+func TestCRLFInputs(t *testing.T) {
+	src := "<r>\r\nab\r\n<w/>\r\n</r>"
+	s := New([]byte(src), Options{})
+	var text string
+	for {
+		tok, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == KindText {
+			text += tok.Text
+		}
+		if tok.Kind == KindStartElement && tok.Name == "w" {
+			if line, col := s.Position(tok.Offset); line != 3 || col != 1 {
+				t.Errorf("<w> at %d:%d, want 3:1", line, col)
+			}
+		}
+	}
+	if text != "\r\nab\r\n\r\n" {
+		t.Errorf("text %q: CR bytes must be preserved", text)
+	}
+}
+
+// TestErrorLineColLazy locks the Line/Col fields of SyntaxErrors produced
+// by the lazy computation to the values the eager seed scanner reported.
+func TestErrorLineColLazy(t *testing.T) {
+	cases := []struct {
+		src       string
+		line, col int
+	}{
+		{"<r>\n<bad</r>", 2, 5},  // attr-name error at the stray '<' on line 2
+		{"<r>\n  </s>", 2, 3},    // mismatched end tag after indent
+		{"<r>a&zz;</r>", 1, 5},   // undefined entity at the '&'
+		{"<r>\n\n]]></r>", 3, 1}, // ']]>' in character data
+		{"<a><b>\n\n\nx", 4, 2},  // EOF with unclosed elements
+		{"<r>x</r>\nmore", 1, 9}, // content outside root, anchored at the run start
+	}
+	for _, c := range cases {
+		_, err := Tokens([]byte(c.src), Options{})
+		se, ok := err.(*SyntaxError)
+		if !ok {
+			t.Errorf("Tokens(%q): got %T (%v), want *SyntaxError", c.src, err, err)
+			continue
+		}
+		if se.Line != c.line || se.Col != c.col {
+			t.Errorf("Tokens(%q): error at %d:%d, want %d:%d (%v)", c.src, se.Line, se.Col, c.line, c.col, se)
+		}
+	}
+}
+
+// TestZeroCopyAttrValues checks both attribute paths: clean values alias
+// the input, reference-bearing values decode.
+func TestZeroCopyAttrValues(t *testing.T) {
+	toks := mustTokens(t, `<r plain="abc" quoted='x"y' dec="a&amp;&#66;"/>`)
+	st := toks[0]
+	for _, c := range []struct{ name, want string }{
+		{"plain", "abc"}, {"quoted", `x"y`}, {"dec", "a&B"},
+	} {
+		if got, ok := st.Attr(c.name); !ok || got != c.want {
+			t.Errorf("attr %s = %q,%v want %q", c.name, got, ok, c.want)
+		}
+	}
+}
+
+// TestReuseAttrs checks the opt-in attribute buffer reuse: values are
+// correct per token, and the buffer really is reused between tags.
+func TestReuseAttrs(t *testing.T) {
+	src := `<r><a x="1" y="2"/><b x="3"/><c/></r>`
+	s := New([]byte(src), Options{ReuseAttrs: true})
+	var prev []Attr
+	for {
+		tok, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind != KindStartElement {
+			continue
+		}
+		switch tok.Name {
+		case "a":
+			if v, _ := tok.Attr("y"); v != "2" {
+				t.Errorf("a/@y = %q", v)
+			}
+			prev = tok.Attrs
+		case "b":
+			if v, _ := tok.Attr("x"); v != "3" {
+				t.Errorf("b/@x = %q", v)
+			}
+			// The buffer is shared: a's attrs were overwritten in place.
+			if len(prev) > 0 && prev[0].Value != "3" {
+				t.Errorf("expected buffer reuse to overwrite earlier attrs, got %v", prev)
+			}
+		case "c":
+			if tok.Attrs != nil {
+				t.Errorf("c should have nil attrs, got %v", tok.Attrs)
+			}
+		}
+	}
+}
+
+// TestEscapeFastPathsReturnInput checks that escaping clean strings does
+// not copy.
+func TestEscapeFastPathsReturnInput(t *testing.T) {
+	clean := "just plain text with æ runes"
+	if got := EscapeText(clean); got != clean {
+		t.Errorf("EscapeText changed clean input: %q", got)
+	}
+	if got := EscapeAttr(clean); got != clean {
+		t.Errorf("EscapeAttr changed clean input: %q", got)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = EscapeText(clean); _ = EscapeAttr(clean) }); n != 0 {
+		t.Errorf("escaping clean strings allocates %.0f times", n)
+	}
+}
+
+// TestTokensCopiesReusedAttrs ensures Tokens (which retains every token)
+// detaches attribute slices from the shared ReuseAttrs buffer.
+func TestTokensCopiesReusedAttrs(t *testing.T) {
+	toks, err := Tokens([]byte(`<r><a x="1"/><b y="2"/></r>`), Options{ReuseAttrs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks {
+		if tok.Kind != KindStartElement {
+			continue
+		}
+		switch tok.Name {
+		case "a":
+			if v, ok := tok.Attr("x"); !ok || v != "1" {
+				t.Errorf("a attrs corrupted: %v", tok.Attrs)
+			}
+		case "b":
+			if v, ok := tok.Attr("y"); !ok || v != "2" {
+				t.Errorf("b attrs corrupted: %v", tok.Attrs)
+			}
 		}
 	}
 }

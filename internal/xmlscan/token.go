@@ -99,15 +99,17 @@ type Token struct {
 	Offset int
 	End    int
 
-	// Line and Col are the 1-based position of the token start.
-	Line int
-	Col  int
-
 	// ContentPos is the rune offset of this token within the document's
 	// character content: the number of content runes (from Text and
 	// CDATA tokens) that precede it. For a Text or CDATA token this is
 	// the content offset of its first rune.
 	ContentPos int
+
+	// ContentByte is the byte offset of this token within the document's
+	// *decoded* character content (entity and character references count
+	// with their replacement length). It lets consumers slice a shared
+	// content string without re-counting runes.
+	ContentByte int
 
 	// Depth is the element nesting depth at the token start (the root
 	// start tag has depth 0).

@@ -152,7 +152,7 @@ type context struct {
 type Options struct {
 	// OverlapByWalk forces the overlapping axes to traverse the GODDAG
 	// through shared leaves instead of using span-interval arithmetic.
-	// It exists as the ablation baseline for experiment A2 (DESIGN.md D3)
+	// It exists as the ablation baseline for experiment A2
 	// and is never faster.
 	OverlapByWalk bool
 
