@@ -49,6 +49,7 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment id: E3,E4,E5,E6,E7,A1,A2 or all")
 		full     = flag.Bool("full", false, "run the larger sweeps")
 		jsonPath = flag.String("benchjson", "", "write SACX ingest results (E3/A1 rows) to this JSON file, e.g. BENCH_sacx.json")
+		label    = flag.String("benchlabel", "dev", "snapshot label recorded with -benchjson (e.g. pr2); an existing snapshot with the same label is replaced, others are kept")
 	)
 	flag.Parse()
 
@@ -68,10 +69,10 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonPath != "" {
-		if err := b.writeJSON(*jsonPath); err != nil {
+		if err := b.writeJSON(*jsonPath, *label); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "cxbench: wrote %d rows to %s\n", len(b.rows), *jsonPath)
+		fmt.Fprintf(os.Stderr, "cxbench: wrote %d rows to %s as snapshot %q\n", len(b.rows), *jsonPath, *label)
 	}
 }
 
@@ -95,14 +96,46 @@ type benchRow struct {
 	Elements    int     `json:"elements,omitempty"`
 }
 
-func (b *bench) writeJSON(path string) error {
+// benchSnapshot is one labelled measurement run; BENCH_sacx.json holds
+// one snapshot per PR so the trajectory is tracked in-repo.
+type benchSnapshot struct {
+	Label     string     `json:"label"`
+	GoVersion string     `json:"go_version"`
+	Rows      []benchRow `json:"rows"`
+}
+
+type benchFile struct {
+	Snapshots []benchSnapshot `json:"snapshots"`
+}
+
+func (b *bench) writeJSON(path, label string) error {
 	if len(b.rows) == 0 {
 		return fmt.Errorf("-benchjson requires an experiment that produces SACX rows (-exp E3, A1, or all)")
 	}
-	data, err := json.MarshalIndent(struct {
-		GoVersion string     `json:"go_version"`
-		Rows      []benchRow `json:"rows"`
-	}{runtime.Version(), b.rows}, "", "  ")
+	var file benchFile
+	if old, err := os.ReadFile(path); err == nil {
+		// Tolerate a corrupt or legacy-format file by starting fresh —
+		// discarding anything a failed Unmarshal partially decoded — but
+		// say so: the file carries the committed per-PR history, and
+		// silently truncating it would lose the trajectory.
+		if err := json.Unmarshal(old, &file); err != nil || len(file.Snapshots) == 0 {
+			fmt.Fprintf(os.Stderr, "cxbench: %s is not a snapshot file (%v); starting a fresh history\n", path, err)
+			file = benchFile{}
+		}
+	}
+	snap := benchSnapshot{Label: label, GoVersion: runtime.Version(), Rows: b.rows}
+	replaced := false
+	for i := range file.Snapshots {
+		if file.Snapshots[i].Label == label {
+			file.Snapshots[i] = snap
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		file.Snapshots = append(file.Snapshots, snap)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err
 	}

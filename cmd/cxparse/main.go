@@ -51,8 +51,8 @@ func main() {
 	}
 	if *stats {
 		st := g.Stats()
-		fmt.Printf("content: %d runes\nleaves: %d\nhierarchies: %d (%v)\nelements: %d\nmax depth: %d\noverlapping pairs: %d\n",
-			st.ContentLen, st.Leaves, st.Hierarchies, g.HierarchyNames(), st.Elements, st.MaxDepth, corpus.CountOverlaps(g))
+		fmt.Printf("content: %d bytes (%d chars)\nleaves: %d\nhierarchies: %d (%v)\nelements: %d\nmax depth: %d\noverlapping pairs: %d\n",
+			st.ContentLen, g.Content().RuneLen(), st.Leaves, st.Hierarchies, g.HierarchyNames(), st.Elements, st.MaxDepth, corpus.CountOverlaps(g))
 	}
 	if *show {
 		fmt.Print(goddag.Dump(g))

@@ -95,11 +95,15 @@ func main() {
 }
 
 func printNode(n goddag.Node) {
+	// Printed spans are character positions (the paper's coordinates);
+	// the content's byte↔rune index converts from the internal byte
+	// spans at this output edge.
+	content := n.Document().Content()
 	switch v := n.(type) {
 	case *goddag.Element:
-		fmt.Printf("%s:%s%v %q\n", v.Hierarchy().Name(), v.Name(), v.Span(), clip(v.Text()))
+		fmt.Printf("%s:%s%v %q\n", v.Hierarchy().Name(), v.Name(), content.RuneSpan(v.Span()), clip(v.Text()))
 	case goddag.Leaf:
-		fmt.Printf("leaf#%d%v %q\n", v.Index(), v.Span(), clip(v.Text()))
+		fmt.Printf("leaf#%d%v %q\n", v.Index(), content.RuneSpan(v.Span()), clip(v.Text()))
 	case *goddag.Root:
 		fmt.Printf("root:%s %q\n", v.Name(), clip(v.Text()))
 	}

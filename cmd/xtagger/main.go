@@ -125,11 +125,20 @@ func (t *tagger) run(line string) error {
 		if err != nil {
 			return err
 		}
-		sp, err := t.doc.Edit().SelectWord(pos)
-		if err != nil {
-			return err
+		// The CLI speaks rune offsets (the paper's character positions);
+		// the byte↔rune index converts at this edge in both directions.
+		c := t.doc.GODDAG().Content()
+		if pos < 0 || pos >= c.RuneLen() {
+			return fmt.Errorf("offset %d out of range [0,%d)", pos, c.RuneLen())
 		}
-		fmt.Fprintf(t.out, "selected %v %q\n", sp, t.doc.GODDAG().Content().Slice(sp))
+		sp, err := t.doc.Edit().SelectWord(c.ByteOffset(pos))
+		if err != nil {
+			// Range was validated above, so the only session failure left
+			// is whitespace; report it in the CLI's rune coordinates
+			// rather than echoing the session's byte offset.
+			return fmt.Errorf("select: rune offset %d is whitespace", pos)
+		}
+		fmt.Fprintf(t.out, "selected %v %q\n", c.RuneSpan(sp), c.Slice(sp))
 		return nil
 	case "insert":
 		if len(args) < 4 {
@@ -148,11 +157,15 @@ func (t *tagger) run(line string) error {
 			}
 			attrs = append(attrs, goddag.Attr{Name: kv[:i], Value: kv[i+1:]})
 		}
-		el, err := t.doc.Edit().InsertMarkup(args[0], args[1], document.NewSpan(start, end), attrs...)
+		bsp, err := t.byteSpan(document.NewSpan(start, end))
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(t.out, "inserted %v %q\n", el, el.Text())
+		el, err := t.doc.Edit().InsertMarkup(args[0], args[1], bsp, attrs...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(t.out, "inserted %s %q\n", t.describe(el), el.Text())
 		return nil
 	case "remove":
 		el, err := t.element(args)
@@ -162,7 +175,7 @@ func (t *tagger) run(line string) error {
 		if err := t.doc.Edit().RemoveMarkup(el); err != nil {
 			return err
 		}
-		fmt.Fprintf(t.out, "removed %v\n", el)
+		fmt.Fprintf(t.out, "removed %s\n", t.describe(el))
 		return nil
 	case "attr":
 		if len(args) != 4 {
@@ -175,7 +188,7 @@ func (t *tagger) run(line string) error {
 		if err := t.doc.Edit().SetAttr(el, args[2], args[3]); err != nil {
 			return err
 		}
-		fmt.Fprintf(t.out, "set %s=%s on %v\n", args[2], args[3], el)
+		fmt.Fprintf(t.out, "set %s=%s on %s\n", args[2], args[3], t.describe(el))
 		return nil
 	case "text-insert":
 		if len(args) < 2 {
@@ -186,7 +199,11 @@ func (t *tagger) run(line string) error {
 			return err
 		}
 		text := strings.Join(args[1:], " ")
-		return t.doc.Edit().InsertText(pos, text)
+		c := t.doc.GODDAG().Content()
+		if pos < 0 || pos > c.RuneLen() {
+			return fmt.Errorf("offset %d out of range [0,%d]", pos, c.RuneLen())
+		}
+		return t.doc.Edit().InsertText(c.ByteOffset(pos), text)
 	case "text-delete":
 		if len(args) != 2 {
 			return fmt.Errorf("text-delete <start> <end>")
@@ -196,7 +213,11 @@ func (t *tagger) run(line string) error {
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("bad span")
 		}
-		return t.doc.Edit().DeleteText(document.NewSpan(start, end))
+		bsp, err := t.byteSpan(document.NewSpan(start, end))
+		if err != nil {
+			return err
+		}
+		return t.doc.Edit().DeleteText(bsp)
 	case "undo":
 		return t.doc.Edit().Undo()
 	case "redo":
@@ -221,7 +242,7 @@ func (t *tagger) run(line string) error {
 	case "stats":
 		st := t.doc.Stats()
 		fmt.Fprintf(t.out, "content=%d leaves=%d hierarchies=%d elements=%d depth=%d\n",
-			st.ContentLen, st.Leaves, st.Hierarchies, st.Elements, st.MaxDepth)
+			t.doc.GODDAG().Content().RuneLen(), st.Leaves, st.Hierarchies, st.Elements, st.MaxDepth)
 		return nil
 	case "export":
 		if len(args) < 1 {
@@ -243,6 +264,23 @@ func (t *tagger) run(line string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// describe formats an element for CLI output with its span in the rune
+// coordinates the CLI speaks (Element's own String prints byte spans).
+func (t *tagger) describe(el *goddag.Element) string {
+	sp := t.doc.GODDAG().Content().RuneSpan(el.Span())
+	return fmt.Sprintf("%s:%s%v", el.Hierarchy().Name(), el.Name(), sp)
+}
+
+// byteSpan converts a rune-offset span from the command line into the
+// GODDAG's byte coordinates, validating the range first.
+func (t *tagger) byteSpan(sp document.Span) (document.Span, error) {
+	c := t.doc.GODDAG().Content()
+	if !sp.Valid() || sp.End > c.RuneLen() {
+		return document.Span{}, fmt.Errorf("span %v out of range [0,%d]", sp, c.RuneLen())
+	}
+	return c.ByteSpan(sp), nil
 }
 
 // element resolves <hier> <index> to the index-th element of the

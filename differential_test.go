@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"testing"
+	"unicode/utf8"
 
 	"repro/internal/corpus"
 	"repro/internal/document"
@@ -136,28 +137,53 @@ func TestDifferentialCorpusGrid(t *testing.T) {
 					cfg := corpus.DefaultConfig(words)
 					cfg.Hierarchies = h
 					cfg.OverlapDensity = density
-					srcs, err := corpus.GenerateSources(cfg)
-					if err != nil {
-						t.Fatal(err)
-					}
-					fast, err := sacx.Build(srcs)
-					if err != nil {
-						t.Fatal(err)
-					}
-					rescan, err := sacx.BuildWithOptions(srcs, sacx.Options{Strategy: sacx.MergeRescan})
-					if err != nil {
-						t.Fatal(err)
-					}
-					ref := referenceBuild(t, srcs, sacx.MergeRescan)
-					if err := ref.Check(); err != nil {
-						t.Fatalf("reference document invalid: %v", err)
-					}
-					diffDocs(t, "fast vs reference", ref, fast)
-					diffDocs(t, "rescan vs reference", ref, rescan)
+					runDifferential(t, cfg)
 				})
 			}
 		}
 	}
+}
+
+// TestDifferentialCorpusGridMultibyte re-runs the grid over a CJK /
+// emoji / combining-mark vocabulary (including astral-plane code
+// points), so every span in the pipeline lands between multibyte runes.
+func TestDifferentialCorpusGridMultibyte(t *testing.T) {
+	for _, words := range []int{200, 800} {
+		for _, h := range []int{1, 2, 4, 8} {
+			for _, density := range []float64{0.1, 0.9} {
+				name := fmt.Sprintf("words=%d/h=%d/density=%.1f", words, h, density)
+				t.Run(name, func(t *testing.T) {
+					cfg := corpus.DefaultConfig(words)
+					cfg.Hierarchies = h
+					cfg.OverlapDensity = density
+					cfg.Vocabulary = corpus.MultibyteVocabulary
+					runDifferential(t, cfg)
+				})
+			}
+		}
+	}
+}
+
+func runDifferential(t *testing.T, cfg corpus.Config) {
+	t.Helper()
+	srcs, err := corpus.GenerateSources(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := sacx.Build(srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescan, err := sacx.BuildWithOptions(srcs, sacx.Options{Strategy: sacx.MergeRescan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceBuild(t, srcs, sacx.MergeRescan)
+	if err := ref.Check(); err != nil {
+		t.Fatalf("reference document invalid: %v", err)
+	}
+	diffDocs(t, "fast vs reference", ref, fast)
+	diffDocs(t, "rescan vs reference", ref, rescan)
 }
 
 // TestDifferentialEventStreams verifies that both merge strategies emit
@@ -229,6 +255,21 @@ func TestDifferentialMilestones(t *testing.T) {
 			{Hierarchy: "a", Data: []byte(`<r><s>ab cd</s> <s>ef gh</s></r>`)},
 			{Hierarchy: "b", Data: []byte(`<r>ab<pb/> <x>cd ef</x> gh</r>`)},
 		}},
+		{"multibyte-overlap", []sacx.Source{
+			{Hierarchy: "a", Data: []byte(`<r><s>文書の</s><s>重なり</s></r>`)},
+			{Hierarchy: "b", Data: []byte(`<r>文<x>書の重</x>なり</r>`)},
+		}},
+		{"astral-milestones", []sacx.Source{
+			{Hierarchy: "a", Data: []byte(`<r>🌲<pb/>📚<w>🔥𝔾</w>𝕠</r>`)},
+			{Hierarchy: "b", Data: []byte(`<r><l>🌲📚🔥</l><l>𝔾𝕠</l></r>`)},
+		}},
+		{"combining-marks", []sacx.Source{
+			// a\u0308 and c\u0301 are combining sequences: the mark is a
+			// separate rune, so markup may fall between base and mark in
+			// one hierarchy but not the other.
+			{Hierarchy: "a", Data: []byte("<r><w>a\u0308b</w> <w>c\u0301</w></r>")},
+			{Hierarchy: "b", Data: []byte("<r>a\u0308<x>b c\u0301</x></r>")},
+		}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -239,5 +280,45 @@ func TestDifferentialMilestones(t *testing.T) {
 			ref := referenceBuild(t, c.srcs, sacx.MergeHeap)
 			diffDocs(t, c.name, ref, fast)
 		})
+	}
+}
+
+// TestRuneIndexLeafBoundaries builds multibyte documents through the full
+// pipeline and proves the content's byte↔rune index agrees with
+// utf8.RuneCountInString at every leaf boundary, in both directions.
+func TestRuneIndexLeafBoundaries(t *testing.T) {
+	docs := make([]*goddag.Document, 0, 3)
+	for _, density := range []float64{0.1, 0.9} {
+		cfg := corpus.DefaultConfig(300)
+		cfg.OverlapDensity = density
+		cfg.Vocabulary = corpus.MultibyteVocabulary
+		srcs, err := corpus.GenerateSources(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := sacx.Build(srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, doc)
+	}
+	if fig1, err := corpus.Fig1Document(); err == nil {
+		docs = append(docs, fig1)
+	} else {
+		t.Fatal(err)
+	}
+	for di, doc := range docs {
+		content := doc.Content()
+		text := content.String()
+		bounds := append(doc.Partition().Boundaries(), content.Len())
+		for _, b := range bounds {
+			want := utf8.RuneCountInString(text[:b])
+			if got := content.RuneOffset(b); got != want {
+				t.Fatalf("doc %d: RuneOffset(%d) = %d, want %d", di, b, got, want)
+			}
+			if got := content.ByteOffset(want); got != b {
+				t.Fatalf("doc %d: ByteOffset(%d) = %d, want %d", di, want, got, b)
+			}
+		}
 	}
 }

@@ -23,6 +23,13 @@
 //     standoff — with lossless conversion between all of them and
 //     hierarchy filtering on export.
 //
+// Offset semantics: spans address the shared character content by *byte*
+// offset end-to-end — the parse pipeline never counts runes. Character
+// (rune) positions, where an interface calls for them (the standoff file
+// format, the span-start()/span-end() query functions, CLI editing
+// offsets), are converted at that edge through a lazily built, memoized
+// byte↔rune index on the document content (see internal/document).
+//
 // Quick start:
 //
 //	doc, err := repro.Parse([]repro.Source{

@@ -24,8 +24,8 @@ func main() {
 		log.Fatal(err)
 	}
 	st := doc.Stats()
-	fmt.Printf("parsed %d hierarchies, %d elements, %d leaves over %d runes\n\n",
-		st.Hierarchies, st.Elements, st.Leaves, st.ContentLen)
+	fmt.Printf("parsed %d hierarchies, %d elements, %d leaves over %d chars\n\n",
+		st.Hierarchies, st.Elements, st.Leaves, doc.GODDAG().Content().RuneLen())
 
 	// 2. The GODDAG (Figure 2): shared leaves under per-hierarchy trees.
 	fmt.Println(goddag.Dump(doc.GODDAG()))
@@ -74,9 +74,14 @@ func main() {
 	}
 	fmt.Printf("\ntagged %q as sic\n", word.Text())
 
-	// Prevalidation veto: <sic> inside <sic> can never validate.
-	if _, err := s.InsertMarkup("editorial", "sic",
-		repro.NewSpan(word.Span().Start+1, word.Span().End)); err != nil {
+	// Prevalidation veto: <sic> inside <sic> can never validate. Step
+	// one *character* (not byte) past the word start so the nested span
+	// stays on a rune boundary even for multibyte-initial words.
+	content := doc.GODDAG().Content()
+	nested := repro.NewSpan(
+		content.ByteOffset(content.RuneOffset(word.Span().Start)+1),
+		word.Span().End)
+	if _, err := s.InsertMarkup("editorial", "sic", nested); err != nil {
 		fmt.Printf("prevalidation vetoed nested sic: %v\n", err)
 	}
 

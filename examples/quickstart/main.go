@@ -44,8 +44,11 @@ func main() {
 	fmt.Printf("total words: %s\n", v.String())
 
 	// Add a third hierarchy on the fly and export everything as a single
-	// milestone-encoded XML file.
-	if _, err := doc.Edit().InsertMarkup("editorial", "note", repro.NewSpan(4, 12),
+	// milestone-encoded XML file. Spans are byte offsets; character
+	// positions 4..12 ("hwæt swa") convert through the content's
+	// byte↔rune index (æ is two bytes, so the byte span is [4,13)).
+	noteSpan := doc.GODDAG().Content().ByteSpan(repro.NewSpan(4, 12))
+	if _, err := doc.Edit().InsertMarkup("editorial", "note", noteSpan,
 		repro.Attr{Name: "resp", Value: "ed"}); err != nil {
 		log.Fatal(err)
 	}

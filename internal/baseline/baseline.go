@@ -23,7 +23,6 @@ package baseline
 import (
 	"fmt"
 	"strings"
-	"unicode/utf8"
 
 	"repro/internal/xmlscan"
 )
@@ -127,10 +126,13 @@ func TextContent(n *Node) string {
 	return b.String()
 }
 
-// Extent is a logical element's reconstructed content interval.
+// Extent is a logical element's reconstructed content interval. Offsets
+// are byte offsets into the decoded character content — the same
+// coordinates as the GODDAG's spans, so extents compare directly against
+// goddag element spans without any rune counting.
 type Extent struct {
 	Name  string
-	Start int // rune offset
+	Start int // content byte offset
 	End   int
 	Node  *Node // representative node (first fragment / start milestone)
 }
@@ -166,7 +168,7 @@ func extents(root *Node, tag string) []Extent {
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		if n.Kind == KindText {
-			pos += utf8.RuneCountInString(n.Text)
+			pos += len(n.Text)
 			return
 		}
 		var start int
@@ -225,7 +227,7 @@ func milestoneExtents(root *Node, tag string) []Extent {
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		if n.Kind == KindText {
-			pos += utf8.RuneCountInString(n.Text)
+			pos += len(n.Text)
 			return
 		}
 		if n.Name == tag {

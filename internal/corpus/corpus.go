@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/document"
 	"repro/internal/goddag"
@@ -80,6 +81,19 @@ type Config struct {
 	LinesPerPage int
 	// WordsPerSentence controls the words hierarchy (default 12).
 	WordsPerSentence int
+	// Vocabulary overrides the sampled word list (default: the bundled
+	// Old English vocabulary). Multibyte-heavy vocabularies (CJK, emoji,
+	// combining marks) exercise the byte-span pipeline's UTF-8 handling.
+	Vocabulary []string
+}
+
+// MultibyteVocabulary is a vocabulary of CJK words, emoji (including
+// astral-plane code points), and combining-mark sequences, used by the
+// differential tests to drive the corpus grid over non-ASCII content.
+var MultibyteVocabulary = []string{
+	"文書", "重なり", "構造", "階層", "検索", "編集", "木構造", "注釈",
+	"🌲", "📚🔥", "𝔾𝕠", "🧪", "étude", "ño", "åb̈",
+	"æðel", "świa", "đồng", "ﬁn",
 }
 
 // DefaultConfig returns a workable configuration for n words.
@@ -127,23 +141,27 @@ func Generate(cfg Config) (*goddag.Document, error) {
 		cfg.AnnotationRate = 10
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := cfg.Vocabulary
+	if len(vocab) == 0 {
+		vocab = oldEnglishWords
+	}
 
-	// Content: words separated by single spaces; remember spans.
+	// Content: words separated by single spaces; remember byte spans.
 	var b strings.Builder
 	wordSpans := make([]document.Span, 0, cfg.Words)
 	pos := 0
 	for i := 0; i < cfg.Words; i++ {
-		w := oldEnglishWords[rng.Intn(len(oldEnglishWords))]
+		w := vocab[rng.Intn(len(vocab))]
 		if i > 0 {
 			b.WriteString(" ")
 			pos++
 		}
-		runeLen := len([]rune(w))
-		wordSpans = append(wordSpans, document.NewSpan(pos, pos+runeLen))
+		wordSpans = append(wordSpans, document.NewSpan(pos, pos+len(w)))
 		b.WriteString(w)
-		pos += runeLen
+		pos += len(w)
 	}
 	doc := goddag.New("r", b.String())
+	content := b.String()
 
 	// Hierarchy 1: physical (pages of lines of words).
 	if cfg.Hierarchies >= 1 {
@@ -208,17 +226,13 @@ func Generate(cfg Config) (*goddag.Document, error) {
 			var span document.Span
 			if rng.Float64() < cfg.OverlapDensity {
 				// Deliberately cross word boundaries: start inside this
-				// word, end inside one of the next two words.
+				// word, end inside one of the next two words. Cut points
+				// are drawn from the words' interior rune boundaries, so
+				// byte spans never split a multibyte character.
 				endWord := min(wi+1+rng.Intn(2), len(wordSpans)-1)
-				startOff := ws.Start
-				if ws.Len() > 1 {
-					startOff += 1 + rng.Intn(ws.Len()-1)
-				}
+				startOff := innerCut(content, ws, rng, ws.Start)
 				endSpan := wordSpans[endWord]
-				endOff := endSpan.Start + 1
-				if endSpan.Len() > 1 {
-					endOff = endSpan.Start + 1 + rng.Intn(endSpan.Len()-1)
-				}
+				endOff := innerCut(content, endSpan, rng, endSpan.End)
 				span = document.NewSpan(startOff, endOff)
 			} else {
 				// Nest cleanly inside one word.
@@ -237,6 +251,26 @@ func Generate(cfg Config) (*goddag.Document, error) {
 		}
 	}
 	return doc, nil
+}
+
+// innerCut picks a uniformly random rune boundary strictly inside the
+// word span ws (byte offsets). Single-rune words have no interior
+// boundary; fallback is returned instead (the word's start for span
+// starts — keeping the annotation anchored in its start word — and its
+// end for span ends).
+func innerCut(content string, ws document.Span, rng *rand.Rand, fallback int) int {
+	var cuts []int
+	for i := ws.Start; i < ws.End; {
+		_, size := utf8.DecodeRuneInString(content[i:ws.End])
+		i += size
+		if i < ws.End {
+			cuts = append(cuts, i)
+		}
+	}
+	if len(cuts) == 0 {
+		return fallback
+	}
+	return cuts[rng.Intn(len(cuts))]
 }
 
 // GenerateSources builds a synthetic manuscript and returns it as a

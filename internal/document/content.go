@@ -7,136 +7,275 @@ import (
 	"unicode/utf8"
 )
 
-// Content is the character content of a document, addressable by rune
+// Content is the character content of a document, addressable by byte
 // offset in O(1). It is the shared text that all concurrent hierarchies
 // annotate; every hierarchy of a concurrent document must have *identical*
 // content (paper §3: same content, same root).
 //
+// All offsets taken and returned by Content are byte offsets into the
+// UTF-8 text unless a method name says otherwise. Rune-offset semantics —
+// the character positions of the paper — remain available through the
+// lazily built, memoized byte↔rune index (RuneOffset, ByteOffset,
+// RuneSpan, ByteSpan, RuneLen): O(log n) per lookup, and parse-only
+// workloads that never ask for rune positions never pay for it.
+//
 // Content is mutable to support authoring (package editor); mutation
 // methods report the resulting offset shifts so markup spans can be
-// adjusted by the caller.
-//
-// Internally the text is kept as the string it was built from; the rune
-// slice that backs random access and mutation is materialized lazily, so
-// parse-only workloads never pay for it. Materialization is guarded, so
-// concurrent *readers* of an unmutated Content remain safe; mutation
-// requires external synchronization, as before.
+// adjusted by the caller. The index is guarded, so concurrent *readers*
+// of an unmutated Content remain safe; mutation requires external
+// synchronization, as before.
 type Content struct {
-	s     string    // the text; stale when dirty is set
-	runes []rune    // lazily materialized; canonical when dirty
-	n     int       // rune length
-	dirty bool      // runes have been mutated since s was built
-	once  sync.Once // guards the lazy materialization
+	s    string
+	idx  *runeIndex // lazily built byte↔rune index; nil until first use
+	once sync.Once  // guards the lazy index build
 }
 
 // NewContent returns content holding the given text.
 func NewContent(text string) *Content {
-	return &Content{s: text, n: utf8.RuneCountInString(text)}
+	return &Content{s: text}
 }
 
-// rs returns the rune representation, materializing it on first use.
-func (c *Content) rs() []rune {
-	if c.dirty {
-		// Mutated state: the caller already holds exclusive access.
-		return c.runes
-	}
-	c.once.Do(func() {
-		if c.runes == nil && c.n > 0 {
-			c.runes = []rune(c.s)
-		}
-	})
-	return c.runes
-}
+// Len returns the length of the content in bytes.
+func (c *Content) Len() int { return len(c.s) }
 
-// Len returns the number of runes of content.
-func (c *Content) Len() int { return c.n }
+// RuneLen returns the length of the content in runes. The first call
+// builds the byte↔rune index.
+func (c *Content) RuneLen() int { return c.index().runeLen }
 
 // String returns the entire content as a string.
-func (c *Content) String() string {
-	if c.dirty {
-		c.s = string(c.runes)
-		c.dirty = false
-	}
-	return c.s
-}
+func (c *Content) String() string { return c.s }
 
-// Slice returns the content covered by span. It panics if the span is out
-// of range, mirroring Go slice semantics.
+// Slice returns the content covered by the byte span. It panics if the
+// span is out of range, mirroring Go slice semantics. The result aliases
+// the content (no copy).
 func (c *Content) Slice(s Span) string {
-	if !s.Valid() || s.End > c.n {
-		panic(fmt.Sprintf("document: slice %v out of range [0,%d]", s, c.n))
+	if !s.Valid() || s.End > len(c.s) {
+		panic(fmt.Sprintf("document: slice %v out of range [0,%d]", s, len(c.s)))
 	}
-	if s.Start == 0 && s.End == c.n {
-		return c.String()
-	}
-	return string(c.rs()[s.Start:s.End])
+	return c.s[s.Start:s.End]
 }
 
-// RuneAt returns the rune at offset pos.
+// RuneAt returns the rune beginning at byte offset pos. Like the
+// mutation methods, it panics on an offset inside a multibyte rune
+// rather than silently decoding a replacement character.
 func (c *Content) RuneAt(pos int) rune {
-	if pos < 0 || pos >= c.n {
-		panic(fmt.Sprintf("document: rune offset %d out of range [0,%d)", pos, c.n))
+	if pos < 0 || pos >= len(c.s) {
+		panic(fmt.Sprintf("document: byte offset %d out of range [0,%d)", pos, len(c.s)))
 	}
-	return c.rs()[pos]
+	if !utf8.RuneStart(c.s[pos]) {
+		panic(fmt.Sprintf("document: byte offset %d is not a rune boundary", pos))
+	}
+	r, _ := utf8.DecodeRuneInString(c.s[pos:])
+	return r
 }
 
-// Insert inserts text at rune offset pos and returns the number of runes
+// Insert inserts text at byte offset pos and returns the number of bytes
 // inserted. Offsets >= pos in existing spans must be shifted by that
-// amount by the caller.
+// amount by the caller. pos must lie on a rune boundary — splicing into
+// the middle of a multibyte rune would corrupt the content, an error the
+// old rune-offset API made unrepresentable, so it panics like an
+// out-of-range offset.
 func (c *Content) Insert(pos int, text string) int {
-	if pos < 0 || pos > c.n {
-		panic(fmt.Sprintf("document: insert offset %d out of range [0,%d]", pos, c.n))
+	if pos < 0 || pos > len(c.s) {
+		panic(fmt.Sprintf("document: insert offset %d out of range [0,%d]", pos, len(c.s)))
 	}
-	ins := []rune(text)
-	r := c.rs()
-	c.runes = append(r[:pos:pos], append(ins, r[pos:]...)...)
-	c.n = len(c.runes)
-	c.dirty = true
-	return len(ins)
+	if pos < len(c.s) && !utf8.RuneStart(c.s[pos]) {
+		panic(fmt.Sprintf("document: insert offset %d is not a rune boundary", pos))
+	}
+	if text == "" {
+		return 0
+	}
+	var b strings.Builder
+	b.Grow(len(c.s) + len(text))
+	b.WriteString(c.s[:pos])
+	b.WriteString(text)
+	b.WriteString(c.s[pos:])
+	c.s = b.String()
+	c.invalidate()
+	return len(text)
 }
 
-// Delete removes the runes covered by span and returns the number of
-// runes removed.
+// Delete removes the bytes covered by span and returns the number of
+// bytes removed. Both span ends must lie on rune boundaries (see
+// Insert).
 func (c *Content) Delete(s Span) int {
-	if !s.Valid() || s.End > c.n {
-		panic(fmt.Sprintf("document: delete %v out of range [0,%d]", s, c.n))
+	if !s.Valid() || s.End > len(c.s) {
+		panic(fmt.Sprintf("document: delete %v out of range [0,%d]", s, len(c.s)))
 	}
-	r := c.rs()
-	c.runes = append(r[:s.Start], r[s.End:]...)
-	c.n = len(c.runes)
-	c.dirty = true
+	if (s.Start < len(c.s) && !utf8.RuneStart(c.s[s.Start])) ||
+		(s.End < len(c.s) && !utf8.RuneStart(c.s[s.End])) {
+		panic(fmt.Sprintf("document: delete %v does not lie on rune boundaries", s))
+	}
+	if s.Len() == 0 {
+		return 0
+	}
+	c.s = c.s[:s.Start] + c.s[s.End:]
+	c.invalidate()
 	return s.Len()
+}
+
+// IsRuneBoundary reports whether byte offset pos lies on a rune boundary
+// of the content (offsets at 0 and Len() always do). Span validators use
+// it to reject markup that would split a multibyte character.
+func (c *Content) IsRuneBoundary(pos int) bool {
+	return pos <= 0 || pos >= len(c.s) || utf8.RuneStart(c.s[pos])
+}
+
+// invalidate drops the memoized byte↔rune index after a mutation.
+// Mutation requires exclusive access (see type comment), so resetting the
+// guard is safe.
+func (c *Content) invalidate() {
+	c.idx = nil
+	c.once = sync.Once{}
 }
 
 // Clone returns an independent copy of the content.
 func (c *Content) Clone() *Content {
-	return NewContent(c.String())
+	return NewContent(c.s)
 }
 
 // Equal reports whether two contents hold the same text.
 func (c *Content) Equal(o *Content) bool {
-	return c.n == o.n && c.String() == o.String()
+	return c.s == o.s
 }
 
-// Find returns the rune offset of the first occurrence of sub at or after
-// the rune offset from, or -1.
+// Find returns the byte offset of the first occurrence of sub at or after
+// the byte offset from, or -1.
 func (c *Content) Find(sub string, from int) int {
 	if from < 0 {
 		from = 0
 	}
-	if from > c.n {
+	if from > len(c.s) {
 		return -1
 	}
-	var hay string
-	if from == 0 {
-		hay = c.String()
-	} else {
-		hay = string(c.rs()[from:])
-	}
-	b := strings.Index(hay, sub)
+	b := strings.Index(c.s[from:], sub)
 	if b < 0 {
 		return -1
 	}
-	// Convert byte offset within hay back to a rune offset.
-	return from + utf8.RuneCountInString(hay[:b])
+	return from + b
+}
+
+// index returns the byte↔rune index, building it on first use.
+func (c *Content) index() *runeIndex {
+	c.once.Do(func() {
+		if c.idx == nil {
+			c.idx = buildRuneIndex(c.s)
+		}
+	})
+	return c.idx
+}
+
+// RuneOffset converts the byte offset off into the rune offset of the
+// same content position: the number of runes preceding it. off must lie
+// on a rune boundary in [0, Len()]; markup positions always do.
+func (c *Content) RuneOffset(off int) int {
+	if off < 0 || off > len(c.s) {
+		panic(fmt.Sprintf("document: byte offset %d out of range [0,%d]", off, len(c.s)))
+	}
+	return c.index().runeOf(c.s, off)
+}
+
+// ByteOffset converts the rune offset off into the byte offset of the
+// same content position. off must lie in [0, RuneLen()].
+func (c *Content) ByteOffset(off int) int {
+	ix := c.index()
+	if off < 0 || off > ix.runeLen {
+		panic(fmt.Sprintf("document: rune offset %d out of range [0,%d]", off, ix.runeLen))
+	}
+	return ix.byteOf(c.s, off)
+}
+
+// RuneSpan converts a byte span into the equivalent rune span.
+func (c *Content) RuneSpan(s Span) Span {
+	return Span{Start: c.RuneOffset(s.Start), End: c.RuneOffset(s.End)}
+}
+
+// ByteSpan converts a rune span into the equivalent byte span.
+func (c *Content) ByteSpan(s Span) Span {
+	return Span{Start: c.ByteOffset(s.Start), End: c.ByteOffset(s.End)}
+}
+
+// runeIndexStride spaces the index checkpoints: one (byte, rune) offset
+// pair per ~stride bytes of content, so a lookup is a binary search over
+// the checkpoints plus a bounded scan of at most stride bytes.
+const runeIndexStride = 256
+
+// runeIndex maps between byte offsets and rune offsets of one content
+// string. For all-ASCII content the mapping is the identity and the
+// checkpoint arrays stay nil. It is immutable once built; Content
+// rebuilds it after mutation.
+type runeIndex struct {
+	runeLen int
+	ascii   bool
+	bytes   []int // checkpoint byte offsets (rune boundaries), ascending
+	runes   []int // rune offset at the corresponding byte offset
+}
+
+// buildRuneIndex scans s once and returns its index.
+func buildRuneIndex(s string) *runeIndex {
+	n := utf8.RuneCountInString(s)
+	if n == len(s) {
+		return &runeIndex{runeLen: n, ascii: true}
+	}
+	ix := &runeIndex{runeLen: n}
+	est := len(s)/runeIndexStride + 2
+	ix.bytes = make([]int, 1, est)
+	ix.runes = make([]int, 1, est)
+	runeOff := 0
+	nextCp := runeIndexStride
+	for byteOff := 0; byteOff < len(s); {
+		if byteOff >= nextCp {
+			ix.bytes = append(ix.bytes, byteOff)
+			ix.runes = append(ix.runes, runeOff)
+			nextCp = byteOff + runeIndexStride
+		}
+		_, size := utf8.DecodeRuneInString(s[byteOff:])
+		byteOff += size
+		runeOff++
+	}
+	return ix
+}
+
+// runeOf converts a byte offset to a rune offset: binary search for the
+// last checkpoint at or before off, then count runes across the gap.
+func (ix *runeIndex) runeOf(s string, off int) int {
+	if ix.ascii {
+		return off
+	}
+	lo, hi := 0, len(ix.bytes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ix.bytes[mid] > off {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cp := lo - 1
+	return ix.runes[cp] + utf8.RuneCountInString(s[ix.bytes[cp]:off])
+}
+
+// byteOf converts a rune offset to a byte offset: binary search for the
+// last checkpoint at or before off, then decode across the gap.
+func (ix *runeIndex) byteOf(s string, off int) int {
+	if ix.ascii {
+		return off
+	}
+	lo, hi := 0, len(ix.runes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ix.runes[mid] > off {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cp := lo - 1
+	b, r := ix.bytes[cp], ix.runes[cp]
+	for r < off {
+		_, size := utf8.DecodeRuneInString(s[b:])
+		b += size
+		r++
+	}
+	return b
 }

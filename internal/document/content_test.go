@@ -1,7 +1,9 @@
 package document
 
 import (
+	"strings"
 	"testing"
+	"unicode/utf8"
 )
 
 func TestContentBasics(t *testing.T) {
@@ -20,18 +22,113 @@ func TestContentBasics(t *testing.T) {
 	}
 }
 
-func TestContentRuneOffsets(t *testing.T) {
-	// Old English: multi-byte runes must be addressed by rune offset.
+func TestContentByteOffsets(t *testing.T) {
+	// Old English: offsets are byte offsets; multibyte runes count at
+	// their encoded length (ƿ and æ and þ are 2 bytes each).
 	c := NewContent("ƿæs þæt")
-	if c.Len() != 7 {
-		t.Errorf("Len = %d, want 7", c.Len())
+	if c.Len() != 11 {
+		t.Errorf("Len = %d, want 11", c.Len())
 	}
-	if got := c.Slice(NewSpan(0, 3)); got != "ƿæs" {
+	if c.RuneLen() != 7 {
+		t.Errorf("RuneLen = %d, want 7", c.RuneLen())
+	}
+	if got := c.Slice(NewSpan(0, 5)); got != "ƿæs" {
 		t.Errorf("Slice = %q", got)
 	}
-	if got := c.Slice(NewSpan(4, 7)); got != "þæt" {
+	if got := c.Slice(NewSpan(6, 11)); got != "þæt" {
 		t.Errorf("Slice = %q", got)
 	}
+	if got := c.RuneAt(6); got != 'þ' {
+		t.Errorf("RuneAt(6) = %q", got)
+	}
+}
+
+func TestContentRuneIndex(t *testing.T) {
+	c := NewContent("ƿæs þæt")
+	// byte 6 is the start of þ: runes ƿ æ s ' ' precede it.
+	if got := c.RuneOffset(6); got != 4 {
+		t.Errorf("RuneOffset(6) = %d, want 4", got)
+	}
+	if got := c.ByteOffset(4); got != 6 {
+		t.Errorf("ByteOffset(4) = %d, want 6", got)
+	}
+	if got := c.RuneSpan(NewSpan(6, 11)); got != NewSpan(4, 7) {
+		t.Errorf("RuneSpan = %v, want [4,7)", got)
+	}
+	if got := c.ByteSpan(NewSpan(4, 7)); got != NewSpan(6, 11) {
+		t.Errorf("ByteSpan = %v, want [6,11)", got)
+	}
+	// Ends map to ends.
+	if got := c.RuneOffset(c.Len()); got != c.RuneLen() {
+		t.Errorf("RuneOffset(Len) = %d, want %d", got, c.RuneLen())
+	}
+	if got := c.ByteOffset(c.RuneLen()); got != c.Len() {
+		t.Errorf("ByteOffset(RuneLen) = %d, want %d", got, c.Len())
+	}
+}
+
+// TestContentRuneIndexRoundTrip proves the byte↔rune index agrees with
+// utf8.RuneCountInString at every rune boundary, including across the
+// checkpoint stride, for ASCII, dense multibyte, and astral-plane
+// content.
+func TestContentRuneIndexRoundTrip(t *testing.T) {
+	texts := []string{
+		"",
+		"plain ascii content",
+		"ƿæs þæt swa hwæt",
+		// Long enough to cross several 256-byte checkpoints.
+		strings.Repeat("文書の重なり構造🌲📚🔥𝔾𝕠 combining: åb̈ ", 40),
+		strings.Repeat("ascii then suddenly 🧪", 50),
+	}
+	for _, text := range texts {
+		c := NewContent(text)
+		runeOff := 0
+		for byteOff := 0; byteOff <= len(text); byteOff++ {
+			if byteOff > 0 && !utf8.RuneStart(safeByte(text, byteOff)) {
+				continue // not a rune boundary
+			}
+			want := utf8.RuneCountInString(text[:byteOff])
+			if got := c.RuneOffset(byteOff); got != want {
+				t.Fatalf("text %d: RuneOffset(%d) = %d, want %d", len(text), byteOff, got, want)
+			}
+			if got := c.ByteOffset(want); got != byteOff {
+				t.Fatalf("text %d: ByteOffset(%d) = %d, want %d", len(text), want, got, byteOff)
+			}
+			runeOff++
+		}
+		if c.RuneLen() != utf8.RuneCountInString(text) {
+			t.Fatalf("RuneLen = %d, want %d", c.RuneLen(), utf8.RuneCountInString(text))
+		}
+	}
+}
+
+// TestContentRuneIndexInvalidation proves mutations rebuild the index.
+func TestContentRuneIndexInvalidation(t *testing.T) {
+	c := NewContent("aþc")
+	if got := c.RuneOffset(3); got != 2 {
+		t.Fatalf("RuneOffset(3) = %d, want 2", got)
+	}
+	c.Insert(1, "æð")
+	if c.String() != "aæðþc" {
+		t.Fatalf("after insert: %q", c.String())
+	}
+	if got := c.RuneOffset(5); got != 3 {
+		t.Errorf("after insert RuneOffset(5) = %d, want 3", got)
+	}
+	c.Delete(NewSpan(1, 7))
+	if c.String() != "ac" {
+		t.Fatalf("after delete: %q", c.String())
+	}
+	if got, want := c.RuneLen(), 2; got != want {
+		t.Errorf("after delete RuneLen = %d, want %d", got, want)
+	}
+}
+
+func safeByte(s string, i int) byte {
+	if i >= len(s) {
+		return 0
+	}
+	return s[i]
 }
 
 func TestContentInsertDelete(t *testing.T) {
@@ -44,9 +141,8 @@ func TestContentInsertDelete(t *testing.T) {
 	if n != 2 || c.String() != "abcdef" {
 		t.Errorf("after delete: %q (n=%d)", c.String(), n)
 	}
-	c.Insert(0, "þ")
-	if c.String() != "þabcdef" {
-		t.Errorf("insert at 0: %q", c.String())
+	if n := c.Insert(0, "þ"); n != 2 || c.String() != "þabcdef" {
+		t.Errorf("insert at 0: %q (n=%d)", c.String(), n)
 	}
 	c.Insert(c.Len(), "!")
 	if c.String() != "þabcdef!" {
@@ -77,8 +173,9 @@ func TestContentFind(t *testing.T) {
 	if got := c.Find("þ", 0); got != 3 {
 		t.Errorf("Find þ from 0 = %d, want 3", got)
 	}
-	if got := c.Find("þ", 4); got != 13 {
-		t.Errorf("Find þ from 4 = %d, want 13", got)
+	// þ at byte 3 is 2 bytes; the next þ starts at byte 15.
+	if got := c.Find("þ", 5); got != 15 {
+		t.Errorf("Find þ from 5 = %d, want 15", got)
 	}
 	if got := c.Find("zzz", 0); got != -1 {
 		t.Errorf("Find zzz = %d, want -1", got)
@@ -94,6 +191,12 @@ func TestContentPanics(t *testing.T) {
 	mustPanic(t, "runeAt", func() { c.RuneAt(3) })
 	mustPanic(t, "insert", func() { c.Insert(4, "x") })
 	mustPanic(t, "delete", func() { c.Delete(NewSpan(2, 9)) })
+	mustPanic(t, "runeOffset", func() { c.RuneOffset(4) })
+	mustPanic(t, "byteOffset", func() { c.ByteOffset(4) })
+	// Mutation offsets must lie on rune boundaries (æ spans bytes 1-2).
+	m := NewContent("aæb")
+	mustPanic(t, "insert mid-rune", func() { m.Insert(2, "x") })
+	mustPanic(t, "delete mid-rune", func() { m.Delete(NewSpan(0, 2)) })
 }
 
 func mustPanic(t *testing.T, name string, f func()) {

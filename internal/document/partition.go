@@ -13,10 +13,10 @@ import (
 // The zero value is not usable; call NewPartition.
 type Partition struct {
 	starts []int // ascending leaf start offsets; starts[0] == 0
-	length int   // total content length in runes
+	length int   // total content length in bytes
 }
 
-// NewPartition returns a partition of content of the given rune length
+// NewPartition returns a partition of content of the given byte length
 // into a single leaf (or zero leaves when length is 0).
 func NewPartition(length int) *Partition {
 	if length < 0 {
@@ -56,7 +56,7 @@ func (p *Partition) Spans() []Span {
 	return out
 }
 
-// LeafAt returns the index of the leaf containing rune offset pos.
+// LeafAt returns the index of the leaf containing byte offset pos.
 func (p *Partition) LeafAt(pos int) int {
 	if pos < 0 || pos >= p.length {
 		panic(fmt.Sprintf("document: offset %d out of range [0,%d)", pos, p.length))
@@ -66,7 +66,7 @@ func (p *Partition) LeafAt(pos int) int {
 	return i
 }
 
-// Cut ensures there is a leaf boundary at rune offset pos, splitting the
+// Cut ensures there is a leaf boundary at byte offset pos, splitting the
 // containing leaf if needed. It returns the index of the leaf that now
 // *starts* at pos, and whether a split actually happened. pos == 0 and
 // pos == Len() are accepted and never split (they are implicit borders);
@@ -97,16 +97,20 @@ func (p *Partition) CutAll(positions []int) {
 	if len(positions) == 0 || p.length == 0 {
 		return
 	}
-	sorted := make([]int, 0, len(positions))
-	for _, pos := range positions {
-		if pos > 0 && pos < p.length {
-			sorted = append(sorted, pos)
-		}
-	}
-	if len(sorted) == 0 {
+	sorted := make([]int, len(positions))
+	copy(sorted, positions)
+	sort.Ints(sorted)
+	p.CutAllSorted(sorted)
+}
+
+// CutAllSorted is CutAll for positions already in ascending order (not
+// necessarily unique): the sort is skipped, making the whole batch cut
+// O(n+k). The SACX build path produces its cut list pre-sorted by merging
+// the per-source tag positions, which each arrive in document order.
+func (p *Partition) CutAllSorted(sorted []int) {
+	if len(sorted) == 0 || p.length == 0 {
 		return
 	}
-	sort.Ints(sorted)
 	merged := make([]int, 0, len(p.starts)+len(sorted))
 	i, j := 0, 0
 	for i < len(p.starts) || j < len(sorted) {
@@ -115,6 +119,9 @@ func (p *Partition) CutAll(positions []int) {
 		case i >= len(p.starts):
 			v = sorted[j]
 			j++
+			if v <= 0 || v >= p.length {
+				continue
+			}
 		case j >= len(sorted):
 			v = p.starts[i]
 			i++
@@ -124,6 +131,9 @@ func (p *Partition) CutAll(positions []int) {
 		default:
 			v = sorted[j]
 			j++
+			if v <= 0 || v >= p.length {
+				continue
+			}
 		}
 		if len(merged) == 0 || merged[len(merged)-1] != v {
 			merged = append(merged, v)
@@ -159,7 +169,7 @@ func (p *Partition) LeafRange(s Span) (first, last int, ok bool) {
 	return first, last, true
 }
 
-// InsertText adjusts the partition for an insertion of n runes at rune
+// InsertText adjusts the partition for an insertion of n bytes at byte
 // offset pos: boundaries at or after pos shift right by n. The inserted
 // text joins the leaf containing pos (or the preceding leaf when pos is a
 // boundary), preserving the invariant that leaf borders come only from

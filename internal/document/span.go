@@ -1,15 +1,22 @@
 // Package document models the character content of a document-centric XML
-// document: rune-offset spans, the content itself, and the partition of the
-// content into leaves induced by markup boundaries.
+// document: byte-offset spans, the content itself, and the partition of
+// the content into leaves induced by markup boundaries.
 //
-// All offsets are rune offsets (not byte offsets) into the document
-// content, counted from 0. A Span is half-open: [Start, End). Spans with
-// Start == End are permitted; they describe empty elements (milestones).
+// All offsets carried through the pipeline are *byte* offsets into the
+// UTF-8 document content, counted from 0 — markup boundaries always fall
+// on rune boundaries, so byte offsets address the same positions as the
+// paper's character offsets without the cost of rune counting on the
+// parse path. Rune-offset semantics remain available at the API edge
+// through Content's memoized byte↔rune index (Content.RuneOffset,
+// Content.ByteOffset, and the span converters RuneSpan/ByteSpan).
+//
+// A Span is half-open: [Start, End). Spans with Start == End are
+// permitted; they describe empty elements (milestones).
 package document
 
 import "fmt"
 
-// Span is a half-open rune interval [Start, End) over document content.
+// Span is a half-open byte interval [Start, End) over document content.
 type Span struct {
 	Start int
 	End   int
@@ -18,7 +25,7 @@ type Span struct {
 // NewSpan returns the span [start, end).
 func NewSpan(start, end int) Span { return Span{Start: start, End: end} }
 
-// Len returns the number of runes covered by the span.
+// Len returns the number of bytes covered by the span.
 func (s Span) Len() int { return s.End - s.Start }
 
 // IsEmpty reports whether the span covers no content.
@@ -27,7 +34,7 @@ func (s Span) IsEmpty() bool { return s.Start >= s.End }
 // Valid reports whether the span is well formed (0 <= Start <= End).
 func (s Span) Valid() bool { return 0 <= s.Start && s.Start <= s.End }
 
-// Contains reports whether the rune offset pos lies inside the span.
+// Contains reports whether the byte offset pos lies inside the span.
 func (s Span) Contains(pos int) bool { return s.Start <= pos && pos < s.End }
 
 // ContainsSpan reports whether o lies entirely within s.
@@ -39,7 +46,7 @@ func (s Span) ContainsSpan(o Span) bool {
 	return s.Start <= o.Start && o.End <= s.End
 }
 
-// Intersects reports whether the two spans share at least one rune.
+// Intersects reports whether the two spans share at least one byte.
 // Empty spans never intersect anything.
 func (s Span) Intersects(o Span) bool {
 	if s.IsEmpty() || o.IsEmpty() {
@@ -89,7 +96,7 @@ func (s Span) Union(o Span) Span {
 	return Span{Start: min(s.Start, o.Start), End: max(s.End, o.End)}
 }
 
-// Shift returns the span translated by delta runes.
+// Shift returns the span translated by delta bytes.
 func (s Span) Shift(delta int) Span {
 	return Span{Start: s.Start + delta, End: s.End + delta}
 }

@@ -252,10 +252,10 @@ func DecodeFragmentation(data []byte) (*goddag.Document, error) {
 				hier = hierNames[0]
 			}
 			id, _ := tok.Attr(attrFragID)
-			oe := openEl{name: tok.Name, pos: tok.ContentPos, hier: hier, id: id, att: plainAttrs(tok.Attrs), openSeq: openSeq}
+			oe := openEl{name: tok.Name, pos: tok.ContentByte, hier: hier, id: id, att: plainAttrs(tok.Attrs), openSeq: openSeq}
 			openSeq++
 			if tok.SelfClosing {
-				finishFragment(groups, &singles, oe, tok.ContentPos)
+				finishFragment(groups, &singles, oe, tok.ContentByte)
 				continue
 			}
 			stack = append(stack, oe)
@@ -265,7 +265,7 @@ func DecodeFragmentation(data []byte) (*goddag.Document, error) {
 			}
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			finishFragment(groups, &singles, top, tok.ContentPos)
+			finishFragment(groups, &singles, top, tok.ContentByte)
 		}
 	}
 	if !sawRoot {

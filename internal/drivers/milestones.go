@@ -236,7 +236,7 @@ func DecodeMilestones(data []byte) (*goddag.Document, error) {
 				if _, dup := pending[id]; dup {
 					return nil, fmt.Errorf("drivers: milestones: duplicate start %q", id)
 				}
-				pending[id] = openMS{name: tok.Name, attrs: plainAttrs(tok.Attrs), pos: tok.ContentPos, hier: hier}
+				pending[id] = openMS{name: tok.Name, attrs: plainAttrs(tok.Attrs), pos: tok.ContentByte, hier: hier}
 				continue
 			}
 			if id, ok := tok.Attr(attrMilestoneEnd); ok {
@@ -250,7 +250,7 @@ func DecodeMilestones(data []byte) (*goddag.Document, error) {
 				delete(pending, id)
 				records = append(records, record{
 					hier: ms.hier, name: ms.name, attrs: ms.attrs,
-					span: document.NewSpan(ms.pos, tok.ContentPos), order: seq,
+					span: document.NewSpan(ms.pos, tok.ContentByte), order: seq,
 				})
 				seq++
 				continue
@@ -259,12 +259,12 @@ func DecodeMilestones(data []byte) (*goddag.Document, error) {
 			if tok.SelfClosing {
 				records = append(records, record{
 					hier: dominant, name: tok.Name, attrs: plainAttrs(tok.Attrs),
-					span: document.NewSpan(tok.ContentPos, tok.ContentPos), order: seq,
+					span: document.NewSpan(tok.ContentByte, tok.ContentByte), order: seq,
 				})
 				seq++
 				continue
 			}
-			stack = append(stack, openEl{name: tok.Name, attrs: plainAttrs(tok.Attrs), pos: tok.ContentPos})
+			stack = append(stack, openEl{name: tok.Name, attrs: plainAttrs(tok.Attrs), pos: tok.ContentByte})
 		case xmlscan.KindEndElement:
 			if tok.Depth == 0 {
 				continue // root close
@@ -273,7 +273,7 @@ func DecodeMilestones(data []byte) (*goddag.Document, error) {
 			stack = stack[:len(stack)-1]
 			records = append(records, record{
 				hier: dominant, name: top.name, attrs: top.attrs,
-				span: document.NewSpan(top.pos, tok.ContentPos), order: seq,
+				span: document.NewSpan(top.pos, tok.ContentByte), order: seq,
 			})
 			seq++
 		}

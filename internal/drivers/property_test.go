@@ -21,6 +21,18 @@ func randomDoc(seed int64) *goddag.Document {
 		text[i] = letters[rng.Intn(len(letters))]
 	}
 	d := goddag.New("r", string(text))
+	// The generator draws rune positions; bounds maps them onto the byte
+	// offsets the document's spans use, so markup never splits a rune.
+	bounds := make([]int, 0, n+1)
+	byteOff := 0
+	for _, r := range text {
+		bounds = append(bounds, byteOff)
+		byteOff += len(string(r))
+	}
+	bounds = append(bounds, byteOff)
+	span := func(lo, hi int) document.Span {
+		return document.NewSpan(bounds[lo], bounds[hi])
+	}
 
 	// Hierarchy 0: nested sections.
 	h0 := d.AddHierarchy("struct")
@@ -30,15 +42,15 @@ func randomDoc(seed int64) *goddag.Document {
 			return
 		}
 		mid := lo + 1 + rng.Intn(hi-lo-2)
-		for _, span := range []document.Span{document.NewSpan(lo, mid), document.NewSpan(mid, hi)} {
-			if span.Len() < 2 {
+		for _, iv := range [][2]int{{lo, mid}, {mid, hi}} {
+			if iv[1]-iv[0] < 2 {
 				continue
 			}
 			attrs := []goddag.Attr{{Name: "v", Value: `x"<&'` + string(rune('a'+depth))}}
-			if _, err := d.InsertElement(h0, "sec", attrs, span); err != nil {
+			if _, err := d.InsertElement(h0, "sec", attrs, span(iv[0], iv[1])); err != nil {
 				panic(err)
 			}
-			nest(span.Start, span.End, depth-1)
+			nest(iv[0], iv[1], depth-1)
 		}
 	}
 	nest(0, n, 3)
@@ -49,15 +61,15 @@ func randomDoc(seed int64) *goddag.Document {
 		lastEnd := 0
 		for k := 0; k < 8; k++ {
 			lo := lastEnd + rng.Intn(8)
-			span := document.NewSpan(lo, lo+rng.Intn(10))
-			if span.End > n || span.Start > n {
+			hi := lo + rng.Intn(10)
+			if hi > n || lo > n {
 				break
 			}
-			if _, err := d.InsertElement(h, "ann", nil, span); err != nil {
+			if _, err := d.InsertElement(h, "ann", nil, span(lo, hi)); err != nil {
 				panic(err)
 			}
-			if span.End > lastEnd {
-				lastEnd = span.End
+			if hi > lastEnd {
+				lastEnd = hi
 			}
 		}
 	}

@@ -23,8 +23,13 @@ import (
 //	  ...
 //	</standoff>
 //
-// Offsets are rune offsets into the text, exactly the GODDAG's span
-// coordinates, so encode/decode are lossless for any GODDAG.
+// Offsets in the standoff file are *rune* offsets into the text — the
+// paper's character positions, stable across tools regardless of how the
+// text is encoded. The GODDAG carries byte spans internally, so the
+// encoder and decoder convert at this boundary through the content's
+// memoized byte↔rune index; the conversion is exact (markup borders
+// always fall on rune boundaries), keeping encode/decode lossless for
+// any GODDAG.
 
 // EncodeStandoff renders doc in the standoff representation.
 func EncodeStandoff(doc *goddag.Document, opts EncodeOptions) ([]byte, error) {
@@ -32,13 +37,14 @@ func EncodeStandoff(doc *goddag.Document, opts EncodeOptions) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	content := doc.Content()
 	var b strings.Builder
 	fmt.Fprintf(&b, "<standoff root=%q>\n", doc.RootTag())
-	fmt.Fprintf(&b, "  <text>%s</text>\n", xmlscan.EscapeText(doc.Content().String()))
+	fmt.Fprintf(&b, "  <text>%s</text>\n", xmlscan.EscapeText(content.String()))
 	for _, h := range hs {
 		fmt.Fprintf(&b, "  <hierarchy name=%q>\n", h.Name())
 		for _, e := range h.Elements() {
-			sp := e.Span()
+			sp := content.RuneSpan(e.Span())
 			if len(e.Attrs()) == 0 {
 				fmt.Fprintf(&b, "    <el tag=%q start=\"%d\" end=\"%d\"/>\n", e.Name(), sp.Start, sp.End)
 				continue
@@ -165,14 +171,17 @@ func DecodeStandoff(data []byte) (*goddag.Document, error) {
 		return nil, fmt.Errorf("drivers: standoff: no <text> element")
 	}
 	doc = goddag.New(rootTag, text)
+	content := doc.Content()
 	for _, ph := range pending {
 		h := doc.AddHierarchy(ph.name)
 		for _, pe := range ph.els {
-			if pe.span.End > doc.Content().Len() {
+			// File offsets are rune offsets; convert to the GODDAG's byte
+			// spans through the content's byte↔rune index.
+			if pe.span.End > content.RuneLen() {
 				return nil, fmt.Errorf("drivers: standoff: %s:%s %v exceeds text length %d",
-					ph.name, pe.tag, pe.span, doc.Content().Len())
+					ph.name, pe.tag, pe.span, content.RuneLen())
 			}
-			if _, err := doc.InsertElement(h, pe.tag, pe.attrs, pe.span); err != nil {
+			if _, err := doc.InsertElement(h, pe.tag, pe.attrs, content.ByteSpan(pe.span)); err != nil {
 				return nil, fmt.Errorf("drivers: standoff: %w", err)
 			}
 		}

@@ -11,6 +11,7 @@ package editor
 
 import (
 	"fmt"
+	"unicode/utf8"
 
 	"repro/internal/document"
 	"repro/internal/dtd"
@@ -255,14 +256,14 @@ func (s *Session) RemoveAttr(el *goddag.Element, name string) error {
 	return nil
 }
 
-// InsertText inserts text at a rune offset, adjusting all markup.
+// InsertText inserts text at a byte offset, adjusting all markup.
 func (s *Session) InsertText(pos int, text string) error {
 	s.checkpoint()
 	if err := s.doc.InsertText(pos, text); err != nil {
 		s.undo = s.undo[:len(s.undo)-1]
 		return err
 	}
-	s.notify(Change{Kind: ChangeInsertText, Span: document.NewSpan(pos, pos+len([]rune(text)))})
+	s.notify(Change{Kind: ChangeInsertText, Span: document.NewSpan(pos, pos+len(text))})
 	return nil
 }
 
@@ -283,24 +284,38 @@ func (s *Session) Validate(mode validate.Mode) []validate.Violation {
 	return validate.Document(s.doc, s.schema, mode)
 }
 
-// SelectWord returns the span of the whitespace-delimited word containing
-// rune offset pos — the editor's double-click selection.
+// SelectWord returns the byte span of the whitespace-delimited word
+// containing byte offset pos — the editor's double-click selection. An
+// offset pointing into the middle of a multibyte rune selects the word
+// containing that rune.
 func (s *Session) SelectWord(pos int) (document.Span, error) {
 	c := s.doc.Content()
 	if pos < 0 || pos >= c.Len() {
 		return document.Span{}, fmt.Errorf("editor: offset %d out of range [0,%d)", pos, c.Len())
 	}
+	text := c.String()
+	for pos > 0 && !utf8.RuneStart(text[pos]) {
+		pos--
+	}
 	isSpace := func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == '\r' }
-	if isSpace(c.RuneAt(pos)) {
+	if r, _ := utf8.DecodeRuneInString(text[pos:]); isSpace(r) {
 		return document.Span{}, fmt.Errorf("editor: offset %d is whitespace", pos)
 	}
 	lo := pos
-	for lo > 0 && !isSpace(c.RuneAt(lo-1)) {
-		lo--
+	for lo > 0 {
+		r, size := utf8.DecodeLastRuneInString(text[:lo])
+		if isSpace(r) {
+			break
+		}
+		lo -= size
 	}
-	hi := pos + 1
-	for hi < c.Len() && !isSpace(c.RuneAt(hi)) {
-		hi++
+	hi := pos
+	for hi < len(text) {
+		r, size := utf8.DecodeRuneInString(text[hi:])
+		if isSpace(r) {
+			break
+		}
+		hi += size
 	}
 	return document.NewSpan(lo, hi), nil
 }

@@ -6,9 +6,11 @@ import (
 	"repro/internal/document"
 )
 
-// BulkBuilder inserts elements into a document in document order — sorted
-// by CompareSpans (start ascending, wider spans first), ties in insertion
-// sequence — the order sacx.Build produces after its widest-first sort.
+// BulkBuilder inserts elements into a document in document order —
+// CompareSpans non-decreasing (start ascending, wider spans first), ties
+// in insertion sequence — the order sacx.Build's merge emits natively:
+// each source's elements stream out sorted, and the k-way element merge
+// interleaves them without any global sort.
 //
 // Because parents always arrive before the elements they dominate, the
 // builder can maintain one stack of open elements per hierarchy and place
@@ -99,6 +101,9 @@ func (b *BulkBuilder) Append(h *Hierarchy, tag string, attrs []Attr, span docume
 	}
 	if !span.Valid() || span.End > d.content.Len() {
 		return nil, fmt.Errorf("goddag: span %v out of content range [0,%d]", span, d.content.Len())
+	}
+	if !d.content.IsRuneBoundary(span.Start) || !d.content.IsRuneBoundary(span.End) {
+		return nil, fmt.Errorf("goddag: span %v does not lie on rune boundaries", span)
 	}
 	st := b.states[h]
 	if st == nil {

@@ -271,6 +271,9 @@ func (d *Document) ProbeInsert(h *Hierarchy, tag string, span document.Span) (pa
 	if !span.Valid() || span.End > d.content.Len() {
 		return nil, nil, fmt.Errorf("goddag: span %v out of content range [0,%d]", span, d.content.Len())
 	}
+	if !d.content.IsRuneBoundary(span.Start) || !d.content.IsRuneBoundary(span.End) {
+		return nil, nil, fmt.Errorf("goddag: span %v does not lie on rune boundaries", span)
+	}
 	parent, siblings := h.locate(span)
 	// Siblings are sorted by start and mutually non-overlapping, so the
 	// elements inside span form a contiguous run; only the sibling
@@ -592,7 +595,7 @@ func (h *Hierarchy) resort() {
 	walk(h.top)
 }
 
-// InsertText inserts text at rune offset pos, shifting leaf boundaries and
+// InsertText inserts text at byte offset pos, shifting leaf boundaries and
 // element spans. The insertion binds left, matching
 // document.Partition.InsertText: elements whose span strictly contains pos
 // grow, an element ending exactly at pos absorbs the text (grows), and an
@@ -602,7 +605,10 @@ func (d *Document) InsertText(pos int, text string) error {
 	if pos < 0 || pos > d.content.Len() {
 		return fmt.Errorf("goddag: insert offset %d out of range [0,%d]", pos, d.content.Len())
 	}
-	n := len([]rune(text))
+	if !d.content.IsRuneBoundary(pos) {
+		return fmt.Errorf("goddag: insert offset %d is not a rune boundary", pos)
+	}
+	n := len(text)
 	if n == 0 {
 		return nil
 	}
@@ -623,7 +629,7 @@ func (d *Document) InsertText(pos int, text string) error {
 	return nil
 }
 
-// adjustForInsert shifts a span for an insertion of n runes at pos.
+// adjustForInsert shifts a span for an insertion of n bytes at pos.
 // Rules (mirroring Partition.InsertText): an offset strictly greater than
 // pos shifts; an offset equal to pos shifts unless it is 0. The element
 // ending at pos therefore grows over the new text, and the element
@@ -644,6 +650,9 @@ func adjustForInsert(s document.Span, pos, n int) document.Span {
 func (d *Document) DeleteText(span document.Span) error {
 	if !span.Valid() || span.End > d.content.Len() {
 		return fmt.Errorf("goddag: delete span %v out of range [0,%d]", span, d.content.Len())
+	}
+	if !d.content.IsRuneBoundary(span.Start) || !d.content.IsRuneBoundary(span.End) {
+		return fmt.Errorf("goddag: delete span %v does not lie on rune boundaries", span)
 	}
 	n := span.Len()
 	if n == 0 {

@@ -194,7 +194,7 @@ func (d *Document) Leaves() []Leaf {
 	return out
 }
 
-// LeafAt returns the leaf containing rune offset pos.
+// LeafAt returns the leaf containing byte offset pos.
 func (d *Document) LeafAt(pos int) Leaf {
 	return Leaf{doc: d, idx: d.part.LeafAt(pos)}
 }

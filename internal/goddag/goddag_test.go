@@ -21,17 +21,29 @@ import (
 // words:    w[0,3) w[4,8) w[9,12) w[13,15) w[16,18) w[19,24)
 // restore:  res[10,17)   -- overlaps w[9,12), line boundary, w[16,18)
 // damage:   dmg[6,11)    -- overlaps w[4,8), w[9,12), res[10,17)
+// fig1Content is the shared Figure 1 text; æ is 2 bytes in UTF-8, so
+// byte offsets past each æ run one ahead of the rune offsets.
+const fig1Content = "swa hwæt swa he us sægde"
+
+// fig1Byte converts a rune offset in fig1Content to the byte offset the
+// document's spans use.
+func fig1Byte(runeOff int) int {
+	return len(string([]rune(fig1Content)[:runeOff]))
+}
+
 func fig1Doc(t *testing.T) *Document {
 	t.Helper()
-	d := New("r", "swa hwæt swa he us sægde")
+	d := New("r", fig1Content)
 	phys := d.AddHierarchy("physical")
 	words := d.AddHierarchy("words")
 	rest := d.AddHierarchy("restoration")
 	dmg := d.AddHierarchy("damage")
 
+	// Spans below are written as the paper's rune offsets and converted
+	// to byte spans at insertion.
 	ins := func(h *Hierarchy, tag string, lo, hi int, attrs ...Attr) *Element {
 		t.Helper()
-		e, err := d.InsertElement(h, tag, attrs, document.NewSpan(lo, hi))
+		e, err := d.InsertElement(h, tag, attrs, document.NewSpan(fig1Byte(lo), fig1Byte(hi)))
 		if err != nil {
 			t.Fatalf("insert %s:%s[%d,%d): %v", h.Name(), tag, lo, hi, err)
 		}
@@ -314,8 +326,13 @@ func TestFig1Structure(t *testing.T) {
 	if st.Elements != 10 {
 		t.Errorf("elements = %d, want 10", st.Elements)
 	}
-	// Boundaries: 0,3,4,6,8,9,10,11,12,13,15,16,17,18,19 -> leaves
-	wantBoundaries := []int{0, 3, 4, 6, 8, 9, 10, 11, 12, 13, 15, 16, 17, 18, 19}
+	// Boundaries at rune offsets 0,3,4,6,8,9,10,11,12,13,15,16,17,18,19,
+	// expressed in the spans' byte coordinates.
+	wantRunes := []int{0, 3, 4, 6, 8, 9, 10, 11, 12, 13, 15, 16, 17, 18, 19}
+	wantBoundaries := make([]int, len(wantRunes))
+	for i, r := range wantRunes {
+		wantBoundaries[i] = fig1Byte(r)
+	}
 	got := d.Partition().Boundaries()
 	if len(got) != len(wantBoundaries) {
 		t.Fatalf("boundaries %v, want %v", got, wantBoundaries)
@@ -332,7 +349,7 @@ func TestFig1LeafParents(t *testing.T) {
 	// Leaf containing offset 10 ("æ" region inside "swa" word 3):
 	// parents should be: line1 (physical), w[9,12) (words),
 	// res[10,17) (restoration), dmg[6,11) (damage).
-	l := d.LeafAt(10)
+	l := d.LeafAt(fig1Byte(10))
 	parents := l.Parents()
 	if len(parents) != 4 {
 		t.Fatalf("parents = %d, want 4", len(parents))
@@ -460,11 +477,11 @@ func TestElementLeafRange(t *testing.T) {
 		t.Errorf("leaf concat %q != element text %q", text, w.Text())
 	}
 	fl, ok := w.FirstLeaf()
-	if !ok || fl.Span().Start != 4 {
+	if !ok || fl.Span().Start != fig1Byte(4) {
 		t.Errorf("FirstLeaf %v %v", fl, ok)
 	}
 	ll, ok := w.LastLeaf()
-	if !ok || ll.Span().End != 8 {
+	if !ok || ll.Span().End != fig1Byte(8) {
 		t.Errorf("LastLeaf %v %v", ll, ok)
 	}
 }

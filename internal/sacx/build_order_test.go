@@ -1,0 +1,85 @@
+package sacx
+
+import (
+	"testing"
+
+	"repro/internal/document"
+)
+
+// TestElemMergeGlobalOrder pins the global emission order of the
+// element merge — (position, widest end first, source) — including
+// after a cursor exhausts and is removed from the heap. A regression
+// here once let the cursor swapped into the vacated root slot skip its
+// sift-down, emitting a later-starting element before an
+// earlier-starting one.
+func TestElemMergeGlobalOrder(t *testing.T) {
+	srcs := []Source{
+		{Hierarchy: "a", Data: []byte(`<r><a>ab</a>cdef</r>`)},
+		{Hierarchy: "b", Data: []byte(`<r>ab<b>cdef</b></r>`)},
+		{Hierarchy: "c", Data: []byte(`<r>abcd<c>ef</c></r>`)},
+		{Hierarchy: "d", Data: []byte(`<r>ab<d>cdef</d></r>`)},
+	}
+	want := []struct {
+		hier string
+		span document.Span
+	}{
+		{"a", document.NewSpan(0, 2)},
+		{"b", document.NewSpan(2, 6)}, // equal spans: source order b, d
+		{"d", document.NewSpan(2, 6)},
+		{"c", document.NewSpan(4, 6)},
+	}
+	for _, strategy := range []MergeStrategy{MergeHeap, MergeRescan} {
+		_, _, cursors, err := prepareSources(srcs, Options{Strategy: strategy}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []struct {
+			hier string
+			span document.Span
+		}
+		drain := func(c *cursor) {
+			e := c.elems[c.ei]
+			c.ei++
+			got = append(got, struct {
+				hier string
+				span document.Span
+			}{c.hier, e.span})
+		}
+		if strategy == MergeHeap {
+			h := newElemHeap(cursors)
+			for {
+				c := h.min()
+				if c == nil {
+					break
+				}
+				drain(c)
+				h.step(c)
+			}
+		} else {
+			for {
+				var best *cursor
+				for _, c := range cursors {
+					if c.ei >= len(c.elems) {
+						continue
+					}
+					if best == nil || c.elemLess(best) {
+						best = c
+					}
+				}
+				if best == nil {
+					break
+				}
+				drain(best)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("strategy %v: %d elements, want %d", strategy, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].hier != want[i].hier || got[i].span != want[i].span {
+				t.Errorf("strategy %v: element %d = %s%v, want %s%v",
+					strategy, i, got[i].hier, got[i].span, want[i].hier, want[i].span)
+			}
+		}
+	}
+}

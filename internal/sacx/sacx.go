@@ -10,15 +10,19 @@
 //
 // Event order at one content position: end-tags fire before start-tags
 // (markup closing at a position precedes markup opening there), and both
-// precede the character data that follows the position. Events from
-// different hierarchies at the same position and of the same class are
-// delivered in source order, so the merge is deterministic.
+// precede the character data that follows the position. Start-tags from
+// different hierarchies at the same position are delivered widest span
+// first (document order: the element reaching furthest opens first),
+// then in source order; end-tags of the same position are delivered in
+// source order. The merge is deterministic, and start events arrive in
+// exactly the order the GODDAG bulk loader consumes.
 package sacx
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/goddag"
@@ -78,13 +82,20 @@ func (k EventKind) String() string {
 // Event is one item of the merged concurrent event stream. Events are
 // plain values; Text and Attrs alias the stream's shared content and
 // per-source attribute arenas and must be treated as read-only.
+//
+// Positions are byte offsets into the decoded shared content. Because
+// SACX tokenizes every source to completion before merging, a
+// StartElement event already knows where its element closes: End carries
+// the content offset of the matching end tag, letting consumers act on
+// complete spans without waiting for the EndElement event.
 type Event struct {
 	Kind      EventKind
 	Hierarchy string // owning hierarchy for element events
 	Name      string // element tag / root tag
 	Attrs     []goddag.Attr
 	Text      string // character data (Characters, StartDocument)
-	Pos       int    // content rune offset
+	Pos       int    // content byte offset
+	End       int    // matching end offset (StartElement); event end otherwise
 }
 
 // ContentMismatchError reports that two hierarchies of a distributed
@@ -125,7 +136,11 @@ var errContentMismatch = errors.New("sacx: content mismatch")
 // returns the loaded merge cursors. The first source is the reference: it
 // establishes the shared content; every other source's text runs are
 // compared against it in place, with no per-source content copy.
-func prepareSources(sources []Source, opts Options) (rootTag, content string, cursors []*cursor, err error) {
+//
+// elemsOnly skips recording EndElement stream events (see cursor): Build
+// consumes element records, not the event stream, so the end events —
+// half of all structural events — would never be read.
+func prepareSources(sources []Source, opts Options, elemsOnly bool) (rootTag, content string, cursors []*cursor, err error) {
 	if len(sources) == 0 {
 		return "", "", nil, fmt.Errorf("sacx: no sources")
 	}
@@ -142,14 +157,31 @@ func prepareSources(sources []Source, opts Options) (rootTag, content string, cu
 	scanOpts := xmlscan.Options{Entities: opts.Entities, CoalesceCDATA: true, ReuseAttrs: true}
 	cursors = make([]*cursor, 0, len(sources))
 	for i, src := range sources {
-		c := &cursor{hier: src.Hierarchy, idx: i}
-		// Pre-size the event list and attribute arena from cheap byte
-		// counts: every tag token starts with '<' (self-closing tags
-		// yield a second event, counted by "/>"), and every attribute
-		// carries one '='. Both are upper bounds; excess capacity from
-		// comments or PIs is marginal.
-		tags := bytes.Count(src.Data, []byte{'<'}) + bytes.Count(src.Data, []byte("/>"))
-		c.events = make([]streamEvent, 0, tags)
+		// Event, element, and attribute indices are recorded as int32;
+		// every such count is bounded by the source size, so capping the
+		// input here (with content growth via entity expansion guarded
+		// separately at load EOF) keeps the narrowing safe.
+		if len(src.Data) > math.MaxInt32 {
+			return "", "", nil, fmt.Errorf("sacx: hierarchy %q: source exceeds %d bytes", src.Hierarchy, math.MaxInt32)
+		}
+		c := &cursor{hier: src.Hierarchy, idx: i, elemsOnly: elemsOnly}
+		// Pre-size the lists from cheap byte counts: every tag token
+		// starts with '<', end tags with "</", self-closing tags carry
+		// "/>", and every attribute has one '='. All are upper bounds;
+		// excess capacity from comments or PIs is marginal.
+		lt := bytes.Count(src.Data, []byte{'<'})
+		closers := bytes.Count(src.Data, []byte("</"))
+		selfc := bytes.Count(src.Data, []byte("/>"))
+		starts := lt - closers
+		if starts < 0 {
+			starts = 0
+		}
+		if elemsOnly {
+			c.events = make([]streamEvent, 0, starts)
+			c.elems = make([]elemRec, 0, starts)
+		} else {
+			c.events = make([]streamEvent, 0, lt+selfc)
+		}
 		if eqs := bytes.Count(src.Data, []byte{'='}); eqs > 0 {
 			c.attrs = make([]goddag.Attr, 0, eqs)
 		}
@@ -199,7 +231,7 @@ func contentMismatch(src Source, scanOpts xmlscan.Options, ref, against string) 
 // returning the shared values. It is a thin wrapper over the single-pass
 // loader; NewStream performs the same verification without a second pass.
 func verifySources(sources []Source) (rootTag, content string, err error) {
-	rootTag, content, _, err = prepareSources(sources, Options{})
+	rootTag, content, _, err = prepareSources(sources, Options{}, true)
 	return rootTag, content, err
 }
 

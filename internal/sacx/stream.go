@@ -2,10 +2,12 @@ package sacx
 
 import (
 	"container/heap"
+	"fmt"
 	"io"
+	"math"
 	"strings"
-	"unicode/utf8"
 
+	"repro/internal/document"
 	"repro/internal/goddag"
 	"repro/internal/xmlscan"
 )
@@ -47,25 +49,38 @@ type Stream struct {
 	opts    Options
 	rootTag string
 	content string
-	runeLen int // content length in runes
 
-	h            eventHeap
-	started      bool // StartDocument delivered
-	endPending   bool // EndDocument not yet delivered
-	textEmit     int  // content rune offset up to which text has been emitted
-	textEmitByte int  // the same frontier as a byte offset
+	h          eventHeap
+	started    bool // StartDocument delivered
+	endPending bool // EndDocument not yet delivered
+	textEmit   int  // content byte offset up to which text has been emitted
 }
 
 // streamEvent is one structural event recorded while tokenizing a source:
-// a start or end tag with its content position in runes and bytes.
-// Attributes live in the owning cursor's arena at [attrLo, attrHi).
+// a start or end tag with its content byte position. Because every source
+// is tokenized to completion before the merge starts, a start event also
+// knows where its element ends (end); the merge uses it to order starts
+// at one position widest-first, and Build uses it to stream complete
+// element spans straight into the GODDAG bulk loader. Attributes live in
+// the owning cursor's arena at [attrLo, attrHi).
 type streamEvent struct {
-	kind    EventKind
-	name    string
-	pos     int // content rune offset
-	bytePos int // content byte offset
-	attrLo  int32
-	attrHi  int32
+	name   string
+	pos    int32 // content byte offset
+	end    int32 // matching end offset (start events; == pos for ends)
+	attrLo int32
+	attrHi int32
+	kind   EventKind
+}
+
+// elemRec is one complete element of a source: its span plus the index
+// of its start event (which carries name and attributes). Element
+// records are what Build merges — they are kept sorted per source in
+// document order (CompareSpans, then end-tag order), so the k-way merge
+// emits elements ready for the bulk loader with no global sort.
+type elemRec struct {
+	span   document.Span
+	ev     int32 // index of the start streamEvent in cursor.events
+	endSeq int32 // order of the element's end tag within the source
 }
 
 // cursor holds one hierarchy's recorded event list and the merge position
@@ -76,9 +91,24 @@ type cursor struct {
 	hier    string
 	events  []streamEvent
 	attrs   []goddag.Attr // arena referenced by events
-	i       int           // next event to deliver
+	elems   []elemRec     // per-source elements in document order
+	i       int           // next event to deliver (Stream merge)
+	ei      int           // next element to deliver (Build merge)
 	idx     int           // stream index for deterministic ordering
 	heapIdx int           // position in the merge heap
+
+	// elemsOnly skips recording EndElement events: Build consumes only
+	// the element records (whose spans already carry the end positions)
+	// plus the start events they point at, so the Stream-facing end
+	// events would be dead weight — half of all structural events. It
+	// also records cuts, the markup border positions in token order.
+	elemsOnly bool
+
+	// cuts are the source's markup border positions, recorded in token
+	// order — which is ascending, since tag content offsets only grow.
+	// Build merges the k pre-sorted lists into the partition without
+	// ever sorting. Only recorded when elemsOnly is set.
+	cuts []int32
 }
 
 func (c *cursor) exhausted() bool { return c.i >= len(c.events) }
@@ -87,7 +117,9 @@ func (c *cursor) exhausted() bool { return c.i >= len(c.events) }
 func (c *cursor) head() *streamEvent { return &c.events[c.i] }
 
 // less orders cursors by their pending events: position, then ends before
-// starts, then source order.
+// starts, then widest end first (so the element opening the larger span
+// is delivered first, document order across hierarchies), then source
+// order.
 func (c *cursor) less(o *cursor) bool {
 	a, b := c.head(), o.head()
 	if a.pos != b.pos {
@@ -97,6 +129,9 @@ func (c *cursor) less(o *cursor) bool {
 	if ca != cb {
 		return ca < cb
 	}
+	if ca == 1 && a.end != b.end {
+		return a.end > b.end
+	}
 	return c.idx < o.idx
 }
 
@@ -104,7 +139,7 @@ func (c *cursor) less(o *cursor) bool {
 // Verification and event recording happen in the same single pass over
 // each source.
 func NewStream(sources []Source, opts Options) (*Stream, error) {
-	rootTag, content, cursors, err := prepareSources(sources, opts)
+	rootTag, content, cursors, err := prepareSources(sources, opts, false)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +148,6 @@ func NewStream(sources []Source, opts Options) (*Stream, error) {
 		opts:    opts,
 		rootTag: rootTag,
 		content: content,
-		runeLen: utf8.RuneCountInString(content),
 	}
 	s.endPending = true
 	if opts.Strategy == MergeHeap {
@@ -131,32 +165,44 @@ func NewStream(sources []Source, opts Options) (*Stream, error) {
 // RootTag returns the shared root element tag.
 func (s *Stream) RootTag() string { return s.rootTag }
 
-// totalEvents returns the number of structural events left to merge,
-// letting Build pre-size its record list.
-func (s *Stream) totalEvents() int {
-	n := 0
-	for _, c := range s.cursors {
-		n += len(c.events) - c.i
-	}
-	return n
-}
-
 // Content returns the shared character content.
 func (s *Stream) Content() string { return s.content }
 
-// load tokenizes one source into the cursor's event list. When build is
-// non-nil the decoded character content is appended to it (the reference
-// source); otherwise every text run is compared in place against ref, the
-// already-established shared content. The returned root tag is the
-// source's root element name ("" for an empty document, which the scanner
-// rejects anyway).
+// load tokenizes one source into the cursor's event and element lists.
+// When build is non-nil the decoded character content is appended to it
+// (the reference source); otherwise every text run is compared in place
+// against ref, the already-established shared content. The returned root
+// tag is the source's root element name ("" for an empty document, which
+// the scanner rejects anyway).
+//
+// Element spans are completed as end tags arrive (the scanner guarantees
+// tag balance), then fixupElems restores document order within each
+// equal-start run, leaving c.elems fully sorted for the merge. On the
+// Stream path (elemsOnly unset) no element list is kept at all: the open
+// stack holds start-event indices just long enough to patch their end
+// offsets.
 func (c *cursor) load(sc *xmlscan.Scanner, build *strings.Builder, ref string) (rootTag string, err error) {
 	sawRoot := false
+	// Indices of elements (elemsOnly) or start events (stream path)
+	// awaiting their end tag.
+	var open []int32
+	endSeq := int32(0)
+	var tok xmlscan.Token
 	for {
-		tok, err := sc.Next()
+		err := sc.NextInto(&tok)
 		if err == io.EOF {
+			// Recorded positions are int32; reject content past 2 GiB
+			// (entity expansion can exceed the input size) instead of
+			// letting the narrowed offsets wrap. ContentByte itself is an
+			// int, so the check is exact even after a would-be wrap.
+			if sc.ContentByte() > math.MaxInt32 {
+				return rootTag, fmt.Errorf("sacx: character content exceeds %d bytes", math.MaxInt32)
+			}
 			if build == nil && sc.ContentByte() != len(ref) {
 				return rootTag, errContentMismatch
+			}
+			if c.elemsOnly {
+				c.fixupElems()
 			}
 			return rootTag, nil
 		}
@@ -171,10 +217,10 @@ func (c *cursor) load(sc *xmlscan.Scanner, build *strings.Builder, ref string) (
 				continue // absorb the per-hierarchy root start
 			}
 			ev := streamEvent{
-				kind:    StartElement,
-				name:    tok.Name,
-				pos:     tok.ContentPos,
-				bytePos: tok.ContentByte,
+				kind: StartElement,
+				name: tok.Name,
+				pos:  int32(tok.ContentByte),
+				end:  int32(tok.ContentByte), // patched when the end tag arrives
 			}
 			if len(tok.Attrs) > 0 {
 				ev.attrLo = int32(len(c.attrs))
@@ -183,20 +229,50 @@ func (c *cursor) load(sc *xmlscan.Scanner, build *strings.Builder, ref string) (
 				}
 				ev.attrHi = int32(len(c.attrs))
 			}
+			if c.elemsOnly {
+				c.cuts = append(c.cuts, int32(tok.ContentByte))
+				c.elems = append(c.elems, elemRec{
+					span: document.NewSpan(tok.ContentByte, tok.ContentByte),
+					ev:   int32(len(c.events)),
+				})
+				if tok.SelfClosing {
+					c.elems[len(c.elems)-1].endSeq = endSeq
+					endSeq++
+				} else {
+					open = append(open, int32(len(c.elems)-1))
+				}
+				c.events = append(c.events, ev)
+				break
+			}
 			c.events = append(c.events, ev)
 			if tok.SelfClosing {
 				c.events = append(c.events, streamEvent{
 					kind: EndElement, name: tok.Name,
-					pos: tok.ContentPos, bytePos: tok.ContentByte,
+					pos: int32(tok.ContentByte), end: int32(tok.ContentByte),
 				})
+			} else {
+				open = append(open, int32(len(c.events)-1))
 			}
 		case xmlscan.KindEndElement:
 			if tok.Depth == 0 {
 				continue // absorb the per-hierarchy root end
 			}
+			// The scanner enforces tag balance, so open is never empty here.
+			top := open[len(open)-1]
+			open = open[:len(open)-1]
+			if c.elemsOnly {
+				el := &c.elems[top]
+				el.span.End = tok.ContentByte
+				el.endSeq = endSeq
+				endSeq++
+				c.events[el.ev].end = int32(tok.ContentByte)
+				c.cuts = append(c.cuts, int32(tok.ContentByte))
+				break
+			}
+			c.events[top].end = int32(tok.ContentByte)
 			c.events = append(c.events, streamEvent{
 				kind: EndElement, name: tok.Name,
-				pos: tok.ContentPos, bytePos: tok.ContentByte,
+				pos: int32(tok.ContentByte), end: int32(tok.ContentByte),
 			})
 		case xmlscan.KindText:
 			// CoalesceCDATA folds CDATA sections into text tokens.
@@ -215,6 +291,62 @@ func (c *cursor) load(sc *xmlscan.Scanner, build *strings.Builder, ref string) (
 			// Comments, PIs, doctype: no structural event.
 		}
 	}
+}
+
+// fixupElems restores document order (CompareSpans, then end-tag order)
+// within each run of elements opening at the same content position. The
+// element list is recorded in start-tag order, which already has
+// non-decreasing starts; only equal-start runs can violate document
+// order (a milestone written before a wider sibling, or coextensive
+// elements, whose tie is broken by the order their end tags appeared —
+// exactly the order the pre-merge record sort used to establish
+// globally). Runs are almost always length 1, so this is a linear scan
+// with rare, tiny sorts — not a global O(n log n) pass.
+func (c *cursor) fixupElems() {
+	el := c.elems
+	for i := 0; i < len(el); {
+		j := i + 1
+		for j < len(el) && el[j].span.Start == el[i].span.Start {
+			j++
+		}
+		if j-i > 1 {
+			sortRun(el[i:j])
+		}
+		i = j
+	}
+}
+
+// sortRun orders one equal-start run by (End descending, end-tag order),
+// skipping the sort when the run is already ordered (the common nested
+// case).
+func sortRun(run []elemRec) {
+	sorted := true
+	for i := 1; i < len(run); i++ {
+		if elemLess(&run[i], &run[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	// Runs are tiny (a handful of tags at one content position); simple
+	// insertion sort avoids the generic-sort machinery on the hot path.
+	for i := 1; i < len(run); i++ {
+		for j := i; j > 0 && elemLess(&run[j], &run[j-1]); j-- {
+			run[j], run[j-1] = run[j-1], run[j]
+		}
+	}
+}
+
+// elemLess orders element records of one source: CompareSpans, then the
+// order of their end tags (which distinguishes nested from stacked
+// coextensive elements).
+func elemLess(a, b *elemRec) bool {
+	if c := document.CompareSpans(a.span, b.span); c != 0 {
+		return c < 0
+	}
+	return a.endSeq < b.endSeq
 }
 
 // eventClass orders event kinds at equal positions: ends before starts.
@@ -258,30 +390,29 @@ func (h *eventHeap) Pop() any {
 func (s *Stream) Next() (Event, error) {
 	if !s.started {
 		s.started = true
-		return Event{Kind: StartDocument, Name: s.rootTag, Text: s.content}, nil
+		return Event{Kind: StartDocument, Name: s.rootTag, Text: s.content, End: len(s.content)}, nil
 	}
 	// Find the next structural event across cursors.
 	c := s.peekMin()
 	// Emit pending text before the next structural position.
-	nextPos, nextByte := s.runeLen, len(s.content)
+	nextByte := len(s.content)
 	if c != nil {
-		head := c.head()
-		nextPos, nextByte = head.pos, head.bytePos
+		nextByte = int(c.head().pos)
 	}
-	if s.textEmit < nextPos {
-		ev := Event{Kind: Characters, Text: s.content[s.textEmitByte:nextByte], Pos: s.textEmit}
-		s.textEmit, s.textEmitByte = nextPos, nextByte
+	if s.textEmit < nextByte {
+		ev := Event{Kind: Characters, Text: s.content[s.textEmit:nextByte], Pos: s.textEmit, End: nextByte}
+		s.textEmit = nextByte
 		return ev, nil
 	}
 	if c == nil {
 		if s.endPending {
 			s.endPending = false
-			return Event{Kind: EndDocument, Pos: s.runeLen}, nil
+			return Event{Kind: EndDocument, Pos: len(s.content), End: len(s.content)}, nil
 		}
 		return Event{}, io.EOF
 	}
 	head := c.head()
-	ev := Event{Kind: head.kind, Hierarchy: c.hier, Name: head.name, Pos: head.pos}
+	ev := Event{Kind: head.kind, Hierarchy: c.hier, Name: head.name, Pos: int(head.pos), End: int(head.end)}
 	if head.attrHi > head.attrLo {
 		ev.Attrs = c.attrs[head.attrLo:head.attrHi:head.attrHi]
 	}

@@ -6,11 +6,14 @@
 //	header:  magic "GDAG", version byte
 //	body:    root tag, content, hierarchy count,
 //	         per hierarchy: name, element count,
-//	         per element (document order): tag, span start/end (varint),
+//	         per element (document order): tag, span start/length (varint),
 //	         attribute count, attributes (name, value)
 //	footer:  CRC-32 (Castagnoli) of everything before it
 //
 // Strings are length-prefixed (uvarint) UTF-8; integers are uvarints.
+// Since version 2, spans are *byte* offsets into the UTF-8 content (the
+// GODDAG's native coordinates); version 1 files, whose spans were rune
+// offsets, are rejected rather than silently misread.
 // Elements are stored in document order, so loading replays them through
 // goddag.InsertElement, which appends in O(1) per element on this order;
 // leaf boundaries are re-established in one batch.
@@ -31,7 +34,7 @@ import (
 // magic identifies the file format; version allows evolution.
 const (
 	magic   = "GDAG"
-	version = 1
+	version = 2
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)

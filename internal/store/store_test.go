@@ -81,7 +81,8 @@ func TestRoundTripEmptyDocument(t *testing.T) {
 func TestRoundTripUnicode(t *testing.T) {
 	doc := goddag.New("r", "ƿæs þæt 日本語")
 	h := doc.AddHierarchy("h")
-	if _, err := doc.InsertElement(h, "w", []goddag.Attr{{Name: "x", Value: "þ\"<&"}}, spanOf(0, 3)); err != nil {
+	// "ƿæs" spans bytes [0,5): ƿ and æ are 2 bytes each.
+	if _, err := doc.InsertElement(h, "w", []goddag.Attr{{Name: "x", Value: "þ\"<&"}}, spanOf(0, 5)); err != nil {
 		t.Fatal(err)
 	}
 	back := roundTrip(t, doc)

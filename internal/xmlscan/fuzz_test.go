@@ -1,0 +1,107 @@
+package xmlscan
+
+import (
+	"io"
+	"testing"
+	"unicode/utf8"
+)
+
+// fuzzSeeds cover the scanner's surface: plain markup, attributes in both
+// quote styles, self-closing tags, every reference form, CDATA, comments,
+// PIs, DOCTYPE with an internal subset, multibyte and astral-plane text,
+// and a collection of malformed fragments (truncations, stray markup,
+// bad references) that must error rather than loop or crash.
+var fuzzSeeds = []string{
+	`<r>ab<w>cd</w>e</r>`,
+	`<r a="1" b='2'><w c="x&amp;y"/></r>`,
+	`<r>a&amp;b&lt;c&#65;&#x42;]x&gt;["']tail&amp;&amp;</r>`,
+	`<r>ab<![CDATA[<&]]>cd<w/></r>`,
+	`<r><!-- comment --><?pi data?>x</r>`,
+	`<!DOCTYPE r [<!ENTITY e "ee">]><r>&e;</r>`,
+	`<?xml version="1.0"?><r/>`,
+	`<r>文書の🌲📚🔥𝔾𝕠 åb̈ æðel</r>`,
+	`<r><line n="1">swa hwæt swa</line><line n="2"> he us sægde</line></r>`,
+	`<r>swa hwæt s<res resp="ed">wa he u</res>s sægde</r>`,
+	`<r><s>ab cd</s> <s>ef gh</s></r>`,
+	`<r>ab<pb/> <x>cd ef</x> gh</r>`,
+	// Malformed: truncations and well-formedness violations.
+	`<r>ab`,
+	`<r><w>x</r></w>`,
+	`<r>&undefined;</r>`,
+	`<r>&#xZZ;</r>`,
+	`<r>a]]>b</r>`,
+	`<r a="1" a="2"/>`,
+	`<r><w a=1></w></r>`,
+	`<r></r><r></r>`,
+	`text outside`,
+	`<`,
+	`<!DOCTYPE`,
+	`<r><![CDATA[unterminated</r>`,
+	`<r><!-- unterminated</r>`,
+}
+
+// FuzzScanner drives the tokenizer over arbitrary bytes and checks its
+// hard guarantees: it terminates, errors are *SyntaxError with in-range
+// offsets and consistent lazily computed line/col, forward progress is
+// monotone, and on success the decoded content offsets add up.
+func FuzzScanner(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, opts := range []Options{
+			{CoalesceCDATA: true, ReuseAttrs: true},
+			{KeepComments: true, KeepProcInsts: true},
+		} {
+			sc := New(data, opts)
+			validInput := utf8.Valid(data)
+			contentBytes := 0
+			tokens := 0
+			lastEnd := 0
+			for {
+				tok, err := sc.Next()
+				if err == io.EOF {
+					if sc.ContentByte() != contentBytes {
+						t.Fatalf("final ContentByte %d, summed %d", sc.ContentByte(), contentBytes)
+					}
+					break
+				}
+				if err != nil {
+					se, ok := err.(*SyntaxError)
+					if !ok {
+						t.Fatalf("error is %T, want *SyntaxError: %v", err, err)
+					}
+					if se.Offset < 0 || se.Offset > len(data) {
+						t.Fatalf("error offset %d out of range [0,%d]", se.Offset, len(data))
+					}
+					if line, col := sc.Position(se.Offset); line != se.Line || col != se.Col {
+						t.Fatalf("error at %d:%d but Position says %d:%d", se.Line, se.Col, line, col)
+					}
+					// Errors must be sticky.
+					if _, err2 := sc.Next(); err2 != err {
+						t.Fatalf("error not sticky: %v then %v", err, err2)
+					}
+					break
+				}
+				tokens++
+				if tokens > 2*len(data)+16 {
+					t.Fatalf("scanner emitted %d tokens from %d input bytes", tokens, len(data))
+				}
+				if tok.Offset < lastEnd || tok.End < tok.Offset || tok.End > len(data) {
+					t.Fatalf("token span [%d,%d) regressed past %d (input %d bytes)",
+						tok.Offset, tok.End, lastEnd, len(data))
+				}
+				lastEnd = tok.End
+				if tok.ContentByte != contentBytes {
+					t.Fatalf("token ContentByte %d, want %d", tok.ContentByte, contentBytes)
+				}
+				if tok.Kind == KindText || tok.Kind == KindCDATA {
+					contentBytes += len(tok.Text)
+					if validInput && !utf8.ValidString(tok.Text) {
+						t.Fatalf("invalid UTF-8 text from valid input: %q", tok.Text)
+					}
+				}
+			}
+		}
+	})
+}

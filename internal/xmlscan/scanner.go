@@ -66,7 +66,6 @@ type Scanner struct {
 	str string // src as a string; token substrings alias it
 	pos int
 
-	contentPos  int // rune offset within character content so far
 	contentByte int // byte offset within decoded character content so far
 	stack       []string
 	opts        Options
@@ -112,9 +111,6 @@ func (s *Scanner) lookupEntity(name string) (string, bool) {
 // Depth returns the current element nesting depth.
 func (s *Scanner) Depth() int { return len(s.stack) }
 
-// ContentPos returns the rune offset within character content reached so far.
-func (s *Scanner) ContentPos() int { return s.contentPos }
-
 // ContentByte returns the byte offset within the decoded character
 // content reached so far.
 func (s *Scanner) ContentByte() int { return s.contentByte }
@@ -153,15 +149,23 @@ func (s *Scanner) lineColAt(off int) (line, col int) {
 // verifying that all elements were closed and a root element was present.
 // After any error, Next keeps returning the same error.
 func (s *Scanner) Next() (Token, error) {
+	var tok Token
+	err := s.NextInto(&tok)
+	return tok, err
+}
+
+// NextInto is Next writing the token into *t instead of returning it by
+// value, sparing tight scan loops one struct copy per token. Every field
+// of *t is overwritten on success; on error *t is left unspecified.
+func (s *Scanner) NextInto(t *Token) error {
 	if s.err != nil {
-		return Token{}, s.err
+		return s.err
 	}
 	for {
-		var tok Token
-		if err := s.next(&tok); err != nil {
-			return Token{}, err
+		if err := s.next(t); err != nil {
+			return err
 		}
-		switch tok.Kind {
+		switch t.Kind {
 		case KindComment:
 			if !s.opts.KeepComments {
 				continue
@@ -172,10 +176,10 @@ func (s *Scanner) Next() (Token, error) {
 			}
 		case KindCDATA:
 			if s.opts.CoalesceCDATA {
-				tok.Kind = KindText
+				t.Kind = KindText
 			}
 		}
-		return tok, nil
+		return nil
 	}
 }
 
@@ -264,15 +268,14 @@ func (s *Scanner) scanText(start int, t *Token) error {
 		// Whitespace outside the root is not document content.
 		*t = Token{
 			Kind: KindText, Text: "", Offset: start, End: s.pos,
-			ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: 0,
+			ContentByte: s.contentByte, Depth: 0,
 		}
 		return nil
 	}
 	*t = Token{
 		Kind: KindText, Text: text, Offset: start, End: s.pos,
-		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: len(s.stack),
+		ContentByte: s.contentByte, Depth: len(s.stack),
 	}
-	s.contentPos += utf8.RuneCountInString(text)
 	s.contentByte += len(text)
 	return nil
 }
@@ -523,7 +526,7 @@ func (s *Scanner) scanStartTag(start int, t *Token) error {
 	*t = Token{
 		Kind: KindStartElement, Name: name, Attrs: attrs, SelfClosing: selfClosing,
 		Offset: start, End: s.pos,
-		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: depth,
+		ContentByte: s.contentByte, Depth: depth,
 	}
 	return nil
 }
@@ -599,7 +602,7 @@ func (s *Scanner) scanEndTag(start int, t *Token) error {
 	*t = Token{
 		Kind: KindEndElement, Name: name,
 		Offset: start, End: s.pos,
-		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: len(s.stack),
+		ContentByte: s.contentByte, Depth: len(s.stack),
 	}
 	return nil
 }
@@ -628,7 +631,7 @@ func (s *Scanner) scanPI(start int, t *Token) error {
 	*t = Token{
 		Kind: kind, Name: name, Text: data,
 		Offset: start, End: s.pos,
-		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: len(s.stack),
+		ContentByte: s.contentByte, Depth: len(s.stack),
 	}
 	return nil
 }
@@ -662,7 +665,7 @@ func (s *Scanner) scanComment(start int, t *Token) error {
 	*t = Token{
 		Kind: KindComment, Text: body,
 		Offset: start, End: s.pos,
-		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: len(s.stack),
+		ContentByte: s.contentByte, Depth: len(s.stack),
 	}
 	return nil
 }
@@ -681,9 +684,8 @@ func (s *Scanner) scanCDATA(start int, t *Token) error {
 	*t = Token{
 		Kind: KindCDATA, Text: body,
 		Offset: start, End: s.pos,
-		ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: len(s.stack),
+		ContentByte: s.contentByte, Depth: len(s.stack),
 	}
-	s.contentPos += utf8.RuneCountInString(body)
 	s.contentByte += len(body)
 	return nil
 }
@@ -731,7 +733,7 @@ func (s *Scanner) scanDoctype(start int, t *Token) error {
 				*t = Token{
 					Kind: KindDoctype, Name: name, Text: strings.TrimSpace(body),
 					Offset: start, End: s.pos,
-					ContentPos: s.contentPos, ContentByte: s.contentByte, Depth: 0,
+					ContentByte: s.contentByte, Depth: 0,
 				}
 				return nil
 			}

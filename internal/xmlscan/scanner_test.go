@@ -156,43 +156,43 @@ func TestProcInst(t *testing.T) {
 	}
 }
 
-func TestContentPos(t *testing.T) {
+func TestContentByte(t *testing.T) {
 	// <r>ab<w>cd</w>e</r> : content = "abcde"
 	toks := mustTokens(t, `<r>ab<w>cd</w>e</r>`)
 	wantPos := map[string]int{}
 	for _, tok := range toks {
 		switch {
 		case tok.Kind == KindStartElement && tok.Name == "w":
-			wantPos["w.start"] = tok.ContentPos
+			wantPos["w.start"] = tok.ContentByte
 		case tok.Kind == KindEndElement && tok.Name == "w":
-			wantPos["w.end"] = tok.ContentPos
+			wantPos["w.end"] = tok.ContentByte
 		case tok.Kind == KindEndElement && tok.Name == "r":
-			wantPos["r.end"] = tok.ContentPos
+			wantPos["r.end"] = tok.ContentByte
 		}
 	}
 	if wantPos["w.start"] != 2 {
-		t.Errorf("w start content pos = %d, want 2", wantPos["w.start"])
+		t.Errorf("w start content byte = %d, want 2", wantPos["w.start"])
 	}
 	if wantPos["w.end"] != 4 {
-		t.Errorf("w end content pos = %d, want 4", wantPos["w.end"])
+		t.Errorf("w end content byte = %d, want 4", wantPos["w.end"])
 	}
 	if wantPos["r.end"] != 5 {
-		t.Errorf("r end content pos = %d, want 5", wantPos["r.end"])
+		t.Errorf("r end content byte = %d, want 5", wantPos["r.end"])
 	}
 }
 
-func TestContentPosRunes(t *testing.T) {
-	// Multi-byte runes must count as one content position each.
+func TestContentByteMultibyte(t *testing.T) {
+	// Multibyte runes count at their encoded length (æ, þ, ƿ: 2 bytes).
 	toks := mustTokens(t, `<r>æþ<w>ƿ</w></r>`)
 	for _, tok := range toks {
 		if tok.Kind == KindStartElement && tok.Name == "w" {
-			if tok.ContentPos != 2 {
-				t.Errorf("w at content pos %d, want 2", tok.ContentPos)
+			if tok.ContentByte != 4 {
+				t.Errorf("w at content byte %d, want 4", tok.ContentByte)
 			}
 		}
 		if tok.Kind == KindEndElement && tok.Name == "r" {
-			if tok.ContentPos != 3 {
-				t.Errorf("r end at content pos %d, want 3", tok.ContentPos)
+			if tok.ContentByte != 6 {
+				t.Errorf("r end at content byte %d, want 6", tok.ContentByte)
 			}
 		}
 	}
@@ -432,8 +432,8 @@ func TestScannerState(t *testing.T) {
 	if maxDepth != 2 {
 		t.Errorf("max depth %d, want 2", maxDepth)
 	}
-	if s.ContentPos() != 3 {
-		t.Errorf("final content pos %d, want 3", s.ContentPos())
+	if s.ContentByte() != 3 {
+		t.Errorf("final content byte %d, want 3", s.ContentByte())
 	}
 }
 
@@ -505,31 +505,26 @@ func TestEntityHeavyText(t *testing.T) {
 	if toks[1].Text != want {
 		t.Errorf("decoded text %q, want %q", toks[1].Text, want)
 	}
-	if toks[2].ContentPos != len([]rune(want)) {
-		t.Errorf("end tag content pos %d, want %d", toks[2].ContentPos, len([]rune(want)))
-	}
 	if toks[2].ContentByte != len(want) {
 		t.Errorf("end tag content byte %d, want %d", toks[2].ContentByte, len(want))
 	}
 }
 
-// TestEntityTextPositions verifies rune/byte content offsets across a mix
-// of multi-byte literals and references that decode to multi-byte runes.
+// TestEntityTextPositions verifies byte content offsets across a mix of
+// multi-byte literals and references that decode to multi-byte runes.
 func TestEntityTextPositions(t *testing.T) {
-	// Content: "æx" + "þy" — æ literal, þ via character reference.
+	// Content: "æx" + "þy" — æ literal, þ via character reference; both
+	// count at their decoded length of 2 bytes.
 	toks := mustTokens(t, `<r>æx<w>&#xFE;y</w></r>`)
 	for _, tok := range toks {
 		if tok.Kind == KindStartElement && tok.Name == "w" {
-			if tok.ContentPos != 2 {
-				t.Errorf("w content pos %d, want 2", tok.ContentPos)
-			}
 			if tok.ContentByte != 3 {
 				t.Errorf("w content byte %d, want 3 (æ is 2 bytes)", tok.ContentByte)
 			}
 		}
 		if tok.Kind == KindEndElement && tok.Name == "r" {
-			if tok.ContentPos != 4 || tok.ContentByte != 6 {
-				t.Errorf("r end at pos=%d byte=%d, want 4/6", tok.ContentPos, tok.ContentByte)
+			if tok.ContentByte != 6 {
+				t.Errorf("r end at byte=%d, want 6", tok.ContentByte)
 			}
 		}
 	}
@@ -550,8 +545,8 @@ func TestCDATACoalescingPositions(t *testing.T) {
 			content += tok.Text
 		}
 		if tok.Kind == KindStartElement && tok.Name == "w" {
-			if tok.ContentPos != 6 || tok.ContentByte != 6 {
-				t.Errorf("w at pos=%d byte=%d, want 6/6", tok.ContentPos, tok.ContentByte)
+			if tok.ContentByte != 6 {
+				t.Errorf("w at byte=%d, want 6", tok.ContentByte)
 			}
 		}
 	}

@@ -2,12 +2,15 @@
 // preserves byte offsets and content (text) offsets for every token.
 //
 // The standard library's encoding/xml decoder is designed for data-centric
-// XML: it does not report the *content offset* of markup (the number of
-// text runes preceding a tag), which is the primitive that concurrent-XML
+// XML: it does not report the *content offset* of markup (the amount of
+// text preceding a tag), which is the primitive that concurrent-XML
 // parsing (package sacx) and standoff/milestone drivers (package drivers)
 // are built on. This scanner reports, for every token, both its byte span
-// in the input and the rune offset of the token within the document's
-// character content.
+// in the input and its byte offset within the document's *decoded*
+// character content (Token.ContentByte). Content offsets are bytes, not
+// runes — the scanner never counts runes, keeping the hot path free of
+// UTF-8 decoding; consumers that need character positions convert at the
+// edge via the document package's byte↔rune index.
 //
 // The scanner checks well-formedness as it goes: tag balance, attribute
 // uniqueness, name syntax, and entity correctness. It understands the
@@ -99,16 +102,14 @@ type Token struct {
 	Offset int
 	End    int
 
-	// ContentPos is the rune offset of this token within the document's
-	// character content: the number of content runes (from Text and
-	// CDATA tokens) that precede it. For a Text or CDATA token this is
-	// the content offset of its first rune.
-	ContentPos int
-
 	// ContentByte is the byte offset of this token within the document's
-	// *decoded* character content (entity and character references count
-	// with their replacement length). It lets consumers slice a shared
-	// content string without re-counting runes.
+	// *decoded* character content: the number of content bytes (from Text
+	// and CDATA tokens, with entity and character references counted at
+	// their replacement length) that precede it. For a Text or CDATA
+	// token this is the content offset of its first byte. It lets
+	// consumers slice a shared content string directly; decoded content
+	// always begins tokens on rune boundaries, so the offset converts
+	// losslessly to a character position when one is needed.
 	ContentByte int
 
 	// Depth is the element nesting depth at the token start (the root

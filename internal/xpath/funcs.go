@@ -132,10 +132,14 @@ func (ev *evaluator) evalCall(c *callExpr, ctx context) (Value, error) {
 			}
 			node = vs[0].nodes[0]
 		}
+		// Query results are character positions (the paper's span
+		// coordinates); the GODDAG's byte spans convert through the
+		// content's memoized byte↔rune index.
+		content := node.Document().Content()
 		if c.name == "span-start" {
-			return numberValue(float64(node.Span().Start)), nil
+			return numberValue(float64(content.RuneOffset(node.Span().Start))), nil
 		}
-		return numberValue(float64(node.Span().End)), nil
+		return numberValue(float64(content.RuneOffset(node.Span().End))), nil
 	case "string":
 		if len(c.args) == 0 {
 			return stringValue(ctx.node.Text()), nil

@@ -33,7 +33,9 @@ type Leaf = goddag.Leaf
 // Attr is an element attribute.
 type Attr = goddag.Attr
 
-// Span is a half-open rune interval [Start, End) over document content.
+// Span is a half-open byte interval [Start, End) over document content.
+// Convert to and from character (rune) positions with the document
+// content's ByteSpan/RuneSpan when an interface requires them.
 type Span = document.Span
 
 // Format identifies an on-disk representation of concurrent markup.
