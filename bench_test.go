@@ -71,9 +71,10 @@ func BenchmarkSACXParseDensity(b *testing.B) {
 
 // ---- E4: overlap queries, GODDAG vs baselines -------------------------
 
-func e4Fixtures(b *testing.B, words int, density float64) (*goddag.Document, *baseline.Node, *baseline.Node) {
+func e4Fixtures(b *testing.B, words, hierarchies int, density float64) (*goddag.Document, *baseline.Node, *baseline.Node) {
 	b.Helper()
 	cfg := corpus.DefaultConfig(words)
+	cfg.Hierarchies = hierarchies
 	cfg.OverlapDensity = density
 	doc, err := corpus.Generate(cfg)
 	if err != nil {
@@ -100,21 +101,23 @@ func e4Fixtures(b *testing.B, words int, density float64) (*goddag.Document, *ba
 
 func BenchmarkOverlapQuery_GODDAG(b *testing.B) {
 	for _, words := range []int{1000, 8000} {
-		doc, _, _ := e4Fixtures(b, words, 0.5)
-		q := xpath.MustCompile("//dmg/overlapping::w")
-		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := q.Eval(doc); err != nil {
-					b.Fatal(err)
+		for _, h := range []int{4, 8} {
+			doc, _, _ := e4Fixtures(b, words, h, 0.5)
+			q := xpath.MustCompile("//dmg/overlapping::w")
+			b.Run(fmt.Sprintf("words=%d/h=%d", words, h), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := q.Eval(doc); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
 func BenchmarkOverlapQuery_FragmentJoin(b *testing.B) {
 	for _, words := range []int{1000, 8000} {
-		_, fragDOM, _ := e4Fixtures(b, words, 0.5)
+		_, fragDOM, _ := e4Fixtures(b, words, 4, 0.5)
 		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				baseline.OverlappingFragmentJoin(fragDOM, "dmg", "w")
@@ -125,7 +128,7 @@ func BenchmarkOverlapQuery_FragmentJoin(b *testing.B) {
 
 func BenchmarkOverlapQuery_MilestonePair(b *testing.B) {
 	for _, words := range []int{1000, 8000} {
-		_, _, msDOM := e4Fixtures(b, words, 0.5)
+		_, _, msDOM := e4Fixtures(b, words, 4, 0.5)
 		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				baseline.OverlappingMilestonePair(msDOM, "dmg", "w")
@@ -137,27 +140,36 @@ func BenchmarkOverlapQuery_MilestonePair(b *testing.B) {
 // ---- E5: axis micro-benchmarks ----------------------------------------
 
 func BenchmarkAxis(b *testing.B) {
-	doc, err := corpus.Generate(corpus.DefaultConfig(4000))
-	if err != nil {
-		b.Fatal(err)
-	}
 	queries := map[string]string{
 		"child":       "count(/line)",
 		"descendant":  "count(//w)",
+		"childname":   "count(//s/w)",
 		"covering":    "count(//w[17]/covering::*)",
+		"covered":     "count(//line/covered::w)",
 		"overlapping": "count(//dmg/overlapping::w)",
 		"following":   "count(//res/following::w)",
+		"preceding":   "count(//res/preceding::w)",
+		"ancestor":    "count(//dmg/ancestor::*)",
+		"union":       "count(//w | //line)",
 		"predicate":   "count(//w[@n='100'])",
 	}
-	for name, qs := range queries {
-		q := xpath.MustCompile(qs)
-		b.Run(name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := q.Eval(doc); err != nil {
-					b.Fatal(err)
+	for _, size := range []struct{ words, h int }{{4000, 4}, {8000, 8}} {
+		cfg := corpus.DefaultConfig(size.words)
+		cfg.Hierarchies = size.h
+		doc, err := corpus.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for name, qs := range queries {
+			q := xpath.MustCompile(qs)
+			b.Run(fmt.Sprintf("words=%d/h=%d/%s", size.words, size.h, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := q.Eval(doc); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

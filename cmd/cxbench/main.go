@@ -46,9 +46,9 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: E3,E4,E5,E6,E7,A1,A2 or all")
+		exp      = flag.String("exp", "all", "experiment ids, comma-separated: E3,E4,E5,E6,E7,A1,A2 or all")
 		full     = flag.Bool("full", false, "run the larger sweeps")
-		jsonPath = flag.String("benchjson", "", "write SACX ingest results (E3/A1 rows) to this JSON file, e.g. BENCH_sacx.json")
+		jsonPath = flag.String("benchjson", "", "write measured rows (E3/A1 ingest, E4/E5 query) to this JSON file, e.g. BENCH_sacx.json or BENCH_query.json")
 		label    = flag.String("benchlabel", "dev", "snapshot label recorded with -benchjson (e.g. pr2); an existing snapshot with the same label is replaced, others are kept")
 	)
 	flag.Parse()
@@ -58,15 +58,17 @@ func main() {
 		"E3": b.e3, "E4": b.e4, "E5": b.e5, "E6": b.e6, "E7": b.e7,
 		"A1": b.a1, "A2": b.a2,
 	}
-	if *exp == "all" {
-		for _, id := range []string{"E3", "E4", "E5", "E6", "E7", "A1", "A2"} {
-			run[id]()
+	ids := []string{"E3", "E4", "E5", "E6", "E7", "A1", "A2"}
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		f, ok := run[strings.TrimSpace(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cxbench: unknown experiment %q\n", id)
+			os.Exit(1)
 		}
-	} else if f, ok := run[*exp]; ok {
 		f()
-	} else {
-		fmt.Fprintf(os.Stderr, "cxbench: unknown experiment %q\n", *exp)
-		os.Exit(1)
 	}
 	if *jsonPath != "" {
 		if err := b.writeJSON(*jsonPath, *label); err != nil {
@@ -81,19 +83,22 @@ type bench struct {
 	rows []benchRow
 }
 
-// benchRow is one measured configuration of the SACX ingest path,
-// emitted with -benchjson so successive PRs can track the performance
-// trajectory (see PERFORMANCE.md).
+// benchRow is one measured configuration of the SACX ingest path (E3/A1,
+// tracked in BENCH_sacx.json) or the query path (E4/E5, tracked in
+// BENCH_query.json), emitted with -benchjson so successive PRs can track
+// the performance trajectory (see PERFORMANCE.md).
 type benchRow struct {
-	Experiment  string  `json:"experiment"` // "E3" (parse) or "A1" (merge ablation)
+	Experiment  string  `json:"experiment"` // "E3"/"A1" (ingest) or "E4"/"E5" (query)
 	Words       int     `json:"words"`
 	Hierarchies int     `json:"hierarchies"`
 	Density     float64 `json:"density,omitempty"`
 	Strategy    string  `json:"strategy,omitempty"` // A1: "heap" or "rescan"
+	Query       string  `json:"query,omitempty"`    // E4/E5: the measured query
 	InputBytes  int     `json:"input_bytes,omitempty"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 	Elements    int     `json:"elements,omitempty"`
+	Results     int     `json:"results,omitempty"` // E4/E5: result/answer count
 }
 
 // benchSnapshot is one labelled measurement run; BENCH_sacx.json holds
@@ -110,7 +115,7 @@ type benchFile struct {
 
 func (b *bench) writeJSON(path, label string) error {
 	if len(b.rows) == 0 {
-		return fmt.Errorf("-benchjson requires an experiment that produces SACX rows (-exp E3, A1, or all)")
+		return fmt.Errorf("-benchjson requires an experiment that produces rows (-exp E3, E4, E5, A1, or all)")
 	}
 	var file benchFile
 	if old, err := os.ReadFile(path); err == nil {
@@ -215,55 +220,64 @@ func (b *bench) e3() {
 // for overlap queries; Extended XPath expresses them directly).
 func (b *bench) e4() {
 	header("E4", "overlap query: //dmg/overlapping::w — GODDAG vs baselines")
-	fmt.Printf("%8s %8s %10s %14s %14s %9s %9s\n",
-		"words", "density", "goddag_us", "fragjoin_us", "milestone_us", "answers", "speedup")
-	q := xpath.MustCompile("//dmg/overlapping::w")
+	fmt.Printf("%8s %4s %8s %10s %14s %14s %9s %9s\n",
+		"words", "h", "density", "goddag_us", "fragjoin_us", "milestone_us", "answers", "speedup")
+	const query = "//dmg/overlapping::w"
+	q := xpath.MustCompile(query)
 	for _, words := range b.sizes() {
-		for _, d := range []float64{0.1, 0.5, 0.9} {
-			cfg := corpus.DefaultConfig(words)
-			cfg.OverlapDensity = d
-			doc, err := corpus.Generate(cfg)
-			if err != nil {
-				fatal(err)
-			}
-			frag, err := drivers.EncodeFragmentation(doc, drivers.EncodeOptions{Dominant: "physical"})
-			if err != nil {
-				fatal(err)
-			}
-			ms, err := drivers.EncodeMilestones(doc, drivers.EncodeOptions{Dominant: "physical"})
-			if err != nil {
-				fatal(err)
-			}
-			fragDOM, err := baseline.ParseDOM(frag)
-			if err != nil {
-				fatal(err)
-			}
-			msDOM, err := baseline.ParseDOM(ms)
-			if err != nil {
-				fatal(err)
-			}
-
-			var answers int
-			tg := measure(func() {
-				v, err := q.Eval(doc)
+		for _, h := range []int{4, 8} {
+			for _, d := range []float64{0.1, 0.5, 0.9} {
+				cfg := corpus.DefaultConfig(words)
+				cfg.Hierarchies = h
+				cfg.OverlapDensity = d
+				doc, err := corpus.Generate(cfg)
 				if err != nil {
 					fatal(err)
 				}
-				answers = len(v.Nodes())
-			})
-			tf := measure(func() {
-				baseline.OverlappingFragmentJoin(fragDOM, "dmg", "w")
-			})
-			tm := measure(func() {
-				baseline.OverlappingMilestonePair(msDOM, "dmg", "w")
-			})
-			speedup := float64(tf) / float64(tg)
-			fmt.Printf("%8d %8.1f %10.1f %14.1f %14.1f %9d %8.1fx\n",
-				words, d,
-				float64(tg.Nanoseconds())/1000,
-				float64(tf.Nanoseconds())/1000,
-				float64(tm.Nanoseconds())/1000,
-				answers, speedup)
+				frag, err := drivers.EncodeFragmentation(doc, drivers.EncodeOptions{Dominant: "physical"})
+				if err != nil {
+					fatal(err)
+				}
+				ms, err := drivers.EncodeMilestones(doc, drivers.EncodeOptions{Dominant: "physical"})
+				if err != nil {
+					fatal(err)
+				}
+				fragDOM, err := baseline.ParseDOM(frag)
+				if err != nil {
+					fatal(err)
+				}
+				msDOM, err := baseline.ParseDOM(ms)
+				if err != nil {
+					fatal(err)
+				}
+
+				var answers int
+				tg := measure(func() {
+					v, err := q.Eval(doc)
+					if err != nil {
+						fatal(err)
+					}
+					answers = len(v.Nodes())
+				})
+				tf := measure(func() {
+					baseline.OverlappingFragmentJoin(fragDOM, "dmg", "w")
+				})
+				tm := measure(func() {
+					baseline.OverlappingMilestonePair(msDOM, "dmg", "w")
+				})
+				speedup := float64(tf) / float64(tg)
+				fmt.Printf("%8d %4d %8.1f %10.1f %14.1f %14.1f %9d %8.1fx\n",
+					words, h, d,
+					float64(tg.Nanoseconds())/1000,
+					float64(tf.Nanoseconds())/1000,
+					float64(tm.Nanoseconds())/1000,
+					answers, speedup)
+				b.rows = append(b.rows, benchRow{
+					Experiment: "E4", Words: words, Hierarchies: h, Density: d,
+					Query: query, NsPerOp: tg.Nanoseconds(), Results: answers,
+					Elements: doc.Stats().Elements,
+				})
+			}
 		}
 	}
 	fmt.Println("note: baseline times exclude DOM parsing; they re-derive offsets per query.")
@@ -273,33 +287,46 @@ func (b *bench) e4() {
 // Extended XPath).
 func (b *bench) e5() {
 	header("E5", "Extended XPath axis micro-benchmarks")
-	fmt.Printf("%8s %22s %12s %9s\n", "words", "query", "us/query", "results")
+	fmt.Printf("%8s %4s %26s %12s %9s\n", "words", "h", "query", "us/query", "results")
 	queries := []string{
 		"count(/page)",
 		"count(//line)",
 		"count(//w)",
+		"count(//s/w)",
+		"count(//s/descendant::w)",
 		"count(//w[7]/covering::*)",
 		"count(//dmg/overlapping::*)",
 		"count(//dmg/overlapping::w)",
 		"count(//res/following::w)",
+		"count(//res/preceding::w)",
+		"count(//line/covered::w)",
+		"count(//w/ancestor::*)",
+		"count(//w | //line)",
 	}
 	for _, words := range b.sizes() {
-		cfg := corpus.DefaultConfig(words)
-		doc, err := corpus.Generate(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		for _, qs := range queries {
-			q := xpath.MustCompile(qs)
-			var res float64
-			per := measure(func() {
-				v, err := q.Eval(doc)
-				if err != nil {
-					fatal(err)
-				}
-				res = v.Number()
-			})
-			fmt.Printf("%8d %22s %12.1f %9.0f\n", words, shortQuery(qs), float64(per.Nanoseconds())/1000, res)
+		for _, h := range []int{4, 8} {
+			cfg := corpus.DefaultConfig(words)
+			cfg.Hierarchies = h
+			doc, err := corpus.Generate(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			for _, qs := range queries {
+				q := xpath.MustCompile(qs)
+				var res float64
+				per := measure(func() {
+					v, err := q.Eval(doc)
+					if err != nil {
+						fatal(err)
+					}
+					res = v.Number()
+				})
+				fmt.Printf("%8d %4d %26s %12.1f %9.0f\n", words, h, shortQuery(qs), float64(per.Nanoseconds())/1000, res)
+				b.rows = append(b.rows, benchRow{
+					Experiment: "E5", Words: words, Hierarchies: h,
+					Query: qs, NsPerOp: per.Nanoseconds(), Results: int(res),
+				})
+			}
 		}
 	}
 }

@@ -30,6 +30,22 @@
 // offsets), are converted at that edge through a lazily built, memoized
 // byte↔rune index on the document content (see internal/document).
 //
+// Query indexing: the paper lists indexing of concurrent structures as
+// ongoing work; this implementation realizes it in-memory. Every GODDAG
+// node carries a dense document-order *ordinal* (root = 0, then elements
+// and leaves interleaved by the CompareNodes total order), each element
+// records its pre-order subtree interval within its hierarchy, and a
+// *name index* maps each tag to its document-ordered element list. All
+// three are rebuilt lazily after structural mutations, like the span
+// interval index. The Extended XPath evaluator is built on them: node
+// identity and document order are integer comparisons, node-sets combine
+// by k-way merges with bitset deduplication (no hashing of node
+// identities), descendant enumeration is an O(1) slice of the pre-order
+// array, and name tests on the descendant, following, preceding, and
+// covered axes narrow through the name index instead of enumerating
+// whole axes. Documents are safe for concurrent read-only querying; see
+// internal/goddag's package comment for the exact contract.
+//
 // Quick start:
 //
 //	doc, err := repro.Parse([]repro.Source{

@@ -16,6 +16,7 @@ type Hierarchy struct {
 	name string
 	top  []*Element // top-level elements, in document order
 	n    int        // total element count
+	pre  []*Element // pre-order (== document-order) element array, rebuilt with Ordinals
 }
 
 // Name returns the hierarchy name (by convention, the DTD name).
@@ -50,11 +51,11 @@ func (h *Hierarchy) Elements() []*Element {
 }
 
 // ElementsNamed returns the hierarchy's elements with the given tag in
-// document order.
+// document order, filtering the document's name index.
 func (h *Hierarchy) ElementsNamed(tag string) []*Element {
 	var out []*Element
-	for _, e := range h.Elements() {
-		if e.name == tag {
+	for _, e := range h.doc.ElementsNamed(tag) {
+		if e.hier == h {
 			out = append(out, e)
 		}
 	}
@@ -71,6 +72,15 @@ type Element struct {
 	parent   *Element // nil means the parent is the shared root
 	children []*Element
 	seq      int
+
+	// Query-index fields, assigned by the Ordinals rebuild and valid only
+	// while the document is unmutated (doc.ordVer == doc.version): the
+	// node's dense document-order ordinal and its half-open pre-order
+	// interval [preIdx, preEnd) within hier.pre. Read them through an
+	// *Ordinals obtained from Document.Ordinals().
+	ord    int32
+	preIdx int32
+	preEnd int32
 }
 
 // Kind returns KindElement.
@@ -155,6 +165,13 @@ func (e *Element) ChildElements() []*Element {
 	copy(out, e.children)
 	return out
 }
+
+// NumChildElements returns the number of same-hierarchy child elements.
+func (e *Element) NumChildElements() int { return len(e.children) }
+
+// ChildElementAt returns the i-th child element (document order) without
+// copying the child list.
+func (e *Element) ChildElementAt(i int) *Element { return e.children[i] }
 
 // Children returns the element's children in DOM order: child elements of
 // the same hierarchy interleaved with the leaves of the element's span not

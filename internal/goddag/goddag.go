@@ -18,11 +18,22 @@
 // This implementation is a *restricted* GODDAG: every element dominates a
 // contiguous interval of leaves, which is true of any structure derived
 // from in-line or standoff markup ranges.
+//
+// # Concurrency
+//
+// A Document may be read — navigated, queried, exported — from any
+// number of goroutines at once: the lazily built derived indexes
+// (element cache, span index, ordinal numbering, name index) serialize
+// their rebuilds on an internal mutex. Mutating operations
+// (InsertElement, RemoveElement, InsertText, DeleteText, Compact,
+// BulkBuilder.Append, ...) require exclusive access: they must not run
+// concurrently with each other or with readers.
 package goddag
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/document"
 )
@@ -83,14 +94,26 @@ type Document struct {
 	order   []string // hierarchy insertion order
 	seq     int      // element insertion counter, for stable ordering
 
-	// Element index cache: Elements() is hot in query evaluation, so the
-	// sorted cross-hierarchy element list is cached and invalidated by a
-	// version counter bumped on every structural mutation.
+	// Derived-index caches: Elements() and the query-path indexes are hot
+	// in evaluation, so the sorted cross-hierarchy element list, the span
+	// interval index, the ordinal numbering, and the name index are all
+	// cached and invalidated by a version counter bumped on every
+	// structural mutation.
+	//
+	// mu serializes the lazy cache (re)builds, making *read-only* use of
+	// a document — including concurrent query evaluation — safe from
+	// multiple goroutines. Structural and text mutations are NOT
+	// goroutine-safe and must not run concurrently with readers.
+	mu           sync.Mutex
 	version      uint64
 	elemCache    []*Element
 	elemCacheVer uint64
 	spanIdx      *spanIndex
 	spanIdxVer   uint64
+	ordIdx       *Ordinals
+	ordVer       uint64
+	nameIdx      map[string][]*Element
+	nameIdxVer   uint64
 }
 
 // bump invalidates derived caches after a structural mutation.
@@ -203,6 +226,13 @@ func (d *Document) LeafAt(pos int) Leaf {
 // The result is cached until the next structural mutation; callers must
 // not modify it.
 func (d *Document) Elements() []*Element {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.elementsLocked()
+}
+
+// elementsLocked is Elements with d.mu held.
+func (d *Document) elementsLocked() []*Element {
 	if d.elemCache != nil && d.elemCacheVer == d.version {
 		return d.elemCache
 	}
@@ -217,15 +247,21 @@ func (d *Document) Elements() []*Element {
 }
 
 // ElementsNamed returns every element with the given tag across all
-// hierarchies, in document order.
+// hierarchies, in document order, served by a lazily built name index
+// (one map from tag to its document-ordered element list, rebuilt after
+// structural mutations). Callers must not modify the result.
 func (d *Document) ElementsNamed(tag string) []*Element {
-	var out []*Element
-	for _, e := range d.Elements() {
-		if e.name == tag {
-			out = append(out, e)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.nameIdx == nil || d.nameIdxVer != d.version {
+		els := d.elementsLocked()
+		idx := make(map[string][]*Element)
+		for _, e := range els {
+			idx[e.name] = append(idx[e.name], e)
 		}
+		d.nameIdx, d.nameIdxVer = idx, d.version
 	}
-	return out
+	return d.nameIdx[tag]
 }
 
 // sortElements orders elements in document order: by start offset, wider

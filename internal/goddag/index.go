@@ -79,11 +79,12 @@ func (ix *spanIndex) visit(node, lo, hi int, sp document.Span, emit func(*Elemen
 
 // index returns the document's span index, rebuilding it when stale.
 func (d *Document) index() *spanIndex {
-	els := d.Elements() // refreshes the cache and its version stamp
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.spanIdx != nil && d.spanIdxVer == d.version {
 		return d.spanIdx
 	}
-	d.spanIdx = buildSpanIndex(els)
+	d.spanIdx = buildSpanIndex(d.elementsLocked())
 	d.spanIdxVer = d.version
 	return d.spanIdx
 }

@@ -13,6 +13,12 @@ import "repro/internal/document"
 //     sequence.
 //
 // It returns -1, 0, or +1.
+//
+// CompareNodes is the *reference* definition of document order. The
+// query path compares nodes by their dense ordinals instead
+// (Document.Ordinals), which realize exactly this order as integers;
+// TestOrdinalOrderMatchesCompareNodes proves the two agree over every
+// node pair of generated documents.
 func CompareNodes(a, b Node) int {
 	if a == b {
 		return 0
@@ -81,7 +87,10 @@ func NodesEqual(a, b Node) bool {
 }
 
 // NodeID returns a stable identity key for a node, usable as a map key for
-// node-set deduplication.
+// node-set deduplication. Hot paths should prefer the allocation-free
+// ordinal numbering (Document.Ordinals) — a node's ordinal is a dense
+// integer identity; NodeID remains for callers that need a key without
+// building the ordinal index.
 func NodeID(n Node) any {
 	if l, ok := n.(Leaf); ok {
 		return leafID{doc: l.doc, idx: l.idx}

@@ -1,0 +1,237 @@
+package goddag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/document"
+)
+
+// randomDocWithMilestones is randomDoc plus a hierarchy of empty elements
+// (milestones) parked at random positions, including element borders —
+// the cases the ordinal merge and the empty-element list must order
+// exactly like CompareNodes.
+func randomDocWithMilestones(seed int64, contentLen, hierarchies, perHier int) *Document {
+	d := randomDoc(seed, contentLen, hierarchies, perHier)
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	marks := d.AddHierarchy("marks")
+	for i := 0; i < 6; i++ {
+		pos := rng.Intn(contentLen + 1)
+		if _, err := d.InsertElement(marks, "m", nil, document.NewSpan(pos, pos)); err != nil {
+			panic(err)
+		}
+	}
+	// One milestone exactly at an element border, one at 0, one at the end.
+	if els := d.Elements(); len(els) > 0 {
+		for _, pos := range []int{els[0].Span().End, 0, contentLen} {
+			if _, err := d.InsertElement(marks, "m", nil, document.NewSpan(pos, pos)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return d
+}
+
+func allNodes(d *Document) []Node {
+	var nodes []Node
+	nodes = append(nodes, d.Root())
+	for _, e := range d.Elements() {
+		nodes = append(nodes, e)
+	}
+	for _, l := range d.Leaves() {
+		nodes = append(nodes, l)
+	}
+	return nodes
+}
+
+// TestOrdinalOrderMatchesCompareNodes: over every node pair of generated
+// documents, the ordinal comparison agrees with the CompareNodes
+// reference, ordinals are dense and distinct, and Node(Of(n)) round-trips.
+func TestOrdinalOrderMatchesCompareNodes(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDocWithMilestones(seed, 120, 3, 10)
+		ord := d.Ordinals()
+		nodes := allNodes(d)
+		if ord.Len() != len(nodes) {
+			t.Logf("seed %d: ordinal space %d != node count %d", seed, ord.Len(), len(nodes))
+			return false
+		}
+		used := make([]bool, ord.Len())
+		for _, n := range nodes {
+			o := ord.Of(n)
+			if o < 0 || o >= ord.Len() || used[o] {
+				t.Logf("seed %d: ordinal %d of %v out of range or duplicated", seed, o, n)
+				return false
+			}
+			used[o] = true
+			if !NodesEqual(ord.Node(o), n) {
+				t.Logf("seed %d: ordinal %d does not round-trip", seed, o)
+				return false
+			}
+		}
+		for _, a := range nodes {
+			for _, b := range nodes {
+				c := CompareNodes(a, b)
+				oa, ob := ord.Of(a), ord.Of(b)
+				switch {
+				case c < 0 && !(oa < ob), c > 0 && !(oa > ob), c == 0 && oa != ob:
+					t.Logf("seed %d: CompareNodes(%v,%v)=%d but ordinals %d,%d", seed, a, b, c, oa, ob)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubtreeRangesMatchWalk: the pre-order interval slice equals the
+// recursive child walk for every element, and InSubtree agrees with the
+// parent-chain ancestor test.
+func TestSubtreeRangesMatchWalk(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDocWithMilestones(seed, 150, 3, 12)
+		ord := d.Ordinals()
+		var walkSubtree func(e *Element) []*Element
+		walkSubtree = func(e *Element) []*Element {
+			var out []*Element
+			for _, c := range e.ChildElements() {
+				out = append(out, c)
+				out = append(out, walkSubtree(c)...)
+			}
+			return out
+		}
+		isAncestor := func(e, c *Element) bool {
+			for p := c.ParentElement(); p != nil; p = p.ParentElement() {
+				if p == e {
+					return true
+				}
+			}
+			return false
+		}
+		for _, e := range d.Elements() {
+			want := walkSubtree(e)
+			got := ord.Subtree(e)
+			if len(got) != len(want) {
+				t.Logf("seed %d: subtree of %v: got %d want %d", seed, e, len(got), len(want))
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Logf("seed %d: subtree of %v differs at %d", seed, e, i)
+					return false
+				}
+			}
+			for _, c := range d.Elements() {
+				if ord.InSubtree(c, e) != isAncestor(e, c) {
+					t.Logf("seed %d: InSubtree(%v,%v) mismatch", seed, c, e)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEmptyElementsList: EmptyElements is exactly the document-ordered
+// milestone subset of Elements.
+func TestEmptyElementsList(t *testing.T) {
+	d := randomDocWithMilestones(7, 100, 2, 8)
+	ord := d.Ordinals()
+	var want []*Element
+	for _, e := range d.Elements() {
+		if e.Span().IsEmpty() {
+			want = append(want, e)
+		}
+	}
+	got := ord.EmptyElements()
+	if len(got) != len(want) {
+		t.Fatalf("EmptyElements: got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("EmptyElements[%d] differs", i)
+		}
+	}
+}
+
+// TestOrdinalsInvalidation: a structural mutation invalidates the
+// numbering; the rebuilt ordinals cover the new node set.
+func TestOrdinalsInvalidation(t *testing.T) {
+	d := randomDoc(3, 80, 2, 6)
+	ord := d.Ordinals()
+	h := d.Hierarchy("a")
+	if _, err := d.InsertElement(h, "y", nil, document.NewSpan(0, d.Content().Len())); err != nil {
+		t.Fatal(err)
+	}
+	ord2 := d.Ordinals()
+	if ord2 == ord {
+		t.Fatal("Ordinals not invalidated by mutation")
+	}
+	// One more element; leaf count may change too (border cuts).
+	if got := ord2.Len(); got != len(allNodes(d)) {
+		t.Fatalf("rebuilt ordinal space %d != node count %d", got, len(allNodes(d)))
+	}
+	// And the rebuilt numbering still matches the reference order.
+	nodes := allNodes(d)
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if c := CompareNodes(a, b); (c < 0) != (ord2.Of(a) < ord2.Of(b)) && c != 0 {
+				t.Fatalf("rebuilt ordinals disagree with CompareNodes")
+			}
+		}
+	}
+}
+
+// TestNameIndex: ElementsNamed equals the linear filter, for the document
+// and per hierarchy, and survives mutation.
+func TestNameIndex(t *testing.T) {
+	d := randomDocWithMilestones(11, 100, 3, 8)
+	check := func() {
+		for _, tag := range []string{"x", "m", "absent"} {
+			var want []*Element
+			for _, e := range d.Elements() {
+				if e.Name() == tag {
+					want = append(want, e)
+				}
+			}
+			got := d.ElementsNamed(tag)
+			if len(got) != len(want) {
+				t.Fatalf("ElementsNamed(%q): got %d want %d", tag, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("ElementsNamed(%q)[%d] differs", tag, i)
+				}
+			}
+		}
+		for _, h := range d.Hierarchies() {
+			var want []*Element
+			for _, e := range h.Elements() {
+				if e.Name() == "x" {
+					want = append(want, e)
+				}
+			}
+			got := h.ElementsNamed("x")
+			if len(got) != len(want) {
+				t.Fatalf("hierarchy %q ElementsNamed: got %d want %d", h.Name(), len(got), len(want))
+			}
+		}
+	}
+	check()
+	if _, err := d.InsertElement(d.Hierarchy("a"), "x", nil, document.NewSpan(0, 1)); err == nil {
+		check() // index must reflect the insertion
+	} else {
+		// The span may conflict; mutate via a fresh hierarchy instead.
+		if _, err := d.InsertElement(d.AddHierarchy("extra"), "x", nil, document.NewSpan(0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		check()
+	}
+}

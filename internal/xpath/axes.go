@@ -21,6 +21,12 @@ import (
 //     lies entirely after (before) the context span, across hierarchies.
 //   - the overlapping/covering/covered axes compare content spans across
 //     hierarchies.
+//
+// Enumeration leans on the document's ordinal numbering: descendants are
+// an O(1) pre-order slice merged with the dominated leaf range by integer
+// ordinal, the leaf halves of following/preceding are located by binary
+// search instead of full-leaf scans, and visited sets are ordinal bitsets
+// instead of maps.
 func (ev *evaluator) axisNodes(a Axis, n goddag.Node) []goddag.Node {
 	doc := ev.doc
 	switch a {
@@ -28,17 +34,15 @@ func (ev *evaluator) axisNodes(a Axis, n goddag.Node) []goddag.Node {
 		return []goddag.Node{n}
 
 	case AxisChild:
-		return childrenOf(doc, n)
+		return ev.childrenOf(n)
 
 	case AxisDescendant, AxisDescendantOrSelf:
 		// Descendants of a node are exactly its subtree elements plus
-		// the leaves it dominates; both lists are available pre-sorted,
-		// so a merge avoids the recursive walk (which would revisit
-		// shared leaves once per hierarchy and need dedup).
-		var out []goddag.Node
-		if a == AxisDescendantOrSelf {
-			out = append(out, n)
-		}
+		// the leaves it dominates; both lists are available pre-sorted
+		// (the subtree as a precomputed pre-order slice), so an ordinal
+		// merge avoids the recursive walk (which would revisit shared
+		// leaves once per hierarchy and need dedup).
+		ord := ev.ordinals()
 		var els []*goddag.Element
 		var firstLeaf, lastLeaf int
 		switch v := n.(type) {
@@ -46,27 +50,33 @@ func (ev *evaluator) axisNodes(a Axis, n goddag.Node) []goddag.Node {
 			els = doc.Elements()
 			firstLeaf, lastLeaf = 0, doc.NumLeaves()
 		case *goddag.Element:
-			els = subtreeElements(v)
+			els = ord.Subtree(v)
 			firstLeaf, lastLeaf = v.LeafRange()
 		default:
-			return out
+			if a == AxisDescendantOrSelf {
+				return []goddag.Node{n}
+			}
+			return nil
+		}
+		out := make([]goddag.Node, 0, len(els)+(lastLeaf-firstLeaf)+1)
+		if a == AxisDescendantOrSelf {
+			out = append(out, n)
 		}
 		i, j := 0, firstLeaf
-		for i < len(els) || j < lastLeaf {
-			switch {
-			case i >= len(els):
-				out = append(out, doc.Leaf(j))
-				j++
-			case j >= lastLeaf:
+		for i < len(els) && j < lastLeaf {
+			if ord.OfElement(els[i]) < ord.OfLeaf(j) {
 				out = append(out, els[i])
 				i++
-			case goddag.CompareNodes(els[i], doc.Leaf(j)) <= 0:
-				out = append(out, els[i])
-				i++
-			default:
+			} else {
 				out = append(out, doc.Leaf(j))
 				j++
 			}
+		}
+		for ; i < len(els); i++ {
+			out = append(out, els[i])
+		}
+		for ; j < lastLeaf; j++ {
+			out = append(out, doc.Leaf(j))
 		}
 		return out
 
@@ -78,20 +88,20 @@ func (ev *evaluator) axisNodes(a Axis, n goddag.Node) []goddag.Node {
 		if a == AxisAncestorOrSelf {
 			out = append(out, n)
 		}
-		seen := map[any]bool{}
+		ord := ev.ordinals()
+		seen := ev.acquireSeen()
 		var up func(m goddag.Node)
 		up = func(m goddag.Node) {
 			for _, p := range parentsOf(doc, m) {
-				id := goddag.NodeID(p)
-				if seen[id] {
+				if !seen.add(ord.Of(p)) {
 					continue
 				}
-				seen[id] = true
 				out = append(out, p)
 				up(p)
 			}
 		}
 		up(n)
+		seen.reset()
 		return out
 
 	case AxisFollowingSibling, AxisPrecedingSibling:
@@ -106,14 +116,12 @@ func (ev *evaluator) axisNodes(a Axis, n goddag.Node) []goddag.Node {
 		case *goddag.Root:
 			sibs = p.Children(el.Hierarchy())
 		}
-		idx := -1
-		for i, s := range sibs {
-			if goddag.NodesEqual(s, n) {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
+		// The sibling list is in document order, so the context's slot is
+		// found by ordinal binary search instead of a linear identity scan.
+		ord := ev.ordinals()
+		target := ord.OfElement(el)
+		idx := sort.Search(len(sibs), func(i int) bool { return ord.Of(sibs[i]) >= target })
+		if idx >= len(sibs) || ord.Of(sibs[idx]) != target {
 			return nil
 		}
 		if a == AxisFollowingSibling {
@@ -138,6 +146,19 @@ func (ev *evaluator) axisNodes(a Axis, n goddag.Node) []goddag.Node {
 					out = append(out, e)
 				}
 			}
+			// Following leaves: the suffix starting at the first leaf not
+			// preceding sp (leaves are non-empty, so spanAfter reduces to a
+			// start-offset bound).
+			bound := sp.End
+			if sp.IsEmpty() {
+				bound = sp.Start + 1 // strict: a leaf at sp's position does not follow it
+			}
+			nl := doc.NumLeaves()
+			part := doc.Partition()
+			j := sort.Search(nl, func(i int) bool { return part.LeafSpan(i).Start >= bound })
+			for ; j < nl; j++ {
+				out = append(out, doc.Leaf(j))
+			}
 		} else {
 			for _, e := range els {
 				if e.Span().Start >= sp.Start && !e.Span().IsEmpty() {
@@ -147,14 +168,12 @@ func (ev *evaluator) axisNodes(a Axis, n goddag.Node) []goddag.Node {
 					out = append(out, e)
 				}
 			}
-		}
-		for _, l := range doc.Leaves() {
-			ls := l.Span()
-			if a == AxisFollowing && spanAfter(ls, sp) {
-				out = append(out, l)
-			}
-			if a == AxisPreceding && spanAfter(sp, ls) {
-				out = append(out, l)
+			// Preceding leaves: the prefix ending before sp.Start.
+			nl := doc.NumLeaves()
+			part := doc.Partition()
+			last := sort.Search(nl, func(i int) bool { return part.LeafSpan(i).End > sp.Start })
+			for j := 0; j < last; j++ {
+				out = append(out, doc.Leaf(j))
 			}
 		}
 		return out
@@ -194,22 +213,44 @@ func (ev *evaluator) axisNodes(a Axis, n goddag.Node) []goddag.Node {
 
 	case AxisCovered:
 		sp := n.Span()
+		ord := ev.ordinals()
+		// Non-empty covered elements intersect sp, so the interval index
+		// supplies those candidates; milestones (whose spans never
+		// intersect anything) come from the document's empty-element list,
+		// merged in by ordinal to preserve document order.
+		empties := ord.EmptyElements()
+		ei := sort.Search(len(empties), func(i int) bool { return empties[i].Span().Start >= sp.Start })
 		var out []goddag.Node
-		for _, e := range doc.Elements() {
-			if e.Span().Start > sp.End {
-				break // a covered element must start within sp
+		emitEmpties := func(upto int) { // empties whose ordinal precedes upto
+			for ei < len(empties) && empties[ei].Span().Start <= sp.End &&
+				(upto < 0 || ord.OfElement(empties[ei]) < upto) {
+				e := empties[ei]
+				if !goddag.NodesEqual(e, n) && sp.ContainsSpan(e.Span()) {
+					out = append(out, e)
+				}
+				ei++
 			}
-			if goddag.NodesEqual(e, n) {
+		}
+		for _, e := range doc.ElementsIntersecting(sp) {
+			if !sp.ContainsSpan(e.Span()) {
 				continue
 			}
-			if sp.ContainsSpan(e.Span()) {
+			emitEmpties(ord.OfElement(e))
+			if !goddag.NodesEqual(e, n) {
 				out = append(out, e)
 			}
 		}
-		for _, l := range doc.Leaves() {
-			if sp.ContainsSpan(l.Span()) {
-				out = append(out, l)
+		emitEmpties(-1)
+		// Covered leaves: the contiguous run fully inside sp.
+		nl := doc.NumLeaves()
+		part := doc.Partition()
+		first := sort.Search(nl, func(i int) bool { return part.LeafSpan(i).Start >= sp.Start })
+		for j := first; j < nl; j++ {
+			ls := part.LeafSpan(j)
+			if ls.End > sp.End {
+				break
 			}
+			out = append(out, doc.Leaf(j))
 		}
 		return out
 
@@ -218,51 +259,33 @@ func (ev *evaluator) axisNodes(a Axis, n goddag.Node) []goddag.Node {
 	}
 }
 
-// subtreeElements returns the same-hierarchy descendants of e in document
-// order (pre-order of a tree sorted at every level).
-func subtreeElements(e *goddag.Element) []*goddag.Element {
-	var out []*goddag.Element
-	var walk func(es []*goddag.Element)
-	walk = func(es []*goddag.Element) {
-		for _, c := range es {
-			out = append(out, c)
-			walk(c.ChildElements())
-		}
-	}
-	walk(e.ChildElements())
-	return out
-}
-
 // childrenOf returns a node's children in document order: per-hierarchy
-// for elements, the union over hierarchies for the root (deduplicated),
-// nothing for leaves.
-func childrenOf(doc *goddag.Document, n goddag.Node) []goddag.Node {
+// for elements, the union over hierarchies for the root (shared leaves
+// deduplicated by the ordinal merge), nothing for leaves.
+func (ev *evaluator) childrenOf(n goddag.Node) []goddag.Node {
+	doc := ev.doc
 	switch v := n.(type) {
 	case *goddag.Element:
 		return v.Children()
 	case *goddag.Root:
-		var out []goddag.Node
-		seen := map[any]bool{}
-		for _, h := range doc.Hierarchies() {
-			for _, c := range v.Children(h) {
-				id := goddag.NodeID(c)
-				if !seen[id] {
-					seen[id] = true
-					out = append(out, c)
-				}
-			}
-		}
-		if len(doc.Hierarchies()) == 0 {
+		hiers := doc.Hierarchies()
+		if len(hiers) == 0 {
+			out := make([]goddag.Node, 0, doc.NumLeaves())
 			for _, l := range doc.Leaves() {
 				out = append(out, l)
 			}
+			return out
 		}
-		// The per-hierarchy collection is hierarchy-major; node-set
-		// semantics (and positional predicates) require document order.
-		sort.SliceStable(out, func(i, j int) bool {
-			return goddag.CompareNodes(out[i], out[j]) < 0
-		})
-		return out
+		// Each hierarchy's child list is already in document order; the
+		// cross-hierarchy union is a k-way merge (leaves shared between
+		// hierarchies collapse on equal ordinals).
+		lists := make([][]goddag.Node, 0, len(hiers))
+		for _, h := range hiers {
+			if c := v.Children(h); len(c) != 0 {
+				lists = append(lists, c)
+			}
+		}
+		return ev.mergeLists(lists)
 	default:
 		return nil
 	}
@@ -319,8 +342,8 @@ func (ev *evaluator) overlapAxis(n goddag.Node, dir overlapDir) []goddag.Node {
 		}
 	}
 	if !ev.opts.OverlapByWalk {
-		// ElementsOverlapping scans the sorted element cache with early
-		// termination; directional variants are subsets of it.
+		// ElementsOverlapping serves candidates from the interval index
+		// with early termination; directional variants are subsets of it.
 		var out []goddag.Node
 		for _, e := range ev.doc.ElementsOverlapping(sp) {
 			if match(e.Span()) {
@@ -335,7 +358,8 @@ func (ev *evaluator) overlapAxis(n goddag.Node, dir overlapDir) []goddag.Node {
 	if sp.IsEmpty() {
 		return nil
 	}
-	seen := map[any]bool{}
+	ord := ev.ordinals()
+	seen := ev.acquireSeen()
 	var out []goddag.Node
 	doc := ev.doc
 	for pos := sp.Start; pos < sp.End; {
@@ -347,9 +371,7 @@ func (ev *evaluator) overlapAxis(n goddag.Node, dir overlapDir) []goddag.Node {
 				if !ok {
 					break
 				}
-				id := goddag.NodeID(el)
-				if !seen[id] {
-					seen[id] = true
+				if seen.add(ord.OfElement(el)) {
 					if match(el.Span()) {
 						out = append(out, el)
 					}
@@ -359,5 +381,6 @@ func (ev *evaluator) overlapAxis(n goddag.Node, dir overlapDir) []goddag.Node {
 		}
 		pos = leaf.Span().End
 	}
+	seen.reset()
 	return ev.dedupSort(out)
 }

@@ -31,6 +31,24 @@ const (
 	valAttrs
 )
 
+// String names the kind for error messages.
+func (k valueKind) String() string {
+	switch k {
+	case valNodes:
+		return "node-set"
+	case valString:
+		return "string"
+	case valNumber:
+		return "number"
+	case valBool:
+		return "boolean"
+	case valAttrs:
+		return "attribute-set"
+	default:
+		return fmt.Sprintf("valueKind(%d)", int(k))
+	}
+}
+
 // AttrNode is an attribute selected by the attribute axis, paired with
 // its owning element.
 type AttrNode struct {
@@ -136,7 +154,10 @@ type EvalError struct {
 func (e *EvalError) Error() string { return fmt.Sprintf("xpath: %q: %s", e.Query, e.Msg) }
 
 // Bindings maps variable names (without '$') to values for queries that
-// reference $variables.
+// reference $variables. Node-set values must hold nodes of the document
+// the query is evaluated against: evaluation is keyed on that document's
+// ordinal numbering, and nodes of a different document have no (or a
+// colliding) ordinal there.
 type Bindings map[string]Value
 
 // context carries the evaluation state for one node.
@@ -174,7 +195,8 @@ func (q *Query) EvalWithOptions(doc *goddag.Document, opts Options) (Value, erro
 	return ev.eval(q.root, context{doc: doc, node: doc.Root(), pos: 1, size: 1})
 }
 
-// EvalFrom evaluates the query with an explicit context node.
+// EvalFrom evaluates the query with an explicit context node, which must
+// belong to doc.
 func (q *Query) EvalFrom(doc *goddag.Document, node goddag.Node) (Value, error) {
 	return q.EvalFromWithOptions(doc, node, Options{})
 }
@@ -204,7 +226,7 @@ func Select(doc *goddag.Document, query string) ([]goddag.Node, error) {
 		return nil, err
 	}
 	if !v.IsNodeSet() {
-		return nil, &EvalError{Query: query, Msg: fmt.Sprintf("result is not a node-set (got %T-like value %q)", v.kind, v.String())}
+		return nil, &EvalError{Query: query, Msg: fmt.Sprintf("result is not a node-set (got %s value %q)", v.kind, v.String())}
 	}
 	return v.nodes, nil
 }
@@ -213,6 +235,66 @@ type evaluator struct {
 	doc   *goddag.Document
 	query string
 	opts  Options
+
+	// Query-path scratch, lazily initialized per evaluation: the
+	// document's ordinal numbering and a reusable ordinal bitset for
+	// node-set deduplication (no per-query maps).
+	ord  *goddag.Ordinals
+	seen ordSet
+}
+
+// ordinals returns the document's ordinal numbering, fetched once per
+// evaluation.
+func (ev *evaluator) ordinals() *goddag.Ordinals {
+	if ev.ord == nil {
+		ev.ord = ev.doc.Ordinals()
+	}
+	return ev.ord
+}
+
+// ordSet is a reusable bitset over node ordinals. add records which bits
+// were set so reset can clear exactly those words instead of the whole
+// set. Uses must not overlap: acquire it, drain it, reset it before any
+// recursive evaluation can need it again.
+type ordSet struct {
+	bits    []uint64
+	touched []int32
+}
+
+// grow sizes the set for ordinals [0, n).
+func (s *ordSet) grow(n int) {
+	w := (n + 63) / 64
+	if cap(s.bits) < w {
+		s.bits = make([]uint64, w)
+		return
+	}
+	s.bits = s.bits[:w]
+}
+
+// add inserts ord, reporting whether it was newly added.
+func (s *ordSet) add(ord int) bool {
+	w, b := ord>>6, uint64(1)<<(ord&63)
+	if s.bits[w]&b != 0 {
+		return false
+	}
+	s.bits[w] |= b
+	s.touched = append(s.touched, int32(ord))
+	return true
+}
+
+// reset clears every bit set since the last reset.
+func (s *ordSet) reset() {
+	for _, o := range s.touched {
+		s.bits[o>>6] &^= 1 << (uint(o) & 63)
+	}
+	s.touched = s.touched[:0]
+}
+
+// acquireSeen returns the evaluator's dedup bitset sized to the current
+// ordinal space. The caller must reset() it when done.
+func (ev *evaluator) acquireSeen() *ordSet {
+	ev.seen.grow(ev.ordinals().Len())
+	return &ev.seen
 }
 
 func (ev *evaluator) errorf(format string, args ...any) error {
@@ -290,7 +372,7 @@ func (ev *evaluator) evalBinary(e *binaryExpr, ctx context) (Value, error) {
 		if !l.IsNodeSet() || !r.IsNodeSet() {
 			return Value{}, ev.errorf("'|' requires node-sets")
 		}
-		return nodesValue(ev.dedupSort(append(append([]goddag.Node{}, l.nodes...), r.nodes...))), nil
+		return nodesValue(ev.union(l.nodes, r.nodes)), nil
 	case "=", "!=":
 		return boolValue(compareValues(l, r, e.op)), nil
 	case "<", "<=", ">", ">=":
@@ -471,6 +553,7 @@ func (ev *evaluator) evalPath(p *pathExpr, ctx context) (Value, error) {
 
 // evalStep applies one step to every node of the current set, with
 // predicate filtering per origin node list (XPath position semantics).
+// Per-origin results are combined by a k-way document-order merge.
 func (ev *evaluator) evalStep(st step, current []goddag.Node, vars Bindings) ([]goddag.Node, error) {
 	if out, ok := ev.fastStep(st, current); ok {
 		return out, nil
@@ -479,11 +562,12 @@ func (ev *evaluator) evalStep(st step, current []goddag.Node, vars Bindings) ([]
 	// candidate enumeration can use the leaf-free fast path per origin;
 	// predicate positions are unchanged (leaves were filtered out anyway).
 	bare := step{axis: st.axis, test: st.test}
-	var out []goddag.Node
+	bareFast := ev.fastStepApplies(bare)
+	lists := make([][]goddag.Node, 0, len(current))
 	for _, n := range current {
 		var cands []goddag.Node
-		if fs, ok := ev.fastStep(bare, []goddag.Node{n}); ok {
-			cands = fs
+		if bareFast {
+			cands = ev.fastCands(bare, n)
 		} else {
 			cands = filterTest(ev.axisNodes(st.axis, n), st.test)
 		}
@@ -502,82 +586,260 @@ func (ev *evaluator) evalStep(st step, current []goddag.Node, vars Bindings) ([]
 			}
 			cands = kept
 		}
-		out = append(out, cands...)
+		if len(cands) != 0 {
+			lists = append(lists, cands)
+		}
 	}
-	return ev.dedupSort(out), nil
+	return ev.mergeLists(lists), nil
 }
 
-// fastStep handles the hottest step shapes without materializing
-// intermediate node lists: predicate-free element tests on the child and
-// descendant axes. Element tests never match leaves, so these paths skip
-// leaf enumeration entirely; from the root, the descendant axis is served
-// by the document's cached, sorted element list.
+// fastStep handles the hottest step shapes without materializing whole
+// axis enumerations: predicate-free element tests (a name or *). Element
+// tests never match leaves, so these paths skip leaf enumeration
+// entirely; name tests are served by the document's name index,
+// intersected with pre-order subtree ranges (descendant axes) or span
+// windows located by binary search (following/preceding/covered).
 func (ev *evaluator) fastStep(st step, current []goddag.Node) ([]goddag.Node, bool) {
-	if ev.opts.NoFastPaths {
+	if !ev.fastStepApplies(st) {
 		return nil, false
+	}
+	if len(current) == 1 {
+		return ev.dedupSort(ev.fastCands(st, current[0])), true
+	}
+	lists := make([][]goddag.Node, 0, len(current))
+	for _, n := range current {
+		if c := ev.fastCands(st, n); len(c) != 0 {
+			lists = append(lists, c)
+		}
+	}
+	if st.axis == AxisChild {
+		// A child-axis element candidate appears under exactly one
+		// parent, so per-origin lists are mutually duplicate-free.
+		return ev.concatOrdered(lists), true
+	}
+	return ev.mergeLists(lists), true
+}
+
+// concatOrdered concatenates per-origin candidate lists known to be
+// mutually duplicate-free (same-hierarchy child lists of distinct
+// parents, per-hierarchy top-element lists), sorting by ordinal only
+// when the blocks interleave — for disjoint origins in document order
+// the concatenation is already sorted and this is one O(total) pass.
+func (ev *evaluator) concatOrdered(lists [][]goddag.Node) []goddag.Node {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return ev.dedupSort(lists[0])
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	ord := ev.ordinals()
+	out := make([]goddag.Node, 0, total)
+	sorted := true
+	prev := -1
+	for _, l := range lists {
+		for _, n := range l {
+			o := ord.Of(n)
+			if o <= prev {
+				sorted = false
+			}
+			prev = o
+			out = append(out, n)
+		}
+	}
+	if !sorted {
+		sort.Slice(out, func(i, j int) bool { return ord.Of(out[i]) < ord.Of(out[j]) })
+	}
+	return out
+}
+
+// fastStepApplies reports whether fastCands can serve the step.
+func (ev *evaluator) fastStepApplies(st step) bool {
+	if ev.opts.NoFastPaths {
+		return false
 	}
 	if len(st.preds) != 0 || (st.test.kind != testName && st.test.kind != testAny) {
-		return nil, false
+		return false
 	}
+	switch st.axis {
+	case AxisChild, AxisDescendant, AxisDescendantOrSelf,
+		AxisAncestor, AxisAncestorOrSelf,
+		AxisFollowing, AxisPreceding, AxisCovered:
+		return true
+	default:
+		return false
+	}
+}
+
+// fastCands produces the candidate list for one origin node of a step
+// fastStepApplies accepted. The order matches what axisNodes + filterTest
+// would produce, so positional predicates are unaffected.
+func (ev *evaluator) fastCands(st step, n goddag.Node) []goddag.Node {
 	match := func(e *goddag.Element) bool {
 		return st.test.kind == testAny || e.Name() == st.test.name
 	}
+	// named is the document-ordered candidate pool for window scans: the
+	// name index for a name test, every element for *.
+	named := func() []*goddag.Element {
+		if st.test.kind == testName {
+			return ev.doc.ElementsNamed(st.test.name)
+		}
+		return ev.doc.Elements()
+	}
 	var out []goddag.Node
-	mustSort := false
 	switch st.axis {
-	case AxisDescendant, AxisDescendantOrSelf:
-		for _, n := range current {
-			switch v := n.(type) {
-			case *goddag.Root:
-				for _, e := range ev.doc.Elements() {
-					if match(e) {
-						out = append(out, e)
-					}
-				}
-			case *goddag.Element:
-				if st.axis == AxisDescendantOrSelf && match(v) {
-					out = append(out, v)
-				}
-				var walk func(es []*goddag.Element)
-				walk = func(es []*goddag.Element) {
-					for _, e := range es {
-						if match(e) {
-							out = append(out, e)
-						}
-						walk(e.ChildElements())
-					}
-				}
-				walk(v.ChildElements())
-			}
-		}
 	case AxisChild:
-		for _, n := range current {
-			switch v := n.(type) {
-			case *goddag.Root:
-				// Tops collect hierarchy-major; restore document order.
-				mustSort = len(ev.doc.Hierarchies()) > 1
-				for _, h := range ev.doc.Hierarchies() {
-					for _, e := range h.TopElements() {
-						if match(e) {
-							out = append(out, e)
-						}
+		switch v := n.(type) {
+		case *goddag.Root:
+			// Elements belong to exactly one hierarchy, so the
+			// per-hierarchy top lists are duplicate-free; the
+			// hierarchy-major collection just needs re-sorting.
+			lists := make([][]goddag.Node, 0, len(ev.doc.Hierarchies()))
+			for _, h := range ev.doc.Hierarchies() {
+				var l []goddag.Node
+				for _, e := range h.TopElements() {
+					if match(e) {
+						l = append(l, e)
 					}
 				}
-			case *goddag.Element:
-				for _, e := range v.ChildElements() {
-					if match(e) {
-						out = append(out, e)
-					}
+				if len(l) != 0 {
+					lists = append(lists, l)
+				}
+			}
+			return ev.concatOrdered(lists)
+		case *goddag.Element:
+			for i, nc := 0, v.NumChildElements(); i < nc; i++ {
+				if e := v.ChildElementAt(i); match(e) {
+					out = append(out, e)
 				}
 			}
 		}
-	default:
-		return nil, false
+
+	case AxisDescendant, AxisDescendantOrSelf:
+		switch v := n.(type) {
+		case *goddag.Root:
+			if st.test.kind == testName {
+				nm := ev.doc.ElementsNamed(st.test.name)
+				out = make([]goddag.Node, len(nm))
+				for i, e := range nm {
+					out[i] = e
+				}
+				return out
+			}
+			els := ev.doc.Elements()
+			out = make([]goddag.Node, len(els))
+			for i, e := range els {
+				out[i] = e
+			}
+			return out
+		case *goddag.Element:
+			ord := ev.ordinals()
+			sub := ord.Subtree(v)
+			out = make([]goddag.Node, 0, len(sub)+1)
+			if st.axis == AxisDescendantOrSelf && match(v) {
+				out = append(out, v)
+			}
+			if st.test.kind == testAny {
+				for _, e := range sub {
+					out = append(out, e)
+				}
+				return out
+			}
+			nm := ev.doc.ElementsNamed(st.test.name)
+			if len(nm) <= len(sub) {
+				// Scan the name index's span window, keeping subtree
+				// members (O(1) pre-order interval test per candidate).
+				sp := v.Span()
+				i := sort.Search(len(nm), func(i int) bool { return nm[i].Span().Start >= sp.Start })
+				for _, e := range nm[i:] {
+					if e.Span().Start > sp.End {
+						break
+					}
+					if ord.InSubtree(e, v) {
+						out = append(out, e)
+					}
+				}
+				return out
+			}
+			for _, e := range sub {
+				if e.Name() == st.test.name {
+					out = append(out, e)
+				}
+			}
+			return out
+		}
+
+	case AxisAncestor, AxisAncestorOrSelf:
+		// Element tests never match the root, so ancestor enumeration is
+		// the parent-element chain — no per-level node-slice allocations.
+		// Leaves climb one chain per hierarchy; chains converge, so a
+		// bitset cuts each climb at the first already-visited element.
+		switch v := n.(type) {
+		case *goddag.Element:
+			if st.axis == AxisAncestorOrSelf && match(v) {
+				out = append(out, v)
+			}
+			for p := v.ParentElement(); p != nil; p = p.ParentElement() {
+				if match(p) {
+					out = append(out, p)
+				}
+			}
+		case goddag.Leaf:
+			ord := ev.ordinals()
+			seen := ev.acquireSeen()
+			for _, h := range ev.doc.Hierarchies() {
+				el, ok := v.Parent(h).(*goddag.Element)
+				if !ok {
+					continue // parent is the root
+				}
+				for el != nil && seen.add(ord.OfElement(el)) {
+					if match(el) {
+						out = append(out, el)
+					}
+					el = el.ParentElement()
+				}
+			}
+			seen.reset()
+		}
+
+	case AxisFollowing:
+		sp := n.Span()
+		nm := named()
+		i := sort.Search(len(nm), func(i int) bool { return nm[i].Span().Start >= sp.End })
+		for _, e := range nm[i:] {
+			if !goddag.NodesEqual(e, n) && spanAfter(e.Span(), sp) {
+				out = append(out, e)
+			}
+		}
+
+	case AxisPreceding:
+		sp := n.Span()
+		for _, e := range named() {
+			if e.Span().Start >= sp.Start && !e.Span().IsEmpty() {
+				break // can no longer end before sp begins
+			}
+			if !goddag.NodesEqual(e, n) && spanAfter(sp, e.Span()) {
+				out = append(out, e)
+			}
+		}
+
+	case AxisCovered:
+		sp := n.Span()
+		nm := named()
+		i := sort.Search(len(nm), func(i int) bool { return nm[i].Span().Start >= sp.Start })
+		for _, e := range nm[i:] {
+			if e.Span().Start > sp.End {
+				break
+			}
+			if !goddag.NodesEqual(e, n) && sp.ContainsSpan(e.Span()) {
+				out = append(out, e)
+			}
+		}
 	}
-	if len(current) > 1 || mustSort {
-		out = ev.dedupSort(out)
-	}
-	return out, true
+	return out
 }
 
 // predHolds implements XPath predicate truth: a number predicate selects
@@ -612,22 +874,163 @@ func filterTest(ns []goddag.Node, t nodeTest) []goddag.Node {
 	return out
 }
 
-// dedupSort deduplicates a node list and sorts it in document order.
+// dedupSort deduplicates a node list (in place) and sorts it in document
+// order, keyed entirely on node ordinals: no identity maps, no interface
+// comparisons. Lists that are already strictly ordered — the common case
+// for single-origin step results — are returned untouched.
 func (ev *evaluator) dedupSort(ns []goddag.Node) []goddag.Node {
 	if len(ns) <= 1 {
 		return ns
 	}
-	seen := make(map[any]bool, len(ns))
-	var out []goddag.Node
-	for _, n := range ns {
-		id := goddag.NodeID(n)
-		if !seen[id] {
-			seen[id] = true
+	ord := ev.ordinals()
+	sorted := true
+	prev := ord.Of(ns[0])
+	for i := 1; i < len(ns); i++ {
+		o := ord.Of(ns[i])
+		if o <= prev {
+			sorted = false
+			break
+		}
+		prev = o
+	}
+	if sorted {
+		return ns
+	}
+	sort.Slice(ns, func(i, j int) bool { return ord.Of(ns[i]) < ord.Of(ns[j]) })
+	out := ns[:1]
+	last := ord.Of(ns[0])
+	for _, n := range ns[1:] {
+		if o := ord.Of(n); o != last {
+			out = append(out, n)
+			last = o
+		}
+	}
+	return out
+}
+
+// merge2 merges two document-ordered, duplicate-free node lists into one,
+// dropping cross-list duplicates (equal ordinals). When one side is empty
+// the other is returned as-is.
+func (ev *evaluator) merge2(a, b []goddag.Node) []goddag.Node {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	ord := ev.ordinals()
+	out := make([]goddag.Node, 0, len(a)+len(b))
+	i, j := 0, 0
+	oa, ob := ord.Of(a[0]), ord.Of(b[0])
+	for {
+		switch {
+		case oa < ob:
+			out = append(out, a[i])
+			i++
+			if i == len(a) {
+				return append(out, b[j:]...)
+			}
+			oa = ord.Of(a[i])
+		case ob < oa:
+			out = append(out, b[j])
+			j++
+			if j == len(b) {
+				return append(out, a[i:]...)
+			}
+			ob = ord.Of(b[j])
+		default: // same node in both lists
+			out = append(out, a[i])
+			i++
+			j++
+			if i == len(a) {
+				return append(out, b[j:]...)
+			}
+			if j == len(b) {
+				return append(out, a[i:]...)
+			}
+			oa, ob = ord.Of(a[i]), ord.Of(b[j])
+		}
+	}
+}
+
+// mergeLists combines per-origin step results into one document-ordered,
+// duplicate-free node-set. Two lists merge linearly; more lists combine
+// in a single pass — concatenate with bitset deduplication, tracking
+// whether the stream stays ordered — so the common shapes are O(total):
+// disjoint-origin steps (each origin's candidates form one document-order
+// block, e.g. child steps from disjoint parents) need no sort at all, and
+// heavily duplicated streams (ancestor climbs from thousands of origins)
+// shrink through the bitset before the ordinal sort touches them. No
+// per-query maps, no interface comparisons.
+func (ev *evaluator) mergeLists(lists [][]goddag.Node) []goddag.Node {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return ev.dedupSort(lists[0])
+	case 2:
+		return ev.merge2(ev.dedupSort(lists[0]), ev.dedupSort(lists[1]))
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total <= 128 {
+		// Small result sets dedup faster through the ordinal sort than
+		// through a bitset sized to the whole document.
+		out := make([]goddag.Node, 0, total)
+		for _, l := range lists {
+			out = append(out, l...)
+		}
+		return ev.dedupSort(out)
+	}
+	ord := ev.ordinals()
+	seen := ev.acquireSeen()
+	out := make([]goddag.Node, 0, total)
+	sorted := true
+	prev := -1
+	for _, l := range lists {
+		for _, n := range l {
+			o := ord.Of(n)
+			if !seen.add(o) {
+				continue
+			}
+			if o <= prev {
+				sorted = false
+			}
+			prev = o
 			out = append(out, n)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		return goddag.CompareNodes(out[i], out[j]) < 0
-	})
+	seen.reset()
+	if !sorted {
+		sort.Slice(out, func(i, j int) bool { return ord.Of(out[i]) < ord.Of(out[j]) })
+	}
 	return out
+}
+
+// union implements the '|' operator: a document-ordered merge of two
+// node-sets. Unordered operands (filter results, variable bindings) are
+// sorted on a copy — the originals may be shared with bindings and must
+// not be mutated.
+func (ev *evaluator) union(a, b []goddag.Node) []goddag.Node {
+	return ev.merge2(ev.sortedView(a), ev.sortedView(b))
+}
+
+// sortedView returns ns when already strictly document-ordered, else a
+// dedup-sorted copy.
+func (ev *evaluator) sortedView(ns []goddag.Node) []goddag.Node {
+	if len(ns) <= 1 {
+		return ns
+	}
+	ord := ev.ordinals()
+	prev := ord.Of(ns[0])
+	for i := 1; i < len(ns); i++ {
+		o := ord.Of(ns[i])
+		if o <= prev {
+			return ev.dedupSort(append([]goddag.Node(nil), ns...))
+		}
+		prev = o
+	}
+	return ns
 }

@@ -300,7 +300,10 @@ func (q *Query) Eval(doc *goddag.Document) ([]xpath.Value, error) {
 			if err != nil {
 				return err
 			}
-			return run(ci+1, withVar(vars, c.vari, v))
+			restore := bindVar(vars, c.vari, v)
+			err = run(ci+1, vars)
+			restore()
+			return err
 		default: // for
 			v, err := c.expr.EvalWith(doc, root, vars)
 			if err != nil {
@@ -310,7 +313,10 @@ func (q *Query) Eval(doc *goddag.Document) ([]xpath.Value, error) {
 				return &SyntaxError{Query: q.source, Msg: fmt.Sprintf("for $%s: expression is not a node-set", c.vari)}
 			}
 			for _, n := range v.Nodes() {
-				if err := run(ci+1, withVar(vars, c.vari, xpath.Singleton(n))); err != nil {
+				restore := bindVar(vars, c.vari, xpath.Singleton(n))
+				err := run(ci+1, vars)
+				restore()
+				if err != nil {
 					return err
 				}
 			}
@@ -356,13 +362,21 @@ func (q *Query) EvalStrings(doc *goddag.Document) ([]string, error) {
 	return out, nil
 }
 
-// withVar extends a binding set without mutating the parent (clauses
-// shadow outer variables of the same name).
-func withVar(vars xpath.Bindings, name string, v xpath.Value) xpath.Bindings {
-	next := make(xpath.Bindings, len(vars)+1)
-	for k, val := range vars {
-		next[k] = val
+// bindVar sets a variable in the shared binding scope and returns the
+// function that undoes it. Clause evaluation is strictly nested — every
+// tuple's inner clauses finish before the next binding of the same
+// variable — so one mutated map with save/restore replaces the previous
+// copy-the-whole-map-per-tuple scheme (O(vars) allocations per tuple on
+// the FLWOR hot path). Shadowing of outer variables with the same name
+// is preserved by the saved value.
+func bindVar(vars xpath.Bindings, name string, v xpath.Value) (restore func()) {
+	prev, had := vars[name]
+	vars[name] = v
+	return func() {
+		if had {
+			vars[name] = prev
+		} else {
+			delete(vars, name)
+		}
 	}
-	next[name] = v
-	return next
 }
