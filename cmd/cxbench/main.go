@@ -21,6 +21,9 @@
 //	E7  representation conversion cost and size overhead
 //	A1  ablation: SACX k-way heap merge vs linear rescan
 //	A2  ablation: overlapping axis via interval arithmetic vs graph walk
+//	SERVE  cxserve serving layer: warm-cache query latency (p50) through
+//	       the HTTP handler vs direct Eval, and cold catalog loads per
+//	       source form (tracked in BENCH_serve.json)
 package main
 
 import (
@@ -28,18 +31,25 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/catalog"
 	"repro/internal/corpus"
 	"repro/internal/document"
 	"repro/internal/drivers"
 	"repro/internal/dtd"
 	"repro/internal/goddag"
 	"repro/internal/sacx"
+	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/validate"
 	"repro/internal/xpath"
 )
@@ -56,9 +66,9 @@ func main() {
 	b := &bench{full: *full}
 	run := map[string]func(){
 		"E3": b.e3, "E4": b.e4, "E5": b.e5, "E6": b.e6, "E7": b.e7,
-		"A1": b.a1, "A2": b.a2,
+		"A1": b.a1, "A2": b.a2, "SERVE": b.serve, "serve": b.serve,
 	}
-	ids := []string{"E3", "E4", "E5", "E6", "E7", "A1", "A2"}
+	ids := []string{"E3", "E4", "E5", "E6", "E7", "A1", "A2", "SERVE"}
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
@@ -516,6 +526,148 @@ func (b *bench) a2() {
 			float64(tInt.Nanoseconds())/1000, float64(tWalk.Nanoseconds())/1000,
 			float64(tWalk)/float64(tInt))
 	}
+}
+
+// serve — the cxserve serving layer: warm-cache query latency through
+// the full HTTP handler stack (request decode, catalog hit, compiled
+// query cache, Eval, JSON/text encode) against direct xpath Eval on the
+// same document, plus cold catalog loads per source form. Latency rows
+// report the p50 over repeated single requests; the acceptance bar is
+// that warm //w-class handler queries cost no more than direct Eval plus
+// the response encoding.
+func (b *bench) serve() {
+	header("SERVE", "cxserve serving layer: warm query latency and cold loads")
+	words := b.sizes()[1]
+	cfg := corpus.DefaultConfig(words)
+	doc, err := corpus.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "cxbench-serve")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	f, err := os.Create(filepath.Join(dir, "ms.gdag"))
+	if err != nil {
+		fatal(err)
+	}
+	if err := store.Encode(f, doc); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	so, err := drivers.EncodeStandoff(doc, drivers.EncodeOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "standoff.xml"), so, 0o644); err != nil {
+		fatal(err)
+	}
+
+	cat, err := catalog.Open(dir, catalog.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(cat, server.Config{})
+	h := srv.Handler()
+
+	// Cold loads: parse + index pre-warm + footprint accounting, per
+	// source form. Evict between iterations so every Get is cold.
+	fmt.Printf("%8s %12s %14s\n", "words", "source", "cold_ms")
+	for _, id := range []string{"ms", "standoff"} {
+		per := measure(func() {
+			if _, err := cat.Get(id); err != nil {
+				fatal(err)
+			}
+			cat.Evict(id)
+		})
+		fmt.Printf("%8d %12s %14.3f\n", words, id, float64(per.Microseconds())/1000)
+		b.rows = append(b.rows, benchRow{
+			Experiment: "SERVE", Words: words, Hierarchies: cfg.Hierarchies,
+			Strategy: "cold-" + id, NsPerOp: per.Nanoseconds(),
+		})
+	}
+
+	// Warm-cache latency: p50 per query through the handler (JSON and
+	// text responses) vs direct Eval of the same compiled query.
+	if _, err := cat.Get("ms"); err != nil {
+		fatal(err)
+	}
+	g, err := cat.Get("ms")
+	if err != nil {
+		fatal(err)
+	}
+	queries := []string{
+		"//w",
+		"count(//w)",
+		"//dmg/overlapping::w",
+		"//line/covered::w",
+	}
+	fmt.Printf("%8s %24s %14s %14s %14s %9s\n",
+		"words", "query", "handler_p50_us", "text_p50_us", "direct_p50_us", "results")
+	for _, qs := range queries {
+		cq := xpath.MustCompile(qs)
+		var results int
+		direct := measureP50(func() {
+			v, err := cq.Eval(g.GODDAG())
+			if err != nil {
+				fatal(err)
+			}
+			if v.IsNodeSet() {
+				results = len(v.Nodes())
+			} else {
+				results = 1
+			}
+		})
+		jsonBody := fmt.Sprintf(`{"doc":"ms","query":%q}`, qs)
+		textBody := fmt.Sprintf(`{"doc":"ms","query":%q,"format":"text"}`, qs)
+		handler := measureP50(func() { serveOnce(h, jsonBody) })
+		text := measureP50(func() { serveOnce(h, textBody) })
+		fmt.Printf("%8d %24s %14.1f %14.1f %14.1f %9d\n", words, qs,
+			float64(handler.Nanoseconds())/1000, float64(text.Nanoseconds())/1000,
+			float64(direct.Nanoseconds())/1000, results)
+		b.rows = append(b.rows,
+			benchRow{Experiment: "SERVE", Words: words, Hierarchies: cfg.Hierarchies,
+				Query: qs, Strategy: "handler-json", NsPerOp: handler.Nanoseconds(), Results: results},
+			benchRow{Experiment: "SERVE", Words: words, Hierarchies: cfg.Hierarchies,
+				Query: qs, Strategy: "handler-text", NsPerOp: text.Nanoseconds(), Results: results},
+			benchRow{Experiment: "SERVE", Words: words, Hierarchies: cfg.Hierarchies,
+				Query: qs, Strategy: "direct", NsPerOp: direct.Nanoseconds(), Results: results})
+	}
+	fmt.Println("note: handler rows include request decode + response encode; direct rows are bare Eval on the warm GODDAG.")
+}
+
+func serveOnce(h http.Handler, body string) {
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		fatal(fmt.Errorf("serve bench: status %d: %s", w.Code, w.Body.String()))
+	}
+}
+
+// measureP50 samples f until enough wall time accumulates and returns
+// the median duration — the latency measure the serving-layer rows
+// report (tail-robust, unlike the mean measure uses).
+func measureP50(f func()) time.Duration {
+	f() // warm up
+	var samples []time.Duration
+	total := time.Duration(0)
+	for total < 100*time.Millisecond || len(samples) < 30 {
+		start := time.Now()
+		f()
+		d := time.Since(start)
+		samples = append(samples, d)
+		total += d
+		if len(samples) >= 1<<16 {
+			break
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2]
 }
 
 func fatal(err error) {

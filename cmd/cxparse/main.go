@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	cxparse [-format auto] [-show] [-dot] [-stats] file.xml...
+//	cxparse [-format auto] [-show] [-dot] [-stats] [-save out.gdag] file.xml...
 //
 // With multiple files the inputs form a distributed document, one
-// hierarchy per file, named after the file.
+// hierarchy per file, named after the file. -save writes the parsed
+// GODDAG in the compact binary store format, the fast-loading source
+// form for cxserve corpora.
 package main
 
 import (
@@ -19,14 +21,16 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/corpus"
 	"repro/internal/goddag"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		format = flag.String("format", "auto", "input representation: auto, distributed, milestones, fragmentation, standoff")
+		format = flag.String("format", "auto", "input representation: auto, distributed, milestones, fragmentation, standoff, gdag")
 		show   = flag.Bool("show", false, "print the leaf table and per-hierarchy trees (Figure 1 view)")
 		dot    = flag.Bool("dot", false, "print the GODDAG in Graphviz DOT (Figure 2 view)")
 		stats  = flag.Bool("stats", false, "print summary statistics")
+		save   = flag.String("save", "", "write the parsed document as a binary GODDAG (.gdag) file")
 		demo   = flag.Bool("fig1", false, "ignore inputs and use the bundled Figure 1 manuscript fragment")
 	)
 	flag.Parse()
@@ -46,6 +50,21 @@ func main() {
 		g = doc.GODDAG()
 	}
 
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.Encode(f, g); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if !*show && !*dot && !*stats && *save != "" {
+		return
+	}
 	if !*show && !*dot && !*stats {
 		*stats = true
 	}

@@ -1,16 +1,29 @@
-// Command cxquery evaluates Extended XPath queries over a concurrent XML
-// document, including the overlapping/covering/covered axes the paper
+// Command cxquery evaluates Extended XPath queries over concurrent XML
+// documents, including the overlapping/covering/covered axes the paper
 // adds for concurrent markup.
 //
 // Usage:
 //
 //	cxquery -q "//dmg/overlapping::w" [-format auto] file.xml...
 //	cxquery -q "count(//w)" -fig1
+//	cxquery -q "//w" -each a.xml b.gdag c.xml
+//	cxquery -flwor "for $w in //w return $w" file.xml...
 //
-// Node results print one per line as hierarchy:tag[span] "text".
+// By default the input files form ONE document (multiple files = the
+// distributed representation, one hierarchy per file). With -each, every
+// file is a separate document — any representation, including binary
+// .gdag stores — and the query, compiled once, is evaluated against each
+// in turn; output lines gain a "file:" prefix column.
+//
+// Node results print one per line as hierarchy:tag[span] "text" — the
+// same renderer (internal/cliutil) the cxserve HTTP service uses for its
+// text format, so CLI and server output are byte-identical. -json emits
+// the server's JSON encoding instead.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,24 +31,64 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/corpus"
-	"repro/internal/goddag"
+	"repro/internal/xpath"
+	"repro/internal/xquery"
 )
 
 func main() {
 	var (
-		query  = flag.String("q", "", "Extended XPath query (required unless -flwor)")
-		flwor  = flag.String("flwor", "", "FLWOR query (for/let/where/order by/return)")
-		format = flag.String("format", "auto", "input representation")
-		demo   = flag.Bool("fig1", false, "use the bundled Figure 1 fragment")
-		quiet  = flag.Bool("count", false, "print only the number of result nodes")
+		query   = flag.String("q", "", "Extended XPath query (required unless -flwor)")
+		flwor   = flag.String("flwor", "", "FLWOR query (for/let/where/order by/return)")
+		format  = flag.String("format", "auto", "input representation")
+		each    = flag.Bool("each", false, "treat every input file as its own document")
+		jsonOut = flag.Bool("json", false, "emit the JSON encoding (shared with cxserve)")
+		demo    = flag.Bool("fig1", false, "use the bundled Figure 1 fragment")
+		quiet   = flag.Bool("count", false, "print only the number of result nodes")
 	)
 	flag.Parse()
 	if *query == "" && *flwor == "" {
 		fatal(fmt.Errorf("missing -q or -flwor query"))
 	}
+	if *query != "" && *flwor != "" {
+		fatal(fmt.Errorf("use either -q or -flwor, not both"))
+	}
+	if *each && *demo {
+		fatal(fmt.Errorf("-each cannot be combined with -fig1"))
+	}
+
+	// Compile exactly once, whatever the number of input documents.
+	var (
+		xq  *xpath.Query
+		fq  *xquery.Query
+		err error
+	)
+	if *query != "" {
+		xq, err = xpath.Compile(*query)
+	} else {
+		fq, err = xquery.Compile(*flwor)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *each {
+		paths := flag.Args()
+		if len(paths) == 0 {
+			fatal(fmt.Errorf("no input files"))
+		}
+		for _, p := range paths {
+			doc, err := cliutil.Load(*format, []string{p})
+			if err != nil {
+				fatal(err)
+			}
+			if err := run(doc, xq, fq, *jsonOut, *quiet, p); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
 
 	var doc *core.Document
-	var err error
 	if *demo {
 		doc, err = core.Parse(corpus.Fig1Sources())
 	} else {
@@ -44,77 +97,109 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	if *flwor != "" {
-		vals, err := doc.QueryFLWOR(*flwor)
-		if err != nil {
-			fatal(err)
-		}
-		if *quiet {
-			fmt.Println(len(vals))
-			return
-		}
-		for _, v := range vals {
-			if v.IsNodeSet() {
-				for _, n := range v.Nodes() {
-					printNode(n)
-				}
-				continue
-			}
-			fmt.Println(v.String())
-		}
-		return
-	}
-
-	v, err := doc.QueryValue(*query)
-	if err != nil {
+	if err := run(doc, xq, fq, *jsonOut, *quiet, ""); err != nil {
 		fatal(err)
 	}
-	if !v.IsNodeSet() {
-		fmt.Println(v.String())
-		return
-	}
-	if attrs := v.Attrs(); len(attrs) > 0 {
-		if *quiet {
-			fmt.Println(len(attrs))
-			return
-		}
-		for _, a := range attrs {
-			fmt.Printf("%s/@%s = %q\n", a.Owner, a.Name, a.Value)
-		}
-		return
-	}
-	nodes := v.Nodes()
-	if *quiet {
-		fmt.Println(len(nodes))
-		return
-	}
-	for _, n := range nodes {
-		printNode(n)
-	}
 }
 
-func printNode(n goddag.Node) {
-	// Printed spans are character positions (the paper's coordinates);
-	// the content's byte↔rune index converts from the internal byte
-	// spans at this output edge.
-	content := n.Document().Content()
-	switch v := n.(type) {
-	case *goddag.Element:
-		fmt.Printf("%s:%s%v %q\n", v.Hierarchy().Name(), v.Name(), content.RuneSpan(v.Span()), clip(v.Text()))
-	case goddag.Leaf:
-		fmt.Printf("leaf#%d%v %q\n", v.Index(), content.RuneSpan(v.Span()), clip(v.Text()))
-	case *goddag.Root:
-		fmt.Printf("root:%s %q\n", v.Name(), clip(v.Text()))
+// run evaluates the pre-compiled query against one document and prints
+// the result through the shared cliutil renderers. file is the input
+// path in -each mode (empty otherwise): text lines get it as a prefix
+// column, JSON output wraps it into the emitted object so every line
+// stays valid JSON.
+func run(doc *core.Document, xq *xpath.Query, fq *xquery.Query, jsonOut, quiet bool, file string) error {
+	prefix := ""
+	if file != "" {
+		prefix = file + ": "
 	}
+	if fq != nil {
+		vals, err := fq.Eval(doc.GODDAG())
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			if quiet {
+				return emitJSON(map[string]int{"count": len(vals)}, file)
+			}
+			out := make([]cliutil.ValueJSON, len(vals))
+			for i, v := range vals {
+				out[i] = cliutil.EncodeValue(v, 0)
+			}
+			return emitJSON(out, file)
+		}
+		return prefixed(prefix, func(w *prefixWriter) {
+			cliutil.WriteFLWOR(w, vals, quiet, 0)
+		})
+	}
+	v, err := xq.Eval(doc.GODDAG())
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := cliutil.EncodeValue(v, 0)
+		if quiet {
+			// -count with -json: sizes only, no node dump.
+			enc.Nodes, enc.Attrs = nil, nil
+		}
+		return emitJSON(enc, file)
+	}
+	return prefixed(prefix, func(w *prefixWriter) {
+		cliutil.WriteValue(w, v, quiet, 0)
+	})
 }
 
-func clip(s string) string {
-	r := []rune(s)
-	if len(r) > 60 {
-		return string(r[:57]) + "..."
+// emitJSON writes one JSON document per input; in -each mode the result
+// nests under {"file": ..., "result": ...} so consumers can stream one
+// parseable object per file.
+func emitJSON(v any, file string) error {
+	if file != "" {
+		v = struct {
+			File   string `json:"file"`
+			Result any    `json:"result"`
+		}{File: file, Result: v}
 	}
-	return s
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+func prefixed(prefix string, f func(w *prefixWriter)) error {
+	w := &prefixWriter{prefix: prefix}
+	f(w)
+	return w.err
+}
+
+// prefixWriter writes lines to stdout, prefixing each with a fixed
+// string (the file name in -each mode; empty otherwise).
+type prefixWriter struct {
+	prefix string
+	buf    []byte
+	err    error
+}
+
+func (w *prefixWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		line := w.buf[:i+1]
+		if w.prefix != "" {
+			if _, err := os.Stdout.WriteString(w.prefix); err != nil {
+				w.err = err
+				return 0, err
+			}
+		}
+		if _, err := os.Stdout.Write(line); err != nil {
+			w.err = err
+			return 0, err
+		}
+		w.buf = w.buf[i+1:]
+	}
 }
 
 func fatal(err error) {

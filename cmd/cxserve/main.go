@@ -1,0 +1,120 @@
+// Command cxserve serves a corpus of concurrent XML documents over HTTP:
+// the catalog + query service that turns the framework's single-document
+// engine into a collection-serving system (persistent collections are the
+// "ongoing work" of the paper's §1).
+//
+// Usage:
+//
+//	cxserve -dir corpus/ [-addr :8080] [-budget 512] [-cache 256] [-timeout 10s]
+//
+// The corpus directory may mix source forms, one document per entry:
+//
+//	ms.gdag        binary GODDAG files (cxparse -save ms.gdag, or core.Save)
+//	notes.xml      single-file representations, sniffed automatically
+//	               (standoff, milestones, fragmentation, plain XML)
+//	boethius/      a directory of per-hierarchy XML files — one
+//	               distributed concurrent document named "boethius"
+//
+// Documents load lazily on first use, are index-warmed before serving,
+// and are managed by a byte-budgeted LRU (-budget, in MiB; 0 = unlimited).
+// Concurrent requests against one document evaluate in parallel on the
+// shared read-only GODDAG; concurrent first touches of a cold document
+// trigger exactly one load.
+//
+// Endpoints (see internal/server for the full contract):
+//
+//	POST   /query    {"doc":"ms","query":"//dmg/overlapping::w"}
+//	                 {"doc":"ms","flwor":"for $w in //w return $w"}
+//	                 optional "format": "json" (default) | "text" | "count",
+//	                 optional "limit": max encoded result nodes (clamped
+//	                 to -max-results)
+//	GET    /docs     catalogued documents + stats
+//	GET    /docs/ID  one document (?load=1 forces a load)
+//	DELETE /docs/ID  evict it / clear a cached load failure
+//	GET    /healthz  liveness
+//	GET    /stats    catalog, request, and query-cache counters
+//
+// Examples:
+//
+//	cxserve -dir corpus &
+//	curl -s localhost:8080/docs
+//	curl -s -X POST localhost:8080/query \
+//	     -d '{"doc":"ms","query":"count(//line/covered::w)"}'
+//
+// Shutdown: SIGINT/SIGTERM drain in-flight requests (up to 5s) before
+// exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		dir        = flag.String("dir", "", "corpus directory (required)")
+		budgetMB   = flag.Int64("budget", 0, "resident-document byte budget in MiB (0 = unlimited)")
+		cacheSize  = flag.Int("cache", 256, "compiled-query LRU capacity")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 = none)")
+		maxBody    = flag.Int64("max-body", 1<<20, "maximum /query body bytes")
+		maxResults = flag.Int("max-results", 10000, "default cap on encoded result nodes (-1 = unlimited)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fatal(errors.New("missing -dir corpus directory"))
+	}
+
+	cat, err := catalog.Open(*dir, catalog.Options{Budget: *budgetMB << 20})
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(cat, server.Config{
+		QueryCache: *cacheSize,
+		MaxBody:    *maxBody,
+		MaxResults: *maxResults,
+		Timeout:    *timeout,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "cxserve: serving %d documents from %s on %s\n",
+		len(cat.IDs()), *dir, *addr)
+
+	select {
+	case err := <-done:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "cxserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxserve:", err)
+	os.Exit(1)
+}

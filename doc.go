@@ -46,6 +46,19 @@
 // whole axes. Documents are safe for concurrent read-only querying; see
 // internal/goddag's package comment for the exact contract.
 //
+// Serving collections: the paper positions the framework as
+// infrastructure for document-centric collections. internal/catalog
+// manages a directory-backed corpus — lazy singleflight loads,
+// index pre-warming (goddag.Document.Warm), and a byte-budgeted LRU
+// over goddag.Document.Footprint estimates — and internal/server +
+// cmd/cxserve expose it over HTTP: POST /query evaluates Extended
+// XPath and FLWOR with a shared compiled-query cache, and results
+// render through the same internal/cliutil encoders the cxquery CLI
+// uses, so server and CLI output are byte-identical. Persistent
+// single-document storage (the paper's "ongoing work") is package
+// store's binary format, which cold-loads through the same
+// goddag.BulkBuilder fast path as the SACX parser.
+//
 // Quick start:
 //
 //	doc, err := repro.Parse([]repro.Source{

@@ -1,0 +1,366 @@
+// Package catalog is a thread-safe manager for a *corpus* of concurrent
+// XML documents — the collection layer the paper's framework assumes when
+// it positions itself as infrastructure for document-centric collections
+// (persistent storage is "ongoing work" in §1; package store supplies the
+// format, this package supplies the serving-side manager over it).
+//
+// A Catalog maps document ids to source files under one directory:
+//
+//   - name.gdag           — binary GODDAG (package store)
+//   - name.xml            — single-file representation, sniffed (standoff,
+//     milestones, fragmentation, or plain single-hierarchy XML)
+//   - name/ (directory)   — a distributed document: one XML file per
+//     hierarchy, each hierarchy named after its file
+//
+// Documents load lazily on first Get. Three mechanisms make the catalog
+// safe and predictable under concurrent query traffic:
+//
+//   - Singleflight loads: N concurrent Gets of a cold document trigger
+//     exactly one parse; the others block on the in-flight load and share
+//     its result.
+//   - Index pre-warming: loads call (*goddag.Document).Warm before
+//     publishing, so the lazily built query indexes (element cache, span
+//     index, ordinals, name index) are resident before the first query —
+//     cold documents never serialize their first wave of queries on a
+//     lazy index rebuild.
+//   - A byte-budgeted LRU: each resident document is charged its
+//     estimated footprint (goddag.Footprint); when the total exceeds the
+//     budget, least-recently-used documents are dropped. Eviction only
+//     forgets the catalog's reference — documents are immutable while
+//     served, so queries still running against an evicted document remain
+//     valid; memory is reclaimed when they finish.
+//
+// Loaded documents are read-only: callers must not mutate them (see the
+// concurrency contract in package goddag). All Catalog methods are safe
+// for concurrent use.
+package catalog
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+)
+
+// Options configure a Catalog.
+type Options struct {
+	// Budget is the resident-byte budget for loaded documents
+	// (goddag.Footprint estimates). Zero means unlimited. The most
+	// recently used document is never evicted, so a single document
+	// larger than the budget still serves.
+	Budget int64
+}
+
+// Catalog serves documents from a directory. Create one with Open.
+type Catalog struct {
+	dir    string
+	budget int64
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	ids      []string   // sorted
+	lru      *list.List // of *entry: resident entries, most recent first
+	resident int64
+
+	loads     uint64
+	hits      uint64
+	evictions uint64
+
+	// onLoad, when set (tests), runs inside each document load, after the
+	// load has been registered as in-flight and before its result is
+	// published.
+	onLoad func(id string)
+}
+
+// entry is one catalogued document. The resident fields are guarded by
+// Catalog.mu; source identity (id, paths) is immutable after Open.
+type entry struct {
+	id     string
+	paths  []string // source files (several for a distributed directory)
+	format string   // cliutil.Load format, known from the Open scan
+
+	doc   *core.Document // nil when not resident
+	bytes int64
+	elem  *list.Element // position in Catalog.lru, valid while resident
+
+	loads   uint64
+	hits    uint64
+	lastErr error // failed load, cached until Evict clears it
+
+	flight *flight // in-progress load, nil otherwise
+}
+
+// flight is one in-progress load; concurrent Gets of the same cold
+// document share it instead of loading again.
+type flight struct {
+	done chan struct{}
+	doc  *core.Document
+	err  error
+}
+
+// ErrNotFound reports an id the catalog does not know.
+type ErrNotFound struct{ ID string }
+
+// Error implements the error interface.
+func (e *ErrNotFound) Error() string { return fmt.Sprintf("catalog: no document %q", e.ID) }
+
+// Open scans dir and returns a catalog of the documents found. No
+// document is loaded yet.
+func Open(dir string, opts Options) (*Catalog, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Catalog{dir: dir, budget: opts.Budget, entries: make(map[string]*entry), lru: list.New()}
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasPrefix(name, ".") {
+			continue
+		}
+		if de.IsDir() {
+			sub, err := os.ReadDir(filepath.Join(dir, name))
+			if err != nil {
+				return nil, err
+			}
+			var paths []string
+			for _, f := range sub {
+				if !f.IsDir() && strings.HasSuffix(f.Name(), ".xml") {
+					paths = append(paths, filepath.Join(dir, name, f.Name()))
+				}
+			}
+			if len(paths) > 0 {
+				sort.Strings(paths)
+				format := "distributed"
+				if len(paths) == 1 {
+					format = "auto" // single file in a subdir: sniff it
+				}
+				c.add(name, paths, format)
+			}
+			continue
+		}
+		ext := filepath.Ext(name)
+		if ext != ".xml" && ext != ".gdag" {
+			continue
+		}
+		format := "auto" // .xml: sniff standoff/milestones/fragmentation/plain
+		if ext == ".gdag" {
+			format = "gdag"
+		}
+		c.add(strings.TrimSuffix(name, ext), []string{filepath.Join(dir, name)}, format)
+	}
+	sort.Strings(c.ids)
+	return c, nil
+}
+
+func (c *Catalog) add(id string, paths []string, format string) {
+	if _, dup := c.entries[id]; dup {
+		// name.xml next to name.gdag (or name/): keep the first, which
+		// ReadDir's sorted order makes the .gdag / directory form.
+		return
+	}
+	c.entries[id] = &entry{id: id, paths: paths, format: format}
+	c.ids = append(c.ids, id)
+}
+
+// IDs returns all document ids, sorted.
+func (c *Catalog) IDs() []string {
+	out := make([]string, len(c.ids))
+	copy(out, c.ids)
+	return out
+}
+
+// Get returns the document with the given id, loading (and index-warming)
+// it on first use. Concurrent Gets of the same cold document share one
+// load. The returned document is read-only and remains valid even if the
+// catalog later evicts it.
+func (c *Catalog) Get(id string) (*core.Document, error) {
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, &ErrNotFound{ID: id}
+	}
+	if e.doc != nil {
+		e.hits++
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		doc := e.doc
+		c.mu.Unlock()
+		return doc, nil
+	}
+	if e.lastErr != nil {
+		// Negative cache: a failed load costs a full parse, so a broken
+		// source keeps returning its error without re-parsing until
+		// Evict clears it (e.g. after the file is fixed).
+		err := e.lastErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if f := e.flight; f != nil {
+		// Singleflight: somebody else is already loading; share the result.
+		c.mu.Unlock()
+		<-f.done
+		return f.doc, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flight = f
+	c.mu.Unlock()
+
+	doc, bytes, err := c.load(e)
+
+	c.mu.Lock()
+	e.flight = nil
+	f.doc, f.err = doc, err
+	if err == nil {
+		e.doc = doc
+		e.bytes = bytes
+		e.loads++
+		c.loads++
+		e.elem = c.lru.PushFront(e)
+		c.resident += bytes
+		c.evictLocked()
+	} else {
+		e.lastErr = err
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return doc, err
+}
+
+// load parses one document from its source files and pre-warms its query
+// indexes. Runs without the catalog lock: loads of *different* documents
+// proceed in parallel.
+func (c *Catalog) load(e *entry) (*core.Document, int64, error) {
+	if c.onLoad != nil {
+		c.onLoad(e.id)
+	}
+	doc, err := cliutil.Load(e.format, e.paths)
+	if err != nil {
+		return nil, 0, fmt.Errorf("catalog: load %q: %w", e.id, err)
+	}
+	g := doc.GODDAG()
+	g.Warm()
+	return doc, g.Footprint(), nil
+}
+
+// evictLocked drops least-recently-used documents until the resident
+// bytes fit the budget. The front (most recent) entry always stays, so an
+// over-budget document can still serve.
+func (c *Catalog) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.resident > c.budget && c.lru.Len() > 1 {
+		c.dropLocked(c.lru.Back().Value.(*entry))
+	}
+}
+
+func (c *Catalog) dropLocked(e *entry) {
+	c.lru.Remove(e.elem)
+	c.resident -= e.bytes
+	e.doc = nil
+	e.bytes = 0
+	e.elem = nil
+	c.evictions++
+}
+
+// Evict drops the document from the resident set if loaded (or clears a
+// cached load failure), reporting whether anything was cleared. Queries
+// already running against an evicted document are unaffected.
+func (c *Catalog) Evict(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	if e.lastErr != nil {
+		e.lastErr = nil
+		return true
+	}
+	if e.doc == nil {
+		return false
+	}
+	c.dropLocked(e)
+	c.evictions-- // administrative drop, not a pressure eviction
+	return true
+}
+
+// DocStats describes one catalogued document.
+type DocStats struct {
+	ID       string   `json:"id"`
+	Paths    []string `json:"paths"`
+	Resident bool     `json:"resident"`
+	Bytes    int64    `json:"bytes,omitempty"` // footprint estimate while resident
+	Loads    uint64   `json:"loads"`
+	Hits     uint64   `json:"hits"`
+	Error    string   `json:"error,omitempty"` // cached load failure (cleared by Evict)
+}
+
+// Stats summarizes the catalog.
+type Stats struct {
+	Documents int        `json:"documents"`
+	Resident  int        `json:"resident"`
+	Bytes     int64      `json:"bytes"`
+	Budget    int64      `json:"budget"`
+	Loads     uint64     `json:"loads"`
+	Hits      uint64     `json:"hits"`
+	Evictions uint64     `json:"evictions"`
+	Docs      []DocStats `json:"docs"`
+}
+
+// Stats returns a snapshot of catalog and per-document counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Documents: len(c.ids),
+		Bytes:     c.resident,
+		Budget:    c.budget,
+		Loads:     c.loads,
+		Hits:      c.hits,
+		Evictions: c.evictions,
+		Docs:      make([]DocStats, 0, len(c.ids)),
+	}
+	for _, id := range c.ids {
+		e := c.entries[id]
+		ds := c.docStatsLocked(e)
+		if ds.Resident {
+			s.Resident++
+		}
+		s.Docs = append(s.Docs, ds)
+	}
+	return s
+}
+
+func (c *Catalog) docStatsLocked(e *entry) DocStats {
+	ds := DocStats{
+		ID: e.id, Paths: e.paths,
+		Resident: e.doc != nil, Loads: e.loads, Hits: e.hits,
+	}
+	if e.doc != nil {
+		ds.Bytes = e.bytes
+	}
+	if e.lastErr != nil {
+		ds.Error = e.lastErr.Error()
+	}
+	return ds
+}
+
+// Doc returns the stats of one document, reporting ok=false for unknown
+// ids.
+func (c *Catalog) Doc(id string) (DocStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return DocStats{}, false
+	}
+	return c.docStatsLocked(e), true
+}

@@ -1,0 +1,408 @@
+package catalog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/drivers"
+	"repro/internal/sacx"
+	"repro/internal/store"
+)
+
+// writeCorpusDir builds a catalog directory holding the same synthetic
+// manuscript in three source forms plus a plain XML file:
+//
+//	ms.gdag       binary GODDAG
+//	standoff.xml  standoff representation
+//	dist/         distributed (one XML per hierarchy)
+//	plain.xml     single-hierarchy plain XML
+func writeCorpusDir(t testing.TB, words int) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := corpus.DefaultConfig(words)
+	doc, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Create(filepath.Join(dir, "ms.gdag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Encode(f, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	so, err := drivers.EncodeStandoff(doc, drivers.EncodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "standoff.xml"), so, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sub := filepath.Join(dir, "dist")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range doc.HierarchyNames() {
+		data, err := sacx.Split(doc, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, h+".xml"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plain := `<r><w>swa</w> <w>hwaet</w> <w>swa</w></r>`
+	if err := os.WriteFile(filepath.Join(dir, "plain.xml"), []byte(plain), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestOpenScansSources(t *testing.T) {
+	dir := writeCorpusDir(t, 80)
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"dist", "ms", "plain", "standoff"}
+	got := c.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+	if s := c.Stats(); s.Documents != 4 || s.Resident != 0 || s.Loads != 0 {
+		t.Fatalf("fresh catalog stats %+v", s)
+	}
+}
+
+// TestGetAllFormsAgree loads the same manuscript through all three source
+// forms and checks a battery of overlap-aware queries returns identical
+// counts — the catalog is format-transparent.
+func TestGetAllFormsAgree(t *testing.T) {
+	dir := writeCorpusDir(t, 80)
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"count(//w)", "count(//line)", "count(//dmg/overlapping::w)",
+		"count(//line/covered::w)", "count(//w/ancestor::*)",
+	}
+	for _, q := range queries {
+		var ref string
+		for i, id := range []string{"ms", "standoff", "dist"} {
+			doc, err := c.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := doc.QueryValue(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = v.String()
+			} else if v.String() != ref {
+				t.Errorf("%s: %s = %s, ms = %s", id, q, v.String(), ref)
+			}
+		}
+	}
+	s := c.Stats()
+	if s.Resident != 3 || s.Loads != 3 {
+		t.Fatalf("stats after three loads: %+v", s)
+	}
+	if s.Hits == 0 {
+		t.Fatal("repeated Gets recorded no hits")
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	c, err := Open(writeCorpusDir(t, 40), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Get("nope")
+	var nf *ErrNotFound
+	if !errors.As(err, &nf) || nf.ID != "nope" {
+		t.Fatalf("Get(nope) = %v", err)
+	}
+}
+
+// TestSingleflight starts many concurrent Gets of one cold document and
+// asserts exactly one load happens — the others share it.
+func TestSingleflight(t *testing.T) {
+	dir := writeCorpusDir(t, 200)
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loadsObserved atomic.Int64
+	release := make(chan struct{})
+	c.onLoad = func(id string) {
+		loadsObserved.Add(1)
+		<-release // hold the load open until all Gets are in flight
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	started.Add(n)
+	docs := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			doc, err := c.Get("ms")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			docs[i] = doc
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let every Get reach the flight
+	close(release)
+	wg.Wait()
+
+	if got := loadsObserved.Load(); got != 1 {
+		t.Fatalf("observed %d loads under %d concurrent Gets, want 1", got, n)
+	}
+	for i := 1; i < n; i++ {
+		if docs[i] != docs[0] {
+			t.Fatal("concurrent Gets returned different documents")
+		}
+	}
+	if s := c.Stats(); s.Loads != 1 {
+		t.Fatalf("stats.Loads = %d, want 1", s.Loads)
+	}
+}
+
+// TestLRUEviction loads documents under a budget sized for roughly one
+// resident document and checks cold ones are evicted in LRU order, that
+// the budget is respected, and that evicted documents transparently
+// reload.
+func TestLRUEviction(t *testing.T) {
+	dir := writeCorpusDir(t, 300)
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget: just over one synthetic manuscript.
+	ms, err := c.Get("ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := ms.GODDAG().Footprint()
+	c.Evict("ms")
+	c.mu.Lock()
+	c.budget = one + one/4
+	c.mu.Unlock()
+
+	for _, id := range []string{"ms", "standoff", "dist"} {
+		if _, err := c.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Bytes > c.budget && s.Resident > 1 {
+		t.Fatalf("resident %d bytes over budget %d with %d docs", s.Bytes, c.budget, s.Resident)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions under byte pressure")
+	}
+	byID := map[string]DocStats{}
+	for _, d := range s.Docs {
+		byID[d.ID] = d
+	}
+	if byID["ms"].Resident {
+		t.Fatal("ms (least recently used) still resident")
+	}
+	if !byID["dist"].Resident {
+		t.Fatal("dist (most recently used) was evicted")
+	}
+
+	// An evicted document reloads on demand.
+	if _, err := c.Get("ms"); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := c.Doc("ms"); !d.Resident || d.Loads != 3 {
+		t.Fatalf("ms after reload: %+v (evict test expects 3 loads)", d)
+	}
+}
+
+// TestHugeDocumentStillServes checks a single document larger than the
+// whole budget is not evict-thrashed: the most recent entry is exempt.
+func TestHugeDocumentStillServes(t *testing.T) {
+	dir := writeCorpusDir(t, 120)
+	c, err := Open(dir, Options{Budget: 1}) // everything is over budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("ms"); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Resident != 1 {
+		t.Fatalf("resident = %d, want the over-budget document kept", s.Resident)
+	}
+	// The next document displaces it.
+	if _, err := c.Get("standoff"); err != nil {
+		t.Fatal(err)
+	}
+	s = c.Stats()
+	if s.Resident != 1 {
+		t.Fatalf("resident = %d after second load, want 1", s.Resident)
+	}
+	if d, _ := c.Doc("ms"); d.Resident {
+		t.Fatal("ms still resident after displacement")
+	}
+}
+
+// TestConcurrentLoadEvictQuery hammers the catalog from many goroutines —
+// mixed Gets of the same and different documents, explicit evictions, and
+// queries against whatever Get returned — under a budget that forces
+// continual eviction. Run with -race in CI.
+func TestConcurrentLoadEvictQuery(t *testing.T) {
+	dir := writeCorpusDir(t, 150)
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := c.Get("ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.budget = ms.GODDAG().Footprint() + ms.GODDAG().Footprint()/2
+	c.mu.Unlock()
+
+	ids := []string{"ms", "standoff", "dist", "plain"}
+	queries := []string{"count(//w)", "count(//dmg/overlapping::w)", "count(//line/covered::w)"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				id := ids[(g+i)%len(ids)]
+				doc, err := c.Get(id)
+				if err != nil {
+					t.Errorf("Get(%s): %v", id, err)
+					return
+				}
+				q := queries[(g*7+i)%len(queries)]
+				if _, err := doc.QueryValue(q); err != nil {
+					t.Errorf("%s: %s: %v", id, q, err)
+					return
+				}
+				if i%9 == g%3 {
+					c.Evict(ids[(g+i+1)%len(ids)])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Loads == 0 || s.Hits == 0 {
+		t.Fatalf("implausible stats after stress: %+v", s)
+	}
+	var total uint64
+	for _, d := range s.Docs {
+		total += d.Loads
+	}
+	if total != s.Loads {
+		t.Fatalf("per-doc loads %d != catalog loads %d", total, s.Loads)
+	}
+}
+
+// TestFailedLoadCached asserts a broken source is parsed once, its error
+// cached (no re-parse per Get), and that Evict clears the failure so a
+// fixed file can be retried.
+func TestFailedLoadCached(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.xml"), []byte("<r><unclosed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads atomic.Int64
+	c.onLoad = func(string) { loads.Add(1) }
+
+	_, err1 := c.Get("broken")
+	if err1 == nil {
+		t.Fatal("broken source loaded successfully")
+	}
+	_, err2 := c.Get("broken")
+	if err2 == nil || err2.Error() != err1.Error() {
+		t.Fatalf("second Get: %v, want cached %v", err2, err1)
+	}
+	if got := loads.Load(); got != 1 {
+		t.Fatalf("broken source parsed %d times, want 1 (negative cache)", got)
+	}
+	if d, _ := c.Doc("broken"); d.Error == "" {
+		t.Fatal("DocStats does not surface the cached load error")
+	}
+
+	// Fix the file; Evict clears the failure and the next Get retries.
+	if err := os.WriteFile(filepath.Join(dir, "broken.xml"), []byte("<r><w>ok</w></r>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Evict("broken") {
+		t.Fatal("Evict did not clear the cached failure")
+	}
+	doc, err := c.Get("broken")
+	if err != nil {
+		t.Fatalf("retry after fix: %v", err)
+	}
+	if v, err := doc.QueryValue("count(//w)"); err != nil || v.Number() != 1 {
+		t.Fatalf("retried doc: %v %v", v, err)
+	}
+}
+
+// TestWarmLoads asserts loads publish documents with their query indexes
+// already built, by measuring nothing: it simply checks Footprint (which
+// Warm feeds into the resident accounting) is recorded for every resident
+// document.
+func TestWarmLoads(t *testing.T) {
+	dir := writeCorpusDir(t, 60)
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := c.Get("ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := c.Doc("ms"); d.Bytes <= 0 {
+		t.Fatalf("resident bytes %d, want > 0", d.Bytes)
+	}
+	// Warm must not change results: spot-check one query.
+	v, err := doc.QueryValue("count(//w)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Number() <= 0 {
+		t.Fatalf("count(//w) = %v", v.Number())
+	}
+}

@@ -4,7 +4,9 @@
 package cliutil
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -21,8 +23,8 @@ import (
 // each hierarchy is named after its file (base name without extension).
 // For the single-file formats exactly one path is expected. Format "auto"
 // guesses: multiple paths mean distributed; a single file is sniffed for
-// the standoff root element or chx- metadata, falling back to a plain
-// single-hierarchy document.
+// the binary GODDAG magic, the standoff root element, or chx- metadata,
+// falling back to a plain single-hierarchy document.
 func Load(format string, paths []string) (*core.Document, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("no input files")
@@ -31,6 +33,16 @@ func Load(format string, paths []string) (*core.Document, error) {
 		format = guessFormat(paths)
 	}
 	switch format {
+	case "gdag":
+		if len(paths) != 1 {
+			return nil, fmt.Errorf("format gdag expects exactly one input file")
+		}
+		f, err := os.Open(paths[0])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return core.Load(f)
 	case "distributed":
 		var srcs []sacx.Source
 		for _, p := range paths {
@@ -55,23 +67,29 @@ func Load(format string, paths []string) (*core.Document, error) {
 		}
 		return core.Import(f, data)
 	default:
-		return nil, fmt.Errorf("unknown format %q (distributed, milestones, fragmentation, standoff, auto)", format)
+		return nil, fmt.Errorf("unknown format %q (distributed, milestones, fragmentation, standoff, gdag, auto)", format)
 	}
 }
 
-// guessFormat sniffs inputs.
+// guessFormat sniffs inputs. Only the first 4 KiB of the file is read —
+// sniffing a large corpus file must not cost a full read before the
+// actual load reads it again.
 func guessFormat(paths []string) string {
 	if len(paths) > 1 {
 		return "distributed"
 	}
-	data, err := os.ReadFile(paths[0])
+	f, err := os.Open(paths[0])
 	if err != nil {
-		return "distributed" // let Load surface the read error
+		return "distributed" // let Load surface the open error
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	n, _ := io.ReadFull(f, buf)
+	data := buf[:n]
+	if bytes.HasPrefix(data, []byte("GDAG")) || strings.HasSuffix(paths[0], ".gdag") {
+		return "gdag"
 	}
 	head := string(data)
-	if len(head) > 4096 {
-		head = head[:4096]
-	}
 	switch {
 	case strings.Contains(head, "<standoff"):
 		return "standoff"

@@ -1,0 +1,215 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/goddag"
+	"repro/internal/xpath"
+)
+
+// This file is the single implementation of query-result rendering,
+// shared by the cxquery CLI (text lines) and the cxserve HTTP service
+// (JSON and text). Keeping one encoder guarantees the serving layer's
+// results stay byte-identical to the CLI's for the same document and
+// query — a property the server's handler tests assert.
+
+// SpanJSON is a half-open offset interval in a JSON result.
+type SpanJSON struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// NodeJSON is the wire form of one result node: its place in the GODDAG
+// (kind, hierarchy, tag or leaf index) and its extent as both byte and
+// rune offsets into the shared content. Text is the full dominated text.
+type NodeJSON struct {
+	Kind      string   `json:"kind"` // "root", "element", or "leaf"
+	Hierarchy string   `json:"hierarchy,omitempty"`
+	Tag       string   `json:"tag,omitempty"`
+	Leaf      int      `json:"leaf,omitempty"`
+	ByteSpan  SpanJSON `json:"byteSpan"`
+	RuneSpan  SpanJSON `json:"runeSpan"`
+	Text      string   `json:"text"`
+}
+
+// AttrJSON is the wire form of one attribute-axis result.
+type AttrJSON struct {
+	Owner string `json:"owner"` // owning element tag
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// ValueJSON is the wire form of one Extended XPath result value.
+type ValueJSON struct {
+	Type  string     `json:"type"` // "node-set", "attribute-set", "string", "number", "boolean"
+	Count int        `json:"count"`
+	Nodes []NodeJSON `json:"nodes,omitempty"`
+	Attrs []AttrJSON `json:"attrs,omitempty"`
+	Value string     `json:"value,omitempty"` // scalar results, XPath string form
+	// Truncated is set when limit cut the node/attr list short; Count
+	// still reports the full result size.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// EncodeNode converts a result node to its wire form.
+func EncodeNode(n goddag.Node) NodeJSON {
+	content := n.Document().Content()
+	sp := n.Span()
+	out := NodeJSON{
+		ByteSpan: SpanJSON{Start: sp.Start, End: sp.End},
+		Text:     n.Text(),
+	}
+	rs := content.RuneSpan(sp)
+	out.RuneSpan = SpanJSON{Start: rs.Start, End: rs.End}
+	switch v := n.(type) {
+	case *goddag.Element:
+		out.Kind = "element"
+		out.Hierarchy = v.Hierarchy().Name()
+		out.Tag = v.Name()
+	case goddag.Leaf:
+		out.Kind = "leaf"
+		out.Leaf = v.Index()
+	default:
+		out.Kind = "root"
+		out.Tag = n.Document().RootTag()
+	}
+	return out
+}
+
+// EncodeValue converts a query result to its wire form. A limit > 0 caps
+// the number of encoded nodes/attributes (Count keeps the true size and
+// Truncated is set); limit <= 0 encodes everything.
+func EncodeValue(v xpath.Value, limit int) ValueJSON {
+	if attrs := v.Attrs(); len(attrs) > 0 {
+		out := ValueJSON{Type: "attribute-set", Count: len(attrs)}
+		if limit > 0 && len(attrs) > limit {
+			attrs, out.Truncated = attrs[:limit], true
+		}
+		out.Attrs = make([]AttrJSON, len(attrs))
+		for i, a := range attrs {
+			out.Attrs[i] = AttrJSON{Owner: a.Owner.Name(), Name: a.Name, Value: a.Value}
+		}
+		return out
+	}
+	if v.IsNodeSet() {
+		nodes := v.Nodes()
+		out := ValueJSON{Type: "node-set", Count: len(nodes)}
+		if limit > 0 && len(nodes) > limit {
+			nodes, out.Truncated = nodes[:limit], true
+		}
+		out.Nodes = make([]NodeJSON, len(nodes))
+		for i, n := range nodes {
+			out.Nodes[i] = EncodeNode(n)
+		}
+		return out
+	}
+	return ValueJSON{Type: v.Kind(), Count: 1, Value: v.String()}
+}
+
+// FormatNode renders one result node as the cxquery line format:
+//
+//	hierarchy:tag[lo,hi) "text"    (elements)
+//	leaf#i[lo,hi) "text"           (leaves)
+//	root:tag "text"                (the root)
+//
+// Printed spans are character (rune) positions — the paper's coordinates
+// — converted from the internal byte spans at this output edge. Text is
+// clipped to 60 runes.
+func FormatNode(n goddag.Node) string {
+	content := n.Document().Content()
+	switch v := n.(type) {
+	case *goddag.Element:
+		return fmt.Sprintf("%s:%s%v %q", v.Hierarchy().Name(), v.Name(), content.RuneSpan(v.Span()), clip(v.Text()))
+	case goddag.Leaf:
+		return fmt.Sprintf("leaf#%d%v %q", v.Index(), content.RuneSpan(v.Span()), clip(v.Text()))
+	default:
+		return fmt.Sprintf("root:%s %q", n.Document().RootTag(), clip(n.Text()))
+	}
+}
+
+// WriteValue writes a query result in the cxquery text format: scalars
+// as their string value, attribute sets as owner/@name = "value" lines,
+// node-sets as one FormatNode line per node. With countOnly, node and
+// attribute sets print only their (full) size. A limit > 0 caps the
+// printed node/attribute lines, mirroring EncodeValue; limit <= 0
+// prints everything.
+func WriteValue(w io.Writer, v xpath.Value, countOnly bool, limit int) {
+	if !v.IsNodeSet() {
+		fmt.Fprintln(w, v.String())
+		return
+	}
+	if attrs := v.Attrs(); len(attrs) > 0 {
+		if countOnly {
+			fmt.Fprintln(w, len(attrs))
+			return
+		}
+		if limit > 0 && len(attrs) > limit {
+			attrs = attrs[:limit]
+		}
+		for _, a := range attrs {
+			fmt.Fprintf(w, "%s/@%s = %q\n", a.Owner, a.Name, a.Value)
+		}
+		return
+	}
+	nodes := v.Nodes()
+	if countOnly {
+		fmt.Fprintln(w, len(nodes))
+		return
+	}
+	if limit > 0 && len(nodes) > limit {
+		nodes = nodes[:limit]
+	}
+	for _, n := range nodes {
+		fmt.Fprintln(w, FormatNode(n))
+	}
+}
+
+// WriteFLWOR writes FLWOR results in the cxquery text format: node-set
+// tuples expand to one FormatNode line per node, scalar tuples to their
+// string value. With countOnly only the tuple count prints. A limit > 0
+// caps the total printed node/attribute lines across all tuples;
+// limit <= 0 prints everything.
+func WriteFLWOR(w io.Writer, vals []xpath.Value, countOnly bool, limit int) {
+	if countOnly {
+		fmt.Fprintln(w, len(vals))
+		return
+	}
+	remaining := limit
+	for _, v := range vals {
+		if limit > 0 && remaining <= 0 {
+			return
+		}
+		if attrs := v.Attrs(); len(attrs) > 0 {
+			if limit > 0 && len(attrs) > remaining {
+				attrs = attrs[:remaining]
+			}
+			for _, a := range attrs {
+				fmt.Fprintf(w, "%s/@%s = %q\n", a.Owner, a.Name, a.Value)
+			}
+			remaining -= len(attrs)
+			continue
+		}
+		if v.IsNodeSet() {
+			nodes := v.Nodes()
+			if limit > 0 && len(nodes) > remaining {
+				nodes = nodes[:remaining]
+			}
+			for _, n := range nodes {
+				fmt.Fprintln(w, FormatNode(n))
+			}
+			remaining -= len(nodes)
+			continue
+		}
+		fmt.Fprintln(w, v.String())
+		remaining--
+	}
+}
+
+func clip(s string) string {
+	r := []rune(s)
+	if len(r) > 60 {
+		return string(r[:57]) + "..."
+	}
+	return s
+}

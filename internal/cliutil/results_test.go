@@ -1,0 +1,84 @@
+package cliutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func fig1(t *testing.T) *core.Document {
+	t.Helper()
+	doc, err := core.Parse(corpus.Fig1Sources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestEncodeValueNodeSet(t *testing.T) {
+	doc := fig1(t)
+	v, err := doc.QueryValue("//w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeValue(v, 0)
+	if enc.Type != "node-set" || enc.Count != 6 || len(enc.Nodes) != 6 || enc.Truncated {
+		t.Fatalf("EncodeValue: %+v", enc)
+	}
+	n := enc.Nodes[1] // "hwæt": multibyte, byte and rune spans diverge
+	if n.Kind != "element" || n.Hierarchy != "words" || n.Tag != "w" {
+		t.Fatalf("node: %+v", n)
+	}
+	if n.ByteSpan == n.RuneSpan {
+		t.Fatalf("byte span %v should differ from rune span %v past a multibyte rune", n.ByteSpan, n.RuneSpan)
+	}
+	if n.Text != "hwæt" {
+		t.Fatalf("text %q", n.Text)
+	}
+
+	limited := EncodeValue(v, 2)
+	if len(limited.Nodes) != 2 || !limited.Truncated || limited.Count != 6 {
+		t.Fatalf("limited: %+v", limited)
+	}
+}
+
+func TestEncodeValueScalar(t *testing.T) {
+	doc := fig1(t)
+	v, err := doc.QueryValue("count(//w)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeValue(v, 0)
+	if enc.Type != "number" || enc.Value != "6" || enc.Count != 1 {
+		t.Fatalf("scalar: %+v", enc)
+	}
+}
+
+func TestWriteValueMatchesFormatNode(t *testing.T) {
+	doc := fig1(t)
+	v, err := doc.QueryValue("//dmg/overlapping::w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteValue(&buf, v, false, 0)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	nodes := v.Nodes()
+	if len(lines) != len(nodes) {
+		t.Fatalf("%d lines for %d nodes", len(lines), len(nodes))
+	}
+	for i, n := range nodes {
+		if lines[i] != FormatNode(n) {
+			t.Fatalf("line %d: %q != %q", i, lines[i], FormatNode(n))
+		}
+	}
+
+	buf.Reset()
+	WriteValue(&buf, v, true, 0)
+	if got := strings.TrimSpace(buf.String()); got != "2" {
+		t.Fatalf("count mode: %q", got)
+	}
+}

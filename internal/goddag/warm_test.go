@@ -1,0 +1,77 @@
+package goddag
+
+import (
+	"testing"
+
+	"repro/internal/document"
+)
+
+func buildWarmDoc(t *testing.T) *Document {
+	t.Helper()
+	d := New("r", "swa hwaet swa he us saegde")
+	phys := d.AddHierarchy("physical")
+	words := d.AddHierarchy("words")
+	if _, err := d.InsertElement(phys, "line", nil, document.NewSpan(0, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InsertElement(words, "w", []Attr{{Name: "n", Value: "1"}}, document.NewSpan(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InsertElement(words, "w", nil, document.NewSpan(4, 9)); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWarmBuildsAllIndexes(t *testing.T) {
+	d := buildWarmDoc(t)
+	d.Warm()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.elemCache == nil || d.elemCacheVer != d.version {
+		t.Error("element cache not warm")
+	}
+	if d.spanIdx == nil || d.spanIdxVer != d.version {
+		t.Error("span index not warm")
+	}
+	if d.ordIdx == nil || d.ordVer != d.version {
+		t.Error("ordinals not warm")
+	}
+	if d.nameIdx == nil || d.nameIdxVer != d.version {
+		t.Error("name index not warm")
+	}
+}
+
+func TestWarmInvalidatedByMutation(t *testing.T) {
+	d := buildWarmDoc(t)
+	d.Warm()
+	if _, err := d.InsertElement(d.Hierarchy("words"), "w", nil, document.NewSpan(10, 12)); err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Lock()
+	stale := d.ordVer != d.version
+	d.mu.Unlock()
+	if !stale {
+		t.Fatal("mutation did not invalidate warm indexes")
+	}
+	d.Warm() // re-warm must observe the new element
+	if got := len(d.ElementsNamed("w")); got != 3 {
+		t.Fatalf("ElementsNamed(w) after re-warm = %d, want 3", got)
+	}
+}
+
+func TestFootprintScales(t *testing.T) {
+	d := buildWarmDoc(t)
+	d.Warm()
+	f := d.Footprint()
+	if f < int64(d.Content().Len()) {
+		t.Fatalf("footprint %d smaller than content %d", f, d.Content().Len())
+	}
+	// Adding elements must grow the estimate.
+	if _, err := d.InsertElement(d.Hierarchy("words"), "w", []Attr{{Name: "x", Value: "y"}}, document.NewSpan(10, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if f2 := d.Footprint(); f2 <= f {
+		t.Fatalf("footprint did not grow: %d -> %d", f, f2)
+	}
+}

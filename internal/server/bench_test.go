@@ -1,0 +1,102 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+// BenchmarkServeQuery drives the full handler stack — request decode,
+// catalog hit, compiled-query cache hit, concurrent Eval, JSON encode —
+// over a warm catalog from parallel goroutines: the serving layer's
+// steady-state throughput.
+func BenchmarkServeQuery(b *testing.B) {
+	for _, q := range []string{"count(//w)", "//dmg/overlapping::w", "//line/covered::w"} {
+		b.Run(strings.NewReplacer("/", "_", ":", "_").Replace(q), func(b *testing.B) {
+			s, _ := newFixture(b, 2000, Config{})
+			h := s.Handler()
+			body := fmt.Sprintf(`{"doc":"ms","query":%q}`, q)
+			// Warm: catalog load + query compile outside the timer.
+			if w := post(b, h, body); w.Code != http.StatusOK {
+				b.Fatalf("warmup: %d %s", w.Code, w.Body.String())
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, req)
+					if w.Code != http.StatusOK {
+						b.Fatalf("query failed: %d", w.Code)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDirectEval is the floor BenchmarkServeQuery is measured
+// against: the same query evaluated straight on the GODDAG, no HTTP, no
+// JSON. The difference is the serving layer's overhead.
+func BenchmarkDirectEval(b *testing.B) {
+	for _, q := range []string{"count(//w)", "//dmg/overlapping::w", "//line/covered::w"} {
+		b.Run(strings.NewReplacer("/", "_", ":", "_").Replace(q), func(b *testing.B) {
+			s, _ := newFixture(b, 2000, Config{})
+			doc, err := s.cat.Get("ms")
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := doc.GODDAG()
+			cq := xpath.MustCompile(q)
+			if _, err := cq.Eval(g); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := cq.Eval(g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkCatalogColdLoad measures a cold catalog load — parse, index
+// pre-warm, footprint accounting — for the binary store and standoff
+// source forms.
+func BenchmarkCatalogColdLoad(b *testing.B) {
+	for _, id := range []string{"ms", "standoff"} {
+		b.Run(id, func(b *testing.B) {
+			s, _ := newFixture(b, 2000, Config{})
+			for i := 0; i < b.N; i++ {
+				if _, err := s.cat.Get(id); err != nil {
+					b.Fatal(err)
+				}
+				if !s.cat.Evict(id) {
+					b.Fatal("evict failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCatalogHit measures the resident fast path: lock, LRU bump,
+// pointer return.
+func BenchmarkCatalogHit(b *testing.B) {
+	s, _ := newFixture(b, 500, Config{})
+	if _, err := s.cat.Get("ms"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.cat.Get("ms"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,455 @@
+// Package server exposes a catalog of concurrent XML documents as an
+// HTTP query service — the serving layer that turns the framework's
+// engine (GODDAG + Extended XPath + FLWOR) into a system. It builds
+// directly on the concurrency contract of package goddag: documents are
+// read-only once loaded, so any number of requests evaluate against the
+// same document in parallel, and compiled queries are stateless between
+// evaluations, so one compiled form is shared by all requests.
+//
+// Endpoints:
+//
+//	POST   /query    evaluate an Extended XPath or FLWOR query
+//	GET    /docs     list catalogued documents with per-document stats
+//	GET    /docs/ID  one document's stats (?load=1 forces a load and adds
+//	                 document structure counts)
+//	DELETE /docs/ID  evict the document (or clear a cached load failure,
+//	                 so a fixed source can reload without a restart)
+//	GET    /healthz  liveness probe
+//	GET    /stats    catalog + server counters
+//
+// POST /query takes a JSON body:
+//
+//	{"doc": "ms", "query": "//dmg/overlapping::w", "limit": 100}
+//	{"doc": "ms", "flwor": "for $w in //w return $w", "format": "text"}
+//
+// and responds with the result in the requested format: "json" (default;
+// cliutil.ValueJSON — hierarchy, tag, byte and rune span, text per node),
+// "text" (byte-identical to the cxquery CLI output for the same document
+// and query — both render through internal/cliutil), or "count". The
+// node cap (request "limit", else Config.MaxResults) bounds encoded
+// nodes in every format except "count": JSON responses flag truncation,
+// text responses simply stop at the cap, so text output matches the
+// (uncapped) CLI exactly for results within the cap.
+//
+// Compiled queries are cached in an LRU shared across requests and
+// documents, so the hot-path cost of a repeated query is evaluation
+// alone. Request bodies are size-limited and evaluation responses are
+// bounded by an optional timeout (Config); Serve installs graceful
+// shutdown around the listener.
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/xpath"
+	"repro/internal/xquery"
+)
+
+// Config tunes the service. The zero value serves with the defaults
+// noted on each field.
+type Config struct {
+	// QueryCache is the compiled-query LRU capacity (default 256).
+	QueryCache int
+	// MaxBody bounds the POST /query body in bytes (default 1 MiB).
+	MaxBody int64
+	// MaxResults caps encoded result nodes per response when the request
+	// does not set its own limit (default 10000; <0 means unlimited).
+	MaxResults int
+	// Timeout bounds the total handling time of a /query request; when it
+	// expires the client gets 503 (default 0: no timeout).
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueryCache <= 0 {
+		c.QueryCache = 256
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.MaxResults == 0 {
+		c.MaxResults = 10000
+	}
+	return c
+}
+
+// Server is the HTTP query service over one catalog.
+type Server struct {
+	cat   *catalog.Catalog
+	cfg   Config
+	cache *queryCache
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// New creates a server over the catalog.
+func New(cat *catalog.Catalog, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{cat: cat, cfg: cfg, cache: newQueryCache(cfg.QueryCache)}
+}
+
+// Handler returns the service's HTTP handler, including the request
+// timeout when configured.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/docs", s.handleDocs)
+	mux.HandleFunc("/docs/", s.handleDoc)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	if s.cfg.Timeout > 0 {
+		return http.TimeoutHandler(mux, s.cfg.Timeout, `{"error":"request timed out"}`)
+	}
+	return mux
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	Doc    string `json:"doc"`
+	Query  string `json:"query,omitempty"`
+	FLWOR  string `json:"flwor,omitempty"`
+	Limit  int    `json:"limit,omitempty"`  // cap on encoded nodes; 0 = server default
+	Format string `json:"format,omitempty"` // "json" (default), "text", "count"
+}
+
+// QueryResponse is the POST /query JSON response.
+type QueryResponse struct {
+	Doc       string              `json:"doc"`
+	Query     string              `json:"query"`
+	Result    *cliutil.ValueJSON  `json:"result,omitempty"`    // XPath
+	Results   []cliutil.ValueJSON `json:"results,omitempty"`   // FLWOR, one per tuple
+	Truncated bool                `json:"truncated,omitempty"` // FLWOR: the node cap cut tuples short
+	ElapsedUS int64               `json:"elapsed_us"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Doc == "" {
+		s.fail(w, http.StatusBadRequest, "missing doc id")
+		return
+	}
+	if (req.Query == "") == (req.FLWOR == "") {
+		s.fail(w, http.StatusBadRequest, "exactly one of query or flwor is required")
+		return
+	}
+	switch req.Format {
+	case "", "json", "text", "count":
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown format %q (json, text, count)", req.Format)
+		return
+	}
+	doc, err := s.cat.Get(req.Doc)
+	if err != nil {
+		var nf *catalog.ErrNotFound
+		if errors.As(err, &nf) {
+			s.fail(w, http.StatusNotFound, "%v", err)
+		} else {
+			s.fail(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	// The request limit can only tighten the operator's cap, never raise
+	// it: MaxResults stays a hard ceiling on encoded nodes per response.
+	limit := s.cfg.MaxResults
+	if req.Limit > 0 && (limit <= 0 || req.Limit < limit) {
+		limit = req.Limit
+	}
+
+	start := time.Now()
+	if req.FLWOR != "" {
+		s.serveFLWOR(w, doc, req, limit, start)
+		return
+	}
+	q, err := s.cache.xpath(req.Query)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, err := q.Eval(doc.GODDAG())
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	elapsed := time.Since(start)
+	switch req.Format {
+	case "", "json":
+		enc := cliutil.EncodeValue(v, limit)
+		s.ok(w, QueryResponse{
+			Doc: req.Doc, Query: req.Query, Result: &enc,
+			ElapsedUS: elapsed.Microseconds(),
+		})
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		cliutil.WriteValue(w, v, false, limit)
+	case "count":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		cliutil.WriteValue(w, v, true, 0)
+	}
+}
+
+func (s *Server) serveFLWOR(w http.ResponseWriter, doc *core.Document, req QueryRequest, limit int, start time.Time) {
+	q, err := s.cache.flwor(req.FLWOR)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	vals, err := q.Eval(doc.GODDAG())
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	elapsed := time.Since(start)
+	switch req.Format {
+	case "", "json":
+		// The node cap is a per-response budget: tuples are encoded until
+		// their cumulative nodes/attrs exhaust it, then the tuple list is
+		// cut short and the response marked truncated — a FLWOR over a
+		// large document cannot bypass MaxResults by returning one node
+		// per tuple.
+		out := make([]cliutil.ValueJSON, 0, len(vals))
+		remaining := limit
+		truncated := false
+		for _, v := range vals {
+			if limit > 0 && remaining <= 0 {
+				truncated = true
+				break
+			}
+			enc := cliutil.EncodeValue(v, remaining)
+			truncated = truncated || enc.Truncated
+			if limit > 0 {
+				switch enc.Type {
+				case "node-set":
+					remaining -= len(enc.Nodes)
+				case "attribute-set":
+					remaining -= len(enc.Attrs)
+				default:
+					remaining-- // scalars count one line, as in the text format
+				}
+			}
+			out = append(out, enc)
+		}
+		s.ok(w, QueryResponse{
+			Doc: req.Doc, Query: req.FLWOR, Results: out, Truncated: truncated,
+			ElapsedUS: elapsed.Microseconds(),
+		})
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		cliutil.WriteFLWOR(w, vals, false, limit)
+	case "count":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		cliutil.WriteFLWOR(w, vals, true, 0)
+	}
+}
+
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.ok(w, s.cat.Stats().Docs)
+}
+
+// DocResponse is the GET /docs/{id} response: catalog stats plus, when
+// the document is resident (or ?load=1 forces it in), structure counts.
+type DocResponse struct {
+	catalog.DocStats
+	Hierarchies []string `json:"hierarchies,omitempty"`
+	Elements    int      `json:"elements,omitempty"`
+	Leaves      int      `json:"leaves,omitempty"`
+	ContentLen  int      `json:"contentLen,omitempty"`
+}
+
+func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodDelete {
+		s.fail(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/docs/")
+	if id == "" || strings.Contains(id, "/") {
+		s.fail(w, http.StatusNotFound, "bad document id %q", id)
+		return
+	}
+	ds, ok := s.cat.Doc(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no document %q", id)
+		return
+	}
+	if r.Method == http.MethodDelete {
+		// Drop the resident document or clear a cached load failure —
+		// the operator's lever for reloading a fixed source without a
+		// process restart.
+		s.ok(w, map[string]bool{"evicted": s.cat.Evict(id)})
+		return
+	}
+	resp := DocResponse{DocStats: ds}
+	if r.URL.Query().Get("load") != "" && !ds.Resident {
+		if _, err := s.cat.Get(id); err != nil {
+			s.fail(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp.DocStats, _ = s.cat.Doc(id)
+	}
+	if resp.Resident {
+		if doc, err := s.cat.Get(id); err == nil {
+			g := doc.GODDAG()
+			st := g.Stats()
+			resp.Hierarchies = g.HierarchyNames()
+			resp.Elements = st.Elements
+			resp.Leaves = st.Leaves
+			resp.ContentLen = st.ContentLen
+		}
+	}
+	s.ok(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.ok(w, map[string]string{"status": "ok"})
+}
+
+// StatsResponse is the GET /stats response.
+type StatsResponse struct {
+	Catalog  catalog.Stats `json:"catalog"`
+	Requests uint64        `json:"requests"`
+	Errors   uint64        `json:"errors"`
+	Queries  CacheStats    `json:"queryCache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.ok(w, StatsResponse{
+		Catalog:  s.cat.Stats(),
+		Requests: s.requests.Load(),
+		Errors:   s.errors.Load(),
+		Queries:  s.cache.stats(),
+	})
+}
+
+func (s *Server) ok(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// Too late for a status change; the connection likely broke.
+		return
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// queryCache is an LRU of compiled queries keyed by source text, shared
+// across all requests: compiled *xpath.Query and *xquery.Query values
+// keep no evaluation state, so concurrent evaluations share one compiled
+// form. Compile errors are not cached (they are cheap to reproduce and
+// rare on hot paths).
+type queryCache struct {
+	mu     sync.Mutex
+	cap    int
+	xp     map[string]*list.Element // of *cacheNode
+	order  *list.List               // most recently used at the front
+	hits   uint64
+	misses uint64
+}
+
+type cacheNode struct {
+	key   string
+	query any // *xpath.Query or *xquery.Query, per the key prefix
+}
+
+// CacheStats reports compiled-query cache behaviour.
+type CacheStats struct {
+	Size   int    `json:"size"`
+	Cap    int    `json:"cap"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{cap: capacity, xp: make(map[string]*list.Element), order: list.New()}
+}
+
+func (qc *queryCache) xpath(src string) (*xpath.Query, error) {
+	q, err := qc.lookup("x\x00"+src, func() (any, error) { return xpath.Compile(src) })
+	if err != nil {
+		return nil, err
+	}
+	return q.(*xpath.Query), nil
+}
+
+func (qc *queryCache) flwor(src string) (*xquery.Query, error) {
+	q, err := qc.lookup("f\x00"+src, func() (any, error) { return xquery.Compile(src) })
+	if err != nil {
+		return nil, err
+	}
+	return q.(*xquery.Query), nil
+}
+
+// lookup returns the cached compiled form for key, compiling (outside
+// the lock) and inserting on a miss. If a concurrent request compiled
+// the same key first, its entry is kept and ours discarded.
+func (qc *queryCache) lookup(key string, compile func() (any, error)) (any, error) {
+	qc.mu.Lock()
+	if el, ok := qc.xp[key]; ok {
+		qc.hits++
+		qc.order.MoveToFront(el)
+		q := el.Value.(*cacheNode).query
+		qc.mu.Unlock()
+		return q, nil
+	}
+	qc.misses++
+	qc.mu.Unlock()
+
+	q, err := compile()
+	if err != nil {
+		return nil, err
+	}
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	if _, ok := qc.xp[key]; !ok {
+		qc.xp[key] = qc.order.PushFront(&cacheNode{key: key, query: q})
+		for len(qc.xp) > qc.cap {
+			old := qc.order.Back()
+			qc.order.Remove(old)
+			delete(qc.xp, old.Value.(*cacheNode).key)
+		}
+	}
+	return q, nil
+}
+
+func (qc *queryCache) stats() CacheStats {
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	return CacheStats{Size: len(qc.xp), Cap: qc.cap, Hits: qc.hits, Misses: qc.misses}
+}

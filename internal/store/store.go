@@ -14,9 +14,13 @@
 // Since version 2, spans are *byte* offsets into the UTF-8 content (the
 // GODDAG's native coordinates); version 1 files, whose spans were rune
 // offsets, are rejected rather than silently misread.
-// Elements are stored in document order, so loading replays them through
-// goddag.InsertElement, which appends in O(1) per element on this order;
-// leaf boundaries are re-established in one batch.
+// Elements are stored in document order, so loading streams them through
+// goddag.BulkBuilder — leaf boundaries are pre-cut in one batch and each
+// element is placed in O(1) amortized time from per-hierarchy open-element
+// stacks, the same bulk path the SACX parser uses. A file whose elements
+// are not in document order (never produced by Encode, but accepted for
+// compatibility) falls back to the general InsertElement replay; the two
+// paths build identical structures.
 package store
 
 import (
@@ -80,32 +84,53 @@ func Encode(w io.Writer, doc *goddag.Document) error {
 	return bw.Flush()
 }
 
+// record is one stored element, read back from a file body.
+type record struct {
+	hier  string
+	tag   string
+	span  document.Span
+	attrs []goddag.Attr
+}
+
 // Decode reads a document in the binary GODDAG format.
 func Decode(r io.Reader) (*goddag.Document, error) {
+	doc, records, nattrs, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if recordsOrdered(records) {
+		if err := buildBulk(doc, records, nattrs); err != nil {
+			return nil, err
+		}
+	} else if err := buildReplay(doc, records); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// readBody reads and checksums the whole file, returning the empty
+// document (content + hierarchies registered) and the element records
+// still to be inserted, plus the total attribute count for arena sizing.
+func readBody(r io.Reader) (*goddag.Document, []record, int, error) {
 	h := crc32.New(crcTable)
 	d := &decoder{r: bufio.NewReader(r), h: h}
 
 	head := d.raw(4)
 	if d.err == nil && string(head) != magic {
-		return nil, fmt.Errorf("store: bad magic %q", head)
+		return nil, nil, 0, fmt.Errorf("store: bad magic %q", head)
 	}
 	if v := d.byte(); d.err == nil && v != version {
-		return nil, fmt.Errorf("store: unsupported version %d", v)
+		return nil, nil, 0, fmt.Errorf("store: unsupported version %d", v)
 	}
 	rootTag := d.str()
 	content := d.str()
 	if d.err != nil {
-		return nil, fmt.Errorf("store: decode: %w", d.err)
+		return nil, nil, 0, fmt.Errorf("store: decode: %w", d.err)
 	}
 	doc := goddag.New(rootTag, content)
 
-	type record struct {
-		hier  string
-		tag   string
-		span  document.Span
-		attrs []goddag.Attr
-	}
 	var records []record
+	nattrs := 0
 	nh := d.uint()
 	for i := uint64(0); i < nh && d.err == nil; i++ {
 		name := d.str()
@@ -122,6 +147,7 @@ func Decode(r io.Reader) (*goddag.Document, error) {
 				av := d.str()
 				attrs = append(attrs, goddag.Attr{Name: an, Value: av})
 			}
+			nattrs += len(attrs)
 			records = append(records, record{
 				hier: name, tag: tag,
 				span:  document.NewSpan(int(start), int(start+length)),
@@ -130,37 +156,80 @@ func Decode(r io.Reader) (*goddag.Document, error) {
 		}
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("store: decode: %w", d.err)
+		return nil, nil, 0, fmt.Errorf("store: decode: %w", d.err)
 	}
 	// Verify the checksum before mutating further: the footer is read
 	// outside the hash.
 	want := h.Sum32()
 	var sum [4]byte
 	if _, err := io.ReadFull(d.r, sum[:]); err != nil {
-		return nil, fmt.Errorf("store: decode: missing checksum: %w", err)
+		return nil, nil, 0, fmt.Errorf("store: decode: missing checksum: %w", err)
 	}
 	if got := binary.BigEndian.Uint32(sum[:]); got != want {
-		return nil, fmt.Errorf("store: checksum mismatch: file %08x, computed %08x", got, want)
+		return nil, nil, 0, fmt.Errorf("store: checksum mismatch: file %08x, computed %08x", got, want)
 	}
-
-	// Re-establish leaf boundaries in one batch, then replay elements in
-	// stored (document) order — the append fast path of InsertElement.
-	cuts := make([]int, 0, 2*len(records))
 	for _, rec := range records {
 		if rec.span.End > doc.Content().Len() {
-			return nil, fmt.Errorf("store: element %s span %v exceeds content length %d",
+			return nil, nil, 0, fmt.Errorf("store: element %s span %v exceeds content length %d",
 				rec.tag, rec.span, doc.Content().Len())
 		}
+	}
+	return doc, records, nattrs, nil
+}
+
+// recordsOrdered reports whether each hierarchy's records arrive in
+// document order (CompareSpans non-decreasing) — the BulkBuilder
+// precondition, and an invariant of every Encode-produced file.
+func recordsOrdered(records []record) bool {
+	last := make(map[string]document.Span, 4)
+	for _, rec := range records {
+		if prev, ok := last[rec.hier]; ok && document.CompareSpans(prev, rec.span) > 0 {
+			return false
+		}
+		last[rec.hier] = rec.span
+	}
+	return true
+}
+
+// cutBorders re-establishes all leaf boundaries in one batch.
+func cutBorders(doc *goddag.Document, records []record) {
+	cuts := make([]int, 0, 2*len(records))
+	for _, rec := range records {
 		cuts = append(cuts, rec.span.Start, rec.span.End)
 	}
 	doc.Partition().CutAll(cuts)
+}
+
+// buildBulk streams document-ordered records through goddag.BulkBuilder:
+// borders are pre-cut in one batch and each element is placed in O(1)
+// amortized time, the same fast path sacx.Build uses for cold parses.
+func buildBulk(doc *goddag.Document, records []record, nattrs int) error {
+	cutBorders(doc, records)
+	bulk := doc.BulkLoad()
+	bulk.Grow(len(records), nattrs)
+	bulk.Precut()
+	for _, rec := range records {
+		hier := doc.Hierarchy(rec.hier)
+		if _, err := bulk.Append(hier, rec.tag, rec.attrs, rec.span); err != nil {
+			return fmt.Errorf("store: decode: %w", err)
+		}
+	}
+	return nil
+}
+
+// buildReplay inserts records one by one through the order-insensitive
+// InsertElement path. It is the fallback for files whose elements are not
+// in document order and the reference implementation the differential
+// tests hold buildBulk against.
+func buildReplay(doc *goddag.Document, records []record) error {
+	cutBorders(doc, records)
 	for _, rec := range records {
 		hier := doc.Hierarchy(rec.hier)
 		if _, err := doc.InsertElement(hier, rec.tag, rec.attrs, rec.span); err != nil {
-			return nil, fmt.Errorf("store: decode: %w", err)
+			return fmt.Errorf("store: decode: %w", err)
 		}
 	}
-	return doc, nil
+	return nil
 }
 
 // encoder writes primitives, remembering the first error.

@@ -2,7 +2,10 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
+	"io"
 	"testing"
 
 	"repro/internal/corpus"
@@ -171,3 +174,97 @@ func (failWriter) Write(p []byte) (int, error) { return 0, errFail }
 var errFail = errors.New("write failed")
 
 func spanOf(a, b int) document.Span { return document.NewSpan(a, b) }
+
+// TestDecodeBulkEqualsReplay holds the BulkBuilder decode path against the
+// order-insensitive InsertElement replay across the corpus grid: both
+// builders must produce byte-identical structures from the same records.
+func TestDecodeBulkEqualsReplay(t *testing.T) {
+	for _, words := range []int{60, 300} {
+		for _, h := range []int{1, 2, 4, 8} {
+			for _, density := range []float64{0.1, 0.5, 0.9} {
+				for _, vocab := range [][]string{nil, corpus.MultibyteVocabulary} {
+					cfg := corpus.DefaultConfig(words)
+					cfg.Hierarchies = h
+					cfg.OverlapDensity = density
+					cfg.Vocabulary = vocab
+					doc, err := corpus.Generate(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var buf bytes.Buffer
+					if err := Encode(&buf, doc); err != nil {
+						t.Fatal(err)
+					}
+					data := buf.Bytes()
+
+					bulkDoc, records, nattrs, err := readBody(bytes.NewReader(data))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !recordsOrdered(records) {
+						t.Fatalf("words=%d h=%d d=%.1f: Encode emitted out-of-order records", words, h, density)
+					}
+					if err := buildBulk(bulkDoc, records, nattrs); err != nil {
+						t.Fatal(err)
+					}
+					replayDoc, records2, _, err := readBody(bytes.NewReader(data))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := buildReplay(replayDoc, records2); err != nil {
+						t.Fatal(err)
+					}
+					if err := bulkDoc.Check(); err != nil {
+						t.Fatalf("words=%d h=%d d=%.1f: bulk decode: %v", words, h, density, err)
+					}
+					if goddag.Dump(bulkDoc) != goddag.Dump(replayDoc) {
+						t.Fatalf("words=%d h=%d d=%.1f multibyte=%v: bulk decode differs from replay decode",
+							words, h, density, vocab != nil)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeUnorderedFallsBack crafts a file whose elements are stored out
+// of document order (Encode never does this) and checks Decode still
+// accepts it through the InsertElement fallback.
+func TestDecodeUnorderedFallsBack(t *testing.T) {
+	var buf bytes.Buffer
+	h := crc32.New(crcTable)
+	e := &encoder{w: io.MultiWriter(&buf, h)}
+	e.raw([]byte(magic))
+	e.byte(version)
+	e.str("r")
+	e.str("swa hwaet swa")
+	e.uint(1)      // one hierarchy
+	e.str("words") // named words
+	e.uint(2)      // two elements, reversed document order
+	e.str("w")     // "hwaet" before "swa"
+	e.uint(4)
+	e.uint(5)
+	e.uint(0)
+	e.str("w")
+	e.uint(0)
+	e.uint(3)
+	e.uint(0)
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], h.Sum32())
+	buf.Write(sum[:])
+
+	doc, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Check(); err != nil {
+		t.Fatal(err)
+	}
+	els := doc.Hierarchy("words").Elements()
+	if len(els) != 2 || els[0].Span() != spanOf(0, 3) || els[1].Span() != spanOf(4, 9) {
+		t.Fatalf("unexpected elements %v", els)
+	}
+}

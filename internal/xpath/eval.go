@@ -57,6 +57,10 @@ type AttrNode struct {
 	Value string
 }
 
+// Kind names the value's XPath type: "node-set", "attribute-set",
+// "string", "number", or "boolean".
+func (v Value) Kind() string { return v.kind.String() }
+
 // Nodes returns the node-set (nil for non-node values).
 func (v Value) Nodes() []goddag.Node { return v.nodes }
 
