@@ -24,6 +24,9 @@
 //	SERVE  cxserve serving layer: warm-cache query latency (p50) through
 //	       the HTTP handler vs direct Eval, and cold catalog loads per
 //	       source form (tracked in BENCH_serve.json)
+//	EDIT   per-edit index maintenance: incremental in-place repair vs the
+//	       forced invalidate-and-rebuild path it replaced, plus the cost
+//	       of the first query after an edit (tracked in BENCH_edit.json)
 package main
 
 import (
@@ -67,8 +70,9 @@ func main() {
 	run := map[string]func(){
 		"E3": b.e3, "E4": b.e4, "E5": b.e5, "E6": b.e6, "E7": b.e7,
 		"A1": b.a1, "A2": b.a2, "SERVE": b.serve, "serve": b.serve,
+		"EDIT": b.edit, "edit": b.edit,
 	}
-	ids := []string{"E3", "E4", "E5", "E6", "E7", "A1", "A2", "SERVE"}
+	ids := []string{"E3", "E4", "E5", "E6", "E7", "A1", "A2", "SERVE", "EDIT"}
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
@@ -638,6 +642,102 @@ func (b *bench) serve() {
 				Query: qs, Strategy: "direct", NsPerOp: direct.Nanoseconds(), Results: results})
 	}
 	fmt.Println("note: handler rows include request decode + response encode; direct rows are bare Eval on the warm GODDAG.")
+}
+
+// edit — per-edit index maintenance cost, the write-path experiment of
+// the transactional editing PR: one "edit" is an element insertion (or
+// the matching removal) into a warm, fully indexed document. With
+// incremental repair (the default) the mutation patches the ordinal,
+// pre-order, name, and span indexes in place; with repair disabled it
+// invalidates them and the next read pays a from-scratch rebuild — the
+// pre-PR behaviour, forced here via SetIncrementalRepair(false) + Warm.
+// The query-after-edit rows measure the first query landing after an
+// edit in both modes, the latency an interactive editor or the serving
+// layer actually observes.
+func (b *bench) edit() {
+	header("EDIT", "per-edit index maintenance: incremental repair vs full rebuild")
+	fmt.Printf("%8s %4s %9s %12s %12s %9s %15s %15s\n",
+		"words", "h", "elements", "repair_us", "rebuild_us", "speedup", "query_repair_us", "query_rebuild_us")
+	for _, words := range b.sizes()[1:] {
+		cfg := corpus.DefaultConfig(words)
+		doc, err := corpus.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Warm()
+		// Edit sites: spans of existing <w> elements, wrapped from a
+		// dedicated hierarchy so edits never conflict; cycling through
+		// them spreads the splice point over the whole document.
+		ws := doc.ElementsNamed("w")
+		if len(ws) == 0 {
+			fatal(fmt.Errorf("edit bench: no <w> elements"))
+		}
+		spans := make([]document.Span, len(ws))
+		for i, e := range ws {
+			spans[i] = e.Span()
+		}
+		bh := doc.AddHierarchy("editbench")
+		elements := doc.Stats().Elements
+		q := xpath.MustCompile("count(//w)")
+
+		i := 0
+		editPair := func() {
+			sp := spans[i%len(spans)]
+			i++
+			el, err := doc.InsertElement(bh, "edit", nil, sp)
+			if err != nil {
+				fatal(err)
+			}
+			doc.Warm() // repair: no-op; rebuild mode: pays the full rebuild
+			if err := doc.RemoveElement(el); err != nil {
+				fatal(err)
+			}
+			doc.Warm()
+		}
+		queryAfterEdit := func() {
+			sp := spans[i%len(spans)]
+			i++
+			el, err := doc.InsertElement(bh, "edit", nil, sp)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := q.Eval(doc); err != nil {
+				fatal(err)
+			}
+			if err := doc.RemoveElement(el); err != nil {
+				fatal(err)
+			}
+		}
+
+		doc.SetIncrementalRepair(true)
+		doc.Warm()
+		tRepair := measure(editPair) / 2 // two edits per pair
+		doc.SetIncrementalRepair(false)
+		tRebuild := measure(editPair) / 2
+
+		doc.SetIncrementalRepair(true)
+		doc.Warm()
+		tQueryRepair := measure(queryAfterEdit)
+		doc.SetIncrementalRepair(false)
+		tQueryRebuild := measure(queryAfterEdit)
+		doc.SetIncrementalRepair(true)
+
+		speedup := float64(tRebuild) / float64(tRepair)
+		fmt.Printf("%8d %4d %9d %12.1f %12.1f %8.1fx %15.1f %15.1f\n",
+			words, cfg.Hierarchies, elements,
+			float64(tRepair.Nanoseconds())/1000, float64(tRebuild.Nanoseconds())/1000, speedup,
+			float64(tQueryRepair.Nanoseconds())/1000, float64(tQueryRebuild.Nanoseconds())/1000)
+		b.rows = append(b.rows,
+			benchRow{Experiment: "EDIT", Words: words, Hierarchies: cfg.Hierarchies,
+				Strategy: "repair", NsPerOp: tRepair.Nanoseconds(), Elements: elements},
+			benchRow{Experiment: "EDIT", Words: words, Hierarchies: cfg.Hierarchies,
+				Strategy: "rebuild", NsPerOp: tRebuild.Nanoseconds(), Elements: elements},
+			benchRow{Experiment: "EDIT", Words: words, Hierarchies: cfg.Hierarchies,
+				Strategy: "query-after-edit-repair", Query: "count(//w)", NsPerOp: tQueryRepair.Nanoseconds(), Elements: elements},
+			benchRow{Experiment: "EDIT", Words: words, Hierarchies: cfg.Hierarchies,
+				Strategy: "query-after-edit-rebuild", Query: "count(//w)", NsPerOp: tQueryRebuild.Nanoseconds(), Elements: elements})
+	}
+	fmt.Println("note: an edit is one element insertion or removal on a warm document; rebuild forces the pre-repair invalidate-and-rebuild path.")
 }
 
 func serveOnce(h http.Handler, body string) {

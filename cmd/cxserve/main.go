@@ -18,21 +18,30 @@
 // Documents load lazily on first use, are index-warmed before serving,
 // and are managed by a byte-budgeted LRU (-budget, in MiB; 0 = unlimited).
 // Concurrent requests against one document evaluate in parallel on the
-// shared read-only GODDAG; concurrent first touches of a cold document
-// trigger exactly one load.
+// shared GODDAG under its read lock; concurrent first touches of a cold
+// document trigger exactly one load.
 //
 // Endpoints (see internal/server for the full contract):
 //
-//	POST   /query    {"doc":"ms","query":"//dmg/overlapping::w"}
-//	                 {"doc":"ms","flwor":"for $w in //w return $w"}
-//	                 optional "format": "json" (default) | "text" | "count",
-//	                 optional "limit": max encoded result nodes (clamped
-//	                 to -max-results)
-//	GET    /docs     catalogued documents + stats
-//	GET    /docs/ID  one document (?load=1 forces a load)
-//	DELETE /docs/ID  evict it / clear a cached load failure
-//	GET    /healthz  liveness
-//	GET    /stats    catalog, request, and query-cache counters
+//	POST   /query        {"doc":"ms","query":"//dmg/overlapping::w"}
+//	                     {"doc":"ms","flwor":"for $w in //w return $w"}
+//	                     optional "format": "json" (default) | "text" |
+//	                     "count", optional "limit": max encoded result
+//	                     nodes (clamped to -max-results)
+//	GET    /docs         catalogued documents + stats
+//	GET    /docs/ID      one document (?load=1 forces a load)
+//	DELETE /docs/ID      evict it / clear a cached load failure
+//	POST   /docs/ID/edit apply a JSON op batch as one prevalidated
+//	                     transaction, persisted on commit (atomic
+//	                     temp-file + rename next to the source)
+//	POST   /docs/ID/undo revert the last committed transaction
+//	POST   /docs/ID/redo re-apply the last undone transaction
+//	GET    /healthz      liveness
+//	GET    /stats        catalog, request, and query-cache counters
+//
+// Documents are editable unless -readonly is set: queries run under
+// per-document read locks, edit batches under the write lock, so
+// readers always see a consistent snapshot.
 //
 // Examples:
 //
@@ -69,6 +78,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 = none)")
 		maxBody    = flag.Int64("max-body", 1<<20, "maximum /query body bytes")
 		maxResults = flag.Int("max-results", 10000, "default cap on encoded result nodes (-1 = unlimited)")
+		readonly   = flag.Bool("readonly", false, "disable the edit/undo/redo endpoints")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -84,6 +94,7 @@ func main() {
 		MaxBody:    *maxBody,
 		MaxResults: *maxResults,
 		Timeout:    *timeout,
+		ReadOnly:   *readonly,
 	})
 
 	hs := &http.Server{

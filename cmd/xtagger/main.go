@@ -3,14 +3,22 @@
 // document fragment, choose markup from any hierarchy, and have
 // prevalidation reject encodings that cannot be extended to valid XML.
 //
-// It reads one command per line from a script file or stdin:
+// It reads one command per line from a script file or stdin. Every edit
+// runs through the editor's transaction API: outside an explicit
+// transaction each command is its own begin/commit; between begin and
+// commit the ops batch into ONE prevalidated, atomically vetoed
+// transaction costing one undo entry.
 //
 //	dtd <hierarchy> <dtd-file>     attach a DTD
 //	prevalidate on|off             toggle the prevalidation veto
 //	select <offset>                print the word span at a rune offset
+//	begin                          open a transaction
+//	commit                         commit the open transaction
+//	rollback                       discard the open transaction
 //	insert <hier> <tag> <start> <end> [name=value ...]
 //	remove <hier> <index>          remove the i-th element (0-based, doc order)
 //	attr <hier> <index> <name> <value>
+//	attr-del <hier> <index> <name>
 //	text-insert <pos> <text...>
 //	text-delete <start> <end>
 //	undo | redo
@@ -19,9 +27,14 @@
 //	export <format> [dominant]
 //	# comment
 //
+// The input may be any representation cliutil.Load sniffs — distributed,
+// milestones, fragmentation, standoff, or a binary .gdag file — and
+// -save writes the edited document back out as a binary GODDAG, the
+// fast-loading source form for cxserve corpora (parity with cxparse).
+//
 // Example:
 //
-//	xtagger -fig1 -script edits.xt
+//	xtagger -fig1 -script edits.xt -save out.gdag
 package main
 
 import (
@@ -37,14 +50,17 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/document"
 	"repro/internal/drivers"
+	"repro/internal/editor"
 	"repro/internal/goddag"
+	"repro/internal/store"
 	"repro/internal/validate"
 )
 
 func main() {
 	var (
-		format = flag.String("format", "auto", "input representation")
+		format = flag.String("format", "auto", "input representation (auto sniffs gdag/standoff/milestones/fragmentation/distributed)")
 		script = flag.String("script", "-", "command script file (- for stdin)")
+		save   = flag.String("save", "", "write the edited document as a binary GODDAG (.gdag) file")
 		demo   = flag.Bool("fig1", false, "use the bundled Figure 1 fragment")
 	)
 	flag.Parse()
@@ -89,11 +105,39 @@ func main() {
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
+	if t.tx != nil {
+		fmt.Fprintln(os.Stderr, "xtagger: script ended with an open transaction; rolling back")
+		t.tx.Rollback()
+	}
+	if *save != "" {
+		if err := store.Save(*save, t.doc.GODDAG()); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 type tagger struct {
 	doc *core.Document
 	out *os.File
+	tx  *editor.Tx // open explicit transaction, nil otherwise
+}
+
+// edit runs one editing step through the transaction API: inside an
+// explicit begin/commit the op joins the open batch; otherwise it is
+// its own single-op transaction.
+func (t *tagger) edit(fn func(tx *editor.Tx) error) error {
+	if t.tx != nil {
+		return fn(t.tx)
+	}
+	tx, err := t.doc.Edit().Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
 }
 
 func (t *tagger) run(line string) error {
@@ -113,11 +157,12 @@ func (t *tagger) run(line string) error {
 		if len(args) != 1 {
 			return fmt.Errorf("prevalidate on|off")
 		}
-		if args[0] == "on" {
-			t.doc.EnablePrevalidation()
+		on := args[0] == "on"
+		t.doc.SetPrevalidation(on)
+		if on {
 			fmt.Fprintln(t.out, "prevalidation on")
 		} else {
-			fmt.Fprintln(t.out, "prevalidation off (new sessions only)")
+			fmt.Fprintln(t.out, "prevalidation off")
 		}
 		return nil
 	case "select":
@@ -161,8 +206,12 @@ func (t *tagger) run(line string) error {
 		if err != nil {
 			return err
 		}
-		el, err := t.doc.Edit().InsertMarkup(args[0], args[1], bsp, attrs...)
-		if err != nil {
+		var el *goddag.Element
+		if err := t.edit(func(tx *editor.Tx) error {
+			var err error
+			el, err = tx.InsertMarkup(args[0], args[1], bsp, attrs...)
+			return err
+		}); err != nil {
 			return err
 		}
 		fmt.Fprintf(t.out, "inserted %s %q\n", t.describe(el), el.Text())
@@ -172,10 +221,11 @@ func (t *tagger) run(line string) error {
 		if err != nil {
 			return err
 		}
-		if err := t.doc.Edit().RemoveMarkup(el); err != nil {
+		desc := t.describe(el)
+		if err := t.edit(func(tx *editor.Tx) error { return tx.RemoveMarkup(el) }); err != nil {
 			return err
 		}
-		fmt.Fprintf(t.out, "removed %s\n", t.describe(el))
+		fmt.Fprintf(t.out, "removed %s\n", desc)
 		return nil
 	case "attr":
 		if len(args) != 4 {
@@ -185,10 +235,57 @@ func (t *tagger) run(line string) error {
 		if err != nil {
 			return err
 		}
-		if err := t.doc.Edit().SetAttr(el, args[2], args[3]); err != nil {
+		if err := t.edit(func(tx *editor.Tx) error { return tx.SetAttr(el, args[2], args[3]) }); err != nil {
 			return err
 		}
 		fmt.Fprintf(t.out, "set %s=%s on %s\n", args[2], args[3], t.describe(el))
+		return nil
+	case "attr-del":
+		if len(args) != 3 {
+			return fmt.Errorf("attr-del <hier> <index> <name>")
+		}
+		el, err := t.element(args[:2])
+		if err != nil {
+			return err
+		}
+		if err := t.edit(func(tx *editor.Tx) error { return tx.RemoveAttr(el, args[2]) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(t.out, "removed %s from %s\n", args[2], t.describe(el))
+		return nil
+	case "begin":
+		if t.tx != nil {
+			return fmt.Errorf("a transaction is already open")
+		}
+		tx, err := t.doc.Edit().Begin()
+		if err != nil {
+			return err
+		}
+		t.tx = tx
+		fmt.Fprintln(t.out, "transaction open")
+		return nil
+	case "commit":
+		if t.tx == nil {
+			return fmt.Errorf("no open transaction")
+		}
+		tx := t.tx
+		t.tx = nil
+		n := len(tx.Ops())
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		fmt.Fprintf(t.out, "committed %d ops\n", n)
+		return nil
+	case "rollback":
+		if t.tx == nil {
+			return fmt.Errorf("no open transaction")
+		}
+		tx := t.tx
+		t.tx = nil
+		if err := tx.Rollback(); err != nil {
+			return err
+		}
+		fmt.Fprintln(t.out, "rolled back")
 		return nil
 	case "text-insert":
 		if len(args) < 2 {
@@ -203,7 +300,7 @@ func (t *tagger) run(line string) error {
 		if pos < 0 || pos > c.RuneLen() {
 			return fmt.Errorf("offset %d out of range [0,%d]", pos, c.RuneLen())
 		}
-		return t.doc.Edit().InsertText(c.ByteOffset(pos), text)
+		return t.edit(func(tx *editor.Tx) error { return tx.InsertText(c.ByteOffset(pos), text) })
 	case "text-delete":
 		if len(args) != 2 {
 			return fmt.Errorf("text-delete <start> <end>")
@@ -217,7 +314,7 @@ func (t *tagger) run(line string) error {
 		if err != nil {
 			return err
 		}
-		return t.doc.Edit().DeleteText(bsp)
+		return t.edit(func(tx *editor.Tx) error { return tx.DeleteText(bsp) })
 	case "undo":
 		return t.doc.Edit().Undo()
 	case "redo":

@@ -35,16 +35,17 @@
 // node carries a dense document-order *ordinal* (root = 0, then elements
 // and leaves interleaved by the CompareNodes total order), each element
 // records its pre-order subtree interval within its hierarchy, and a
-// *name index* maps each tag to its document-ordered element list. All
-// three are rebuilt lazily after structural mutations, like the span
-// interval index. The Extended XPath evaluator is built on them: node
-// identity and document order are integer comparisons, node-sets combine
-// by k-way merges with bitset deduplication (no hashing of node
-// identities), descendant enumeration is an O(1) slice of the pre-order
-// array, and name tests on the descendant, following, preceding, and
-// covered axes narrow through the name index instead of enumerating
-// whole axes. Documents are safe for concurrent read-only querying; see
-// internal/goddag's package comment for the exact contract.
+// *name index* maps each tag to its document-ordered element list. The
+// Extended XPath evaluator is built on them: node identity and document
+// order are integer comparisons, node-sets combine by k-way merges with
+// bitset deduplication (no hashing of node identities), descendant
+// enumeration is an O(1) slice of the pre-order array, and name tests on
+// the descendant, following, preceding, and covered axes narrow through
+// the name index instead of enumerating whole axes. Element insertions
+// and removals *repair* all of these indexes in place (splice + local
+// renumber); text edits fall back to lazy from-scratch rebuilds.
+// Documents are safe for concurrent querying; see internal/goddag's
+// package comment for the exact mutation/read contract.
 //
 // Serving collections: the paper positions the framework as
 // infrastructure for document-centric collections. internal/catalog
@@ -54,7 +55,17 @@
 // cmd/cxserve expose it over HTTP: POST /query evaluates Extended
 // XPath and FLWOR with a shared compiled-query cache, and results
 // render through the same internal/cliutil encoders the cxquery CLI
-// uses, so server and CLI output are byte-identical. Persistent
+// uses, so server and CLI output are byte-identical.
+//
+// Served documents are editable, not frozen at load: each catalog entry
+// carries a read/write lock — queries evaluate under the read side, and
+// POST /docs/{id}/edit applies a JSON op batch as ONE editor transaction
+// (prevalidated per op, vetoed atomically, one undo entry) under the
+// write side, so readers always see either the pre- or post-edit
+// snapshot, never a torn document. Commits repair the in-memory indexes
+// incrementally and persist the document through package store's atomic
+// temp-file + rename save; undo/redo are exposed the same way, and
+// eviction refuses documents with unsaved edits. Persistent
 // single-document storage (the paper's "ongoing work") is package
 // store's binary format, which cold-loads through the same
 // goddag.BulkBuilder fast path as the SACX parser.

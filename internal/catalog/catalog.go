@@ -26,13 +26,25 @@
 //   - A byte-budgeted LRU: each resident document is charged its
 //     estimated footprint (goddag.Footprint); when the total exceeds the
 //     budget, least-recently-used documents are dropped. Eviction only
-//     forgets the catalog's reference — documents are immutable while
-//     served, so queries still running against an evicted document remain
-//     valid; memory is reclaimed when they finish.
+//     forgets the catalog's reference: queries still running against an
+//     evicted document keep a consistent snapshot and remain valid;
+//     memory is reclaimed when they finish. Documents with unsaved edits
+//     (dirty) or an edit in flight are never evicted.
 //
-// Loaded documents are read-only: callers must not mutate them (see the
-// concurrency contract in package goddag). All Catalog methods are safe
-// for concurrent use.
+// Documents are editable. Each entry carries a read/write lock: View
+// runs a reader under the read lock (any number in parallel), Update
+// runs an editor under the write lock (writers serialize, readers see
+// either the pre- or post-edit state, never a torn one). A successful
+// Update is persisted immediately — the document is encoded to
+// <id>.gdag in the catalog directory via an atomic temp-file + rename
+// (store.Save) and the entry repoints to that file, so a later eviction
+// and reload reproduces the edited document. The dirty flag is visible
+// in stats only in the window where a save failed.
+//
+// Get remains for read-only deployments and statistics: it returns the
+// document without read-locking it, so callers that run concurrently
+// with Update must use View instead. All Catalog methods are safe for
+// concurrent use.
 package catalog
 
 import (
@@ -46,6 +58,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // Options configure a Catalog.
@@ -79,7 +92,8 @@ type Catalog struct {
 }
 
 // entry is one catalogued document. The resident fields are guarded by
-// Catalog.mu; source identity (id, paths) is immutable after Open.
+// Catalog.mu; id is immutable after Open; paths/format repoint (under
+// Catalog.mu) to the saved .gdag file after the first committed edit.
 type entry struct {
 	id     string
 	paths  []string // source files (several for a distributed directory)
@@ -94,6 +108,15 @@ type entry struct {
 	lastErr error // failed load, cached until Evict clears it
 
 	flight *flight // in-progress load, nil otherwise
+
+	// rw orders readers and writers of the resident document: View holds
+	// the read side for the whole evaluation, Update the write side for
+	// the whole edit + save. It outlives evictions (entries are never
+	// deleted), so a reload under a held lock stays ordered.
+	rw      sync.RWMutex
+	editing int    // Updates in flight or queued (guards eviction)
+	dirty   bool   // edited state not yet persisted (save failed)
+	edits   uint64 // committed edit transactions
 }
 
 // flight is one in-progress load; concurrent Gets of the same cold
@@ -159,9 +182,14 @@ func Open(dir string, opts Options) (*Catalog, error) {
 }
 
 func (c *Catalog) add(id string, paths []string, format string) {
-	if _, dup := c.entries[id]; dup {
-		// name.xml next to name.gdag (or name/): keep the first, which
-		// ReadDir's sorted order makes the .gdag / directory form.
+	if prev, dup := c.entries[id]; dup {
+		// Several source forms under one id (name.gdag next to name.xml
+		// or name/): the binary .gdag wins — it is what save-on-commit
+		// writes, so edits must not be shadowed by a stale XML source —
+		// then the directory form, then single files in ReadDir order.
+		if format == "gdag" && prev.format != "gdag" {
+			prev.paths, prev.format = paths, format
+		}
 		return
 	}
 	c.entries[id] = &entry{id: id, paths: paths, format: format}
@@ -177,8 +205,9 @@ func (c *Catalog) IDs() []string {
 
 // Get returns the document with the given id, loading (and index-warming)
 // it on first use. Concurrent Gets of the same cold document share one
-// load. The returned document is read-only and remains valid even if the
-// catalog later evicts it.
+// load. The returned document remains valid even if the catalog later
+// evicts it, but Get takes no read lock: callers that may run
+// concurrently with Update on the same document must use View instead.
 func (c *Catalog) Get(id string) (*core.Document, error) {
 	c.mu.Lock()
 	e, ok := c.entries[id]
@@ -251,13 +280,19 @@ func (c *Catalog) load(e *entry) (*core.Document, int64, error) {
 
 // evictLocked drops least-recently-used documents until the resident
 // bytes fit the budget. The front (most recent) entry always stays, so an
-// over-budget document can still serve.
+// over-budget document can still serve; dirty or mid-edit documents are
+// skipped — dropping them would lose unsaved edits.
 func (c *Catalog) evictLocked() {
 	if c.budget <= 0 {
 		return
 	}
-	for c.resident > c.budget && c.lru.Len() > 1 {
-		c.dropLocked(c.lru.Back().Value.(*entry))
+	el := c.lru.Back()
+	for c.resident > c.budget && el != nil && el != c.lru.Front() {
+		prev := el.Prev()
+		if e := el.Value.(*entry); !e.dirty && e.editing == 0 {
+			c.dropLocked(e)
+		}
+		el = prev
 	}
 }
 
@@ -272,7 +307,8 @@ func (c *Catalog) dropLocked(e *entry) {
 
 // Evict drops the document from the resident set if loaded (or clears a
 // cached load failure), reporting whether anything was cleared. Queries
-// already running against an evicted document are unaffected.
+// already running against an evicted document are unaffected. Documents
+// with unsaved edits or an edit in flight are not evicted.
 func (c *Catalog) Evict(id string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -284,12 +320,107 @@ func (c *Catalog) Evict(id string) bool {
 		e.lastErr = nil
 		return true
 	}
-	if e.doc == nil {
+	if e.doc == nil || e.dirty || e.editing > 0 {
 		return false
 	}
 	c.dropLocked(e)
 	c.evictions-- // administrative drop, not a pressure eviction
 	return true
+}
+
+// View runs fn with the document under its read lock: any number of
+// views proceed in parallel, and none overlaps an Update of the same
+// document, so fn evaluates against a consistent snapshot. The document
+// must not escape fn.
+func (c *Catalog) View(id string, fn func(*core.Document) error) error {
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	c.mu.Unlock()
+	if !ok {
+		return &ErrNotFound{ID: id}
+	}
+	e.rw.RLock()
+	defer e.rw.RUnlock()
+	doc, err := c.Get(id)
+	if err != nil {
+		return err
+	}
+	return fn(doc)
+}
+
+// Update runs fn with the document under its write lock, then persists
+// the result: writers serialize per document, no View overlaps, and a
+// successful fn is saved to <id>.gdag in the catalog directory through
+// an atomic temp-file + rename before Update returns. The entry then
+// sources from that file, so eviction + reload reproduces the edited
+// document. fn must leave the document consistent on error (the editor's
+// transactions roll back automatically); nothing is persisted then.
+//
+// A failed save leaves the in-memory edit in place and the entry marked
+// dirty: the document keeps serving and cannot be evicted, and the next
+// successful Update clears the flag.
+func (c *Catalog) Update(id string, fn func(*core.Document) error) error {
+	// Mark the entry as mid-edit before loading: evictLocked must not
+	// drop the document between our Get and the commit (a concurrent
+	// lock-free Get could then re-cache the pre-edit source and the
+	// edited document would be accounted against — and shadowed by —
+	// the stale reload).
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	if ok {
+		// A counter, not a flag: with several Updates queued on one
+		// document, the first to finish must not drop the guard while
+		// the others are still editing.
+		e.editing++
+	}
+	c.mu.Unlock()
+	if !ok {
+		return &ErrNotFound{ID: id}
+	}
+	defer func() {
+		c.mu.Lock()
+		e.editing--
+		c.mu.Unlock()
+	}()
+	e.rw.Lock()
+	defer e.rw.Unlock()
+	doc, err := c.Get(id)
+	if err != nil {
+		return err
+	}
+
+	if err := fn(doc); err != nil {
+		return err
+	}
+
+	savePath := filepath.Join(c.dir, e.id+".gdag")
+	saveErr := store.Save(savePath, doc.GODDAG())
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.edits++
+	if saveErr != nil {
+		e.dirty = true
+	} else {
+		e.dirty = false
+		e.paths = []string{savePath}
+		e.format = "gdag"
+	}
+	// Re-account the footprint: the edit may have grown or shrunk the
+	// document (and its repaired indexes), and each committed
+	// transaction or history move also holds a full snapshot on the
+	// session's undo/redo stacks — count those too, or sustained edit
+	// traffic would blow the budget invisibly.
+	if e.doc != nil {
+		bytes := doc.GODDAG().Footprint() + doc.Edit().HistoryFootprint()
+		c.resident += bytes - e.bytes
+		e.bytes = bytes
+		c.evictLocked()
+	}
+	if saveErr != nil {
+		return fmt.Errorf("catalog: update %q applied but not persisted: %w", id, saveErr)
+	}
+	return nil
 }
 
 // DocStats describes one catalogued document.
@@ -300,6 +431,8 @@ type DocStats struct {
 	Bytes    int64    `json:"bytes,omitempty"` // footprint estimate while resident
 	Loads    uint64   `json:"loads"`
 	Hits     uint64   `json:"hits"`
+	Edits    uint64   `json:"edits,omitempty"` // committed edit transactions
+	Dirty    bool     `json:"dirty,omitempty"` // edited state not yet persisted
 	Error    string   `json:"error,omitempty"` // cached load failure (cleared by Evict)
 }
 
@@ -343,6 +476,7 @@ func (c *Catalog) docStatsLocked(e *entry) DocStats {
 	ds := DocStats{
 		ID: e.id, Paths: e.paths,
 		Resident: e.doc != nil, Loads: e.loads, Hits: e.hits,
+		Edits: e.edits, Dirty: e.dirty,
 	}
 	if e.doc != nil {
 		ds.Bytes = e.bytes

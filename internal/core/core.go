@@ -122,11 +122,14 @@ func (d *Document) QueryFLWOR(src string) ([]xpath.Value, error) {
 // prevalidation enabled when the schema has DTDs).
 func (d *Document) Edit() *editor.Session { return d.session }
 
-// EnablePrevalidation recreates the session with prevalidation turned on;
-// existing history is preserved through the same underlying document.
-func (d *Document) EnablePrevalidation() {
-	d.session = editor.NewSession(d.session.Document(), d.schema, editor.Options{Prevalidate: true})
-}
+// EnablePrevalidation turns the prevalidation veto on for subsequent
+// insertions. The session is toggled in place: history, change
+// listeners, and any open transaction stay intact.
+func (d *Document) EnablePrevalidation() { d.session.SetPrevalidate(true) }
+
+// SetPrevalidation sets the prevalidation veto in place (see
+// EnablePrevalidation).
+func (d *Document) SetPrevalidation(on bool) { d.session.SetPrevalidate(on) }
 
 // Validate checks every hierarchy with a DTD.
 func (d *Document) Validate(mode validate.Mode) []validate.Violation {

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/document"
+)
+
+// TestPrevalidationToggleKeepsSession: toggling prevalidation must not
+// recreate the session — a rollback (or undo) issued after the toggle
+// has to act on the same session that opened the transaction.
+// (Regression: EnablePrevalidation used to swap in a fresh session,
+// orphaning the open transaction so its rollback silently kept the
+// "rolled back" edits.)
+func TestPrevalidationToggleKeepsSession(t *testing.T) {
+	doc := New("r", "swa hwaet swa")
+	tx, err := doc.Edit().Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.InsertMarkup("words", "x", document.NewSpan(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	doc.EnablePrevalidation()
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if h := doc.GODDAG().Hierarchy("words"); h != nil && h.Len() != 0 {
+		t.Fatal("rollback after prevalidation toggle did not discard the edit")
+	}
+	if doc.Edit().InTx() {
+		t.Fatal("session still reports an open transaction")
+	}
+	// The toggle itself took effect and history survived a full cycle.
+	if _, err := doc.Edit().InsertMarkup("words", "w", document.NewSpan(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	doc.SetPrevalidation(false)
+	if err := doc.Edit().Undo(); err != nil {
+		t.Fatalf("undo after toggles: %v", err)
+	}
+	if h := doc.GODDAG().Hierarchy("words"); h != nil && h.Len() != 0 {
+		t.Fatal("undo after toggles did not revert the edit")
+	}
+}

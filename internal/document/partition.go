@@ -267,6 +267,12 @@ func (p *Partition) Boundaries() []int {
 	return out
 }
 
+// StartsView returns the live leaf start offsets without copying — the
+// allocation-free fast path for hot merge loops (goddag's ordinal
+// repair). Callers must not modify the slice and must not hold it across
+// partition mutations.
+func (p *Partition) StartsView() []int { return p.starts }
+
 // Clone returns an independent copy of the partition.
 func (p *Partition) Clone() *Partition {
 	cp := make([]int, len(p.starts))

@@ -7,9 +7,17 @@
 // A Session wraps a GODDAG with a concurrent markup schema (one DTD per
 // hierarchy), an undo/redo history, and change notifications for
 // presentation layers.
+//
+// Edits can be batched in transactions (Begin/Commit/Rollback): each
+// operation is prevalidated as it is issued, but the batch commits — or
+// is vetoed — atomically, costs one undo entry and one change
+// notification, and snapshots the document only once however many
+// operations it carries. The HTTP edit endpoint (internal/server)
+// applies each request body as one transaction.
 package editor
 
 import (
+	"errors"
 	"fmt"
 	"unicode/utf8"
 
@@ -17,6 +25,13 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/goddag"
 	"repro/internal/validate"
+)
+
+// History sentinel errors, for errors.Is checks by presentation layers
+// (the HTTP server maps them to 409).
+var (
+	ErrNothingToUndo = errors.New("editor: nothing to undo")
+	ErrNothingToRedo = errors.New("editor: nothing to redo")
 )
 
 // ChangeKind discriminates edit notifications.
@@ -32,6 +47,7 @@ const (
 	ChangeDeleteText
 	ChangeUndo
 	ChangeRedo
+	ChangeTransaction
 )
 
 // String returns the change kind name.
@@ -53,6 +69,8 @@ func (k ChangeKind) String() string {
 		return "undo"
 	case ChangeRedo:
 		return "redo"
+	case ChangeTransaction:
+		return "transaction"
 	default:
 		return fmt.Sprintf("ChangeKind(%d)", int(k))
 	}
@@ -87,9 +105,10 @@ type Session struct {
 	schema *validate.Schema
 	opts   Options
 
-	undo      []*goddag.Document // snapshots before each applied op
+	undo      []*goddag.Document // snapshots before each applied op/transaction
 	redo      []*goddag.Document
 	listeners []func(Change)
+	tx        *Tx // open transaction, nil otherwise
 }
 
 // NewSession starts a session. schema may be nil (no validation).
@@ -106,6 +125,29 @@ func NewSession(doc *goddag.Document, schema *validate.Schema, opts Options) *Se
 // Document returns the live document. Mutating it directly bypasses
 // history and prevalidation.
 func (s *Session) Document() *goddag.Document { return s.doc }
+
+// HistoryFootprint estimates the heap bytes held by the undo/redo
+// snapshot stacks (goddag.Footprint per snapshot). Serving layers add
+// it to the live document's footprint when budgeting resident memory —
+// an actively edited document holds up to HistoryLimit full snapshots.
+func (s *Session) HistoryFootprint() int64 {
+	var f int64
+	for _, d := range s.undo {
+		f += d.Footprint()
+	}
+	for _, d := range s.redo {
+		f += d.Footprint()
+	}
+	return f
+}
+
+// SetPrevalidate toggles the prevalidation veto for subsequent markup
+// insertions, in place: history, listeners, and any open transaction
+// are unaffected (ops issued after the call see the new setting).
+func (s *Session) SetPrevalidate(on bool) { s.opts.Prevalidate = on }
+
+// Prevalidating reports whether insertions are prevalidated.
+func (s *Session) Prevalidating() bool { return s.opts.Prevalidate }
 
 // Schema returns the session's concurrent markup schema.
 func (s *Session) Schema() *validate.Schema { return s.schema }
@@ -129,15 +171,27 @@ func (s *Session) checkpoint() {
 }
 
 // CanUndo reports whether Undo would succeed.
-func (s *Session) CanUndo() bool { return len(s.undo) > 0 }
+func (s *Session) CanUndo() bool { return len(s.undo) > 0 && s.tx == nil }
 
 // CanRedo reports whether Redo would succeed.
-func (s *Session) CanRedo() bool { return len(s.redo) > 0 }
+func (s *Session) CanRedo() bool { return len(s.redo) > 0 && s.tx == nil }
 
-// Undo reverts the most recent edit.
+// mutable guards direct session edits and history moves against running
+// inside an open transaction.
+func (s *Session) mutable() error {
+	if s.tx != nil {
+		return fmt.Errorf("editor: a transaction is open; commit or roll it back first")
+	}
+	return nil
+}
+
+// Undo reverts the most recent edit or committed transaction.
 func (s *Session) Undo() error {
+	if err := s.mutable(); err != nil {
+		return err
+	}
 	if len(s.undo) == 0 {
-		return fmt.Errorf("editor: nothing to undo")
+		return ErrNothingToUndo
 	}
 	s.redo = append(s.redo, s.doc)
 	s.doc = s.undo[len(s.undo)-1]
@@ -148,8 +202,11 @@ func (s *Session) Undo() error {
 
 // Redo re-applies the most recently undone edit.
 func (s *Session) Redo() error {
+	if err := s.mutable(); err != nil {
+		return err
+	}
 	if len(s.redo) == 0 {
-		return fmt.Errorf("editor: nothing to redo")
+		return ErrNothingToRedo
 	}
 	s.undo = append(s.undo, s.doc)
 	s.doc = s.redo[len(s.redo)-1]
@@ -158,15 +215,11 @@ func (s *Session) Redo() error {
 	return nil
 }
 
-// InsertMarkup inserts an element over span into the named hierarchy,
-// after prevalidation when enabled. The hierarchy is created on first
-// use. It returns the inserted element.
-//
-// Failed insertions leave the session exactly as it was: InsertElement is
-// atomic (it mutates nothing on error), so only the checkpoint and a
-// just-created empty hierarchy need unwinding.
-func (s *Session) InsertMarkup(hierarchy, tag string, span document.Span, attrs ...goddag.Attr) (*goddag.Element, error) {
-	s.checkpoint()
+// applyInsertMarkup is the shared core of InsertMarkup and Tx.InsertMarkup:
+// prevalidation plus insertion, without history or notification. Failed
+// insertions mutate nothing (InsertElement is atomic on error; a
+// just-created empty hierarchy is unwound here).
+func (s *Session) applyInsertMarkup(hierarchy, tag string, span document.Span, attrs []goddag.Attr) (*goddag.Element, error) {
 	h := s.doc.Hierarchy(hierarchy)
 	created := false
 	if h == nil {
@@ -177,7 +230,6 @@ func (s *Session) InsertMarkup(hierarchy, tag string, span document.Span, attrs 
 		if created {
 			s.doc.RemoveHierarchy(hierarchy)
 		}
-		s.undo = s.undo[:len(s.undo)-1]
 		return nil, err
 	}
 	if s.opts.Prevalidate {
@@ -189,29 +241,58 @@ func (s *Session) InsertMarkup(hierarchy, tag string, span document.Span, attrs 
 	if err != nil {
 		return fail(err)
 	}
+	return el, nil
+}
+
+// InsertMarkup inserts an element over span into the named hierarchy,
+// after prevalidation when enabled. The hierarchy is created on first
+// use. It returns the inserted element. Failed insertions leave the
+// session exactly as it was.
+func (s *Session) InsertMarkup(hierarchy, tag string, span document.Span, attrs ...goddag.Attr) (*goddag.Element, error) {
+	if err := s.mutable(); err != nil {
+		return nil, err
+	}
+	s.checkpoint()
+	el, err := s.applyInsertMarkup(hierarchy, tag, span, attrs)
+	if err != nil {
+		s.undo = s.undo[:len(s.undo)-1]
+		return nil, err
+	}
 	s.notify(Change{Kind: ChangeInsertMarkup, Hierarchy: hierarchy, Tag: tag, Span: span})
 	return el, nil
+}
+
+// applyRemoveMarkup is the shared core of RemoveMarkup and Tx.RemoveMarkup.
+func (s *Session) applyRemoveMarkup(el *goddag.Element) (Change, error) {
+	if el == nil {
+		return Change{}, fmt.Errorf("editor: nil element")
+	}
+	c := Change{Kind: ChangeRemoveMarkup, Hierarchy: el.Hierarchy().Name(), Tag: el.Name(), Span: el.Span()}
+	if err := s.doc.RemoveElement(el); err != nil {
+		return Change{}, err
+	}
+	return c, nil
 }
 
 // RemoveMarkup deletes an element; its children are adopted by its
 // parent.
 func (s *Session) RemoveMarkup(el *goddag.Element) error {
-	if el == nil {
-		return fmt.Errorf("editor: nil element")
+	if err := s.mutable(); err != nil {
+		return err
 	}
-	hier, tag, span := el.Hierarchy().Name(), el.Name(), el.Span()
 	s.checkpoint()
-	if err := s.doc.RemoveElement(el); err != nil {
+	c, err := s.applyRemoveMarkup(el)
+	if err != nil {
 		s.undo = s.undo[:len(s.undo)-1]
 		return err
 	}
-	s.notify(Change{Kind: ChangeRemoveMarkup, Hierarchy: hier, Tag: tag, Span: span})
+	s.notify(c)
 	return nil
 }
 
-// SetAttr sets an attribute, validating enumerated/fixed values against
-// the DTD when the session has one for the element's hierarchy.
-func (s *Session) SetAttr(el *goddag.Element, name, value string) error {
+// applySetAttr is the shared core of SetAttr and Tx.SetAttr: DTD
+// attribute validation plus the edit.
+func (s *Session) applySetAttr(el *goddag.Element, name, value string) error {
 	if el == nil {
 		return fmt.Errorf("editor: nil element")
 	}
@@ -236,21 +317,45 @@ func (s *Session) SetAttr(el *goddag.Element, name, value string) error {
 			}
 		}
 	}
-	s.checkpoint()
 	el.SetAttr(name, value)
+	return nil
+}
+
+// SetAttr sets an attribute, validating enumerated/fixed values against
+// the DTD when the session has one for the element's hierarchy.
+func (s *Session) SetAttr(el *goddag.Element, name, value string) error {
+	if err := s.mutable(); err != nil {
+		return err
+	}
+	s.checkpoint()
+	if err := s.applySetAttr(el, name, value); err != nil {
+		s.undo = s.undo[:len(s.undo)-1]
+		return err
+	}
 	s.notify(Change{Kind: ChangeSetAttr, Hierarchy: el.Hierarchy().Name(), Tag: el.Name(), Detail: name + "=" + value})
+	return nil
+}
+
+// applyRemoveAttr is the shared core of RemoveAttr and Tx.RemoveAttr.
+func (s *Session) applyRemoveAttr(el *goddag.Element, name string) error {
+	if el == nil {
+		return fmt.Errorf("editor: nil element")
+	}
+	if !el.RemoveAttr(name) {
+		return fmt.Errorf("editor: no attribute %q on %v", name, el)
+	}
 	return nil
 }
 
 // RemoveAttr deletes an attribute.
 func (s *Session) RemoveAttr(el *goddag.Element, name string) error {
-	if el == nil {
-		return fmt.Errorf("editor: nil element")
+	if err := s.mutable(); err != nil {
+		return err
 	}
 	s.checkpoint()
-	if !el.RemoveAttr(name) {
+	if err := s.applyRemoveAttr(el, name); err != nil {
 		s.undo = s.undo[:len(s.undo)-1]
-		return fmt.Errorf("editor: no attribute %q on %v", name, el)
+		return err
 	}
 	s.notify(Change{Kind: ChangeRemoveAttr, Hierarchy: el.Hierarchy().Name(), Tag: el.Name(), Detail: name})
 	return nil
@@ -258,6 +363,9 @@ func (s *Session) RemoveAttr(el *goddag.Element, name string) error {
 
 // InsertText inserts text at a byte offset, adjusting all markup.
 func (s *Session) InsertText(pos int, text string) error {
+	if err := s.mutable(); err != nil {
+		return err
+	}
 	s.checkpoint()
 	if err := s.doc.InsertText(pos, text); err != nil {
 		s.undo = s.undo[:len(s.undo)-1]
@@ -270,6 +378,9 @@ func (s *Session) InsertText(pos int, text string) error {
 // DeleteText removes a span of text, adjusting all markup; elements whose
 // content is entirely deleted remain as empty milestones.
 func (s *Session) DeleteText(span document.Span) error {
+	if err := s.mutable(); err != nil {
+		return err
+	}
 	s.checkpoint()
 	if err := s.doc.DeleteText(span); err != nil {
 		s.undo = s.undo[:len(s.undo)-1]
@@ -282,6 +393,182 @@ func (s *Session) DeleteText(span document.Span) error {
 // Validate runs the schema over every hierarchy in the given mode.
 func (s *Session) Validate(mode validate.Mode) []validate.Violation {
 	return validate.Document(s.doc, s.schema, mode)
+}
+
+// Tx is an open editing transaction: a batch of markup and attribute
+// operations applied to the live document as they are issued (each one
+// prevalidated like a direct session edit) but committed — or vetoed —
+// atomically. A committed transaction collapses to ONE undo entry and
+// ONE change notification however many operations it batched; a failed
+// operation poisons the transaction, and Commit (or Rollback) then
+// restores the document to its pre-transaction state.
+//
+// One transaction may be open per session at a time; direct session
+// edits and history moves are rejected while it is open. Elements
+// obtained before Begin remain valid inside the transaction (operations
+// mutate the live document); after a Rollback — or an Undo of the
+// committed transaction — the session's document is the restored
+// snapshot and previously held elements no longer belong to it.
+type Tx struct {
+	s        *Session
+	snapshot *goddag.Document
+	ops      []Change
+	err      error
+	done     bool
+}
+
+// Begin opens a transaction. It fails if one is already open.
+func (s *Session) Begin() (*Tx, error) {
+	if s.tx != nil {
+		return nil, fmt.Errorf("editor: a transaction is already open")
+	}
+	tx := &Tx{s: s, snapshot: s.doc.Clone()}
+	s.tx = tx
+	return tx, nil
+}
+
+// InTx reports whether the session has an open transaction.
+func (s *Session) InTx() bool { return s.tx != nil }
+
+// Err returns the operation error that poisoned the transaction, nil
+// while it can still commit.
+func (tx *Tx) Err() error { return tx.err }
+
+// Ops returns the operations applied so far, one Change per successful
+// operation.
+func (tx *Tx) Ops() []Change { return tx.ops }
+
+// guard rejects operations on closed or poisoned transactions.
+func (tx *Tx) guard() error {
+	if tx.done {
+		return fmt.Errorf("editor: transaction already closed")
+	}
+	if tx.err != nil {
+		return fmt.Errorf("editor: transaction aborted: %w", tx.err)
+	}
+	return nil
+}
+
+// fail poisons the transaction with the first operation error.
+func (tx *Tx) fail(err error) error {
+	tx.err = err
+	return err
+}
+
+// InsertMarkup inserts an element within the transaction, prevalidated
+// like Session.InsertMarkup. A failure poisons the transaction.
+func (tx *Tx) InsertMarkup(hierarchy, tag string, span document.Span, attrs ...goddag.Attr) (*goddag.Element, error) {
+	if err := tx.guard(); err != nil {
+		return nil, err
+	}
+	el, err := tx.s.applyInsertMarkup(hierarchy, tag, span, attrs)
+	if err != nil {
+		return nil, tx.fail(err)
+	}
+	tx.ops = append(tx.ops, Change{Kind: ChangeInsertMarkup, Hierarchy: hierarchy, Tag: tag, Span: span})
+	return el, nil
+}
+
+// RemoveMarkup deletes an element within the transaction.
+func (tx *Tx) RemoveMarkup(el *goddag.Element) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	c, err := tx.s.applyRemoveMarkup(el)
+	if err != nil {
+		return tx.fail(err)
+	}
+	tx.ops = append(tx.ops, c)
+	return nil
+}
+
+// SetAttr sets an attribute within the transaction, validated against
+// the hierarchy's DTD like Session.SetAttr.
+func (tx *Tx) SetAttr(el *goddag.Element, name, value string) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	if err := tx.s.applySetAttr(el, name, value); err != nil {
+		return tx.fail(err)
+	}
+	tx.ops = append(tx.ops, Change{Kind: ChangeSetAttr, Hierarchy: el.Hierarchy().Name(), Tag: el.Name(), Detail: name + "=" + value})
+	return nil
+}
+
+// RemoveAttr deletes an attribute within the transaction.
+func (tx *Tx) RemoveAttr(el *goddag.Element, name string) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	if err := tx.s.applyRemoveAttr(el, name); err != nil {
+		return tx.fail(err)
+	}
+	tx.ops = append(tx.ops, Change{Kind: ChangeRemoveAttr, Hierarchy: el.Hierarchy().Name(), Tag: el.Name(), Detail: name})
+	return nil
+}
+
+// InsertText inserts text within the transaction.
+func (tx *Tx) InsertText(pos int, text string) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	if err := tx.s.doc.InsertText(pos, text); err != nil {
+		return tx.fail(err)
+	}
+	tx.ops = append(tx.ops, Change{Kind: ChangeInsertText, Span: document.NewSpan(pos, pos+len(text))})
+	return nil
+}
+
+// DeleteText removes a span of text within the transaction.
+func (tx *Tx) DeleteText(span document.Span) error {
+	if err := tx.guard(); err != nil {
+		return err
+	}
+	if err := tx.s.doc.DeleteText(span); err != nil {
+		return tx.fail(err)
+	}
+	tx.ops = append(tx.ops, Change{Kind: ChangeDeleteText, Span: span})
+	return nil
+}
+
+// Commit closes the transaction. A clean transaction with at least one
+// operation pushes one undo entry (the pre-transaction snapshot), clears
+// the redo stack, and emits one ChangeTransaction notification. A
+// poisoned transaction rolls the document back to the snapshot and
+// returns the poisoning error. An empty transaction is a no-op.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("editor: transaction already closed")
+	}
+	tx.done = true
+	s := tx.s
+	s.tx = nil
+	if tx.err != nil {
+		s.doc = tx.snapshot
+		return fmt.Errorf("editor: transaction rolled back: %w", tx.err)
+	}
+	if len(tx.ops) == 0 {
+		return nil
+	}
+	s.undo = append(s.undo, tx.snapshot)
+	if len(s.undo) > s.opts.HistoryLimit {
+		s.undo = s.undo[1:]
+	}
+	s.redo = nil
+	s.notify(Change{Kind: ChangeTransaction, Detail: fmt.Sprintf("%d ops", len(tx.ops))})
+	return nil
+}
+
+// Rollback closes the transaction and restores the document to its
+// pre-transaction state, whether or not any operation failed.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return fmt.Errorf("editor: transaction already closed")
+	}
+	tx.done = true
+	tx.s.tx = nil
+	tx.s.doc = tx.snapshot
+	return nil
 }
 
 // SelectWord returns the byte span of the whitespace-delimited word

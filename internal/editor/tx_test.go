@@ -1,0 +1,354 @@
+package editor
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/corpus"
+	"repro/internal/document"
+	"repro/internal/goddag"
+	"repro/internal/validate"
+)
+
+func TestTxCommitBatchesOps(t *testing.T) {
+	s := newSession(t, false)
+	var changes []Change
+	s.OnChange(func(c Change) { changes = append(changes, c) })
+
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tx.InsertMarkup("words", "w", document.NewSpan(0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.InsertMarkup("words", "w", document.NewSpan(4, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetAttr(w, "lemma", "swa"); err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Fatalf("notified %d times before commit", len(changes))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 || changes[0].Kind != ChangeTransaction {
+		t.Fatalf("commit notifications = %v, want one ChangeTransaction", changes)
+	}
+	if !strings.Contains(changes[0].Detail, "3 ops") {
+		t.Fatalf("transaction detail = %q", changes[0].Detail)
+	}
+	if len(s.undo) != 1 {
+		t.Fatalf("undo entries = %d, want 1 for the whole batch", len(s.undo))
+	}
+	// One undo reverts all three operations.
+	if err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Document().Hierarchy("words"); got != nil && got.Len() != 0 {
+		t.Fatalf("undo left %d elements", got.Len())
+	}
+	// And redo restores them.
+	if err := s.Redo(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Document().Hierarchy("words").Len(); got != 2 {
+		t.Fatalf("redo restored %d elements, want 2", got)
+	}
+}
+
+func TestTxAtomicVeto(t *testing.T) {
+	s := newSession(t, true)
+	if _, err := s.InsertMarkup("words", "w", document.NewSpan(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	undoDepth := len(s.undo)
+
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.InsertMarkup("words", "w", document.NewSpan(4, 9)); err != nil {
+		t.Fatal(err)
+	}
+	// Prevalidation vetoes <w> inside <w>; the op fails and poisons the tx.
+	if _, err := tx.InsertMarkup("words", "w", document.NewSpan(1, 2)); err == nil {
+		t.Fatal("nested w not vetoed")
+	}
+	if tx.Err() == nil {
+		t.Fatal("transaction not poisoned")
+	}
+	// Further ops are rejected.
+	if _, err := tx.InsertMarkup("words", "w", document.NewSpan(10, 12)); err == nil {
+		t.Fatal("op accepted on poisoned transaction")
+	}
+	// Commit rolls everything back — including the op that succeeded.
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit of poisoned transaction did not error")
+	}
+	if got := s.Document().Hierarchy("words").Len(); got != 1 {
+		t.Fatalf("after veto rollback: %d elements, want the pre-tx 1", got)
+	}
+	if len(s.undo) != undoDepth {
+		t.Fatalf("vetoed transaction left history entries: %d vs %d", len(s.undo), undoDepth)
+	}
+}
+
+func TestTxRollback(t *testing.T) {
+	s := newSession(t, false)
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.InsertMarkup("words", "w", document.NewSpan(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.Document().Hierarchy("words"); h != nil && h.Len() != 0 {
+		t.Fatal("rollback did not restore the document")
+	}
+	if s.CanUndo() {
+		t.Fatal("rollback left an undo entry")
+	}
+	// The transaction is closed for good.
+	if _, err := tx.InsertMarkup("words", "w", document.NewSpan(0, 3)); err == nil {
+		t.Fatal("op accepted after rollback")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit accepted after rollback")
+	}
+}
+
+func TestTxExcludesDirectEdits(t *testing.T) {
+	s := newSession(t, false)
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Begin(); err == nil {
+		t.Fatal("second Begin accepted")
+	}
+	if _, err := s.InsertMarkup("words", "w", document.NewSpan(0, 3)); err == nil {
+		t.Fatal("direct edit accepted during transaction")
+	}
+	if err := s.Undo(); err == nil {
+		t.Fatal("undo accepted during transaction")
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertMarkup("words", "w", document.NewSpan(0, 3)); err != nil {
+		t.Fatalf("direct edit after rollback: %v", err)
+	}
+}
+
+func TestTxEmptyCommitIsNoOp(t *testing.T) {
+	s := newSession(t, false)
+	notified := 0
+	s.OnChange(func(Change) { notified++ })
+	tx, err := s.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if notified != 0 || s.CanUndo() {
+		t.Fatal("empty transaction left history or notifications")
+	}
+}
+
+// docFingerprint renders the full document state for equivalence checks.
+func docFingerprint(d *goddag.Document) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "content=%q\n", d.Content().String())
+	for _, name := range d.HierarchyNames() {
+		fmt.Fprintf(&b, "hier %s:\n", name)
+		for _, e := range d.Hierarchy(name).Elements() {
+			fmt.Fprintf(&b, "  %s attrs=%v\n", e, e.Attrs())
+		}
+	}
+	return b.String()
+}
+
+// TestTxEquivalentToOpSequence drives identical random operation batches
+// through (a) one transaction per batch and (b) the equivalent sequence
+// of single session operations, over corpus-generated documents, and
+// requires identical final documents after every batch. Batches that
+// fail mid-way must leave the transactional document exactly at its
+// pre-batch state while the single-op document keeps the prefix; the
+// test then re-synchronizes by rolling the single-op session back the
+// applied prefix.
+func TestTxEquivalentToOpSequence(t *testing.T) {
+	for _, h := range []int{2, 4} {
+		h := h
+		t.Run(fmt.Sprintf("h=%d", h), func(t *testing.T) {
+			cfg := corpus.DefaultConfig(80)
+			cfg.Hierarchies = h
+			docA, err := corpus.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			docB, err := corpus.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa := NewSession(docA, validate.NewSchema(), Options{HistoryLimit: 512})
+			sb := NewSession(docB, validate.NewSchema(), Options{HistoryLimit: 512})
+			rng := rand.New(rand.NewSource(int64(h)))
+			n := docA.Content().Len()
+			hiers := docA.HierarchyNames()
+
+			for batch := 0; batch < 15; batch++ {
+				before := docFingerprint(sa.Document())
+				tx, err := sa.Begin()
+				if err != nil {
+					t.Fatal(err)
+				}
+				applied := 0
+				var failed bool
+				for op := 0; op < 1+rng.Intn(4); op++ {
+					hier := hiers[rng.Intn(len(hiers))]
+					switch rng.Intn(3) {
+					case 0:
+						lo := rng.Intn(n)
+						sp := document.NewSpan(lo, lo+1+rng.Intn(min(40, n-lo)))
+						_, errA := tx.InsertMarkup(hier, "edit", sp)
+						if errA != nil {
+							failed = true
+							break
+						}
+						if _, errB := sb.InsertMarkup(hier, "edit", sp); errB != nil {
+							t.Fatalf("batch %d: single-op diverged: %v", batch, errB)
+						}
+						applied++
+					case 1:
+						elsA := sa.Document().Hierarchy(hier).Elements()
+						if len(elsA) == 0 {
+							continue
+						}
+						i := rng.Intn(len(elsA))
+						if err := tx.RemoveMarkup(elsA[i]); err != nil {
+							failed = true
+							break
+						}
+						elsB := sb.Document().Hierarchy(hier).Elements()
+						if err := sb.RemoveMarkup(elsB[i]); err != nil {
+							t.Fatalf("batch %d: single-op remove diverged: %v", batch, err)
+						}
+						applied++
+					default:
+						elsA := sa.Document().Elements()
+						if len(elsA) == 0 {
+							continue
+						}
+						i := rng.Intn(len(elsA))
+						if err := tx.SetAttr(elsA[i], "b", fmt.Sprint(batch)); err != nil {
+							failed = true
+							break
+						}
+						if err := sb.SetAttr(sb.Document().Elements()[i], "b", fmt.Sprint(batch)); err != nil {
+							t.Fatalf("batch %d: single-op attr diverged: %v", batch, err)
+						}
+						applied++
+					}
+					if failed {
+						break
+					}
+				}
+				if failed {
+					// Atomic veto: commit returns the poisoning error and
+					// restores the pre-batch document; re-sync the single-op
+					// session by undoing its applied prefix.
+					if err := tx.Commit(); err == nil {
+						t.Fatalf("batch %d: poisoned commit succeeded", batch)
+					}
+					if got := docFingerprint(sa.Document()); got != before {
+						t.Fatalf("batch %d: veto did not restore pre-batch state", batch)
+					}
+					for k := 0; k < applied; k++ {
+						if err := sb.Undo(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				} else if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				a, b := docFingerprint(sa.Document()), docFingerprint(sb.Document())
+				if a != b {
+					t.Fatalf("batch %d: transactional and single-op documents diverged:\n%s\nvs\n%s", batch, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestSelectWordMultibyte is the property test over the multibyte
+// vocabulary: for every byte offset of a corpus-generated document, the
+// span SelectWord returns must lie on rune boundaries, cover the
+// offset's rune, contain no whitespace, and be maximal (bordered by
+// whitespace or the document edge).
+func TestSelectWordMultibyte(t *testing.T) {
+	cfg := corpus.DefaultConfig(60)
+	cfg.Vocabulary = corpus.MultibyteVocabulary
+	doc, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(doc, validate.NewSchema(), Options{})
+	content := doc.Content()
+	text := content.String()
+	isSpace := func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == '\r' }
+	for pos := 0; pos < len(text); pos++ {
+		sp, err := s.SelectWord(pos)
+		// Normalize the probe to its rune start, as SelectWord does.
+		rs := pos
+		for rs > 0 && !utf8.RuneStart(text[rs]) {
+			rs--
+		}
+		r, size := utf8.DecodeRuneInString(text[rs:])
+		if isSpace(r) {
+			if err == nil {
+				t.Fatalf("pos %d: whitespace rune %q selected %v", pos, r, sp)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("pos %d: %v", pos, err)
+		}
+		if !content.IsRuneBoundary(sp.Start) || !content.IsRuneBoundary(sp.End) {
+			t.Fatalf("pos %d: span %v not on rune boundaries", pos, sp)
+		}
+		if sp.Start > rs || rs+size > sp.End {
+			t.Fatalf("pos %d: span %v does not cover rune at %d", pos, sp, rs)
+		}
+		word := text[sp.Start:sp.End]
+		if word == "" {
+			t.Fatalf("pos %d: empty selection", pos)
+		}
+		for _, wr := range word {
+			if isSpace(wr) {
+				t.Fatalf("pos %d: selection %q contains whitespace", pos, word)
+			}
+		}
+		// Maximality: the selection is bordered by whitespace or the edge.
+		if sp.Start > 0 {
+			if br, _ := utf8.DecodeLastRuneInString(text[:sp.Start]); !isSpace(br) {
+				t.Fatalf("pos %d: selection %q not left-maximal", pos, word)
+			}
+		}
+		if sp.End < len(text) {
+			if ar, _ := utf8.DecodeRuneInString(text[sp.End:]); !isSpace(ar) {
+				t.Fatalf("pos %d: selection %q not right-maximal", pos, word)
+			}
+		}
+	}
+}

@@ -37,7 +37,58 @@ func (h *Hierarchy) TopElements() []*Element {
 }
 
 // Elements returns all elements of the hierarchy in document order.
+// While the ordinal index is live, the hierarchy's pre-order array IS
+// this walk's result (and is kept spliced by the incremental repair);
+// it is copied instead of re-walking the tree — element-address
+// resolution on the server's edit path calls this once per op.
 func (h *Hierarchy) Elements() []*Element {
+	h.doc.mu.Lock()
+	live := h.doc.ordIdx != nil && h.doc.ordVer == h.doc.version
+	h.doc.mu.Unlock()
+	if live && len(h.pre) == h.n {
+		out := make([]*Element, len(h.pre))
+		copy(out, h.pre)
+		return out
+	}
+	return h.walkElements()
+}
+
+// ElementAt returns the i-th element of the hierarchy in document
+// order (the same numbering as Elements) without materializing the
+// list: O(1) from the pre-order array while the ordinal index is live,
+// a counting walk otherwise. ok is false for out-of-range indices.
+func (h *Hierarchy) ElementAt(i int) (el *Element, ok bool) {
+	if i < 0 || i >= h.n {
+		return nil, false
+	}
+	h.doc.mu.Lock()
+	live := h.doc.ordIdx != nil && h.doc.ordVer == h.doc.version
+	h.doc.mu.Unlock()
+	if live && len(h.pre) == h.n {
+		return h.pre[i], true
+	}
+	n := 0
+	var walk func(es []*Element) *Element
+	walk = func(es []*Element) *Element {
+		for _, e := range es {
+			if n == i {
+				return e
+			}
+			n++
+			if found := walk(e.children); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	el = walk(h.top)
+	return el, el != nil
+}
+
+// walkElements collects the hierarchy's elements by tree walk. It takes
+// no lock, so the lazy cache rebuilds (which hold the document mutex)
+// can call it.
+func (h *Hierarchy) walkElements() []*Element {
 	out := make([]*Element, 0, h.n)
 	var walk func(es []*Element)
 	walk = func(es []*Element) {
@@ -363,9 +414,11 @@ func (d *Document) InsertElement(h *Hierarchy, tag string, attrs []Attr, span do
 	el := &Element{doc: d, hier: h, name: tag, attrs: append([]Attr(nil), attrs...), span: span, seq: d.seq}
 	d.seq++
 
-	// Establish leaf boundaries at the span borders.
-	d.part.Cut(span.Start)
-	d.part.Cut(span.End)
+	// Establish leaf boundaries at the span borders, remembering — for the
+	// incremental index repair — the first leaf a cut changed and the
+	// first leaf sorting after the new element, both in pre-cut numbering.
+	leafAfter := d.leafAfterSpan(span)
+	firstLeaf := d.cutSpanBorders(span)
 
 	// Adopt children.
 	for _, c := range adopted {
@@ -391,7 +444,7 @@ func (d *Document) InsertElement(h *Hierarchy, tag string, attrs []Attr, span do
 				parent.children = list
 			}
 			h.n++
-			d.bump()
+			d.finishInsert(el, adopted, firstLeaf, leafAfter)
 			return el, nil
 		}
 	}
@@ -405,7 +458,7 @@ func (d *Document) InsertElement(h *Hierarchy, tag string, attrs []Attr, span do
 		parent.children = merged
 	}
 	h.n++
-	d.bump()
+	d.finishInsert(el, adopted, firstLeaf, leafAfter)
 	return el, nil
 }
 
@@ -492,19 +545,36 @@ func (d *Document) RemoveElement(el *Element) error {
 	merged = append(merged, list[:idx]...)
 	merged = append(merged, el.children...)
 	merged = append(merged, list[idx+1:]...)
+	// When hoisting el's children in place keeps the sibling list in
+	// document order (the overwhelmingly common case), the hierarchy's
+	// pre-order is exactly the old one minus el and the index repair can
+	// splice. A milestone sibling at el's border can interleave with the
+	// hoisted children; then the list is re-sorted and repair falls back
+	// to a rebuild.
+	ordered := true
+	for i := 1; i < len(merged); i++ {
+		if elementLess(merged[i], merged[i-1]) {
+			ordered = false
+			break
+		}
+	}
 	for _, c := range el.children {
 		c.parent = el.parent
 	}
-	sortElements(merged)
+	if !ordered {
+		sortElements(merged)
+	}
 	if el.parent == nil {
 		h.top = merged
 	} else {
 		el.parent.children = merged
 	}
+	h.n--
+	// Repair (or invalidate) the derived indexes while el's parent link is
+	// still intact — the pre-order repair walks the ancestor chain.
+	d.finishRemove(el, ordered)
 	el.parent = nil
 	el.children = nil
-	h.n--
-	d.bump()
 	return nil
 }
 
@@ -774,10 +844,12 @@ func (d *Document) Check() error {
 	return nil
 }
 
-// Clone returns a deep copy of the document.
+// Clone returns a deep copy of the document. The copy starts with cold
+// derived indexes and inherits the incremental-repair setting.
 func (d *Document) Clone() *Document {
 	nd := New(d.rootTag, d.content.String())
 	nd.seq = d.seq
+	nd.noRepair = d.noRepair
 	// Re-cut boundaries.
 	for _, b := range d.part.Boundaries() {
 		nd.part.Cut(b)

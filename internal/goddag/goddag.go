@@ -19,7 +19,7 @@
 // contiguous interval of leaves, which is true of any structure derived
 // from in-line or standoff markup ranges.
 //
-// # Concurrency
+// # Concurrency and mutation
 //
 // A Document may be read — navigated, queried, exported — from any
 // number of goroutines at once: the lazily built derived indexes
@@ -27,7 +27,19 @@
 // their rebuilds on an internal mutex. Mutating operations
 // (InsertElement, RemoveElement, InsertText, DeleteText, Compact,
 // BulkBuilder.Append, ...) require exclusive access: they must not run
-// concurrently with each other or with readers.
+// concurrently with each other or with readers. Serving layers
+// (internal/catalog) enforce this with a per-document RW lock.
+//
+// Documents are editable after load. InsertElement and RemoveElement
+// repair the live derived indexes in place (splice + local renumber, see
+// repair.go), so an edit costs O(affected suffix) integer writes instead
+// of a from-scratch rebuild, and queries issued right after an edit see
+// warm indexes. Attribute edits never touch the indexes. Text edits
+// (InsertText, DeleteText) and Compact move content coordinates under
+// every element at once and fall back to invalidate-and-rebuild.
+// Results handed out by the index accessors (Elements, ElementsNamed,
+// Ordinals, ...) are snapshots that remain internally consistent only
+// until the next mutation; re-fetch them after editing.
 package goddag
 
 import (
@@ -97,8 +109,11 @@ type Document struct {
 	// Derived-index caches: Elements() and the query-path indexes are hot
 	// in evaluation, so the sorted cross-hierarchy element list, the span
 	// interval index, the ordinal numbering, and the name index are all
-	// cached and invalidated by a version counter bumped on every
-	// structural mutation.
+	// cached and stamped with a version counter advanced on every
+	// structural mutation. Element insertions and removals *repair* live
+	// caches in place (see repair.go) so an editing workload never pays a
+	// from-scratch rebuild; text edits, Compact, and bulk loads invalidate
+	// them for the next lazy rebuild.
 	//
 	// mu serializes the lazy cache (re)builds, making *read-only* use of
 	// a document — including concurrent query evaluation — safe from
@@ -106,6 +121,7 @@ type Document struct {
 	// goroutine-safe and must not run concurrently with readers.
 	mu           sync.Mutex
 	version      uint64
+	noRepair     bool // disable in-place index repair (SetIncrementalRepair)
 	elemCache    []*Element
 	elemCacheVer uint64
 	spanIdx      *spanIndex
@@ -116,7 +132,11 @@ type Document struct {
 	nameIdxVer   uint64
 }
 
-// bump invalidates derived caches after a structural mutation.
+// bump invalidates derived caches after a structural mutation that moves
+// content coordinates wholesale (text edits, Compact, bulk loads); the
+// next read rebuilds them from scratch. Element-level mutations go
+// through finishInsert/finishRemove instead, which patch live caches in
+// place.
 func (d *Document) bump() { d.version++ }
 
 // New creates a document over the given character content with the given
@@ -156,7 +176,9 @@ func (d *Document) AddHierarchy(name string) *Hierarchy {
 	h := &Hierarchy{doc: d, name: name}
 	d.hiers[name] = h
 	d.order = append(d.order, name)
-	d.bump()
+	// An element-free hierarchy contributes nothing to the derived
+	// indexes; keep live caches valid.
+	d.retainCaches()
 	return h
 }
 
@@ -177,7 +199,8 @@ func (d *Document) RemoveHierarchy(name string) bool {
 			break
 		}
 	}
-	d.bump()
+	// Only empty hierarchies are removable, so the indexes are untouched.
+	d.retainCaches()
 	return true
 }
 
@@ -238,7 +261,9 @@ func (d *Document) elementsLocked() []*Element {
 	}
 	out := make([]*Element, 0, 16)
 	for _, name := range d.order {
-		out = append(out, d.hiers[name].Elements()...)
+		// walkElements, not Elements: d.mu is held here and Elements
+		// takes it to probe the ordinal index.
+		out = append(out, d.hiers[name].walkElements()...)
 	}
 	sortElements(out)
 	d.elemCache = out

@@ -20,11 +20,31 @@ type spanIndex struct {
 // buildSpanIndex builds the tree. els must be sorted by span start,
 // which document order guarantees.
 func buildSpanIndex(els []*Element) *spanIndex {
-	ix := &spanIndex{els: els}
+	return rebuildSpanIndex(els, nil)
+}
+
+// rebuildSpanIndex builds the tree, reusing old's segment-tree array
+// when it is large enough — the edit path rebuilds the index on every
+// element insertion/removal, and reallocating 4n ints per edit would
+// dominate the repair cost (see repair.go). old (when non-nil) is
+// mutated and returned; per the mutation contract no reader runs
+// concurrently.
+func rebuildSpanIndex(els []*Element, old *spanIndex) *spanIndex {
+	ix := old
+	if ix == nil {
+		ix = &spanIndex{}
+	}
+	ix.els = els
 	if len(els) == 0 {
+		ix.maxEnd = ix.maxEnd[:0]
 		return ix
 	}
-	ix.maxEnd = make([]int, 4*len(els))
+	if n := 4 * len(els); cap(ix.maxEnd) >= n {
+		ix.maxEnd = ix.maxEnd[:n]
+	} else {
+		// Headroom beyond 4n so a run of insertions reallocates rarely.
+		ix.maxEnd = make([]int, n, n+n/2)
+	}
 	ix.build(1, 0, len(els))
 	return ix
 }

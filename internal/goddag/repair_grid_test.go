@@ -1,0 +1,177 @@
+package goddag_test
+
+// The corpus-grid differential for incremental index repair: a repaired
+// document (default mode) and a twin with repair disabled (every
+// mutation invalidates, every read rebuilds from scratch) receive
+// identical edit sequences; after every operation all public index views
+// — ordinal numbering, name index, span index, subtree intervals,
+// milestone list — must agree. This is the external, corpus-driven
+// complement of the white-box differential in repair_test.go.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/document"
+	"repro/internal/goddag"
+)
+
+// ordKey renders the full ordinal sequence of a document: position i
+// holds node i's kind, span, and (for elements) hierarchy and tag. Two
+// documents built by identical operation sequences must agree slot for
+// slot.
+func ordKey(d *goddag.Document) []string {
+	ord := d.Ordinals()
+	out := make([]string, ord.Len())
+	for i := range out {
+		switch n := ord.Node(i).(type) {
+		case *goddag.Element:
+			out[i] = fmt.Sprintf("e:%s:%s:%v", n.Hierarchy().Name(), n.Name(), n.Span())
+		case goddag.Leaf:
+			out[i] = fmt.Sprintf("l:%v", n.Span())
+		default:
+			out[i] = "root"
+		}
+	}
+	return out
+}
+
+func assertDocsAgree(t *testing.T, repaired, rebuilt *goddag.Document, tags []string) {
+	t.Helper()
+	a, b := ordKey(repaired), ordKey(rebuilt)
+	if len(a) != len(b) {
+		t.Fatalf("ordinal space: repaired %d vs rebuilt %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ordinal %d: repaired %s vs rebuilt %s", i, a[i], b[i])
+		}
+	}
+	for _, tag := range tags {
+		ea, eb := repaired.ElementsNamed(tag), rebuilt.ElementsNamed(tag)
+		if len(ea) != len(eb) {
+			t.Fatalf("ElementsNamed(%q): repaired %d vs rebuilt %d", tag, len(ea), len(eb))
+		}
+		for i := range ea {
+			if ea[i].Span() != eb[i].Span() || ea[i].Hierarchy().Name() != eb[i].Hierarchy().Name() {
+				t.Fatalf("ElementsNamed(%q)[%d]: repaired %v vs rebuilt %v", tag, i, ea[i], eb[i])
+			}
+		}
+	}
+	// Span index probes.
+	n := repaired.Content().Len()
+	for _, sp := range []document.Span{
+		document.NewSpan(0, n),
+		document.NewSpan(n/4, n/2),
+		document.NewSpan(n/2, n/2+1),
+	} {
+		ia, ib := repaired.ElementsIntersecting(sp), rebuilt.ElementsIntersecting(sp)
+		if len(ia) != len(ib) {
+			t.Fatalf("ElementsIntersecting(%v): repaired %d vs rebuilt %d", sp, len(ia), len(ib))
+		}
+		oa, ob := repaired.ElementsOverlapping(sp), rebuilt.ElementsOverlapping(sp)
+		if len(oa) != len(ob) {
+			t.Fatalf("ElementsOverlapping(%v): repaired %d vs rebuilt %d", sp, len(oa), len(ob))
+		}
+	}
+	// Subtree intervals (sampled).
+	orda, ordb := repaired.Ordinals(), rebuilt.Ordinals()
+	ea, eb := repaired.Elements(), rebuilt.Elements()
+	for i := 0; i < len(ea); i += 1 + len(ea)/16 {
+		if la, lb := len(orda.Subtree(ea[i])), len(ordb.Subtree(eb[i])); la != lb {
+			t.Fatalf("Subtree(%v): repaired %d vs rebuilt %d", ea[i], la, lb)
+		}
+	}
+	if la, lb := len(orda.EmptyElements()), len(ordb.EmptyElements()); la != lb {
+		t.Fatalf("EmptyElements: repaired %d vs rebuilt %d", la, lb)
+	}
+}
+
+// TestRepairCorpusGrid drives identical random edit sequences over
+// corpus-generated manuscripts (words × hierarchies × vocabulary grid)
+// against a repaired and a rebuild-from-scratch document and compares
+// every index view after every operation.
+func TestRepairCorpusGrid(t *testing.T) {
+	type gridCase struct {
+		words, hiers int
+		multibyte    bool
+	}
+	grid := []gridCase{
+		{words: 120, hiers: 2},
+		{words: 120, hiers: 4},
+		{words: 300, hiers: 2, multibyte: true},
+		{words: 300, hiers: 4},
+	}
+	tags := []string{"w", "dmg", "line", "edit", "never"}
+	for _, gc := range grid {
+		gc := gc
+		name := fmt.Sprintf("words=%d/h=%d/multibyte=%v", gc.words, gc.hiers, gc.multibyte)
+		t.Run(name, func(t *testing.T) {
+			cfg := corpus.DefaultConfig(gc.words)
+			cfg.Hierarchies = gc.hiers
+			if gc.multibyte {
+				cfg.Vocabulary = corpus.MultibyteVocabulary
+			}
+			repaired, err := corpus.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebuilt, err := corpus.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebuilt.SetIncrementalRepair(false)
+			repaired.Warm() // edits must hit live indexes
+			rebuilt.Warm()
+
+			rng := rand.New(rand.NewSource(int64(gc.words)<<4 ^ int64(gc.hiers)))
+			hiers := repaired.HierarchyNames()
+			n := repaired.Content().Len()
+			for op := 0; op < 40; op++ {
+				switch k := rng.Intn(8); {
+				case k < 4: // insert the same span into both documents
+					hier := hiers[rng.Intn(len(hiers))]
+					lo := rng.Intn(n + 1)
+					hi := lo
+					if rng.Intn(5) > 0 && lo < n {
+						hi = lo + 1 + rng.Intn(min(60, n-lo))
+					}
+					sp := document.NewSpan(lo, hi)
+					_, errA := repaired.InsertElement(repaired.Hierarchy(hier), "edit", nil, sp)
+					_, errB := rebuilt.InsertElement(rebuilt.Hierarchy(hier), "edit", nil, sp)
+					if (errA == nil) != (errB == nil) {
+						t.Fatalf("op %d: insert %s %v diverged: %v vs %v", op, hier, sp, errA, errB)
+					}
+				case k < 6: // remove the i-th element of one hierarchy
+					hier := hiers[rng.Intn(len(hiers))]
+					elsA := repaired.Hierarchy(hier).Elements()
+					elsB := rebuilt.Hierarchy(hier).Elements()
+					if len(elsA) == 0 {
+						continue
+					}
+					if len(elsA) != len(elsB) {
+						t.Fatalf("op %d: hierarchy %q sizes diverged: %d vs %d", op, hier, len(elsA), len(elsB))
+					}
+					i := rng.Intn(len(elsA))
+					if err := repaired.RemoveElement(elsA[i]); err != nil {
+						t.Fatalf("op %d: remove repaired: %v", op, err)
+					}
+					if err := rebuilt.RemoveElement(elsB[i]); err != nil {
+						t.Fatalf("op %d: remove rebuilt: %v", op, err)
+					}
+				default: // attribute edits: must never disturb any index
+					elsA := repaired.Elements()
+					if len(elsA) == 0 {
+						continue
+					}
+					i := rng.Intn(len(elsA))
+					elsA[i].SetAttr("mark", fmt.Sprint(op))
+					rebuilt.Elements()[i].SetAttr("mark", fmt.Sprint(op))
+				}
+				assertDocsAgree(t, repaired, rebuilt, tags)
+			}
+		})
+	}
+}

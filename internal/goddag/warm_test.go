@@ -43,20 +43,51 @@ func TestWarmBuildsAllIndexes(t *testing.T) {
 }
 
 func TestWarmInvalidatedByMutation(t *testing.T) {
+	// With incremental repair (the default), an element insertion keeps
+	// the warm indexes live and already reflecting the new element.
 	d := buildWarmDoc(t)
 	d.Warm()
 	if _, err := d.InsertElement(d.Hierarchy("words"), "w", nil, document.NewSpan(10, 12)); err != nil {
 		t.Fatal(err)
 	}
 	d.mu.Lock()
-	stale := d.ordVer != d.version
+	live := d.ordVer == d.version && d.elemCacheVer == d.version
+	d.mu.Unlock()
+	if !live {
+		t.Fatal("element insertion did not repair warm indexes in place")
+	}
+	if got := len(d.ElementsNamed("w")); got != 3 {
+		t.Fatalf("ElementsNamed(w) after repaired insert = %d, want 3", got)
+	}
+
+	// With repair disabled, the same mutation invalidates and the next
+	// Warm rebuilds from scratch.
+	d2 := buildWarmDoc(t)
+	d2.SetIncrementalRepair(false)
+	d2.Warm()
+	if _, err := d2.InsertElement(d2.Hierarchy("words"), "w", nil, document.NewSpan(10, 12)); err != nil {
+		t.Fatal(err)
+	}
+	d2.mu.Lock()
+	stale := d2.ordVer != d2.version
+	d2.mu.Unlock()
+	if !stale {
+		t.Fatal("mutation did not invalidate warm indexes with repair disabled")
+	}
+	d2.Warm() // re-warm must observe the new element
+	if got := len(d2.ElementsNamed("w")); got != 3 {
+		t.Fatalf("ElementsNamed(w) after re-warm = %d, want 3", got)
+	}
+
+	// A text edit falls back to invalidation even with repair enabled.
+	if err := d.InsertText(0, "x "); err != nil {
+		t.Fatal(err)
+	}
+	d.mu.Lock()
+	stale = d.ordVer != d.version
 	d.mu.Unlock()
 	if !stale {
-		t.Fatal("mutation did not invalidate warm indexes")
-	}
-	d.Warm() // re-warm must observe the new element
-	if got := len(d.ElementsNamed("w")); got != 3 {
-		t.Fatalf("ElementsNamed(w) after re-warm = %d, want 3", got)
+		t.Fatal("text edit did not invalidate warm indexes")
 	}
 }
 

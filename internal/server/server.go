@@ -1,21 +1,50 @@
 // Package server exposes a catalog of concurrent XML documents as an
-// HTTP query service — the serving layer that turns the framework's
-// engine (GODDAG + Extended XPath + FLWOR) into a system. It builds
-// directly on the concurrency contract of package goddag: documents are
-// read-only once loaded, so any number of requests evaluate against the
-// same document in parallel, and compiled queries are stateless between
-// evaluations, so one compiled form is shared by all requests.
+// HTTP query *and editing* service — the serving layer that turns the
+// framework's engine (GODDAG + Extended XPath + FLWOR + the xTagger
+// editing model) into a system. Reads run under each document's read
+// lock (catalog.View): any number of requests evaluate against the same
+// document in parallel, and compiled queries are stateless between
+// evaluations, so one compiled form is shared by all requests. Writes
+// run under the write lock (catalog.Update): each edit request is one
+// editor transaction — prevalidated per operation, vetoed atomically —
+// whose commit repairs the document's indexes in place and persists the
+// document through the store's atomic save, so a query racing an edit
+// sees either the old or the new state, never a torn one.
 //
 // Endpoints:
 //
-//	POST   /query    evaluate an Extended XPath or FLWOR query
-//	GET    /docs     list catalogued documents with per-document stats
-//	GET    /docs/ID  one document's stats (?load=1 forces a load and adds
-//	                 document structure counts)
-//	DELETE /docs/ID  evict the document (or clear a cached load failure,
-//	                 so a fixed source can reload without a restart)
-//	GET    /healthz  liveness probe
-//	GET    /stats    catalog + server counters
+//	POST   /query         evaluate an Extended XPath or FLWOR query
+//	GET    /docs          list catalogued documents with per-document stats
+//	GET    /docs/ID       one document's stats (?load=1 forces a load and
+//	                      adds document structure counts)
+//	DELETE /docs/ID       evict the document (or clear a cached load
+//	                      failure, so a fixed source can reload without a
+//	                      restart); refused for unsaved edits
+//	POST   /docs/ID/edit  apply a JSON op batch as one transaction
+//	POST   /docs/ID/undo  revert the most recent committed transaction
+//	POST   /docs/ID/redo  re-apply the most recently undone transaction
+//	GET    /healthz       liveness probe
+//	GET    /stats         catalog + server counters
+//
+// POST /docs/{id}/edit takes a JSON body with one op batch:
+//
+//	{"ops": [
+//	  {"op":"insert-markup","hierarchy":"words","tag":"w","start":0,"end":4,
+//	   "attrs":{"lemma":"swa"}},
+//	  {"op":"remove-markup","hierarchy":"words","index":3},
+//	  {"op":"set-attr","hierarchy":"words","index":0,"name":"kind","value":"noun"},
+//	  {"op":"remove-attr","hierarchy":"words","index":0,"name":"kind"}
+//	]}
+//
+// Spans are byte offsets into the document content (the GODDAG's native
+// coordinates); elements are addressed by hierarchy plus document-order
+// index *at the time the op applies* (earlier ops in the batch shift
+// later indices). The batch is one editor transaction: every op is
+// prevalidated against the mid-batch state, and the first failure vetoes
+// the whole batch — the response is then a 422 with the failing op's
+// index and, when prevalidation raised it, the structured violation.
+// Committed batches persist before the response is sent; undo/redo also
+// persist. Config.ReadOnly disables all three write endpoints with 403.
 //
 // POST /query takes a JSON body:
 //
@@ -39,11 +68,13 @@
 package server
 
 import (
+	"bytes"
 	"container/list"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +83,10 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/document"
+	"repro/internal/editor"
+	"repro/internal/goddag"
+	"repro/internal/validate"
 	"repro/internal/xpath"
 	"repro/internal/xquery"
 )
@@ -69,6 +104,11 @@ type Config struct {
 	// Timeout bounds the total handling time of a /query request; when it
 	// expires the client gets 503 (default 0: no timeout).
 	Timeout time.Duration
+	// ReadOnly disables the edit, undo, and redo endpoints (403).
+	ReadOnly bool
+	// MaxOps bounds the operations accepted in one edit batch
+	// (default 1000; <0 means unlimited).
+	MaxOps int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +120,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxResults == 0 {
 		c.MaxResults = 10000
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = 1000
 	}
 	return c
 }
@@ -160,7 +203,53 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "unknown format %q (json, text, count)", req.Format)
 		return
 	}
-	doc, err := s.cat.Get(req.Doc)
+	// The request limit can only tighten the operator's cap, never raise
+	// it: MaxResults stays a hard ceiling on encoded nodes per response.
+	limit := s.cfg.MaxResults
+	if req.Limit > 0 && (limit <= 0 || req.Limit < limit) {
+		limit = req.Limit
+	}
+
+	// Evaluation AND response encoding run under the document's read
+	// lock: node-set results reference live document structure, so an
+	// edit must not land between Eval and encode. The encoded response
+	// is buffered and written to the client only after the lock is
+	// released — a stalled client must not pin the read side and stall a
+	// queued writer (and, behind it, every later reader).
+	br := newBufferedResponse()
+	err := s.cat.View(req.Doc, func(doc *core.Document) error {
+		start := time.Now()
+		if req.FLWOR != "" {
+			s.serveFLWOR(br, doc, req, limit, start)
+			return nil
+		}
+		q, err := s.cache.xpath(req.Query)
+		if err != nil {
+			s.failBuf(br, http.StatusBadRequest, "%v", err)
+			return nil
+		}
+		v, err := q.Eval(doc.GODDAG())
+		if err != nil {
+			s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
+			return nil
+		}
+		elapsed := time.Since(start)
+		switch req.Format {
+		case "", "json":
+			enc := cliutil.EncodeValue(v, limit)
+			s.okBuf(br, QueryResponse{
+				Doc: req.Doc, Query: req.Query, Result: &enc,
+				ElapsedUS: elapsed.Microseconds(),
+			})
+		case "text":
+			br.contentType = "text/plain; charset=utf-8"
+			cliutil.WriteValue(&br.body, v, false, limit)
+		case "count":
+			br.contentType = "text/plain; charset=utf-8"
+			cliutil.WriteValue(&br.body, v, true, 0)
+		}
+		return nil
+	})
 	if err != nil {
 		var nf *catalog.ErrNotFound
 		if errors.As(err, &nf) {
@@ -170,54 +259,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	// The request limit can only tighten the operator's cap, never raise
-	// it: MaxResults stays a hard ceiling on encoded nodes per response.
-	limit := s.cfg.MaxResults
-	if req.Limit > 0 && (limit <= 0 || req.Limit < limit) {
-		limit = req.Limit
-	}
-
-	start := time.Now()
-	if req.FLWOR != "" {
-		s.serveFLWOR(w, doc, req, limit, start)
-		return
-	}
-	q, err := s.cache.xpath(req.Query)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	v, err := q.Eval(doc.GODDAG())
-	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	elapsed := time.Since(start)
-	switch req.Format {
-	case "", "json":
-		enc := cliutil.EncodeValue(v, limit)
-		s.ok(w, QueryResponse{
-			Doc: req.Doc, Query: req.Query, Result: &enc,
-			ElapsedUS: elapsed.Microseconds(),
-		})
-	case "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		cliutil.WriteValue(w, v, false, limit)
-	case "count":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		cliutil.WriteValue(w, v, true, 0)
-	}
+	br.flush(w)
 }
 
-func (s *Server) serveFLWOR(w http.ResponseWriter, doc *core.Document, req QueryRequest, limit int, start time.Time) {
+// bufferedResponse accumulates one response while a document lock is
+// held, so the client-paced socket write happens after release.
+type bufferedResponse struct {
+	status      int
+	contentType string
+	body        bytes.Buffer
+}
+
+func newBufferedResponse() *bufferedResponse {
+	return &bufferedResponse{status: http.StatusOK, contentType: "application/json"}
+}
+
+func (br *bufferedResponse) flush(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", br.contentType)
+	w.WriteHeader(br.status)
+	w.Write(br.body.Bytes())
+}
+
+// okBuf encodes a JSON success body into the buffer.
+func (s *Server) okBuf(br *bufferedResponse, v any) {
+	enc := json.NewEncoder(&br.body)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// failBuf records a JSON error response in the buffer.
+func (s *Server) failBuf(br *bufferedResponse, code int, format string, args ...any) {
+	s.errors.Add(1)
+	br.status = code
+	br.contentType = "application/json"
+	br.body.Reset()
+	json.NewEncoder(&br.body).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) serveFLWOR(br *bufferedResponse, doc *core.Document, req QueryRequest, limit int, start time.Time) {
 	q, err := s.cache.flwor(req.FLWOR)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.failBuf(br, http.StatusBadRequest, "%v", err)
 		return
 	}
 	vals, err := q.Eval(doc.GODDAG())
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	elapsed := time.Since(start)
@@ -250,16 +337,16 @@ func (s *Server) serveFLWOR(w http.ResponseWriter, doc *core.Document, req Query
 			}
 			out = append(out, enc)
 		}
-		s.ok(w, QueryResponse{
+		s.okBuf(br, QueryResponse{
 			Doc: req.Doc, Query: req.FLWOR, Results: out, Truncated: truncated,
 			ElapsedUS: elapsed.Microseconds(),
 		})
 	case "text":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		cliutil.WriteFLWOR(w, vals, false, limit)
+		br.contentType = "text/plain; charset=utf-8"
+		cliutil.WriteFLWOR(&br.body, vals, false, limit)
 	case "count":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		cliutil.WriteFLWOR(w, vals, true, 0)
+		br.contentType = "text/plain; charset=utf-8"
+		cliutil.WriteFLWOR(&br.body, vals, true, 0)
 	}
 }
 
@@ -284,13 +371,26 @@ type DocResponse struct {
 
 func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if r.Method != http.MethodGet && r.Method != http.MethodDelete {
-		s.fail(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+	rest := strings.TrimPrefix(r.URL.Path, "/docs/")
+	id, action, _ := strings.Cut(rest, "/")
+	if id == "" || strings.Contains(action, "/") {
+		s.fail(w, http.StatusNotFound, "bad document path %q", rest)
 		return
 	}
-	id := strings.TrimPrefix(r.URL.Path, "/docs/")
-	if id == "" || strings.Contains(id, "/") {
-		s.fail(w, http.StatusNotFound, "bad document id %q", id)
+	switch action {
+	case "":
+	case "edit":
+		s.handleEdit(w, r, id)
+		return
+	case "undo", "redo":
+		s.handleHistory(w, r, id, action)
+		return
+	default:
+		s.fail(w, http.StatusNotFound, "unknown document action %q", action)
+		return
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodDelete {
+		s.fail(w, http.StatusMethodNotAllowed, "GET or DELETE only")
 		return
 	}
 	ds, ok := s.cat.Doc(id)
@@ -301,7 +401,7 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodDelete {
 		// Drop the resident document or clear a cached load failure —
 		// the operator's lever for reloading a fixed source without a
-		// process restart.
+		// process restart. Documents with unsaved edits are refused.
 		s.ok(w, map[string]bool{"evicted": s.cat.Evict(id)})
 		return
 	}
@@ -314,15 +414,259 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 		resp.DocStats, _ = s.cat.Doc(id)
 	}
 	if resp.Resident {
-		if doc, err := s.cat.Get(id); err == nil {
+		// Structure counts read live document state: take the read lock
+		// so a concurrent edit cannot tear them.
+		_ = s.cat.View(id, func(doc *core.Document) error {
 			g := doc.GODDAG()
 			st := g.Stats()
 			resp.Hierarchies = g.HierarchyNames()
 			resp.Elements = st.Elements
 			resp.Leaves = st.Leaves
 			resp.ContentLen = st.ContentLen
-		}
+			return nil
+		})
 	}
+	s.ok(w, resp)
+}
+
+// EditOp is one operation of a POST /docs/{id}/edit batch. Op selects
+// the shape: "insert-markup" (hierarchy, tag, start, end, attrs),
+// "remove-markup" (hierarchy, index), "set-attr" (hierarchy, index,
+// name, value), "remove-attr" (hierarchy, index, name). Start/end are
+// byte offsets; index addresses the hierarchy's elements in document
+// order at the time the op applies.
+type EditOp struct {
+	Op        string            `json:"op"`
+	Hierarchy string            `json:"hierarchy"`
+	Tag       string            `json:"tag,omitempty"`
+	Start     int               `json:"start,omitempty"`
+	End       int               `json:"end,omitempty"`
+	Index     int               `json:"index,omitempty"`
+	Name      string            `json:"name,omitempty"`
+	Value     string            `json:"value,omitempty"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+}
+
+// EditRequest is the POST /docs/{id}/edit body.
+type EditRequest struct {
+	Ops []EditOp `json:"ops"`
+}
+
+// EditResponse is the success response of an edit, undo, or redo: the
+// post-commit document shape plus persistence state.
+type EditResponse struct {
+	Doc       string `json:"doc"`
+	Applied   int    `json:"applied"` // ops committed (edit), 1 for undo/redo
+	Elements  int    `json:"elements"`
+	Leaves    int    `json:"leaves"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+// EditViolation is the structured form of a prevalidation violation or
+// markup conflict that vetoed an edit batch.
+type EditViolation struct {
+	Hierarchy string `json:"hierarchy,omitempty"`
+	Element   string `json:"element,omitempty"`
+	Code      string `json:"code,omitempty"` // validate.Code name, or "conflict"
+	Message   string `json:"message"`
+}
+
+// EditErrorResponse is the 422 response for a vetoed batch: the failing
+// op's index and the reason, structured when prevalidation raised it.
+type EditErrorResponse struct {
+	Error      string          `json:"error"`
+	Op         int             `json:"op"`
+	Violations []EditViolation `json:"violations,omitempty"`
+}
+
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request, id string) {
+	if s.cfg.ReadOnly {
+		s.fail(w, http.StatusForbidden, "server is read-only")
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req EditRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty op batch")
+		return
+	}
+	if s.cfg.MaxOps > 0 && len(req.Ops) > s.cfg.MaxOps {
+		s.fail(w, http.StatusBadRequest, "batch of %d ops exceeds limit %d", len(req.Ops), s.cfg.MaxOps)
+		return
+	}
+	start := time.Now()
+	failedOp := -1
+	var resp EditResponse
+	err := s.cat.Update(id, func(doc *core.Document) error {
+		tx, err := doc.Edit().Begin()
+		if err != nil {
+			return err
+		}
+		for i, op := range req.Ops {
+			if err := applyEditOp(tx, doc, op); err != nil {
+				failedOp = i
+				tx.Rollback()
+				return fmt.Errorf("op %d (%s): %w", i, op.Op, err)
+			}
+		}
+		// Commit cannot fail here: every op error returned above, and an
+		// unpoisoned transaction always commits.
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		st := doc.GODDAG().Stats()
+		resp = EditResponse{Doc: id, Applied: len(req.Ops), Elements: st.Elements, Leaves: st.Leaves}
+		return nil
+	})
+	if err != nil {
+		s.failEdit(w, id, err, failedOp)
+		return
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	s.ok(w, resp)
+}
+
+// failEdit maps an edit failure to its status code and structured body.
+func (s *Server) failEdit(w http.ResponseWriter, id string, err error, failedOp int) {
+	var nf *catalog.ErrNotFound
+	if errors.As(err, &nf) {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if failedOp < 0 {
+		// Not an op veto: load or persistence failure.
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := EditErrorResponse{Error: err.Error(), Op: failedOp}
+	var viol validate.Violation
+	var conflict *goddag.ConflictError
+	switch {
+	case errors.As(err, &viol):
+		ev := EditViolation{Hierarchy: viol.Hierarchy, Code: viol.Code.String(), Message: viol.Msg}
+		if viol.Element != nil {
+			ev.Element = viol.Element.String()
+		}
+		resp.Violations = append(resp.Violations, ev)
+	case errors.As(err, &conflict):
+		resp.Violations = append(resp.Violations, EditViolation{
+			Hierarchy: conflict.Hierarchy, Code: "conflict", Message: conflict.Error(),
+		})
+	}
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusUnprocessableEntity)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(resp)
+}
+
+// applyEditOp translates one wire op into a transaction operation.
+func applyEditOp(tx *editor.Tx, doc *core.Document, op EditOp) error {
+	switch op.Op {
+	case "insert-markup":
+		if op.Hierarchy == "" || op.Tag == "" {
+			return fmt.Errorf("insert-markup needs hierarchy and tag")
+		}
+		attrs := make([]goddag.Attr, 0, len(op.Attrs))
+		for name, value := range op.Attrs {
+			attrs = append(attrs, goddag.Attr{Name: name, Value: value})
+		}
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+		_, err := tx.InsertMarkup(op.Hierarchy, op.Tag, document.NewSpan(op.Start, op.End), attrs...)
+		return err
+	case "remove-markup":
+		el, err := resolveElement(doc, op)
+		if err != nil {
+			return err
+		}
+		return tx.RemoveMarkup(el)
+	case "set-attr":
+		el, err := resolveElement(doc, op)
+		if err != nil {
+			return err
+		}
+		if op.Name == "" {
+			return fmt.Errorf("set-attr needs an attribute name")
+		}
+		return tx.SetAttr(el, op.Name, op.Value)
+	case "remove-attr":
+		el, err := resolveElement(doc, op)
+		if err != nil {
+			return err
+		}
+		if op.Name == "" {
+			return fmt.Errorf("remove-attr needs an attribute name")
+		}
+		return tx.RemoveAttr(el, op.Name)
+	default:
+		return fmt.Errorf("unknown op %q (insert-markup, remove-markup, set-attr, remove-attr)", op.Op)
+	}
+}
+
+// resolveElement addresses an element by hierarchy and document-order
+// index against the current (mid-transaction) document state.
+func resolveElement(doc *core.Document, op EditOp) (*goddag.Element, error) {
+	if op.Hierarchy == "" {
+		return nil, fmt.Errorf("%s needs a hierarchy", op.Op)
+	}
+	h := doc.GODDAG().Hierarchy(op.Hierarchy)
+	if h == nil {
+		return nil, fmt.Errorf("unknown hierarchy %q", op.Hierarchy)
+	}
+	el, ok := h.ElementAt(op.Index)
+	if !ok {
+		return nil, fmt.Errorf("element index %d out of range [0,%d) in hierarchy %q", op.Index, h.Len(), op.Hierarchy)
+	}
+	return el, nil
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, id, action string) {
+	if s.cfg.ReadOnly {
+		s.fail(w, http.StatusForbidden, "server is read-only")
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	start := time.Now()
+	var resp EditResponse
+	err := s.cat.Update(id, func(doc *core.Document) error {
+		var err error
+		if action == "undo" {
+			err = doc.Edit().Undo()
+		} else {
+			err = doc.Edit().Redo()
+		}
+		if err != nil {
+			return err
+		}
+		st := doc.GODDAG().Stats()
+		resp = EditResponse{Doc: id, Applied: 1, Elements: st.Elements, Leaves: st.Leaves}
+		return nil
+	})
+	if err != nil {
+		var nf *catalog.ErrNotFound
+		switch {
+		case errors.As(err, &nf):
+			s.fail(w, http.StatusNotFound, "%v", err)
+		case errors.Is(err, editor.ErrNothingToUndo), errors.Is(err, editor.ErrNothingToRedo):
+			s.fail(w, http.StatusConflict, "%v", err)
+		default:
+			s.fail(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
 	s.ok(w, resp)
 }
 

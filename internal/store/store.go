@@ -30,6 +30,8 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
 	"repro/internal/document"
 	"repro/internal/goddag"
@@ -82,6 +84,49 @@ func Encode(w io.Writer, doc *goddag.Document) error {
 		return fmt.Errorf("store: encode: %w", err)
 	}
 	return bw.Flush()
+}
+
+// Save writes doc to path atomically: it encodes into a temporary file
+// in the target's directory, syncs it, and renames it over the target.
+// A crash or encode failure never leaves a partial file at path — the
+// durability contract the catalog's save-on-commit persistence relies
+// on. Encode output is deterministic for a given document, so saving
+// and reloading reproduces the file byte-identically.
+func Save(path string, doc *goddag.Document) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".gdag-tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			os.Remove(tmp)
+		}
+	}()
+	if err := Encode(f, doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	tmp = "" // renamed; nothing to clean up
+	// Sync the directory so the rename itself is durable: without it a
+	// power loss after a successful Save can roll the directory entry
+	// back to the old file. Best-effort on filesystems that refuse
+	// directory syncs.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
 }
 
 // record is one stored element, read back from a file body.
