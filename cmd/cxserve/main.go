@@ -43,6 +43,17 @@
 // per-document read locks, edit batches under the write lock, so
 // readers always see a consistent snapshot.
 //
+// Durability: with -wal (the default) every committed edit batch is
+// appended to a per-document write-ahead log (<id>.wal, next to the
+// source) and fsynced before it applies; a crash before the full save
+// lands is recovered by replaying the log on the next start. A disk
+// that keeps failing degrades the affected document — then the whole
+// catalog — to read-only (503 on writes; /healthz reports "degraded")
+// while reads continue. -max-inflight bounds concurrently served
+// requests; excess load is shed with 503 + Retry-After instead of
+// queuing without bound, and handler panics are logged and answered
+// with a JSON 500 rather than killing the connection.
+//
 // Examples:
 //
 //	cxserve -dir corpus &
@@ -79,22 +90,25 @@ func main() {
 		maxBody    = flag.Int64("max-body", 1<<20, "maximum /query body bytes")
 		maxResults = flag.Int("max-results", 10000, "default cap on encoded result nodes (-1 = unlimited)")
 		readonly   = flag.Bool("readonly", false, "disable the edit/undo/redo endpoints")
+		wal        = flag.Bool("wal", true, "write-ahead log edit batches for crash recovery")
+		inflight   = flag.Int("max-inflight", 256, "maximum concurrently served requests (-1 = unlimited)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fatal(errors.New("missing -dir corpus directory"))
 	}
 
-	cat, err := catalog.Open(*dir, catalog.Options{Budget: *budgetMB << 20})
+	cat, err := catalog.Open(*dir, catalog.Options{Budget: *budgetMB << 20, DisableWAL: !*wal})
 	if err != nil {
 		fatal(err)
 	}
 	srv := server.New(cat, server.Config{
-		QueryCache: *cacheSize,
-		MaxBody:    *maxBody,
-		MaxResults: *maxResults,
-		Timeout:    *timeout,
-		ReadOnly:   *readonly,
+		QueryCache:  *cacheSize,
+		MaxBody:     *maxBody,
+		MaxResults:  *maxResults,
+		Timeout:     *timeout,
+		ReadOnly:    *readonly,
+		MaxInflight: *inflight,
 	})
 
 	hs := &http.Server{

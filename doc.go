@@ -70,6 +70,24 @@
 // store's binary format, which cold-loads through the same
 // goddag.BulkBuilder fast path as the SACX parser.
 //
+// Durability and recovery: the write path is crash-safe by
+// append-before-apply. Each committed edit batch is serialized, appended
+// to a per-document write-ahead log (<id>.wal, CRC-framed; package
+// store), and fsynced BEFORE the batch is applied and the indexes
+// repaired — the log fsync is the commit point. A successful full save
+// resets the log; a crash at any point is recovered on the next catalog
+// open by replaying the surviving log tail against the saved base, with
+// each record gated on a fingerprint of the state it was logged against
+// so a batch that already reached the base is never applied twice (torn
+// tails are detected by checksum and truncated). Failed saves retry with
+// capped exponential backoff; a disk that keeps failing degrades the
+// document — then the whole catalog — to read-only (writes answer 503,
+// reads keep serving, /healthz reports the degradation) rather than
+// wedging or silently dropping edits. All store and WAL I/O flows
+// through internal/faultfs, a filesystem seam whose fault injector lets
+// the tests drive ENOSPC/EIO at every write, sync, and rename, and
+// simulate power cuts at each point of the commit sequence.
+//
 // Quick start:
 //
 //	doc, err := repro.Parse([]repro.Source{

@@ -48,6 +48,7 @@
 package catalog
 
 import (
+	"bytes"
 	"container/list"
 	"fmt"
 	"os"
@@ -55,9 +56,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/store"
 )
 
@@ -68,12 +71,68 @@ type Options struct {
 	// recently used document is never evicted, so a single document
 	// larger than the budget still serves.
 	Budget int64
+
+	// FS is the filesystem the durability layer (saves and write-ahead
+	// logs) runs on. Nil means the real one; tests inject faults through
+	// a faultfs.Injector.
+	FS faultfs.FS
+
+	// DisableWAL turns off per-document write-ahead logging. With the
+	// WAL on (the default), every committed edit is durable once its
+	// log record is fsynced — before the document's indexes are even
+	// repaired — and a crash replays the log tail on the next open.
+	// Disabled, durability reverts to save-on-commit alone: an edit
+	// whose save fails survives only in memory.
+	DisableWAL bool
+
+	// SaveRetries is the number of attempts each commit's save gets
+	// before it is declared failed (default 3). Retries back off
+	// exponentially from RetryBase (default 5ms) capped at RetryCap
+	// (default 250ms).
+	SaveRetries int
+	RetryBase   time.Duration
+	RetryCap    time.Duration
+
+	// FailThreshold is the number of consecutive failed persists after
+	// which a document degrades to read-only; the whole catalog degrades
+	// at twice that. Default 3. Degradation is sticky until restart.
+	FailThreshold int
+
+	// NegCacheTTL bounds how long a failed load is served from the
+	// negative cache before the source is retried; repeated failures
+	// back off exponentially (capped at 64x). Zero means the 1s
+	// default; negative caches failures until Evict, the pre-WAL
+	// behavior.
+	NegCacheTTL time.Duration
 }
+
+// Durability defaults (see Options).
+const (
+	defaultSaveRetries   = 3
+	defaultRetryBase     = 5 * time.Millisecond
+	defaultRetryCap      = 250 * time.Millisecond
+	defaultFailThreshold = 3
+	defaultNegCacheTTL   = time.Second
+)
 
 // Catalog serves documents from a directory. Create one with Open.
 type Catalog struct {
 	dir    string
 	budget int64
+
+	// Durability configuration, fixed at Open.
+	fsys          faultfs.FS
+	walOn         bool
+	saveRetries   int
+	retryBase     time.Duration
+	retryCap      time.Duration
+	failThreshold int
+	negTTL        time.Duration
+
+	// now and sleep are the clock seams: tests pin them to step time
+	// through negative-cache TTLs and retry backoffs instantly.
+	now   func() time.Time
+	sleep func(time.Duration)
 
 	mu       sync.Mutex
 	entries  map[string]*entry
@@ -84,6 +143,13 @@ type Catalog struct {
 	loads     uint64
 	hits      uint64
 	evictions uint64
+
+	// Durability counters and catalog-wide degradation (guarded by mu).
+	recovered    uint64 // documents that replayed at least one WAL record
+	replayed     uint64 // WAL records applied across all recoveries
+	saveFailures uint64 // commits whose save failed after retries
+	failStreak   int    // consecutive failed persists, catalog-wide
+	readOnly     bool   // degraded: persistent storage failures
 
 	// onLoad, when set (tests), runs inside each document load, after the
 	// load has been registered as in-flight and before its result is
@@ -105,7 +171,12 @@ type entry struct {
 
 	loads   uint64
 	hits    uint64
-	lastErr error // failed load, cached until Evict clears it
+	lastErr error // failed load, negative-cached until retryAt (or Evict)
+
+	// Negative-cache state: a failed load is served from lastErr until
+	// retryAt, then retried; errCount drives the exponential backoff.
+	retryAt  time.Time
+	errCount int
 
 	flight *flight // in-progress load, nil otherwise
 
@@ -117,6 +188,24 @@ type entry struct {
 	editing int    // Updates in flight or queued (guards eviction)
 	dirty   bool   // edited state not yet persisted (save failed)
 	edits   uint64 // committed edit transactions
+
+	// Write-ahead log state. wal is opened on first load (replaying any
+	// surviving records) and kept for the entry's lifetime; it is only
+	// touched under the singleflight load or the entry's write lock.
+	wal      *store.WAL
+	replayed uint64 // WAL records applied into this document at load
+
+	// fp caches the document's persisted-state fingerprint (the WAL
+	// record pre-state stamp) so back-to-back edit batches do not pay an
+	// encode pass each to recompute it. Guarded by rw (write side).
+	fp      uint32
+	fpValid bool
+
+	// Degradation state (guarded by Catalog.mu): consecutive failed
+	// persists; at the catalog's FailThreshold the document becomes
+	// read-only until restart.
+	persistFails int
+	readOnly     bool
 }
 
 // flight is one in-progress load; concurrent Gets of the same cold
@@ -134,13 +223,44 @@ type ErrNotFound struct{ ID string }
 func (e *ErrNotFound) Error() string { return fmt.Sprintf("catalog: no document %q", e.ID) }
 
 // Open scans dir and returns a catalog of the documents found. No
-// document is loaded yet.
+// document is loaded yet, with one exception: documents that left a
+// non-empty write-ahead log behind (a crash between an edit commit and
+// its save) are loaded eagerly so their logged edits are replayed and
+// re-persisted before the catalog starts serving. A recovery failure
+// does not fail Open — it is cached on the entry like any load error.
 func Open(dir string, opts Options) (*Catalog, error) {
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	c := &Catalog{dir: dir, budget: opts.Budget, entries: make(map[string]*entry), lru: list.New()}
+	c.fsys = opts.FS
+	if c.fsys == nil {
+		c.fsys = faultfs.OS
+	}
+	c.walOn = !opts.DisableWAL
+	c.saveRetries = opts.SaveRetries
+	if c.saveRetries <= 0 {
+		c.saveRetries = defaultSaveRetries
+	}
+	c.retryBase = opts.RetryBase
+	if c.retryBase <= 0 {
+		c.retryBase = defaultRetryBase
+	}
+	c.retryCap = opts.RetryCap
+	if c.retryCap <= 0 {
+		c.retryCap = defaultRetryCap
+	}
+	c.failThreshold = opts.FailThreshold
+	if c.failThreshold <= 0 {
+		c.failThreshold = defaultFailThreshold
+	}
+	c.negTTL = opts.NegCacheTTL
+	if c.negTTL == 0 {
+		c.negTTL = defaultNegCacheTTL
+	}
+	c.now = time.Now
+	c.sleep = time.Sleep
 	for _, de := range des {
 		name := de.Name()
 		if strings.HasPrefix(name, ".") {
@@ -178,6 +298,13 @@ func Open(dir string, opts Options) (*Catalog, error) {
 		c.add(strings.TrimSuffix(name, ext), []string{filepath.Join(dir, name)}, format)
 	}
 	sort.Strings(c.ids)
+	if c.walOn {
+		for _, id := range c.ids {
+			if fi, err := c.fsys.Stat(c.walPath(id)); err == nil && fi.Size() > store.WALHeaderLen {
+				c.Get(id) // replay + converge; errors are cached on the entry
+			}
+		}
+	}
 	return c, nil
 }
 
@@ -225,11 +352,15 @@ func (c *Catalog) Get(id string) (*core.Document, error) {
 	}
 	if e.lastErr != nil {
 		// Negative cache: a failed load costs a full parse, so a broken
-		// source keeps returning its error without re-parsing until
-		// Evict clears it (e.g. after the file is fixed).
-		err := e.lastErr
-		c.mu.Unlock()
-		return nil, err
+		// source keeps returning its error without re-parsing — but only
+		// until the TTL expires (repeated failures back off), so a
+		// transiently broken source heals without a manual Evict.
+		if c.negTTL < 0 || c.now().Before(e.retryAt) {
+			err := e.lastErr
+			c.mu.Unlock()
+			return nil, err
+		}
+		e.lastErr = nil // expired: retry the load below
 	}
 	if f := e.flight; f != nil {
 		// Singleflight: somebody else is already loading; share the result.
@@ -251,20 +382,25 @@ func (c *Catalog) Get(id string) (*core.Document, error) {
 		e.bytes = bytes
 		e.loads++
 		c.loads++
+		e.errCount = 0
 		e.elem = c.lru.PushFront(e)
 		c.resident += bytes
 		c.evictLocked()
 	} else {
 		e.lastErr = err
+		e.errCount++
+		backoff := c.negTTL << min(e.errCount-1, 6) // caps at 64x TTL
+		e.retryAt = c.now().Add(backoff)
 	}
 	c.mu.Unlock()
 	close(f.done)
 	return doc, err
 }
 
-// load parses one document from its source files and pre-warms its query
-// indexes. Runs without the catalog lock: loads of *different* documents
-// proceed in parallel.
+// load parses one document from its source files, replays any surviving
+// write-ahead-log records into it, and pre-warms its query indexes. Runs
+// without the catalog lock: loads of *different* documents proceed in
+// parallel.
 func (c *Catalog) load(e *entry) (*core.Document, int64, error) {
 	if c.onLoad != nil {
 		c.onLoad(e.id)
@@ -272,6 +408,12 @@ func (c *Catalog) load(e *entry) (*core.Document, int64, error) {
 	doc, err := cliutil.Load(e.format, e.paths)
 	if err != nil {
 		return nil, 0, fmt.Errorf("catalog: load %q: %w", e.id, err)
+	}
+	if c.walOn {
+		doc, err = c.recover(e, doc)
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 	g := doc.GODDAG()
 	g.Warm()
@@ -317,7 +459,10 @@ func (c *Catalog) Evict(id string) bool {
 		return false
 	}
 	if e.lastErr != nil {
+		// Manual clear: forget the failure and its backoff entirely.
 		e.lastErr = nil
+		e.errCount = 0
+		e.retryAt = time.Time{}
 		return true
 	}
 	if e.doc == nil || e.dirty || e.editing > 0 {
@@ -358,30 +503,19 @@ func (c *Catalog) View(id string, fn func(*core.Document) error) error {
 //
 // A failed save leaves the in-memory edit in place and the entry marked
 // dirty: the document keeps serving and cannot be evicted, and the next
-// successful Update clears the flag.
+// successful Update clears the flag. With the write-ahead log on, the
+// committed post-state is also snapshot-logged before the save, so even
+// a "not persisted" edit survives a crash; Update still reports the
+// save failure so callers see the degraded disk. Edits whose ops are
+// known up front should use UpdateBatch, which logs the (much smaller)
+// op batch instead and treats the fsynced log record as the commit
+// point.
 func (c *Catalog) Update(id string, fn func(*core.Document) error) error {
-	// Mark the entry as mid-edit before loading: evictLocked must not
-	// drop the document between our Get and the commit (a concurrent
-	// lock-free Get could then re-cache the pre-edit source and the
-	// edited document would be accounted against — and shadowed by —
-	// the stale reload).
-	c.mu.Lock()
-	e, ok := c.entries[id]
-	if ok {
-		// A counter, not a flag: with several Updates queued on one
-		// document, the first to finish must not drop the guard while
-		// the others are still editing.
-		e.editing++
+	e, err := c.beginEdit(id)
+	if err != nil {
+		return err
 	}
-	c.mu.Unlock()
-	if !ok {
-		return &ErrNotFound{ID: id}
-	}
-	defer func() {
-		c.mu.Lock()
-		e.editing--
-		c.mu.Unlock()
-	}()
+	defer c.endEdit(e)
 	e.rw.Lock()
 	defer e.rw.Unlock()
 	doc, err := c.Get(id)
@@ -393,34 +527,20 @@ func (c *Catalog) Update(id string, fn func(*core.Document) error) error {
 		return err
 	}
 
-	savePath := filepath.Join(c.dir, e.id+".gdag")
-	saveErr := store.Save(savePath, doc.GODDAG())
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e.edits++
-	if saveErr != nil {
-		e.dirty = true
-	} else {
-		e.dirty = false
-		e.paths = []string{savePath}
-		e.format = "gdag"
+	// Log the committed post-state before saving: an arbitrary closure
+	// (undo, redo, programmatic edits) is not expressible as an op
+	// batch, so the record is a full snapshot — naturally idempotent at
+	// replay. A crash in the window between the editor commit and this
+	// append loses the closure's effect; batches logged through
+	// UpdateBatch close that window.
+	walDurable := false
+	if w := c.walFor(e); w != nil {
+		var buf bytes.Buffer
+		if doc.Save(&buf) == nil && w.Append(store.RecordSnapshot, 0, buf.Bytes()) == nil {
+			walDurable = true
+		}
 	}
-	// Re-account the footprint: the edit may have grown or shrunk the
-	// document (and its repaired indexes), and each committed
-	// transaction or history move also holds a full snapshot on the
-	// session's undo/redo stacks — count those too, or sustained edit
-	// traffic would blow the budget invisibly.
-	if e.doc != nil {
-		bytes := doc.GODDAG().Footprint() + doc.Edit().HistoryFootprint()
-		c.resident += bytes - e.bytes
-		e.bytes = bytes
-		c.evictLocked()
-	}
-	if saveErr != nil {
-		return fmt.Errorf("catalog: update %q applied but not persisted: %w", id, saveErr)
-	}
-	return nil
+	return c.persistCommit(e, doc, walDurable, true, nil)
 }
 
 // DocStats describes one catalogued document.
@@ -431,9 +551,11 @@ type DocStats struct {
 	Bytes    int64    `json:"bytes,omitempty"` // footprint estimate while resident
 	Loads    uint64   `json:"loads"`
 	Hits     uint64   `json:"hits"`
-	Edits    uint64   `json:"edits,omitempty"` // committed edit transactions
-	Dirty    bool     `json:"dirty,omitempty"` // edited state not yet persisted
-	Error    string   `json:"error,omitempty"` // cached load failure (cleared by Evict)
+	Edits    uint64   `json:"edits,omitempty"`     // committed edit transactions
+	Dirty    bool     `json:"dirty,omitempty"`     // edited state not yet persisted
+	ReadOnly bool     `json:"read_only,omitempty"` // degraded: persistent save failures
+	Replayed uint64   `json:"replayed,omitempty"`  // WAL records recovered into this doc
+	Error    string   `json:"error,omitempty"`     // cached load failure (expires, or Evict)
 }
 
 // Stats summarizes the catalog.
@@ -445,7 +567,15 @@ type Stats struct {
 	Loads     uint64     `json:"loads"`
 	Hits      uint64     `json:"hits"`
 	Evictions uint64     `json:"evictions"`
-	Docs      []DocStats `json:"docs"`
+
+	// Durability state: crash recoveries and degradation (see the
+	// package comment on the write-ahead log).
+	ReadOnly     bool   `json:"read_only,omitempty"`     // catalog-wide degradation
+	Recovered    uint64 `json:"recovered,omitempty"`     // docs that replayed WAL records
+	Replayed     uint64 `json:"replayed,omitempty"`      // WAL records applied in recoveries
+	SaveFailures uint64 `json:"save_failures,omitempty"` // commits not persisted after retries
+
+	Docs []DocStats `json:"docs"`
 }
 
 // Stats returns a snapshot of catalog and per-document counters.
@@ -459,7 +589,13 @@ func (c *Catalog) Stats() Stats {
 		Loads:     c.loads,
 		Hits:      c.hits,
 		Evictions: c.evictions,
-		Docs:      make([]DocStats, 0, len(c.ids)),
+
+		ReadOnly:     c.readOnly,
+		Recovered:    c.recovered,
+		Replayed:     c.replayed,
+		SaveFailures: c.saveFailures,
+
+		Docs: make([]DocStats, 0, len(c.ids)),
 	}
 	for _, id := range c.ids {
 		e := c.entries[id]
@@ -477,6 +613,7 @@ func (c *Catalog) docStatsLocked(e *entry) DocStats {
 		ID: e.id, Paths: e.paths,
 		Resident: e.doc != nil, Loads: e.loads, Hits: e.hits,
 		Edits: e.edits, Dirty: e.dirty,
+		ReadOnly: e.readOnly, Replayed: e.replayed,
 	}
 	if e.doc != nil {
 		ds.Bytes = e.bytes

@@ -1,0 +1,82 @@
+package editor
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestApplyBatchCommits(t *testing.T) {
+	s := newSession(t, false)
+	// The wire bytes an HTTP edit (or a WAL record) would carry.
+	raw := []byte(`{"ops":[
+		{"op":"insert-markup","hierarchy":"words","tag":"w","start":0,"end":3,"attrs":{"lemma":"swa","kind":"noun"}},
+		{"op":"insert-markup","hierarchy":"words","tag":"w","start":4,"end":9},
+		{"op":"set-attr","hierarchy":"words","index":1,"name":"lemma","value":"hwaet"},
+		{"op":"remove-attr","hierarchy":"words","index":0,"name":"kind"}
+	]}`)
+	var b Batch
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyBatch(b.Ops); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Document().Hierarchy("words")
+	if h.Len() != 2 {
+		t.Fatalf("words has %d elements, want 2", h.Len())
+	}
+	first, _ := h.ElementAt(0)
+	if v, ok := first.Attr("lemma"); !ok || v != "swa" {
+		t.Errorf("element 0 lemma = %q, %v", v, ok)
+	}
+	if _, ok := first.Attr("kind"); ok {
+		t.Error("remove-attr did not apply")
+	}
+	second, _ := h.ElementAt(1)
+	if v, _ := second.Attr("lemma"); v != "hwaet" {
+		t.Errorf("element 1 lemma = %q", v)
+	}
+	// One transaction: one undo entry restores the pre-batch state.
+	if err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.Document().Hierarchy("words"); h != nil && h.Len() != 0 {
+		t.Error("undo did not restore the pre-batch state")
+	}
+}
+
+func TestApplyBatchVetoIsAtomic(t *testing.T) {
+	s := newSession(t, false)
+	err := s.ApplyBatch([]Op{
+		{Op: "insert-markup", Hierarchy: "words", Tag: "w", Start: 0, End: 3},
+		{Op: "set-attr", Hierarchy: "words", Index: 99, Name: "lemma", Value: "x"},
+	})
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BatchError, got %v", err)
+	}
+	if be.Index != 1 || be.Op != "set-attr" {
+		t.Fatalf("BatchError = %+v", be)
+	}
+	if h := s.Document().Hierarchy("words"); h != nil && h.Len() != 0 {
+		t.Error("vetoed batch left partial state")
+	}
+	if s.CanUndo() {
+		t.Error("vetoed batch left an undo entry")
+	}
+}
+
+func TestApplyOpUnknownAndMissingFields(t *testing.T) {
+	s := newSession(t, false)
+	for _, ops := range [][]Op{
+		{{Op: "explode"}},
+		{{Op: "insert-markup", Tag: "w"}},
+		{{Op: "remove-markup", Hierarchy: "nope", Index: 0}},
+		{{Op: "set-attr", Hierarchy: "words", Index: 0}},
+	} {
+		if err := s.ApplyBatch(ops); err == nil {
+			t.Errorf("ops %+v: want error", ops)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Robustness middleware: a panicking handler must not kill the process
+// or silently drop the connection, and a traffic spike must not queue
+// without bound until every request times out. Both wrappers sit outside
+// the route mux (see Handler) so they cover every endpoint uniformly.
+
+package server
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"runtime/debug"
+)
+
+// statusWriter records whether the response has been started, so the
+// panic recovery middleware knows whether a 500 can still be written or
+// the handler died mid-body (then the truncated response is all the
+// client gets — the broken connection is its error signal).
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(p)
+}
+
+// recoverPanics converts a handler panic into a structured log line, a
+// JSON 500 (when the response has not started), and a counter bump —
+// instead of net/http's stack dump plus an aborted connection.
+// http.ErrAbortHandler is re-raised: it is the sanctioned way to abort a
+// response deliberately, not a failure.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			s.errors.Add(1)
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			if !sw.wrote {
+				sw.Header().Set("Content-Type", "application/json")
+				sw.WriteHeader(http.StatusInternalServerError)
+				json.NewEncoder(sw).Encode(map[string]string{"error": "internal error"})
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// gate admits at most Config.MaxInflight concurrent requests; the rest
+// are shed immediately with 503 + Retry-After rather than queued, so an
+// overloaded server keeps bounded memory and latency and clients learn
+// to back off. /healthz and /stats bypass the gate: an operator
+// diagnosing the overload needs exactly those endpoints to respond.
+func (s *Server) gate(next http.Handler) http.Handler {
+	if s.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/stats":
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			s.shed.Add(1)
+			s.errors.Add(1)
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "server overloaded; retry later"})
+		}
+	})
+}

@@ -74,7 +74,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -83,7 +82,6 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/document"
 	"repro/internal/editor"
 	"repro/internal/goddag"
 	"repro/internal/validate"
@@ -109,6 +107,11 @@ type Config struct {
 	// MaxOps bounds the operations accepted in one edit batch
 	// (default 1000; <0 means unlimited).
 	MaxOps int
+	// MaxInflight caps concurrently served requests; excess load is
+	// shed with 503 + Retry-After instead of queuing without bound
+	// (default 256; <0 means unlimited). /healthz and /stats bypass the
+	// gate so operators can observe an overloaded server.
+	MaxInflight int
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +127,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxOps == 0 {
 		c.MaxOps = 1000
 	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
 	return c
 }
 
@@ -133,18 +139,30 @@ type Server struct {
 	cfg   Config
 	cache *queryCache
 
+	// inflight is the admission semaphore behind Config.MaxInflight;
+	// nil when unlimited.
+	inflight chan struct{}
+
 	requests atomic.Uint64
 	errors   atomic.Uint64
+	panics   atomic.Uint64 // handler panics recovered by the middleware
+	shed     atomic.Uint64 // requests rejected by the overload gate
 }
 
 // New creates a server over the catalog.
 func New(cat *catalog.Catalog, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{cat: cat, cfg: cfg, cache: newQueryCache(cfg.QueryCache)}
+	s := &Server{cat: cat, cfg: cfg, cache: newQueryCache(cfg.QueryCache)}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
 }
 
-// Handler returns the service's HTTP handler, including the request
-// timeout when configured.
+// Handler returns the service's HTTP handler: the route mux wrapped in
+// the request timeout (when configured), the overload gate, and —
+// outermost, so it also covers a panic re-raised out of the timeout
+// handler — panic recovery.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -152,10 +170,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/docs/", s.handleDoc)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	var h http.Handler = mux
 	if s.cfg.Timeout > 0 {
-		return http.TimeoutHandler(mux, s.cfg.Timeout, `{"error":"request timed out"}`)
+		h = http.TimeoutHandler(h, s.cfg.Timeout, `{"error":"request timed out"}`)
 	}
-	return mux
+	return s.recoverPanics(s.gate(h))
 }
 
 // QueryRequest is the POST /query body.
@@ -429,23 +448,10 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	s.ok(w, resp)
 }
 
-// EditOp is one operation of a POST /docs/{id}/edit batch. Op selects
-// the shape: "insert-markup" (hierarchy, tag, start, end, attrs),
-// "remove-markup" (hierarchy, index), "set-attr" (hierarchy, index,
-// name, value), "remove-attr" (hierarchy, index, name). Start/end are
-// byte offsets; index addresses the hierarchy's elements in document
-// order at the time the op applies.
-type EditOp struct {
-	Op        string            `json:"op"`
-	Hierarchy string            `json:"hierarchy"`
-	Tag       string            `json:"tag,omitempty"`
-	Start     int               `json:"start,omitempty"`
-	End       int               `json:"end,omitempty"`
-	Index     int               `json:"index,omitempty"`
-	Name      string            `json:"name,omitempty"`
-	Value     string            `json:"value,omitempty"`
-	Attrs     map[string]string `json:"attrs,omitempty"`
-}
+// EditOp is one operation of a POST /docs/{id}/edit batch — the wire
+// format now lives in package editor (it is also the WAL op-batch
+// payload); see editor.Op for the shapes.
+type EditOp = editor.Op
 
 // EditRequest is the POST /docs/{id}/edit body.
 type EditRequest struct {
@@ -503,30 +509,20 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request, id string) {
 		return
 	}
 	start := time.Now()
-	failedOp := -1
 	var resp EditResponse
-	err := s.cat.Update(id, func(doc *core.Document) error {
-		tx, err := doc.Edit().Begin()
-		if err != nil {
-			return err
-		}
-		for i, op := range req.Ops {
-			if err := applyEditOp(tx, doc, op); err != nil {
-				failedOp = i
-				tx.Rollback()
-				return fmt.Errorf("op %d (%s): %w", i, op.Op, err)
-			}
-		}
-		// Commit cannot fail here: every op error returned above, and an
-		// unpoisoned transaction always commits.
-		if err := tx.Commit(); err != nil {
-			return err
-		}
+	// UpdateBatch is the crash-safe path: the batch is write-ahead
+	// logged and fsynced before it applies, so a nil return means the
+	// edit survives a crash even if the .gdag save lagged behind.
+	err := s.cat.UpdateBatch(id, req.Ops, func(doc *core.Document) {
 		st := doc.GODDAG().Stats()
 		resp = EditResponse{Doc: id, Applied: len(req.Ops), Elements: st.Elements, Leaves: st.Leaves}
-		return nil
 	})
 	if err != nil {
+		failedOp := -1
+		var be *editor.BatchError
+		if errors.As(err, &be) {
+			failedOp = be.Index
+		}
 		s.failEdit(w, id, err, failedOp)
 		return
 	}
@@ -539,6 +535,11 @@ func (s *Server) failEdit(w http.ResponseWriter, id string, err error, failedOp 
 	var nf *catalog.ErrNotFound
 	if errors.As(err, &nf) {
 		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if errors.Is(err, catalog.ErrReadOnly) {
+		// Degraded after persistent storage failures; reads still work.
+		s.fail(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	if failedOp < 0 {
@@ -567,66 +568,6 @@ func (s *Server) failEdit(w http.ResponseWriter, id string, err error, failedOp 
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	enc.Encode(resp)
-}
-
-// applyEditOp translates one wire op into a transaction operation.
-func applyEditOp(tx *editor.Tx, doc *core.Document, op EditOp) error {
-	switch op.Op {
-	case "insert-markup":
-		if op.Hierarchy == "" || op.Tag == "" {
-			return fmt.Errorf("insert-markup needs hierarchy and tag")
-		}
-		attrs := make([]goddag.Attr, 0, len(op.Attrs))
-		for name, value := range op.Attrs {
-			attrs = append(attrs, goddag.Attr{Name: name, Value: value})
-		}
-		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
-		_, err := tx.InsertMarkup(op.Hierarchy, op.Tag, document.NewSpan(op.Start, op.End), attrs...)
-		return err
-	case "remove-markup":
-		el, err := resolveElement(doc, op)
-		if err != nil {
-			return err
-		}
-		return tx.RemoveMarkup(el)
-	case "set-attr":
-		el, err := resolveElement(doc, op)
-		if err != nil {
-			return err
-		}
-		if op.Name == "" {
-			return fmt.Errorf("set-attr needs an attribute name")
-		}
-		return tx.SetAttr(el, op.Name, op.Value)
-	case "remove-attr":
-		el, err := resolveElement(doc, op)
-		if err != nil {
-			return err
-		}
-		if op.Name == "" {
-			return fmt.Errorf("remove-attr needs an attribute name")
-		}
-		return tx.RemoveAttr(el, op.Name)
-	default:
-		return fmt.Errorf("unknown op %q (insert-markup, remove-markup, set-attr, remove-attr)", op.Op)
-	}
-}
-
-// resolveElement addresses an element by hierarchy and document-order
-// index against the current (mid-transaction) document state.
-func resolveElement(doc *core.Document, op EditOp) (*goddag.Element, error) {
-	if op.Hierarchy == "" {
-		return nil, fmt.Errorf("%s needs a hierarchy", op.Op)
-	}
-	h := doc.GODDAG().Hierarchy(op.Hierarchy)
-	if h == nil {
-		return nil, fmt.Errorf("unknown hierarchy %q", op.Hierarchy)
-	}
-	el, ok := h.ElementAt(op.Index)
-	if !ok {
-		return nil, fmt.Errorf("element index %d out of range [0,%d) in hierarchy %q", op.Index, h.Len(), op.Hierarchy)
-	}
-	return el, nil
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, id, action string) {
@@ -659,6 +600,8 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, id, actio
 		switch {
 		case errors.As(err, &nf):
 			s.fail(w, http.StatusNotFound, "%v", err)
+		case errors.Is(err, catalog.ErrReadOnly):
+			s.fail(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, editor.ErrNothingToUndo), errors.Is(err, editor.ErrNothingToRedo):
 			s.fail(w, http.StatusConflict, "%v", err)
 		default:
@@ -671,6 +614,13 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, id, actio
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// A catalog degraded to read-only still serves reads, so the probe
+	// stays 200 (pulling the instance would lose read capacity too) but
+	// reports the degradation for operators and write-aware balancers.
+	if s.cat.ReadOnly() {
+		s.ok(w, map[string]any{"status": "degraded", "readOnly": true})
+		return
+	}
 	s.ok(w, map[string]string{"status": "ok"})
 }
 
@@ -679,6 +629,9 @@ type StatsResponse struct {
 	Catalog  catalog.Stats `json:"catalog"`
 	Requests uint64        `json:"requests"`
 	Errors   uint64        `json:"errors"`
+	Panics   uint64        `json:"panics"`
+	Shed     uint64        `json:"shed"`
+	ReadOnly bool          `json:"readOnly,omitempty"`
 	Queries  CacheStats    `json:"queryCache"`
 }
 
@@ -692,6 +645,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Catalog:  s.cat.Stats(),
 		Requests: s.requests.Load(),
 		Errors:   s.errors.Load(),
+		Panics:   s.panics.Load(),
+		Shed:     s.shed.Load(),
+		ReadOnly: s.cat.ReadOnly(),
 		Queries:  s.cache.stats(),
 	})
 }

@@ -26,14 +26,16 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/document"
+	"repro/internal/faultfs"
 	"repro/internal/goddag"
 )
 
@@ -93,14 +95,24 @@ func Encode(w io.Writer, doc *goddag.Document) error {
 // on. Encode output is deterministic for a given document, so saving
 // and reloading reproduces the file byte-identically.
 func Save(path string, doc *goddag.Document) error {
-	f, err := os.CreateTemp(filepath.Dir(path), ".gdag-tmp-*")
+	return SaveFS(faultfs.OS, path, doc)
+}
+
+// SaveFS is Save running on an injectable filesystem, so tests can
+// fail or tear any write, sync, or rename in the sequence. All
+// durability-relevant errors propagate, including the directory sync
+// that makes the rename itself survive power loss; only errnos that
+// mean "this filesystem does not support directory fsync" are
+// tolerated (the rename is then as durable as the platform allows).
+func SaveFS(fsys faultfs.FS, path string, doc *goddag.Document) error {
+	f, err := fsys.CreateTemp(filepath.Dir(path), ".gdag-tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
 	tmp := f.Name()
 	defer func() {
 		if tmp != "" {
-			os.Remove(tmp)
+			fsys.Remove(tmp)
 		}
 	}()
 	if err := Encode(f, doc); err != nil {
@@ -114,19 +126,31 @@ func Save(path string, doc *goddag.Document) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
 	tmp = "" // renamed; nothing to clean up
 	// Sync the directory so the rename itself is durable: without it a
 	// power loss after a successful Save can roll the directory entry
-	// back to the old file. Best-effort on filesystems that refuse
-	// directory syncs.
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
-		dir.Close()
+	// back to the old file. Failures are saved state NOT being durable
+	// and must be visible to the caller — the WAL keeps the edit
+	// replayable exactly because this error is not swallowed.
+	dir, err := fsys.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("store: save: sync dir: %w", err)
 	}
-	return nil
+	if err := dir.Sync(); err != nil && !unsupportedSync(err) {
+		dir.Close()
+		return fmt.Errorf("store: save: sync dir: %w", err)
+	}
+	return dir.Close()
+}
+
+// unsupportedSync reports errnos meaning the filesystem cannot fsync a
+// directory at all (rather than that the sync failed).
+func unsupportedSync(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.ENOTTY)
 }
 
 // record is one stored element, read back from a file body.
@@ -314,10 +338,32 @@ func (d *decoder) raw(n int) []byte {
 	if d.err != nil {
 		return nil
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(d.r, b); err != nil {
-		d.err = err
-		return nil
+	// Read in bounded chunks so a corrupted length field cannot allocate
+	// n bytes up front: memory grows only with data actually present in
+	// the input, and a truncated file fails with ErrUnexpectedEOF after
+	// at most one chunk of overshoot.
+	const chunk = 64 << 10
+	if n <= chunk {
+		b := make([]byte, n)
+		if _, err := io.ReadFull(d.r, b); err != nil {
+			d.err = err
+			return nil
+		}
+		d.h.Write(b)
+		return b
+	}
+	b := make([]byte, 0, chunk)
+	for len(b) < n {
+		m := n - len(b)
+		if m > chunk {
+			m = chunk
+		}
+		start := len(b)
+		b = append(b, make([]byte, m)...)
+		if _, err := io.ReadFull(d.r, b[start:]); err != nil {
+			d.err = err
+			return nil
+		}
 	}
 	d.h.Write(b)
 	return b

@@ -1,0 +1,292 @@
+// Write-ahead log for edit transactions. Each catalogued document gets
+// one append-only segment (<id>.wal) next to its .gdag file: the edit
+// path appends the serialized op batch (the HTTP edit wire format,
+// package editor's Batch) and fsyncs it BEFORE the batch is applied and
+// the document's indexes repaired, so a crash anywhere between commit
+// and the next successful atomic save loses nothing — reopening replays
+// the surviving tail through the transaction API. A successful save
+// resets the log to empty; the log therefore only grows while saves
+// fail.
+//
+// Segment layout:
+//
+//	header:  magic "GWAL", version byte
+//	records: kind byte ('O' op batch JSON, 'S' full-document snapshot),
+//	         pre-state fingerprint (4 bytes BE, see Fingerprint),
+//	         payload length (uvarint), payload,
+//	         CRC-32 (Castagnoli) of everything since the kind byte (4 bytes BE)
+//
+// Records are self-checking: replay scans forward and stops at the
+// first record whose frame is incomplete or whose checksum fails — by
+// construction (appends are sequential and fsynced one record at a
+// time) damage can only be a tail, which OpenWAL truncates away. That
+// is exactly the state a power cut mid-append leaves behind.
+//
+// The pre-state fingerprint makes replay exactly-once: an op-batch
+// record only applies when the document it is replayed onto has the
+// fingerprint the batch was logged against. If a crash lands in the
+// small window where the save's rename committed but the log reset did
+// not (or the rename's directory sync failed), the stale records'
+// fingerprints no longer match the saved base and replay skips them
+// instead of applying the batch twice. Snapshot records carry the
+// post-state document wholesale and need no fingerprint.
+//
+// A WAL is single-writer: the catalog serializes appends under each
+// document's write lock. Appends that fail part-way rewind the file to
+// the last durable record boundary so the segment stays well-formed.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/faultfs"
+	"repro/internal/goddag"
+)
+
+// WAL segment format constants.
+const (
+	walMagic   = "GWAL"
+	walVersion = 1
+
+	// WALHeaderLen is the byte length of the segment header; an empty
+	// (fully truncated) log is exactly this long.
+	WALHeaderLen = 5
+)
+
+// RecordKind discriminates WAL records.
+type RecordKind byte
+
+// The record kinds.
+const (
+	// RecordOps is a serialized editor op batch (editor.Batch JSON, the
+	// same bytes the HTTP edit endpoint accepts), logged before the
+	// batch is applied. Replay re-applies it through the transaction
+	// API when the pre-state fingerprint matches.
+	RecordOps RecordKind = 'O'
+	// RecordSnapshot is a full document in the .gdag encoding, logged
+	// after an edit whose effect is not expressible as an op batch
+	// (undo, redo, arbitrary Update closures). Replay replaces the
+	// document wholesale, which is naturally idempotent.
+	RecordSnapshot RecordKind = 'S'
+)
+
+// Record is one recovered WAL entry.
+type Record struct {
+	Kind RecordKind
+	// Pre is the fingerprint of the document state the record was
+	// logged against (RecordOps only).
+	Pre uint32
+	// Payload is the record body: editor.Batch JSON or .gdag bytes.
+	Payload []byte
+}
+
+// WAL is one open write-ahead log segment.
+type WAL struct {
+	fsys faultfs.FS
+	path string
+	f    faultfs.File
+	size int64 // header + complete durable records
+}
+
+// maxWALRecord bounds a single record payload against corrupted length
+// fields; a larger length is treated as a torn tail.
+const maxWALRecord = 1 << 30
+
+// OpenWAL opens (creating if necessary) the write-ahead log at path and
+// scans it: the surviving complete records are returned for replay and
+// any torn tail is truncated away, so subsequent appends extend a
+// well-formed segment. A nil record slice means the log was empty.
+func OpenWAL(fsys faultfs.FS, path string) (*WAL, []Record, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: wal %s: %w", path, err)
+	}
+	w := &WAL{fsys: fsys, path: path, f: f}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: wal %s: %w", path, err)
+	}
+	if len(data) < WALHeaderLen {
+		// Fresh (or torn-at-birth) segment: write the header.
+		if err := w.reinit(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return w, nil, nil
+	}
+	if string(data[:4]) != walMagic || data[4] != walVersion {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: wal %s: bad header %q version %d", path, data[:4], data[4])
+	}
+	recs, good := ScanWALRecords(data[WALHeaderLen:])
+	w.size = WALHeaderLen + good
+	if int64(len(data)) > w.size {
+		// Torn tail from a crash mid-append: cut it so the segment ends
+		// on a record boundary again.
+		if err := fsys.Truncate(path, w.size); err != nil {
+			f.Close()
+			return nil, recs, fmt.Errorf("store: wal %s: truncating torn tail: %w", path, err)
+		}
+	}
+	return w, recs, nil
+}
+
+// ScanWALRecords parses the record region of a WAL segment (everything
+// after the header), returning the complete records and the byte length
+// of the valid prefix. The scan stops at the first incomplete or
+// checksum-failing record — appends are sequential, so any damage is a
+// tail. It never fails: corrupt input just shortens the valid prefix.
+func ScanWALRecords(data []byte) ([]Record, int64) {
+	var recs []Record
+	off := int64(0)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		// kind(1) + pre(4) + len(>=1) + crc(4)
+		if len(rest) < 10 {
+			break
+		}
+		kind := RecordKind(rest[0])
+		if kind != RecordOps && kind != RecordSnapshot {
+			break
+		}
+		pre := binary.BigEndian.Uint32(rest[1:5])
+		n, ln := binary.Uvarint(rest[5:])
+		if ln <= 0 || n > maxWALRecord {
+			break
+		}
+		body := 1 + 4 + ln + int(n)
+		if int64(body)+4 > int64(len(rest)) {
+			break
+		}
+		payload := rest[5+ln : body]
+		want := binary.BigEndian.Uint32(rest[body : body+4])
+		if crc32.Checksum(rest[:body], crcTable) != want {
+			break
+		}
+		recs = append(recs, Record{Kind: kind, Pre: pre, Payload: payload})
+		off += int64(body) + 4
+	}
+	return recs, off
+}
+
+// appendFrame appends one framed record to dst: kind, pre-state
+// fingerprint, uvarint payload length, payload, CRC over all of it.
+func appendFrame(dst []byte, kind RecordKind, pre uint32, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, byte(kind))
+	dst = binary.BigEndian.AppendUint32(dst, pre)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(dst[start:], crcTable))
+}
+
+// reinit truncates the segment to empty and writes a fresh header.
+func (w *WAL) reinit() error {
+	if err := w.fsys.Truncate(w.path, 0); err != nil {
+		return fmt.Errorf("store: wal %s: %w", w.path, err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: wal %s: %w", w.path, err)
+	}
+	hdr := append([]byte(walMagic), walVersion)
+	if _, err := w.f.Write(hdr); err != nil {
+		return fmt.Errorf("store: wal %s: %w", w.path, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal %s: %w", w.path, err)
+	}
+	w.size = WALHeaderLen
+	return nil
+}
+
+// Size returns the durable length of the segment. Capture it before an
+// Append to Rewind a record whose transaction was later vetoed.
+func (w *WAL) Size() int64 { return w.size }
+
+// Empty reports whether the segment holds no records.
+func (w *WAL) Empty() bool { return w.size <= WALHeaderLen }
+
+// Path returns the segment's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Append frames, writes, and fsyncs one record. On failure it rewinds
+// the file to the previous durable boundary (best-effort) and the
+// caller must treat the record as NOT logged: after a write or sync
+// error the on-disk state is indeterminate until the rewind, which
+// restores it. Only a successful Append makes the record durable — it
+// is the commit point of the logged-edit path.
+func (w *WAL) Append(kind RecordKind, pre uint32, payload []byte) error {
+	frame := appendFrame(make([]byte, 0, 1+4+binary.MaxVarintLen64+len(payload)+4), kind, pre, payload)
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		w.rewind()
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.rewind()
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	w.size += int64(len(frame))
+	return nil
+}
+
+// rewind truncates back to the durable size after a failed append,
+// best-effort: if the truncate itself fails, the tail is torn and the
+// next OpenWAL's scan will cut it (the record's checksum only went to
+// disk if the full frame did — and a complete frame is re-skipped at
+// replay only if its pre-state fingerprint still matches, which an
+// error-reported batch legitimately does: re-applying it is the
+// documented at-least-once outcome of an indeterminate append).
+func (w *WAL) rewind() {
+	_ = w.fsys.Truncate(w.path, w.size)
+}
+
+// Rewind truncates the segment back to size (a value previously
+// returned by Size), dropping records appended after it — used to
+// unlog a batch whose transaction was vetoed after its intent was
+// appended.
+func (w *WAL) Rewind(size int64) error {
+	if size < WALHeaderLen || size > w.size {
+		return fmt.Errorf("store: wal rewind to %d outside [%d,%d]", size, WALHeaderLen, w.size)
+	}
+	if err := w.fsys.Truncate(w.path, size); err != nil {
+		return fmt.Errorf("store: wal rewind: %w", err)
+	}
+	w.size = size
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal rewind: %w", err)
+	}
+	return nil
+}
+
+// Reset empties the segment after a successful save: the .gdag file now
+// carries the state, so the log's records are spent.
+func (w *WAL) Reset() error {
+	if err := w.Rewind(WALHeaderLen); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close releases the file handle. The segment stays on disk for the
+// next open.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// Fingerprint summarizes a document's exact persisted state: the
+// CRC-32 (Castagnoli) of its deterministic Encode stream. The WAL
+// stamps each op-batch record with the fingerprint of the state the
+// batch was logged against, so replay is exactly-once (see the package
+// comment). Cost is one encode pass with no I/O.
+func Fingerprint(doc *goddag.Document) uint32 {
+	h := crc32.New(crcTable)
+	// Encode to the hash alone: bufio over a hash cannot fail.
+	_ = Encode(h, doc)
+	return h.Sum32()
+}

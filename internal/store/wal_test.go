@@ -1,0 +1,214 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+func openTestWAL(t *testing.T, fsys faultfs.FS, path string) (*WAL, []Record) {
+	t.Helper()
+	w, recs, err := OpenWAL(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, recs
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.wal")
+	w, recs := openTestWAL(t, faultfs.OS, path)
+	if len(recs) != 0 || !w.Empty() {
+		t.Fatalf("fresh WAL: %d records, empty=%v", len(recs), w.Empty())
+	}
+	batches := [][]byte{
+		[]byte(`{"ops":[{"op":"set-attr"}]}`),
+		[]byte(`{"ops":[{"op":"insert-markup","tag":"w"}]}`),
+	}
+	if err := w.Append(RecordOps, 0x11111111, batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(RecordOps, 0x22222222, batches[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(RecordSnapshot, 0, []byte("GDAGsnap")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2, recs := openTestWAL(t, faultfs.OS, path)
+	if len(recs) != 3 {
+		t.Fatalf("reopened with %d records, want 3", len(recs))
+	}
+	if recs[0].Kind != RecordOps || recs[0].Pre != 0x11111111 || !bytes.Equal(recs[0].Payload, batches[0]) {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Pre != 0x22222222 || !bytes.Equal(recs[1].Payload, batches[1]) {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	if recs[2].Kind != RecordSnapshot || string(recs[2].Payload) != "GDAGsnap" {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+
+	// Reset empties; a further append starts a new tail.
+	if err := w2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if !w2.Empty() {
+		t.Fatal("Reset left records")
+	}
+	if err := w2.Append(RecordOps, 7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, recs = openTestWAL(t, faultfs.OS, path)
+	if len(recs) != 1 || recs[0].Pre != 7 {
+		t.Fatalf("after reset+append: %+v", recs)
+	}
+}
+
+// TestWALTornTailTruncated cuts a WAL at every possible byte length and
+// asserts reopening always recovers exactly the records whose frames
+// fully survived — the power-cut contract.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	w, _ := openTestWAL(t, faultfs.OS, full)
+	payloads := [][]byte{[]byte("first"), []byte("second-longer"), []byte("third")}
+	offsets := []int64{w.Size()} // durable size after 0,1,2,3 records
+	for i, p := range payloads {
+		if err := w.Append(RecordOps, uint32(i), p); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, w.Size())
+	}
+	w.Close()
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		torn := filepath.Join(dir, "torn.wal")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, recs, err := OpenWAL(faultfs.OS, torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		// The number of surviving records is the number of whole frames
+		// within the cut.
+		want := 0
+		for want < len(payloads) && offsets[want+1] <= int64(cut) {
+			want++
+		}
+		if len(recs) != want {
+			t.Fatalf("cut %d: %d records survived, want %d", cut, len(recs), want)
+		}
+		for i, r := range recs {
+			if !bytes.Equal(r.Payload, payloads[i]) {
+				t.Fatalf("cut %d record %d: %q", cut, i, r.Payload)
+			}
+		}
+		// The segment is appendable again after the torn tail is cut.
+		if err := w2.Append(RecordOps, 9, []byte("post")); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		w2.Close()
+		_, recs2, err := OpenWAL(faultfs.OS, torn)
+		if err != nil || len(recs2) != want+1 {
+			t.Fatalf("cut %d: re-reopen %d records, %v", cut, len(recs2), err)
+		}
+	}
+}
+
+// TestWALBitFlipStopsScan flips each byte of a record region in turn;
+// the scan must never return a corrupted payload as valid.
+func TestWALBitFlipStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.wal")
+	w, _ := openTestWAL(t, faultfs.OS, path)
+	if err := w.Append(RecordOps, 1, []byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(RecordOps, 2, []byte("payload-two")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := data[WALHeaderLen:]
+	for i := range region {
+		flipped := append([]byte(nil), region...)
+		flipped[i] ^= 0x40
+		recs, _ := ScanWALRecords(flipped)
+		for _, r := range recs {
+			if s := string(r.Payload); s != "payload-one" && s != "payload-two" {
+				t.Fatalf("flip at %d surfaced corrupted payload %q", i, s)
+			}
+		}
+	}
+}
+
+// TestWALFailedAppendRewinds injects a sync failure mid-append and
+// asserts the segment is rewound to the previous record boundary: the
+// failed record must not resurface on reopen.
+func TestWALFailedAppendRewinds(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS)
+	path := filepath.Join(t.TempDir(), "d.wal")
+	w, _ := openTestWAL(t, inj, path)
+	if err := w.Append(RecordOps, 1, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	errDisk := errors.New("injected: EIO")
+	inj.SetHook(func(op faultfs.Op, p string) error {
+		if op == faultfs.OpSync {
+			return errDisk
+		}
+		return nil
+	})
+	if err := w.Append(RecordOps, 2, []byte("lost")); !errors.Is(err, errDisk) {
+		t.Fatalf("append under sync fault = %v", err)
+	}
+	inj.SetHook(nil)
+	w.Close()
+
+	_, recs, err := OpenWAL(faultfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "keep" {
+		t.Fatalf("after failed append: %+v", recs)
+	}
+}
+
+// TestWALVetoRewind drops a logged batch whose transaction was vetoed.
+func TestWALVetoRewind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.wal")
+	w, _ := openTestWAL(t, faultfs.OS, path)
+	if err := w.Append(RecordOps, 1, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	mark := w.Size()
+	if err := w.Append(RecordOps, 2, []byte("vetoed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rewind(mark); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	_, recs, err := OpenWAL(faultfs.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Payload) != "committed" {
+		t.Fatalf("after veto rewind: %+v", recs)
+	}
+}
