@@ -41,6 +41,8 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/baseline"
@@ -112,7 +114,8 @@ type benchRow struct {
 	NsPerOp     int64   `json:"ns_per_op"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 	Elements    int     `json:"elements,omitempty"`
-	Results     int     `json:"results,omitempty"` // E4/E5: result/answer count
+	Results     int     `json:"results,omitempty"`       // E4/E5: result/answer count
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"` // SERVE sustained rows: heap objects per request
 }
 
 // benchSnapshot is one labelled measurement run; BENCH_sacx.json holds
@@ -642,6 +645,62 @@ func (b *bench) serve() {
 				Query: qs, Strategy: "direct", NsPerOp: direct.Nanoseconds(), Results: results})
 	}
 	fmt.Println("note: handler rows include request decode + response encode; direct rows are bare Eval on the warm GODDAG.")
+
+	// Sustained load: several concurrent clients hammer the handler for a
+	// fixed window. Reported ns/op is aggregate throughput (wall time over
+	// total completed requests); allocs/op is the process-wide Mallocs
+	// delta per request — the streaming path's O(1)-allocations claim
+	// measured under load rather than in isolation.
+	clients := runtime.GOMAXPROCS(0)
+	if clients > 8 {
+		clients = 8
+	}
+	fmt.Printf("%8s %24s %9s %14s %11s\n", "words", "query", "clients", "ns_per_op", "allocs_op")
+	for _, qs := range []string{"//w", "count(//w)"} {
+		body := fmt.Sprintf(`{"doc":"ms","query":%q}`, qs)
+		serveOnce(h, body) // warm caches and pools before counting
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		var (
+			wg   sync.WaitGroup
+			stop = make(chan struct{})
+			ops  atomic.Int64
+		)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				n := int64(0)
+				for {
+					select {
+					case <-stop:
+						ops.Add(n)
+						return
+					default:
+					}
+					serveOnce(h, body)
+					n++
+				}
+			}()
+		}
+		time.Sleep(300 * time.Millisecond)
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		total := ops.Load()
+		nsPerOp := elapsed.Nanoseconds() / total
+		allocsPerOp := float64(after.Mallocs-before.Mallocs) / float64(total)
+		fmt.Printf("%8d %24s %9d %14d %11.1f\n", words, qs, clients, nsPerOp, allocsPerOp)
+		b.rows = append(b.rows, benchRow{
+			Experiment: "SERVE", Words: words, Hierarchies: cfg.Hierarchies,
+			Query: qs, Strategy: "sustained-json", NsPerOp: nsPerOp,
+			Results: int(total), AllocsPerOp: allocsPerOp,
+		})
+	}
+	fmt.Println("note: sustained rows are aggregate throughput over a 300ms window; allocs_op counts every heap object in the process, including the test client's request/recorder objects.")
 }
 
 // edit — per-edit index maintenance cost, the write-path experiment of

@@ -61,6 +61,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/faultfs"
+	"repro/internal/goddag"
 	"repro/internal/store"
 )
 
@@ -493,6 +494,20 @@ func (c *Catalog) View(id string, fn func(*core.Document) error) error {
 	return fn(doc)
 }
 
+// IndexStats returns the document's derived-index statistics — the
+// name-bucket and ordinal-range cardinalities the xpath planner reads as
+// selectivity estimates — under the document's read lock, loading it
+// first when not resident. Operators use it (via GET /docs/{id}) to see
+// the inputs an explain'd plan was costed from.
+func (c *Catalog) IndexStats(id string) (goddag.IndexStats, error) {
+	var st goddag.IndexStats
+	err := c.View(id, func(doc *core.Document) error {
+		st = doc.GODDAG().IndexStats()
+		return nil
+	})
+	return st, err
+}
+
 // Update runs fn with the document under its write lock, then persists
 // the result: writers serialize per document, no View overlaps, and a
 // successful fn is saved to <id>.gdag in the catalog directory through
@@ -560,13 +575,13 @@ type DocStats struct {
 
 // Stats summarizes the catalog.
 type Stats struct {
-	Documents int        `json:"documents"`
-	Resident  int        `json:"resident"`
-	Bytes     int64      `json:"bytes"`
-	Budget    int64      `json:"budget"`
-	Loads     uint64     `json:"loads"`
-	Hits      uint64     `json:"hits"`
-	Evictions uint64     `json:"evictions"`
+	Documents int    `json:"documents"`
+	Resident  int    `json:"resident"`
+	Bytes     int64  `json:"bytes"`
+	Budget    int64  `json:"budget"`
+	Loads     uint64 `json:"loads"`
+	Hits      uint64 `json:"hits"`
+	Evictions uint64 `json:"evictions"`
 
 	// Durability state: crash recoveries and degradation (see the
 	// package comment on the write-ahead log).

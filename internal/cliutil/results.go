@@ -54,13 +54,20 @@ type ValueJSON struct {
 
 // EncodeNode converts a result node to its wire form.
 func EncodeNode(n goddag.Node) NodeJSON {
+	var e NodeEncoder
+	return e.EncodeNode(n)
+}
+
+// EncodeNode is the cursor-carrying form of the package function: spans
+// of document-ordered node sequences convert in amortized O(1).
+func (e *NodeEncoder) EncodeNode(n goddag.Node) NodeJSON {
 	content := n.Document().Content()
 	sp := n.Span()
 	out := NodeJSON{
 		ByteSpan: SpanJSON{Start: sp.Start, End: sp.End},
 		Text:     n.Text(),
 	}
-	rs := content.RuneSpan(sp)
+	rs := e.runeSpan(content, sp)
 	out.RuneSpan = SpanJSON{Start: rs.Start, End: rs.End}
 	switch v := n.(type) {
 	case *goddag.Element:
@@ -99,8 +106,9 @@ func EncodeValue(v xpath.Value, limit int) ValueJSON {
 			nodes, out.Truncated = nodes[:limit], true
 		}
 		out.Nodes = make([]NodeJSON, len(nodes))
+		var e NodeEncoder
 		for i, n := range nodes {
-			out.Nodes[i] = EncodeNode(n)
+			out.Nodes[i] = e.EncodeNode(n)
 		}
 		return out
 	}
@@ -117,15 +125,7 @@ func EncodeValue(v xpath.Value, limit int) ValueJSON {
 // — converted from the internal byte spans at this output edge. Text is
 // clipped to 60 runes.
 func FormatNode(n goddag.Node) string {
-	content := n.Document().Content()
-	switch v := n.(type) {
-	case *goddag.Element:
-		return fmt.Sprintf("%s:%s%v %q", v.Hierarchy().Name(), v.Name(), content.RuneSpan(v.Span()), clip(v.Text()))
-	case goddag.Leaf:
-		return fmt.Sprintf("leaf#%d%v %q", v.Index(), content.RuneSpan(v.Span()), clip(v.Text()))
-	default:
-		return fmt.Sprintf("root:%s %q", n.Document().RootTag(), clip(n.Text()))
-	}
+	return string(AppendNodeText(nil, n))
 }
 
 // WriteValue writes a query result in the cxquery text format: scalars
@@ -160,8 +160,18 @@ func WriteValue(w io.Writer, v xpath.Value, countOnly bool, limit int) {
 	if limit > 0 && len(nodes) > limit {
 		nodes = nodes[:limit]
 	}
+	// Render through the pooled append encoder: one recycled buffer per
+	// call instead of two allocations (format + println) per node.
+	bp := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(bp)
+	var e NodeEncoder
 	for _, n := range nodes {
-		fmt.Fprintln(w, FormatNode(n))
+		buf := e.AppendNodeText((*bp)[:0], n)
+		buf = append(buf, '\n')
+		*bp = buf[:0]
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
 	}
 }
 
@@ -195,9 +205,18 @@ func WriteFLWOR(w io.Writer, vals []xpath.Value, countOnly bool, limit int) {
 			if limit > 0 && len(nodes) > remaining {
 				nodes = nodes[:remaining]
 			}
+			bp := scratchPool.Get().(*[]byte)
+			var e NodeEncoder
 			for _, n := range nodes {
-				fmt.Fprintln(w, FormatNode(n))
+				buf := e.AppendNodeText((*bp)[:0], n)
+				buf = append(buf, '\n')
+				*bp = buf[:0]
+				if _, err := w.Write(buf); err != nil {
+					scratchPool.Put(bp)
+					return
+				}
 			}
+			scratchPool.Put(bp)
 			remaining -= len(nodes)
 			continue
 		}

@@ -195,6 +195,53 @@ func (c *Content) ByteSpan(s Span) Span {
 	return Span{Start: c.ByteOffset(s.Start), End: c.ByteOffset(s.End)}
 }
 
+// RuneCursor returns an incremental byte→rune offset converter. For a
+// sequence of ascending offsets — the common case when rendering a
+// node-set in document order — each conversion counts only the runes
+// since the previous offset, amortized O(1) per call instead of the
+// checkpoint search plus bounded scan RuneOffset pays. Offsets behind
+// the cursor fall back to the index and re-anchor the cursor there.
+// A cursor is single-use state for one scan; it is not safe for
+// concurrent use, and must be discarded if the content mutates.
+func (c *Content) RuneCursor() RuneCursor {
+	return RuneCursor{c: c}
+}
+
+// RuneCursor converts byte offsets to rune offsets, optimized for
+// ascending access. The zero value is not usable; obtain one from
+// Content.RuneCursor.
+type RuneCursor struct {
+	c *Content
+	b int // byte offset of the anchor
+	r int // rune offset at the anchor
+}
+
+// RuneOffset converts the byte offset off into the rune offset of the
+// same content position. off must lie on a rune boundary in [0, Len()];
+// markup positions always do.
+//
+// Short forward hops count runes across the gap; long jumps in either
+// direction fall back to the checkpoint index, so a sparse result set
+// never pays a scan proportional to the distance between its nodes —
+// the cursor is never worse than a fresh RuneOffset call per offset.
+func (rc *RuneCursor) RuneOffset(off int) int {
+	c := rc.c
+	if off < 0 || off > len(c.s) {
+		panic(fmt.Sprintf("document: byte offset %d out of range [0,%d]", off, len(c.s)))
+	}
+	ix := c.index()
+	if ix.ascii {
+		return off
+	}
+	if off >= rc.b && off-rc.b <= 2*runeIndexStride {
+		rc.r += utf8.RuneCountInString(c.s[rc.b:off])
+	} else {
+		rc.r = ix.runeOf(c.s, off)
+	}
+	rc.b = off
+	return rc.r
+}
+
 // runeIndexStride spaces the index checkpoints: one (byte, rune) offset
 // pair per ~stride bytes of content, so a lookup is a binary search over
 // the checkpoints plus a bounded scan of at most stride bytes.

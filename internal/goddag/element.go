@@ -646,10 +646,11 @@ func (h *Hierarchy) CoveringElements(span document.Span) []*Element {
 // index in O(log n + answers).
 func (d *Document) ElementsIntersecting(span document.Span) []*Element {
 	var out []*Element
-	d.index().visitIntersecting(span, func(e *Element) {
+	d.index().visitIntersecting(span, func(e *Element) bool {
 		if e.span.Intersects(span) {
 			out = append(out, e)
 		}
+		return true
 	})
 	return out
 }
@@ -660,10 +661,11 @@ func (d *Document) ElementsIntersecting(span document.Span) []*Element {
 // from the interval index in O(log n + candidates).
 func (d *Document) ElementsOverlapping(span document.Span) []*Element {
 	var out []*Element
-	d.index().visitIntersecting(span, func(e *Element) {
+	d.index().visitIntersecting(span, func(e *Element) bool {
 		if e.span.Overlaps(span) {
 			out = append(out, e)
 		}
+		return true
 	})
 	return out
 }

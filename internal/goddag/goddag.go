@@ -139,6 +139,15 @@ type Document struct {
 // place.
 func (d *Document) bump() { d.version++ }
 
+// Version reports the document's mutation counter. Derived snapshots
+// keyed on a (document, version) pair — the xpath planner's cached plans,
+// for instance — stay valid exactly while the version is unchanged.
+func (d *Document) Version() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
 // New creates a document over the given character content with the given
 // root element tag (all hierarchies of a concurrent document share the
 // same root; paper §3).

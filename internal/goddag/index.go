@@ -68,33 +68,46 @@ func (ix *spanIndex) build(node, lo, hi int) int {
 // visitIntersecting calls emit, in document order, for every element
 // whose span satisfies Start < sp.End && End > sp.Start — the candidate
 // superset for intersection, containment, and proper-overlap tests.
-func (ix *spanIndex) visitIntersecting(sp document.Span, emit func(*Element)) {
+// emit returning false stops the traversal, so existence-style probes
+// pay only for the first witness.
+func (ix *spanIndex) visitIntersecting(sp document.Span, emit func(*Element) bool) {
 	if len(ix.els) == 0 || sp.End <= sp.Start {
 		return
 	}
 	ix.visit(1, 0, len(ix.els), sp, emit)
 }
 
-func (ix *spanIndex) visit(node, lo, hi int, sp document.Span, emit func(*Element)) {
+func (ix *spanIndex) visit(node, lo, hi int, sp document.Span, emit func(*Element) bool) bool {
 	// Prune: every span in this subtree ends at or before sp.Start.
 	if ix.maxEnd[node] <= sp.Start {
-		return
+		return true
 	}
 	// Prune: every span in this subtree starts at or after sp.End
 	// (elements are sorted by start).
 	if ix.els[lo].span.Start >= sp.End {
-		return
+		return true
 	}
 	if hi-lo == 1 {
 		e := ix.els[lo]
 		if e.span.Start < sp.End && e.span.End > sp.Start {
-			emit(e)
+			return emit(e)
 		}
-		return
+		return true
 	}
 	mid := (lo + hi) / 2
-	ix.visit(2*node, lo, mid, sp, emit)
-	ix.visit(2*node+1, mid, hi, sp, emit)
+	if !ix.visit(2*node, lo, mid, sp, emit) {
+		return false
+	}
+	return ix.visit(2*node+1, mid, hi, sp, emit)
+}
+
+// VisitIntersecting calls visit, in document order, for every element
+// whose span intersects sp, stopping early when visit returns false.
+// It is the non-materializing form of ElementsIntersecting: the xpath
+// planner's reversed overlap semi-join probes it per candidate, and an
+// early-exiting probe costs O(log n) when a witness exists.
+func (d *Document) VisitIntersecting(sp document.Span, visit func(*Element) bool) {
+	d.index().visitIntersecting(sp, visit)
 }
 
 // index returns the document's span index, rebuilding it when stale.

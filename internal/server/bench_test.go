@@ -39,6 +39,71 @@ func BenchmarkServeQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkServeQueryLarge drives the handler with a large node-set
+// result (every word element, ~2000 nodes) through the streaming
+// encoder. ReportAllocs pins the zero-alloc claim: per-request
+// allocations must not scale with the result size.
+func BenchmarkServeQueryLarge(b *testing.B) {
+	for _, format := range []string{"json", "text"} {
+		b.Run(format, func(b *testing.B) {
+			s, _ := newFixture(b, 2000, Config{})
+			h := s.Handler()
+			body := fmt.Sprintf(`{"doc":"ms","query":"//w","format":%q}`, format)
+			if w := post(b, h, body); w.Code != http.StatusOK {
+				b.Fatalf("warmup: %d %s", w.Code, w.Body.String())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, req)
+					if w.Code != http.StatusOK {
+						b.Fatalf("query failed: %d", w.Code)
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestServeAllocsFlat asserts the streaming path's allocation count is
+// independent of the result size: a ~2000-node response must allocate
+// about the same number of objects per request as an 8-node response of
+// the same query (byte volume differs, object count must not — the
+// node encoding reuses pooled scratch, not per-node buffers).
+func TestServeAllocsFlat(t *testing.T) {
+	s, _ := newFixture(t, 2000, Config{})
+	h := s.Handler()
+	run := func(body string) float64 {
+		// Warm pools, catalog, compiled-query LRU, and plan cache.
+		for i := 0; i < 5; i++ {
+			if w := post(t, h, body); w.Code != http.StatusOK {
+				t.Fatalf("warmup: %d %s", w.Code, w.Body.String())
+			}
+		}
+		return testing.AllocsPerRun(20, func() {
+			req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				t.Fatalf("query failed: %d", w.Code)
+			}
+		})
+	}
+	for _, format := range []string{"json", "text"} {
+		small := run(fmt.Sprintf(`{"doc":"ms","query":"//w","format":%q,"limit":8}`, format))
+		large := run(fmt.Sprintf(`{"doc":"ms","query":"//w","format":%q}`, format))
+		// ~250x more result nodes must not mean more allocations; allow
+		// a small constant of slack for buffer-size-class noise.
+		if large > small+25 {
+			t.Errorf("%s: allocs scale with result size: %.0f (2000 nodes) vs %.0f (8 nodes)", format, large, small)
+		}
+		t.Logf("%s: allocs/request: %.0f large, %.0f small", format, large, small)
+	}
+}
+
 // BenchmarkDirectEval is the floor BenchmarkServeQuery is measured
 // against: the same query evaluated straight on the GODDAG, no HTTP, no
 // JSON. The difference is the serving layer's overhead.

@@ -179,11 +179,12 @@ func (s *Server) Handler() http.Handler {
 
 // QueryRequest is the POST /query body.
 type QueryRequest struct {
-	Doc    string `json:"doc"`
-	Query  string `json:"query,omitempty"`
-	FLWOR  string `json:"flwor,omitempty"`
-	Limit  int    `json:"limit,omitempty"`  // cap on encoded nodes; 0 = server default
-	Format string `json:"format,omitempty"` // "json" (default), "text", "count"
+	Doc     string `json:"doc"`
+	Query   string `json:"query,omitempty"`
+	FLWOR   string `json:"flwor,omitempty"`
+	Limit   int    `json:"limit,omitempty"`   // cap on encoded nodes; 0 = server default
+	Format  string `json:"format,omitempty"`  // "json" (default), "text", "count"
+	Explain bool   `json:"explain,omitempty"` // include the query plan in JSON responses
 }
 
 // QueryResponse is the POST /query JSON response.
@@ -193,6 +194,7 @@ type QueryResponse struct {
 	Result    *cliutil.ValueJSON  `json:"result,omitempty"`    // XPath
 	Results   []cliutil.ValueJSON `json:"results,omitempty"`   // FLWOR, one per tuple
 	Truncated bool                `json:"truncated,omitempty"` // FLWOR: the node cap cut tuples short
+	Plan      []string            `json:"plan,omitempty"`      // explain output, one decision per line
 	ElapsedUS int64               `json:"elapsed_us"`
 }
 
@@ -231,11 +233,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Evaluation AND response encoding run under the document's read
 	// lock: node-set results reference live document structure, so an
-	// edit must not land between Eval and encode. The encoded response
-	// is buffered and written to the client only after the lock is
-	// released — a stalled client must not pin the read side and stall a
-	// queued writer (and, behind it, every later reader).
+	// edit must not land between Eval and encode (streams are fully
+	// consumed and closed inside the closure for the same reason). The
+	// encoded response is buffered and written to the client only after
+	// the lock is released — a stalled client must not pin the read side
+	// and stall a queued writer (and, behind it, every later reader).
 	br := newBufferedResponse()
+	defer br.release()
 	err := s.cat.View(req.Doc, func(doc *core.Document) error {
 		start := time.Now()
 		if req.FLWOR != "" {
@@ -247,25 +251,53 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.failBuf(br, http.StatusBadRequest, "%v", err)
 			return nil
 		}
-		v, err := q.Eval(doc.GODDAG())
+		// The stream executes the cached plan lazily: node-set results
+		// are pulled straight into the response buffer, so a limit or a
+		// count never materializes the full node set.
+		st, err := q.Stream(doc.GODDAG())
 		if err != nil {
 			s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
 			return nil
 		}
-		elapsed := time.Since(start)
+		defer st.Close()
+		var plan []string
+		if req.Explain {
+			plan = st.Explain()
+		}
 		switch req.Format {
 		case "", "json":
-			enc := cliutil.EncodeValue(v, limit)
-			s.okBuf(br, QueryResponse{
-				Doc: req.Doc, Query: req.Query, Result: &enc,
-				ElapsedUS: elapsed.Microseconds(),
-			})
+			if v, ok := st.Value(); ok {
+				enc := cliutil.EncodeValue(v, limit)
+				s.okBuf(br, QueryResponse{
+					Doc: req.Doc, Query: req.Query, Result: &enc, Plan: plan,
+					ElapsedUS: time.Since(start).Microseconds(),
+				})
+				return nil
+			}
+			if err := s.streamNodeSetJSON(br, req, st, limit, plan, start); err != nil {
+				s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
+			}
 		case "text":
 			br.contentType = "text/plain; charset=utf-8"
-			cliutil.WriteValue(&br.body, v, false, limit)
+			if v, ok := st.Value(); ok {
+				cliutil.WriteValue(&br.body, v, false, limit)
+				return nil
+			}
+			if _, err := cliutil.WriteNodesText(&br.body, st, limit); err != nil {
+				s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
+			}
 		case "count":
 			br.contentType = "text/plain; charset=utf-8"
-			cliutil.WriteValue(&br.body, v, true, 0)
+			if v, ok := st.Value(); ok {
+				cliutil.WriteValue(&br.body, v, true, 0)
+				return nil
+			}
+			n, err := st.Count()
+			if err != nil {
+				s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
+				return nil
+			}
+			fmt.Fprintln(&br.body, n)
 		}
 		return nil
 	})
@@ -281,16 +313,111 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	br.flush(w)
 }
 
+// streamNodeSetJSON encodes a node-set stream as the QueryResponse
+// envelope, node by node through the pooled append encoders — the
+// response decodes identically to the materializing path (result type,
+// nodes, full count, truncation flag) but allocates a small constant
+// amount of scratch regardless of result size. When the limit cuts the
+// stream short the remainder is drained (counted, not encoded) so Count
+// still reports the true result size.
+func (s *Server) streamNodeSetJSON(br *bufferedResponse, req QueryRequest, st *xpath.Stream, limit int, plan []string, start time.Time) error {
+	// Append straight into the response buffer's free capacity and
+	// commit with one Write at the end (the bytes.Buffer.AvailableBuffer
+	// contract): on a warm pooled buffer the bytes are encoded in place,
+	// with no scratch-to-body copy at all. Error returns never Write, so
+	// a partial encode leaves the body untouched for failBuf.
+	buf := br.body.AvailableBuffer()
+	buf = append(buf, `{"doc":`...)
+	buf = cliutil.AppendJSONString(buf, req.Doc)
+	buf = append(buf, `,"query":`...)
+	buf = cliutil.AppendJSONString(buf, req.Query)
+	buf = append(buf, `,"result":{"type":"node-set"`...)
+
+	total := st.Size() // exact for scan plans, -1 otherwise
+	written := 0
+	var ne cliutil.NodeEncoder // rune cursors amortize span conversion
+	for limit <= 0 || written < limit {
+		n, err := st.Next()
+		if err != nil {
+			return err
+		}
+		if n == nil {
+			break
+		}
+		if written == 0 {
+			buf = append(buf, `,"nodes":[`...)
+		} else {
+			buf = append(buf, ',')
+		}
+		buf = ne.AppendNodeJSON(buf, n)
+		written++
+	}
+	count, truncated := written, false
+	if total >= 0 {
+		count, truncated = total, written < total
+	} else if n, err := st.Next(); err != nil {
+		return err
+	} else if n != nil {
+		rest, err := st.Count()
+		if err != nil {
+			return err
+		}
+		count, truncated = written+1+rest, true
+	}
+	if written > 0 {
+		buf = append(buf, ']')
+	}
+	buf = append(buf, `,"count":`...)
+	buf = cliutil.AppendUint(buf, int64(count))
+	if truncated {
+		buf = append(buf, `,"truncated":true`...)
+	}
+	buf = append(buf, '}')
+	for i, line := range plan {
+		if i == 0 {
+			buf = append(buf, `,"plan":[`...)
+		} else {
+			buf = append(buf, ',')
+		}
+		buf = cliutil.AppendJSONString(buf, line)
+	}
+	if len(plan) > 0 {
+		buf = append(buf, ']')
+	}
+	buf = append(buf, `,"elapsed_us":`...)
+	buf = cliutil.AppendUint(buf, time.Since(start).Microseconds())
+	buf = append(buf, '}', '\n')
+	br.body.Write(buf)
+	return nil
+}
+
 // bufferedResponse accumulates one response while a document lock is
 // held, so the client-paced socket write happens after release.
+// Instances recycle through brPool: under sustained load the response
+// buffer is allocated once and reused, not once per request.
 type bufferedResponse struct {
 	status      int
 	contentType string
 	body        bytes.Buffer
 }
 
+var brPool = sync.Pool{New: func() any { return new(bufferedResponse) }}
+
 func newBufferedResponse() *bufferedResponse {
-	return &bufferedResponse{status: http.StatusOK, contentType: "application/json"}
+	br := brPool.Get().(*bufferedResponse)
+	br.status = http.StatusOK
+	br.contentType = "application/json"
+	br.body.Reset()
+	return br
+}
+
+// release returns the response to the pool. Buffers grown past 1 MiB by
+// an unusually large response are dropped instead of pinned.
+func (br *bufferedResponse) release() {
+	if br.body.Cap() > 1<<20 {
+		return
+	}
+	brPool.Put(br)
 }
 
 func (br *bufferedResponse) flush(w http.ResponseWriter) {
@@ -386,6 +513,9 @@ type DocResponse struct {
 	Elements    int      `json:"elements,omitempty"`
 	Leaves      int      `json:"leaves,omitempty"`
 	ContentLen  int      `json:"contentLen,omitempty"`
+	// Index reports the derived-index sizes the query planner reads as
+	// selectivity estimates (resident documents only).
+	Index *goddag.IndexStats `json:"index,omitempty"`
 }
 
 func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
@@ -442,6 +572,8 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 			resp.Elements = st.Elements
 			resp.Leaves = st.Leaves
 			resp.ContentLen = st.ContentLen
+			ix := g.IndexStats()
+			resp.Index = &ix
 			return nil
 		})
 	}

@@ -197,6 +197,52 @@ func TestQueryJSON(t *testing.T) {
 	}
 }
 
+// TestQueryExplain exercises the explain flag: the JSON response must
+// carry the plan for both streamed node-sets and planned scalars, and
+// omit it when the flag is off.
+func TestQueryExplain(t *testing.T) {
+	s, _ := newFixture(t, 120, Config{})
+	h := s.Handler()
+	cases := []struct {
+		query string
+		want  string // substring of some plan line
+	}{
+		{"//w", "scan:"},
+		{"//w[@n='5']", "pushdown:"},
+		{"count(//w)", "count:"},
+		{"not(//nosuch)", "exists"},
+		{"//w/overlapping::dmg", "semi-join"},
+		{"//w/ancestor::*", "materialize"},
+	}
+	for _, tc := range cases {
+		w := post(t, h, fmt.Sprintf(`{"doc":"ms","query":%q,"explain":true}`, tc.query))
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", tc.query, w.Code, w.Body.String())
+		}
+		var resp QueryResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Plan) == 0 {
+			t.Fatalf("%s: no plan in explain response: %s", tc.query, w.Body.String())
+		}
+		found := false
+		for _, line := range resp.Plan {
+			if strings.Contains(line, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: plan %v lacks %q", tc.query, resp.Plan, tc.want)
+		}
+	}
+	// Without the flag the plan key is absent.
+	w := post(t, h, `{"doc":"ms","query":"//w"}`)
+	if strings.Contains(w.Body.String(), `"plan"`) {
+		t.Fatalf("plan leaked into non-explain response: %s", w.Body.String())
+	}
+}
+
 // TestQueryTextMatchesCLI asserts the server's text format is
 // byte-identical to the cxquery pipeline (cliutil.Load → compile → eval
 // → cliutil.WriteValue) for the whole E4 query set, on both the standoff

@@ -186,6 +186,12 @@ type Options struct {
 	// reference code paths. Used by differential tests; results must be
 	// identical either way.
 	NoFastPaths bool
+
+	// NoPlanner disables the cost-based plan layer (bucket scans,
+	// predicate pushdown, semi-join reordering, count/exists clamps)
+	// while keeping the step fast paths. Used by differential tests and
+	// ablation benchmarks; results must be identical either way.
+	NoPlanner bool
 }
 
 // Eval evaluates the query with the document root as context node.
@@ -195,7 +201,8 @@ func (q *Query) Eval(doc *goddag.Document) (Value, error) {
 
 // EvalWithOptions evaluates with explicit options.
 func (q *Query) EvalWithOptions(doc *goddag.Document, opts Options) (Value, error) {
-	ev := &evaluator{doc: doc, query: q.source, opts: opts}
+	ev := acquireEvaluator(doc, q.source, opts)
+	defer releaseEvaluator(ev)
 	return ev.eval(q.root, context{doc: doc, node: doc.Root(), pos: 1, size: 1})
 }
 
@@ -207,14 +214,16 @@ func (q *Query) EvalFrom(doc *goddag.Document, node goddag.Node) (Value, error) 
 
 // EvalFromWithOptions evaluates with an explicit context node and options.
 func (q *Query) EvalFromWithOptions(doc *goddag.Document, node goddag.Node, opts Options) (Value, error) {
-	ev := &evaluator{doc: doc, query: q.source, opts: opts}
+	ev := acquireEvaluator(doc, q.source, opts)
+	defer releaseEvaluator(ev)
 	return ev.eval(q.root, context{doc: doc, node: node, pos: 1, size: 1})
 }
 
 // EvalWith evaluates with an explicit context node and variable bindings
 // (for $x references; the FLWOR layer in package xquery builds on this).
 func (q *Query) EvalWith(doc *goddag.Document, node goddag.Node, vars Bindings) (Value, error) {
-	ev := &evaluator{doc: doc, query: q.source}
+	ev := acquireEvaluator(doc, q.source, Options{})
+	defer releaseEvaluator(ev)
 	return ev.eval(q.root, context{doc: doc, node: node, pos: 1, size: 1, vars: vars})
 }
 

@@ -38,6 +38,14 @@ func (ev *evaluator) evalCall(c *callExpr, ctx context) (Value, error) {
 		}
 		return numberValue(float64(ctx.size)), nil
 	case "count":
+		if len(c.args) == 1 {
+			if n, ok, err := ev.plannedCount(c.args[0], ctx); ok || err != nil {
+				if err != nil {
+					return Value{}, err
+				}
+				return numberValue(float64(n)), nil
+			}
+		}
 		vs, err := argVals(1)
 		if err != nil {
 			return Value{}, err
@@ -159,12 +167,28 @@ func (ev *evaluator) evalCall(c *callExpr, ctx context) (Value, error) {
 		}
 		return numberValue(vs[0].Number()), nil
 	case "boolean":
+		if len(c.args) == 1 {
+			if exists, ok, err := ev.plannedExists(c.args[0], ctx); ok || err != nil {
+				if err != nil {
+					return Value{}, err
+				}
+				return boolValue(exists), nil
+			}
+		}
 		vs, err := argVals(1)
 		if err != nil {
 			return Value{}, err
 		}
 		return boolValue(vs[0].Bool()), nil
 	case "not":
+		if len(c.args) == 1 {
+			if exists, ok, err := ev.plannedExists(c.args[0], ctx); ok || err != nil {
+				if err != nil {
+					return Value{}, err
+				}
+				return boolValue(!exists), nil
+			}
+		}
 		vs, err := argVals(1)
 		if err != nil {
 			return Value{}, err

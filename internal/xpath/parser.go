@@ -1,11 +1,20 @@
 package xpath
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Query is a compiled Extended XPath expression, safe for concurrent use.
 type Query struct {
 	source string
 	root   expr
+
+	// plan is the single-slot cached execution plan for the most
+	// recently planned (document, version) pair; see plan.go. Queries
+	// live in the server's compiled-query LRU, so the slot effectively
+	// keys the plan cache alongside it.
+	plan atomic.Pointer[planSlot]
 }
 
 // String returns the original query text.

@@ -1,0 +1,721 @@
+package xpath
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/document"
+	"repro/internal/goddag"
+)
+
+// This file adds a small cost-based planning layer in front of the
+// evaluator. A plan is derived from the compiled AST plus per-document
+// index statistics (name-bucket sizes, element counts) and classifies
+// the query into one of a few executable shapes:
+//
+//   - planScan: the result is exactly a name-index bucket, optionally
+//     filtered by predicates pushed down into the scan. Streams in
+//     document order with no dedup pass.
+//   - planSemiJoin: an overlap step //a/overlapping::b driven from the
+//     rarer side. When bucket(b) is smaller than bucket(a) the plan
+//     iterates b and probes the span index for a witnessing a, instead
+//     of enumerating every overlap of every a.
+//   - planCount / planExists: count(path), boolean(path) and not(path)
+//     over a streamable inner plan never materialize the node set —
+//     count() reads the bucket cardinality or drains the cursor, and
+//     existence stops at the first match.
+//   - planEval: everything else falls back to the materializing
+//     evaluator unchanged.
+//
+// Plans are cached per compiled Query in a single atomic slot keyed by
+// (document identity, document version); the Query instances themselves
+// live in the server's compiled-query LRU, so the slot rides alongside
+// it. Any structural mutation advances the version (see
+// goddag.Document.Version) and invalidates the cached plan.
+
+// Plan is a prepared execution strategy for a Query against a specific
+// document. Explain exposes it to clients via the server's explain flag.
+type Plan struct {
+	kind      planKind
+	test      nodeTest // planScan: the bucket to scan
+	preds     []expr   // planScan: predicates pushed into the scan
+	outTest   nodeTest // planSemiJoin: output-side bucket
+	probeName string   // planSemiJoin: witness name ("" = any element)
+	inner     *Plan    // planCount / planExists
+	negate    bool     // planExists: not(path)
+	lines     []string
+}
+
+type planKind int
+
+const (
+	planEval planKind = iota
+	planScan
+	planSemiJoin
+	planCount
+	planExists
+)
+
+// Explain returns the human-readable plan description, one decision per
+// line.
+func (p *Plan) Explain() []string { return p.lines }
+
+// planSlot is the single-entry plan cache attached to a Query. It holds
+// the planned document strongly; worst case that delays collection of
+// one evicted document per cached query until the query is replanned,
+// bounded by the server's query-cache size.
+type planSlot struct {
+	doc     *goddag.Document
+	version uint64
+	plan    *Plan
+}
+
+// planFor returns the cached plan for doc, planning on a miss. Options
+// that change evaluation semantics or disable fast paths fall back to
+// the materializing evaluator so ablation benchmarks and differential
+// tests measure what they claim to.
+func (q *Query) planFor(doc *goddag.Document, opts Options) *Plan {
+	if opts.NoFastPaths || opts.NoPlanner || opts.OverlapByWalk {
+		return &Plan{kind: planEval, lines: []string{"materialize: planner disabled by options"}}
+	}
+	ver := doc.Version()
+	if s := q.plan.Load(); s != nil && s.doc == doc && s.version == ver {
+		return s.plan
+	}
+	pl := planQuery(doc, q.root)
+	q.plan.Store(&planSlot{doc: doc, version: ver, plan: pl})
+	return pl
+}
+
+// planQuery classifies the root expression. Count and existence
+// wrappers stream their inner path when it is streamable; bare paths
+// plan directly; everything else materializes.
+func planQuery(doc *goddag.Document, root expr) *Plan {
+	switch n := root.(type) {
+	case *pathExpr:
+		if pl, ok := planNodes(doc, n); ok {
+			return pl
+		}
+	case *callExpr:
+		if len(n.args) == 1 {
+			if p, ok := n.args[0].(*pathExpr); ok {
+				if inner, ok := planNodes(doc, p); ok && inner.kind != planEval {
+					switch n.name {
+					case "count":
+						return wrapPlan(planCount, inner, false, countLine(inner))
+					case "boolean":
+						return wrapPlan(planExists, inner, false, "exists: stop at the first streamed match")
+					case "not":
+						return wrapPlan(planExists, inner, true, "exists(negated): stop at the first streamed match")
+					}
+				}
+			}
+		}
+	}
+	return &Plan{kind: planEval, lines: []string{"materialize: full evaluation (no streamable shape)"}}
+}
+
+func wrapPlan(kind planKind, inner *Plan, negate bool, line string) *Plan {
+	lines := make([]string, 0, len(inner.lines)+1)
+	lines = append(lines, inner.lines...)
+	lines = append(lines, line)
+	return &Plan{kind: kind, inner: inner, negate: negate, lines: lines}
+}
+
+func countLine(inner *Plan) string {
+	if inner.kind == planScan && len(inner.preds) == 0 {
+		return "count: O(1) bucket cardinality, no evaluation"
+	}
+	return "count: streamed without materializing the node set"
+}
+
+// planNodes plans an absolute, filter-free path expression. It returns
+// ok=false when the shape is not recognized at all; a returned planEval
+// plan means the shape was recognized but the statistics favour the
+// existing evaluator (the explain lines say why).
+func planNodes(doc *goddag.Document, p *pathExpr) (*Plan, bool) {
+	if p.filter != nil || !p.absolute || len(p.steps) == 0 {
+		return nil, false
+	}
+	steps := p.steps
+
+	if len(steps) == 1 {
+		st := steps[0]
+		if !descendantAxis(st.axis) || !elementTest(st.test) {
+			return nil, false
+		}
+		est := bucketSize(doc, st.test)
+		scanLine := fmt.Sprintf("scan: %s from root via %s (%d candidates), document order, dedup-free", st.String(), bucketLabel(st.test), est)
+		if len(st.preds) == 0 {
+			return &Plan{kind: planScan, test: st.test, lines: []string{scanLine}}, true
+		}
+		// Pushdown. With the root as the only origin the candidate list
+		// the scan sees is exactly the list evalStep would build, so
+		// position() and numeric predicates stream correctly — the
+		// cursor tracks per-stage positions incrementally. Only last()
+		// in a later stage is out: its value is the previous stage's
+		// survivor count, unknown until the scan ends.
+		for _, pr := range st.preds[1:] {
+			if usesCall(pr, "last") {
+				return nil, false
+			}
+		}
+		return &Plan{kind: planScan, test: st.test, preds: st.preds, lines: []string{
+			scanLine,
+			fmt.Sprintf("pushdown: %d predicate(s) applied during the scan", len(st.preds)),
+		}}, true
+	}
+
+	if len(steps) == 2 {
+		s1, s2 := steps[0], steps[1]
+
+		// '//name[preds]' survives optimizeSteps un-collapsed as
+		// descendant-or-self::node()/child::name[preds]. The child step
+		// unioned over every node origin is exactly the name bucket in
+		// document order (each element has one parent per hierarchy), so
+		// the scan streams it — but only when no predicate observes
+		// position() or last(): those are per-parent in the reference
+		// semantics and global in a bucket scan.
+		if s1.axis == AxisDescendantOrSelf && s1.test.kind == testNode && len(s1.preds) == 0 &&
+			s2.axis == AxisChild && elementTest(s2.test) && len(s2.preds) > 0 &&
+			predsStaticBool(s2.preds) {
+			est := bucketSize(doc, s2.test)
+			return &Plan{kind: planScan, test: s2.test, preds: s2.preds, lines: []string{
+				fmt.Sprintf("scan: //%s via %s (%d candidates), document order, dedup-free", s2.test.String(), bucketLabel(s2.test), est),
+				fmt.Sprintf("pushdown: %d position-free predicate(s) applied during the scan", len(s2.preds)),
+			}}, true
+		}
+
+		// Overlap semi-join: //a/overlapping::b. Proper overlap is
+		// symmetric, so the join can be driven from either side; drive
+		// from the rarer bucket. Reversed, each b-candidate probes the
+		// span index for a witnessing a and exits at the first hit —
+		// the output is bucket order (= document order), dedup-free.
+		if descendantAxis(s1.axis) && elementTest(s1.test) && len(s1.preds) == 0 &&
+			s2.axis == AxisOverlapping && elementTest(s2.test) && len(s2.preds) == 0 {
+			estA := bucketSize(doc, s1.test)
+			estB := bucketSize(doc, s2.test)
+			if estA == 0 {
+				return &Plan{kind: planScan, test: s1.test, lines: []string{
+					fmt.Sprintf("empty: origin %s has no elements, result is empty", bucketLabel(s1.test)),
+				}}, true
+			}
+			if estB < estA {
+				return &Plan{kind: planSemiJoin, outTest: s2.test, probeName: probeNameOf(s1.test), lines: []string{
+					fmt.Sprintf("semi-join(reversed): scan output side %s (%d candidates), probe span index for one properly overlapping %s (%d); driven from the rarer side",
+						bucketLabel(s2.test), estB, bucketLabel(s1.test), estA),
+				}}, true
+			}
+			return &Plan{kind: planEval, lines: []string{
+				fmt.Sprintf("semi-join(forward): origin side %s (%d) is no larger than output side %s (%d); forward drive kept, materializing evaluator",
+					bucketLabel(s1.test), estA, bucketLabel(s2.test), estB),
+			}}, true
+		}
+	}
+	return nil, false
+}
+
+func descendantAxis(ax Axis) bool {
+	return ax == AxisDescendant || ax == AxisDescendantOrSelf
+}
+
+func elementTest(t nodeTest) bool {
+	return (t.kind == testName || t.kind == testAny) && t.hierarchy == ""
+}
+
+func probeNameOf(t nodeTest) string {
+	if t.kind == testName {
+		return t.name
+	}
+	return ""
+}
+
+func bucketSize(doc *goddag.Document, t nodeTest) int {
+	if t.kind == testName {
+		return len(doc.ElementsNamed(t.name))
+	}
+	return len(doc.Elements())
+}
+
+func bucketLabel(t nodeTest) string {
+	if t.kind == testName {
+		return fmt.Sprintf("name bucket %q", t.name)
+	}
+	return "all elements"
+}
+
+// predsStaticBool reports whether every predicate is statically
+// boolean-valued (never interpreted positionally) and independent of
+// the evaluation position — the safety condition for pushing '//name'
+// predicates into a global bucket scan.
+func predsStaticBool(preds []expr) bool {
+	for _, pr := range preds {
+		if !staticBool(pr) || usesCall(pr, "position") || usesCall(pr, "last") {
+			return false
+		}
+	}
+	return true
+}
+
+// staticBool reports whether e always yields a boolean-interpretable,
+// non-numeric value: comparisons and logic, boolean-returning builtins,
+// node-set and string operands coerced via Bool. Numeric expressions
+// are excluded because predHolds treats them positionally.
+func staticBool(e expr) bool {
+	switch n := e.(type) {
+	case *binaryExpr:
+		switch n.op {
+		case "or", "and", "=", "!=", "<", "<=", ">", ">=":
+			return true
+		}
+		return false
+	case *callExpr:
+		switch n.name {
+		case "not", "boolean", "true", "false", "contains", "starts-with", "overlaps":
+			return true
+		}
+		return false
+	case *pathExpr, *literalExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+// usesCall reports whether e contains a call to the named function
+// anywhere, including inside nested path predicates.
+func usesCall(e expr, name string) bool {
+	found := false
+	walkExpr(e, func(x expr) bool {
+		if c, ok := x.(*callExpr); ok && c.name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// walkExpr applies f to e and every sub-expression, stopping early when
+// f returns false. Returns false if the walk was stopped.
+func walkExpr(e expr, f func(expr) bool) bool {
+	if e == nil {
+		return true
+	}
+	if !f(e) {
+		return false
+	}
+	switch n := e.(type) {
+	case *binaryExpr:
+		return walkExpr(n.l, f) && walkExpr(n.r, f)
+	case *unaryExpr:
+		return walkExpr(n.x, f)
+	case *callExpr:
+		for _, a := range n.args {
+			if !walkExpr(a, f) {
+				return false
+			}
+		}
+	case *pathExpr:
+		if !walkExpr(n.filter, f) {
+			return false
+		}
+		for _, st := range n.steps {
+			for _, pr := range st.preds {
+				if !walkExpr(pr, f) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// --- cursors -------------------------------------------------------------
+
+// cursor is the lazy node-set contract: next returns the following node
+// in document order, (nil, nil) once exhausted. size reports the exact
+// number of remaining nodes, or -1 when it cannot be known without
+// draining (predicate and semi-join cursors).
+type cursor interface {
+	next() (goddag.Node, error)
+	size() int
+}
+
+type elemsCursor struct {
+	els []*goddag.Element
+	i   int
+}
+
+func (c *elemsCursor) next() (goddag.Node, error) {
+	if c.i >= len(c.els) {
+		return nil, nil
+	}
+	e := c.els[c.i]
+	c.i++
+	return e, nil
+}
+
+func (c *elemsCursor) size() int { return len(c.els) - c.i }
+
+// sliceCursor adapts a materialized node set (planEval fallback) to the
+// stream contract.
+type sliceCursor struct {
+	ns []goddag.Node
+	i  int
+}
+
+func (c *sliceCursor) next() (goddag.Node, error) {
+	if c.i >= len(c.ns) {
+		return nil, nil
+	}
+	n := c.ns[c.i]
+	c.i++
+	return n, nil
+}
+
+func (c *sliceCursor) size() int { return len(c.ns) - c.i }
+
+// predCursor streams a bucket scan with pushed-down predicates. pos[k]
+// counts how many candidates reached predicate stage k, reproducing the
+// sequential-stage position semantics of evalStep: a candidate's
+// position at stage k is its rank among survivors of stages [0,k).
+type predCursor struct {
+	ev    *evaluator
+	els   []*goddag.Element
+	preds []expr
+	vars  Bindings
+	pos   []int
+	i     int
+}
+
+func (c *predCursor) next() (goddag.Node, error) {
+candidates:
+	for c.i < len(c.els) {
+		e := c.els[c.i]
+		c.i++
+		for k, pred := range c.preds {
+			c.pos[k]++
+			size := 0
+			if k == 0 {
+				// Stage 0 sees the full candidate list, so last() is
+				// the bucket size. Later stages never see last(): the
+				// planner rejects it there.
+				size = len(c.els)
+			}
+			pctx := context{doc: c.ev.doc, node: e, pos: c.pos[k], size: size, vars: c.vars}
+			v, err := c.ev.eval(pred, pctx)
+			if err != nil {
+				return nil, err
+			}
+			if !predHolds(v, c.pos[k]) {
+				continue candidates
+			}
+		}
+		return e, nil
+	}
+	return nil, nil
+}
+
+func (c *predCursor) size() int { return -1 }
+
+// semiJoinCursor streams the reversed overlap semi-join: iterate the
+// (smaller) output bucket, emit each element witnessed by at least one
+// properly overlapping element matching probeName. The span-index probe
+// exits at the first witness.
+type semiJoinCursor struct {
+	doc       *goddag.Document
+	els       []*goddag.Element
+	probeName string // "" = any element
+	i         int
+}
+
+func (c *semiJoinCursor) next() (goddag.Node, error) {
+	for c.i < len(c.els) {
+		e := c.els[c.i]
+		c.i++
+		if anyOverlapping(c.doc, e.Span(), c.probeName) {
+			return e, nil
+		}
+	}
+	return nil, nil
+}
+
+func (c *semiJoinCursor) size() int { return -1 }
+
+// anyOverlapping reports whether any element (matching name, when
+// non-empty) properly overlaps sp. Proper overlap is symmetric and
+// irreflexive, so no identity exclusion is needed.
+func anyOverlapping(doc *goddag.Document, sp document.Span, name string) bool {
+	found := false
+	doc.VisitIntersecting(sp, func(x *goddag.Element) bool {
+		if (name == "" || x.Name() == name) && x.Span().Overlaps(sp) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// nodeCursor builds the cursor for a node-producing plan.
+func (ev *evaluator) nodeCursor(pl *Plan, vars Bindings) cursor {
+	switch pl.kind {
+	case planScan:
+		els := ev.bucket(pl.test)
+		if len(pl.preds) == 0 {
+			return &elemsCursor{els: els}
+		}
+		return &predCursor{ev: ev, els: els, preds: pl.preds, vars: vars, pos: make([]int, len(pl.preds))}
+	case planSemiJoin:
+		return &semiJoinCursor{doc: ev.doc, els: ev.bucket(pl.outTest), probeName: pl.probeName}
+	}
+	return nil
+}
+
+func (ev *evaluator) bucket(t nodeTest) []*goddag.Element {
+	if t.kind == testName {
+		return ev.doc.ElementsNamed(t.name)
+	}
+	return ev.doc.Elements()
+}
+
+// countPlan counts a streamable inner plan without materializing.
+func (ev *evaluator) countPlan(inner *Plan, vars Bindings) (int, error) {
+	cur := ev.nodeCursor(inner, vars)
+	if n := cur.size(); n >= 0 {
+		return n, nil
+	}
+	n := 0
+	for {
+		nd, err := cur.next()
+		if err != nil {
+			return 0, err
+		}
+		if nd == nil {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// plannedCount is the count() clamp: when the argument is a streamable
+// absolute path, count it from the bucket cardinality or by draining a
+// cursor — never materializing the node set. ok=false means the caller
+// must fall back to full evaluation.
+func (ev *evaluator) plannedCount(arg expr, ctx context) (int, bool, error) {
+	inner, ok := ev.streamableArg(arg)
+	if !ok {
+		return 0, false, nil
+	}
+	n, err := ev.countPlan(inner, ctx.vars)
+	return n, true, err
+}
+
+// plannedExists is the boolean()/not() clamp: pull at most one node.
+func (ev *evaluator) plannedExists(arg expr, ctx context) (bool, bool, error) {
+	inner, ok := ev.streamableArg(arg)
+	if !ok {
+		return false, false, nil
+	}
+	exists, err := ev.existsPlan(inner, ctx.vars)
+	return exists, true, err
+}
+
+// streamableArg plans a function argument when the planner is enabled
+// and the argument is a streamable absolute path. Absolute paths are
+// context-independent, so the clamp is valid at any evaluation position.
+func (ev *evaluator) streamableArg(arg expr) (*Plan, bool) {
+	if ev.opts.NoFastPaths || ev.opts.NoPlanner || ev.opts.OverlapByWalk {
+		return nil, false
+	}
+	p, ok := arg.(*pathExpr)
+	if !ok {
+		return nil, false
+	}
+	inner, ok := planNodes(ev.doc, p)
+	if !ok || inner.kind == planEval {
+		return nil, false
+	}
+	return inner, true
+}
+
+// existsPlan pulls at most one node from a streamable inner plan.
+func (ev *evaluator) existsPlan(inner *Plan, vars Bindings) (bool, error) {
+	cur := ev.nodeCursor(inner, vars)
+	if n := cur.size(); n >= 0 {
+		return n > 0, nil
+	}
+	nd, err := cur.next()
+	if err != nil {
+		return false, err
+	}
+	return nd != nil, nil
+}
+
+// --- streaming API -------------------------------------------------------
+
+// Stream is a lazy query execution: node-set results are pulled one node
+// at a time in document order without materializing the full set, and
+// scalar results (numbers, strings, booleans, attribute sets) are
+// available immediately via Value. Close releases the pooled evaluator;
+// a Stream must be fully consumed and closed before the document is
+// mutated (same contract as Eval's read snapshot).
+type Stream struct {
+	ev     *evaluator
+	plan   *Plan
+	cur    cursor
+	val    Value
+	scalar bool
+	closed bool
+}
+
+// Stream executes q lazily against doc.
+func (q *Query) Stream(doc *goddag.Document) (*Stream, error) {
+	return q.StreamWithOptions(doc, Options{})
+}
+
+// StreamWithOptions executes q lazily against doc with evaluation
+// options. Count/exists plans and materializing fallbacks execute
+// eagerly here; bucket scans and semi-joins defer all work to Next.
+func (q *Query) StreamWithOptions(doc *goddag.Document, opts Options) (*Stream, error) {
+	pl := q.planFor(doc, opts)
+	ev := acquireEvaluator(doc, q.source, opts)
+	s := &Stream{ev: ev, plan: pl}
+	var err error
+	switch pl.kind {
+	case planScan, planSemiJoin:
+		s.cur = ev.nodeCursor(pl, nil)
+	case planCount:
+		var n int
+		if n, err = ev.countPlan(pl.inner, nil); err == nil {
+			s.val, s.scalar = numberValue(float64(n)), true
+		}
+	case planExists:
+		var ok bool
+		if ok, err = ev.existsPlan(pl.inner, nil); err == nil {
+			if pl.negate {
+				ok = !ok
+			}
+			s.val, s.scalar = boolValue(ok), true
+		}
+	default:
+		var v Value
+		rootCtx := context{doc: doc, node: doc.Root(), pos: 1, size: 1}
+		if v, err = ev.eval(q.root, rootCtx); err == nil {
+			if v.kind == valNodes {
+				s.cur = &sliceCursor{ns: v.nodes}
+			} else {
+				s.val, s.scalar = v, true
+			}
+		}
+	}
+	if err != nil {
+		releaseEvaluator(ev)
+		return nil, err
+	}
+	return s, nil
+}
+
+// IsNodeSet reports whether the stream yields nodes (pull with Next)
+// rather than a scalar value (read with Value).
+func (s *Stream) IsNodeSet() bool { return !s.scalar }
+
+// Value returns the scalar result and true when the query did not yield
+// a node set (numbers, strings, booleans, attribute sets).
+func (s *Stream) Value() (Value, bool) {
+	if s.scalar {
+		return s.val, true
+	}
+	return Value{}, false
+}
+
+// Next returns the next node in document order, or (nil, nil) when the
+// stream is exhausted or the result is scalar.
+func (s *Stream) Next() (goddag.Node, error) {
+	if s.cur == nil {
+		return nil, nil
+	}
+	return s.cur.next()
+}
+
+// Size reports the exact number of nodes remaining, or -1 when unknown
+// without draining (predicate and semi-join plans). Scalar streams
+// report 0.
+func (s *Stream) Size() int {
+	if s.cur == nil {
+		return 0
+	}
+	return s.cur.size()
+}
+
+// Count drains the stream and returns the number of remaining nodes,
+// using the size shortcut when it is exact.
+func (s *Stream) Count() (int, error) {
+	if s.cur == nil {
+		return 0, nil
+	}
+	if n := s.cur.size(); n >= 0 {
+		// Advance past the counted nodes so a subsequent Next is clean.
+		if ec, ok := s.cur.(*elemsCursor); ok {
+			ec.i = len(ec.els)
+		} else if sc, ok := s.cur.(*sliceCursor); ok {
+			sc.i = len(sc.ns)
+		}
+		return n, nil
+	}
+	n := 0
+	for {
+		nd, err := s.cur.next()
+		if err != nil {
+			return n, err
+		}
+		if nd == nil {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// Explain returns the plan description for this execution.
+func (s *Stream) Explain() []string { return s.plan.Explain() }
+
+// Close releases the stream's pooled resources. Safe to call more than
+// once; the stream must not be used afterwards.
+func (s *Stream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	releaseEvaluator(s.ev)
+	s.ev = nil
+	s.cur = nil
+}
+
+// --- evaluator pool ------------------------------------------------------
+
+// evPool recycles evaluators between queries. The payoff is the seen
+// bitset: once grown to a document's ordinal range it is retained, so a
+// steady-state serving workload performs zero bitset allocations per
+// request (the dedup-bitset pool the roadmap calls for).
+var evPool = sync.Pool{New: func() any { return new(evaluator) }}
+
+func acquireEvaluator(doc *goddag.Document, query string, opts Options) *evaluator {
+	ev := evPool.Get().(*evaluator)
+	ev.doc = doc
+	ev.query = query
+	ev.opts = opts
+	return ev
+}
+
+func releaseEvaluator(ev *evaluator) {
+	if ev == nil {
+		return
+	}
+	ev.doc = nil
+	ev.ord = nil
+	ev.query = ""
+	ev.opts = Options{}
+	ev.seen.reset() // keep grown bits, clear touched entries
+	evPool.Put(ev)
+}

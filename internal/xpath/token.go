@@ -18,6 +18,30 @@
 // Deviations from full XPath 1.0, chosen for document-centric querying:
 // no variables, no namespace axes, and binary minus must be surrounded by
 // whitespace (names may contain '-').
+//
+// # Plans and streams
+//
+// Evaluation has two layers. Eval and friends are the reference path:
+// they materialize a Value per step. Above them sits a small cost-based
+// planner (plan.go): before a query runs, its shape is matched against
+// a few plan kinds — name-bucket scans with statically-safe predicates
+// pushed into the scan, reversed semi-joins for //a/overlapping::b
+// driven from whichever side's bucket is smaller, and O(1)
+// count()/exists plans that read bucket cardinalities instead of
+// building node sets. Selectivity comes from the document's name-index
+// bucket sizes; the chosen plan is cached on the Query in an atomic
+// slot keyed by (document, version), so a structural edit invalidates
+// it and concurrent evaluations share one planning pass. Queries no
+// plan matches fall back to the reference path — by construction the
+// planner never changes results, a property the corpus-grid
+// differential tests assert.
+//
+// StreamWithOptions exposes the lazy contract: a Stream pulls result
+// nodes one at a time in document order (Next/Size/Count), so callers
+// that encode, clamp, or count never hold the full node set; evaluator
+// state (including the dedup bitset, sized to the document's ordinal
+// range) is pooled and returned on Close. The serving layer encodes
+// responses straight off this iterator.
 package xpath
 
 import (
