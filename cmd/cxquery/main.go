@@ -19,10 +19,16 @@
 // same renderer (internal/cliutil) the cxserve HTTP service uses for its
 // text format, so CLI and server output are byte-identical. -json emits
 // the server's JSON encoding instead.
+//
+// -timeout and -max-visited bound the evaluation the same way the
+// server's request deadlines and node budgets do: a query that exceeds
+// either stops at the next evaluator checkpoint and exits non-zero,
+// instead of running a hostile or mistyped expression forever.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +50,8 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit the JSON encoding (shared with cxserve)")
 		demo    = flag.Bool("fig1", false, "use the bundled Figure 1 fragment")
 		quiet   = flag.Bool("count", false, "print only the number of result nodes")
+		timeout = flag.Duration("timeout", 0, "abort evaluation after this long (0 = no limit)")
+		visited = flag.Int("max-visited", 0, "abort evaluation after visiting this many nodes (0 = no limit)")
 	)
 	flag.Parse()
 	if *query == "" && *flwor == "" {
@@ -71,6 +79,17 @@ func main() {
 		fatal(err)
 	}
 
+	// The evaluation lifecycle: one deadline and one node budget for the
+	// whole invocation, shared across -each documents, enforced at the
+	// evaluator's amortized checkpoints.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	budget := xpath.Budget{MaxVisited: *visited}
+
 	if *each {
 		paths := flag.Args()
 		if len(paths) == 0 {
@@ -81,7 +100,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if err := run(doc, xq, fq, *jsonOut, *quiet, p); err != nil {
+			if err := run(ctx, doc, xq, fq, budget, *jsonOut, *quiet, p); err != nil {
 				fatal(err)
 			}
 		}
@@ -97,7 +116,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := run(doc, xq, fq, *jsonOut, *quiet, ""); err != nil {
+	if err := run(ctx, doc, xq, fq, budget, *jsonOut, *quiet, ""); err != nil {
 		fatal(err)
 	}
 }
@@ -107,13 +126,13 @@ func main() {
 // path in -each mode (empty otherwise): text lines get it as a prefix
 // column, JSON output wraps it into the emitted object so every line
 // stays valid JSON.
-func run(doc *core.Document, xq *xpath.Query, fq *xquery.Query, jsonOut, quiet bool, file string) error {
+func run(ctx context.Context, doc *core.Document, xq *xpath.Query, fq *xquery.Query, budget xpath.Budget, jsonOut, quiet bool, file string) error {
 	prefix := ""
 	if file != "" {
 		prefix = file + ": "
 	}
 	if fq != nil {
-		vals, err := fq.Eval(doc.GODDAG())
+		vals, err := fq.EvalContext(ctx, doc.GODDAG(), budget)
 		if err != nil {
 			return err
 		}
@@ -131,7 +150,7 @@ func run(doc *core.Document, xq *xpath.Query, fq *xquery.Query, jsonOut, quiet b
 			cliutil.WriteFLWOR(w, vals, quiet, 0)
 		})
 	}
-	v, err := xq.Eval(doc.GODDAG())
+	v, err := xq.EvalContext(ctx, doc.GODDAG(), budget)
 	if err != nil {
 		return err
 	}

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	cxserve -dir corpus/ [-addr :8080] [-budget 512] [-cache 256] [-timeout 10s]
+//	cxserve -dir corpus/ [-addr :8080] [-budget 512] [-cache 256]
+//	        [-query-timeout 10s] [-max-visited 0] [-slow-query 0]
 //
 // The corpus directory may mix source forms, one document per entry:
 //
@@ -42,6 +43,18 @@
 // Documents are editable unless -readonly is set: queries run under
 // per-document read locks, edit batches under the write lock, so
 // readers always see a consistent snapshot.
+//
+// Request lifecycles: -query-timeout is the default end-to-end deadline
+// of every request (a /query body may tighten it with "timeoutMS",
+// never loosen it); when it expires mid-evaluation the client gets a
+// 504 and the evaluator actually stops — lock waits, cold loads, and
+// the query engine's amortized checkpoints all cooperate with the
+// deadline, and a client that disconnects aborts its evaluation the
+// same way. -max-visited additionally bounds the nodes one evaluation
+// may visit (413 when exhausted), so a single hostile query cannot
+// monopolize a core regardless of deadline. -slow-query logs and counts
+// evaluations slower than the threshold; /stats reports cancelled,
+// timed-out, budget-exceeded, and slow-query totals.
 //
 // Durability: with -wal (the default) every committed edit batch is
 // appended to a per-document write-ahead log (<id>.wal, next to the
@@ -86,13 +99,16 @@ func main() {
 		dir        = flag.String("dir", "", "corpus directory (required)")
 		budgetMB   = flag.Int64("budget", 0, "resident-document byte budget in MiB (0 = unlimited)")
 		cacheSize  = flag.Int("cache", 256, "compiled-query LRU capacity")
-		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 = none)")
+		timeout    = flag.Duration("query-timeout", 10*time.Second, "default end-to-end request deadline (0 = none)")
+		maxVisited = flag.Int("max-visited", 0, "max nodes one query evaluation may visit (0 = unlimited)")
+		slowQuery  = flag.Duration("slow-query", 0, "log queries slower than this (0 = disabled)")
 		maxBody    = flag.Int64("max-body", 1<<20, "maximum /query body bytes")
 		maxResults = flag.Int("max-results", 10000, "default cap on encoded result nodes (-1 = unlimited)")
 		readonly   = flag.Bool("readonly", false, "disable the edit/undo/redo endpoints")
 		wal        = flag.Bool("wal", true, "write-ahead log edit batches for crash recovery")
 		inflight   = flag.Int("max-inflight", 256, "maximum concurrently served requests (-1 = unlimited)")
 	)
+	flag.DurationVar(timeout, "timeout", *timeout, "alias for -query-timeout (kept for compatibility)")
 	flag.Parse()
 	if *dir == "" {
 		fatal(errors.New("missing -dir corpus directory"))
@@ -107,6 +123,8 @@ func main() {
 		MaxBody:     *maxBody,
 		MaxResults:  *maxResults,
 		Timeout:     *timeout,
+		MaxVisited:  *maxVisited,
+		SlowQuery:   *slowQuery,
 		ReadOnly:    *readonly,
 		MaxInflight: *inflight,
 	})

@@ -57,6 +57,18 @@
 // render through the same internal/cliutil encoders the cxquery CLI
 // uses, so server and CLI output are byte-identical.
 //
+// Every request the serving layer handles carries a real lifecycle: a
+// context.Context deadline (the server default, tightened per request)
+// threads from the HTTP handler through catalog lock acquisition and
+// singleflight cold loads down to the query evaluator, which polls it
+// at amortized checkpoints alongside an optional per-evaluation node
+// budget (xpath.Budget). An expired deadline answers 504, a client
+// disconnect cancels the evaluation (499), an exhausted budget answers
+// 413 — and in every case the serving goroutine actually unwinds
+// instead of finishing work nobody will read. Shared work is never
+// aborted on one waiter's behalf: an in-flight load completes for the
+// other waiters, and an edit past its commit point persists in full.
+//
 // Served documents are editable, not frozen at load: each catalog entry
 // carries a read/write lock — queries evaluate under the read side, and
 // POST /docs/{id}/edit applies a JSON op batch as ONE editor transaction

@@ -45,11 +45,20 @@
 // document without read-locking it, so callers that run concurrently
 // with Update must use View instead. All Catalog methods are safe for
 // concurrent use.
+//
+// Every blocking method has a Context variant (GetContext, ViewContext,
+// UpdateContext, UpdateBatchContext) that bounds its *waiting* — for the
+// per-document lock, or for a cold load — by the caller's context.
+// Shared work is never aborted on a waiter's behalf: an in-flight load
+// finishes and publishes for the remaining waiters, and an update past
+// its commit point persists in full. The context-free names delegate
+// with context.Background().
 package catalog
 
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -184,8 +193,11 @@ type entry struct {
 	// rw orders readers and writers of the resident document: View holds
 	// the read side for the whole evaluation, Update the write side for
 	// the whole edit + save. It outlives evictions (entries are never
-	// deleted), so a reload under a held lock stays ordered.
-	rw      sync.RWMutex
+	// deleted), so a reload under a held lock stays ordered. Acquisition
+	// is context-bounded (ctxRWMutex): a request whose deadline expires
+	// while queued behind a long edit or read barrage gives up its place
+	// instead of pinning a goroutine until the lock frees.
+	rw      ctxRWMutex
 	editing int    // Updates in flight or queued (guards eviction)
 	dirty   bool   // edited state not yet persisted (save failed)
 	edits   uint64 // committed edit transactions
@@ -336,7 +348,20 @@ func (c *Catalog) IDs() []string {
 // load. The returned document remains valid even if the catalog later
 // evicts it, but Get takes no read lock: callers that may run
 // concurrently with Update on the same document must use View instead.
+// Get never gives up waiting; request-scoped callers use GetContext.
 func (c *Catalog) Get(id string) (*core.Document, error) {
+	return c.GetContext(context.Background(), id)
+}
+
+// GetContext is Get bounded by ctx: the wait for a cold document's load
+// (whether this call started it or joined one in flight) ends early with
+// ctx.Err() when the caller's deadline or cancellation fires first. The
+// load itself runs in its own goroutine and is NOT aborted by any
+// waiter's context — it completes and publishes its result for the other
+// waiters and for future Gets, so one impatient request can neither
+// poison a cold document for everyone else nor waste the parse work
+// already done.
+func (c *Catalog) GetContext(ctx context.Context, id string) (*core.Document, error) {
 	c.mu.Lock()
 	e, ok := c.entries[id]
 	if !ok {
@@ -363,16 +388,28 @@ func (c *Catalog) Get(id string) (*core.Document, error) {
 		}
 		e.lastErr = nil // expired: retry the load below
 	}
-	if f := e.flight; f != nil {
-		// Singleflight: somebody else is already loading; share the result.
-		c.mu.Unlock()
-		<-f.done
-		return f.doc, f.err
+	f := e.flight
+	if f == nil {
+		// Singleflight: first caller starts the load; everyone (including
+		// this caller) waits on the same flight.
+		f = &flight{done: make(chan struct{})}
+		e.flight = f
+		go c.runLoad(e, f)
 	}
-	f := &flight{done: make(chan struct{})}
-	e.flight = f
 	c.mu.Unlock()
+	select {
+	case <-f.done:
+		return f.doc, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
 
+// runLoad performs one singleflight load and publishes its result. It
+// runs detached from any caller's context: abandoning waiters must not
+// abort or poison the shared load. f.doc/f.err are written before
+// close(f.done), so waiters released by the close read them safely.
+func (c *Catalog) runLoad(e *entry, f *flight) {
 	doc, bytes, err := c.load(e)
 
 	c.mu.Lock()
@@ -395,7 +432,6 @@ func (c *Catalog) Get(id string) (*core.Document, error) {
 	}
 	c.mu.Unlock()
 	close(f.done)
-	return doc, err
 }
 
 // load parses one document from its source files, replays any surviving
@@ -479,15 +515,26 @@ func (c *Catalog) Evict(id string) bool {
 // document, so fn evaluates against a consistent snapshot. The document
 // must not escape fn.
 func (c *Catalog) View(id string, fn func(*core.Document) error) error {
+	return c.ViewContext(context.Background(), id, fn)
+}
+
+// ViewContext is View bounded by ctx: both the read-lock acquisition
+// (queued behind a long edit) and a cold load respect the caller's
+// deadline, returning ctx.Err() without running fn. Once fn is running,
+// cancellation is fn's own job — pass ctx into the evaluation (e.g.
+// xpath.Options.Context) to unwind it.
+func (c *Catalog) ViewContext(ctx context.Context, id string, fn func(*core.Document) error) error {
 	c.mu.Lock()
 	e, ok := c.entries[id]
 	c.mu.Unlock()
 	if !ok {
 		return &ErrNotFound{ID: id}
 	}
-	e.rw.RLock()
+	if err := e.rw.RLock(ctx); err != nil {
+		return err
+	}
 	defer e.rw.RUnlock()
-	doc, err := c.Get(id)
+	doc, err := c.GetContext(ctx, id)
 	if err != nil {
 		return err
 	}
@@ -526,14 +573,25 @@ func (c *Catalog) IndexStats(id string) (goddag.IndexStats, error) {
 // op batch instead and treats the fsynced log record as the commit
 // point.
 func (c *Catalog) Update(id string, fn func(*core.Document) error) error {
+	return c.UpdateContext(context.Background(), id, fn)
+}
+
+// UpdateContext is Update bounded by ctx — but only up to the point of
+// no return: the write-lock acquisition and a cold load give up with
+// ctx.Err() (nothing has changed), while a commit already past fn is
+// always persisted in full, so cancellation can never tear an edit or
+// abandon a committed-but-unsaved state.
+func (c *Catalog) UpdateContext(ctx context.Context, id string, fn func(*core.Document) error) error {
 	e, err := c.beginEdit(id)
 	if err != nil {
 		return err
 	}
 	defer c.endEdit(e)
-	e.rw.Lock()
+	if err := e.rw.Lock(ctx); err != nil {
+		return err
+	}
 	defer e.rw.Unlock()
-	doc, err := c.Get(id)
+	doc, err := c.GetContext(ctx, id)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,114 @@
+package catalog
+
+import (
+	"context"
+	"sync"
+)
+
+// ctxRWMutex is a readers-writer lock whose acquisitions give up when
+// the caller's context ends first — the piece sync.RWMutex is missing
+// for request-lifecycle serving: a reader queue stuck behind a slow
+// writer (or vice versa) must not pin abandoned request goroutines
+// until the lock frees.
+//
+// Semantics match the sync.RWMutex uses it replaces, plus writer
+// preference: a parked writer blocks NEW readers, so a steady stream of
+// queries cannot starve the edit path (the PR 5/6 write path keeps
+// committing under read barrages). Waiters park on a broadcast channel
+// that is closed and replaced at every release point; spurious wakeups
+// just re-check the state. A cancelled acquisition changes nothing
+// except its own bookkeeping — in particular the last cancelled writer
+// re-wakes parked readers that its preference was holding back.
+//
+// The zero value is ready to use. Acquisition methods return nil on
+// success or ctx.Err(); the matching release must be called only after
+// a successful acquisition.
+type ctxRWMutex struct {
+	mu      sync.Mutex
+	turn    chan struct{} // lazily created; closed + cleared to wake waiters
+	readers int           // active readers
+	writer  bool          // the write side is held
+	waitW   int           // writers parked in Lock (drives reader parking)
+}
+
+// gateLocked returns the channel the next wake will close. Lazily
+// created so the uncontended paths never allocate.
+func (l *ctxRWMutex) gateLocked() chan struct{} {
+	if l.turn == nil {
+		l.turn = make(chan struct{})
+	}
+	return l.turn
+}
+
+// wakeLocked wakes every parked waiter; they re-evaluate under mu.
+func (l *ctxRWMutex) wakeLocked() {
+	if l.turn != nil {
+		close(l.turn)
+		l.turn = nil
+	}
+}
+
+// RLock acquires the read side, or returns ctx.Err() if ctx ends first.
+func (l *ctxRWMutex) RLock(ctx context.Context) error {
+	l.mu.Lock()
+	for l.writer || l.waitW > 0 {
+		gate := l.gateLocked()
+		l.mu.Unlock()
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		l.mu.Lock()
+	}
+	l.readers++
+	l.mu.Unlock()
+	return nil
+}
+
+// RUnlock releases the read side taken by a successful RLock.
+func (l *ctxRWMutex) RUnlock() {
+	l.mu.Lock()
+	l.readers--
+	if l.readers == 0 {
+		l.wakeLocked()
+	}
+	l.mu.Unlock()
+}
+
+// Lock acquires the write side, or returns ctx.Err() if ctx ends first.
+// While any writer waits, new readers park behind it.
+func (l *ctxRWMutex) Lock(ctx context.Context) error {
+	l.mu.Lock()
+	l.waitW++
+	for l.writer || l.readers > 0 {
+		gate := l.gateLocked()
+		l.mu.Unlock()
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			l.mu.Lock()
+			l.waitW--
+			if l.waitW == 0 {
+				// Readers may be parked solely on this writer's
+				// preference; let them through.
+				l.wakeLocked()
+			}
+			l.mu.Unlock()
+			return ctx.Err()
+		}
+		l.mu.Lock()
+	}
+	l.waitW--
+	l.writer = true
+	l.mu.Unlock()
+	return nil
+}
+
+// Unlock releases the write side taken by a successful Lock.
+func (l *ctxRWMutex) Unlock() {
+	l.mu.Lock()
+	l.writer = false
+	l.wakeLocked()
+	l.mu.Unlock()
+}

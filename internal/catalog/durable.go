@@ -20,6 +20,7 @@ package catalog
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -83,14 +84,26 @@ func (c *Catalog) endEdit(e *entry) {
 // under its write lock — a snapshot hook for collecting response
 // statistics; the document must not escape it.
 func (c *Catalog) UpdateBatch(id string, ops []editor.Op, post func(*core.Document)) error {
+	return c.UpdateBatchContext(context.Background(), id, ops, post)
+}
+
+// UpdateBatchContext is UpdateBatch bounded by ctx up to the commit
+// point: the write-lock acquisition and a cold load return ctx.Err()
+// with nothing changed, while a batch whose WAL append has started is
+// carried through to the end regardless of ctx — the fsynced record is
+// the commit, and a half-abandoned commit is exactly what the edit WAL
+// exists to prevent.
+func (c *Catalog) UpdateBatchContext(ctx context.Context, id string, ops []editor.Op, post func(*core.Document)) error {
 	e, err := c.beginEdit(id)
 	if err != nil {
 		return err
 	}
 	defer c.endEdit(e)
-	e.rw.Lock()
+	if err := e.rw.Lock(ctx); err != nil {
+		return err
+	}
 	defer e.rw.Unlock()
-	doc, err := c.Get(id)
+	doc, err := c.GetContext(ctx, id)
 	if err != nil {
 		return err
 	}

@@ -23,7 +23,10 @@ import (
 // NodeSource is the pull contract the stream encoders consume: Next
 // returns nodes in document order and (nil, nil) at the end; Size
 // reports the exact remaining count or -1 when unknown. xpath.Stream
-// satisfies it.
+// satisfies it. A Next error aborts the encode and propagates to the
+// caller unchanged — that is how evaluation cancellation (a context
+// deadline or an exhausted xpath.Budget mid-stream) flows through the
+// encoders, so a consumer can still classify the error by identity.
 type NodeSource interface {
 	Next() (goddag.Node, error)
 	Size() int

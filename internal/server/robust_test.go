@@ -172,9 +172,13 @@ func TestDegradedCatalogSurfaces(t *testing.T) {
 
 	if w := postPath(t, h, "/docs/a/edit", edit); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("edit on degraded catalog: status %d, want 503", w.Code)
+	} else if w.Header().Get("Retry-After") == "" {
+		t.Error("read-only edit 503 missing Retry-After")
 	}
 	if w := postPath(t, h, "/docs/a/undo", ""); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("undo on degraded catalog: status %d, want 503", w.Code)
+	} else if w.Header().Get("Retry-After") == "" {
+		t.Error("read-only undo 503 missing Retry-After")
 	}
 
 	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)

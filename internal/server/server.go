@@ -62,17 +62,37 @@
 //
 // Compiled queries are cached in an LRU shared across requests and
 // documents, so the hot-path cost of a repeated query is evaluation
-// alone. Request bodies are size-limited and evaluation responses are
-// bounded by an optional timeout (Config); Serve installs graceful
+// alone. Request bodies are size-limited; Serve installs graceful
 // shutdown around the listener.
+//
+// # Request lifecycles
+//
+// Every request carries a real end-to-end deadline, not a response
+// timer: the handler derives a context from the connection's
+// (r.Context()) plus the configured Config.Timeout — tightened, never
+// loosened, by a per-request "timeoutMS" field in the /query body — and
+// threads it through the whole pipeline. Lock acquisition and cold
+// document loads in the catalog give up when it fires (without
+// aborting the shared load for other waiters), and the evaluator polls
+// it at amortized checkpoints, so the goroutine serving an expired or
+// disconnected request unwinds promptly instead of finishing work
+// nobody will read. Config.MaxVisited adds a per-evaluation node
+// budget on top. The failure modes are distinguishable in the
+// response: 504 for a deadline that expired server-side, 499 (nginx's
+// "client closed request") when the client went away first, 413 when
+// the node budget was exhausted. Evaluations slower than
+// Config.SlowQuery are logged and counted; /stats reports cancelled,
+// timed-out, budget-exceeded, and slow-query totals.
 package server
 
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -99,9 +119,17 @@ type Config struct {
 	// MaxResults caps encoded result nodes per response when the request
 	// does not set its own limit (default 10000; <0 means unlimited).
 	MaxResults int
-	// Timeout bounds the total handling time of a /query request; when it
-	// expires the client gets 503 (default 0: no timeout).
+	// Timeout is the default end-to-end deadline of a request: lock
+	// waits, cold loads, evaluation, and encoding all stop when it
+	// expires and the client gets 504 (default 0: no deadline). A /query
+	// request may tighten it with "timeoutMS", never loosen it.
 	Timeout time.Duration
+	// MaxVisited bounds the nodes one query evaluation may visit; an
+	// evaluation that exhausts it gets 413 (default 0: unlimited).
+	MaxVisited int
+	// SlowQuery logs and counts query evaluations slower than this
+	// (default 0: disabled).
+	SlowQuery time.Duration
 	// ReadOnly disables the edit, undo, and redo endpoints (403).
 	ReadOnly bool
 	// MaxOps bounds the operations accepted in one edit batch
@@ -147,7 +175,18 @@ type Server struct {
 	errors   atomic.Uint64
 	panics   atomic.Uint64 // handler panics recovered by the middleware
 	shed     atomic.Uint64 // requests rejected by the overload gate
+
+	// Lifecycle counters (see the package comment).
+	cancelled      atomic.Uint64 // client went away before the response
+	timedOut       atomic.Uint64 // server-side deadline expired
+	budgetExceeded atomic.Uint64 // evaluation node budget exhausted
+	slowQueries    atomic.Uint64 // evaluations slower than Config.SlowQuery
 }
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// closed the connection before the server finished the response. Used
+// for accounting consistency — the client never sees it.
+const statusClientClosedRequest = 499
 
 // New creates a server over the catalog.
 func New(cat *catalog.Catalog, cfg Config) *Server {
@@ -160,9 +199,11 @@ func New(cat *catalog.Catalog, cfg Config) *Server {
 }
 
 // Handler returns the service's HTTP handler: the route mux wrapped in
-// the request timeout (when configured), the overload gate, and —
-// outermost, so it also covers a panic re-raised out of the timeout
-// handler — panic recovery.
+// the overload gate and — outermost — panic recovery. Request deadlines
+// are not a wrapper: each handler derives its own context (Config.
+// Timeout tightened by the request) and the pipeline underneath
+// cooperates with it, so an expired request actually stops computing
+// instead of racing a response timer that buffers its work away.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -170,11 +211,56 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/docs/", s.handleDoc)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
-	var h http.Handler = mux
-	if s.cfg.Timeout > 0 {
-		h = http.TimeoutHandler(h, s.cfg.Timeout, `{"error":"request timed out"}`)
+	return s.recoverPanics(s.gate(mux))
+}
+
+// requestContext derives the request's working context: the connection
+// context (cancelled when the client disconnects) bounded by the
+// server's default deadline, tightened — never loosened — by an
+// optional client-requested timeout in milliseconds.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if timeoutMS > 0 {
+		if want := time.Duration(timeoutMS) * time.Millisecond; d <= 0 || want < d {
+			d = want
+		}
 	}
-	return s.recoverPanics(s.gate(h))
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// lifecycleStatus classifies a lifecycle failure: the HTTP status for a
+// deadline/cancellation/budget error, or 0 for everything else. Counts
+// the matching /stats counter as a side effect.
+func (s *Server) lifecycleStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timedOut.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		s.cancelled.Add(1)
+		return statusClientClosedRequest
+	case errors.Is(err, xpath.ErrBudgetExceeded):
+		s.budgetExceeded.Add(1)
+		return http.StatusRequestEntityTooLarge
+	}
+	return 0
+}
+
+// observeQuery finishes one query evaluation's accounting: slow-query
+// log and counter.
+func (s *Server) observeQuery(req QueryRequest, elapsed time.Duration) {
+	if s.cfg.SlowQuery <= 0 || elapsed < s.cfg.SlowQuery {
+		return
+	}
+	s.slowQueries.Add(1)
+	src := req.Query
+	if src == "" {
+		src = req.FLWOR
+	}
+	log.Printf("server: slow query doc=%q elapsed=%s query=%q", req.Doc, elapsed.Round(time.Millisecond), src)
 }
 
 // QueryRequest is the POST /query body.
@@ -185,6 +271,9 @@ type QueryRequest struct {
 	Limit   int    `json:"limit,omitempty"`   // cap on encoded nodes; 0 = server default
 	Format  string `json:"format,omitempty"`  // "json" (default), "text", "count"
 	Explain bool   `json:"explain,omitempty"` // include the query plan in JSON responses
+	// TimeoutMS tightens the server's default deadline for this request
+	// (milliseconds); it can never loosen it. 0 means the default.
+	TimeoutMS int `json:"timeoutMS,omitempty"`
 }
 
 // QueryResponse is the POST /query JSON response.
@@ -231,6 +320,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		limit = req.Limit
 	}
 
+	// The request's lifecycle: the connection context (cancelled on
+	// client disconnect) under the effective deadline. Everything below
+	// — read-lock wait, cold load, evaluation checkpoints, streaming
+	// encode — cooperates with it.
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	budget := xpath.Budget{MaxVisited: s.cfg.MaxVisited}
+	reqStart := time.Now()
+
 	// Evaluation AND response encoding run under the document's read
 	// lock: node-set results reference live document structure, so an
 	// edit must not land between Eval and encode (streams are fully
@@ -240,10 +338,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// and stall a queued writer (and, behind it, every later reader).
 	br := newBufferedResponse()
 	defer br.release()
-	err := s.cat.View(req.Doc, func(doc *core.Document) error {
+	err := s.cat.ViewContext(ctx, req.Doc, func(doc *core.Document) error {
 		start := time.Now()
 		if req.FLWOR != "" {
-			s.serveFLWOR(br, doc, req, limit, start)
+			s.serveFLWOR(ctx, br, doc, req, limit, budget, start)
 			return nil
 		}
 		q, err := s.cache.xpath(req.Query)
@@ -253,10 +351,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		// The stream executes the cached plan lazily: node-set results
 		// are pulled straight into the response buffer, so a limit or a
-		// count never materializes the full node set.
-		st, err := q.Stream(doc.GODDAG())
+		// count never materializes the full node set — and every pull
+		// passes the evaluator's cancellation checkpoints, so a client
+		// disconnect or expired deadline aborts the encode mid-stream.
+		st, err := q.StreamContext(ctx, doc.GODDAG(), budget)
 		if err != nil {
-			s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
+			s.failEval(br, err)
 			return nil
 		}
 		defer st.Close()
@@ -275,7 +375,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				return nil
 			}
 			if err := s.streamNodeSetJSON(br, req, st, limit, plan, start); err != nil {
-				s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
+				s.failEval(br, err)
 			}
 		case "text":
 			br.contentType = "text/plain; charset=utf-8"
@@ -284,7 +384,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				return nil
 			}
 			if _, err := cliutil.WriteNodesText(&br.body, st, limit); err != nil {
-				s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
+				s.failEval(br, err)
 			}
 		case "count":
 			br.contentType = "text/plain; charset=utf-8"
@@ -294,23 +394,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			n, err := st.Count()
 			if err != nil {
-				s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
+				s.failEval(br, err)
 				return nil
 			}
 			fmt.Fprintln(&br.body, n)
 		}
 		return nil
 	})
+	s.observeQuery(req, time.Since(reqStart))
 	if err != nil {
 		var nf *catalog.ErrNotFound
-		if errors.As(err, &nf) {
+		switch code := s.lifecycleStatus(err); {
+		case errors.As(err, &nf):
 			s.fail(w, http.StatusNotFound, "%v", err)
-		} else {
+		case code != 0:
+			// The wait for the lock or the cold load outlived the request.
+			s.fail(w, code, "%v", err)
+		default:
 			s.fail(w, http.StatusInternalServerError, "%v", err)
 		}
 		return
 	}
 	br.flush(w)
+}
+
+// failEval records an evaluation failure in the buffered response:
+// lifecycle errors (deadline, disconnect, budget) get their dedicated
+// status, everything else is an unprocessable query.
+func (s *Server) failEval(br *bufferedResponse, err error) {
+	if code := s.lifecycleStatus(err); code != 0 {
+		s.failBuf(br, code, "%v", err)
+		return
+	}
+	s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
 }
 
 // streamNodeSetJSON encodes a node-set stream as the QueryResponse
@@ -442,15 +558,17 @@ func (s *Server) failBuf(br *bufferedResponse, code int, format string, args ...
 	json.NewEncoder(&br.body).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) serveFLWOR(br *bufferedResponse, doc *core.Document, req QueryRequest, limit int, start time.Time) {
+func (s *Server) serveFLWOR(ctx context.Context, br *bufferedResponse, doc *core.Document, req QueryRequest, limit int, budget xpath.Budget, start time.Time) {
 	q, err := s.cache.flwor(req.FLWOR)
 	if err != nil {
 		s.failBuf(br, http.StatusBadRequest, "%v", err)
 		return
 	}
-	vals, err := q.Eval(doc.GODDAG())
+	// One cumulative budget across every clause of every tuple: a FLWOR
+	// iterating many cheap tuples is bounded like one expensive XPath.
+	vals, err := q.EvalContext(ctx, doc.GODDAG(), budget)
 	if err != nil {
-		s.failBuf(br, http.StatusUnprocessableEntity, "%v", err)
+		s.failEval(br, err)
 		return
 	}
 	elapsed := time.Since(start)
@@ -556,8 +674,12 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := DocResponse{DocStats: ds}
 	if r.URL.Query().Get("load") != "" && !ds.Resident {
-		if _, err := s.cat.Get(id); err != nil {
-			s.fail(w, http.StatusInternalServerError, "%v", err)
+		if _, err := s.cat.GetContext(r.Context(), id); err != nil {
+			if code := s.lifecycleStatus(err); code != 0 {
+				s.fail(w, code, "%v", err)
+			} else {
+				s.fail(w, http.StatusInternalServerError, "%v", err)
+			}
 			return
 		}
 		resp.DocStats, _ = s.cat.Doc(id)
@@ -565,7 +687,7 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	if resp.Resident {
 		// Structure counts read live document state: take the read lock
 		// so a concurrent edit cannot tear them.
-		_ = s.cat.View(id, func(doc *core.Document) error {
+		_ = s.cat.ViewContext(r.Context(), id, func(doc *core.Document) error {
 			g := doc.GODDAG()
 			st := g.Stats()
 			resp.Hierarchies = g.HierarchyNames()
@@ -640,12 +762,16 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request, id string) {
 		s.fail(w, http.StatusBadRequest, "batch of %d ops exceeds limit %d", len(req.Ops), s.cfg.MaxOps)
 		return
 	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
 	start := time.Now()
 	var resp EditResponse
-	// UpdateBatch is the crash-safe path: the batch is write-ahead
-	// logged and fsynced before it applies, so a nil return means the
-	// edit survives a crash even if the .gdag save lagged behind.
-	err := s.cat.UpdateBatch(id, req.Ops, func(doc *core.Document) {
+	// UpdateBatchContext is the crash-safe path: the batch is
+	// write-ahead logged and fsynced before it applies, so a nil return
+	// means the edit survives a crash even if the .gdag save lagged
+	// behind. The context bounds only the wait for the write lock and a
+	// cold load — a batch past its commit point always persists in full.
+	err := s.cat.UpdateBatchContext(ctx, id, req.Ops, func(doc *core.Document) {
 		st := doc.GODDAG().Stats()
 		resp = EditResponse{Doc: id, Applied: len(req.Ops), Elements: st.Elements, Leaves: st.Leaves}
 	})
@@ -671,7 +797,17 @@ func (s *Server) failEdit(w http.ResponseWriter, id string, err error, failedOp 
 	}
 	if errors.Is(err, catalog.ErrReadOnly) {
 		// Degraded after persistent storage failures; reads still work.
+		// Degradation is sticky until an operator restart, so the hint is
+		// coarse — it tells well-behaved clients to back off, not when
+		// the write path will return.
+		w.Header().Set("Retry-After", "60")
 		s.fail(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if code := s.lifecycleStatus(err); code != 0 {
+		// The wait for the write lock or a cold load outlived the
+		// request; nothing was applied.
+		s.fail(w, code, "%v", err)
 		return
 	}
 	if failedOp < 0 {
@@ -711,9 +847,11 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, id, actio
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
 	start := time.Now()
 	var resp EditResponse
-	err := s.cat.Update(id, func(doc *core.Document) error {
+	err := s.cat.UpdateContext(ctx, id, func(doc *core.Document) error {
 		var err error
 		if action == "undo" {
 			err = doc.Edit().Undo()
@@ -729,13 +867,16 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request, id, actio
 	})
 	if err != nil {
 		var nf *catalog.ErrNotFound
-		switch {
+		switch code := s.lifecycleStatus(err); {
 		case errors.As(err, &nf):
 			s.fail(w, http.StatusNotFound, "%v", err)
 		case errors.Is(err, catalog.ErrReadOnly):
+			w.Header().Set("Retry-After", "60") // sticky degradation; see failEdit
 			s.fail(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, editor.ErrNothingToUndo), errors.Is(err, editor.ErrNothingToRedo):
 			s.fail(w, http.StatusConflict, "%v", err)
+		case code != 0:
+			s.fail(w, code, "%v", err)
 		default:
 			s.fail(w, http.StatusInternalServerError, "%v", err)
 		}
@@ -765,6 +906,12 @@ type StatsResponse struct {
 	Shed     uint64        `json:"shed"`
 	ReadOnly bool          `json:"readOnly,omitempty"`
 	Queries  CacheStats    `json:"queryCache"`
+
+	// Lifecycle counters: how requests ended other than normally.
+	Cancelled      uint64 `json:"cancelled,omitempty"`      // client disconnected first
+	TimedOut       uint64 `json:"timedOut,omitempty"`       // server-side deadline expired
+	BudgetExceeded uint64 `json:"budgetExceeded,omitempty"` // evaluation node budget exhausted
+	SlowQueries    uint64 `json:"slowQueries,omitempty"`    // slower than Config.SlowQuery
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -781,6 +928,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shed:     s.shed.Load(),
 		ReadOnly: s.cat.ReadOnly(),
 		Queries:  s.cache.stats(),
+
+		Cancelled:      s.cancelled.Load(),
+		TimedOut:       s.timedOut.Load(),
+		BudgetExceeded: s.budgetExceeded.Load(),
+		SlowQueries:    s.slowQueries.Load(),
 	})
 }
 

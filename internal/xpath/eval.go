@@ -1,6 +1,7 @@
 package xpath
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -164,8 +165,8 @@ func (e *EvalError) Error() string { return fmt.Sprintf("xpath: %q: %s", e.Query
 // colliding) ordinal there.
 type Bindings map[string]Value
 
-// context carries the evaluation state for one node.
-type context struct {
+// evalCtx carries the evaluation state for one node.
+type evalCtx struct {
 	doc  *goddag.Document
 	node goddag.Node
 	pos  int // 1-based position in the current node list
@@ -192,6 +193,24 @@ type Options struct {
 	// while keeping the step fast paths. Used by differential tests and
 	// ablation benchmarks; results must be identical either way.
 	NoPlanner bool
+
+	// Context, when cancellable, makes the evaluation cooperative: the
+	// evaluator polls ctx.Err() at amortized checkpoints (every
+	// checkInterval visited nodes) and unwinds with context.Canceled or
+	// context.DeadlineExceeded. Nil behaves like context.Background().
+	Context context.Context
+
+	// Budget bounds the evaluation's resources (see Budget); exceeding
+	// it unwinds with a *BudgetError matching ErrBudgetExceeded. The
+	// zero value is unlimited.
+	Budget Budget
+
+	// Limiter, when non-nil, supplies the cancellation/budget state
+	// directly and overrides Context and Budget — the seam for one
+	// request spanning several evaluations (the FLWOR layer shares one
+	// Limiter across all clause evaluations, making the budget
+	// cumulative).
+	Limiter *Limiter
 }
 
 // Eval evaluates the query with the document root as context node.
@@ -203,7 +222,18 @@ func (q *Query) Eval(doc *goddag.Document) (Value, error) {
 func (q *Query) EvalWithOptions(doc *goddag.Document, opts Options) (Value, error) {
 	ev := acquireEvaluator(doc, q.source, opts)
 	defer releaseEvaluator(ev)
-	return ev.eval(q.root, context{doc: doc, node: doc.Root(), pos: 1, size: 1})
+	if err := ev.lim.Err(); err != nil {
+		return Value{}, err
+	}
+	return ev.eval(q.root, evalCtx{doc: doc, node: doc.Root(), pos: 1, size: 1})
+}
+
+// EvalContext evaluates under ctx with a resource budget: the
+// evaluation aborts with ctx.Err() once ctx ends, and with an error
+// matching ErrBudgetExceeded once b is exhausted, both observed at
+// amortized per-node checkpoints.
+func (q *Query) EvalContext(ctx context.Context, doc *goddag.Document, b Budget) (Value, error) {
+	return q.EvalWithOptions(doc, Options{Context: ctx, Budget: b})
 }
 
 // EvalFrom evaluates the query with an explicit context node, which must
@@ -216,15 +246,28 @@ func (q *Query) EvalFrom(doc *goddag.Document, node goddag.Node) (Value, error) 
 func (q *Query) EvalFromWithOptions(doc *goddag.Document, node goddag.Node, opts Options) (Value, error) {
 	ev := acquireEvaluator(doc, q.source, opts)
 	defer releaseEvaluator(ev)
-	return ev.eval(q.root, context{doc: doc, node: node, pos: 1, size: 1})
+	if err := ev.lim.Err(); err != nil {
+		return Value{}, err
+	}
+	return ev.eval(q.root, evalCtx{doc: doc, node: node, pos: 1, size: 1})
 }
 
 // EvalWith evaluates with an explicit context node and variable bindings
 // (for $x references; the FLWOR layer in package xquery builds on this).
 func (q *Query) EvalWith(doc *goddag.Document, node goddag.Node, vars Bindings) (Value, error) {
-	ev := acquireEvaluator(doc, q.source, Options{})
+	return q.EvalWithLimiter(doc, node, vars, nil)
+}
+
+// EvalWithLimiter is EvalWith against a caller-owned Limiter: several
+// evaluations sharing one Limiter share one cancellation context and
+// one cumulative budget. A nil Limiter is unlimited.
+func (q *Query) EvalWithLimiter(doc *goddag.Document, node goddag.Node, vars Bindings, lim *Limiter) (Value, error) {
+	ev := acquireEvaluator(doc, q.source, Options{Limiter: lim})
 	defer releaseEvaluator(ev)
-	return ev.eval(q.root, context{doc: doc, node: node, pos: 1, size: 1, vars: vars})
+	if err := ev.lim.Err(); err != nil {
+		return Value{}, err
+	}
+	return ev.eval(q.root, evalCtx{doc: doc, node: node, pos: 1, size: 1, vars: vars})
 }
 
 // Select is a convenience wrapper returning the node-set of the query; it
@@ -248,6 +291,10 @@ type evaluator struct {
 	doc   *goddag.Document
 	query string
 	opts  Options
+
+	// lim is the evaluation's cancellation/budget checkpoint state,
+	// derived from opts at acquire time; nil means unlimited.
+	lim *Limiter
 
 	// Query-path scratch, lazily initialized per evaluation: the
 	// document's ordinal numbering and a reusable ordinal bitset for
@@ -314,7 +361,14 @@ func (ev *evaluator) errorf(format string, args ...any) error {
 	return &EvalError{Query: ev.query, Msg: fmt.Sprintf(format, args...)}
 }
 
-func (ev *evaluator) eval(e expr, ctx context) (Value, error) {
+func (ev *evaluator) eval(e expr, ctx evalCtx) (Value, error) {
+	// The cooperative checkpoint of the recursive evaluator: every
+	// expression evaluation counts one visit, so predicate loops over
+	// large candidate sets observe cancellation even when each single
+	// evaluation is cheap.
+	if err := ev.lim.Visit(1); err != nil {
+		return Value{}, err
+	}
 	switch n := e.(type) {
 	case *varExpr:
 		v, ok := ctx.vars[n.name]
@@ -343,7 +397,7 @@ func (ev *evaluator) eval(e expr, ctx context) (Value, error) {
 	}
 }
 
-func (ev *evaluator) evalBinary(e *binaryExpr, ctx context) (Value, error) {
+func (ev *evaluator) evalBinary(e *binaryExpr, ctx evalCtx) (Value, error) {
 	switch e.op {
 	case "or":
 		l, err := ev.eval(e.l, ctx)
@@ -499,7 +553,7 @@ func setStrings(v Value) []string {
 }
 
 // evalPath evaluates a location path.
-func (ev *evaluator) evalPath(p *pathExpr, ctx context) (Value, error) {
+func (ev *evaluator) evalPath(p *pathExpr, ctx evalCtx) (Value, error) {
 	var current []goddag.Node
 	switch {
 	case p.filter != nil:
@@ -542,7 +596,7 @@ func (ev *evaluator) evalPath(p *pathExpr, ctx context) (Value, error) {
 			for _, pred := range st.preds {
 				var kept []AttrNode
 				for pi, a := range attrs {
-					pctx := context{doc: ev.doc, node: a.Owner, pos: pi + 1, size: len(attrs), vars: ctx.vars}
+					pctx := evalCtx{doc: ev.doc, node: a.Owner, pos: pi + 1, size: len(attrs), vars: ctx.vars}
 					v, err := ev.eval(pred, pctx)
 					if err != nil {
 						return Value{}, err
@@ -568,7 +622,9 @@ func (ev *evaluator) evalPath(p *pathExpr, ctx context) (Value, error) {
 // predicate filtering per origin node list (XPath position semantics).
 // Per-origin results are combined by a k-way document-order merge.
 func (ev *evaluator) evalStep(st step, current []goddag.Node, vars Bindings) ([]goddag.Node, error) {
-	if out, ok := ev.fastStep(st, current); ok {
+	if out, ok, err := ev.fastStep(st, current); err != nil {
+		return nil, err
+	} else if ok {
 		return out, nil
 	}
 	// Even with predicates, element-only tests never match leaves, so
@@ -581,14 +637,24 @@ func (ev *evaluator) evalStep(st step, current []goddag.Node, vars Bindings) ([]
 		var cands []goddag.Node
 		if bareFast {
 			cands = ev.fastCands(bare, n)
+			if err := ev.lim.Visit(len(cands) + 1); err != nil {
+				return nil, err
+			}
 		} else {
-			cands = filterTest(ev.axisNodes(st.axis, n), st.test)
+			// The materialized axis, not the filtered survivors, is what
+			// the origin paid for — charge that (following/preceding
+			// enumerate large windows even when few candidates match).
+			axis := ev.axisNodes(st.axis, n)
+			if err := ev.lim.Visit(len(axis) + 1); err != nil {
+				return nil, err
+			}
+			cands = filterTest(axis, st.test)
 		}
 		for _, pred := range st.preds {
 			var kept []goddag.Node
 			size := len(cands)
 			for i, c := range cands {
-				pctx := context{doc: ev.doc, node: c, pos: i + 1, size: size, vars: vars}
+				pctx := evalCtx{doc: ev.doc, node: c, pos: i + 1, size: size, vars: vars}
 				v, err := ev.eval(pred, pctx)
 				if err != nil {
 					return nil, err
@@ -612,25 +678,33 @@ func (ev *evaluator) evalStep(st step, current []goddag.Node, vars Bindings) ([]
 // entirely; name tests are served by the document's name index,
 // intersected with pre-order subtree ranges (descendant axes) or span
 // windows located by binary search (following/preceding/covered).
-func (ev *evaluator) fastStep(st step, current []goddag.Node) ([]goddag.Node, bool) {
+func (ev *evaluator) fastStep(st step, current []goddag.Node) ([]goddag.Node, bool, error) {
 	if !ev.fastStepApplies(st) {
-		return nil, false
+		return nil, false, nil
 	}
 	if len(current) == 1 {
-		return ev.dedupSort(ev.fastCands(st, current[0])), true
+		c := ev.fastCands(st, current[0])
+		if err := ev.lim.Visit(len(c) + 1); err != nil {
+			return nil, false, err
+		}
+		return ev.dedupSort(c), true, nil
 	}
 	lists := make([][]goddag.Node, 0, len(current))
 	for _, n := range current {
-		if c := ev.fastCands(st, n); len(c) != 0 {
+		c := ev.fastCands(st, n)
+		if err := ev.lim.Visit(len(c) + 1); err != nil {
+			return nil, false, err
+		}
+		if len(c) != 0 {
 			lists = append(lists, c)
 		}
 	}
 	if st.axis == AxisChild {
 		// A child-axis element candidate appears under exactly one
 		// parent, so per-origin lists are mutually duplicate-free.
-		return ev.concatOrdered(lists), true
+		return ev.concatOrdered(lists), true, nil
 	}
-	return ev.mergeLists(lists), true
+	return ev.mergeLists(lists), true, nil
 }
 
 // concatOrdered concatenates per-origin candidate lists known to be

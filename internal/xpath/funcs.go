@@ -10,7 +10,7 @@ import (
 // covers the XPath 1.0 functions used in document-centric querying plus
 // the concurrent-markup extensions hierarchy(), overlaps(), span-start()
 // and span-end().
-func (ev *evaluator) evalCall(c *callExpr, ctx context) (Value, error) {
+func (ev *evaluator) evalCall(c *callExpr, ctx evalCtx) (Value, error) {
 	argVals := func(want int) ([]Value, error) {
 		if want >= 0 && len(c.args) != want {
 			return nil, ev.errorf("%s() takes %d argument(s), got %d", c.name, want, len(c.args))

@@ -1,0 +1,74 @@
+package xpath
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sacx"
+)
+
+// FuzzParse throws arbitrary bytes at the query compiler and, when they
+// compile, evaluates them under a tight node budget against a small
+// overlapping document. The contract under attack: hostile input may
+// produce a SyntaxError or an evaluation error, never a panic, a hang,
+// or a stack overflow (the parser's recursion-depth cap exists for the
+// nesting bombs this fuzzer finds).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// The E4 axis battery — real queries, mutation fodder.
+		"/page", "//line", "//w", "//s/w", "//s/descendant::w",
+		"//dmg/overlapping::*", "//dmg/overlapping::w",
+		"//res/following::w", "//res/preceding::w",
+		"//line/covered::w", "//w/ancestor::*", "//w | //line",
+		"count(//dmg/overlapping::w)",
+		// Predicates, functions, arithmetic, variables, attributes.
+		"//w[count(preceding::w) >= 0]",
+		"//w[@lemma = 'swa'][2]",
+		"//line/covering::*/@n",
+		"concat(name(//w[1]), '-', string(2 div 0))",
+		"//w[position() = last()]",
+		"-(-(-1)) + 2 * (3 - 4)",
+		"$x + 1",
+		// Malformed: truncations, stray tokens, nesting.
+		"//w[", "((1)", "1 +", "::", "//", "@", "'unterminated",
+		"(((((((((1)))))))))",
+		"//w[//w[//w[//w[1]]]]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	doc, err := sacx.Build([]sacx.Source{
+		{Hierarchy: "physical", Data: []byte(`<r><line n="1">swa hwæt swa</line><line n="2"> he us sægde</line></r>`)},
+		{Hierarchy: "words", Data: []byte(`<r><w>swa</w> <w>hwæt</w> <w>swa</w> <w>he</w> <w>us</w> <w>sægde</w></r>`)},
+		{Hierarchy: "damage", Data: []byte(`<r>swa hw<dmg type="stain">æt sw</dmg>a he us sægde</r>`)},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Compile(src)
+		if err != nil {
+			return // rejected cleanly — the common, correct outcome
+		}
+		// Evaluate under a budget so an accidentally-expensive but valid
+		// expression cannot stall the fuzzer; both result and error are
+		// acceptable, crashing is not.
+		if _, err := q.EvalContext(context.Background(), doc, Budget{MaxVisited: 50_000}); err != nil {
+			return
+		}
+		// Streams must survive the same input.
+		st, err := q.StreamContext(context.Background(), doc, Budget{MaxVisited: 50_000})
+		if err != nil {
+			return
+		}
+		defer st.Close()
+		for {
+			n, err := st.Next()
+			if err != nil || n == nil {
+				return
+			}
+		}
+	})
+}

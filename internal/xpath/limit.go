@@ -1,0 +1,165 @@
+package xpath
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the request-lifecycle seam of the evaluator: a Limiter
+// carries one evaluation's cancellation context and resource budget and
+// is consulted at amortized checkpoints — every visited node increments
+// a counter, and every checkInterval visits the context and wall clock
+// are actually polled. The per-node cost is therefore a few arithmetic
+// operations (or a single nil check when no limits apply), while a
+// cancelled or over-budget evaluation still stops within at most
+// checkInterval node visits of the trigger.
+
+// checkInterval is the amortization grain of the cooperative
+// checkpoints: ctx.Err() and the wall clock are consulted once per this
+// many visited nodes.
+const checkInterval = 1024
+
+// ErrBudgetExceeded is the sentinel matched (via errors.Is) by every
+// budget exhaustion, whichever dimension tripped. Context cancellation
+// is NOT a budget error: a cancelled or expired context surfaces as
+// context.Canceled / context.DeadlineExceeded so callers can tell "the
+// client gave up" from "the query is too expensive".
+var ErrBudgetExceeded = errors.New("evaluation budget exceeded")
+
+// Budget bounds one evaluation's resources. The zero value means
+// unlimited.
+type Budget struct {
+	// MaxVisited caps the number of nodes the evaluation may visit —
+	// candidates enumerated by axis steps, expressions evaluated, nodes
+	// pulled from streams — before it aborts with a BudgetError.
+	MaxVisited int
+	// MaxTime caps the evaluation's wall-clock time, checked at the
+	// same amortized checkpoints. Callers with a context deadline
+	// usually leave this zero: a deadline reports
+	// context.DeadlineExceeded, MaxTime reports a BudgetError.
+	MaxTime time.Duration
+}
+
+func (b Budget) unlimited() bool { return b.MaxVisited <= 0 && b.MaxTime <= 0 }
+
+// BudgetError reports which budget dimension an evaluation exhausted.
+// errors.Is(err, ErrBudgetExceeded) matches it.
+type BudgetError struct {
+	Kind    string        // "nodes" or "time"
+	Visited int64         // nodes visited when the budget tripped
+	Limit   int64         // the node cap (Kind "nodes")
+	Elapsed time.Duration // run time at the trip (Kind "time")
+	Max     time.Duration // the wall-time cap (Kind "time")
+}
+
+// Error implements the error interface.
+func (e *BudgetError) Error() string {
+	if e.Kind == "time" {
+		return fmt.Sprintf("xpath: evaluation budget exceeded: ran %v of allowed %v", e.Elapsed.Round(time.Millisecond), e.Max)
+	}
+	return fmt.Sprintf("xpath: evaluation budget exceeded: visited %d of allowed %d nodes", e.Visited, e.Limit)
+}
+
+// Is matches the ErrBudgetExceeded sentinel.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// Limiter is the shared cancellation/budget state of one evaluation —
+// or of one request spanning several evaluations (the FLWOR layer runs
+// every clause of a query against a single Limiter, so the budget is
+// cumulative across tuples). A nil Limiter is valid and unlimited;
+// Limiters are single-goroutine state, like the evaluator they ride in.
+type Limiter struct {
+	ctx        context.Context // nil when cancellation cannot occur
+	start      time.Time       // set when maxTime > 0
+	maxTime    time.Duration
+	maxVisited int64
+	visited    int64
+	countdown  int64 // visits until the next ctx/clock poll
+	err        error // sticky: first trip, returned ever after
+}
+
+// NewLimiter builds the limiter for ctx and b, returning nil — the
+// unlimited limiter — when ctx can never be cancelled and b is zero, so
+// limit-free evaluations pay only a nil check per visit.
+func NewLimiter(ctx context.Context, b Budget) *Limiter {
+	hasCtx := ctx != nil && ctx.Done() != nil
+	if !hasCtx && b.unlimited() {
+		return nil
+	}
+	l := &Limiter{maxVisited: int64(b.MaxVisited), maxTime: b.MaxTime, countdown: checkInterval}
+	if hasCtx {
+		l.ctx = ctx
+	}
+	if b.MaxTime > 0 {
+		l.start = time.Now()
+	}
+	// Pre-poll: a context that is already over makes the limiter start
+	// tripped, so even an evaluation too small to reach its first
+	// checkpoint refuses to run (entry points check Err before work).
+	if l.ctx != nil {
+		if err := l.ctx.Err(); err != nil {
+			l.err = err
+		}
+	}
+	return l
+}
+
+// Visit records n more visited nodes and returns the evaluation's fate:
+// nil to continue, or the sticky cancellation/budget error to unwind
+// with. The context and wall clock are polled only every checkInterval
+// visits; the node cap is exact.
+func (l *Limiter) Visit(n int) error {
+	if l == nil {
+		return nil
+	}
+	if l.err != nil {
+		return l.err
+	}
+	l.visited += int64(n)
+	if l.maxVisited > 0 && l.visited > l.maxVisited {
+		l.err = &BudgetError{Kind: "nodes", Visited: l.visited, Limit: l.maxVisited}
+		return l.err
+	}
+	l.countdown -= int64(n)
+	if l.countdown > 0 {
+		return nil
+	}
+	l.countdown = checkInterval
+	return l.poll()
+}
+
+// poll is the slow path of Visit: consult the context and wall clock.
+func (l *Limiter) poll() error {
+	if l.ctx != nil {
+		if err := l.ctx.Err(); err != nil {
+			l.err = err
+			return err
+		}
+	}
+	if l.maxTime > 0 {
+		if el := time.Since(l.start); el > l.maxTime {
+			l.err = &BudgetError{Kind: "time", Visited: l.visited, Elapsed: el, Max: l.maxTime}
+			return l.err
+		}
+	}
+	return nil
+}
+
+// Visited returns the number of nodes visited so far.
+func (l *Limiter) Visited() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.visited
+}
+
+// Err returns the sticky cancellation/budget error, nil while the
+// evaluation may continue.
+func (l *Limiter) Err() error {
+	if l == nil {
+		return nil
+	}
+	return l.err
+}

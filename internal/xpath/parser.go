@@ -50,10 +50,29 @@ type parser struct {
 	query string
 	toks  []token
 	pos   int
+	// depth tracks expression nesting across the recursive-descent
+	// entry points; maxParseDepth caps it because Go cannot recover a
+	// goroutine stack overflow — a hostile "((((…" or "----…x" must
+	// fail with a SyntaxError, not kill the process.
+	depth int
 	// noOpt disables the step rewrites of optimizeSteps; used by
 	// differential tests to compare optimized and reference plans.
 	noOpt bool
 }
+
+// maxParseDepth bounds expression nesting. Far beyond any real query,
+// far below stack exhaustion (each level is a handful of frames).
+const maxParseDepth = 512
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errorf("expression nests deeper than %d", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
@@ -71,7 +90,13 @@ func (p *parser) accept(k tokenKind) bool {
 }
 
 // parseExpr := OrExpr
-func (p *parser) parseExpr() (expr, error) { return p.parseOr() }
+func (p *parser) parseExpr() (expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
 
 func (p *parser) parseOr() (expr, error) {
 	l, err := p.parseAnd()
@@ -209,7 +234,13 @@ func (p *parser) parseMultiplicative() (expr, error) {
 
 func (p *parser) parseUnary() (expr, error) {
 	if p.accept(tokMinus) {
+		// Self-recursive without passing parseExpr, so it counts nesting
+		// itself: "-----…x" must hit maxParseDepth too.
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
 		x, err := p.parseUnary()
+		p.leave()
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package xpath
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -342,14 +343,26 @@ type cursor interface {
 	size() int
 }
 
+// Streaming cursors over pre-materialized slices tick their limiter in
+// batches of cursorTick nodes: the per-node cost is one mask-and-branch,
+// and a cancelled consumer (client disconnect mid-encode) still stops
+// within cursorTick pulls.
+const cursorTick = 64
+
 type elemsCursor struct {
 	els []*goddag.Element
 	i   int
+	lim *Limiter
 }
 
 func (c *elemsCursor) next() (goddag.Node, error) {
 	if c.i >= len(c.els) {
 		return nil, nil
+	}
+	if c.i&(cursorTick-1) == 0 {
+		if err := c.lim.Visit(cursorTick); err != nil {
+			return nil, err
+		}
 	}
 	e := c.els[c.i]
 	c.i++
@@ -361,13 +374,19 @@ func (c *elemsCursor) size() int { return len(c.els) - c.i }
 // sliceCursor adapts a materialized node set (planEval fallback) to the
 // stream contract.
 type sliceCursor struct {
-	ns []goddag.Node
-	i  int
+	ns  []goddag.Node
+	i   int
+	lim *Limiter
 }
 
 func (c *sliceCursor) next() (goddag.Node, error) {
 	if c.i >= len(c.ns) {
 		return nil, nil
+	}
+	if c.i&(cursorTick-1) == 0 {
+		if err := c.lim.Visit(cursorTick); err != nil {
+			return nil, err
+		}
 	}
 	n := c.ns[c.i]
 	c.i++
@@ -403,7 +422,7 @@ candidates:
 				// planner rejects it there.
 				size = len(c.els)
 			}
-			pctx := context{doc: c.ev.doc, node: e, pos: c.pos[k], size: size, vars: c.vars}
+			pctx := evalCtx{doc: c.ev.doc, node: e, pos: c.pos[k], size: size, vars: c.vars}
 			v, err := c.ev.eval(pred, pctx)
 			if err != nil {
 				return nil, err
@@ -428,10 +447,17 @@ type semiJoinCursor struct {
 	els       []*goddag.Element
 	probeName string // "" = any element
 	i         int
+	lim       *Limiter
 }
 
 func (c *semiJoinCursor) next() (goddag.Node, error) {
 	for c.i < len(c.els) {
+		// Per-candidate tick: every probe is a span-index walk, so a
+		// non-matching tail must stay cancellable even though it emits
+		// nothing.
+		if err := c.lim.Visit(1); err != nil {
+			return nil, err
+		}
 		e := c.els[c.i]
 		c.i++
 		if anyOverlapping(c.doc, e.Span(), c.probeName) {
@@ -464,11 +490,13 @@ func (ev *evaluator) nodeCursor(pl *Plan, vars Bindings) cursor {
 	case planScan:
 		els := ev.bucket(pl.test)
 		if len(pl.preds) == 0 {
-			return &elemsCursor{els: els}
+			return &elemsCursor{els: els, lim: ev.lim}
 		}
+		// Predicate evaluation ticks the limiter itself (eval counts one
+		// visit per expression), so predCursor needs no tick of its own.
 		return &predCursor{ev: ev, els: els, preds: pl.preds, vars: vars, pos: make([]int, len(pl.preds))}
 	case planSemiJoin:
-		return &semiJoinCursor{doc: ev.doc, els: ev.bucket(pl.outTest), probeName: pl.probeName}
+		return &semiJoinCursor{doc: ev.doc, els: ev.bucket(pl.outTest), probeName: pl.probeName, lim: ev.lim}
 	}
 	return nil
 }
@@ -503,7 +531,7 @@ func (ev *evaluator) countPlan(inner *Plan, vars Bindings) (int, error) {
 // absolute path, count it from the bucket cardinality or by draining a
 // cursor — never materializing the node set. ok=false means the caller
 // must fall back to full evaluation.
-func (ev *evaluator) plannedCount(arg expr, ctx context) (int, bool, error) {
+func (ev *evaluator) plannedCount(arg expr, ctx evalCtx) (int, bool, error) {
 	inner, ok := ev.streamableArg(arg)
 	if !ok {
 		return 0, false, nil
@@ -513,7 +541,7 @@ func (ev *evaluator) plannedCount(arg expr, ctx context) (int, bool, error) {
 }
 
 // plannedExists is the boolean()/not() clamp: pull at most one node.
-func (ev *evaluator) plannedExists(arg expr, ctx context) (bool, bool, error) {
+func (ev *evaluator) plannedExists(arg expr, ctx evalCtx) (bool, bool, error) {
 	inner, ok := ev.streamableArg(arg)
 	if !ok {
 		return false, false, nil
@@ -575,12 +603,24 @@ func (q *Query) Stream(doc *goddag.Document) (*Stream, error) {
 	return q.StreamWithOptions(doc, Options{})
 }
 
+// StreamContext is Stream under ctx with a resource budget: plan
+// execution and every Next observe cancellation at amortized
+// checkpoints, so an abandoned consumer (client disconnect mid-encode)
+// stops the evaluation instead of draining it.
+func (q *Query) StreamContext(ctx context.Context, doc *goddag.Document, b Budget) (*Stream, error) {
+	return q.StreamWithOptions(doc, Options{Context: ctx, Budget: b})
+}
+
 // StreamWithOptions executes q lazily against doc with evaluation
 // options. Count/exists plans and materializing fallbacks execute
 // eagerly here; bucket scans and semi-joins defer all work to Next.
 func (q *Query) StreamWithOptions(doc *goddag.Document, opts Options) (*Stream, error) {
 	pl := q.planFor(doc, opts)
 	ev := acquireEvaluator(doc, q.source, opts)
+	if err := ev.lim.Err(); err != nil {
+		releaseEvaluator(ev)
+		return nil, err
+	}
 	s := &Stream{ev: ev, plan: pl}
 	var err error
 	switch pl.kind {
@@ -601,10 +641,10 @@ func (q *Query) StreamWithOptions(doc *goddag.Document, opts Options) (*Stream, 
 		}
 	default:
 		var v Value
-		rootCtx := context{doc: doc, node: doc.Root(), pos: 1, size: 1}
+		rootCtx := evalCtx{doc: doc, node: doc.Root(), pos: 1, size: 1}
 		if v, err = ev.eval(q.root, rootCtx); err == nil {
 			if v.kind == valNodes {
-				s.cur = &sliceCursor{ns: v.nodes}
+				s.cur = &sliceCursor{ns: v.nodes, lim: ev.lim}
 			} else {
 				s.val, s.scalar = v, true
 			}
@@ -705,6 +745,10 @@ func acquireEvaluator(doc *goddag.Document, query string, opts Options) *evaluat
 	ev.doc = doc
 	ev.query = query
 	ev.opts = opts
+	ev.lim = opts.Limiter
+	if ev.lim == nil {
+		ev.lim = NewLimiter(opts.Context, opts.Budget)
+	}
 	return ev
 }
 
@@ -716,6 +760,7 @@ func releaseEvaluator(ev *evaluator) {
 	ev.ord = nil
 	ev.query = ""
 	ev.opts = Options{}
+	ev.lim = nil
 	ev.seen.reset() // keep grown bits, clear touched entries
 	evPool.Put(ev)
 }

@@ -26,6 +26,7 @@
 package xquery
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -258,6 +259,20 @@ func splitClauses(src string) ([]segment, error) {
 
 // Eval runs the query over doc, returning one Value per result tuple.
 func (q *Query) Eval(doc *goddag.Document) ([]xpath.Value, error) {
+	return q.evalLimited(doc, nil)
+}
+
+// EvalContext runs the query under ctx with a resource budget shared by
+// the whole FLWOR evaluation: every clause evaluation of every tuple
+// draws from ONE xpath.Limiter, so the budget is cumulative — a query
+// iterating millions of cheap tuples is bounded exactly like one
+// expensive XPath. Cancellation unwinds with ctx.Err(); budget
+// exhaustion with an error matching xpath.ErrBudgetExceeded.
+func (q *Query) EvalContext(ctx context.Context, doc *goddag.Document, b xpath.Budget) ([]xpath.Value, error) {
+	return q.evalLimited(doc, xpath.NewLimiter(ctx, b))
+}
+
+func (q *Query) evalLimited(doc *goddag.Document, lim *xpath.Limiter) ([]xpath.Value, error) {
 	var out []xpath.Value
 	type row struct {
 		val xpath.Value
@@ -270,7 +285,7 @@ func (q *Query) Eval(doc *goddag.Document) ([]xpath.Value, error) {
 	run = func(ci int, vars xpath.Bindings) error {
 		if ci == len(q.clauses) {
 			if q.where != nil {
-				ok, err := q.where.EvalWith(doc, root, vars)
+				ok, err := q.where.EvalWithLimiter(doc, root, vars, lim)
 				if err != nil {
 					return err
 				}
@@ -278,13 +293,13 @@ func (q *Query) Eval(doc *goddag.Document) ([]xpath.Value, error) {
 					return nil
 				}
 			}
-			v, err := q.ret.EvalWith(doc, root, vars)
+			v, err := q.ret.EvalWithLimiter(doc, root, vars, lim)
 			if err != nil {
 				return err
 			}
 			r := row{val: v}
 			if q.orderBy != nil {
-				k, err := q.orderBy.EvalWith(doc, root, vars)
+				k, err := q.orderBy.EvalWithLimiter(doc, root, vars, lim)
 				if err != nil {
 					return err
 				}
@@ -296,7 +311,7 @@ func (q *Query) Eval(doc *goddag.Document) ([]xpath.Value, error) {
 		c := q.clauses[ci]
 		switch c.kind {
 		case clauseLet:
-			v, err := c.expr.EvalWith(doc, root, vars)
+			v, err := c.expr.EvalWithLimiter(doc, root, vars, lim)
 			if err != nil {
 				return err
 			}
@@ -305,7 +320,7 @@ func (q *Query) Eval(doc *goddag.Document) ([]xpath.Value, error) {
 			restore()
 			return err
 		default: // for
-			v, err := c.expr.EvalWith(doc, root, vars)
+			v, err := c.expr.EvalWithLimiter(doc, root, vars, lim)
 			if err != nil {
 				return err
 			}
