@@ -24,6 +24,11 @@
 // server's request deadlines and node budgets do: a query that exceeds
 // either stops at the next evaluator checkpoint and exits non-zero,
 // instead of running a hostile or mistyped expression forever.
+//
+// -trace prints a stage breakdown (compile/load/eval, plus nodes
+// visited) to stderr after the results — the offline twin of the
+// server's {"trace": true} explain-analyze, rendered by the same
+// internal/cliutil plumbing.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/xpath"
 	"repro/internal/xquery"
 )
@@ -52,6 +58,7 @@ func main() {
 		quiet   = flag.Bool("count", false, "print only the number of result nodes")
 		timeout = flag.Duration("timeout", 0, "abort evaluation after this long (0 = no limit)")
 		visited = flag.Int("max-visited", 0, "abort evaluation after visiting this many nodes (0 = no limit)")
+		trace   = flag.Bool("trace", false, "print a stage breakdown (compile/load/eval) to stderr")
 	)
 	flag.Parse()
 	if *query == "" && *flwor == "" {
@@ -64,17 +71,28 @@ func main() {
 		fatal(fmt.Errorf("-each cannot be combined with -fig1"))
 	}
 
+	// One trace spans the whole invocation; in -each mode, same-name
+	// stages from successive documents merge. Printed to stderr at exit
+	// so stdout stays parseable.
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace("cxquery")
+		defer cliutil.WriteTrace(os.Stderr, tr)
+	}
+
 	// Compile exactly once, whatever the number of input documents.
 	var (
 		xq  *xpath.Query
 		fq  *xquery.Query
 		err error
 	)
+	sp := tr.Begin("compile")
 	if *query != "" {
 		xq, err = xpath.Compile(*query)
 	} else {
 		fq, err = xquery.Compile(*flwor)
 	}
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -88,6 +106,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	ctx = obs.WithTrace(ctx, tr)
 	budget := xpath.Budget{MaxVisited: *visited}
 
 	if *each {
@@ -96,7 +115,9 @@ func main() {
 			fatal(fmt.Errorf("no input files"))
 		}
 		for _, p := range paths {
+			sp := tr.Begin("load")
 			doc, err := cliutil.Load(*format, []string{p})
+			sp.End()
 			if err != nil {
 				fatal(err)
 			}
@@ -108,11 +129,13 @@ func main() {
 	}
 
 	var doc *core.Document
+	sp = tr.Begin("load")
 	if *demo {
 		doc, err = core.Parse(corpus.Fig1Sources())
 	} else {
 		doc, err = cliutil.Load(*format, flag.Args())
 	}
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}

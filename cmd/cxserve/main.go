@@ -7,6 +7,7 @@
 //
 //	cxserve -dir corpus/ [-addr :8080] [-budget 512] [-cache 256]
 //	        [-query-timeout 10s] [-max-visited 0] [-slow-query 0]
+//	        [-debug-addr :6060] [-log-format text]
 //
 // The corpus directory may mix source forms, one document per entry:
 //
@@ -38,7 +39,11 @@
 //	POST   /docs/ID/undo revert the last committed transaction
 //	POST   /docs/ID/redo re-apply the last undone transaction
 //	GET    /healthz      liveness
-//	GET    /stats        catalog, request, and query-cache counters
+//	GET    /stats        catalog, request, and query-cache counters,
+//	                     plus per-route latency quantiles
+//	GET    /metrics      Prometheus text exposition of every counter,
+//	                     gauge, and latency histogram
+//	GET    /debug/requests  bounded ring of recent slow/errored queries
 //
 // Documents are editable unless -readonly is set: queries run under
 // per-document read locks, edit batches under the write lock, so
@@ -55,6 +60,15 @@
 // monopolize a core regardless of deadline. -slow-query logs and counts
 // evaluations slower than the threshold; /stats reports cancelled,
 // timed-out, budget-exceeded, and slow-query totals.
+//
+// Observability: one metrics registry spans the server and the catalog;
+// GET /metrics exposes it in Prometheus text format and /stats reads
+// the same series, so the two surfaces cannot drift. A /query body may
+// set "trace": true to get a per-stage breakdown (decode, lock wait,
+// cold load, plan, eval, encode) with the response — explain-analyze
+// for one request. Logs are structured (log/slog); -log-format picks
+// text or json. -debug-addr opens a second listener with net/http/pprof,
+// /metrics, and /debug/requests — profiling stays off the serving port.
 //
 // Durability: with -wal (the default) every committed edit batch is
 // appended to a per-document write-ahead log (<id>.wal, next to the
@@ -83,6 +97,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -90,6 +105,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -107,6 +123,8 @@ func main() {
 		readonly   = flag.Bool("readonly", false, "disable the edit/undo/redo endpoints")
 		wal        = flag.Bool("wal", true, "write-ahead log edit batches for crash recovery")
 		inflight   = flag.Int("max-inflight", 256, "maximum concurrently served requests (-1 = unlimited)")
+		debugAddr  = flag.String("debug-addr", "", "side listener for pprof + /metrics + /debug/requests (off by default)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.DurationVar(timeout, "timeout", *timeout, "alias for -query-timeout (kept for compatibility)")
 	flag.Parse()
@@ -114,7 +132,22 @@ func main() {
 		fatal(errors.New("missing -dir corpus directory"))
 	}
 
-	cat, err := catalog.Open(*dir, catalog.Options{Budget: *budgetMB << 20, DisableWAL: !*wal})
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
+
+	// One registry spans every layer: the catalog registers its load,
+	// lock-wait, WAL, and residency series into the same namespace the
+	// server's HTTP and query-cache series live in, and GET /metrics
+	// exposes them all.
+	reg := obs.NewRegistry()
+	cat, err := catalog.Open(*dir, catalog.Options{Budget: *budgetMB << 20, DisableWAL: !*wal, Obs: reg})
 	if err != nil {
 		fatal(err)
 	}
@@ -127,7 +160,23 @@ func main() {
 		SlowQuery:   *slowQuery,
 		ReadOnly:    *readonly,
 		MaxInflight: *inflight,
+		Obs:         reg,
+		Logger:      logger,
 	})
+
+	if *debugAddr != "" {
+		go func() {
+			ds := &http.Server{
+				Addr:              *debugAddr,
+				Handler:           srv.DebugHandler(),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			logger.Info("debug listener", "addr", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,

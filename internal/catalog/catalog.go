@@ -71,6 +71,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultfs"
 	"repro/internal/goddag"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -114,6 +115,12 @@ type Options struct {
 	// default; negative caches failures until Evict, the pre-WAL
 	// behavior.
 	NegCacheTTL time.Duration
+
+	// Obs, when non-nil, receives the catalog's metrics: load/hit/
+	// eviction counters, resident-set gauges, and latency histograms
+	// for cold loads, lock waits, WAL appends, and saves. Nil disables
+	// instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 // Durability defaults (see Options).
@@ -165,6 +172,10 @@ type Catalog struct {
 	// load has been registered as in-flight and before its result is
 	// published.
 	onLoad func(id string)
+
+	// met holds the pre-resolved metric handles (see obs.go); zero-value
+	// (all-nil) when no registry was supplied.
+	met catMetrics
 }
 
 // entry is one catalogued document. The resident fields are guarded by
@@ -274,6 +285,7 @@ func Open(dir string, opts Options) (*Catalog, error) {
 	}
 	c.now = time.Now
 	c.sleep = time.Sleep
+	c.registerMetrics(opts.Obs)
 	for _, de := range des {
 		name := de.Name()
 		if strings.HasPrefix(name, ".") {
@@ -397,6 +409,10 @@ func (c *Catalog) GetContext(ctx context.Context, id string) (*core.Document, er
 		go c.runLoad(e, f)
 	}
 	c.mu.Unlock()
+	// The wait for the (possibly joined) singleflight load is the
+	// request's own cold-start cost — attribute it to the load stage.
+	sp := obs.TraceFrom(ctx).Begin("load")
+	defer sp.End()
 	select {
 	case <-f.done:
 		return f.doc, f.err
@@ -410,7 +426,11 @@ func (c *Catalog) GetContext(ctx context.Context, id string) (*core.Document, er
 // abort or poison the shared load. f.doc/f.err are written before
 // close(f.done), so waiters released by the close read them safely.
 func (c *Catalog) runLoad(e *entry, f *flight) {
+	start := time.Now()
 	doc, bytes, err := c.load(e)
+	if err == nil {
+		c.met.coldLoad.Observe(time.Since(start))
+	}
 
 	c.mu.Lock()
 	e.flight = nil
@@ -530,9 +550,12 @@ func (c *Catalog) ViewContext(ctx context.Context, id string, fn func(*core.Docu
 	if !ok {
 		return &ErrNotFound{ID: id}
 	}
+	tr := obs.TraceFrom(ctx)
+	lockStart := lockWaitStart(c.met.lockRead, tr)
 	if err := e.rw.RLock(ctx); err != nil {
 		return err
 	}
+	finishLockWait(lockStart, c.met.lockRead, tr)
 	defer e.rw.RUnlock()
 	doc, err := c.GetContext(ctx, id)
 	if err != nil {
@@ -587,9 +610,12 @@ func (c *Catalog) UpdateContext(ctx context.Context, id string, fn func(*core.Do
 		return err
 	}
 	defer c.endEdit(e)
+	tr := obs.TraceFrom(ctx)
+	lockStart := lockWaitStart(c.met.lockWrite, tr)
 	if err := e.rw.Lock(ctx); err != nil {
 		return err
 	}
+	finishLockWait(lockStart, c.met.lockWrite, tr)
 	defer e.rw.Unlock()
 	doc, err := c.GetContext(ctx, id)
 	if err != nil {
@@ -609,8 +635,12 @@ func (c *Catalog) UpdateContext(ctx context.Context, id string, fn func(*core.Do
 	walDurable := false
 	if w := c.walFor(e); w != nil {
 		var buf bytes.Buffer
-		if doc.Save(&buf) == nil && w.Append(store.RecordSnapshot, 0, buf.Bytes()) == nil {
-			walDurable = true
+		if doc.Save(&buf) == nil {
+			appendStart := time.Now()
+			if w.Append(store.RecordSnapshot, 0, buf.Bytes()) == nil {
+				walDurable = true
+			}
+			c.met.walAppend.Observe(time.Since(appendStart))
 		}
 	}
 	return c.persistCommit(e, doc, walDurable, true, nil)

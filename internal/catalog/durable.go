@@ -25,10 +25,12 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/editor"
 	"repro/internal/goddag"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -99,9 +101,12 @@ func (c *Catalog) UpdateBatchContext(ctx context.Context, id string, ops []edito
 		return err
 	}
 	defer c.endEdit(e)
+	tr := obs.TraceFrom(ctx)
+	lockStart := lockWaitStart(c.met.lockWrite, tr)
 	if err := e.rw.Lock(ctx); err != nil {
 		return err
 	}
+	finishLockWait(lockStart, c.met.lockWrite, tr)
 	defer e.rw.Unlock()
 	doc, err := c.GetContext(ctx, id)
 	if err != nil {
@@ -117,9 +122,11 @@ func (c *Catalog) UpdateBatchContext(ctx context.Context, id string, ops []edito
 	if w := c.walFor(e); w != nil {
 		if payload, err := json.Marshal(editor.Batch{Ops: ops}); err == nil {
 			mark = w.Size()
+			appendStart := time.Now()
 			if w.Append(store.RecordOps, c.fingerprint(e, doc), payload) == nil {
 				walDurable = true
 			}
+			c.met.walAppend.Observe(time.Since(appendStart))
 		}
 	}
 
@@ -201,7 +208,10 @@ func (c *Catalog) saveWithRetry(path string, g *goddag.Document) error {
 				delay = c.retryCap
 			}
 		}
-		if err = store.SaveFS(c.fsys, path, g); err == nil {
+		saveStart := time.Now()
+		err = store.SaveFS(c.fsys, path, g)
+		c.met.save.Observe(time.Since(saveStart))
+		if err == nil {
 			return nil
 		}
 	}

@@ -1,0 +1,40 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WriteTrace renders a stage breakdown — the offline twin of the
+// "trace" field a traced cxserve /query response carries. One line per
+// stage with its share of the wall clock, then the visit count (when
+// the evaluation counted nodes) and the total:
+//
+//	compile       41µs    0.4%
+//	load         8.2ms   81.6%
+//	eval         1.7ms   17.3%
+//	visited       2000
+//	total       10.1ms
+//
+// A nil trace writes nothing, so callers can pass the handle through
+// unconditionally.
+func WriteTrace(w io.Writer, tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	total := tr.Total()
+	for _, st := range tr.Stages() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(st.Dur) / float64(total)
+		}
+		fmt.Fprintf(w, "%-8s %10s  %5.1f%%\n", st.Name, st.Dur.Round(time.Microsecond), pct)
+	}
+	if n := tr.Visited(); n > 0 {
+		fmt.Fprintf(w, "%-8s %10d\n", "visited", n)
+	}
+	fmt.Fprintf(w, "%-8s %10s\n", "total", total.Round(time.Microsecond))
+}

@@ -1,0 +1,41 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestWriteTrace(t *testing.T) {
+	tr := obs.NewTrace("t1")
+	tr.Add("load", 800*time.Microsecond)
+	tr.Add("eval", 200*time.Microsecond)
+	tr.AddVisited(1234)
+
+	var b strings.Builder
+	WriteTrace(&b, tr)
+	out := b.String()
+
+	for _, want := range []string{"load", "eval", "visited", "1234", "total", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteTrace output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // load, eval, visited, total
+		t.Errorf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "load") || !strings.HasPrefix(lines[1], "eval") {
+		t.Errorf("stages out of recorded order:\n%s", out)
+	}
+}
+
+func TestWriteTraceNil(t *testing.T) {
+	var b strings.Builder
+	WriteTrace(&b, nil)
+	if b.Len() != 0 {
+		t.Errorf("nil trace wrote %q", b.String())
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// This file renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP and TYPE line per family, then one
+// sample line per series — histograms expand into cumulative _bucket
+// series (ending at le="+Inf"), _sum, and _count. Families are emitted
+// in name order and series in label order, so scrapes diff cleanly and
+// the golden-file test is stable.
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := r.sortedFamilies()
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	var scratch []byte
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			if f.kind == kindHistogram {
+				scratch = writeHistogramSeries(bw, f.name, s, scratch)
+				continue
+			}
+			scratch = scratch[:0]
+			switch {
+			case s.fn != nil:
+				scratch = appendFloat(scratch, s.fn())
+			case s.c != nil:
+				scratch = strconv.AppendUint(scratch, s.c.Value(), 10)
+			case s.g != nil:
+				scratch = strconv.AppendInt(scratch, s.g.Value(), 10)
+			default:
+				scratch = append(scratch, '0')
+			}
+			writeSample(bw, f.name, s.labels, "", scratch)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogramSeries expands one histogram series into its _bucket /
+// _sum / _count samples. Returns the (possibly grown) scratch buffer.
+func writeHistogramSeries(bw *bufio.Writer, name string, s *series, scratch []byte) []byte {
+	snap := s.h.Snapshot()
+	cum := uint64(0)
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			scratch = appendFloat(scratch[:0], snap.Bounds[i].Seconds())
+			le = string(scratch)
+		}
+		scratch = strconv.AppendUint(scratch[:0], cum, 10)
+		writeSample(bw, name+"_bucket", s.labels, `le="`+le+`"`, scratch)
+	}
+	scratch = appendFloat(scratch[:0], snap.Sum.Seconds())
+	writeSample(bw, name+"_sum", s.labels, "", scratch)
+	scratch = strconv.AppendUint(scratch[:0], snap.Count, 10)
+	writeSample(bw, name+"_count", s.labels, "", scratch)
+	return scratch
+}
+
+// writeSample emits one `name{labels,extra} value` line. labels and
+// extra are pre-formatted label bodies; either may be empty.
+func writeSample(bw *bufio.Writer, name, labels, extra string, value []byte) {
+	bw.WriteString(name)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.Write(value)
+	bw.WriteByte('\n')
+}
+
+// appendFloat renders a float the way the exposition format expects:
+// shortest representation, integers without an exponent where possible.
+func appendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format — mounted at GET /metrics by the server and the
+// debug listener.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a deterministic registry covering every metric
+// shape the exposition renders: labelled and unlabelled counters,
+// gauges, func-backed series, and a histogram with sub-second bounds.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("cx_http_requests_total", "Requests served, by route and status class.", `route="query",class="2xx"`).Add(41)
+	r.Counter("cx_http_requests_total", "Requests served, by route and status class.", `route="query",class="5xx"`).Inc()
+	r.Counter("cx_http_requests_total", "Requests served, by route and status class.", `route="stats",class="2xx"`).Add(7)
+	r.Gauge("cx_http_inflight", "Requests currently being served.", "").Set(3)
+	r.CounterFunc("cx_catalog_loads_total", "Documents loaded from source.", "", func() float64 { return 12 })
+	r.GaugeFunc("cx_catalog_resident_bytes", "Estimated footprint of resident documents.", "", func() float64 { return 1.5e6 })
+	h := r.Histogram("cx_http_request_seconds", "Request latency.", `route="query"`,
+		[]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(2 * time.Second)
+	return r
+}
+
+// TestExpositionGolden pins the exact exposition bytes: family and
+// series order, HELP/TYPE lines, histogram expansion, float rendering.
+func TestExpositionGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	const path = "testdata/exposition.golden"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// sampleLine matches one text-format sample: name{labels} value.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*")*\})? (\+Inf|-?[0-9.e+-]+)$`)
+
+// TestExpositionParses walks every emitted line through a v0.0.4
+// grammar check and re-derives the histogram invariants from the text:
+// cumulative buckets non-decreasing, le="+Inf" present and equal to
+// _count.
+func TestExpositionParses(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		lastCum  = -1.0
+		infSeen  bool
+		infVal   float64
+		countVal = -1.0
+	)
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line does not parse as a sample: %q", line)
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		switch {
+		case strings.HasPrefix(m[1], "cx_http_request_seconds_bucket"):
+			if v < lastCum {
+				t.Fatalf("bucket series decreased: %q after cum=%v", line, lastCum)
+			}
+			lastCum = v
+			if strings.Contains(m[2], `le="+Inf"`) {
+				infSeen, infVal = true, v
+			}
+		case m[1] == "cx_http_request_seconds_count":
+			countVal = v
+		}
+	}
+	if !infSeen {
+		t.Fatal("histogram emitted no le=\"+Inf\" bucket")
+	}
+	if countVal != infVal {
+		t.Fatalf("_count %v != +Inf bucket %v", countVal, infVal)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := goldenRegistry()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "cx_http_requests_total") {
+		t.Fatal("body missing metrics")
+	}
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metrics: status %d, want 405", rec.Code)
+	}
+}

@@ -1,0 +1,379 @@
+// Package obs is the framework's zero-dependency observability layer:
+// a metrics registry (counters, gauges, fixed-bucket latency histograms
+// with Prometheus text exposition) and a request-scoped stage tracer.
+//
+// The package exists to instrument the serving path without costing it
+// anything when observation is off, so two properties shape every type:
+//
+//   - Lock-free hot paths. Counter.Add, Gauge.Set, and
+//     Histogram.Observe are single atomic operations (the histogram adds
+//     one more per bucket hit); no metric update takes a lock or
+//     allocates. The registry's mutex guards registration and scraping
+//     only — both off the request path.
+//
+//   - Nil safety. Every observation method is a no-op on a nil
+//     receiver, so instrumented code threads optional metric handles
+//     without conditionals: a layer constructed without a registry holds
+//     nil handles and pays one predictable branch per observation.
+//
+// Scrapes are wait-free with respect to writers: a histogram scraped
+// mid-observation may see the bucket increment before the sum (or vice
+// versa), which is the standard contract for lock-free metrics — each
+// exposed value is individually atomic, the set is not a snapshot.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Counter is a monotonically increasing value. The zero value is
+// usable; a nil *Counter discards observations.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is a value that can go up and down. The zero value is usable;
+// a nil *Gauge discards observations.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// A Histogram counts duration observations into fixed buckets — the
+// latency-distribution primitive. Buckets are cumulative only at
+// exposition; internally each bound has its own atomic counter, so
+// Observe is two atomic adds plus a short linear scan (the bound slice
+// is immutable after construction). A nil *Histogram discards
+// observations.
+type Histogram struct {
+	bounds []int64         // upper bounds in nanoseconds, ascending
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Int64    // nanoseconds
+	count  atomic.Uint64
+}
+
+// DefBuckets spans the serving layer's interesting range: 50µs request
+// handling up through multi-second cold loads and stalled saves.
+var DefBuckets = []time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond,
+	500 * time.Microsecond, time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, time.Second, 2500 * time.Millisecond,
+	5 * time.Second, 10 * time.Second,
+}
+
+func newHistogram(buckets []time.Duration) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	h := &Histogram{
+		bounds: make([]int64, len(buckets)),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	for i, b := range buckets {
+		h.bounds[i] = int64(b)
+		if i > 0 && h.bounds[i] <= h.bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not strictly ascending at %d", i))
+		}
+	}
+	return h
+}
+
+// Observe records one duration. Negative durations (clock retrograde)
+// count into the first bucket.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < len(h.bounds) && ns > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is one scrape of a histogram: per-bucket
+// (non-cumulative) counts aligned with Bounds, plus the +Inf overflow as
+// the final count.
+type HistogramSnapshot struct {
+	Bounds []time.Duration // upper bounds; Counts has one extra +Inf slot
+	Counts []uint64
+	Count  uint64
+	Sum    time.Duration
+}
+
+// Snapshot reads the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: make([]time.Duration, len(h.bounds)),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    time.Duration(h.sum.Load()),
+	}
+	for i, b := range h.bounds {
+		s.Bounds[i] = time.Duration(b)
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// within the bucket holding the target rank — the same estimate
+// Prometheus's histogram_quantile computes. Observations in the +Inf
+// bucket clamp to the largest finite bound.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	total := uint64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, c := range s.Counts {
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: no upper bound to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - (cum - float64(c))) / float64(c)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// metricKind is the exposition TYPE of a family.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (family, label-set) time series.
+type series struct {
+	labels string // pre-formatted `k="v",k2="v2"`, "" for none
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // func-backed counter/gauge; overrides c/g
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+	byLbl  map[string]*series
+}
+
+// Registry holds a process's metrics. Registration and scraping are
+// mutex-guarded; the returned metric handles are lock-free. Create with
+// NewRegistry; a nil *Registry accepts registrations and returns nil
+// handles, so layers built without a registry are silently
+// uninstrumented.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// familyFor returns (creating if needed) the family, enforcing that one
+// name keeps one kind and one help string.
+func (r *Registry) familyFor(name, help string, kind metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byLbl: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+func (f *family) seriesFor(labels string) *series {
+	s, ok := f.byLbl[labels]
+	if !ok {
+		s = &series{labels: labels}
+		f.byLbl[labels] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter registers (or returns the existing) counter for name+labels.
+// labels is a pre-formatted Prometheus label body (`route="query"`) or
+// "" for an unlabelled series.
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.familyFor(name, help, kindCounter).seriesFor(labels)
+	if s.c == nil {
+		s.c = new(Counter)
+	}
+	return s.c
+}
+
+// Gauge registers (or returns the existing) gauge for name+labels.
+func (r *Registry) Gauge(name, help, labels string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.familyFor(name, help, kindGauge).seriesFor(labels)
+	if s.g == nil {
+		s.g = new(Gauge)
+	}
+	return s.g
+}
+
+// Histogram registers (or returns the existing) histogram for
+// name+labels. buckets nil means DefBuckets; bucket sets are fixed at
+// first registration.
+func (r *Registry) Histogram(name, help, labels string, buckets []time.Duration) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.familyFor(name, help, kindHistogram).seriesFor(labels)
+	if s.h == nil {
+		s.h = newHistogram(buckets)
+	}
+	return s.h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the drift-proof way to expose a total another subsystem
+// already maintains (the catalog's load counters, the query cache's
+// hits) without double-counting it.
+func (r *Registry) CounterFunc(name, help, labels string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.familyFor(name, help, kindCounter).seriesFor(labels).fn = fn
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help, labels string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.familyFor(name, help, kindGauge).seriesFor(labels).fn = fn
+}
+
+// sortedFamilies returns the families in name order and each family's
+// series in label order — the stable exposition order. Called under mu.
+func (r *Registry) sortedFamilies() []*family {
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for _, f := range out {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+	}
+	return out
+}
+
+// escapeHelp escapes a HELP string per the text format (backslash and
+// newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(time.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil metrics must observe nothing")
+	}
+	var r *Registry
+	if r.Counter("x", "", "") != nil || r.Gauge("x", "", "") != nil || r.Histogram("x", "", "", nil) != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	r.CounterFunc("x", "", "", nil)
+	r.GaugeFunc("x", "", "", nil)
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryDedupsSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("cx_x_total", "x", `k="a"`)
+	b := r.Counter("cx_x_total", "x", `k="a"`)
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := r.Counter("cx_x_total", "x", `k="b"`)
+	if a == c {
+		t.Fatal("different labels must return a distinct series")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cx_x_total", "x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("cx_x_total", "x", "")
+}
+
+// TestHistogramInvariants pins the exposition contract: cumulative
+// bucket counts are monotonically non-decreasing, the +Inf bucket equals
+// _count, and the sum matches the observations.
+func TestHistogramInvariants(t *testing.T) {
+	h := newHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	obs := []time.Duration{
+		500 * time.Microsecond,   // bucket 0
+		time.Millisecond,         // bucket 0 (le is inclusive)
+		time.Millisecond + 1,     // bucket 1
+		9 * time.Millisecond,     // bucket 1
+		99 * time.Millisecond,    // bucket 2
+		time.Second,              // +Inf
+		-time.Second,             // clamped to 0, bucket 0
+		100*time.Millisecond + 1, // +Inf
+		100 * time.Millisecond,   // bucket 2 boundary
+		time.Duration(0),         // bucket 0
+	}
+	var want time.Duration
+	for _, d := range obs {
+		h.Observe(d)
+		if d < 0 {
+			d = 0
+		}
+		want += d
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(obs)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(obs))
+	}
+	if s.Sum != want {
+		t.Fatalf("sum = %v, want %v", s.Sum, want)
+	}
+	wantBuckets := []uint64{4, 2, 2, 2}
+	cum := uint64(0)
+	prev := uint64(0)
+	for i, c := range s.Counts {
+		if c != wantBuckets[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, wantBuckets[i])
+		}
+		cum += c
+		if cum < prev {
+			t.Fatalf("cumulative count decreased at bucket %d", i)
+		}
+		prev = cum
+	}
+	if cum != s.Count {
+		t.Fatalf("+Inf cumulative %d != count %d", cum, s.Count)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", got)
+	}
+	// 90 observations in (1ms,10ms], 10 in (10ms,100ms].
+	for i := 0; i < 90; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 <= time.Millisecond || p50 > 10*time.Millisecond {
+		t.Errorf("p50 = %v, want within (1ms,10ms]", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 <= 10*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v, want within (10ms,100ms]", p99)
+	}
+	if p50 >= p99 {
+		t.Errorf("p50 %v >= p99 %v", p50, p99)
+	}
+	// Everything in the overflow bucket clamps to the largest bound.
+	over := newHistogram([]time.Duration{time.Millisecond})
+	over.Observe(time.Hour)
+	if got := over.Snapshot().Quantile(0.5); got != time.Millisecond {
+		t.Errorf("overflow quantile = %v, want clamp to 1ms", got)
+	}
+}
+
+// TestConcurrentObserve hammers one histogram and one counter from many
+// goroutines while scraping concurrently — run under -race in CI; the
+// final totals must be exact (no lost updates).
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cx_ops_total", "ops", "")
+	h := r.Histogram("cx_lat_seconds", "lat", "", nil)
+	const workers, each = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent scraper
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				r.WritePrometheus(&sb)
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(time.Duration(seed*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*each {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*each)
+	}
+	cum := uint64(0)
+	for _, bc := range s.Counts {
+		cum += bc
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", cum, s.Count)
+	}
+}

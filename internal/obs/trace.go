@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The stage tracer answers "where did this request's time go": named,
+// sequential stage spans (decode → lock wait → load → compile → plan →
+// eval → encode) recorded on one request's Trace, which rides the
+// request context. The design constraint is the serving layer's flat
+// allocation budget: when tracing is off the fast path carries a nil
+// *Trace, every method is a nil-guarded no-op, and the only cost is the
+// context value lookup at the few seams that ask for it. A Trace is
+// single-goroutine state, like the request handler it instruments.
+
+// Stage is one named span's accumulated duration. Repeated spans with
+// the same name (a FLWOR's per-clause evaluations, retried saves) merge
+// into one stage, so the breakdown stays bounded and readable.
+type Stage struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Trace accumulates one request's stage breakdown.
+type Trace struct {
+	ID      string // request id, for log correlation
+	start   time.Time
+	stages  []Stage
+	visited int64 // nodes visited by query evaluation, when counted
+}
+
+// NewTrace starts a trace identified by id.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, start: time.Now()}
+}
+
+// NewTraceAt is NewTrace with an explicit start time — for callers
+// that decide to trace only after the request's first stages already
+// ran (the serving layer reads the trace flag out of the body it is
+// timing the decode of).
+func NewTraceAt(id string, start time.Time) *Trace {
+	return &Trace{ID: id, start: start}
+}
+
+// Span is an open stage; End closes it. The zero Span (from a nil
+// Trace) is a no-op, so callers never branch.
+type Span struct {
+	t     *Trace
+	name  string
+	begin time.Time
+}
+
+// Begin opens a named stage span. On a nil Trace it returns the no-op
+// zero Span without reading the clock.
+func (t *Trace) Begin(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, begin: time.Now()}
+}
+
+// End closes the span, folding its duration into the trace.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Add(s.name, time.Since(s.begin))
+}
+
+// Add folds d into the named stage directly — for durations measured
+// before the trace existed (request decode precedes the trace decision)
+// or measured by other means.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	for i := range t.stages {
+		if t.stages[i].Name == name {
+			t.stages[i].Dur += d
+			return
+		}
+	}
+	t.stages = append(t.stages, Stage{Name: name, Dur: d})
+}
+
+// AddVisited folds n evaluation-visited nodes into the trace.
+func (t *Trace) AddVisited(n int64) {
+	if t != nil {
+		t.visited += n
+	}
+}
+
+// Visited returns the nodes visited by the traced evaluations. Zero
+// when the evaluation ran without a counting limiter.
+func (t *Trace) Visited() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.visited
+}
+
+// Stages returns the recorded stages in first-recorded order. The
+// slice is the trace's own; callers must not modify it.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	return t.stages
+}
+
+// Total is the wall time since the trace started.
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// String renders the breakdown compactly for log lines:
+// "lockWait=1µs eval=340µs encode=82µs visited=2000".
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for i, st := range t.stages {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(st.Name)
+		b.WriteByte('=')
+		b.WriteString(st.Dur.Round(time.Microsecond).String())
+	}
+	if t.visited > 0 {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString("visited=")
+		b.WriteString(strconv.FormatInt(t.visited, 10))
+	}
+	return b.String()
+}
+
+// traceKey keys the Trace on a context.
+type traceKey struct{}
+
+// WithTrace attaches t to ctx. Attaching nil returns ctx unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the Trace riding ctx, or nil — the nil-guarded
+// handle instrumented layers observe into. Safe on a nil context.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

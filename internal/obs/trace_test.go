@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Begin("eval") // must not read the clock or panic
+	sp.End()
+	tr.Add("x", time.Second)
+	tr.AddVisited(5)
+	if tr.Visited() != 0 || tr.Total() != 0 || tr.Stages() != nil || tr.String() != "" {
+		t.Fatal("nil trace must observe nothing")
+	}
+	if TraceFrom(nil) != nil || TraceFrom(context.Background()) != nil {
+		t.Fatal("TraceFrom must be nil on contexts without a trace")
+	}
+	if ctx := WithTrace(context.Background(), nil); TraceFrom(ctx) != nil {
+		t.Fatal("attaching a nil trace must be a no-op")
+	}
+}
+
+func TestTraceStagesMergeByName(t *testing.T) {
+	tr := NewTrace("r1")
+	tr.Add("eval", 2*time.Millisecond)
+	tr.Add("encode", time.Millisecond)
+	tr.Add("eval", 3*time.Millisecond) // FLWOR-style repeated stage
+	st := tr.Stages()
+	if len(st) != 2 {
+		t.Fatalf("stages = %d, want 2 (merged)", len(st))
+	}
+	if st[0].Name != "eval" || st[0].Dur != 5*time.Millisecond {
+		t.Fatalf("eval stage = %+v", st[0])
+	}
+	if st[1].Name != "encode" || st[1].Dur != time.Millisecond {
+		t.Fatalf("encode stage = %+v", st[1])
+	}
+}
+
+func TestTraceSpansAndContext(t *testing.T) {
+	tr := NewTrace("r2")
+	ctx := WithTrace(context.Background(), tr)
+	got := TraceFrom(ctx)
+	if got != tr {
+		t.Fatal("TraceFrom must return the attached trace")
+	}
+	sp := got.Begin("sleep")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	st := tr.Stages()
+	if len(st) != 1 || st[0].Name != "sleep" {
+		t.Fatalf("stages = %+v", st)
+	}
+	if st[0].Dur < time.Millisecond {
+		t.Fatalf("span duration %v implausibly short", st[0].Dur)
+	}
+	if tot := tr.Total(); tot < st[0].Dur {
+		t.Fatalf("total %v < stage sum %v", tot, st[0].Dur)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := NewTrace("r3")
+	tr.Add("lockWait", 1500*time.Nanosecond)
+	tr.Add("eval", 340*time.Microsecond)
+	tr.AddVisited(2000)
+	s := tr.String()
+	for _, want := range []string{"lockWait=", "eval=340µs", "visited=2000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

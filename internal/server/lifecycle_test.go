@@ -105,7 +105,7 @@ func TestQueryBudgetExceededReturns413(t *testing.T) {
 	if w.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("budget-busting FLWOR: %d %s", w.Code, w.Body.String())
 	}
-	if got := srv.budgetExceeded.Load(); got < 2 {
+	if got := srv.budgetExceeded.Value(); got < 2 {
 		t.Errorf("budgetExceeded counter = %d, want >= 2", got)
 	}
 
@@ -136,7 +136,7 @@ func TestClientDisconnectCancelsEvaluation(t *testing.T) {
 	if w.Code != statusClientClosedRequest {
 		t.Fatalf("disconnected client: %d %s", w.Code, w.Body.String())
 	}
-	if srv.cancelled.Load() == 0 {
+	if srv.cancelled.Value() == 0 {
 		t.Error("cancelled counter not incremented")
 	}
 }
@@ -148,7 +148,7 @@ func TestSlowQueryLoggedAndCounted(t *testing.T) {
 	if w := post(t, h, `{"doc":"ms","query":"//w","format":"count"}`); w.Code != http.StatusOK {
 		t.Fatalf("query: %d %s", w.Code, w.Body.String())
 	}
-	if srv.slowQueries.Load() == 0 {
+	if srv.slowQueries.Value() == 0 {
 		t.Error("slowQueries counter not incremented")
 	}
 }
@@ -231,10 +231,10 @@ func TestAdversarialBarrage(t *testing.T) {
 		t.Error(err)
 	}
 
-	if srv.panics.Load() != 0 {
-		t.Errorf("panics recovered during barrage: %d", srv.panics.Load())
+	if srv.panics.Value() != 0 {
+		t.Errorf("panics recovered during barrage: %d", srv.panics.Value())
 	}
-	if srv.timedOut.Load() == 0 && srv.budgetExceeded.Load() == 0 {
+	if srv.timedOut.Value() == 0 && srv.budgetExceeded.Value() == 0 {
 		t.Error("barrage tripped neither deadlines nor budgets; it was not adversarial")
 	}
 

@@ -1,0 +1,226 @@
+// Observability surface: the metrics registry wiring, the instrument
+// middleware (per-route latency histograms, status-class counters, the
+// in-flight gauge), the bounded ring of recent slow/errored requests
+// behind GET /debug/requests, and the pprof side mux. The hard
+// constraint is the warm streaming path's flat allocation budget:
+// metric handles are pre-resolved into arrays indexed by a route enum
+// (no map lookups, no label formatting per request), the one
+// statusWriter the middleware allocates is reused by the panic-recovery
+// wrapper, and tracing costs a nil check when off.
+
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/xpath"
+)
+
+// Route enum: every endpoint the middleware distinguishes in metrics.
+const (
+	routeQuery = iota
+	routeDocs
+	routeDoc
+	routeEdit
+	routeHistory
+	routeHealthz
+	routeStats
+	routeMetrics
+	routeDebug
+	routeOther
+	nRoutes
+)
+
+var routeNames = [nRoutes]string{
+	"query", "docs", "doc", "edit", "history",
+	"healthz", "stats", "metrics", "debug", "other",
+}
+
+// Status classes 2xx..5xx; 1xx never happens here, 499 counts as 4xx.
+const nClasses = 4
+
+var classNames = [nClasses]string{"2xx", "3xx", "4xx", "5xx"}
+
+// classifyRoute maps a request path to its route index without
+// allocating.
+func classifyRoute(path string) int {
+	switch path {
+	case "/query":
+		return routeQuery
+	case "/docs":
+		return routeDocs
+	case "/healthz":
+		return routeHealthz
+	case "/stats":
+		return routeStats
+	case "/metrics":
+		return routeMetrics
+	}
+	if strings.HasPrefix(path, "/docs/") {
+		switch {
+		case strings.HasSuffix(path, "/edit"):
+			return routeEdit
+		case strings.HasSuffix(path, "/undo"), strings.HasSuffix(path, "/redo"):
+			return routeHistory
+		}
+		return routeDoc
+	}
+	if strings.HasPrefix(path, "/debug/") {
+		return routeDebug
+	}
+	return routeOther
+}
+
+// serverMetrics holds the server's pre-resolved metric handles.
+type serverMetrics struct {
+	reg      *obs.Registry
+	inflight *obs.Gauge
+	latency  [nRoutes]*obs.Histogram
+	status   [nRoutes][nClasses]*obs.Counter
+}
+
+// newServerMetrics registers the HTTP-layer metrics plus func-backed
+// views of the values other subsystems already own — the compiled-query
+// cache and the xpath engine counters — so /metrics and /stats read the
+// same source of truth and cannot drift.
+func (s *Server) newServerMetrics(reg *obs.Registry) serverMetrics {
+	m := serverMetrics{reg: reg}
+	m.inflight = reg.Gauge("cx_http_inflight", "Requests currently being served.", "")
+	for rt := 0; rt < nRoutes; rt++ {
+		lbl := `route="` + routeNames[rt] + `"`
+		m.latency[rt] = reg.Histogram("cx_http_request_seconds", "Request latency, by route.", lbl, nil)
+		for cl := 0; cl < nClasses; cl++ {
+			m.status[rt][cl] = reg.Counter("cx_http_requests_total",
+				"Requests served, by route and status class.", lbl+`,class="`+classNames[cl]+`"`)
+		}
+	}
+	reg.CounterFunc("cx_query_cache_hits_total", "Compiled-query cache hits.", "", func() float64 {
+		return float64(s.cache.stats().Hits)
+	})
+	reg.CounterFunc("cx_query_cache_misses_total", "Compiled-query cache misses.", "", func() float64 {
+		return float64(s.cache.stats().Misses)
+	})
+	reg.GaugeFunc("cx_query_cache_size", "Compiled queries resident in the cache.", "", func() float64 {
+		return float64(s.cache.stats().Size)
+	})
+	reg.CounterFunc("cx_plan_cache_hits_total", "Query-plan cache hits in the xpath engine.", "", func() float64 {
+		return float64(xpath.Counters().PlanCacheHits)
+	})
+	reg.CounterFunc("cx_plan_cache_misses_total", "Query-plan cache misses in the xpath engine.", "", func() float64 {
+		return float64(xpath.Counters().PlanCacheMisses)
+	})
+	reg.CounterFunc("cx_nodes_visited_total", "Nodes visited by limited or traced evaluations.", "", func() float64 {
+		return float64(xpath.Counters().NodesVisited)
+	})
+	for kind := range xpath.Counters().PlansByKind {
+		kind := kind
+		reg.CounterFunc("cx_plans_total", "Query executions, by chosen plan shape.", `kind="`+kind+`"`, func() float64 {
+			return float64(xpath.Counters().PlansByKind[kind])
+		})
+	}
+	return m
+}
+
+// instrument is the outermost middleware: it owns the per-request
+// statusWriter (recoverPanics reuses it, so the pair costs one
+// allocation, as recoverPanics alone did before), the in-flight gauge,
+// and the per-route latency and status-class accounting.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt := classifyRoute(r.URL.Path)
+		start := time.Now()
+		s.met.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		s.met.inflight.Add(-1)
+		s.met.latency[rt].Observe(time.Since(start))
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK // body written (or nothing) without WriteHeader
+		}
+		if cl := code/100 - 2; cl >= 0 && cl < nClasses {
+			s.met.status[rt][cl].Inc()
+		}
+	})
+}
+
+// Registry exposes the server's metrics registry — the handle cxserve
+// mounts on the debug listener.
+func (s *Server) Registry() *obs.Registry { return s.met.reg }
+
+// DebugHandler returns the diagnostics mux for a side listener
+// (cxserve's -debug-addr): pprof, the metrics exposition, and the
+// recent-request ring. Deliberately not part of Handler(): profiling
+// endpoints do not belong on the serving port.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", s.met.reg.Handler())
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	return mux
+}
+
+// RequestRecord is one entry of the GET /debug/requests ring: a query
+// request that ended slow or errored, with its stage breakdown when the
+// request was traced.
+type RequestRecord struct {
+	ID        string `json:"id,omitempty"`
+	Time      string `json:"time"` // RFC3339, recorded at completion
+	Doc       string `json:"doc"`
+	Query     string `json:"query"`
+	Status    int    `json:"status"`
+	ElapsedUS int64  `json:"elapsed_us"`
+	Stages    string `json:"stages,omitempty"` // compact breakdown, e.g. "eval=340µs visited=2000"
+	Error     string `json:"error,omitempty"`
+}
+
+// ringSize bounds the recent-request ring. Small on purpose: the ring
+// answers "what just went wrong", not "what happened today".
+const ringSize = 64
+
+// requestRing is the bounded buffer behind /debug/requests. Writes are
+// rare (slow or errored requests only), so one mutex is plenty.
+type requestRing struct {
+	mu   sync.Mutex
+	buf  [ringSize]RequestRecord
+	next int
+	n    int
+}
+
+func (rr *requestRing) add(rec RequestRecord) {
+	rr.mu.Lock()
+	rr.buf[rr.next] = rec
+	rr.next = (rr.next + 1) % ringSize
+	if rr.n < ringSize {
+		rr.n++
+	}
+	rr.mu.Unlock()
+}
+
+// recent returns the recorded requests, most recent first.
+func (rr *requestRing) recent() []RequestRecord {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	out := make([]RequestRecord, 0, rr.n)
+	for i := 1; i <= rr.n; i++ {
+		out = append(out, rr.buf[(rr.next-i+ringSize)%ringSize])
+	}
+	return out
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.ok(w, s.ring.recent())
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation adds allocations — absolute allocation budgets are
+// meaningless under it.
+const raceEnabled = true

@@ -7,21 +7,26 @@ package server
 
 import (
 	"encoding/json"
-	"log"
 	"net/http"
 	"runtime/debug"
 )
 
-// statusWriter records whether the response has been started, so the
+// statusWriter records whether the response has been started (so the
 // panic recovery middleware knows whether a 500 can still be written or
-// the handler died mid-body (then the truncated response is all the
-// client gets — the broken connection is its error signal).
+// the handler died mid-body) and the status code it started with (so
+// the instrument middleware can classify the outcome). One statusWriter
+// serves both wrappers: instrument allocates it, recoverPanics reuses
+// it via type assertion.
 type statusWriter struct {
 	http.ResponseWriter
 	wrote bool
+	code  int // first WriteHeader argument; 0 means an implicit 200
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.code = code
+	}
 	sw.wrote = true
 	sw.ResponseWriter.WriteHeader(code)
 }
@@ -38,7 +43,12 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 // response deliberately, not a failure.
 func (s *Server) recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			// Instrument usually wraps first and owns the statusWriter;
+			// this covers direct use (tests, bare recoverPanics).
+			sw = &statusWriter{ResponseWriter: w}
+		}
 		defer func() {
 			rec := recover()
 			if rec == nil {
@@ -47,9 +57,11 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			s.panics.Add(1)
-			s.errors.Add(1)
-			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.panics.Inc()
+			s.errors.Inc()
+			s.logger.Error("panic serving request",
+				"method", r.Method, "path", r.URL.Path,
+				"panic", rec, "stack", string(debug.Stack()))
 			if !sw.wrote {
 				sw.Header().Set("Content-Type", "application/json")
 				sw.WriteHeader(http.StatusInternalServerError)
@@ -63,7 +75,7 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 // gate admits at most Config.MaxInflight concurrent requests; the rest
 // are shed immediately with 503 + Retry-After rather than queued, so an
 // overloaded server keeps bounded memory and latency and clients learn
-// to back off. /healthz and /stats bypass the gate: an operator
+// to back off. The observability endpoints bypass the gate: an operator
 // diagnosing the overload needs exactly those endpoints to respond.
 func (s *Server) gate(next http.Handler) http.Handler {
 	if s.inflight == nil {
@@ -71,7 +83,7 @@ func (s *Server) gate(next http.Handler) http.Handler {
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/healthz", "/stats":
+		case "/healthz", "/stats", "/metrics", "/debug/requests":
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -80,8 +92,8 @@ func (s *Server) gate(next http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 			next.ServeHTTP(w, r)
 		default:
-			s.shed.Add(1)
-			s.errors.Add(1)
+			s.shed.Inc()
+			s.errors.Inc()
 			w.Header().Set("Retry-After", "1")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)

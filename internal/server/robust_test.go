@@ -29,8 +29,8 @@ func TestPanicRecoveryReturns500(t *testing.T) {
 	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body["error"] == "" {
 		t.Fatalf("body = %q, want JSON error", w.Body.String())
 	}
-	if s.panics.Load() != 1 {
-		t.Fatalf("panics = %d, want 1", s.panics.Load())
+	if s.panics.Value() != 1 {
+		t.Fatalf("panics = %d, want 1", s.panics.Value())
 	}
 }
 
@@ -48,8 +48,8 @@ func TestPanicRecoveryAfterResponseStarted(t *testing.T) {
 	if w.Code != http.StatusOK || w.Body.String() != "partial" {
 		t.Fatalf("response rewritten after start: %d %q", w.Code, w.Body.String())
 	}
-	if s.panics.Load() != 1 {
-		t.Fatalf("panics = %d, want 1", s.panics.Load())
+	if s.panics.Value() != 1 {
+		t.Fatalf("panics = %d, want 1", s.panics.Value())
 	}
 }
 
@@ -62,7 +62,7 @@ func TestPanicRecoveryPassesAbortHandler(t *testing.T) {
 		if recover() != http.ErrAbortHandler {
 			t.Fatal("ErrAbortHandler was swallowed; net/http needs it to abort the connection")
 		}
-		if s.panics.Load() != 0 {
+		if s.panics.Value() != 0 {
 			t.Error("deliberate abort counted as a panic")
 		}
 	}()
@@ -96,8 +96,8 @@ func TestGateShedsExcessLoad(t *testing.T) {
 	if w.Header().Get("Retry-After") == "" {
 		t.Error("shed response missing Retry-After")
 	}
-	if s.shed.Load() != 1 {
-		t.Errorf("shed = %d, want 1", s.shed.Load())
+	if s.shed.Value() != 1 {
+		t.Errorf("shed = %d, want 1", s.shed.Value())
 	}
 
 	// Probes bypass the gate: a full server must stay observable.

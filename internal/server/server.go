@@ -24,7 +24,10 @@
 //	POST   /docs/ID/undo  revert the most recent committed transaction
 //	POST   /docs/ID/redo  re-apply the most recently undone transaction
 //	GET    /healthz       liveness probe
-//	GET    /stats         catalog + server counters
+//	GET    /stats         catalog + server counters, per-route latency
+//	                      quantiles
+//	GET    /metrics       Prometheus text exposition of every metric
+//	GET    /debug/requests recent slow/errored queries (bounded ring)
 //
 // POST /docs/{id}/edit takes a JSON body with one op batch:
 //
@@ -83,6 +86,24 @@
 // the node budget was exhausted. Evaluations slower than
 // Config.SlowQuery are logged and counted; /stats reports cancelled,
 // timed-out, budget-exceeded, and slow-query totals.
+//
+// # Observability
+//
+// Every counter the server keeps lives in an obs.Registry (Config.Obs,
+// or a private one): per-route latency histograms and status-class
+// counters from the instrument middleware, the lifecycle counters
+// above, and func-backed views of the compiled-query cache and the
+// xpath engine's plan/visit counters. GET /metrics exposes the registry
+// in Prometheus text format, and /stats is reimplemented as reads of
+// the same registry — the two surfaces agree by construction. A /query
+// body with "trace": true gets its response annotated with the
+// request's stage breakdown (decode, lock wait, cold load, plan, eval,
+// encode) plus the node visit count — explain-analyze for one request —
+// and the same breakdown accompanies each slow-query log line and each
+// /debug/requests ring entry. Logs go through Config.Logger
+// (log/slog). All of it holds the streaming path's flat allocation
+// budget: metric handles are pre-resolved per route, and an untraced
+// request carries a nil *Trace whose every method is a no-op.
 package server
 
 import (
@@ -92,8 +113,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -104,6 +126,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/editor"
 	"repro/internal/goddag"
+	"repro/internal/obs"
 	"repro/internal/validate"
 	"repro/internal/xpath"
 	"repro/internal/xquery"
@@ -137,9 +160,18 @@ type Config struct {
 	MaxOps int
 	// MaxInflight caps concurrently served requests; excess load is
 	// shed with 503 + Retry-After instead of queuing without bound
-	// (default 256; <0 means unlimited). /healthz and /stats bypass the
-	// gate so operators can observe an overloaded server.
+	// (default 256; <0 means unlimited). /healthz, /stats, /metrics and
+	// /debug/requests bypass the gate so operators can observe an
+	// overloaded server.
 	MaxInflight int
+	// Obs is the metrics registry the server records into — share one
+	// with catalog.Options.Obs so GET /metrics covers both layers. Nil
+	// creates a private registry: the counters behind /stats and
+	// /metrics always exist.
+	Obs *obs.Registry
+	// Logger receives the server's structured log lines (slow queries,
+	// recovered panics). Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -163,24 +195,33 @@ func (c Config) withDefaults() Config {
 
 // Server is the HTTP query service over one catalog.
 type Server struct {
-	cat   *catalog.Catalog
-	cfg   Config
-	cache *queryCache
+	cat    *catalog.Catalog
+	cfg    Config
+	cache  *queryCache
+	logger *slog.Logger
 
 	// inflight is the admission semaphore behind Config.MaxInflight;
 	// nil when unlimited.
 	inflight chan struct{}
 
-	requests atomic.Uint64
-	errors   atomic.Uint64
-	panics   atomic.Uint64 // handler panics recovered by the middleware
-	shed     atomic.Uint64 // requests rejected by the overload gate
+	// met holds the pre-resolved metric handles; ring the recent
+	// slow/errored requests behind /debug/requests (see obs.go). The
+	// counters below live in the same registry, so /stats and /metrics
+	// read one source of truth.
+	met    serverMetrics
+	ring   requestRing
+	reqSeq atomic.Uint64 // request-id sequence for traced requests
+
+	requests *obs.Counter
+	errors   *obs.Counter
+	panics   *obs.Counter // handler panics recovered by the middleware
+	shed     *obs.Counter // requests rejected by the overload gate
 
 	// Lifecycle counters (see the package comment).
-	cancelled      atomic.Uint64 // client went away before the response
-	timedOut       atomic.Uint64 // server-side deadline expired
-	budgetExceeded atomic.Uint64 // evaluation node budget exhausted
-	slowQueries    atomic.Uint64 // evaluations slower than Config.SlowQuery
+	cancelled      *obs.Counter // client went away before the response
+	timedOut       *obs.Counter // server-side deadline expired
+	budgetExceeded *obs.Counter // evaluation node budget exhausted
+	slowQueries    *obs.Counter // evaluations slower than Config.SlowQuery
 }
 
 // statusClientClosedRequest is nginx's non-standard 499: the client
@@ -195,6 +236,23 @@ func New(cat *catalog.Catalog, cfg Config) *Server {
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
+	s.logger = cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.met = s.newServerMetrics(reg)
+	s.requests = reg.Counter("cx_requests_total", "Handler invocations (excludes shed requests).", "")
+	s.errors = reg.Counter("cx_errors_total", "Requests answered with an error response.", "")
+	s.panics = reg.Counter("cx_panics_total", "Handler panics recovered by the middleware.", "")
+	s.shed = reg.Counter("cx_shed_total", "Requests rejected by the overload gate.", "")
+	s.cancelled = reg.Counter("cx_requests_cancelled_total", "Requests whose client disconnected first.", "")
+	s.timedOut = reg.Counter("cx_requests_timed_out_total", "Requests that hit the server-side deadline.", "")
+	s.budgetExceeded = reg.Counter("cx_budget_exceeded_total", "Evaluations that exhausted the node budget.", "")
+	s.slowQueries = reg.Counter("cx_slow_queries_total", "Evaluations slower than the slow-query threshold.", "")
 	return s
 }
 
@@ -211,7 +269,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/docs/", s.handleDoc)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
-	return s.recoverPanics(s.gate(mux))
+	mux.Handle("/metrics", s.met.reg.Handler())
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	return s.instrument(s.recoverPanics(s.gate(mux)))
 }
 
 // requestContext derives the request's working context: the connection
@@ -237,30 +297,52 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context
 func (s *Server) lifecycleStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.timedOut.Add(1)
+		s.timedOut.Inc()
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		s.cancelled.Add(1)
+		s.cancelled.Inc()
 		return statusClientClosedRequest
 	case errors.Is(err, xpath.ErrBudgetExceeded):
-		s.budgetExceeded.Add(1)
+		s.budgetExceeded.Inc()
 		return http.StatusRequestEntityTooLarge
 	}
 	return 0
 }
 
-// observeQuery finishes one query evaluation's accounting: slow-query
-// log and counter.
-func (s *Server) observeQuery(req QueryRequest, elapsed time.Duration) {
-	if s.cfg.SlowQuery <= 0 || elapsed < s.cfg.SlowQuery {
+// observeQuery finishes one query request's accounting: the slow-query
+// counter and structured log line (with the stage breakdown when the
+// request was traced), and the /debug/requests ring for anything slow
+// or errored. On the warm success path it costs two comparisons.
+func (s *Server) observeQuery(req QueryRequest, tr *obs.Trace, status int, errText string, elapsed time.Duration) {
+	slow := s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery
+	if !slow && status < 400 {
 		return
 	}
-	s.slowQueries.Add(1)
 	src := req.Query
 	if src == "" {
 		src = req.FLWOR
 	}
-	log.Printf("server: slow query doc=%q elapsed=%s query=%q", req.Doc, elapsed.Round(time.Millisecond), src)
+	var id string
+	if tr != nil {
+		id = tr.ID
+	}
+	if slow {
+		s.slowQueries.Inc()
+		s.logger.Warn("slow query",
+			"id", id, "doc", req.Doc, "query", src,
+			"status", status, "elapsed_us", elapsed.Microseconds(),
+			"stages", tr.String())
+	}
+	s.ring.add(RequestRecord{
+		ID:        id,
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		Doc:       req.Doc,
+		Query:     src,
+		Status:    status,
+		ElapsedUS: elapsed.Microseconds(),
+		Stages:    tr.String(),
+		Error:     errText,
+	})
 }
 
 // QueryRequest is the POST /query body.
@@ -271,9 +353,52 @@ type QueryRequest struct {
 	Limit   int    `json:"limit,omitempty"`   // cap on encoded nodes; 0 = server default
 	Format  string `json:"format,omitempty"`  // "json" (default), "text", "count"
 	Explain bool   `json:"explain,omitempty"` // include the query plan in JSON responses
+	// Trace is explain-analyze: the request is traced through every
+	// stage (decode, lock wait, load, plan, eval, encode) and the JSON
+	// response carries the measured breakdown plus the nodes-visited
+	// count. Implies Explain for JSON responses.
+	Trace bool `json:"trace,omitempty"`
 	// TimeoutMS tightens the server's default deadline for this request
 	// (milliseconds); it can never loosen it. 0 means the default.
 	TimeoutMS int `json:"timeoutMS,omitempty"`
+}
+
+// StageJSON is one measured stage of a traced request.
+type StageJSON struct {
+	Name string `json:"name"`
+	US   int64  `json:"us"`
+}
+
+// TraceJSON is the explain-analyze payload of a "trace": true request:
+// the stage breakdown in execution order, actual total, and the
+// nodes-visited count. The stages cover work up to response assembly;
+// the final socket write is not included.
+type TraceJSON struct {
+	ID      string      `json:"id"`
+	Stages  []StageJSON `json:"stages"`
+	TotalUS int64       `json:"total_us"`
+	Visited int64       `json:"visited,omitempty"`
+}
+
+// traceJSON renders tr for the response; nil in, nil out.
+func traceJSON(tr *obs.Trace) *TraceJSON {
+	if tr == nil {
+		return nil
+	}
+	st := tr.Stages()
+	out := &TraceJSON{ID: tr.ID, TotalUS: tr.Total().Microseconds(), Visited: tr.Visited(),
+		Stages: make([]StageJSON, len(st))}
+	for i, s := range st {
+		out.Stages[i] = StageJSON{Name: s.Name, US: s.Dur.Microseconds()}
+	}
+	return out
+}
+
+// nextRequestID mints a short id for traced requests — unique within
+// the process, stable across the response, the slow-query log, and
+// /debug/requests.
+func (s *Server) nextRequestID() string {
+	return "q" + strconv.FormatUint(s.reqSeq.Add(1), 10)
 }
 
 // QueryResponse is the POST /query JSON response.
@@ -284,11 +409,13 @@ type QueryResponse struct {
 	Results   []cliutil.ValueJSON `json:"results,omitempty"`   // FLWOR, one per tuple
 	Truncated bool                `json:"truncated,omitempty"` // FLWOR: the node cap cut tuples short
 	Plan      []string            `json:"plan,omitempty"`      // explain output, one decision per line
+	Trace     *TraceJSON          `json:"trace,omitempty"`     // explain-analyze breakdown ("trace": true)
 	ElapsedUS int64               `json:"elapsed_us"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.requests.Inc()
+	reqStart := time.Now()
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -327,7 +454,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	budget := xpath.Budget{MaxVisited: s.cfg.MaxVisited}
-	reqStart := time.Now()
+
+	// Stage tracing rides the context: on for explain-analyze requests
+	// and (so slow-query log lines carry a breakdown) whenever a
+	// slow-query threshold is configured. Off, tr stays nil and every
+	// layer's trace hook is a nil check — the warm path allocates
+	// nothing for it.
+	var tr *obs.Trace
+	if req.Trace || s.cfg.SlowQuery > 0 {
+		tr = obs.NewTraceAt(s.nextRequestID(), reqStart)
+		tr.Add("decode", time.Since(reqStart))
+		ctx = obs.WithTrace(ctx, tr)
+	}
 
 	// Evaluation AND response encoding run under the document's read
 	// lock: node-set results reference live document structure, so an
@@ -341,7 +479,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	err := s.cat.ViewContext(ctx, req.Doc, func(doc *core.Document) error {
 		start := time.Now()
 		if req.FLWOR != "" {
-			s.serveFLWOR(ctx, br, doc, req, limit, budget, start)
+			s.serveFLWOR(ctx, br, doc, req, tr, limit, budget, start)
 			return nil
 		}
 		q, err := s.cache.xpath(req.Query)
@@ -361,23 +499,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		defer st.Close()
 		var plan []string
-		if req.Explain {
+		if req.Explain || req.Trace {
 			plan = st.Explain()
 		}
+		// Each branch records its own encode stage. It also covers lazy
+		// stream pulls: scan and semi-join plans do their evaluation
+		// inside Next, interleaved with encoding by design.
 		switch req.Format {
 		case "", "json":
 			if v, ok := st.Value(); ok {
+				sp := tr.Begin("encode")
 				enc := cliutil.EncodeValue(v, limit)
+				sp.End()
+				st.Close() // fold the evaluator's visit count into tr now
 				s.okBuf(br, QueryResponse{
 					Doc: req.Doc, Query: req.Query, Result: &enc, Plan: plan,
+					Trace:     s.respTrace(req, tr),
 					ElapsedUS: time.Since(start).Microseconds(),
 				})
 				return nil
 			}
-			if err := s.streamNodeSetJSON(br, req, st, limit, plan, start); err != nil {
+			if err := s.streamNodeSetJSON(br, req, st, tr, limit, plan, start); err != nil {
 				s.failEval(br, err)
 			}
 		case "text":
+			sp := tr.Begin("encode")
+			defer sp.End()
 			br.contentType = "text/plain; charset=utf-8"
 			if v, ok := st.Value(); ok {
 				cliutil.WriteValue(&br.body, v, false, limit)
@@ -387,6 +534,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				s.failEval(br, err)
 			}
 		case "count":
+			sp := tr.Begin("encode")
+			defer sp.End()
 			br.contentType = "text/plain; charset=utf-8"
 			if v, ok := st.Value(); ok {
 				cliutil.WriteValue(&br.body, v, true, 0)
@@ -401,21 +550,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	})
-	s.observeQuery(req, time.Since(reqStart))
+	status := br.status
+	var errText string
 	if err != nil {
 		var nf *catalog.ErrNotFound
 		switch code := s.lifecycleStatus(err); {
 		case errors.As(err, &nf):
-			s.fail(w, http.StatusNotFound, "%v", err)
+			status = http.StatusNotFound
 		case code != 0:
 			// The wait for the lock or the cold load outlived the request.
-			s.fail(w, code, "%v", err)
+			status = code
 		default:
-			s.fail(w, http.StatusInternalServerError, "%v", err)
+			status = http.StatusInternalServerError
 		}
+		errText = err.Error()
+	}
+	s.observeQuery(req, tr, status, errText, time.Since(reqStart))
+	if err != nil {
+		s.fail(w, status, "%v", err)
 		return
 	}
 	br.flush(w)
+}
+
+// respTrace finalizes the response's trace payload: only explicit
+// "trace": true requests get it (threshold-driven traces exist for the
+// slow-query log alone).
+func (s *Server) respTrace(req QueryRequest, tr *obs.Trace) *TraceJSON {
+	if !req.Trace {
+		return nil
+	}
+	return traceJSON(tr)
 }
 
 // failEval records an evaluation failure in the buffered response:
@@ -436,7 +601,7 @@ func (s *Server) failEval(br *bufferedResponse, err error) {
 // amount of scratch regardless of result size. When the limit cuts the
 // stream short the remainder is drained (counted, not encoded) so Count
 // still reports the true result size.
-func (s *Server) streamNodeSetJSON(br *bufferedResponse, req QueryRequest, st *xpath.Stream, limit int, plan []string, start time.Time) error {
+func (s *Server) streamNodeSetJSON(br *bufferedResponse, req QueryRequest, st *xpath.Stream, tr *obs.Trace, limit int, plan []string, start time.Time) error {
 	// Append straight into the response buffer's free capacity and
 	// commit with one Write at the end (the bytes.Buffer.AvailableBuffer
 	// contract): on a warm pooled buffer the bytes are encoded in place,
@@ -449,6 +614,7 @@ func (s *Server) streamNodeSetJSON(br *bufferedResponse, req QueryRequest, st *x
 	buf = cliutil.AppendJSONString(buf, req.Query)
 	buf = append(buf, `,"result":{"type":"node-set"`...)
 
+	sp := tr.Begin("encode")
 	total := st.Size() // exact for scan plans, -1 otherwise
 	written := 0
 	var ne cliutil.NodeEncoder // rune cursors amortize span conversion
@@ -500,11 +666,50 @@ func (s *Server) streamNodeSetJSON(br *bufferedResponse, req QueryRequest, st *x
 	if len(plan) > 0 {
 		buf = append(buf, ']')
 	}
+	sp.End()
+	if req.Trace {
+		// Close the stream first so the evaluator's visit count is
+		// folded into the trace; Close is idempotent for the deferred
+		// one. The stage durations are complete except the tail of the
+		// encode (these very bytes), which is noise.
+		st.Close()
+		buf = appendTraceJSON(buf, tr)
+	}
 	buf = append(buf, `,"elapsed_us":`...)
 	buf = cliutil.AppendUint(buf, time.Since(start).Microseconds())
 	buf = append(buf, '}', '\n')
 	br.body.Write(buf)
 	return nil
+}
+
+// appendTraceJSON renders `,"trace":{...}` into the streaming encoder's
+// buffer — the hand-rolled twin of the TraceJSON struct, kept in the
+// same shape so both /query paths decode identically.
+func appendTraceJSON(buf []byte, tr *obs.Trace) []byte {
+	if tr == nil {
+		return buf
+	}
+	buf = append(buf, `,"trace":{"id":`...)
+	buf = cliutil.AppendJSONString(buf, tr.ID)
+	buf = append(buf, `,"stages":[`...)
+	for i, st := range tr.Stages() {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"name":`...)
+		buf = cliutil.AppendJSONString(buf, st.Name)
+		buf = append(buf, `,"us":`...)
+		buf = cliutil.AppendUint(buf, st.Dur.Microseconds())
+		buf = append(buf, '}')
+	}
+	buf = append(buf, `],"total_us":`...)
+	buf = cliutil.AppendUint(buf, tr.Total().Microseconds())
+	if v := tr.Visited(); v > 0 {
+		buf = append(buf, `,"visited":`...)
+		buf = cliutil.AppendUint(buf, v)
+	}
+	buf = append(buf, '}')
+	return buf
 }
 
 // bufferedResponse accumulates one response while a document lock is
@@ -558,7 +763,7 @@ func (s *Server) failBuf(br *bufferedResponse, code int, format string, args ...
 	json.NewEncoder(&br.body).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) serveFLWOR(ctx context.Context, br *bufferedResponse, doc *core.Document, req QueryRequest, limit int, budget xpath.Budget, start time.Time) {
+func (s *Server) serveFLWOR(ctx context.Context, br *bufferedResponse, doc *core.Document, req QueryRequest, tr *obs.Trace, limit int, budget xpath.Budget, start time.Time) {
 	q, err := s.cache.flwor(req.FLWOR)
 	if err != nil {
 		s.failBuf(br, http.StatusBadRequest, "%v", err)
@@ -566,12 +771,14 @@ func (s *Server) serveFLWOR(ctx context.Context, br *bufferedResponse, doc *core
 	}
 	// One cumulative budget across every clause of every tuple: a FLWOR
 	// iterating many cheap tuples is bounded like one expensive XPath.
+	// EvalContext records the eval stage and visit count itself.
 	vals, err := q.EvalContext(ctx, doc.GODDAG(), budget)
 	if err != nil {
 		s.failEval(br, err)
 		return
 	}
 	elapsed := time.Since(start)
+	sp := tr.Begin("encode")
 	switch req.Format {
 	case "", "json":
 		// The node cap is a per-response budget: tuples are encoded until
@@ -601,16 +808,20 @@ func (s *Server) serveFLWOR(ctx context.Context, br *bufferedResponse, doc *core
 			}
 			out = append(out, enc)
 		}
+		sp.End() // before the trace renders, so the encode stage is in it
 		s.okBuf(br, QueryResponse{
 			Doc: req.Doc, Query: req.FLWOR, Results: out, Truncated: truncated,
+			Trace:     s.respTrace(req, tr),
 			ElapsedUS: elapsed.Microseconds(),
 		})
 	case "text":
 		br.contentType = "text/plain; charset=utf-8"
 		cliutil.WriteFLWOR(&br.body, vals, false, limit)
+		sp.End()
 	case "count":
 		br.contentType = "text/plain; charset=utf-8"
 		cliutil.WriteFLWOR(&br.body, vals, true, 0)
+		sp.End()
 	}
 }
 
@@ -897,7 +1108,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.ok(w, map[string]string{"status": "ok"})
 }
 
-// StatsResponse is the GET /stats response.
+// RouteLatency summarizes one route's request-latency histogram —
+// quantiles estimated by linear interpolation within the bucket, the
+// same arithmetic Prometheus' histogram_quantile applies to the
+// exposition of the identical histogram, so the two surfaces agree.
+type RouteLatency struct {
+	Count uint64 `json:"count"`
+	P50US int64  `json:"p50_us"`
+	P90US int64  `json:"p90_us"`
+	P99US int64  `json:"p99_us"`
+}
+
+// StatsResponse is the GET /stats response. Every counter is a read of
+// the same registry series GET /metrics exposes; neither surface can
+// drift from the other.
 type StatsResponse struct {
 	Catalog  catalog.Stats `json:"catalog"`
 	Requests uint64        `json:"requests"`
@@ -912,27 +1136,46 @@ type StatsResponse struct {
 	TimedOut       uint64 `json:"timedOut,omitempty"`       // server-side deadline expired
 	BudgetExceeded uint64 `json:"budgetExceeded,omitempty"` // evaluation node budget exhausted
 	SlowQueries    uint64 `json:"slowQueries,omitempty"`    // slower than Config.SlowQuery
+
+	// Routes reports per-route latency summaries for routes that have
+	// served at least one request.
+	Routes map[string]RouteLatency `json:"routes,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.requests.Add(1)
+	s.requests.Inc()
 	if r.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	routes := make(map[string]RouteLatency)
+	for rt := 0; rt < nRoutes; rt++ {
+		snap := s.met.latency[rt].Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		routes[routeNames[rt]] = RouteLatency{
+			Count: snap.Count,
+			P50US: snap.Quantile(0.50).Microseconds(),
+			P90US: snap.Quantile(0.90).Microseconds(),
+			P99US: snap.Quantile(0.99).Microseconds(),
+		}
+	}
 	s.ok(w, StatsResponse{
 		Catalog:  s.cat.Stats(),
-		Requests: s.requests.Load(),
-		Errors:   s.errors.Load(),
-		Panics:   s.panics.Load(),
-		Shed:     s.shed.Load(),
+		Requests: s.requests.Value(),
+		Errors:   s.errors.Value(),
+		Panics:   s.panics.Value(),
+		Shed:     s.shed.Value(),
 		ReadOnly: s.cat.ReadOnly(),
 		Queries:  s.cache.stats(),
 
-		Cancelled:      s.cancelled.Load(),
-		TimedOut:       s.timedOut.Load(),
-		BudgetExceeded: s.budgetExceeded.Load(),
-		SlowQueries:    s.slowQueries.Load(),
+		Cancelled:      s.cancelled.Value(),
+		TimedOut:       s.timedOut.Value(),
+		BudgetExceeded: s.budgetExceeded.Value(),
+		SlowQueries:    s.slowQueries.Value(),
+
+		Routes: routes,
 	})
 }
 

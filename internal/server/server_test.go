@@ -78,7 +78,9 @@ func newFixture(t testing.TB, words int, cfg Config) (*Server, string) {
 			t.Fatal(err)
 		}
 	}
-	cat, err := catalog.Open(dir, catalog.Options{})
+	// Share cfg.Obs with the catalog when set, as cxserve does, so tests
+	// can observe catalog series through the server's /metrics.
+	cat, err := catalog.Open(dir, catalog.Options{Obs: cfg.Obs})
 	if err != nil {
 		t.Fatal(err)
 	}

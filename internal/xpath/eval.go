@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/goddag"
+	"repro/internal/obs"
 )
 
 // Value is the result of evaluating an Extended XPath expression: a
@@ -225,7 +226,10 @@ func (q *Query) EvalWithOptions(doc *goddag.Document, opts Options) (Value, erro
 	if err := ev.lim.Err(); err != nil {
 		return Value{}, err
 	}
-	return ev.eval(q.root, evalCtx{doc: doc, node: doc.Root(), pos: 1, size: 1})
+	sp := ev.tr.Begin("eval")
+	v, err := ev.eval(q.root, evalCtx{doc: doc, node: doc.Root(), pos: 1, size: 1})
+	sp.End()
+	return v, err
 }
 
 // EvalContext evaluates under ctx with a resource budget: the
@@ -293,8 +297,15 @@ type evaluator struct {
 	opts  Options
 
 	// lim is the evaluation's cancellation/budget checkpoint state,
-	// derived from opts at acquire time; nil means unlimited.
-	lim *Limiter
+	// derived from opts at acquire time; nil means unlimited. ownLim
+	// marks a limiter the evaluator created (vs. opts.Limiter), whose
+	// visit count release folds into the engine counters and trace.
+	lim    *Limiter
+	ownLim bool
+
+	// tr is the request's stage trace from opts.Context; nil (a no-op
+	// handle) on untraced evaluations.
+	tr *obs.Trace
 
 	// Query-path scratch, lazily initialized per evaluation: the
 	// document's ordinal numbering and a reusable ordinal bitset for

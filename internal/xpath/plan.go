@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/document"
 	"repro/internal/goddag"
+	"repro/internal/obs"
 )
 
 // This file adds a small cost-based planning layer in front of the
@@ -81,9 +82,13 @@ func (q *Query) planFor(doc *goddag.Document, opts Options) *Plan {
 	}
 	ver := doc.Version()
 	if s := q.plan.Load(); s != nil && s.doc == doc && s.version == ver {
+		engine.planHits.Add(1)
+		engine.planKinds[s.plan.kind].Add(1)
 		return s.plan
 	}
+	engine.planMisses.Add(1)
 	pl := planQuery(doc, q.root)
+	engine.planKinds[pl.kind].Add(1)
 	q.plan.Store(&planSlot{doc: doc, version: ver, plan: pl})
 	return pl
 }
@@ -615,14 +620,20 @@ func (q *Query) StreamContext(ctx context.Context, doc *goddag.Document, b Budge
 // options. Count/exists plans and materializing fallbacks execute
 // eagerly here; bucket scans and semi-joins defer all work to Next.
 func (q *Query) StreamWithOptions(doc *goddag.Document, opts Options) (*Stream, error) {
-	pl := q.planFor(doc, opts)
 	ev := acquireEvaluator(doc, q.source, opts)
 	if err := ev.lim.Err(); err != nil {
 		releaseEvaluator(ev)
 		return nil, err
 	}
+	sp := ev.tr.Begin("plan")
+	pl := q.planFor(doc, opts)
+	sp.End()
 	s := &Stream{ev: ev, plan: pl}
 	var err error
+	// The eval span covers the eager shapes (count, exists, materialize);
+	// lazy cursors (scan, semi-join) do their work under the consumer's
+	// pulls, which the serving layer attributes to its encode stage.
+	sp = ev.tr.Begin("eval")
 	switch pl.kind {
 	case planScan, planSemiJoin:
 		s.cur = ev.nodeCursor(pl, nil)
@@ -650,6 +661,7 @@ func (q *Query) StreamWithOptions(doc *goddag.Document, opts Options) (*Stream, 
 			}
 		}
 	}
+	sp.End()
 	if err != nil {
 		releaseEvaluator(ev)
 		return nil, err
@@ -745,9 +757,18 @@ func acquireEvaluator(doc *goddag.Document, query string, opts Options) *evaluat
 	ev.doc = doc
 	ev.query = query
 	ev.opts = opts
+	ev.tr = obs.TraceFrom(opts.Context)
 	ev.lim = opts.Limiter
+	ev.ownLim = false
 	if ev.lim == nil {
 		ev.lim = NewLimiter(opts.Context, opts.Budget)
+		if ev.lim == nil && ev.tr != nil {
+			// Explain-analyze wants the visit count even when no limits
+			// apply; a counting-only limiter costs the same amortized
+			// checkpoints the limited paths already pay.
+			ev.lim = NewCountingLimiter()
+		}
+		ev.ownLim = ev.lim != nil
 	}
 	return ev
 }
@@ -756,11 +777,22 @@ func releaseEvaluator(ev *evaluator) {
 	if ev == nil {
 		return
 	}
+	if ev.ownLim {
+		// Caller-owned limiters (FLWOR's shared budget) are reported by
+		// their owner via ReportVisited, once per request rather than
+		// once per clause evaluation.
+		if n := ev.lim.Visited(); n > 0 {
+			engine.visited.Add(uint64(n))
+			ev.tr.AddVisited(n)
+		}
+		ev.ownLim = false
+	}
 	ev.doc = nil
 	ev.ord = nil
 	ev.query = ""
 	ev.opts = Options{}
 	ev.lim = nil
+	ev.tr = nil
 	ev.seen.reset() // keep grown bits, clear touched entries
 	evPool.Put(ev)
 }

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/goddag"
+	"repro/internal/obs"
 	"repro/internal/xpath"
 )
 
@@ -269,7 +270,19 @@ func (q *Query) Eval(doc *goddag.Document) ([]xpath.Value, error) {
 // expensive XPath. Cancellation unwinds with ctx.Err(); budget
 // exhaustion with an error matching xpath.ErrBudgetExceeded.
 func (q *Query) EvalContext(ctx context.Context, doc *goddag.Document, b xpath.Budget) ([]xpath.Value, error) {
-	return q.evalLimited(doc, xpath.NewLimiter(ctx, b))
+	lim := xpath.NewLimiter(ctx, b)
+	tr := obs.TraceFrom(ctx)
+	if lim == nil && tr != nil {
+		lim = xpath.NewCountingLimiter()
+	}
+	sp := tr.Begin("eval")
+	vals, err := q.evalLimited(doc, lim)
+	sp.End()
+	// The shared limiter is caller-owned from the evaluator's point of
+	// view, so its cumulative visit count is reported here, once.
+	xpath.ReportVisited(lim)
+	tr.AddVisited(lim.Visited())
+	return vals, err
 }
 
 func (q *Query) evalLimited(doc *goddag.Document, lim *xpath.Limiter) ([]xpath.Value, error) {
