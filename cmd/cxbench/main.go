@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -51,6 +52,7 @@ import (
 	"repro/internal/document"
 	"repro/internal/drivers"
 	"repro/internal/dtd"
+	"repro/internal/faultfs"
 	"repro/internal/goddag"
 	"repro/internal/sacx"
 	"repro/internal/server"
@@ -701,6 +703,155 @@ func (b *bench) serve() {
 		})
 	}
 	fmt.Println("note: sustained rows are aggregate throughput over a 300ms window; allocs_op counts every heap object in the process, including the test client's request/recorder objects.")
+
+	// Cold open, v2 decode vs v3 mapped — the open-without-decode claim.
+	// The v2 iteration is the pre-v3 load: open, streaming decode, index
+	// warm. The v3 iteration is open + mmap + header validation + first
+	// element touch deferred (Close unmaps so mappings don't pile up).
+	bigWords := b.sizes()[2]
+	bigDoc, err := corpus.Generate(corpus.DefaultConfig(bigWords))
+	if err != nil {
+		fatal(err)
+	}
+	v2path := filepath.Join(dir, "cold2.gdag")
+	v3path := filepath.Join(dir, "cold3.gdag")
+	writeGdag := func(path string, enc func(io.Writer, *goddag.Document) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := enc(f, bigDoc); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	writeGdag(v2path, store.Encode)
+	writeGdag(v3path, store.EncodeV3)
+	v2cold := measureP50(func() {
+		f, err := os.Open(v2path)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := store.Decode(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		d.Warm()
+	})
+	v3cold := measureP50(func() {
+		_, m, err := store.OpenMappedDoc(faultfs.OS, v3path)
+		if err != nil {
+			fatal(err)
+		}
+		m.Close()
+	})
+	fmt.Printf("%8s %16s %14s %9s\n", "words", "strategy", "cold_open_us", "speedup")
+	fmt.Printf("%8d %16s %14.1f %9s\n", bigWords, "cold-open-v2", float64(v2cold.Nanoseconds())/1000, "1.00x")
+	fmt.Printf("%8d %16s %14.1f %8.0fx\n", bigWords, "cold-open-v3", float64(v3cold.Nanoseconds())/1000,
+		float64(v2cold)/float64(v3cold))
+	b.rows = append(b.rows,
+		benchRow{Experiment: "SERVE", Words: bigWords, Hierarchies: 4,
+			Strategy: "cold-open-v2", NsPerOp: v2cold.Nanoseconds()},
+		benchRow{Experiment: "SERVE", Words: bigWords, Hierarchies: 4,
+			Strategy: "cold-open-v3", NsPerOp: v3cold.Nanoseconds()})
+
+	// Warm query after materialization: the lazy path must serve
+	// structural queries at heap speed once touched.
+	v2doc := func() *goddag.Document {
+		f, err := os.Open(v2path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		d, err := store.Decode(f)
+		if err != nil {
+			fatal(err)
+		}
+		d.Warm()
+		return d
+	}()
+	v3g, v3m, err := store.OpenMappedDoc(faultfs.OS, v3path)
+	if err != nil {
+		fatal(err)
+	}
+	defer v3m.Close()
+	wq := xpath.MustCompile("//w")
+	warmQ := func(d *goddag.Document) time.Duration {
+		return measureP50(func() {
+			if _, err := wq.Eval(d); err != nil {
+				fatal(err)
+			}
+		})
+	}
+	v2warm, v3warm := warmQ(v2doc), warmQ(v3g)
+	fmt.Printf("%8s %16s %14s\n", "words", "strategy", "warm_query_us")
+	fmt.Printf("%8d %16s %14.1f\n", bigWords, "warm-query-v2", float64(v2warm.Nanoseconds())/1000)
+	fmt.Printf("%8d %16s %14.1f\n", bigWords, "warm-query-v3", float64(v3warm.Nanoseconds())/1000)
+	b.rows = append(b.rows,
+		benchRow{Experiment: "SERVE", Words: bigWords, Hierarchies: 4,
+			Query: "//w", Strategy: "warm-query-v2", NsPerOp: v2warm.Nanoseconds()},
+		benchRow{Experiment: "SERVE", Words: bigWords, Hierarchies: 4,
+			Query: "//w", Strategy: "warm-query-v3", NsPerOp: v3warm.Nanoseconds()})
+
+	// Residency under a fixed budget: how many documents each format
+	// keeps servable. The budget is sized to ~2.5 heap-resident copies;
+	// mapped documents charge only touched bytes, so the whole fleet
+	// stays resident.
+	const fleet = 24
+	resident := func(enc func(io.Writer, *goddag.Document) error, budget int64) (int, int64) {
+		fdir, err := os.MkdirTemp("", "cxbench-fleet")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(fdir)
+		for i := 0; i < fleet; i++ {
+			cfg := corpus.DefaultConfig(b.sizes()[1])
+			cfg.Seed = int64(i + 1)
+			d, err := corpus.Generate(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(fdir, fmt.Sprintf("doc%d.gdag", i)))
+			if err != nil {
+				fatal(err)
+			}
+			if err := enc(f, d); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+		fc, err := catalog.Open(fdir, catalog.Options{Budget: budget})
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < fleet; i++ {
+			if _, err := fc.Get(fmt.Sprintf("doc%d", i)); err != nil {
+				fatal(err)
+			}
+		}
+		s := fc.Stats()
+		return s.Resident, s.Bytes
+	}
+	probeDoc, err := corpus.Generate(corpus.DefaultConfig(b.sizes()[1]))
+	if err != nil {
+		fatal(err)
+	}
+	probeDoc.Warm()
+	budget := probeDoc.Footprint()*5/2 + 1
+	v2res, v2bytes := resident(store.Encode, budget)
+	v3res, v3bytes := resident(store.EncodeV3, budget)
+	fmt.Printf("%8s %16s %9s %9s %14s\n", "words", "strategy", "docs", "resident", "bytes")
+	fmt.Printf("%8d %16s %9d %9d %14d\n", b.sizes()[1], "resident-v2", fleet, v2res, v2bytes)
+	fmt.Printf("%8d %16s %9d %9d %14d\n", b.sizes()[1], "resident-v3", fleet, v3res, v3bytes)
+	fmt.Printf("note: resident rows load %d docs under a %d-byte budget (~2.5 heap copies); v3 charges only touched bytes.\n", fleet, budget)
+	b.rows = append(b.rows,
+		benchRow{Experiment: "SERVE", Words: b.sizes()[1], Hierarchies: 4,
+			Strategy: "resident-v2", Results: v2res, InputBytes: int(v2bytes)},
+		benchRow{Experiment: "SERVE", Words: b.sizes()[1], Hierarchies: 4,
+			Strategy: "resident-v3", Results: v3res, InputBytes: int(v3bytes)})
 }
 
 // edit — per-edit index maintenance cost, the write-path experiment of

@@ -55,7 +55,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := store.Encode(f, g); err != nil {
+		if err := store.EncodeV3(f, g); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -79,8 +79,16 @@
 // temp-file + rename save; undo/redo are exposed the same way, and
 // eviction refuses documents with unsaved edits. Persistent
 // single-document storage (the paper's "ongoing work") is package
-// store's binary format, which cold-loads through the same
-// goddag.BulkBuilder fast path as the SACX parser.
+// store's binary format: format v3 is a CRC-guarded section-table
+// image whose payloads are the document's columns — including the
+// derived query indexes — so opening a file is stat + mmap + header
+// validation (microseconds, no decode), nodes materialize lazily on
+// first touch, and the catalog charges its byte budget only for the
+// bytes actually touched. The first edit promotes the document to the
+// heap. Older v2 stream files still load everywhere (store.Decode
+// dispatches on the version byte, mapped opens report store.ErrV2 and
+// fall back to the heap decoder) and every save rewrites as v3, so a
+// v2 corpus migrates in place one save at a time.
 //
 // Durability and recovery: the write path is crash-safe by
 // append-before-apply. Each committed edit batch is serialized, appended

@@ -18,18 +18,23 @@
 //   - Singleflight loads: N concurrent Gets of a cold document trigger
 //     exactly one parse; the others block on the in-flight load and share
 //     its result.
-//   - Index pre-warming: loads call (*goddag.Document).Warm before
+//   - Index pre-warming: heap loads call (*goddag.Document).Warm before
 //     publishing, so the lazily built query indexes (element cache, span
 //     index, ordinals, name index) are resident before the first query —
 //     cold documents never serialize their first wave of queries on a
-//     lazy index rebuild.
+//     lazy index rebuild. Mapped .gdag documents (format v3) are the
+//     deliberate exception: they open without decoding — stat + mmap +
+//     header validation — and materialize nodes lazily off the mapping,
+//     so pre-warming would forfeit the microsecond open.
 //   - A byte-budgeted LRU: each resident document is charged its
-//     estimated footprint (goddag.Footprint); when the total exceeds the
-//     budget, least-recently-used documents are dropped. Eviction only
-//     forgets the catalog's reference: queries still running against an
-//     evicted document keep a consistent snapshot and remain valid;
-//     memory is reclaimed when they finish. Documents with unsaved edits
-//     (dirty) or an edit in flight are never evicted.
+//     estimated footprint (goddag.Footprint; for mapped documents only
+//     the resident bytes actually materialized, rechecked on hits);
+//     when the total exceeds the budget, least-recently-used documents
+//     are dropped. Eviction only forgets the catalog's reference:
+//     queries still running against an evicted document keep a
+//     consistent snapshot and remain valid; memory (and the file
+//     mapping) is reclaimed when they finish. Documents with unsaved
+//     edits (dirty) or an edit in flight are never evicted.
 //
 // Documents are editable. Each entry carries a read/write lock: View
 // runs a reader under the read lock (any number in parallel), Update
@@ -59,6 +64,7 @@ import (
 	"bytes"
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -157,9 +163,10 @@ type Catalog struct {
 	lru      *list.List // of *entry: resident entries, most recent first
 	resident int64
 
-	loads     uint64
-	hits      uint64
-	evictions uint64
+	loads       uint64
+	hits        uint64
+	evictions   uint64
+	v2Fallbacks uint64 // .gdag opens that fell back to the v2 decode path
 
 	// Durability counters and catalog-wide degradation (guarded by mu).
 	recovered    uint64 // documents that replayed at least one WAL record
@@ -186,9 +193,10 @@ type entry struct {
 	paths  []string // source files (several for a distributed directory)
 	format string   // cliutil.Load format, known from the Open scan
 
-	doc   *core.Document // nil when not resident
-	bytes int64
-	elem  *list.Element // position in Catalog.lru, valid while resident
+	doc    *core.Document // nil when not resident
+	bytes  int64
+	mapped bool          // resident copy is backed by a file mapping (v3 open)
+	elem   *list.Element // position in Catalog.lru, valid while resident
 
 	loads   uint64
 	hits    uint64
@@ -384,6 +392,8 @@ func (c *Catalog) GetContext(ctx context.Context, id string) (*core.Document, er
 		e.hits++
 		c.hits++
 		c.lru.MoveToFront(e.elem)
+		c.refreshBytesLocked(e)
+		c.evictLocked()
 		doc := e.doc
 		c.mu.Unlock()
 		return doc, nil
@@ -427,7 +437,7 @@ func (c *Catalog) GetContext(ctx context.Context, id string) (*core.Document, er
 // close(f.done), so waiters released by the close read them safely.
 func (c *Catalog) runLoad(e *entry, f *flight) {
 	start := time.Now()
-	doc, bytes, err := c.load(e)
+	doc, bytes, mapped, err := c.load(e)
 	if err == nil {
 		c.met.coldLoad.Observe(time.Since(start))
 	}
@@ -438,6 +448,7 @@ func (c *Catalog) runLoad(e *entry, f *flight) {
 	if err == nil {
 		e.doc = doc
 		e.bytes = bytes
+		e.mapped = mapped
 		e.loads++
 		c.loads++
 		e.errCount = 0
@@ -457,24 +468,84 @@ func (c *Catalog) runLoad(e *entry, f *flight) {
 // load parses one document from its source files, replays any surviving
 // write-ahead-log records into it, and pre-warms its query indexes. Runs
 // without the catalog lock: loads of *different* documents proceed in
-// parallel.
-func (c *Catalog) load(e *entry) (*core.Document, int64, error) {
+// parallel. The mapped bool reports a view-backed (mmap v3) document —
+// those skip the pre-warm and charge only their resident bytes.
+func (c *Catalog) load(e *entry) (*core.Document, int64, bool, error) {
 	if c.onLoad != nil {
 		c.onLoad(e.id)
 	}
-	doc, err := cliutil.Load(e.format, e.paths)
+	doc, err := c.loadSource(e)
 	if err != nil {
-		return nil, 0, fmt.Errorf("catalog: load %q: %w", e.id, err)
+		return nil, 0, false, fmt.Errorf("catalog: load %q: %w", e.id, err)
 	}
 	if c.walOn {
 		doc, err = c.recover(e, doc)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 	}
 	g := doc.GODDAG()
+	if rb, ok := g.ResidentFootprint(); ok {
+		// Mapped open: skip the index pre-warm — materializing here would
+		// read the whole file back and forfeit the open-without-decode
+		// win. Only the touched bytes charge the budget; Get hits and
+		// Stats recharge the entry as lazy materialization grows it.
+		return doc, rb, true, nil
+	}
 	g.Warm()
-	return doc, g.Footprint(), nil
+	return doc, g.Footprint(), false, nil
+}
+
+// loadSource parses the document from its files. A single .gdag source
+// opens through the mapping path — for a v3 file that is a stat + mmap
+// + header validation, no decode — while v2 files fall back to the
+// streaming decoder (counted; they migrate to v3 on their next save).
+func (c *Catalog) loadSource(e *entry) (*core.Document, error) {
+	if e.format == "gdag" && len(e.paths) == 1 {
+		start := time.Now()
+		m, err := store.OpenMappedFile(c.fsys, e.paths[0])
+		if err == nil {
+			var g *goddag.Document
+			if g, err = m.Document(); err != nil {
+				m.Close()
+			} else {
+				c.met.openMapped.Observe(time.Since(start))
+				for _, n := range m.SectionSizes() {
+					c.met.sectionBytes.ObserveValue(int64(n))
+				}
+				return core.FromGODDAG(g), nil
+			}
+		}
+		if !errors.Is(err, store.ErrV2) {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.v2Fallbacks++
+		c.mu.Unlock()
+	}
+	return cliutil.Load(e.format, e.paths)
+}
+
+// refreshBytesLocked re-reads a mapped entry's footprint — it grows as
+// queries materialize nodes off the mapping — and folds the delta into
+// the catalog total. While the document is view-backed this is one
+// atomic read; when an edit has promoted it to the heap the entry is
+// recharged once at the full heap estimate and stops being mapped.
+// Heap-loaded entries return immediately, keeping Get hits cheap.
+func (c *Catalog) refreshBytesLocked(e *entry) {
+	if e.doc == nil || !e.mapped {
+		return
+	}
+	g := e.doc.GODDAG()
+	nb, ok := g.ResidentFootprint()
+	if !ok {
+		nb = g.Footprint()
+		e.mapped = false
+	}
+	if nb != e.bytes {
+		c.resident += nb - e.bytes
+		e.bytes = nb
+	}
 }
 
 // evictLocked drops least-recently-used documents until the resident
@@ -498,8 +569,12 @@ func (c *Catalog) evictLocked() {
 func (c *Catalog) dropLocked(e *entry) {
 	c.lru.Remove(e.elem)
 	c.resident -= e.bytes
+	// Dropping the reference is also what unmaps a mapped document: the
+	// mapping's finalizer releases the pages once the last query holding
+	// the document finishes and the GC collects it.
 	e.doc = nil
 	e.bytes = 0
+	e.mapped = false
 	e.elem = nil
 	c.evictions++
 }
@@ -651,7 +726,8 @@ type DocStats struct {
 	ID       string   `json:"id"`
 	Paths    []string `json:"paths"`
 	Resident bool     `json:"resident"`
-	Bytes    int64    `json:"bytes,omitempty"` // footprint estimate while resident
+	Mapped   bool     `json:"mapped,omitempty"` // resident copy is mmap-backed (v3)
+	Bytes    int64    `json:"bytes,omitempty"`  // footprint estimate while resident
 	Loads    uint64   `json:"loads"`
 	Hits     uint64   `json:"hits"`
 	Edits    uint64   `json:"edits,omitempty"`     // committed edit transactions
@@ -687,7 +763,6 @@ func (c *Catalog) Stats() Stats {
 	defer c.mu.Unlock()
 	s := Stats{
 		Documents: len(c.ids),
-		Bytes:     c.resident,
 		Budget:    c.budget,
 		Loads:     c.loads,
 		Hits:      c.hits,
@@ -708,13 +783,17 @@ func (c *Catalog) Stats() Stats {
 		}
 		s.Docs = append(s.Docs, ds)
 	}
+	// After the per-document refresh: mapped entries may have grown as
+	// their lazy materialization was touched since the last snapshot.
+	s.Bytes = c.resident
 	return s
 }
 
 func (c *Catalog) docStatsLocked(e *entry) DocStats {
+	c.refreshBytesLocked(e)
 	ds := DocStats{
 		ID: e.id, Paths: e.paths,
-		Resident: e.doc != nil, Loads: e.loads, Hits: e.hits,
+		Resident: e.doc != nil, Mapped: e.mapped, Loads: e.loads, Hits: e.hits,
 		Edits: e.edits, Dirty: e.dirty,
 		ReadOnly: e.readOnly, Replayed: e.replayed,
 	}

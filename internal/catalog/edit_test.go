@@ -56,7 +56,8 @@ func TestUpdatePersistsAndSurvivesReload(t *testing.T) {
 	}
 
 	// Reload from the saved file and require byte-identical persistence:
-	// re-encoding the reloaded document reproduces the file exactly.
+	// re-encoding the reloaded document (saves write v3) reproduces the
+	// file exactly.
 	if !c.Evict("standoff") {
 		t.Fatal("clean edited document refused eviction")
 	}
@@ -68,7 +69,7 @@ func TestUpdatePersistsAndSurvivesReload(t *testing.T) {
 		t.Fatalf("reloaded document has %d edit elements, want 1", got)
 	}
 	var buf bytes.Buffer
-	if err := store.Encode(&buf, doc.GODDAG()); err != nil {
+	if err := store.EncodeV3(&buf, doc.GODDAG()); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf.Bytes(), data) {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // catMetrics holds the catalog's pre-resolved metric handles. The
@@ -11,11 +12,13 @@ import (
 // obs method is a nil-guarded no-op, so hook sites observe
 // unconditionally.
 type catMetrics struct {
-	coldLoad  *obs.Histogram // successful cold loads: parse + WAL replay + warm
-	lockRead  *obs.Histogram // read-lock wait (ViewContext)
-	lockWrite *obs.Histogram // write-lock wait (UpdateContext/UpdateBatchContext)
-	walAppend *obs.Histogram // WAL append incl. fsync (the commit point)
-	save      *obs.Histogram // store save, per attempt
+	coldLoad     *obs.Histogram // successful cold loads: parse + WAL replay + warm
+	lockRead     *obs.Histogram // read-lock wait (ViewContext)
+	lockWrite    *obs.Histogram // write-lock wait (UpdateContext/UpdateBatchContext)
+	walAppend    *obs.Histogram // WAL append incl. fsync (the commit point)
+	save         *obs.Histogram // store save, per attempt
+	openMapped   *obs.Histogram // mapped .gdag opens: stat + mmap + header validation
+	sectionBytes *obs.Histogram // v3 section sizes (bytes), per mapped open
 }
 
 // registerMetrics wires the catalog into reg: latency histograms for
@@ -37,6 +40,10 @@ func (c *Catalog) registerMetrics(reg *obs.Registry) {
 			"Write-ahead-log append latency, including the fsync that commits it.", "", nil),
 		save: reg.Histogram("cx_catalog_save_seconds",
 			"Document save latency, per attempt (retries observe again).", "", nil),
+		openMapped: reg.Histogram("cx_store_open_seconds",
+			"Mapped .gdag open latency: stat, mmap, header validation — no decode.", "", nil),
+		sectionBytes: reg.ValueHistogram("cx_store_section_bytes",
+			"Size distribution of v3 file sections at mapped opens.", "", nil),
 	}
 	counter := func(v *uint64) func() float64 {
 		return func() float64 {
@@ -51,6 +58,10 @@ func (c *Catalog) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("cx_catalog_save_failures_total", "Commits not persisted after retries.", "", counter(&c.saveFailures))
 	reg.CounterFunc("cx_catalog_recovered_total", "Documents that replayed WAL records at load.", "", counter(&c.recovered))
 	reg.CounterFunc("cx_wal_replayed_records_total", "WAL records applied across all recoveries.", "", counter(&c.replayed))
+	reg.CounterFunc("cx_store_v2_fallback_total", "Catalog .gdag opens that fell back to the v2 streaming decoder.", "", counter(&c.v2Fallbacks))
+	reg.GaugeFunc("cx_store_mapped_bytes", "Bytes of .gdag files currently memory-mapped, process-wide.", "", func() float64 {
+		return float64(store.MappedBytes())
+	})
 	reg.GaugeFunc("cx_catalog_resident_bytes", "Estimated footprint of resident documents.", "", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()

@@ -5,6 +5,7 @@ package cliutil
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -14,7 +15,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/drivers"
+	"repro/internal/faultfs"
 	"repro/internal/sacx"
+	"repro/internal/store"
 )
 
 // Load reads a concurrent document.
@@ -36,6 +39,16 @@ func Load(format string, paths []string) (*core.Document, error) {
 	case "gdag":
 		if len(paths) != 1 {
 			return nil, fmt.Errorf("format gdag expects exactly one input file")
+		}
+		// v3 files open through the mapping path — header validation
+		// only, nodes materialize lazily on first touch. v2 files report
+		// ErrV2 and take the streaming decoder below.
+		g, _, err := store.OpenMappedDoc(faultfs.OS, paths[0])
+		if err == nil {
+			return core.FromGODDAG(g), nil
+		}
+		if !errors.Is(err, store.ErrV2) {
+			return nil, err
 		}
 		f, err := os.Open(paths[0])
 		if err != nil {

@@ -44,6 +44,11 @@ func wrap(g *goddag.Document) *Document {
 	}
 }
 
+// FromGODDAG wraps an existing GODDAG — the store's mapped open path
+// builds the goddag document first (lazily materializing off the file
+// mapping) and needs the same editor session shell Load provides.
+func FromGODDAG(g *goddag.Document) *Document { return wrap(g) }
+
 // Parse builds a document from a distributed concurrent XML document
 // (one XML document per hierarchy) using the SACX parser.
 func Parse(sources []sacx.Source) (*Document, error) {

@@ -29,6 +29,18 @@ func NewPartition(length int) *Partition {
 	return p
 }
 
+// PartitionFromStarts reconstructs a partition from serialized leaf
+// start offsets, taking ownership of starts. The caller (the v3
+// store's materialization path) guarantees the invariants — ascending
+// unique offsets beginning at 0, all below length — which Check
+// verifies.
+func PartitionFromStarts(length int, starts []int) *Partition {
+	if length < 0 {
+		panic("document: negative partition length")
+	}
+	return &Partition{starts: starts, length: length}
+}
+
 // Len returns the content length the partition covers.
 func (p *Partition) Len() int { return p.length }
 

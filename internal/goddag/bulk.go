@@ -73,6 +73,7 @@ func (b *BulkBuilder) Precut() { b.precut = true }
 
 // BulkLoad returns a builder for inserting elements in document order.
 func (d *Document) BulkLoad() *BulkBuilder {
+	d.prepareMutate()
 	return &BulkBuilder{doc: d, states: make(map[*Hierarchy]*bulkState)}
 }
 

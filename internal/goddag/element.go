@@ -26,11 +26,15 @@ func (h *Hierarchy) Name() string { return h.name }
 func (h *Hierarchy) Document() *Document { return h.doc }
 
 // Len returns the number of elements in the hierarchy.
-func (h *Hierarchy) Len() int { return h.n }
+func (h *Hierarchy) Len() int {
+	h.doc.ensure()
+	return h.n
+}
 
 // TopElements returns the hierarchy's top-level elements (children of the
 // shared root) in document order.
 func (h *Hierarchy) TopElements() []*Element {
+	h.doc.ensure()
 	out := make([]*Element, len(h.top))
 	copy(out, h.top)
 	return out
@@ -42,6 +46,7 @@ func (h *Hierarchy) TopElements() []*Element {
 // it is copied instead of re-walking the tree — element-address
 // resolution on the server's edit path calls this once per op.
 func (h *Hierarchy) Elements() []*Element {
+	h.doc.ensure()
 	h.doc.mu.Lock()
 	live := h.doc.ordIdx != nil && h.doc.ordVer == h.doc.version
 	h.doc.mu.Unlock()
@@ -58,6 +63,7 @@ func (h *Hierarchy) Elements() []*Element {
 // list: O(1) from the pre-order array while the ordinal index is live,
 // a counting walk otherwise. ok is false for out-of-range indices.
 func (h *Hierarchy) ElementAt(i int) (el *Element, ok bool) {
+	h.doc.ensure()
 	if i < 0 || i >= h.n {
 		return nil, false
 	}
@@ -333,6 +339,7 @@ func (e *ConflictError) Error() string {
 // returns a *ConflictError when the span properly overlaps an element of
 // h. tag is used only for error reporting.
 func (d *Document) ProbeInsert(h *Hierarchy, tag string, span document.Span) (parent *Element, adopted []*Element, err error) {
+	d.ensure()
 	if h == nil || h.doc != d {
 		return nil, nil, fmt.Errorf("goddag: hierarchy does not belong to this document")
 	}
@@ -390,6 +397,7 @@ func (d *Document) InsertElement(h *Hierarchy, tag string, attrs []Attr, span do
 	if tag == "" {
 		return nil, fmt.Errorf("goddag: empty element tag")
 	}
+	d.prepareMutate()
 	parent, adopted, err := d.ProbeInsert(h, tag, span)
 	if err != nil {
 		return nil, err
@@ -524,6 +532,7 @@ func (d *Document) RemoveElement(el *Element) error {
 	if el == nil || el.doc != d {
 		return fmt.Errorf("goddag: element does not belong to this document")
 	}
+	d.prepareMutate()
 	h := el.hier
 	var list []*Element
 	if el.parent == nil {
@@ -582,6 +591,7 @@ func (d *Document) RemoveElement(el *Element) error {
 // a border, restoring the minimal partition ("borders are given by markup
 // positions", paper §3). It returns the number of boundaries removed.
 func (d *Document) Compact() int {
+	d.prepareMutate()
 	used := map[int]bool{0: true, d.content.Len(): true}
 	for _, h := range d.hiers {
 		for _, e := range h.Elements() {
@@ -602,6 +612,7 @@ func (d *Document) Compact() int {
 // innermostCovering returns the innermost element of h whose span contains
 // the given (non-empty) span, or nil.
 func (h *Hierarchy) innermostCovering(span document.Span) *Element {
+	h.doc.ensure()
 	var found *Element
 	list := h.top
 	for {
@@ -623,6 +634,7 @@ func (h *Hierarchy) innermostCovering(span document.Span) *Element {
 // CoveringElements returns, innermost-last, the chain of elements of h
 // containing span.
 func (h *Hierarchy) CoveringElements(span document.Span) []*Element {
+	h.doc.ensure()
 	var out []*Element
 	list := h.top
 	for {
@@ -691,6 +703,7 @@ func (h *Hierarchy) resort() {
 // element starting exactly at pos moves right. Exception at pos == 0:
 // the text binds right, so elements starting at 0 absorb it.
 func (d *Document) InsertText(pos int, text string) error {
+	d.prepareMutate()
 	if pos < 0 || pos > d.content.Len() {
 		return fmt.Errorf("goddag: insert offset %d out of range [0,%d]", pos, d.content.Len())
 	}
@@ -737,6 +750,7 @@ func adjustForInsert(s document.Span, pos, n int) document.Span {
 // element spans that intersect it. Elements reduced to empty spans remain
 // as milestones.
 func (d *Document) DeleteText(span document.Span) error {
+	d.prepareMutate()
 	if !span.Valid() || span.End > d.content.Len() {
 		return fmt.Errorf("goddag: delete span %v out of range [0,%d]", span, d.content.Len())
 	}
@@ -788,6 +802,7 @@ func adjustForDelete(s document.Span, del document.Span) document.Span {
 //     sorted in document order, and siblings do not properly overlap,
 //   - element counts are consistent.
 func (d *Document) Check() error {
+	d.ensure()
 	if err := d.part.Check(); err != nil {
 		return err
 	}
@@ -847,11 +862,15 @@ func (d *Document) Check() error {
 }
 
 // Clone returns a deep copy of the document. The copy starts with cold
-// derived indexes and inherits the incremental-repair setting.
+// derived indexes and inherits the incremental-repair setting. A clone
+// of a view-backed document shares tag/attribute strings with the
+// mapped backing and therefore inherits its keepalive.
 func (d *Document) Clone() *Document {
+	d.ensure()
 	nd := New(d.rootTag, d.content.String())
 	nd.seq = d.seq
 	nd.noRepair = d.noRepair
+	nd.keepalive = d.keepalive
 	// Re-cut boundaries.
 	for _, b := range d.part.Boundaries() {
 		nd.part.Cut(b)
@@ -890,6 +909,7 @@ type Stats struct {
 
 // Stats computes summary statistics.
 func (d *Document) Stats() Stats {
+	d.ensure()
 	s := Stats{
 		ContentLen:  d.content.Len(),
 		Leaves:      d.part.NumLeaves(),

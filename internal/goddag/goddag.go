@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/document"
 )
@@ -130,6 +131,21 @@ type Document struct {
 	ordVer       uint64
 	nameIdx      map[string][]*Element
 	nameIdxVer   uint64
+
+	// Lazy-materialization state (view.go). A document opened from a
+	// mapped v3 store file carries a DocView; the element layer and the
+	// derived indexes build from its columnar image on first touch
+	// (viewPending flips false), and the first mutation promotes the
+	// index arrays off the read-only backing (viewAliased/viewPromoted).
+	// keepalive pins the backing mapping for the document's lifetime and
+	// is inherited by clones, whose strings alias it.
+	view          *DocView
+	viewPending   atomic.Bool
+	viewErr       error
+	viewAliased   bool
+	viewPromoted  atomic.Bool
+	residentBytes atomic.Int64
+	keepalive     any
 }
 
 // bump invalidates derived caches after a structural mutation that moves
@@ -173,7 +189,10 @@ func (d *Document) Content() *document.Content { return d.content }
 
 // Partition exposes the leaf partition (read-mostly; mutate only through
 // document operations).
-func (d *Document) Partition() *document.Partition { return d.part }
+func (d *Document) Partition() *document.Partition {
+	d.ensure()
+	return d.part
+}
 
 // AddHierarchy registers a new concurrent hierarchy (one per DTD in the
 // concurrent markup hierarchy; paper §3) and returns it. Adding an
@@ -197,6 +216,7 @@ func (d *Document) Hierarchy(name string) *Hierarchy { return d.hiers[name] }
 // RemoveHierarchy deletes an *empty* hierarchy, reporting whether it was
 // removed. Hierarchies that still hold elements are not removed.
 func (d *Document) RemoveHierarchy(name string) bool {
+	d.ensure() // h.n is 0 until the view materializes
 	h, ok := d.hiers[name]
 	if !ok || h.n != 0 {
 		return false
@@ -230,10 +250,14 @@ func (d *Document) HierarchyNames() []string {
 }
 
 // NumLeaves returns the current number of text leaves.
-func (d *Document) NumLeaves() int { return d.part.NumLeaves() }
+func (d *Document) NumLeaves() int {
+	d.ensure()
+	return d.part.NumLeaves()
+}
 
 // Leaf returns the i-th leaf handle.
 func (d *Document) Leaf(i int) Leaf {
+	d.ensure()
 	if i < 0 || i >= d.part.NumLeaves() {
 		panic(fmt.Sprintf("goddag: leaf index %d out of range [0,%d)", i, d.part.NumLeaves()))
 	}
@@ -242,6 +266,7 @@ func (d *Document) Leaf(i int) Leaf {
 
 // Leaves returns all leaf handles in content order.
 func (d *Document) Leaves() []Leaf {
+	d.ensure()
 	out := make([]Leaf, d.part.NumLeaves())
 	for i := range out {
 		out[i] = Leaf{doc: d, idx: i}
@@ -251,6 +276,7 @@ func (d *Document) Leaves() []Leaf {
 
 // LeafAt returns the leaf containing byte offset pos.
 func (d *Document) LeafAt(pos int) Leaf {
+	d.ensure()
 	return Leaf{doc: d, idx: d.part.LeafAt(pos)}
 }
 
@@ -265,6 +291,7 @@ func (d *Document) Elements() []*Element {
 
 // elementsLocked is Elements with d.mu held.
 func (d *Document) elementsLocked() []*Element {
+	d.ensureLocked()
 	if d.elemCache != nil && d.elemCacheVer == d.version {
 		return d.elemCache
 	}
@@ -287,6 +314,7 @@ func (d *Document) elementsLocked() []*Element {
 func (d *Document) ElementsNamed(tag string) []*Element {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.ensureLocked()
 	if d.nameIdx == nil || d.nameIdxVer != d.version {
 		els := d.elementsLocked()
 		idx := make(map[string][]*Element)
@@ -338,6 +366,7 @@ func (r *Root) Name() string { return r.doc.rootTag }
 // Children returns the root's children in hierarchy h: the top-level
 // elements of h interleaved with the leaves not covered by any of them.
 func (r *Root) Children(h *Hierarchy) []Node {
+	r.doc.ensure()
 	return childNodes(r.doc, r.Span(), h.top)
 }
 

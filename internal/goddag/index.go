@@ -114,6 +114,7 @@ func (d *Document) VisitIntersecting(sp document.Span, visit func(*Element) bool
 func (d *Document) index() *spanIndex {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.ensureLocked()
 	if d.spanIdx != nil && d.spanIdxVer == d.version {
 		return d.spanIdx
 	}

@@ -37,6 +37,7 @@ type Ordinals struct {
 func (d *Document) Ordinals() *Ordinals {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.ensureLocked()
 	if d.ordIdx != nil && d.ordVer == d.version {
 		return d.ordIdx
 	}

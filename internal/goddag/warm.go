@@ -31,6 +31,7 @@ func (d *Document) Warm() {
 // but it tracks the true footprint closely enough to drive a
 // byte-budgeted cache (internal/catalog), and it is cheap: O(elements).
 func (d *Document) Footprint() int64 {
+	d.ensure()
 	const (
 		ptrSize     = int64(unsafe.Sizeof(uintptr(0)))
 		elemSize    = int64(unsafe.Sizeof(Element{}))

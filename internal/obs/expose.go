@@ -69,13 +69,21 @@ func writeHistogramSeries(bw *bufio.Writer, name string, s *series, scratch []by
 		cum += c
 		le := "+Inf"
 		if i < len(snap.Bounds) {
-			scratch = appendFloat(scratch[:0], snap.Bounds[i].Seconds())
+			if snap.Raw {
+				scratch = strconv.AppendInt(scratch[:0], int64(snap.Bounds[i]), 10)
+			} else {
+				scratch = appendFloat(scratch[:0], snap.Bounds[i].Seconds())
+			}
 			le = string(scratch)
 		}
 		scratch = strconv.AppendUint(scratch[:0], cum, 10)
 		writeSample(bw, name+"_bucket", s.labels, `le="`+le+`"`, scratch)
 	}
-	scratch = appendFloat(scratch[:0], snap.Sum.Seconds())
+	if snap.Raw {
+		scratch = strconv.AppendInt(scratch[:0], int64(snap.Sum), 10)
+	} else {
+		scratch = appendFloat(scratch[:0], snap.Sum.Seconds())
+	}
 	writeSample(bw, name+"_sum", s.labels, "", scratch)
 	scratch = strconv.AppendUint(scratch[:0], snap.Count, 10)
 	writeSample(bw, name+"_count", s.labels, "", scratch)

@@ -83,17 +83,24 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// A Histogram counts duration observations into fixed buckets — the
+// A Histogram counts observations into fixed buckets — the
 // latency-distribution primitive. Buckets are cumulative only at
 // exposition; internally each bound has its own atomic counter, so
 // Observe is two atomic adds plus a short linear scan (the bound slice
 // is immutable after construction). A nil *Histogram discards
 // observations.
+//
+// Two flavors share the type: duration histograms (Registry.Histogram,
+// bounds in nanoseconds, exposed in seconds) and raw value histograms
+// (Registry.ValueHistogram, bounds in the value's own unit — bytes for
+// ByteBuckets — exposed as plain integers). The raw flag only changes
+// exposition formatting.
 type Histogram struct {
-	bounds []int64         // upper bounds in nanoseconds, ascending
+	bounds []int64         // upper bounds (nanoseconds, or raw units), ascending
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
-	sum    atomic.Int64    // nanoseconds
+	sum    atomic.Int64    // nanoseconds, or raw units
 	count  atomic.Uint64
+	raw    bool // value histogram: bounds are unit-less integers
 }
 
 // DefBuckets spans the serving layer's interesting range: 50µs request
@@ -107,17 +114,33 @@ var DefBuckets = []time.Duration{
 	5 * time.Second, 10 * time.Second,
 }
 
+// ByteBuckets is the default bound set for size-shaped value
+// histograms: powers of four from 1 KiB to 256 MiB, the range a
+// document section or mapped file plausibly spans.
+var ByteBuckets = []int64{
+	1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20,
+}
+
 func newHistogram(buckets []time.Duration) *Histogram {
 	if len(buckets) == 0 {
 		buckets = DefBuckets
 	}
-	h := &Histogram{
-		bounds: make([]int64, len(buckets)),
-		counts: make([]atomic.Uint64, len(buckets)+1),
-	}
+	bounds := make([]int64, len(buckets))
 	for i, b := range buckets {
-		h.bounds[i] = int64(b)
-		if i > 0 && h.bounds[i] <= h.bounds[i-1] {
+		bounds[i] = int64(b)
+	}
+	return newRawHistogram(bounds, false)
+}
+
+func newRawHistogram(bounds []int64, raw bool) *Histogram {
+	h := &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+		raw:    raw,
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
 			panic(fmt.Sprintf("obs: histogram buckets not strictly ascending at %d", i))
 		}
 	}
@@ -127,30 +150,39 @@ func newHistogram(buckets []time.Duration) *Histogram {
 // Observe records one duration. Negative durations (clock retrograde)
 // count into the first bucket.
 func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveValue(int64(d))
+}
+
+// ObserveValue records one raw observation — the unit-less entry point
+// value histograms use (bytes, counts). Negative values count into the
+// first bucket.
+func (h *Histogram) ObserveValue(v int64) {
 	if h == nil {
 		return
 	}
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
+	if v < 0 {
+		v = 0
 	}
 	i := 0
-	for i < len(h.bounds) && ns > h.bounds[i] {
+	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
 	h.counts[i].Add(1)
-	h.sum.Add(ns)
+	h.sum.Add(v)
 	h.count.Add(1)
 }
 
 // HistogramSnapshot is one scrape of a histogram: per-bucket
 // (non-cumulative) counts aligned with Bounds, plus the +Inf overflow as
-// the final count.
+// the final count. For a raw value histogram Bounds and Sum carry the
+// unit-less integers reinterpreted as time.Duration (1 unit = 1ns);
+// check Raw before formatting them as durations.
 type HistogramSnapshot struct {
 	Bounds []time.Duration // upper bounds; Counts has one extra +Inf slot
 	Counts []uint64
 	Count  uint64
 	Sum    time.Duration
+	Raw    bool // value histogram: Bounds/Sum are unit-less integers
 }
 
 // Snapshot reads the histogram's current state.
@@ -163,6 +195,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Counts: make([]uint64, len(h.counts)),
 		Count:  h.count.Load(),
 		Sum:    time.Duration(h.sum.Load()),
+		Raw:    h.raw,
 	}
 	for i, b := range h.bounds {
 		s.Bounds[i] = time.Duration(b)
@@ -330,6 +363,26 @@ func (r *Registry) Histogram(name, help, labels string, buckets []time.Duration)
 	s := r.familyFor(name, help, kindHistogram).seriesFor(labels)
 	if s.h == nil {
 		s.h = newHistogram(buckets)
+	}
+	return s.h
+}
+
+// ValueHistogram registers (or returns the existing) raw value
+// histogram for name+labels: bounds are unit-less integers (bytes,
+// counts) rather than durations, and exposition renders them as plain
+// integers. bounds nil means ByteBuckets.
+func (r *Registry) ValueHistogram(name, help, labels string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.familyFor(name, help, kindHistogram).seriesFor(labels)
+	if s.h == nil {
+		if bounds == nil {
+			bounds = ByteBuckets
+		}
+		s.h = newRawHistogram(bounds, true)
 	}
 	return s.h
 }

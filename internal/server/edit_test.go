@@ -136,7 +136,8 @@ func TestEditRoundTrip(t *testing.T) {
 	}
 
 	// Byte-identical persistence: re-encoding the reloaded document
-	// must reproduce the saved file exactly.
+	// must reproduce the saved file exactly. Saves write v3, so the
+	// round-trip re-encodes with EncodeV3.
 	saved, err := os.ReadFile(filepath.Join(dir, "ms.gdag"))
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +147,7 @@ func TestEditRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := store.Encode(&buf, reloaded); err != nil {
+	if err := store.EncodeV3(&buf, reloaded); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf.Bytes(), saved) {

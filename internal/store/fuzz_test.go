@@ -27,6 +27,22 @@ func FuzzDecode(f *testing.F) {
 	flipped[gdag.Len()/3] ^= 0x20 // bit-flipped body
 	f.Add(flipped)
 
+	// v3 seeds: the section-table image whole, truncated mid-directory
+	// and mid-section, and bit-flipped in the directory (offsets) and in
+	// a payload (CRC).
+	var v3 bytes.Buffer
+	if err := EncodeV3(&v3, doc); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v3.Bytes())
+	f.Add(v3.Bytes()[:v3HeaderLen+v3EntryLen/2])
+	f.Add(v3.Bytes()[:v3.Len()/2])
+	for _, off := range []int{v3HeaderLen + 8, v3.Len() / 2, v3.Len() - 1} {
+		mut := append([]byte(nil), v3.Bytes()...)
+		mut[off] ^= 0x04
+		f.Add(mut)
+	}
+
 	// A WAL record region: two framed records, whole and truncated.
 	var wal []byte
 	wal = appendFrame(wal, RecordOps, 0xdeadbeef, []byte(`{"ops":[{"op":"set-attr","hierarchy":"words","index":0,"name":"k","value":"v"}]}`))
@@ -40,6 +56,16 @@ func FuzzDecode(f *testing.F) {
 		// .gdag path: any error is fine, corruption must never decode.
 		if d, err := Decode(bytes.NewReader(data)); err == nil && d == nil {
 			t.Fatal("Decode returned nil document without error")
+		}
+		// Mapped v3 path: open must bound every access to the image
+		// (out-of-range section offsets are errors, not reads), and full
+		// validation must never panic or over-read.
+		if m, err := OpenMappedBytes(data); err == nil {
+			if err := m.Validate(); err == nil {
+				if _, derr := m.Document(); derr != nil {
+					t.Fatalf("image validates but Document fails: %v", derr)
+				}
+			}
 		}
 		// WAL replay path: the scan never fails, but every record it
 		// returns must re-verify (the frame checksum held).

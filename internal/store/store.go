@@ -1,7 +1,23 @@
 // Package store implements persistent storage for GODDAG documents — the
 // framework component the paper reports as "currently underway" (§1:
-// "Work on building persistent storage solutions"). It defines a compact
-// binary format and streaming Encode/Decode:
+// "Work on building persistent storage solutions").
+//
+// Two on-disk formats share the "GDAG" magic and differ in the version
+// byte:
+//
+// Version 3 (written by Save since PR 10; see v3.go and mapped.go) is a
+// section-table layout built for open-without-decode. After the header
+// comes a directory of {id, length, offset, CRC-32C} entries, a header
+// checksum, and 8-byte-aligned little-endian section payloads: the raw
+// content bytes, a string table, fixed-stride element columns (tag id,
+// span start/end, parent, pre-order interval, ordinal, attribute
+// prefix), the partition cuts, and the serialized derived indexes
+// (ordinal tables, document order, name buckets, span segment tree).
+// OpenMapped* validates only header + directory + checksums on the hot
+// metadata, maps the rest, and hands goddag a lazily materializing
+// view; Decode on a v3 stream reads it through the same path.
+//
+// Version 2 is the legacy streaming varint format:
 //
 //	header:  magic "GDAG", version byte
 //	body:    root tag, content, hierarchy count,
@@ -21,6 +37,10 @@
 // are not in document order (never produced by Encode, but accepted for
 // compatibility) falls back to the general InsertElement replay; the two
 // paths build identical structures.
+//
+// Encode still writes v2 — the WAL's snapshot records and fingerprints
+// are v2 streams, and readers for both stay — while Save/SaveFS write
+// v3, so any v2 file migrates to v3 on its next save.
 package store
 
 import (
@@ -88,12 +108,13 @@ func Encode(w io.Writer, doc *goddag.Document) error {
 	return bw.Flush()
 }
 
-// Save writes doc to path atomically: it encodes into a temporary file
-// in the target's directory, syncs it, and renames it over the target.
-// A crash or encode failure never leaves a partial file at path — the
-// durability contract the catalog's save-on-commit persistence relies
-// on. Encode output is deterministic for a given document, so saving
-// and reloading reproduces the file byte-identically.
+// Save writes doc to path atomically in the v3 format: it encodes into
+// a temporary file in the target's directory, syncs it, and renames it
+// over the target. A crash or encode failure never leaves a partial
+// file at path — the durability contract the catalog's save-on-commit
+// persistence relies on. Output is deterministic for a given document,
+// so saving and reloading reproduces the file byte-identically. Saving
+// a document loaded from a v2 file is the v2→v3 migration.
 func Save(path string, doc *goddag.Document) error {
 	return SaveFS(faultfs.OS, path, doc)
 }
@@ -115,7 +136,7 @@ func SaveFS(fsys faultfs.FS, path string, doc *goddag.Document) error {
 			fsys.Remove(tmp)
 		}
 	}()
-	if err := Encode(f, doc); err != nil {
+	if err := EncodeV3(f, doc); err != nil {
 		f.Close()
 		return err
 	}
@@ -161,9 +182,19 @@ type record struct {
 	attrs []goddag.Attr
 }
 
-// Decode reads a document in the binary GODDAG format.
+// Decode reads a document in the binary GODDAG format, either version:
+// v2 streams through the varint reader below; v3 is read whole and
+// materialized through the mapped reader with full validation.
 func Decode(r io.Reader) (*goddag.Document, error) {
-	doc, records, nattrs, err := readBody(r)
+	br := bufio.NewReader(r)
+	if head, err := br.Peek(5); err == nil && string(head[:4]) == magic && head[4] == v3Version {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: decode: %w", err)
+		}
+		return decodeV3Bytes(data)
+	}
+	doc, records, nattrs, err := readBody(br)
 	if err != nil {
 		return nil, err
 	}
